@@ -1,0 +1,47 @@
+//! A re-implementation of the AlphaRegex baseline (Lee, So & Oh,
+//! *"Synthesizing Regular Expressions from Examples for Introductory
+//! Automata Assignments"*, GPCE 2016), which the paper compares against in
+//! Table 2.
+//!
+//! AlphaRegex performs **top-down enumerative search over regular
+//! expressions with holes**: starting from a single hole `□`, states are
+//! explored in order of increasing cost; the first *complete* expression
+//! (no holes) that accepts every positive and rejects every negative
+//! example is returned. Two pruning rules discard states whose completions
+//! cannot possibly succeed:
+//!
+//! * **over-approximation** — replacing every hole with `Σ*` yields a
+//!   superset of every completion's language; if it rejects a positive
+//!   example the state is pruned;
+//! * **under-approximation** — replacing every hole with `∅` yields a
+//!   subset; if it accepts a negative example the state is pruned.
+//!
+//! The original tool additionally uses a *wild-card heuristic* (an atomic
+//! leaf `X` standing for `0 + 1`) which speeds up its own benchmarks; it is
+//! available here behind [`AlphaRegexConfig::use_wildcard`] so the harness
+//! can reproduce both variants of Table 2.
+//!
+//! Unlike Paresy, AlphaRegex supports only specifications whose examples do
+//! not contain the empty string, and its minimality claim does not always
+//! hold (the paper found counterexamples in about a quarter of the original
+//! benchmarks; see `EXPERIMENTS.md`).
+//!
+//! # Example
+//!
+//! ```
+//! use alpharegex::AlphaRegex;
+//! use rei_lang::Spec;
+//!
+//! let spec = Spec::from_strs(["0", "00", "000"], ["1", "01", "10"]).unwrap();
+//! let result = AlphaRegex::new().run(&spec).unwrap();
+//! assert!(spec.is_satisfied_by(&result.regex));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod search;
+mod state;
+
+pub use search::{AlphaRegex, AlphaRegexConfig, AlphaRegexError, AlphaRegexResult};
+pub use state::Partial;

@@ -1,0 +1,307 @@
+//! The top-down, best-first search of AlphaRegex.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+use std::error::Error;
+use std::fmt;
+use std::rc::Rc;
+use std::time::{Duration, Instant};
+
+use rei_lang::{Alphabet, Spec};
+use rei_syntax::{CostFn, Regex};
+
+use crate::Partial;
+
+/// Configuration of the AlphaRegex baseline.
+#[derive(Debug, Clone)]
+pub struct AlphaRegexConfig {
+    /// Cost homomorphism used to order the search. The original tool uses a
+    /// fixed size measure that corresponds to [`CostFn::ALPHAREGEX`].
+    pub costs: CostFn,
+    /// Whether the wild-card heuristic (`X ≡ 0 + 1` as an atomic leaf) is
+    /// enabled. It makes many benchmarks faster but sacrifices minimality.
+    pub use_wildcard: bool,
+    /// Whether the `?` constructor may be used in candidate expressions.
+    pub use_question: bool,
+    /// Maximum number of search states popped before giving up.
+    pub max_states: u64,
+    /// Optional bound on the cost of explored states.
+    pub max_cost: Option<u64>,
+    /// Optional wall-clock budget; the search gives up when it is exceeded.
+    pub time_budget: Option<Duration>,
+    /// Optional alphabet override; inferred from the specification by
+    /// default.
+    pub alphabet: Option<Alphabet>,
+}
+
+impl Default for AlphaRegexConfig {
+    fn default() -> Self {
+        AlphaRegexConfig {
+            costs: CostFn::ALPHAREGEX,
+            use_wildcard: false,
+            use_question: true,
+            max_states: 5_000_000,
+            max_cost: None,
+            time_budget: None,
+            alphabet: None,
+        }
+    }
+}
+
+/// The result of a successful AlphaRegex run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AlphaRegexResult {
+    /// The synthesised expression (wild cards already expanded to the
+    /// union of the alphabet).
+    pub regex: Regex,
+    /// Cost of `regex` under the configured cost homomorphism. Note that
+    /// with the wild-card heuristic this can exceed the cost the search
+    /// ordered by, which is how non-minimal answers arise.
+    pub cost: u64,
+    /// Number of complete regular expressions checked against the
+    /// specification (the `# REs` column of Table 2).
+    pub res_checked: u64,
+    /// Number of search states (partial expressions) expanded.
+    pub states_explored: u64,
+    /// Wall-clock duration of the search.
+    pub elapsed: Duration,
+}
+
+/// The ways an AlphaRegex run can fail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AlphaRegexError {
+    /// An example contains the empty string, which the original AlphaRegex
+    /// does not support.
+    EpsilonExample,
+    /// The state or cost budget was exhausted before a solution was found.
+    SearchExhausted {
+        /// Number of complete expressions checked before giving up.
+        res_checked: u64,
+    },
+}
+
+impl fmt::Display for AlphaRegexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AlphaRegexError::EpsilonExample => {
+                write!(f, "alpharegex does not support the empty string as an example")
+            }
+            AlphaRegexError::SearchExhausted { res_checked } => {
+                write!(f, "search budget exhausted after checking {res_checked} expressions")
+            }
+        }
+    }
+}
+
+impl Error for AlphaRegexError {}
+
+/// The AlphaRegex synthesiser.
+///
+/// # Example
+///
+/// ```
+/// use alpharegex::{AlphaRegex, AlphaRegexConfig};
+/// use rei_lang::Spec;
+///
+/// let spec = Spec::from_strs(["01", "0011"], ["0", "1", "10"]).unwrap();
+/// let result = AlphaRegex::with_config(AlphaRegexConfig::default()).run(&spec).unwrap();
+/// assert!(spec.is_satisfied_by(&result.regex));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct AlphaRegex {
+    config: AlphaRegexConfig,
+}
+
+impl AlphaRegex {
+    /// Creates a baseline with the default configuration.
+    pub fn new() -> Self {
+        AlphaRegex::default()
+    }
+
+    /// Creates a baseline with an explicit configuration.
+    pub fn with_config(config: AlphaRegexConfig) -> Self {
+        AlphaRegex { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &AlphaRegexConfig {
+        &self.config
+    }
+
+    /// Runs the top-down search on `spec`.
+    ///
+    /// # Errors
+    ///
+    /// * [`AlphaRegexError::EpsilonExample`] if any example is the empty
+    ///   string.
+    /// * [`AlphaRegexError::SearchExhausted`] if the state budget or the
+    ///   cost bound is reached without finding a solution.
+    pub fn run(&self, spec: &Spec) -> Result<AlphaRegexResult, AlphaRegexError> {
+        if spec.iter().any(|w| w.is_empty()) {
+            return Err(AlphaRegexError::EpsilonExample);
+        }
+        let started = Instant::now();
+        let alphabet = self
+            .config
+            .alphabet
+            .clone()
+            .unwrap_or_else(|| Alphabet::of_spec(spec));
+        let sigma: Vec<char> = alphabet.symbols().to_vec();
+        let costs = self.config.costs;
+
+        let fillers = self.fillers(&sigma);
+        let mut heap: BinaryHeap<Reverse<(u64, u64, Partial)>> = BinaryHeap::new();
+        let mut visited: HashSet<Partial> = HashSet::new();
+        let mut sequence = 0u64;
+        let mut res_checked = 0u64;
+        let mut states_explored = 0u64;
+
+        let start_state = Partial::hole();
+        heap.push(Reverse((start_state.cost(&costs), sequence, start_state)));
+
+        while let Some(Reverse((state_cost, _, state))) = heap.pop() {
+            if let Some(max_cost) = self.config.max_cost {
+                if state_cost > max_cost {
+                    break;
+                }
+            }
+            if states_explored >= self.config.max_states {
+                break;
+            }
+            if let Some(budget) = self.config.time_budget {
+                if states_explored % 1024 == 0 && started.elapsed() > budget {
+                    break;
+                }
+            }
+            states_explored += 1;
+
+            if state.is_complete() {
+                res_checked += 1;
+                let regex = state.to_regex(&sigma);
+                if spec.is_satisfied_by(&regex) {
+                    return Ok(AlphaRegexResult {
+                        cost: regex.cost(&costs),
+                        regex,
+                        res_checked,
+                        states_explored,
+                        elapsed: started.elapsed(),
+                    });
+                }
+                continue;
+            }
+
+            // Pruning (Section 3.3 of the AlphaRegex paper): a state is dead
+            // if its over-approximation rejects a positive example or its
+            // under-approximation accepts a negative example.
+            let over = state.over_approximation(&sigma);
+            if spec
+                .positive()
+                .iter()
+                .any(|w| !over.accepts(w.chars().iter().copied()))
+            {
+                continue;
+            }
+            let under = state.under_approximation(&sigma);
+            if spec
+                .negative()
+                .iter()
+                .any(|w| under.accepts(w.chars().iter().copied()))
+            {
+                continue;
+            }
+
+            for filler in &fillers {
+                if let Some(next) = state.fill_leftmost(filler) {
+                    if visited.insert(next.clone()) {
+                        sequence += 1;
+                        heap.push(Reverse((next.cost(&costs), sequence, next)));
+                    }
+                }
+            }
+        }
+
+        Err(AlphaRegexError::SearchExhausted { res_checked })
+    }
+
+    fn fillers(&self, sigma: &[char]) -> Vec<Partial> {
+        let hole = Rc::new(Partial::Hole);
+        let mut fillers: Vec<Partial> = sigma.iter().map(|&c| Partial::Literal(c)).collect();
+        if self.config.use_wildcard {
+            fillers.push(Partial::Wildcard);
+        }
+        fillers.push(Partial::Star(Rc::clone(&hole)));
+        if self.config.use_question {
+            fillers.push(Partial::Question(Rc::clone(&hole)));
+        }
+        fillers.push(Partial::Concat(Rc::clone(&hole), Rc::clone(&hole)));
+        fillers.push(Partial::Union(Rc::clone(&hole), hole));
+        fillers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec_start_with_0() -> Spec {
+        Spec::from_strs(["0", "00", "01", "010"], ["1", "10", "11"]).unwrap()
+    }
+
+    #[test]
+    fn solves_simple_specs() {
+        let spec = spec_start_with_0();
+        let result = AlphaRegex::new().run(&spec).unwrap();
+        assert!(spec.is_satisfied_by(&result.regex), "got {}", result.regex);
+        assert!(result.res_checked >= 1);
+        assert!(result.states_explored >= result.res_checked);
+    }
+
+    #[test]
+    fn rejects_epsilon_examples() {
+        let spec = Spec::from_strs(["", "0"], ["1"]).unwrap();
+        assert_eq!(AlphaRegex::new().run(&spec).unwrap_err(), AlphaRegexError::EpsilonExample);
+    }
+
+    #[test]
+    fn search_budget_is_respected() {
+        let spec = Spec::from_strs(["0110", "1001"], ["0", "1", "00", "11"]).unwrap();
+        let config = AlphaRegexConfig { max_states: 5, ..AlphaRegexConfig::default() };
+        let err = AlphaRegex::with_config(config).run(&spec).unwrap_err();
+        assert!(matches!(err, AlphaRegexError::SearchExhausted { .. }));
+    }
+
+    #[test]
+    fn wildcard_heuristic_changes_the_search() {
+        // "second symbol is 1": with the wild card the tool can answer
+        // X1X*-style expressions quickly.
+        let spec = Spec::from_strs(["01", "11", "010", "110"], ["0", "1", "00", "100"]).unwrap();
+        let plain = AlphaRegex::new().run(&spec).unwrap();
+        let config = AlphaRegexConfig { use_wildcard: true, ..AlphaRegexConfig::default() };
+        let wild = AlphaRegex::with_config(config).run(&spec).unwrap();
+        assert!(spec.is_satisfied_by(&plain.regex));
+        assert!(spec.is_satisfied_by(&wild.regex));
+        assert!(wild.res_checked <= plain.res_checked);
+    }
+
+    #[test]
+    fn cost_ordering_without_heuristics_yields_minimal_results() {
+        // Minimal answer for these examples is 0* (cost 10 under the
+        // AlphaRegex cost function: one literal + star, 5 each); note that
+        // ε cannot be a negative example for AlphaRegex, so 0* is precise.
+        let spec = Spec::from_strs(["0", "00", "000"], ["1", "01", "10", "11"]).unwrap();
+        let result = AlphaRegex::new().run(&spec).unwrap();
+        assert_eq!(result.cost, 10, "got {} with cost {}", result.regex, result.cost);
+        assert_eq!(result.regex.to_string(), "0*");
+    }
+
+    #[test]
+    fn custom_alphabet_is_honoured() {
+        let spec = Spec::from_strs(["ab", "abab"], ["a", "b", "ba"]).unwrap();
+        let config = AlphaRegexConfig {
+            alphabet: Some(Alphabet::new(['a', 'b'])),
+            ..AlphaRegexConfig::default()
+        };
+        let result = AlphaRegex::with_config(config).run(&spec).unwrap();
+        assert!(spec.is_satisfied_by(&result.regex));
+    }
+}

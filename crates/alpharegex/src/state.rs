@@ -1,0 +1,219 @@
+//! Partial regular expressions: expressions with holes.
+
+use std::fmt;
+use std::rc::Rc;
+
+use rei_syntax::{CostFn, Regex};
+
+/// A regular expression that may contain holes (`□`), the search states of
+/// AlphaRegex's top-down enumeration.
+///
+/// # Example
+///
+/// ```
+/// use alpharegex::Partial;
+/// use rei_syntax::CostFn;
+///
+/// let state = Partial::hole();
+/// assert_eq!(state.hole_count(), 1);
+/// assert_eq!(state.cost(&CostFn::UNIFORM), 1);
+/// assert_eq!(state.to_string(), "□");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Partial {
+    /// A hole, to be filled by the search.
+    Hole,
+    /// A single character literal.
+    Literal(char),
+    /// The wild card `X`, shorthand for the union of all alphabet
+    /// characters (the AlphaRegex heuristic).
+    Wildcard,
+    /// Concatenation of two partial expressions.
+    Concat(Rc<Partial>, Rc<Partial>),
+    /// Union of two partial expressions.
+    Union(Rc<Partial>, Rc<Partial>),
+    /// Kleene star of a partial expression.
+    Star(Rc<Partial>),
+    /// Optional (`?`) of a partial expression.
+    Question(Rc<Partial>),
+}
+
+impl Partial {
+    /// The initial search state: a single hole.
+    pub fn hole() -> Self {
+        Partial::Hole
+    }
+
+    /// Number of holes in the state. A state with no holes is *complete*.
+    pub fn hole_count(&self) -> usize {
+        match self {
+            Partial::Hole => 1,
+            Partial::Literal(_) | Partial::Wildcard => 0,
+            Partial::Star(p) | Partial::Question(p) => p.hole_count(),
+            Partial::Concat(l, r) | Partial::Union(l, r) => l.hole_count() + r.hole_count(),
+        }
+    }
+
+    /// Returns `true` if the state contains no holes.
+    pub fn is_complete(&self) -> bool {
+        self.hole_count() == 0
+    }
+
+    /// Cost of the state, counting each hole like a literal. Because every
+    /// refinement replaces a hole by something of at least literal cost,
+    /// this is a lower bound on the cost of every completion, which makes
+    /// the best-first search return cost-minimal complete expressions
+    /// first (up to the pruning heuristics).
+    pub fn cost(&self, costs: &CostFn) -> u64 {
+        match self {
+            Partial::Hole | Partial::Literal(_) | Partial::Wildcard => costs.literal,
+            Partial::Star(p) => costs.star + p.cost(costs),
+            Partial::Question(p) => costs.question + p.cost(costs),
+            Partial::Concat(l, r) => costs.concat + l.cost(costs) + r.cost(costs),
+            Partial::Union(l, r) => costs.union + l.cost(costs) + r.cost(costs),
+        }
+    }
+
+    /// Replaces the leftmost hole with `filler`, returning `None` when the
+    /// state is already complete.
+    pub fn fill_leftmost(&self, filler: &Partial) -> Option<Partial> {
+        match self {
+            Partial::Hole => Some(filler.clone()),
+            Partial::Literal(_) | Partial::Wildcard => None,
+            Partial::Star(p) => p.fill_leftmost(filler).map(|q| Partial::Star(Rc::new(q))),
+            Partial::Question(p) => {
+                p.fill_leftmost(filler).map(|q| Partial::Question(Rc::new(q)))
+            }
+            Partial::Concat(l, r) => match l.fill_leftmost(filler) {
+                Some(new_l) => Some(Partial::Concat(Rc::new(new_l), Rc::clone(r))),
+                None => r
+                    .fill_leftmost(filler)
+                    .map(|new_r| Partial::Concat(Rc::clone(l), Rc::new(new_r))),
+            },
+            Partial::Union(l, r) => match l.fill_leftmost(filler) {
+                Some(new_l) => Some(Partial::Union(Rc::new(new_l), Rc::clone(r))),
+                None => r
+                    .fill_leftmost(filler)
+                    .map(|new_r| Partial::Union(Rc::clone(l), Rc::new(new_r))),
+            },
+        }
+    }
+
+    /// Converts the state to a concrete regular expression, substituting
+    /// `hole_as` for every hole and expanding the wild card to the union of
+    /// `alphabet`.
+    pub fn to_regex_with(&self, hole_as: &Regex, alphabet: &[char]) -> Regex {
+        match self {
+            Partial::Hole => hole_as.clone(),
+            Partial::Literal(a) => Regex::literal(*a),
+            Partial::Wildcard => Regex::any_of(alphabet.iter().copied()),
+            Partial::Star(p) => p.to_regex_with(hole_as, alphabet).star(),
+            Partial::Question(p) => p.to_regex_with(hole_as, alphabet).question(),
+            Partial::Concat(l, r) => Regex::concat(
+                l.to_regex_with(hole_as, alphabet),
+                r.to_regex_with(hole_as, alphabet),
+            ),
+            Partial::Union(l, r) => Regex::union(
+                l.to_regex_with(hole_as, alphabet),
+                r.to_regex_with(hole_as, alphabet),
+            ),
+        }
+    }
+
+    /// Converts a complete state to a regular expression.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state still contains holes.
+    pub fn to_regex(&self, alphabet: &[char]) -> Regex {
+        assert!(self.is_complete(), "cannot convert a state with holes to a regex");
+        self.to_regex_with(&Regex::Empty, alphabet)
+    }
+
+    /// The over-approximation used for pruning: every hole replaced by
+    /// `Σ*`.
+    pub fn over_approximation(&self, alphabet: &[char]) -> Regex {
+        self.to_regex_with(&Regex::any_of(alphabet.iter().copied()).star(), alphabet)
+    }
+
+    /// The under-approximation used for pruning: every hole replaced by
+    /// `∅`.
+    pub fn under_approximation(&self, alphabet: &[char]) -> Regex {
+        self.to_regex_with(&Regex::Empty, alphabet)
+    }
+}
+
+impl fmt::Display for Partial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Partial::Hole => f.write_str("□"),
+            Partial::Literal(a) => write!(f, "{a}"),
+            Partial::Wildcard => f.write_str("X"),
+            Partial::Star(p) => write!(f, "({p})*"),
+            Partial::Question(p) => write!(f, "({p})?"),
+            Partial::Concat(l, r) => write!(f, "({l})({r})"),
+            Partial::Union(l, r) => write!(f, "({l}+{r})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn binary() -> Vec<char> {
+        vec!['0', '1']
+    }
+
+    #[test]
+    fn hole_counting() {
+        let s = Partial::Concat(Rc::new(Partial::Hole), Rc::new(Partial::Star(Rc::new(Partial::Hole))));
+        assert_eq!(s.hole_count(), 2);
+        assert!(!s.is_complete());
+        assert!(Partial::Literal('0').is_complete());
+    }
+
+    #[test]
+    fn fill_leftmost_replaces_one_hole_at_a_time() {
+        let s = Partial::Concat(Rc::new(Partial::Hole), Rc::new(Partial::Hole));
+        let s1 = s.fill_leftmost(&Partial::Literal('0')).unwrap();
+        assert_eq!(s1.hole_count(), 1);
+        let s2 = s1.fill_leftmost(&Partial::Literal('1')).unwrap();
+        assert!(s2.is_complete());
+        assert_eq!(s2.to_regex(&binary()).to_string(), "01");
+        assert!(s2.fill_leftmost(&Partial::Hole).is_none());
+    }
+
+    #[test]
+    fn approximations() {
+        // □ 1 : over-approximation (0+1)*1 accepts "01"; under-approximation ∅·1 = ∅.
+        let s = Partial::Concat(Rc::new(Partial::Hole), Rc::new(Partial::Literal('1')));
+        let over = s.over_approximation(&binary());
+        let under = s.under_approximation(&binary());
+        assert!(over.accepts("01".chars()));
+        assert!(!under.accepts("01".chars()));
+        assert!(under.is_empty_language());
+    }
+
+    #[test]
+    fn wildcard_expands_to_alphabet_union() {
+        let s = Partial::Star(Rc::new(Partial::Wildcard));
+        let r = s.to_regex(&binary());
+        assert_eq!(r.to_string(), "(0+1)*");
+        assert!(r.accepts("0110".chars()));
+    }
+
+    #[test]
+    fn cost_counts_holes_as_literals() {
+        let costs = CostFn::UNIFORM;
+        let s = Partial::Union(Rc::new(Partial::Hole), Rc::new(Partial::Literal('1')));
+        assert_eq!(s.cost(&costs), 3);
+        assert_eq!(Partial::hole().cost(&costs), 1);
+    }
+
+    #[test]
+    fn display_marks_holes() {
+        let s = Partial::Star(Rc::new(Partial::Hole));
+        assert_eq!(s.to_string(), "(□)*");
+    }
+}

@@ -1,0 +1,94 @@
+//! Ablations of the design choices called out in `DESIGN.md` §5:
+//! guide-table staging and the choice of uniqueness structure, measured on
+//! a whole synthesis run rather than a single kernel (see `micro_ops` for
+//! the per-kernel numbers).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bench::{error_table_spec, example_3_6_spec};
+use gpu_sim::hashset::{LockFreeU64Set, ShardedSet};
+use rei_core::Synthesizer;
+use rei_lang::{csops, Cs, GuideTable, InfixClosure};
+use rei_syntax::{parse, CostFn};
+
+/// Staged guide table vs. on-the-fly split enumeration, amortised over the
+/// number of concatenations a real level performs.
+fn guide_table_staging(c: &mut Criterion) {
+    let spec = error_table_spec();
+    let ic = InfixClosure::of_spec(&spec);
+    let gt = GuideTable::build(&ic);
+    let operands: Vec<Cs> = ["0", "1", "0?1", "(0+1)(0+1)", "1(0+1)*", "(0+11)*1"]
+        .iter()
+        .map(|e| ic.cs_of_regex(&parse(e).unwrap()))
+        .collect();
+    let mut group = c.benchmark_group("ablation/guide_table");
+    group.bench_function("staged_36_concats", |b| {
+        let mut dst = Cs::zero(ic.width());
+        b.iter(|| {
+            for l in &operands {
+                for r in &operands {
+                    csops::concat_into(dst.blocks_mut(), l.blocks(), r.blocks(), &gt);
+                }
+            }
+        })
+    });
+    group.bench_function("unstaged_36_concats", |b| {
+        let mut dst = Cs::zero(ic.width());
+        b.iter(|| {
+            for l in &operands {
+                for r in &operands {
+                    csops::concat_into_unstaged(dst.blocks_mut(), l.blocks(), r.blocks(), &ic);
+                }
+            }
+        })
+    });
+    // Include the one-off staging cost itself for context.
+    group.bench_function("staging_cost", |b| b.iter(|| GuideTable::build(&ic)));
+    group.finish();
+}
+
+/// Lock-free open addressing vs. sharded exact set, the two uniqueness
+/// structures the engines can use.
+fn uniqueness_structures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/uniqueness");
+    let keys: Vec<u64> = (0..20_000u64).map(|k| k.wrapping_mul(0x9E3779B97F4A7C15)).collect();
+    group.bench_function("lockfree_u64", |b| {
+        b.iter(|| {
+            let set = LockFreeU64Set::with_capacity(keys.len() * 2);
+            for &k in &keys {
+                std::hint::black_box(set.insert(k));
+            }
+        })
+    });
+    group.bench_function("sharded_exact", |b| {
+        b.iter(|| {
+            let set = ShardedSet::new(64);
+            for &k in &keys {
+                std::hint::black_box(set.insert(&[k]));
+            }
+        })
+    });
+    group.finish();
+}
+
+/// Memory-budget ablation: the same synthesis with a cache budget large
+/// enough to never overflow versus one that forces OnTheFly mode.
+fn memory_budget(c: &mut Criterion) {
+    let spec = example_3_6_spec();
+    let mut group = c.benchmark_group("ablation/memory_budget");
+    group.sample_size(10);
+    for (label, bytes) in [("roomy_64MiB", 64 * 1024 * 1024), ("tight_64KiB", 64 * 1024)] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &bytes, |b, &bytes| {
+            let synth = Synthesizer::new(CostFn::UNIFORM).with_memory_budget(bytes);
+            b.iter(|| {
+                // A tight budget may legitimately end in OutOfMemory; the
+                // ablation measures the time to either outcome.
+                let _ = synth.run(std::hint::black_box(&spec));
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, guide_table_staging, uniqueness_structures, memory_budget);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! The allowed-error table of Section 5.2: synthesis cost as a function of
+//! the allowed error, on the paper's own specification.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bench::error_table_spec;
+use rei_core::Synthesizer;
+use rei_syntax::CostFn;
+
+fn allowed_error_sweep(c: &mut Criterion) {
+    let spec = error_table_spec();
+    let mut group = c.benchmark_group("error_table");
+    group.sample_size(10);
+    // The exact end of the sweep (0-10 %) needs millions to billions of
+    // candidates and is exercised by `reproduce error --full` instead.
+    for percent in [15u32, 20, 25, 30, 40, 50] {
+        group.bench_with_input(BenchmarkId::from_parameter(percent), &percent, |b, &percent| {
+            let synth =
+                Synthesizer::new(CostFn::UNIFORM).with_allowed_error(percent as f64 / 100.0);
+            b.iter(|| synth.run(std::hint::black_box(&spec)).expect("relaxed spec solves"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, allowed_error_sweep);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Figure 1: sensitivity of synthesis time to the cost function.
+//!
+//! The paper sweeps 3325 random benchmarks over 12 cost functions on an
+//! A100; this Criterion target measures the same sweep shape on a fixed,
+//! seeded quick-scale pool (see `rei_bench::harness::run_figure1` and the
+//! `reproduce figure1 --full` binary for the paper-scale run).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bench::intro_spec;
+use rei_bench::costs::PAPER_COST_FUNCTIONS;
+use rei_bench::harness::{run_figure1, HarnessConfig};
+use rei_core::Synthesizer;
+
+/// One synthesis of the intro example per cost function: the per-cost-curve
+/// of Figure 1 in miniature.
+fn cost_function_sensitivity(c: &mut Criterion) {
+    let spec = intro_spec();
+    let mut group = c.benchmark_group("figure1/cost_functions");
+    group.sample_size(10);
+    for named in PAPER_COST_FUNCTIONS {
+        group.bench_with_input(BenchmarkId::from_parameter(named.label), &named, |b, named| {
+            let synth = Synthesizer::new(named.costs);
+            b.iter(|| synth.run(std::hint::black_box(&spec)).expect("intro example solves"));
+        });
+    }
+    group.finish();
+}
+
+/// The full quick-scale sweep (pool × 12 cost functions), as one sample.
+fn quick_sweep(c: &mut Criterion) {
+    let config = HarnessConfig::quick();
+    let mut group = c.benchmark_group("figure1/sweep");
+    group.sample_size(10);
+    group.bench_function("quick_pool_x12", |b| {
+        b.iter(|| run_figure1(std::hint::black_box(&config)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, cost_function_sensitivity, quick_sweep);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Micro-benchmarks of the substrate operations the search is built from:
+//! infix-closure construction, guide-table staging, the semiring kernels on
+//! characteristic sequences and the uniqueness set.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use bench::{error_table_spec, example_3_6_spec};
+use gpu_sim::hashset::LockFreeU64Set;
+use gpu_sim::Device;
+use rei_lang::{csops, Cs, GuideTable, InfixClosure};
+use rei_syntax::parse;
+
+fn substrate_construction(c: &mut Criterion) {
+    let spec = error_table_spec();
+    let mut group = c.benchmark_group("substrate");
+    group.bench_function("infix_closure_build", |b| {
+        b.iter(|| InfixClosure::of_spec(std::hint::black_box(&spec)))
+    });
+    let ic = InfixClosure::of_spec(&spec);
+    group.bench_function("guide_table_build", |b| {
+        b.iter(|| GuideTable::build(std::hint::black_box(&ic)))
+    });
+    group.finish();
+}
+
+fn cs_kernels(c: &mut Criterion) {
+    let spec = example_3_6_spec();
+    let ic = InfixClosure::of_spec(&spec);
+    let gt = GuideTable::build(&ic);
+    let a = ic.cs_of_regex(&parse("(0?1)*").unwrap());
+    let b_cs = ic.cs_of_regex(&parse("1(0+1)?").unwrap());
+    let eps = ic.eps_index().unwrap();
+    let width = ic.width();
+
+    let mut group = c.benchmark_group("cs_kernels");
+    group.bench_function("union", |b| {
+        let mut dst = Cs::zero(width);
+        b.iter(|| csops::or_into(dst.blocks_mut(), a.blocks(), b_cs.blocks()))
+    });
+    group.bench_function("concat_staged", |b| {
+        let mut dst = Cs::zero(width);
+        b.iter(|| csops::concat_into(dst.blocks_mut(), a.blocks(), b_cs.blocks(), &gt))
+    });
+    group.bench_function("concat_unstaged", |b| {
+        let mut dst = Cs::zero(width);
+        b.iter(|| csops::concat_into_unstaged(dst.blocks_mut(), a.blocks(), b_cs.blocks(), &ic))
+    });
+    group.bench_function("star", |b| {
+        let mut dst = Cs::zero(width);
+        let mut scratch = vec![0u64; width.blocks()];
+        b.iter(|| csops::star_into(dst.blocks_mut(), a.blocks(), &gt, eps, &mut scratch))
+    });
+    group.finish();
+}
+
+fn uniqueness_set(c: &mut Criterion) {
+    let device = Device::sequential();
+    let mut group = c.benchmark_group("uniqueness");
+    group.bench_function("lockfree_insert_10k", |b| {
+        b.iter_batched(
+            || LockFreeU64Set::with_capacity(32_768),
+            |set| {
+                for key in 0..10_000u64 {
+                    std::hint::black_box(set.insert(key.wrapping_mul(0x9E3779B97F4A7C15)));
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("sharded_insert_10k", |b| {
+        b.iter_batched(
+            || gpu_sim::hashset::ShardedSet::new(64),
+            |set| {
+                for key in 0..10_000u64 {
+                    std::hint::black_box(set.insert(&[key, key ^ 0xABCD]));
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+    let _ = device;
+}
+
+criterion_group!(benches, substrate_construction, cs_kernels, uniqueness_set);
+criterion_main!(benches);

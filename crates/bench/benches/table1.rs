@@ -1,0 +1,42 @@
+//! Table 1: sequential (CPU) engine versus data-parallel (simulated GPU)
+//! engine on the same specification, plus a thread-scaling ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bench::{example_3_6_spec, intro_spec};
+use rei_core::{Engine, Synthesizer};
+use rei_syntax::CostFn;
+
+fn engines_on_fixed_specs(c: &mut Criterion) {
+    let specs = [("intro", intro_spec()), ("example_3_6", example_3_6_spec())];
+    let mut group = c.benchmark_group("table1/engines");
+    group.sample_size(10);
+    for (name, spec) in &specs {
+        group.bench_with_input(BenchmarkId::new("cpu_sequential", name), spec, |b, spec| {
+            let synth = Synthesizer::new(CostFn::UNIFORM);
+            b.iter(|| synth.run(std::hint::black_box(spec)).expect("solves"));
+        });
+        group.bench_with_input(BenchmarkId::new("gpu_sim_parallel", name), spec, |b, spec| {
+            let synth = Synthesizer::new(CostFn::UNIFORM).with_engine(Engine::parallel());
+            b.iter(|| synth.run(std::hint::black_box(spec)).expect("solves"));
+        });
+    }
+    group.finish();
+}
+
+fn thread_scaling(c: &mut Criterion) {
+    let spec = intro_spec();
+    let mut group = c.benchmark_group("table1/thread_scaling");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &threads| {
+            let synth = Synthesizer::new(CostFn::UNIFORM)
+                .with_engine(Engine::parallel_with_threads(threads));
+            b.iter(|| synth.run(std::hint::black_box(&spec)).expect("solves"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, engines_on_fixed_specs, thread_scaling);
+criterion_main!(benches);

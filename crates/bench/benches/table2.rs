@@ -1,0 +1,32 @@
+//! Table 2: Paresy versus the AlphaRegex baseline on the task suite.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use alpharegex::{AlphaRegex, AlphaRegexConfig};
+use rei_bench::suite::easy_tasks;
+use rei_core::Synthesizer;
+use rei_syntax::CostFn;
+
+fn paresy_vs_alpharegex(c: &mut Criterion) {
+    // The easier half of the suite keeps a full Criterion run in seconds;
+    // `reproduce table2 --full` covers all 25 tasks.
+    let tasks = easy_tasks(8);
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+    for task in &tasks {
+        let spec = task.spec();
+        group.bench_with_input(BenchmarkId::new("paresy", task.name()), &spec, |b, spec| {
+            let synth = Synthesizer::new(CostFn::ALPHAREGEX);
+            b.iter(|| synth.run(std::hint::black_box(spec)).expect("suite task solves"));
+        });
+        group.bench_with_input(BenchmarkId::new("alpharegex", task.name()), &spec, |b, spec| {
+            let config = AlphaRegexConfig { use_wildcard: task.wildcard, ..Default::default() };
+            let alpha = AlphaRegex::with_config(config);
+            b.iter(|| alpha.run(std::hint::black_box(spec)).expect("suite task solves"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, paresy_vs_alpharegex);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Shared fixtures for the Criterion benchmark suite.
+//!
+//! Each bench target in `benches/` regenerates one table or figure of the
+//! paper (see `DESIGN.md` for the experiment index); this library only
+//! provides the specifications they operate on so that all targets measure
+//! the same inputs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rei_lang::Spec;
+
+/// The introductory example of the paper: learn `10(0+1)*`.
+pub fn intro_spec() -> Spec {
+    Spec::from_strs(
+        ["10", "101", "100", "1010", "1011", "1000", "1001"],
+        ["", "0", "1", "00", "11", "010"],
+    )
+    .expect("intro example sets are disjoint")
+}
+
+/// Example 3.6 of the paper: the specification whose minimal uniform-cost
+/// solution is `(0?1)*1`.
+pub fn example_3_6_spec() -> Spec {
+    Spec::from_strs(["1", "011", "1011", "11011"], ["", "10", "101", "0011"])
+        .expect("example 3.6 sets are disjoint")
+}
+
+/// The Section 5.2 specification used for the allowed-error table.
+pub fn error_table_spec() -> Spec {
+    rei_bench::harness::paper_error_spec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_have_the_published_sizes() {
+        assert_eq!(intro_spec().len(), 13);
+        assert_eq!(example_3_6_spec().len(), 8);
+        assert_eq!(error_table_spec().len(), 22);
+    }
+}

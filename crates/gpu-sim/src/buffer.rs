@@ -1,0 +1,134 @@
+//! Device buffers: flat, accounted memory allocations.
+
+use crate::Device;
+
+/// A contiguous allocation in simulated device memory.
+///
+/// The synthesiser allocates its language cache and temporary matrices as
+/// device buffers so that the device can account for memory usage the same
+/// way the paper's implementation restricts itself to the 25 GB available
+/// on the Colab CPU: when the configured budget is exceeded the engine
+/// switches to OnTheFly mode and eventually reports out-of-memory.
+///
+/// # Example
+///
+/// ```
+/// use gpu_sim::{Device, DeviceBuffer};
+///
+/// let device = Device::with_threads(2);
+/// let mut buf: DeviceBuffer<u64> = DeviceBuffer::zeroed(&device, 1024);
+/// buf.as_mut_slice()[0] = 42;
+/// assert_eq!(buf.len(), 1024);
+/// assert_eq!(device.stats().bytes_allocated, 8 * 1024);
+/// drop(buf);
+/// assert_eq!(device.stats().bytes_allocated, 0);
+/// ```
+#[derive(Debug)]
+pub struct DeviceBuffer<T> {
+    device: Device,
+    data: Vec<T>,
+}
+
+impl<T: Clone + Default> DeviceBuffer<T> {
+    /// Allocates a buffer of `len` default-initialised elements.
+    pub fn zeroed(device: &Device, len: usize) -> Self {
+        DeviceBuffer::from_vec(device, vec![T::default(); len])
+    }
+}
+
+impl<T> DeviceBuffer<T> {
+    /// Moves a host vector into device memory.
+    pub fn from_vec(device: &Device, data: Vec<T>) -> Self {
+        device.note_alloc((data.capacity() * std::mem::size_of::<T>()) as u64);
+        DeviceBuffer { device: device.clone(), data }
+    }
+
+    /// Copies a host slice into device memory.
+    pub fn from_host(device: &Device, data: &[T]) -> Self
+    where
+        T: Clone,
+    {
+        DeviceBuffer::from_vec(device, data.to_vec())
+    }
+
+    /// Number of elements in the buffer.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` if the buffer holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Size of the allocation in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.data.capacity() * std::mem::size_of::<T>()
+    }
+
+    /// Read-only view of the device data.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable view of the device data.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Copies the device data back to the host.
+    pub fn to_host(&self) -> Vec<T>
+    where
+        T: Clone,
+    {
+        self.data.clone()
+    }
+}
+
+impl<T> Drop for DeviceBuffer<T> {
+    fn drop(&mut self) {
+        self.device
+            .note_free((self.data.capacity() * std::mem::size_of::<T>()) as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocation_is_accounted_and_released() {
+        let device = Device::sequential();
+        {
+            let a: DeviceBuffer<u64> = DeviceBuffer::zeroed(&device, 100);
+            let b = DeviceBuffer::from_host(&device, &[1u8, 2, 3, 4]);
+            assert_eq!(a.size_bytes(), 800);
+            assert!(b.size_bytes() >= 4);
+            assert!(device.stats().bytes_allocated >= 804);
+            assert!(device.stats().peak_bytes >= 804);
+        }
+        assert_eq!(device.stats().bytes_allocated, 0);
+        assert!(device.stats().peak_bytes >= 804);
+    }
+
+    #[test]
+    fn round_trip_host_device() {
+        let device = Device::sequential();
+        let host = vec![3u32, 1, 4, 1, 5];
+        let buf = DeviceBuffer::from_host(&device, &host);
+        assert_eq!(buf.to_host(), host);
+        assert_eq!(buf.len(), 5);
+        assert!(!buf.is_empty());
+    }
+
+    #[test]
+    fn kernels_can_write_buffers() {
+        let device = Device::with_threads(2);
+        let mut buf: DeviceBuffer<u64> = DeviceBuffer::zeroed(&device, 64);
+        device.launch_chunks("fill", buf.as_mut_slice(), 8, |i, chunk| {
+            chunk.fill(i as u64);
+        });
+        assert_eq!(buf.as_slice()[0], 0);
+        assert_eq!(buf.as_slice()[63], 7);
+    }
+}

@@ -1,0 +1,471 @@
+//! WarpCore-style concurrent hash sets for the global uniqueness check.
+//!
+//! The paper removes duplicate characteristic sequences as soon as they are
+//! constructed, using the WarpCore GPU hash set for 32/64-bit keys on the
+//! GPU and `std::unordered_set` on the CPU. This module provides the same
+//! two roles:
+//!
+//! * [`LockFreeU64Set`] — an insert-only, open-addressing, lock-free hash
+//!   set for single 64-bit keys (characteristic sequences that fit in one
+//!   machine word, the common case for the paper's benchmarks, which are
+//!   limited to 64-bit CSs on the GPU).
+//! * [`ShardedSet`] — an exact, sharded (mutex-per-shard) set for
+//!   multi-word keys, playing the role of the CPU hash set.
+//! * [`CsSet`] — a façade that picks the appropriate implementation from
+//!   the row width and exposes the single operation the synthesiser needs:
+//!   `insert(row) -> bool` ("was this row new?").
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+/// Multiplicative hashing constant (Fibonacci hashing, as used by many GPU
+/// hash tables including WarpCore's default probing schemes).
+const GOLDEN_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Mixes a 64-bit value (splitmix64 finaliser).
+#[inline]
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(GOLDEN_GAMMA);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Hashes a multi-word row to a 64-bit value.
+#[inline]
+pub fn hash_row(row: &[u64]) -> u64 {
+    let mut acc = 0xCBF2_9CE4_8422_2325;
+    for &block in row {
+        acc = mix64(acc ^ block);
+    }
+    acc
+}
+
+/// Slot states of the lock-free table.
+const SLOT_EMPTY: u8 = 0;
+const SLOT_WRITING: u8 = 1;
+const SLOT_READY: u8 = 2;
+
+/// An insert-only, lock-free, open-addressing hash set for `u64` keys.
+///
+/// The table has a fixed capacity chosen at construction time. Insertion
+/// uses linear probing with a compare-and-swap claim on the slot state
+/// followed by a release-store of the key, the same publish protocol used
+/// by GPU hash tables such as WarpCore. When the table becomes full,
+/// further insertions are counted in [`LockFreeU64Set::overflowed`] and
+/// reported as unique; the synthesiser sizes the table from its memory
+/// budget so this only happens after the language cache itself is full.
+///
+/// # Example
+///
+/// ```
+/// use gpu_sim::hashset::LockFreeU64Set;
+///
+/// let set = LockFreeU64Set::with_capacity(100);
+/// assert!(set.insert(42));
+/// assert!(!set.insert(42));
+/// assert_eq!(set.len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct LockFreeU64Set {
+    states: Vec<AtomicU8>,
+    keys: Vec<AtomicU64>,
+    mask: usize,
+    len: AtomicUsize,
+    overflowed: AtomicUsize,
+}
+
+impl LockFreeU64Set {
+    /// Creates a set able to hold at least `capacity` keys at a load factor
+    /// of at most 50 %.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let slots = (capacity.max(1) * 2).next_power_of_two();
+        LockFreeU64Set {
+            states: (0..slots).map(|_| AtomicU8::new(SLOT_EMPTY)).collect(),
+            keys: (0..slots).map(|_| AtomicU64::new(0)).collect(),
+            mask: slots - 1,
+            len: AtomicUsize::new(0),
+            overflowed: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of slots in the table.
+    pub fn capacity(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Number of keys stored.
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Relaxed)
+    }
+
+    /// Returns `true` if no key has been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of insertions that could not be recorded because the table
+    /// was full (they were reported as unique).
+    pub fn overflowed(&self) -> usize {
+        self.overflowed.load(Ordering::Relaxed)
+    }
+
+    /// Current load factor (stored keys over slots).
+    pub fn load_factor(&self) -> f64 {
+        self.len() as f64 / self.capacity() as f64
+    }
+
+    /// Doubles the table size, re-inserting all stored keys. Requires
+    /// exclusive access; concurrent inserters must be quiescent, which is
+    /// the case for the synthesiser's per-level uniqueness pass.
+    pub fn grow(&mut self) {
+        let bigger = LockFreeU64Set::with_capacity(self.capacity());
+        for (state, key) in self.states.iter().zip(&self.keys) {
+            if state.load(Ordering::Acquire) == SLOT_READY {
+                bigger.insert(key.load(Ordering::Acquire));
+            }
+        }
+        *self = bigger;
+    }
+
+    /// Inserts `key`, returning `true` if it was not present before.
+    pub fn insert(&self, key: u64) -> bool {
+        let mut idx = (mix64(key) as usize) & self.mask;
+        for _ in 0..self.states.len() {
+            loop {
+                match self.states[idx].load(Ordering::Acquire) {
+                    SLOT_READY => {
+                        if self.keys[idx].load(Ordering::Acquire) == key {
+                            return false;
+                        }
+                        break; // occupied by a different key: probe onwards
+                    }
+                    SLOT_EMPTY => {
+                        if self.states[idx]
+                            .compare_exchange(
+                                SLOT_EMPTY,
+                                SLOT_WRITING,
+                                Ordering::AcqRel,
+                                Ordering::Acquire,
+                            )
+                            .is_ok()
+                        {
+                            self.keys[idx].store(key, Ordering::Release);
+                            self.states[idx].store(SLOT_READY, Ordering::Release);
+                            self.len.fetch_add(1, Ordering::Relaxed);
+                            return true;
+                        }
+                        // Lost the race: retry the same slot.
+                    }
+                    _ => {
+                        // A writer is publishing this slot; spin briefly.
+                        std::hint::spin_loop();
+                    }
+                }
+            }
+            idx = (idx + 1) & self.mask;
+        }
+        self.overflowed.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Returns `true` if `key` has been inserted.
+    pub fn contains(&self, key: u64) -> bool {
+        let mut idx = (mix64(key) as usize) & self.mask;
+        for _ in 0..self.states.len() {
+            match self.states[idx].load(Ordering::Acquire) {
+                SLOT_EMPTY => return false,
+                SLOT_READY => {
+                    if self.keys[idx].load(Ordering::Acquire) == key {
+                        return true;
+                    }
+                }
+                _ => {
+                    // Writer in flight; it can only be publishing a key that
+                    // is not yet visible — treat as occupied and probe on.
+                }
+            }
+            idx = (idx + 1) & self.mask;
+        }
+        false
+    }
+}
+
+/// An exact concurrent set for multi-word keys, sharded over mutexes.
+///
+/// This plays the role of the CPU-side `std::unordered_set`: correctness
+/// over raw speed. The shard count bounds contention when the parallel
+/// engine performs its uniqueness pass.
+#[derive(Debug)]
+pub struct ShardedSet {
+    shards: Vec<Mutex<HashSet<Box<[u64]>>>>,
+    len: AtomicUsize,
+}
+
+impl ShardedSet {
+    /// Creates a set with the given number of shards (rounded up to a power
+    /// of two).
+    pub fn new(shards: usize) -> Self {
+        let shards = shards.max(1).next_power_of_two();
+        ShardedSet {
+            shards: (0..shards).map(|_| Mutex::new(HashSet::new())).collect(),
+            len: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of keys stored.
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Relaxed)
+    }
+
+    /// Returns `true` if no key has been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Inserts `row`, returning `true` if it was not present before.
+    pub fn insert(&self, row: &[u64]) -> bool {
+        let shard = (hash_row(row) as usize) & (self.shards.len() - 1);
+        let mut guard = self.shards[shard].lock();
+        let fresh = guard.insert(row.into());
+        if fresh {
+            self.len.fetch_add(1, Ordering::Relaxed);
+        }
+        fresh
+    }
+
+    /// Returns `true` if `row` has been inserted.
+    pub fn contains(&self, row: &[u64]) -> bool {
+        let shard = (hash_row(row) as usize) & (self.shards.len() - 1);
+        self.shards[shard].lock().contains(row)
+    }
+}
+
+/// The uniqueness filter used by the synthesiser: dispatches to the
+/// lock-free single-word table when rows fit in one `u64` (the paper's GPU
+/// restriction) and to the exact sharded table otherwise.
+#[derive(Debug)]
+pub enum CsSet {
+    /// Rows are a single `u64`.
+    Narrow(LockFreeU64Set),
+    /// Rows span multiple `u64` blocks.
+    Wide(ShardedSet),
+}
+
+impl CsSet {
+    /// Creates a uniqueness filter for rows of `blocks` 64-bit words, able
+    /// to hold about `capacity` rows.
+    pub fn new(blocks: usize, capacity: usize) -> Self {
+        if blocks <= 1 {
+            CsSet::Narrow(LockFreeU64Set::with_capacity(capacity))
+        } else {
+            CsSet::Wide(ShardedSet::new(64))
+        }
+    }
+
+    /// Grows the underlying table if it is nearing its load-factor limit.
+    /// Call between kernel launches (i.e. without concurrent inserters);
+    /// the WarpCore-style table does not grow on its own.
+    pub fn maybe_grow(&mut self) {
+        if let CsSet::Narrow(set) = self {
+            if set.load_factor() >= 0.5 {
+                set.grow();
+            }
+        }
+    }
+
+    /// Ensures the table can absorb `additional` further keys without
+    /// exceeding a 50 % load factor. Like [`CsSet::maybe_grow`], this must
+    /// be called between kernel launches.
+    pub fn reserve(&mut self, additional: usize) {
+        if let CsSet::Narrow(set) = self {
+            while (set.len() + additional) * 2 > set.capacity() {
+                set.grow();
+            }
+        }
+    }
+
+    /// Inserts a row, returning `true` if it was new.
+    ///
+    /// Insertions are *not* counted in any device statistics here — the
+    /// engines record them in bulk via [`Device::record_hash_insertions`]
+    /// so that the hot path of a kernel performs no shared-counter
+    /// traffic.
+    pub fn insert(&self, row: &[u64]) -> bool {
+        match self {
+            CsSet::Narrow(set) => set.insert(row[0]),
+            CsSet::Wide(set) => set.insert(row),
+        }
+    }
+
+    /// Returns `true` if the row has been inserted before.
+    pub fn contains(&self, row: &[u64]) -> bool {
+        match self {
+            CsSet::Narrow(set) => set.contains(row[0]),
+            CsSet::Wide(set) => set.contains(row),
+        }
+    }
+
+    /// Number of distinct rows recorded.
+    pub fn len(&self) -> usize {
+        match self {
+            CsSet::Narrow(set) => set.len(),
+            CsSet::Wide(set) => set.len(),
+        }
+    }
+
+    /// Returns `true` if no row has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Device;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn lock_free_set_basic_insert_contains() {
+        let set = LockFreeU64Set::with_capacity(16);
+        assert!(set.is_empty());
+        assert!(set.insert(7));
+        assert!(set.insert(0));
+        assert!(set.insert(u64::MAX));
+        assert!(!set.insert(7));
+        assert!(set.contains(0));
+        assert!(set.contains(u64::MAX));
+        assert!(!set.contains(1));
+        assert_eq!(set.len(), 3);
+        assert_eq!(set.overflowed(), 0);
+    }
+
+    #[test]
+    fn lock_free_set_concurrent_inserts_count_each_key_once() {
+        let set = LockFreeU64Set::with_capacity(4096);
+        let unique = AtomicUsize::new(0);
+        crossbeam::scope(|scope| {
+            for t in 0..8 {
+                let set = &set;
+                let unique = &unique;
+                scope.spawn(move |_| {
+                    // Each key 0..1024 is inserted by every thread; exactly
+                    // one insertion per key may report "new".
+                    for key in 0..1024u64 {
+                        let rotated = key.rotate_left(t * 7);
+                        if set.insert(rotated) {
+                            unique.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        })
+        .unwrap();
+        // 8 threads insert rotations; count distinct rotated keys.
+        let mut expected = std::collections::HashSet::new();
+        for t in 0..8u32 {
+            for key in 0..1024u64 {
+                expected.insert(key.rotate_left(t * 7));
+            }
+        }
+        assert_eq!(unique.load(Ordering::Relaxed), expected.len());
+        assert_eq!(set.len(), expected.len());
+    }
+
+    #[test]
+    fn lock_free_set_grows_preserving_membership() {
+        let mut set = LockFreeU64Set::with_capacity(8);
+        for key in 0..200u64 {
+            if set.load_factor() >= 0.5 {
+                set.grow();
+            }
+            assert!(set.insert(key * 17));
+        }
+        assert_eq!(set.len(), 200);
+        assert_eq!(set.overflowed(), 0);
+        for key in 0..200u64 {
+            assert!(set.contains(key * 17));
+            assert!(!set.insert(key * 17));
+        }
+    }
+
+    #[test]
+    fn cs_set_maybe_grow_keeps_narrow_sets_exact() {
+        let mut set = CsSet::new(1, 4);
+        for key in 0..500u64 {
+            set.maybe_grow();
+            assert!(set.insert(&[key]), "key {key} reported duplicate");
+        }
+        assert_eq!(set.len(), 500);
+    }
+
+    #[test]
+    fn lock_free_set_overflow_is_reported_not_fatal() {
+        let set = LockFreeU64Set::with_capacity(1);
+        // Capacity 1 rounds up to 2 slots; the third distinct key overflows.
+        assert!(set.insert(1));
+        assert!(set.insert(2));
+        assert!(set.insert(3));
+        assert!(set.overflowed() >= 1);
+    }
+
+    #[test]
+    fn sharded_set_exact_on_multiword_rows() {
+        let set = ShardedSet::new(8);
+        assert!(set.insert(&[1, 2, 3]));
+        assert!(!set.insert(&[1, 2, 3]));
+        assert!(set.insert(&[1, 2, 4]));
+        assert!(set.contains(&[1, 2, 4]));
+        assert!(!set.contains(&[9, 9, 9]));
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn cs_set_dispatches_on_width() {
+        let device = Device::sequential();
+        let narrow = CsSet::new(1, 10);
+        assert!(matches!(narrow, CsSet::Narrow(_)));
+        assert!(narrow.insert(&[5]));
+        assert!(!narrow.insert(&[5]));
+        assert!(narrow.contains(&[5]));
+
+        let wide = CsSet::new(4, 10);
+        assert!(matches!(wide, CsSet::Wide(_)));
+        assert!(wide.insert(&[1, 2, 3, 4]));
+        assert!(!wide.insert(&[1, 2, 3, 4]));
+        device.record_hash_insertions(4);
+        assert_eq!(device.stats().hash_insertions, 4);
+    }
+
+    #[test]
+    fn hash_row_distinguishes_permutations() {
+        assert_ne!(hash_row(&[1, 2]), hash_row(&[2, 1]));
+        assert_ne!(hash_row(&[0]), hash_row(&[0, 0]));
+        assert_eq!(hash_row(&[7, 7]), hash_row(&[7, 7]));
+    }
+
+    #[test]
+    fn concurrent_sharded_inserts() {
+        let set = ShardedSet::new(4);
+        let unique = AtomicUsize::new(0);
+        crossbeam::scope(|scope| {
+            for _ in 0..4 {
+                let set = &set;
+                let unique = &unique;
+                scope.spawn(move |_| {
+                    for key in 0..512u64 {
+                        if set.insert(&[key, key * 3]) {
+                            unique.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(unique.load(Ordering::Relaxed), 512);
+        assert_eq!(set.len(), 512);
+    }
+}

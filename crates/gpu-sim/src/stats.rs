@@ -1,0 +1,43 @@
+//! Execution statistics of the simulated device.
+
+/// Counters accumulated by a [`crate::Device`] over its lifetime.
+///
+/// The benchmark harness reports these alongside wall-clock times so that
+/// runs can be compared in hardware-independent terms (number of kernel
+/// launches, number of data-parallel items processed, device memory used),
+/// mirroring the `# REs` column of the paper's tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DeviceStats {
+    /// Number of kernel launches issued.
+    pub kernel_launches: u64,
+    /// Total number of data-parallel items executed across all launches.
+    pub items_executed: u64,
+    /// Bytes currently allocated in device buffers.
+    pub bytes_allocated: u64,
+    /// High-water mark of allocated bytes.
+    pub peak_bytes: u64,
+    /// Number of insertions attempted on device hash sets.
+    pub hash_insertions: u64,
+}
+
+impl DeviceStats {
+    /// Returns a zeroed statistics record.
+    pub fn new() -> Self {
+        DeviceStats::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_all_zero() {
+        let s = DeviceStats::new();
+        assert_eq!(s.kernel_launches, 0);
+        assert_eq!(s.items_executed, 0);
+        assert_eq!(s.bytes_allocated, 0);
+        assert_eq!(s.peak_bytes, 0);
+        assert_eq!(s.hash_insertions, 0);
+    }
+}

@@ -1,0 +1,334 @@
+//! Command-line argument parsing (dependency-free).
+
+use std::error::Error;
+use std::fmt;
+use std::time::Duration;
+
+use rei_syntax::CostFn;
+
+/// Which engine the `synth` command should use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineChoice {
+    /// The sequential reference engine.
+    #[default]
+    Sequential,
+    /// The data-parallel engine on the simulated device.
+    Parallel,
+}
+
+/// Options of the `synth` command.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SynthOptions {
+    /// Comma-separated positive examples given on the command line.
+    pub positives: Vec<String>,
+    /// Comma-separated negative examples given on the command line.
+    pub negatives: Vec<String>,
+    /// Path of a `.spec` file to read examples from.
+    pub spec_file: Option<String>,
+    /// The cost homomorphism (default uniform).
+    pub costs: CostFn,
+    /// Engine selection.
+    pub engine: EngineChoice,
+    /// Allowed error fraction (default 0).
+    pub allowed_error: f64,
+    /// Optional cost bound.
+    pub max_cost: Option<u64>,
+    /// Optional wall-clock budget.
+    pub time_budget: Option<Duration>,
+    /// Also run the AlphaRegex baseline and report the comparison.
+    pub compare_baseline: bool,
+}
+
+impl Default for SynthOptions {
+    fn default() -> Self {
+        SynthOptions {
+            positives: Vec::new(),
+            negatives: Vec::new(),
+            spec_file: None,
+            costs: CostFn::UNIFORM,
+            engine: EngineChoice::Sequential,
+            allowed_error: 0.0,
+            max_cost: None,
+            time_budget: None,
+            compare_baseline: false,
+        }
+    }
+}
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Run the synthesiser on a specification.
+    Synth(SynthOptions),
+    /// Run one or all tasks of the bundled AlphaRegex suite.
+    Suite {
+        /// Specific task number (1..=25), or `None` for all easy tasks.
+        task: Option<usize>,
+    },
+    /// Generate a random specification and print it in `.spec` format.
+    Generate {
+        /// Benchmark scheme (1 or 2).
+        scheme: u8,
+        /// Maximal example length.
+        max_len: usize,
+        /// Number of positive examples.
+        positives: usize,
+        /// Number of negative examples.
+        negatives: usize,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Print usage information.
+    Help,
+}
+
+/// An error produced while parsing the command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommandError(pub String);
+
+impl fmt::Display for CommandError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl Error for CommandError {}
+
+/// The usage string printed by `paresy help`.
+pub const USAGE: &str = "\
+paresy — search-based regular expression inference (Paresy, PLDI 2023)
+
+USAGE:
+  paresy synth    [--pos w1,w2,...] [--neg w1,w2,...] [--spec-file FILE]
+                  [--cost a,q,s,c,u] [--engine sequential|parallel]
+                  [--error FRACTION] [--max-cost N] [--timeout SECONDS]
+                  [--compare-baseline]
+  paresy suite    [--task N]
+  paresy generate [--scheme 1|2] [--max-len N] [--positives N] [--negatives N] [--seed N]
+  paresy help
+
+Examples are comma separated; the empty string is written 'ε'.
+";
+
+fn split_words(raw: &str) -> Vec<String> {
+    raw.split(',')
+        .map(|w| if w == "ε" || w == "<eps>" { String::new() } else { w.to_string() })
+        .collect()
+}
+
+fn parse_cost(raw: &str) -> Result<CostFn, CommandError> {
+    let parts: Vec<u64> = raw
+        .split(',')
+        .map(|p| p.trim().parse::<u64>())
+        .collect::<Result<_, _>>()
+        .map_err(|_| CommandError(format!("invalid cost tuple '{raw}'")))?;
+    if parts.len() != 5 || parts.contains(&0) {
+        return Err(CommandError(format!(
+            "cost tuple must have five strictly positive components, got '{raw}'"
+        )));
+    }
+    Ok(CostFn::new(parts[0], parts[1], parts[2], parts[3], parts[4]))
+}
+
+fn next_value<'a, I: Iterator<Item = &'a str>>(
+    flag: &str,
+    iter: &mut I,
+) -> Result<&'a str, CommandError> {
+    iter.next().ok_or_else(|| CommandError(format!("{flag} expects a value")))
+}
+
+/// Parses a full command line (excluding the program name).
+///
+/// # Errors
+///
+/// Returns a [`CommandError`] describing the first malformed argument.
+///
+/// # Example
+///
+/// ```
+/// use paresy_cli::args::{parse_args, Command};
+///
+/// let cmd = parse_args(&["synth", "--pos", "10,101", "--neg", "ε,0"]).unwrap();
+/// assert!(matches!(cmd, Command::Synth(_)));
+/// ```
+pub fn parse_args<S: AsRef<str>>(args: &[S]) -> Result<Command, CommandError> {
+    let mut iter = args.iter().map(AsRef::as_ref);
+    let command = match iter.next() {
+        None | Some("help") | Some("--help") | Some("-h") => return Ok(Command::Help),
+        Some(other) => other,
+    };
+    match command {
+        "synth" => {
+            let mut options = SynthOptions::default();
+            while let Some(flag) = iter.next() {
+                match flag {
+                    "--pos" => options.positives = split_words(next_value(flag, &mut iter)?),
+                    "--neg" => options.negatives = split_words(next_value(flag, &mut iter)?),
+                    "--spec-file" => {
+                        options.spec_file = Some(next_value(flag, &mut iter)?.to_string())
+                    }
+                    "--cost" => options.costs = parse_cost(next_value(flag, &mut iter)?)?,
+                    "--engine" => {
+                        options.engine = match next_value(flag, &mut iter)? {
+                            "sequential" | "cpu" => EngineChoice::Sequential,
+                            "parallel" | "gpu" => EngineChoice::Parallel,
+                            other => {
+                                return Err(CommandError(format!("unknown engine '{other}'")))
+                            }
+                        }
+                    }
+                    "--error" => {
+                        options.allowed_error = next_value(flag, &mut iter)?
+                            .parse()
+                            .map_err(|_| CommandError("invalid --error fraction".into()))?
+                    }
+                    "--max-cost" => {
+                        options.max_cost = Some(
+                            next_value(flag, &mut iter)?
+                                .parse()
+                                .map_err(|_| CommandError("invalid --max-cost".into()))?,
+                        )
+                    }
+                    "--timeout" => {
+                        let seconds: f64 = next_value(flag, &mut iter)?
+                            .parse()
+                            .map_err(|_| CommandError("invalid --timeout".into()))?;
+                        options.time_budget = Some(Duration::from_secs_f64(seconds));
+                    }
+                    "--compare-baseline" => options.compare_baseline = true,
+                    other => return Err(CommandError(format!("unknown flag '{other}'"))),
+                }
+            }
+            if options.spec_file.is_none() && options.positives.is_empty() {
+                return Err(CommandError(
+                    "synth needs --pos/--neg examples or a --spec-file".into(),
+                ));
+            }
+            Ok(Command::Synth(options))
+        }
+        "suite" => {
+            let mut task = None;
+            while let Some(flag) = iter.next() {
+                match flag {
+                    "--task" => {
+                        task = Some(
+                            next_value(flag, &mut iter)?
+                                .parse()
+                                .map_err(|_| CommandError("invalid --task number".into()))?,
+                        )
+                    }
+                    other => return Err(CommandError(format!("unknown flag '{other}'"))),
+                }
+            }
+            Ok(Command::Suite { task })
+        }
+        "generate" => {
+            let (mut scheme, mut max_len, mut positives, mut negatives, mut seed) =
+                (1u8, 5usize, 6usize, 6usize, 0u64);
+            while let Some(flag) = iter.next() {
+                let value = next_value(flag, &mut iter)?;
+                match flag {
+                    "--scheme" => {
+                        scheme = value
+                            .parse()
+                            .map_err(|_| CommandError("invalid --scheme".into()))?
+                    }
+                    "--max-len" => {
+                        max_len = value
+                            .parse()
+                            .map_err(|_| CommandError("invalid --max-len".into()))?
+                    }
+                    "--positives" => {
+                        positives = value
+                            .parse()
+                            .map_err(|_| CommandError("invalid --positives".into()))?
+                    }
+                    "--negatives" => {
+                        negatives = value
+                            .parse()
+                            .map_err(|_| CommandError("invalid --negatives".into()))?
+                    }
+                    "--seed" => {
+                        seed =
+                            value.parse().map_err(|_| CommandError("invalid --seed".into()))?
+                    }
+                    other => return Err(CommandError(format!("unknown flag '{other}'"))),
+                }
+            }
+            if scheme != 1 && scheme != 2 {
+                return Err(CommandError("--scheme must be 1 or 2".into()));
+            }
+            Ok(Command::Generate { scheme, max_len, positives, negatives, seed })
+        }
+        other => Err(CommandError(format!("unknown command '{other}'"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn help_variants() {
+        assert_eq!(parse_args::<&str>(&[]).unwrap(), Command::Help);
+        assert_eq!(parse_args(&["help"]).unwrap(), Command::Help);
+        assert_eq!(parse_args(&["--help"]).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn synth_with_inline_examples() {
+        let cmd = parse_args(&[
+            "synth", "--pos", "10,101", "--neg", "ε,0", "--cost", "1,1,10,1,1", "--engine",
+            "parallel", "--error", "0.1", "--timeout", "2.5",
+        ])
+        .unwrap();
+        match cmd {
+            Command::Synth(options) => {
+                assert_eq!(options.positives, vec!["10", "101"]);
+                assert_eq!(options.negatives, vec!["", "0"]);
+                assert_eq!(options.costs, CostFn::new(1, 1, 10, 1, 1));
+                assert_eq!(options.engine, EngineChoice::Parallel);
+                assert!((options.allowed_error - 0.1).abs() < 1e-9);
+                assert_eq!(options.time_budget, Some(Duration::from_secs_f64(2.5)));
+                assert!(!options.compare_baseline);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn synth_requires_examples_or_a_file() {
+        assert!(parse_args(&["synth"]).is_err());
+        assert!(parse_args(&["synth", "--spec-file", "x.spec"]).is_ok());
+    }
+
+    #[test]
+    fn bad_cost_tuples_are_rejected() {
+        assert!(parse_args(&["synth", "--pos", "1", "--cost", "1,2,3"]).is_err());
+        assert!(parse_args(&["synth", "--pos", "1", "--cost", "1,0,1,1,1"]).is_err());
+        assert!(parse_args(&["synth", "--pos", "1", "--cost", "a,b,c,d,e"]).is_err());
+    }
+
+    #[test]
+    fn suite_and_generate() {
+        assert_eq!(parse_args(&["suite"]).unwrap(), Command::Suite { task: None });
+        assert_eq!(parse_args(&["suite", "--task", "7"]).unwrap(), Command::Suite { task: Some(7) });
+        let generate = parse_args(&[
+            "generate", "--scheme", "2", "--max-len", "6", "--positives", "8", "--negatives",
+            "9", "--seed", "42",
+        ])
+        .unwrap();
+        assert_eq!(
+            generate,
+            Command::Generate { scheme: 2, max_len: 6, positives: 8, negatives: 9, seed: 42 }
+        );
+        assert!(parse_args(&["generate", "--scheme", "3"]).is_err());
+    }
+
+    #[test]
+    fn unknown_commands_and_flags_are_rejected() {
+        assert!(parse_args(&["frobnicate"]).is_err());
+        assert!(parse_args(&["synth", "--pos", "1", "--wat"]).is_err());
+        assert!(parse_args(&["suite", "--task"]).is_err());
+    }
+}

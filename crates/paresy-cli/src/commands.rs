@@ -1,0 +1,214 @@
+//! Execution of the parsed CLI commands; returns the report as a string so
+//! that behaviour is unit-testable without spawning the binary.
+
+use std::fmt::Write as _;
+
+use alpharegex::{AlphaRegex, AlphaRegexConfig};
+use rei_bench::generator::{generate_type1, generate_type2, Type1Params, Type2Params};
+use rei_bench::suite::{alpharegex_suite, easy_tasks};
+use rei_core::{Engine, SynthesisError, Synthesizer};
+use rei_lang::{Alphabet, Spec};
+
+use crate::args::{Command, EngineChoice, SynthOptions, USAGE};
+use crate::specfile::{parse_spec_file, render_spec_file};
+
+/// Runs a parsed command and returns the text to print.
+///
+/// # Errors
+///
+/// Returns a human-readable message when the command cannot be executed
+/// (unreadable spec file, contradictory examples, failed synthesis, …).
+pub fn run_command(command: &Command) -> Result<String, String> {
+    match command {
+        Command::Help => Ok(USAGE.to_string()),
+        Command::Synth(options) => run_synth(options),
+        Command::Suite { task } => run_suite(*task),
+        Command::Generate { scheme, max_len, positives, negatives, seed } => {
+            run_generate(*scheme, *max_len, *positives, *negatives, *seed)
+        }
+    }
+}
+
+fn load_spec(options: &SynthOptions) -> Result<Spec, String> {
+    if let Some(path) = &options.spec_file {
+        let contents =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        return parse_spec_file(&contents).map_err(|e| e.to_string());
+    }
+    Spec::from_strs(
+        options.positives.iter().map(String::as_str),
+        options.negatives.iter().map(String::as_str),
+    )
+    .map_err(|e| e.to_string())
+}
+
+fn describe_error(err: &SynthesisError) -> String {
+    format!("synthesis failed: {err}")
+}
+
+fn run_synth(options: &SynthOptions) -> Result<String, String> {
+    let spec = load_spec(options)?;
+    let engine = match options.engine {
+        EngineChoice::Sequential => Engine::Sequential,
+        EngineChoice::Parallel => Engine::parallel(),
+    };
+    let mut synthesizer = Synthesizer::new(options.costs)
+        .with_engine(engine)
+        .with_allowed_error(options.allowed_error);
+    if let Some(max_cost) = options.max_cost {
+        synthesizer = synthesizer.with_max_cost(max_cost);
+    }
+    if let Some(budget) = options.time_budget {
+        synthesizer = synthesizer.with_time_budget(budget);
+    }
+    let result = synthesizer.run(&spec).map_err(|e| describe_error(&e))?;
+
+    let mut out = String::new();
+    let _ = writeln!(out, "specification : {spec}");
+    let _ = writeln!(out, "cost function : {}", options.costs);
+    let _ = writeln!(out, "regex         : {}", result.regex);
+    let _ = writeln!(out, "cost          : {}", result.cost);
+    let _ = writeln!(out, "candidates    : {}", result.stats.candidates_generated);
+    let _ = writeln!(out, "unique langs  : {}", result.stats.unique_languages);
+    let _ = writeln!(out, "#ic(P∪N)      : {}", result.stats.infix_closure_size);
+    let _ = writeln!(out, "elapsed       : {:.3?}", result.stats.elapsed);
+    if result.stats.used_on_the_fly {
+        let _ = writeln!(out, "note          : memory budget exhausted, OnTheFly mode was used");
+    }
+
+    if options.compare_baseline {
+        match AlphaRegex::with_config(AlphaRegexConfig {
+            costs: options.costs,
+            ..AlphaRegexConfig::default()
+        })
+        .run(&spec)
+        {
+            Ok(alpha) => {
+                let _ = writeln!(
+                    out,
+                    "alpharegex    : {} (cost {}, {} REs checked)",
+                    alpha.regex, alpha.cost, alpha.res_checked
+                );
+            }
+            Err(err) => {
+                let _ = writeln!(out, "alpharegex    : failed ({err})");
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn run_suite(task_number: Option<usize>) -> Result<String, String> {
+    let tasks = match task_number {
+        Some(number) => {
+            let task = alpharegex_suite()
+                .into_iter()
+                .find(|t| t.number == number)
+                .ok_or_else(|| format!("no task number {number} (expected 1..=25)"))?;
+            vec![task]
+        }
+        None => easy_tasks(9),
+    };
+    let mut out = String::new();
+    for task in tasks {
+        let spec = task.spec();
+        let result = Synthesizer::new(rei_syntax::CostFn::UNIFORM)
+            .run(&spec)
+            .map_err(|e| describe_error(&e))?;
+        let _ = writeln!(
+            out,
+            "{}  {:<45} {:<18} cost {:>3}  ({} candidates)",
+            task.name(),
+            task.description,
+            result.regex.to_string(),
+            result.cost,
+            result.stats.candidates_generated
+        );
+    }
+    Ok(out)
+}
+
+fn run_generate(
+    scheme: u8,
+    max_len: usize,
+    positives: usize,
+    negatives: usize,
+    seed: u64,
+) -> Result<String, String> {
+    let alphabet = Alphabet::binary();
+    let spec = match scheme {
+        1 => generate_type1(
+            &Type1Params { alphabet, max_len, positives, negatives },
+            seed,
+        ),
+        2 => generate_type2(
+            &Type2Params { alphabet, max_len, positives, negatives },
+            seed,
+        ),
+        _ => None,
+    }
+    .ok_or_else(|| {
+        format!(
+            "cannot generate {positives}+{negatives} distinct examples of length ≤ {max_len} over {{0,1}}"
+        )
+    })?;
+    Ok(render_spec_file(&spec))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse_args;
+
+    #[test]
+    fn synth_command_end_to_end() {
+        let cmd = parse_args(&["synth", "--pos", "10,101,100", "--neg", "ε,0,1"]).unwrap();
+        let report = run_command(&cmd).unwrap();
+        assert!(report.contains("regex"), "{report}");
+        assert!(report.contains("cost"), "{report}");
+    }
+
+    #[test]
+    fn synth_with_baseline_comparison() {
+        let cmd = parse_args(&[
+            "synth", "--pos", "0,00,000", "--neg", "1,01,10", "--compare-baseline",
+        ])
+        .unwrap();
+        let report = run_command(&cmd).unwrap();
+        assert!(report.contains("alpharegex"), "{report}");
+    }
+
+    #[test]
+    fn suite_command_runs_a_single_task() {
+        let cmd = parse_args(&["suite", "--task", "20"]).unwrap();
+        let report = run_command(&cmd).unwrap();
+        assert!(report.contains("no20"), "{report}");
+        assert!(run_command(&parse_args(&["suite", "--task", "99"]).unwrap()).is_err());
+    }
+
+    #[test]
+    fn generate_round_trips_through_the_spec_parser() {
+        let cmd = parse_args(&[
+            "generate", "--scheme", "2", "--max-len", "4", "--positives", "5", "--negatives",
+            "5", "--seed", "3",
+        ])
+        .unwrap();
+        let rendered = run_command(&cmd).unwrap();
+        let spec = parse_spec_file(&rendered).unwrap();
+        assert_eq!(spec.num_positive(), 5);
+        assert_eq!(spec.num_negative(), 5);
+    }
+
+    #[test]
+    fn missing_spec_file_is_reported() {
+        let cmd = parse_args(&["synth", "--spec-file", "/nonexistent/examples.spec"]).unwrap();
+        let err = run_command(&cmd).unwrap_err();
+        assert!(err.contains("cannot read"), "{err}");
+    }
+
+    #[test]
+    fn help_contains_usage() {
+        let report = run_command(&Command::Help).unwrap();
+        assert!(report.contains("USAGE"));
+    }
+}

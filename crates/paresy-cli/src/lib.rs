@@ -1,0 +1,24 @@
+//! Library backing the `paresy` command-line tool.
+//!
+//! The CLI wraps the synthesiser for interactive use:
+//!
+//! ```text
+//! paresy synth --pos 10,101,100 --neg ,0,1
+//! paresy synth --spec-file examples.spec --cost 1,1,10,1,1 --engine parallel
+//! paresy suite --task 7
+//! paresy generate --scheme 2 --max-len 6 --positives 8 --negatives 8 --seed 7
+//! ```
+//!
+//! Specification files use one example per line: a `+` or `-` sign, a
+//! space, and the example string (the empty string is written as `ε` or
+//! left blank). Lines starting with `#` are comments.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+pub mod specfile;
+
+pub use args::{Command, CommandError, EngineChoice, SynthOptions};
+pub use specfile::{parse_spec_file, render_spec_file, SpecFileError};

@@ -1,0 +1,28 @@
+//! The `paresy` command-line tool.
+
+use std::process::ExitCode;
+
+use paresy_cli::args::parse_args;
+use paresy_cli::commands::run_command;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = match parse_args(&args) {
+        Ok(command) => command,
+        Err(err) => {
+            eprintln!("error: {err}");
+            eprintln!("run 'paresy help' for usage");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run_command(&command) {
+        Ok(report) => {
+            print!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(err) => {
+            eprintln!("error: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! The `.spec` example-file format.
+//!
+//! One example per line: a `+` (positive) or `-` (negative) marker, optional
+//! whitespace, and the example string. The empty string can be written as
+//! `ε`, `<eps>` or simply left out after the marker. `#` starts a comment;
+//! blank lines are ignored.
+//!
+//! ```text
+//! # strings that start with 10
+//! + 10
+//! + 101
+//! + 1001
+//! - ε
+//! - 0
+//! - 01
+//! ```
+
+use std::error::Error;
+use std::fmt;
+
+use rei_lang::{Spec, SpecError, Word};
+
+/// An error produced while parsing a specification file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecFileError {
+    /// A line did not start with `+`, `-` or `#`.
+    BadLine {
+        /// 1-based line number.
+        line: usize,
+        /// The offending content.
+        content: String,
+    },
+    /// The resulting positive and negative sets overlap.
+    Contradictory(SpecError),
+}
+
+impl fmt::Display for SpecFileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecFileError::BadLine { line, content } => {
+                write!(f, "line {line}: expected '+ <word>' or '- <word>', found '{content}'")
+            }
+            SpecFileError::Contradictory(err) => write!(f, "{err}"),
+        }
+    }
+}
+
+impl Error for SpecFileError {}
+
+impl From<SpecError> for SpecFileError {
+    fn from(err: SpecError) -> Self {
+        SpecFileError::Contradictory(err)
+    }
+}
+
+fn parse_word(raw: &str) -> Word {
+    let trimmed = raw.trim();
+    if trimmed.is_empty() || trimmed == "ε" || trimmed == "<eps>" {
+        Word::epsilon()
+    } else {
+        Word::new(trimmed.chars())
+    }
+}
+
+/// Parses the textual example-file format into a [`Spec`].
+///
+/// # Errors
+///
+/// Returns [`SpecFileError::BadLine`] for malformed lines and
+/// [`SpecFileError::Contradictory`] if a word is marked both positive and
+/// negative.
+///
+/// # Example
+///
+/// ```
+/// use paresy_cli::parse_spec_file;
+///
+/// let spec = parse_spec_file("+ 10\n+ 101\n- ε\n- 0\n").unwrap();
+/// assert_eq!(spec.num_positive(), 2);
+/// assert_eq!(spec.num_negative(), 2);
+/// ```
+pub fn parse_spec_file(contents: &str) -> Result<Spec, SpecFileError> {
+    let mut positive = Vec::new();
+    let mut negative = Vec::new();
+    for (index, raw_line) in contents.lines().enumerate() {
+        let line = raw_line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        match line.split_at(1) {
+            ("+", rest) => positive.push(parse_word(rest)),
+            ("-", rest) => negative.push(parse_word(rest)),
+            _ => {
+                return Err(SpecFileError::BadLine {
+                    line: index + 1,
+                    content: raw_line.to_string(),
+                })
+            }
+        }
+    }
+    Ok(Spec::new(positive, negative)?)
+}
+
+/// Renders a [`Spec`] in the example-file format (the inverse of
+/// [`parse_spec_file`]).
+pub fn render_spec_file(spec: &Spec) -> String {
+    let mut out = String::new();
+    for word in spec.positive() {
+        out.push_str(&format!("+ {word}\n"));
+    }
+    for word in spec.negative() {
+        out.push_str(&format!("- {word}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn parses_markers_comments_and_epsilon() {
+        let text = "# a comment\n\n+ 10\n+ε\n- 0\n-  01  \n";
+        let spec = parse_spec_file(text).unwrap();
+        assert_eq!(spec.num_positive(), 2);
+        assert_eq!(spec.num_negative(), 2);
+        assert!(spec.positive().contains(&Word::epsilon()));
+        assert!(spec.negative().contains(&Word::from("01")));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        let err = parse_spec_file("+ 10\noops\n").unwrap_err();
+        assert_eq!(
+            err,
+            SpecFileError::BadLine { line: 2, content: "oops".to_string() }
+        );
+    }
+
+    #[test]
+    fn rejects_contradictions() {
+        let err = parse_spec_file("+ 10\n- 10\n").unwrap_err();
+        assert!(matches!(err, SpecFileError::Contradictory(_)));
+    }
+
+    #[test]
+    fn render_parse_round_trip() {
+        let spec = Spec::from_strs(["", "10", "abc"], ["0", "ba"]).unwrap();
+        let rendered = render_spec_file(&spec);
+        let reparsed = parse_spec_file(&rendered).unwrap();
+        assert_eq!(reparsed, spec);
+    }
+
+    proptest! {
+        /// Rendering then parsing is the identity for random specifications
+        /// (over characters that do not collide with the format markers).
+        #[test]
+        fn round_trip_random_specs(
+            pos in proptest::collection::btree_set("[01ab]{0,6}", 0..6),
+            neg in proptest::collection::btree_set("[01ab]{0,6}", 0..6),
+        ) {
+            let neg: std::collections::BTreeSet<_> = neg.difference(&pos).cloned().collect();
+            let spec = Spec::from_strs(
+                pos.iter().map(String::as_str),
+                neg.iter().map(String::as_str),
+            ).unwrap();
+            let reparsed = parse_spec_file(&render_spec_file(&spec)).unwrap();
+            prop_assert_eq!(reparsed, spec);
+        }
+    }
+}

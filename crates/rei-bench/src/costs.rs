@@ -1,0 +1,60 @@
+//! The cost functions used in the paper's evaluation.
+
+use rei_syntax::CostFn;
+
+/// A cost function together with the label used in Figure 1 and Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NamedCostFn {
+    /// The label, e.g. `"(1, 1, 10, 1, 1)"`.
+    pub label: &'static str,
+    /// The cost homomorphism.
+    pub costs: CostFn,
+}
+
+/// The twelve cost functions of Figure 1 and Table 1, in the paper's order
+/// `(cost(a), cost(?), cost(*), cost(·), cost(+))`.
+pub const PAPER_COST_FUNCTIONS: [NamedCostFn; 12] = [
+    NamedCostFn { label: "(1, 1, 1, 1, 1)", costs: CostFn::new(1, 1, 1, 1, 1) },
+    NamedCostFn { label: "(10, 1, 1, 1, 1)", costs: CostFn::new(10, 1, 1, 1, 1) },
+    NamedCostFn { label: "(1, 10, 1, 1, 1)", costs: CostFn::new(1, 10, 1, 1, 1) },
+    NamedCostFn { label: "(1, 1, 10, 1, 1)", costs: CostFn::new(1, 1, 10, 1, 1) },
+    NamedCostFn { label: "(1, 1, 1, 10, 1)", costs: CostFn::new(1, 1, 1, 10, 1) },
+    NamedCostFn { label: "(1, 1, 1, 1, 10)", costs: CostFn::new(1, 1, 1, 1, 10) },
+    NamedCostFn { label: "(10, 10, 10, 10, 1)", costs: CostFn::new(10, 10, 10, 10, 1) },
+    NamedCostFn { label: "(10, 10, 10, 1, 10)", costs: CostFn::new(10, 10, 10, 1, 10) },
+    NamedCostFn { label: "(10, 10, 1, 10, 10)", costs: CostFn::new(10, 10, 1, 10, 10) },
+    NamedCostFn { label: "(10, 1, 10, 10, 10)", costs: CostFn::new(10, 1, 10, 10, 10) },
+    NamedCostFn { label: "(1, 10, 10, 10, 10)", costs: CostFn::new(1, 10, 10, 10, 10) },
+    NamedCostFn { label: "(20, 20, 20, 5, 30)", costs: CostFn::new(20, 20, 20, 5, 30) },
+];
+
+/// The uniform reference cost function the paper uses to order Figure 1's
+/// x-axis.
+pub const REFERENCE: NamedCostFn = PAPER_COST_FUNCTIONS[0];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twelve_distinct_cost_functions() {
+        let mut seen = std::collections::HashSet::new();
+        for named in PAPER_COST_FUNCTIONS {
+            assert!(seen.insert(named.costs.as_tuple()), "duplicate {}", named.label);
+        }
+        assert_eq!(seen.len(), 12);
+    }
+
+    #[test]
+    fn labels_match_tuples() {
+        for named in PAPER_COST_FUNCTIONS {
+            let rendered = named.costs.to_string();
+            assert_eq!(rendered, named.label);
+        }
+    }
+
+    #[test]
+    fn reference_is_uniform() {
+        assert_eq!(REFERENCE.costs, CostFn::UNIFORM);
+    }
+}

@@ -1,0 +1,314 @@
+//! Random benchmark generation (Section 4.3 of the paper).
+//!
+//! Two complementary sampling schemes produce specifications `(P, N)` over
+//! an alphabet `Σ` with parameters `le` (maximal example length), `p`
+//! (number of positives) and `n` (number of negatives):
+//!
+//! * **Type 1** samples examples uniformly from `Σ^{≤le}`. Because there
+//!   are exponentially more long strings than short ones, Type 1
+//!   specifications are dominated by long strings.
+//! * **Type 2** first picks a length uniformly from `0..=le` and then a
+//!   string of that length, giving every length (and in particular `ε`)
+//!   the same chance of occurring.
+//!
+//! Both schemes reject specifications whose positive and negative sets
+//! would overlap by re-drawing, and both are driven by an explicit seed so
+//! every experiment is reproducible.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use rei_lang::{Alphabet, Spec, Word};
+
+/// Parameters of the Type 1 scheme.
+#[derive(Debug, Clone)]
+pub struct Type1Params {
+    /// The alphabet to draw characters from.
+    pub alphabet: Alphabet,
+    /// Maximal example length `le`.
+    pub max_len: usize,
+    /// Number of positive examples `p`.
+    pub positives: usize,
+    /// Number of negative examples `n`.
+    pub negatives: usize,
+}
+
+/// Parameters of the Type 2 scheme.
+#[derive(Debug, Clone)]
+pub struct Type2Params {
+    /// The alphabet to draw characters from.
+    pub alphabet: Alphabet,
+    /// Maximal example length `le`.
+    pub max_len: usize,
+    /// Number of positive examples `p`.
+    pub positives: usize,
+    /// Number of negative examples `n`.
+    pub negatives: usize,
+}
+
+/// A named random benchmark instance.
+#[derive(Debug, Clone)]
+pub struct Benchmark {
+    /// Identifier such as `"T1-03"`, stable for a given seed.
+    pub name: String,
+    /// Which scheme produced it (1 or 2).
+    pub scheme: u8,
+    /// The generated specification.
+    pub spec: Spec,
+}
+
+/// Draws a word uniformly from `Σ^{≤max_len}` (Type 1 distribution).
+fn uniform_word(rng: &mut StdRng, alphabet: &Alphabet, max_len: usize) -> Word {
+    let total = alphabet.count_words_up_to(max_len);
+    let mut index = rng.gen_range(0..total);
+    let k = alphabet.len() as u128;
+    // Find the length whose block of `k^len` words contains `index`.
+    let mut len = 0usize;
+    loop {
+        let block = k.pow(len as u32);
+        if index < block {
+            break;
+        }
+        index -= block;
+        len += 1;
+    }
+    word_of_rank(alphabet, len, index)
+}
+
+/// Draws a word by first choosing a length uniformly (Type 2 distribution).
+fn length_uniform_word(rng: &mut StdRng, alphabet: &Alphabet, max_len: usize) -> Word {
+    let len = rng.gen_range(0..=max_len);
+    let count = (alphabet.len() as u128).pow(len as u32);
+    let index = rng.gen_range(0..count.max(1));
+    word_of_rank(alphabet, len, index)
+}
+
+/// The `rank`-th word of exactly `len` characters, in lexicographic order.
+fn word_of_rank(alphabet: &Alphabet, len: usize, mut rank: u128) -> Word {
+    let k = alphabet.len() as u128;
+    let mut chars = vec![alphabet.symbols()[0]; len];
+    for position in (0..len).rev() {
+        let digit = (rank % k) as usize;
+        rank /= k;
+        chars[position] = alphabet.symbols()[digit];
+    }
+    Word::new(chars)
+}
+
+fn sample_spec<F>(
+    positives: usize,
+    negatives: usize,
+    seed: u64,
+    mut draw: F,
+) -> Option<Spec>
+where
+    F: FnMut(&mut StdRng) -> Word,
+{
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Rejection sampling with a generous budget: a draw only fails when the
+    // requested sizes exceed the number of available strings.
+    let mut pos = std::collections::BTreeSet::new();
+    let mut neg = std::collections::BTreeSet::new();
+    let budget = 10_000 + 100 * (positives + negatives);
+    for _ in 0..budget {
+        if pos.len() < positives {
+            pos.insert(draw(&mut rng));
+            continue;
+        }
+        if neg.len() < negatives {
+            let w = draw(&mut rng);
+            if !pos.contains(&w) {
+                neg.insert(w);
+            }
+            continue;
+        }
+        break;
+    }
+    if pos.len() == positives && neg.len() == negatives {
+        Some(Spec::new(pos, neg).expect("sets are disjoint by construction"))
+    } else {
+        None
+    }
+}
+
+/// Generates a Type 1 specification, or `None` if the parameters request
+/// more distinct strings than `Σ^{≤le}` contains.
+pub fn generate_type1(params: &Type1Params, seed: u64) -> Option<Spec> {
+    let total = params.alphabet.count_words_up_to(params.max_len);
+    if (params.positives + params.negatives) as u128 > total {
+        return None;
+    }
+    let alphabet = params.alphabet.clone();
+    let max_len = params.max_len;
+    sample_spec(params.positives, params.negatives, seed, move |rng| {
+        uniform_word(rng, &alphabet, max_len)
+    })
+}
+
+/// Generates a Type 2 specification, or `None` if the parameters request
+/// more distinct strings than `Σ^{≤le}` contains.
+pub fn generate_type2(params: &Type2Params, seed: u64) -> Option<Spec> {
+    let total = params.alphabet.count_words_up_to(params.max_len);
+    if (params.positives + params.negatives) as u128 > total {
+        return None;
+    }
+    let alphabet = params.alphabet.clone();
+    let max_len = params.max_len;
+    sample_spec(params.positives, params.negatives, seed, move |rng| {
+        length_uniform_word(rng, &alphabet, max_len)
+    })
+}
+
+/// Generates a pool of named benchmarks mixing both schemes, with
+/// per-instance parameters drawn from the given ranges (inclusive), as in
+/// the paper's benchmark construction.
+#[allow(clippy::too_many_arguments)]
+pub fn generate_pool(
+    alphabet: &Alphabet,
+    count_per_scheme: usize,
+    type1_len: (usize, usize),
+    type1_examples: (usize, usize),
+    type2_len: (usize, usize),
+    type2_examples: (usize, usize),
+    seed: u64,
+) -> Vec<Benchmark> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pool = Vec::new();
+    for i in 0..count_per_scheme {
+        // Retry with freshly drawn parameters until a feasible instance is
+        // found, so the pool always has the requested size.
+        for _ in 0..64 {
+            let max_len = rng.gen_range(type1_len.0..=type1_len.1);
+            let positives = rng.gen_range(type1_examples.0..=type1_examples.1);
+            let negatives = rng.gen_range(type1_examples.0..=type1_examples.1);
+            let params = Type1Params {
+                alphabet: alphabet.clone(),
+                max_len,
+                positives,
+                negatives,
+            };
+            if let Some(spec) = generate_type1(&params, rng.gen()) {
+                pool.push(Benchmark { name: format!("T1-{i:03}"), scheme: 1, spec });
+                break;
+            }
+        }
+    }
+    for i in 0..count_per_scheme {
+        for _ in 0..64 {
+            let max_len = rng.gen_range(type2_len.0..=type2_len.1);
+            let positives = rng.gen_range(type2_examples.0..=type2_examples.1);
+            let negatives = rng.gen_range(type2_examples.0..=type2_examples.1);
+            let params = Type2Params {
+                alphabet: alphabet.clone(),
+                max_len,
+                positives,
+                negatives,
+            };
+            if let Some(spec) = generate_type2(&params, rng.gen()) {
+                pool.push(Benchmark { name: format!("T2-{i:03}"), scheme: 2, spec });
+                break;
+            }
+        }
+    }
+    pool
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn binary_t1(max_len: usize, p: usize, n: usize) -> Type1Params {
+        Type1Params { alphabet: Alphabet::binary(), max_len, positives: p, negatives: n }
+    }
+
+    #[test]
+    fn type1_generates_requested_sizes() {
+        let spec = generate_type1(&binary_t1(5, 8, 8), 1).unwrap();
+        assert_eq!(spec.num_positive(), 8);
+        assert_eq!(spec.num_negative(), 8);
+        assert!(spec.max_example_len() <= 5);
+    }
+
+    #[test]
+    fn type1_is_deterministic_in_the_seed() {
+        let a = generate_type1(&binary_t1(6, 10, 10), 42).unwrap();
+        let b = generate_type1(&binary_t1(6, 10, 10), 42).unwrap();
+        let c = generate_type1(&binary_t1(6, 10, 10), 43).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn impossible_parameters_return_none() {
+        // Σ^{≤1} over {0,1} has only 3 strings.
+        assert!(generate_type1(&binary_t1(1, 3, 3), 0).is_none());
+        let t2 = Type2Params {
+            alphabet: Alphabet::binary(),
+            max_len: 1,
+            positives: 2,
+            negatives: 2,
+        };
+        assert!(generate_type2(&t2, 0).is_none());
+    }
+
+    #[test]
+    fn type2_favours_short_strings() {
+        // With le = 8, Type 1 almost never draws ε but Type 2 often does.
+        let mut type2_has_eps = 0;
+        for seed in 0..40 {
+            let params = Type2Params {
+                alphabet: Alphabet::binary(),
+                max_len: 8,
+                positives: 6,
+                negatives: 6,
+            };
+            let spec = generate_type2(&params, seed).unwrap();
+            if spec.iter().any(|w| w.is_empty()) {
+                type2_has_eps += 1;
+            }
+        }
+        assert!(type2_has_eps > 10, "ε occurred in only {type2_has_eps}/40 Type 2 specs");
+    }
+
+    #[test]
+    fn word_of_rank_enumerates_lexicographically() {
+        let sigma = Alphabet::binary();
+        let words: Vec<String> = (0..4).map(|r| word_of_rank(&sigma, 2, r).to_string()).collect();
+        assert_eq!(words, vec!["00", "01", "10", "11"]);
+    }
+
+    #[test]
+    fn pool_generation_names_and_schemes() {
+        let pool = generate_pool(&Alphabet::binary(), 3, (2, 4), (3, 4), (2, 4), (3, 4), 9);
+        assert_eq!(pool.len(), 6);
+        assert!(pool.iter().take(3).all(|b| b.scheme == 1));
+        assert!(pool.iter().skip(3).all(|b| b.scheme == 2));
+        assert_eq!(pool[0].name, "T1-000");
+        assert_eq!(pool[3].name, "T2-000");
+    }
+
+    proptest! {
+        /// Generated specifications always respect the length bound and the
+        /// requested cardinalities, and P ∩ N = ∅ by construction.
+        #[test]
+        fn type1_respects_parameters(max_len in 3usize..7, p in 1usize..6, n in 1usize..6, seed in 0u64..1000) {
+            if let Some(spec) = generate_type1(&binary_t1(max_len, p, n), seed) {
+                prop_assert_eq!(spec.num_positive(), p);
+                prop_assert_eq!(spec.num_negative(), n);
+                prop_assert!(spec.max_example_len() <= max_len);
+            }
+        }
+
+        /// Uniform sampling only produces words over the alphabet.
+        #[test]
+        fn words_are_over_the_alphabet(seed in 0u64..500) {
+            let params = Type2Params { alphabet: Alphabet::new(['a', 'b', 'c']), max_len: 5, positives: 4, negatives: 4 };
+            if let Some(spec) = generate_type2(&params, seed) {
+                for w in spec.iter() {
+                    prop_assert!(w.chars().iter().all(|c| ['a', 'b', 'c'].contains(c)));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! The outlier table: fraction of benchmarks finishing under each duration
+//! threshold (Section 4, "A note on outliers").
+
+use serde::{Deserialize, Serialize};
+
+use crate::harness::Figure1Row;
+
+/// The duration thresholds (seconds) reported by the paper's outlier table.
+pub const PAPER_THRESHOLDS: [f64; 11] =
+    [2.0, 3.0, 4.0, 5.0, 10.0, 25.0, 50.0, 100.0, 200.0, 400.0, 800.0];
+
+/// One row of the outlier table.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OutlierRow {
+    /// The duration threshold, in seconds.
+    pub threshold_seconds: f64,
+    /// Percentage of benchmark runs that finished within the threshold.
+    pub percent_below: f64,
+}
+
+/// Computes the cumulative duration distribution over the Figure 1 rows.
+/// Runs that timed out or ran out of memory count as *not* finishing within
+/// any threshold, matching the paper's treatment.
+pub fn outlier_distribution(rows: &[Figure1Row], thresholds: &[f64]) -> Vec<OutlierRow> {
+    let total = rows.len();
+    thresholds
+        .iter()
+        .map(|&threshold_seconds| {
+            let below = rows
+                .iter()
+                .filter(|r| matches!(r.outcome.seconds(), Some(s) if s < threshold_seconds))
+                .count();
+            let percent_below = if total == 0 {
+                0.0
+            } else {
+                100.0 * below as f64 / total as f64
+            };
+            OutlierRow { threshold_seconds, percent_below }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::RunOutcome;
+
+    fn row(seconds: Option<f64>) -> Figure1Row {
+        Figure1Row {
+            benchmark: "T1-000".into(),
+            scheme: 1,
+            num_positive: 4,
+            num_negative: 4,
+            max_len: 4,
+            cost_label: "(1, 1, 1, 1, 1)".into(),
+            outcome: match seconds {
+                Some(seconds) => RunOutcome::Solved {
+                    seconds,
+                    cost: 5,
+                    candidates: 10,
+                    regex: "0*".into(),
+                },
+                None => RunOutcome::Timeout,
+            },
+        }
+    }
+
+    #[test]
+    fn distribution_is_cumulative_and_caps_at_100() {
+        let rows = vec![row(Some(0.5)), row(Some(2.5)), row(Some(9.0)), row(None)];
+        let dist = outlier_distribution(&rows, &[1.0, 3.0, 10.0, 1000.0]);
+        let percents: Vec<f64> = dist.iter().map(|r| r.percent_below).collect();
+        assert_eq!(percents, vec![25.0, 50.0, 75.0, 75.0]);
+        // Monotone non-decreasing.
+        assert!(percents.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn empty_input_yields_zero_percentages() {
+        let dist = outlier_distribution(&[], &PAPER_THRESHOLDS);
+        assert_eq!(dist.len(), PAPER_THRESHOLDS.len());
+        assert!(dist.iter().all(|r| r.percent_below == 0.0));
+    }
+}

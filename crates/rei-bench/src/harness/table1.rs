@@ -1,0 +1,116 @@
+//! Table 1: sequential (CPU) versus data-parallel (simulated GPU) engine
+//! on the hardest benchmark per (scheme, cost function).
+
+use rei_core::Engine;
+use serde::{Deserialize, Serialize};
+
+use crate::costs::PAPER_COST_FUNCTIONS;
+use crate::harness::figure1::benchmark_pool;
+use crate::harness::{run_paresy, HarnessConfig, RunOutcome};
+
+/// One row of Table 1.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table1Row {
+    /// Benchmark generation scheme (1 or 2).
+    pub scheme: u8,
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Number of positive examples.
+    pub num_positive: usize,
+    /// Number of negative examples.
+    pub num_negative: usize,
+    /// Label of the cost function.
+    pub cost_label: String,
+    /// Outcome of the sequential engine.
+    pub cpu: RunOutcome,
+    /// Outcome of the data-parallel engine.
+    pub gpu: RunOutcome,
+    /// `cpu seconds / gpu seconds` when both solved.
+    pub speedup: Option<f64>,
+    /// Number of candidate expressions generated (from the parallel run).
+    pub candidates: Option<u64>,
+}
+
+/// Runs the Table 1 comparison.
+///
+/// Following the paper's protocol, for each pair (scheme, cost function)
+/// the hardest benchmark of the pool that the parallel engine still solves
+/// within the time budget is selected (hardness measured by the number of
+/// generated candidates); that instance is then timed on both engines.
+/// The sequential engine gets a generously larger time budget so that the
+/// comparison is not cut short.
+pub fn run_table1(config: &HarnessConfig) -> Vec<Table1Row> {
+    let pool = benchmark_pool(config);
+    let mut rows = Vec::new();
+    for scheme in [1u8, 2u8] {
+        for named in PAPER_COST_FUNCTIONS {
+            // Select the hardest solvable instance for this combination.
+            let mut hardest: Option<(&crate::generator::Benchmark, RunOutcome)> = None;
+            for benchmark in pool.iter().filter(|b| b.scheme == scheme) {
+                let synth = config.synthesizer(named.costs, config.parallel_engine());
+                let outcome = run_paresy(&synth, &benchmark.spec);
+                if !outcome.is_solved() {
+                    continue;
+                }
+                let harder = match &hardest {
+                    None => true,
+                    Some((_, best)) => outcome.candidates() > best.candidates(),
+                };
+                if harder {
+                    hardest = Some((benchmark, outcome));
+                }
+            }
+            let Some((benchmark, gpu_probe)) = hardest else { continue };
+
+            // Re-time both engines on the selected instance. The
+            // sequential run gets 20x the budget, mirroring the paper where
+            // the CPU runs take ~1000x longer and are not subject to the
+            // 5-second GPU timeout.
+            let gpu_synth = config.synthesizer(named.costs, config.parallel_engine());
+            let gpu = run_paresy(&gpu_synth, &benchmark.spec);
+            let cpu_synth = config
+                .synthesizer(named.costs, Engine::Sequential)
+                .with_time_budget(config.time_budget * 20);
+            let cpu = run_paresy(&cpu_synth, &benchmark.spec);
+            let speedup = match (cpu.seconds(), gpu.seconds()) {
+                (Some(c), Some(g)) if g > 0.0 => Some(c / g),
+                _ => None,
+            };
+            rows.push(Table1Row {
+                scheme,
+                benchmark: benchmark.name.clone(),
+                num_positive: benchmark.spec.num_positive(),
+                num_negative: benchmark.spec.num_negative(),
+                cost_label: named.label.to_string(),
+                candidates: gpu.candidates().or_else(|| gpu_probe.candidates()),
+                cpu,
+                gpu,
+                speedup,
+            });
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::Scale;
+
+    #[test]
+    fn quick_table1_has_rows_for_both_schemes() {
+        let mut config = HarnessConfig::quick();
+        config.time_budget = std::time::Duration::from_millis(250);
+        let rows = run_table1(&config);
+        assert!(!rows.is_empty());
+        assert!(rows.iter().all(|r| r.scheme == 1 || r.scheme == 2));
+        // Where both engines solved, the result costs agree (both engines
+        // are minimal), even though the expressions may differ.
+        for row in &rows {
+            if let (Some(c), Some(g)) = (row.cpu.cost(), row.gpu.cost()) {
+                assert_eq!(c, g, "engines disagree on {} / {}", row.benchmark, row.cost_label);
+            }
+        }
+        assert_eq!(config.scale, Scale::Quick);
+    }
+}

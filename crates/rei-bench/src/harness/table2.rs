@@ -1,0 +1,120 @@
+//! Table 2: Paresy versus AlphaRegex on the 25-task suite.
+
+use alpharegex::{AlphaRegex, AlphaRegexConfig, AlphaRegexError};
+use rei_core::Engine;
+use rei_syntax::CostFn;
+use serde::{Deserialize, Serialize};
+
+use crate::harness::{run_paresy, HarnessConfig, RunOutcome, Scale};
+use crate::suite::{alpharegex_suite, easy_tasks, Task};
+
+/// One row of Table 2.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table2Row {
+    /// Task name (`no01` … `no25`).
+    pub task: String,
+    /// English description of the target language.
+    pub description: String,
+    /// Whether AlphaRegex ran with its wild-card heuristic (`†`).
+    pub wildcard: bool,
+    /// Outcome of the AlphaRegex baseline.
+    pub alpha: RunOutcome,
+    /// Outcome of Paresy (sequential engine, same cost scale).
+    pub paresy: RunOutcome,
+    /// `alpha seconds / paresy seconds` when both solved.
+    pub speedup: Option<f64>,
+    /// Ratio of candidate expressions checked, `paresy / alpha`.
+    pub res_increase: Option<f64>,
+    /// Whether AlphaRegex's result is cost-minimal (it matches Paresy's
+    /// cost); `None` when either tool failed.
+    pub alpha_minimal: Option<bool>,
+}
+
+fn run_alpharegex(config: &HarnessConfig, task: &Task) -> RunOutcome {
+    let alpha_config = AlphaRegexConfig {
+        costs: CostFn::ALPHAREGEX,
+        use_wildcard: task.wildcard,
+        time_budget: Some(config.time_budget * 4),
+        ..AlphaRegexConfig::default()
+    };
+    let started = std::time::Instant::now();
+    match AlphaRegex::with_config(alpha_config).run(&task.spec()) {
+        Ok(result) => RunOutcome::Solved {
+            seconds: started.elapsed().as_secs_f64(),
+            cost: result.cost,
+            candidates: result.res_checked,
+            regex: result.regex.to_string(),
+        },
+        Err(AlphaRegexError::EpsilonExample) => RunOutcome::NotFound,
+        Err(AlphaRegexError::SearchExhausted { .. }) => RunOutcome::Timeout,
+    }
+}
+
+/// Runs the Table 2 comparison. In `Quick` scale only the easier tasks are
+/// used so the whole table fits in seconds; `Full` scale runs all 25 tasks.
+pub fn run_table2(config: &HarnessConfig) -> Vec<Table2Row> {
+    let tasks = match config.scale {
+        Scale::Full => alpharegex_suite(),
+        Scale::Quick => easy_tasks(8),
+    };
+    let mut rows = Vec::with_capacity(tasks.len());
+    for task in &tasks {
+        let alpha = run_alpharegex(config, task);
+        // Paresy on the laptop-CPU setting of the paper: sequential engine,
+        // same cost scale as AlphaRegex so the Cost(RE) columns compare.
+        let synth = config
+            .synthesizer(CostFn::ALPHAREGEX, Engine::Sequential)
+            .with_time_budget(config.time_budget * 4);
+        let paresy = run_paresy(&synth, &task.spec());
+
+        let speedup = match (alpha.seconds(), paresy.seconds()) {
+            (Some(a), Some(p)) if p > 0.0 => Some(a / p),
+            _ => None,
+        };
+        let res_increase = match (alpha.candidates(), paresy.candidates()) {
+            (Some(a), Some(p)) if a > 0 => Some(p as f64 / a as f64),
+            _ => None,
+        };
+        let alpha_minimal = match (alpha.cost(), paresy.cost()) {
+            (Some(a), Some(p)) => Some(a <= p),
+            _ => None,
+        };
+        rows.push(Table2Row {
+            task: task.name(),
+            description: task.description.to_string(),
+            wildcard: task.wildcard,
+            alpha,
+            paresy,
+            speedup,
+            res_increase,
+            alpha_minimal,
+        });
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_table2_solves_easy_tasks_with_both_tools() {
+        let mut config = HarnessConfig::quick();
+        config.time_budget = std::time::Duration::from_millis(500);
+        let rows = run_table2(&config);
+        assert!(!rows.is_empty());
+        let paresy_solved = rows.iter().filter(|r| r.paresy.is_solved()).count();
+        assert!(
+            paresy_solved * 2 >= rows.len(),
+            "Paresy solved only {paresy_solved} of {} quick tasks",
+            rows.len()
+        );
+        for row in &rows {
+            // Whenever both tools solved a task, Paresy's result is never
+            // more expensive than AlphaRegex's (Paresy is minimal).
+            if let (Some(a), Some(p)) = (row.alpha.cost(), row.paresy.cost()) {
+                assert!(p <= a, "{}: paresy {} vs alpharegex {}", row.task, p, a);
+            }
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Plain-text table formatting for the `reproduce` binary and the benches.
+
+/// Formats a table with a header row and aligned columns.
+///
+/// # Example
+///
+/// ```
+/// use rei_bench::report::format_table;
+///
+/// let table = format_table(
+///     &["name", "secs"],
+///     &[vec!["no01".to_string(), "0.01".to_string()]],
+/// );
+/// assert!(table.contains("name"));
+/// assert!(table.contains("no01"));
+/// ```
+pub fn format_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let columns = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(columns) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let render_row = |cells: Vec<String>, widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{cell:<width$}", width = widths[i]));
+        }
+        line.trim_end().to_string()
+    };
+    out.push_str(&render_row(headers.iter().map(|s| s.to_string()).collect(), &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (columns - 1)));
+    out.push('\n');
+    for row in rows {
+        let mut cells = row.clone();
+        cells.resize(columns, String::new());
+        out.push_str(&render_row(cells, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats an optional float with the given precision, rendering `None` as
+/// `"-"`.
+pub fn fmt_opt(value: Option<f64>, precision: usize) -> String {
+    match value {
+        Some(v) => format!("{v:.precision$}"),
+        None => "-".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn columns_are_aligned() {
+        let table = format_table(
+            &["a", "bbbb"],
+            &[
+                vec!["xxxx".into(), "1".into()],
+                vec!["y".into(), "22".into()],
+            ],
+        );
+        let lines: Vec<&str> = table.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // The second column starts at the same offset in every data line.
+        let offset = lines[2].find('1').unwrap();
+        assert_eq!(lines[3].find("22").unwrap(), offset);
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let table = format_table(&["a", "b"], &[vec!["only".into()]]);
+        assert!(table.lines().count() >= 3);
+    }
+
+    #[test]
+    fn optional_formatting() {
+        assert_eq!(fmt_opt(Some(1.23456), 2), "1.23");
+        assert_eq!(fmt_opt(None, 2), "-");
+    }
+}

@@ -1,0 +1,254 @@
+//! A reconstruction of the 25-task AlphaRegex benchmark suite used in
+//! Table 2 of the paper.
+//!
+//! The original task files of Lee et al. (2016/2017) are not bundled with
+//! the paper, so the suite here is *reconstructed from the published task
+//! descriptions*: each task keeps its English description, a positive and a
+//! negative example set consistent with that description, and a reference
+//! solution used by the tests as a satisfiability witness. Tasks whose
+//! original formulation relies on the AlphaRegex wild-card heuristic are
+//! marked with [`Task::wildcard`] (the paper's `†` annotation); the harness
+//! runs AlphaRegex with the heuristic enabled on exactly those tasks.
+//!
+//! The reconstruction preserves what Table 2 measures: relative running
+//! times, the number of candidate expressions explored by each tool and
+//! whether AlphaRegex's result is cost-minimal.
+
+use rei_lang::Spec;
+use rei_syntax::{parse, Regex};
+
+/// One task of the AlphaRegex suite.
+#[derive(Debug, Clone)]
+pub struct Task {
+    /// Task number (1-based, as in Table 2: `no1` … `no25`).
+    pub number: usize,
+    /// The English description of the target language.
+    pub description: &'static str,
+    /// Whether the original benchmark uses the wild-card heuristic (the
+    /// `†` annotation in Table 2).
+    pub wildcard: bool,
+    /// A reference solution (not necessarily minimal) used as a
+    /// satisfiability witness in tests.
+    pub reference: &'static str,
+    positive: &'static [&'static str],
+    negative: &'static [&'static str],
+}
+
+impl Task {
+    /// The task's specification.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the hard-coded example sets overlap, which is prevented by
+    /// the suite's tests.
+    pub fn spec(&self) -> Spec {
+        Spec::from_strs(self.positive.iter().copied(), self.negative.iter().copied())
+            .expect("suite example sets are disjoint")
+    }
+
+    /// The reference solution parsed into an AST.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the hard-coded reference does not parse, which is
+    /// prevented by the suite's tests.
+    pub fn reference_regex(&self) -> Regex {
+        parse(self.reference).expect("suite reference expressions parse")
+    }
+
+    /// Name used in reports, e.g. `"no07"`.
+    pub fn name(&self) -> String {
+        format!("no{:02}", self.number)
+    }
+}
+
+macro_rules! task {
+    ($no:expr, $desc:expr, $wild:expr, $reference:expr, [$($p:expr),* $(,)?], [$($n:expr),* $(,)?]) => {
+        Task {
+            number: $no,
+            description: $desc,
+            wildcard: $wild,
+            reference: $reference,
+            positive: &[$($p),*],
+            negative: &[$($n),*],
+        }
+    };
+}
+
+/// The 25 tasks of the reconstructed AlphaRegex suite.
+pub fn alpharegex_suite() -> Vec<Task> {
+    vec![
+        task!(1, "strings starting with 0", true, "0(0+1)*",
+            ["0", "00", "01", "010", "0110"],
+            ["1", "10", "11", "101", "1100"]),
+        task!(2, "strings ending with 01", true, "(0+1)*01",
+            ["01", "001", "101", "1101", "0101"],
+            ["0", "1", "10", "110", "0110"]),
+        task!(3, "strings containing 0101", true, "(0+1)*0101(0+1)*",
+            ["0101", "00101", "01011", "10101"],
+            ["0", "1", "010", "0110", "01001", "10010"]),
+        task!(4, "strings whose third symbol is 0", true, "(0+1)(0+1)0(0+1)*",
+            ["110", "000", "010", "1100", "01011"],
+            ["0", "11", "001", "111", "0110", "10111"]),
+        task!(5, "strings of even length", true, "((0+1)(0+1))*",
+            ["00", "01", "1011", "110100"],
+            ["0", "1", "011", "10110"]),
+        task!(6, "strings with an odd number of 1s", true, "0*10*(10*10*)*",
+            ["1", "10", "001", "111", "10011"],
+            ["0", "11", "0110", "1001", "00"]),
+        task!(7, "strings with no two consecutive 0s", false, "(1+01)*0?",
+            ["1", "0", "01", "010", "10101", "0110"],
+            ["00", "100", "001", "0100", "11001"]),
+        task!(8, "strings beginning and ending with the same symbol", false,
+            "0(0+1)*0+1(0+1)*1+0+1",
+            ["0", "1", "00", "101", "0110", "11011"],
+            ["01", "10", "001", "110", "0101"]),
+        task!(9, "strings in which every 0 is immediately followed by a 1", true, "(1+01)*",
+            ["1", "01", "11", "011", "0101", "1011"],
+            ["0", "10", "00", "010", "0110", "100"]),
+        task!(10, "strings containing at least two 1s", false, "0*10*1(0+1)*",
+            ["11", "101", "110", "0101", "10010"],
+            ["0", "1", "00", "010", "1000"]),
+        task!(11, "strings ending with 0", false, "(0+1)*0",
+            ["0", "10", "00", "110", "0100"],
+            ["1", "01", "11", "001", "1011"]),
+        task!(12, "strings of length exactly three", false, "(0+1)(0+1)(0+1)",
+            ["000", "010", "101", "111"],
+            ["0", "11", "0000", "10", "01011"]),
+        task!(13, "strings with an even number of 0s", false, "1*(01*01*)*",
+            ["11", "00", "001", "0110", "1001"],
+            ["0", "01", "10", "000", "00011", "11110"]),
+        task!(14, "strings containing 0110", true, "(0+1)*0110(0+1)*",
+            ["0110", "00110", "01101", "101100"],
+            ["0", "1", "011", "0101", "01011", "1100"]),
+        task!(15, "strings of odd length", true, "(0+1)((0+1)(0+1))*",
+            ["0", "1", "010", "111", "01011"],
+            ["00", "10", "0101", "110110"]),
+        task!(16, "strings whose second symbol is 1", true, "(0+1)1(0+1)*",
+            ["01", "11", "010", "111", "0110"],
+            ["0", "1", "00", "100", "1011"]),
+        task!(17, "strings containing 11", false, "(0+1)*11(0+1)*",
+            ["11", "011", "110", "0110", "10111"],
+            ["0", "1", "10", "0101", "10010"]),
+        task!(18, "strings starting with 1 and ending with 0", false, "1(0+1)*0",
+            ["10", "110", "100", "1010", "11000"],
+            ["0", "1", "01", "011", "0110", "101"]),
+        task!(19, "non-empty strings of length at most two", true, "(0+1)(0+1)?",
+            ["0", "1", "01", "11"],
+            ["000", "010", "1011", "11111"]),
+        task!(20, "non-empty strings containing no 1", true, "00*",
+            ["0", "00", "000", "00000"],
+            ["1", "01", "10", "0010", "111"]),
+        task!(21, "strings in which every 1 is immediately followed by a 0", false, "(0+10)*",
+            ["0", "10", "00", "100", "1010", "0010"],
+            ["1", "01", "11", "101", "10011"]),
+        task!(22, "strings starting with 01 or 10", true, "(01+10)(0+1)*",
+            ["01", "10", "010", "101", "0111", "1000"],
+            ["0", "1", "00", "11", "001", "110"]),
+        task!(23, "strings containing at most one 0", false, "1*0?1*",
+            ["1", "0", "11", "101", "110", "1111"],
+            ["00", "010", "001", "0100", "10010"]),
+        task!(24, "strings containing exactly two 1s", false, "0*10*10*",
+            ["11", "101", "110", "0101", "10010"],
+            ["0", "1", "10", "111", "1011", "0000"]),
+        task!(25, "strings not ending with 01", false, "(0+1)*(00+10+11)+0+1",
+            ["0", "1", "00", "10", "11", "010", "111", "100"],
+            ["01", "001", "101", "0101", "11001"]),
+    ]
+}
+
+/// Returns the task with the given number.
+///
+/// # Panics
+///
+/// Panics if `number` is not in `1..=25`.
+pub fn task(number: usize) -> Task {
+    alpharegex_suite()
+        .into_iter()
+        .find(|t| t.number == number)
+        .unwrap_or_else(|| panic!("no task number {number}"))
+}
+
+/// The tasks considered *easy* for quick-scale harness runs: those whose
+/// reference solution has uniform cost at most `max_reference_cost`.
+pub fn easy_tasks(max_reference_cost: u64) -> Vec<Task> {
+    alpharegex_suite()
+        .into_iter()
+        .filter(|t| t.reference_regex().cost(&rei_syntax::CostFn::UNIFORM) <= max_reference_cost)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_25_distinct_tasks() {
+        let suite = alpharegex_suite();
+        assert_eq!(suite.len(), 25);
+        let numbers: std::collections::BTreeSet<usize> = suite.iter().map(|t| t.number).collect();
+        assert_eq!(numbers.len(), 25);
+        assert_eq!(*numbers.iter().next().unwrap(), 1);
+        assert_eq!(*numbers.iter().last().unwrap(), 25);
+    }
+
+    #[test]
+    fn every_reference_solution_satisfies_its_spec() {
+        for task in alpharegex_suite() {
+            let spec = task.spec();
+            let reference = task.reference_regex();
+            assert!(
+                spec.is_satisfied_by(&reference),
+                "task {} ({}): reference {} does not satisfy {}",
+                task.name(),
+                task.description,
+                task.reference,
+                spec
+            );
+        }
+    }
+
+    #[test]
+    fn no_task_contains_the_empty_string() {
+        // AlphaRegex cannot handle ε examples; the suite must respect that.
+        for task in alpharegex_suite() {
+            assert!(
+                task.spec().iter().all(|w| !w.is_empty()),
+                "task {} contains ε",
+                task.name()
+            );
+        }
+    }
+
+    #[test]
+    fn wildcard_annotation_matches_the_paper() {
+        let marked: Vec<usize> = alpharegex_suite()
+            .iter()
+            .filter(|t| t.wildcard)
+            .map(|t| t.number)
+            .collect();
+        assert_eq!(marked, vec![1, 2, 3, 4, 5, 6, 9, 14, 15, 16, 19, 20, 22]);
+    }
+
+    #[test]
+    fn task_lookup_and_names() {
+        assert_eq!(task(7).name(), "no07");
+        assert_eq!(task(25).number, 25);
+    }
+
+    #[test]
+    fn easy_task_filter_is_monotone() {
+        let all = easy_tasks(u64::MAX).len();
+        let some = easy_tasks(10).len();
+        let none = easy_tasks(1).len();
+        assert_eq!(all, 25);
+        assert!(none <= some && some <= all);
+        assert!(some >= 5, "expected at least a handful of easy tasks, got {some}");
+    }
+
+    #[test]
+    #[should_panic(expected = "no task number 26")]
+    fn unknown_task_panics() {
+        let _ = task(26);
+    }
+}

@@ -1,0 +1,301 @@
+//! The language cache: a write-once matrix of characteristic sequences
+//! grouped by cost, with the provenance needed to reconstruct expressions.
+
+use std::collections::BTreeMap;
+use std::ops::Range;
+
+use rei_lang::CsWidth;
+use rei_syntax::Regex;
+
+/// How a cached characteristic sequence was constructed.
+///
+/// Each row of the language cache records the outermost regular constructor
+/// that produced it together with the indices of its operand rows. This is
+/// the "auxiliary L/R data" of the paper's cache figure: it is what allows
+/// the synthesiser to reverse-engineer a minimal regular expression from
+/// the first satisfying row without ever materialising syntax during the
+/// search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Provenance {
+    /// A single alphabet character (a seed row).
+    Literal(char),
+    /// `r?` where `r` is the row at the given index.
+    Question(u32),
+    /// `r*` where `r` is the row at the given index.
+    Star(u32),
+    /// `r · s` of the rows at the given indices.
+    Concat(u32, u32),
+    /// `r + s` of the rows at the given indices.
+    Union(u32, u32),
+}
+
+/// The contiguous, write-once store of all unique characteristic sequences
+/// constructed so far, ordered by non-decreasing cost.
+///
+/// Rows are fixed-width (`width.blocks()` 64-bit words each) and are only
+/// ever appended; the *startPoints* index maps each cost to the range of
+/// row indices holding the languages of exactly that cost, mirroring the
+/// paper's "matrix of matrices of matrices".
+///
+/// # Example
+///
+/// ```
+/// use rei_core::{LanguageCache, Provenance};
+/// use rei_lang::CsWidth;
+///
+/// let width = CsWidth::for_len(10);
+/// let mut cache = LanguageCache::new(width, 1 << 20);
+/// let idx = cache.push(&[0b1010], Provenance::Literal('a'), 1).unwrap();
+/// assert_eq!(cache.row(idx), &[0b1010]);
+/// assert_eq!(cache.len(), 1);
+/// assert_eq!(cache.rows_of_cost(1).count(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LanguageCache {
+    width: CsWidth,
+    capacity_rows: usize,
+    rows: Vec<u64>,
+    provenance: Vec<Provenance>,
+    costs: Vec<u64>,
+    start_points: BTreeMap<u64, Range<usize>>,
+}
+
+impl LanguageCache {
+    /// Per-row overhead besides the bitvector itself (provenance and cost
+    /// book-keeping), used to translate a byte budget into a row capacity.
+    /// The paper estimates roughly `3·k` bits per CS overall; we account
+    /// for our concrete representation instead.
+    pub const ROW_OVERHEAD_BYTES: usize =
+        std::mem::size_of::<Provenance>() + std::mem::size_of::<u64>();
+
+    /// Creates an empty cache for rows of the given width, able to hold at
+    /// most as many rows as fit in `memory_budget_bytes`.
+    pub fn new(width: CsWidth, memory_budget_bytes: usize) -> Self {
+        let per_row = width.bytes() + Self::ROW_OVERHEAD_BYTES;
+        let capacity_rows = (memory_budget_bytes / per_row).max(1);
+        LanguageCache {
+            width,
+            capacity_rows,
+            rows: Vec::new(),
+            provenance: Vec::new(),
+            costs: Vec::new(),
+            start_points: BTreeMap::new(),
+        }
+    }
+
+    /// The bitvector geometry of the cached rows.
+    pub fn width(&self) -> CsWidth {
+        self.width
+    }
+
+    /// Number of rows currently stored.
+    pub fn len(&self) -> usize {
+        self.costs.len()
+    }
+
+    /// Returns `true` if no row is stored.
+    pub fn is_empty(&self) -> bool {
+        self.costs.is_empty()
+    }
+
+    /// Maximum number of rows the memory budget allows.
+    pub fn capacity_rows(&self) -> usize {
+        self.capacity_rows
+    }
+
+    /// Returns `true` if no further row can be stored.
+    pub fn is_full(&self) -> bool {
+        self.len() >= self.capacity_rows
+    }
+
+    /// Approximate memory used by the stored rows, in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.len() * (self.width.bytes() + Self::ROW_OVERHEAD_BYTES)
+    }
+
+    /// The blocks of row `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn row(&self, idx: u32) -> &[u64] {
+        let blocks = self.width.blocks();
+        let start = idx as usize * blocks;
+        &self.rows[start..start + blocks]
+    }
+
+    /// The provenance of row `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn provenance(&self, idx: u32) -> Provenance {
+        self.provenance[idx as usize]
+    }
+
+    /// The cost of row `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn cost(&self, idx: u32) -> u64 {
+        self.costs[idx as usize]
+    }
+
+    /// Appends a row, returning its index, or `None` when the memory budget
+    /// is exhausted (the caller then switches to OnTheFly mode).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `blocks` does not match the cache width, or if `cost` is
+    /// smaller than the cost of a previously pushed row (the cache is
+    /// ordered by non-decreasing cost by construction).
+    pub fn push(&mut self, blocks: &[u64], provenance: Provenance, cost: u64) -> Option<u32> {
+        assert_eq!(blocks.len(), self.width.blocks(), "row width mismatch");
+        if let Some(&last) = self.costs.last() {
+            assert!(cost >= last, "cache must be filled in non-decreasing cost order");
+        }
+        if self.is_full() {
+            return None;
+        }
+        let idx = self.costs.len() as u32;
+        self.rows.extend_from_slice(blocks);
+        self.provenance.push(provenance);
+        self.costs.push(cost);
+        self.start_points
+            .entry(cost)
+            .and_modify(|r| r.end = idx as usize + 1)
+            .or_insert(idx as usize..idx as usize + 1);
+        Some(idx)
+    }
+
+    /// The row indices holding languages of exactly `cost`.
+    pub fn indices_of_cost(&self, cost: u64) -> Range<usize> {
+        self.start_points.get(&cost).cloned().unwrap_or(0..0)
+    }
+
+    /// Iterates over `(index, row)` pairs of exactly the given cost.
+    pub fn rows_of_cost(&self, cost: u64) -> impl Iterator<Item = (u32, &[u64])> {
+        let blocks = self.width.blocks();
+        self.indices_of_cost(cost)
+            .map(move |i| (i as u32, &self.rows[i * blocks..(i + 1) * blocks]))
+    }
+
+    /// Number of rows of exactly the given cost.
+    pub fn count_of_cost(&self, cost: u64) -> usize {
+        self.indices_of_cost(cost).len()
+    }
+
+    /// The costs for which at least one row is stored, in ascending order.
+    pub fn cost_levels(&self) -> impl Iterator<Item = u64> + '_ {
+        self.start_points.keys().copied()
+    }
+
+    /// Reconstructs the regular expression recorded by the provenance
+    /// chain starting at `provenance` (for a row that may not itself be in
+    /// the cache — the satisfying row is returned to the caller before it
+    /// is stored, exactly as in the paper's pseudocode).
+    pub fn reconstruct(&self, provenance: Provenance) -> Regex {
+        match provenance {
+            Provenance::Literal(a) => Regex::literal(a),
+            Provenance::Question(i) => self.reconstruct_row(i).question(),
+            Provenance::Star(i) => self.reconstruct_row(i).star(),
+            Provenance::Concat(l, r) => {
+                Regex::concat(self.reconstruct_row(l), self.reconstruct_row(r))
+            }
+            Provenance::Union(l, r) => {
+                Regex::union(self.reconstruct_row(l), self.reconstruct_row(r))
+            }
+        }
+    }
+
+    /// Reconstructs the regular expression of the cached row `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn reconstruct_row(&self, idx: u32) -> Regex {
+        self.reconstruct(self.provenance(idx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rei_syntax::CostFn;
+
+    fn width() -> CsWidth {
+        CsWidth::for_len(8)
+    }
+
+    #[test]
+    fn push_and_lookup() {
+        let mut cache = LanguageCache::new(width(), 1 << 16);
+        let a = cache.push(&[0b01], Provenance::Literal('0'), 1).unwrap();
+        let b = cache.push(&[0b10], Provenance::Literal('1'), 1).unwrap();
+        let u = cache.push(&[0b11], Provenance::Union(a, b), 3).unwrap();
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.row(u), &[0b11]);
+        assert_eq!(cache.cost(u), 3);
+        assert_eq!(cache.provenance(u), Provenance::Union(a, b));
+        assert_eq!(cache.indices_of_cost(1), 0..2);
+        assert_eq!(cache.indices_of_cost(2), 0..0);
+        assert_eq!(cache.count_of_cost(3), 1);
+        assert_eq!(cache.cost_levels().collect::<Vec<_>>(), vec![1, 3]);
+    }
+
+    #[test]
+    fn capacity_is_respected() {
+        // Budget for exactly two rows.
+        let per_row = width().bytes() + LanguageCache::ROW_OVERHEAD_BYTES;
+        let mut cache = LanguageCache::new(width(), per_row * 2);
+        assert_eq!(cache.capacity_rows(), 2);
+        assert!(cache.push(&[1], Provenance::Literal('a'), 1).is_some());
+        assert!(cache.push(&[2], Provenance::Literal('b'), 1).is_some());
+        assert!(cache.is_full());
+        assert!(cache.push(&[3], Provenance::Literal('c'), 1).is_none());
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing cost")]
+    fn decreasing_cost_is_rejected() {
+        let mut cache = LanguageCache::new(width(), 1 << 16);
+        cache.push(&[1], Provenance::Literal('a'), 5).unwrap();
+        let _ = cache.push(&[2], Provenance::Literal('b'), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn wrong_width_is_rejected() {
+        let mut cache = LanguageCache::new(CsWidth::for_len(100), 1 << 16);
+        let _ = cache.push(&[1], Provenance::Literal('a'), 1);
+    }
+
+    #[test]
+    fn reconstruction_follows_provenance() {
+        let mut cache = LanguageCache::new(width(), 1 << 16);
+        let zero = cache.push(&[0b001], Provenance::Literal('0'), 1).unwrap();
+        let one = cache.push(&[0b010], Provenance::Literal('1'), 1).unwrap();
+        let union = cache.push(&[0b011], Provenance::Union(zero, one), 3).unwrap();
+        let star = cache.push(&[0b111], Provenance::Star(union), 4).unwrap();
+        let r = cache.reconstruct_row(star);
+        assert_eq!(r.to_string(), "(0+1)*");
+        assert_eq!(r.cost(&CostFn::UNIFORM), 4);
+        // Reconstruction of an un-cached provenance referencing cached rows.
+        let q = cache.reconstruct(Provenance::Question(star));
+        assert_eq!(q.to_string(), "(0+1)*?");
+        let c = cache.reconstruct(Provenance::Concat(zero, star));
+        assert_eq!(c.to_string(), "0(0+1)*");
+    }
+
+    #[test]
+    fn memory_accounting_grows_with_rows() {
+        let mut cache = LanguageCache::new(width(), 1 << 16);
+        assert_eq!(cache.memory_bytes(), 0);
+        cache.push(&[1], Provenance::Literal('a'), 1).unwrap();
+        let one_row = cache.memory_bytes();
+        cache.push(&[2], Provenance::Literal('b'), 1).unwrap();
+        assert_eq!(cache.memory_bytes(), 2 * one_row);
+    }
+}

@@ -1,0 +1,74 @@
+//! Execution engines: sequential (CPU) and data-parallel (simulated GPU).
+
+use gpu_sim::{Device, DeviceConfig};
+
+/// How the rows of each cost level are computed.
+///
+/// Both engines implement the same algorithm and produce identical results;
+/// they correspond to the paper's CPU and GPU implementations. The
+/// sequential engine iterates over candidates one at a time with early
+/// exits; the parallel engine materialises each level's candidates as a
+/// batch of data-parallel kernel items on a [`Device`] and performs the
+/// uniqueness/satisfaction pass afterwards, mirroring the temporary-buffer
+/// → cache copy structure of the paper's GPU implementation.
+#[derive(Debug, Clone)]
+pub enum Engine {
+    /// One candidate at a time, on the calling thread.
+    Sequential,
+    /// Candidates of a level computed as kernels on the given device.
+    Parallel(Device),
+}
+
+impl Engine {
+    /// A parallel engine on a device with the default configuration (one
+    /// worker per available core).
+    pub fn parallel() -> Self {
+        Engine::Parallel(Device::new(DeviceConfig::default()))
+    }
+
+    /// A parallel engine with an explicit number of device threads.
+    pub fn parallel_with_threads(threads: usize) -> Self {
+        Engine::Parallel(Device::with_threads(threads))
+    }
+
+    /// Returns the device backing this engine, if any.
+    pub fn device(&self) -> Option<&Device> {
+        match self {
+            Engine::Sequential => None,
+            Engine::Parallel(device) => Some(device),
+        }
+    }
+
+    /// A short human-readable name used by the benchmark harness.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Engine::Sequential => "cpu-sequential",
+            Engine::Parallel(_) => "gpu-sim-parallel",
+        }
+    }
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::Sequential
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_and_devices() {
+        assert_eq!(Engine::Sequential.name(), "cpu-sequential");
+        assert!(Engine::Sequential.device().is_none());
+        let parallel = Engine::parallel_with_threads(3);
+        assert_eq!(parallel.name(), "gpu-sim-parallel");
+        assert_eq!(parallel.device().unwrap().config().threads, 3);
+    }
+
+    #[test]
+    fn default_is_sequential() {
+        assert!(matches!(Engine::default(), Engine::Sequential));
+    }
+}

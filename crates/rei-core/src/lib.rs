@@ -1,0 +1,52 @@
+//! The Paresy algorithm: search-based regular expression inference.
+//!
+//! This crate implements Section 3 of *"Search-Based Regular Expression
+//! Inference on a GPU"* (Valizadeh & Berger, PLDI 2023): a bottom-up,
+//! cost-ordered search over regular *languages*, represented as
+//! characteristic sequences over the infix closure of the examples, with
+//!
+//! * a write-once, contiguous **language cache** grouped by cost
+//!   ([`cache::LanguageCache`]),
+//! * per-cost **builders** for the `?`, `*`, `·` and `+` constructors that
+//!   combine cached rows using the staged guide table,
+//! * a global **uniqueness check** through a WarpCore-style concurrent set,
+//! * **OnTheFly mode** once the memory budget is exhausted,
+//! * reconstruction of a **minimal regular expression** from the provenance
+//!   stored next to each row, and
+//! * the **REI-with-error** extension of Section 5.2.
+//!
+//! Two engines share all of this machinery and differ only in how the rows
+//! of a cost level are computed: [`Engine::Sequential`] is the reference
+//! CPU implementation, [`Engine::parallel`] dispatches the per-candidate
+//! work as data-parallel kernels on a [`gpu_sim::Device`].
+//!
+//! # Example
+//!
+//! ```
+//! use rei_core::{Synthesizer, SynthesisError};
+//! use rei_lang::Spec;
+//! use rei_syntax::CostFn;
+//!
+//! let spec = Spec::from_strs(
+//!     ["10", "101", "100", "1010", "1011", "1000", "1001"],
+//!     ["", "0", "1", "00", "11", "010"],
+//! ).unwrap();
+//! let result = Synthesizer::new(CostFn::UNIFORM).run(&spec).unwrap();
+//! assert_eq!(result.regex.to_string(), "10(0+1)*");
+//! assert_eq!(result.cost, 8);
+//! # Ok::<(), SynthesisError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+mod engine;
+mod result;
+mod search;
+mod synth;
+
+pub use cache::{LanguageCache, Provenance};
+pub use engine::Engine;
+pub use result::{LevelStats, SynthesisError, SynthesisResult, SynthesisStats};
+pub use synth::Synthesizer;

@@ -1,0 +1,508 @@
+//! The bottom-up, cost-ordered search over characteristic sequences.
+//!
+//! This module implements Algorithms 1 and 2 of the paper. The search is
+//! parameterised by an [`Engine`]: the sequential engine computes candidate
+//! rows one at a time with early exits, the parallel engine computes each
+//! cost level as batches of data-parallel kernel items on a
+//! [`gpu_sim::Device`] and then performs the uniqueness / satisfaction pass
+//! over the temporary batch, mirroring the temporary-buffer → cache copy of
+//! the paper's GPU implementation.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use gpu_sim::hashset::CsSet;
+use gpu_sim::Device;
+use rei_lang::{csops, Alphabet, CsWidth, GuideTable, InfixClosure, SatisfyMasks, Spec};
+use rei_syntax::CostFn;
+
+use crate::cache::{LanguageCache, Provenance};
+use crate::result::{LevelStats, SynthesisError, SynthesisResult, SynthesisStats};
+use crate::Engine;
+
+/// Number of candidate rows materialised per kernel launch by the parallel
+/// engine. Bounds the size of the temporary device buffer.
+const PARALLEL_BATCH: usize = 1 << 16;
+
+/// Everything the search needs, assembled by [`crate::Synthesizer`].
+pub(crate) struct SearchParams<'a> {
+    pub spec: &'a Spec,
+    pub alphabet: Alphabet,
+    pub costs: CostFn,
+    pub engine: &'a Engine,
+    pub memory_budget: usize,
+    pub allowed_errors: usize,
+    pub max_cost: u64,
+    pub time_budget: Option<Duration>,
+    pub started: Instant,
+}
+
+/// A candidate construction at the current cost level: the outermost
+/// constructor plus cache indices of its operands.
+#[derive(Debug, Clone, Copy)]
+enum Job {
+    Question(u32),
+    Star(u32),
+    Concat(u32, u32),
+    Union(u32, u32),
+}
+
+impl Job {
+    fn provenance(self) -> Provenance {
+        match self {
+            Job::Question(i) => Provenance::Question(i),
+            Job::Star(i) => Provenance::Star(i),
+            Job::Concat(l, r) => Provenance::Concat(l, r),
+            Job::Union(l, r) => Provenance::Union(l, r),
+        }
+    }
+}
+
+/// Result of building one cost level.
+enum LevelOutcome {
+    /// A satisfying row was constructed; its provenance is returned.
+    Found(Provenance),
+    /// The level was built (possibly partially cached); continue.
+    Continue,
+    /// OnTheFly mode can no longer reach the operands it needs.
+    Exhausted,
+    /// The wall-clock budget expired while building the level.
+    TimedOut,
+}
+
+struct Search<'a> {
+    params: SearchParams<'a>,
+    guide: GuideTable,
+    masks: SatisfyMasks,
+    width: CsWidth,
+    eps_index: usize,
+    cache: LanguageCache,
+    seen: CsSet,
+    device: Device,
+    stats: SynthesisStats,
+    /// `true` once the cache rejected a row: new rows are no longer cached
+    /// or uniqueness-checked (the paper's OnTheFly mode).
+    on_the_fly: bool,
+    /// The highest cost whose level was stored completely.
+    last_full_cost: u64,
+}
+
+/// Runs the full search. Trivial specifications (`P = ∅`, `P = {ε}` and the
+/// corresponding relaxed checks) are handled by the caller.
+pub(crate) fn run(params: SearchParams<'_>) -> Result<SynthesisResult, SynthesisError> {
+    let ic = InfixClosure::of_spec(params.spec);
+    let guide = GuideTable::build(&ic);
+    let masks = SatisfyMasks::new(params.spec, &ic);
+    let width = ic.width();
+    let eps_index = ic.eps_index().expect("non-trivial spec has a non-empty closure");
+    let cache = LanguageCache::new(width, params.memory_budget);
+    // The uniqueness table starts small and is grown between kernel
+    // launches as the cache fills (see `CsSet::maybe_grow`).
+    let seen = CsSet::new(width.blocks(), 4096.min(cache.capacity_rows()));
+    let device = params
+        .engine
+        .device()
+        .cloned()
+        .unwrap_or_else(Device::sequential);
+    let literal_cost = params.costs.literal;
+    let max_cost = params.max_cost;
+
+    let mut stats = SynthesisStats::default();
+    stats.infix_closure_size = ic.len() as u64;
+
+    let mut search = Search {
+        params,
+        guide,
+        masks,
+        width,
+        eps_index,
+        cache,
+        seen,
+        device,
+        stats,
+        on_the_fly: false,
+        last_full_cost: 0,
+    };
+
+    // Seed the cache with the characteristic sequences of the alphabet
+    // characters (line 6 of Algorithm 1), checking each for satisfaction.
+    if let Some(found) = search.seed_alphabet(&ic) {
+        return Ok(search.finish(found));
+    }
+
+    for cost in (literal_cost + 1)..=max_cost {
+        search.stats.max_cost_reached = cost;
+        match search.build_level(cost) {
+            LevelOutcome::Found(prov) => return Ok(search.finish(prov)),
+            LevelOutcome::Continue => {}
+            LevelOutcome::Exhausted => {
+                return Err(SynthesisError::OutOfMemory {
+                    last_complete_cost: search.last_full_cost,
+                    stats: search.final_stats(),
+                });
+            }
+            LevelOutcome::TimedOut => {
+                return Err(SynthesisError::Timeout {
+                    budget: search.params.time_budget.unwrap_or_default(),
+                    stats: search.final_stats(),
+                });
+            }
+        }
+    }
+
+    Err(SynthesisError::NotFound { max_cost, stats: search.final_stats() })
+}
+
+impl<'a> Search<'a> {
+    fn seed_alphabet(&mut self, ic: &InfixClosure) -> Option<Provenance> {
+        let cost = self.params.costs.literal;
+        self.stats.max_cost_reached = cost;
+        let alphabet = self.params.alphabet.clone();
+        for &a in alphabet.symbols() {
+            let row = ic.cs_of_literal(a);
+            self.stats.candidates_generated += 1;
+            self.device.record_hash_insertions(1);
+            if !self.seen.insert(row.blocks()) {
+                continue;
+            }
+            self.stats.unique_languages += 1;
+            if self.masks.is_satisfied_with_error(row.blocks(), self.params.allowed_errors) {
+                return Some(Provenance::Literal(a));
+            }
+            if self
+                .cache
+                .push(row.blocks(), Provenance::Literal(a), cost)
+                .is_none()
+            {
+                // A memory budget too small even for the alphabet: OnTheFly
+                // from the start; nothing will ever be cached.
+                self.enter_on_the_fly();
+            }
+        }
+        if !self.on_the_fly {
+            self.last_full_cost = cost;
+        }
+        self.stats.levels.push(LevelStats {
+            cost,
+            candidates: alphabet.len() as u64,
+            unique: self.stats.unique_languages,
+            cached: self.cache.len() as u64,
+        });
+        None
+    }
+
+    fn enter_on_the_fly(&mut self) {
+        self.on_the_fly = true;
+        self.stats.used_on_the_fly = true;
+    }
+
+    /// Returns `true` when a wall-clock budget is configured and exceeded.
+    fn over_time_budget(&self) -> bool {
+        match self.params.time_budget {
+            Some(budget) => self.params.started.elapsed() > budget,
+            None => false,
+        }
+    }
+
+    /// The highest operand cost any constructor may need when building
+    /// languages of cost `cost`.
+    fn max_operand_cost(&self, cost: u64) -> u64 {
+        cost.saturating_sub(self.params.costs.min_constructor_cost())
+    }
+
+    fn build_level(&mut self, cost: u64) -> LevelOutcome {
+        if self.on_the_fly && self.max_operand_cost(cost) > self.last_full_cost {
+            // OnTheFly mode would need operand levels that were never
+            // (fully) cached: the search cannot make further progress
+            // without violating minimality, so it stops (paper: the
+            // out-of-memory outcome).
+            return LevelOutcome::Exhausted;
+        }
+        let jobs = self.enumerate_jobs(cost);
+        self.stats.candidates_generated += jobs.len() as u64;
+        let unique_before = self.stats.unique_languages;
+        let cached_before = self.cache.len() as u64;
+        let mut level_complete = !self.on_the_fly;
+
+        let parallel = matches!(self.params.engine, Engine::Parallel(_));
+        let blocks = self.width.blocks();
+        let mut scratch = vec![0u64; blocks];
+        let mut row = vec![0u64; blocks];
+        // Each parallel batch row carries one extra word of flags (bit 0:
+        // survived the uniqueness check, bit 1: satisfies the masks).
+        let mut batch_rows = vec![0u64; PARALLEL_BATCH * (blocks + 1)];
+
+        for batch in jobs.chunks(PARALLEL_BATCH) {
+            if self.over_time_budget() {
+                return LevelOutcome::TimedOut;
+            }
+            if parallel {
+                match self.process_batch_parallel(batch, &mut batch_rows, cost) {
+                    Admit::Found(prov) => return LevelOutcome::Found(prov),
+                    Admit::Overflowed => level_complete = false,
+                    Admit::Stored | Admit::Duplicate => {}
+                }
+            } else {
+                for job in batch {
+                    self.compute_row(*job, &mut row, &mut scratch);
+                    match self.admit(&row, *job, cost) {
+                        Admit::Found(prov) => return LevelOutcome::Found(prov),
+                        Admit::Overflowed => level_complete = false,
+                        Admit::Stored | Admit::Duplicate => {}
+                    }
+                }
+            }
+        }
+
+        if level_complete {
+            self.last_full_cost = cost;
+        }
+        // Per-level breakdown for fully processed levels (levels cut short
+        // by a satisfying row or a timeout are not recorded).
+        self.stats.levels.push(LevelStats {
+            cost,
+            candidates: jobs.len() as u64,
+            unique: self.stats.unique_languages - unique_before,
+            cached: self.cache.len() as u64 - cached_before,
+        });
+        LevelOutcome::Continue
+    }
+
+    /// Processes one batch of jobs on the device, mirroring the paper's GPU
+    /// structure: a single kernel computes each candidate row *and* performs
+    /// the uniqueness insertion (into the WarpCore-style concurrent set) and
+    /// the satisfaction check; the host then only copies the surviving rows
+    /// into the language cache.
+    ///
+    /// Item `k` of the launch owns the `k`-th chunk of `batch_rows`, laid
+    /// out as `blocks` row words followed by one flag word (bit 0 = unique,
+    /// bit 1 = satisfies the specification).
+    fn process_batch_parallel(&mut self, batch: &[Job], batch_rows: &mut [u64], cost: u64) -> Admit {
+        let blocks = self.width.blocks();
+        let stride = blocks + 1;
+        // Make sure the concurrent set cannot fill up mid-kernel.
+        if !self.on_the_fly {
+            self.seen.reserve(batch.len());
+            self.device.record_hash_insertions(batch.len() as u64);
+        }
+        let buf = &mut batch_rows[..batch.len() * stride];
+        let found = AtomicU64::new(u64::MAX);
+        {
+            let cache = &self.cache;
+            let guide = &self.guide;
+            let masks = &self.masks;
+            let seen = &self.seen;
+            let device = &self.device;
+            let eps = self.eps_index;
+            let allowed = self.params.allowed_errors;
+            let on_the_fly = self.on_the_fly;
+            let num_words = guide.num_words();
+            let found = &found;
+            device.launch_chunks("build-level", buf, stride, move |k, chunk| {
+                let (row, flags) = chunk.split_at_mut(blocks);
+                flags[0] = 0;
+                match batch[k] {
+                    Job::Question(i) => csops::question_into(row, cache.row(i), eps),
+                    Job::Union(l, r) => csops::or_into(row, cache.row(l), cache.row(r)),
+                    Job::Concat(l, r) => {
+                        // GPU-style kernel: fold over every word with no
+                        // data-dependent early exit (cf. Algorithm 2). The
+                        // output row must be cleared first because the
+                        // batch buffer is reused across launches.
+                        csops::clear(row);
+                        let (a, b) = (cache.row(l), cache.row(r));
+                        for w in 0..num_words {
+                            if csops::concat_word_bit(a, b, guide, w) {
+                                csops::set_bit(row, w);
+                            }
+                        }
+                    }
+                    Job::Star(i) => {
+                        let mut scratch = vec![0u64; blocks];
+                        csops::star_into(row, cache.row(i), guide, eps, &mut scratch);
+                    }
+                }
+                let unique = if on_the_fly {
+                    false
+                } else {
+                    let fresh = seen.insert(row);
+                    if fresh {
+                        flags[0] |= 1;
+                    }
+                    fresh
+                };
+                if (on_the_fly || unique) && masks.is_satisfied_with_error(row, allowed) {
+                    flags[0] |= 2;
+                    found.fetch_min(k as u64, Ordering::Relaxed);
+                }
+            });
+        }
+
+        // Host-side pass: account for unique rows and copy them into the
+        // write-once cache (the paper's temporary-buffer → cache copy).
+        let winner = found.load(Ordering::Relaxed);
+        let mut outcome = Admit::Duplicate;
+        for (k, chunk) in buf.chunks(stride).enumerate() {
+            let (row, flags) = chunk.split_at(blocks);
+            if flags[0] & 1 == 0 {
+                continue;
+            }
+            self.stats.unique_languages += 1;
+            if winner != u64::MAX {
+                // A satisfying row exists in this batch: nothing after it
+                // needs caching, exactly as in the sequential early return.
+                continue;
+            }
+            if !self.on_the_fly && self.cache.push(row, batch[k].provenance(), cost).is_none() {
+                self.enter_on_the_fly();
+                outcome = Admit::Overflowed;
+            }
+        }
+        if winner != u64::MAX {
+            return Admit::Found(batch[winner as usize].provenance());
+        }
+        outcome
+    }
+
+    fn compute_row(&self, job: Job, row: &mut [u64], scratch: &mut [u64]) {
+        match job {
+            Job::Question(i) => csops::question_into(row, self.cache.row(i), self.eps_index),
+            Job::Star(i) => {
+                csops::star_into(row, self.cache.row(i), &self.guide, self.eps_index, scratch)
+            }
+            Job::Concat(l, r) => {
+                csops::concat_into(row, self.cache.row(l), self.cache.row(r), &self.guide)
+            }
+            Job::Union(l, r) => csops::or_into(row, self.cache.row(l), self.cache.row(r)),
+        }
+    }
+
+    fn admit(&mut self, row: &[u64], job: Job, cost: u64) -> Admit {
+        self.seen.maybe_grow();
+        if self.on_the_fly {
+            // OnTheFly: no uniqueness check, no caching — only the
+            // satisfaction check (which preserves precision/minimality).
+            if self
+                .masks
+                .is_satisfied_with_error(row, self.params.allowed_errors)
+            {
+                return Admit::Found(job.provenance());
+            }
+            return Admit::Duplicate;
+        }
+        self.device.record_hash_insertions(1);
+        if !self.seen.insert(row) {
+            return Admit::Duplicate;
+        }
+        self.stats.unique_languages += 1;
+        if self
+            .masks
+            .is_satisfied_with_error(row, self.params.allowed_errors)
+        {
+            return Admit::Found(job.provenance());
+        }
+        if self.cache.push(row, job.provenance(), cost).is_none() {
+            self.enter_on_the_fly();
+            return Admit::Overflowed;
+        }
+        Admit::Stored
+    }
+
+    /// Enumerates every candidate construction of the given cost from the
+    /// cached lower-cost rows (the loop bodies of Algorithm 1).
+    fn enumerate_jobs(&self, cost: u64) -> Vec<Job> {
+        let costs = &self.params.costs;
+        let mut jobs = Vec::new();
+
+        // r? with cost(r) = cost - cost(?).
+        if let Some(operand) = cost.checked_sub(costs.question) {
+            for i in self.cache.indices_of_cost(operand) {
+                jobs.push(Job::Question(i as u32));
+            }
+        }
+        // r* with cost(r) = cost - cost(*).
+        if let Some(operand) = cost.checked_sub(costs.star) {
+            for i in self.cache.indices_of_cost(operand) {
+                jobs.push(Job::Star(i as u32));
+            }
+        }
+        // r·s with cost(r) + cost(s) = cost - cost(·).
+        if let Some(remaining) = cost.checked_sub(costs.concat) {
+            self.push_binary_jobs(remaining, false, &mut jobs);
+        }
+        // r+s with cost(r) + cost(s) = cost - cost(+). Union is commutative,
+        // so only ordered pairs (left cost ≤ right cost) are generated.
+        if let Some(remaining) = cost.checked_sub(costs.union) {
+            self.push_binary_jobs(remaining, true, &mut jobs);
+        }
+        jobs
+    }
+
+    fn push_binary_jobs(&self, remaining: u64, commutative: bool, jobs: &mut Vec<Job>) {
+        let literal = self.params.costs.literal;
+        if remaining < 2 * literal {
+            return;
+        }
+        for left_cost in literal..=(remaining - literal) {
+            let right_cost = remaining - left_cost;
+            if commutative && left_cost > right_cost {
+                break;
+            }
+            let left_range = self.cache.indices_of_cost(left_cost);
+            let right_range = self.cache.indices_of_cost(right_cost);
+            if left_range.is_empty() || right_range.is_empty() {
+                continue;
+            }
+            for l in left_range.clone() {
+                for r in right_range.clone() {
+                    if commutative && left_cost == right_cost && r < l {
+                        continue;
+                    }
+                    if commutative {
+                        jobs.push(Job::Union(l as u32, r as u32));
+                    } else {
+                        jobs.push(Job::Concat(l as u32, r as u32));
+                    }
+                }
+            }
+        }
+    }
+
+    fn final_stats(&self) -> SynthesisStats {
+        let mut stats = self.stats.clone();
+        stats.cache_rows = self.cache.len() as u64;
+        stats.cache_bytes = self.cache.memory_bytes() as u64;
+        stats.elapsed = self.params.started.elapsed();
+        stats
+    }
+
+    fn finish(&self, provenance: Provenance) -> SynthesisResult {
+        let regex = self.cache.reconstruct(provenance);
+        let cost = regex.cost(&self.params.costs);
+        debug_assert!(
+            self.params.spec.misclassified_by(&regex) <= self.params.allowed_errors,
+            "reconstructed expression {regex} does not satisfy the specification"
+        );
+        SynthesisResult { regex, cost, stats: self.final_stats() }
+    }
+}
+
+enum Admit {
+    Found(Provenance),
+    Stored,
+    Duplicate,
+    Overflowed,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_provenance_round_trip() {
+        assert_eq!(Job::Question(3).provenance(), Provenance::Question(3));
+        assert_eq!(Job::Star(4).provenance(), Provenance::Star(4));
+        assert_eq!(Job::Concat(1, 2).provenance(), Provenance::Concat(1, 2));
+        assert_eq!(Job::Union(5, 6).provenance(), Provenance::Union(5, 6));
+    }
+}

@@ -1,0 +1,377 @@
+//! The public synthesiser API.
+
+use std::time::{Duration, Instant};
+
+use rei_lang::{Alphabet, Spec};
+use rei_syntax::{CostFn, Regex};
+
+use crate::result::{SynthesisError, SynthesisResult, SynthesisStats};
+use crate::search::{self, SearchParams};
+use crate::Engine;
+
+/// Default memory budget for the language cache (bytes). The paper restricts
+/// both implementations to the 25 GB of the Colab CPU; the default here is
+/// sized for laptop-scale runs and can be raised with
+/// [`Synthesizer::with_memory_budget`].
+const DEFAULT_MEMORY_BUDGET: usize = 256 * 1024 * 1024;
+
+/// A configured Paresy synthesiser.
+///
+/// A `Synthesizer` is constructed from a cost homomorphism and optional
+/// overrides (engine, memory budget, cost bound, allowed error, alphabet)
+/// and then applied to one or more specifications with
+/// [`Synthesizer::run`]. The synthesiser is stateless across runs.
+///
+/// # Example
+///
+/// ```
+/// use rei_core::{Engine, Synthesizer};
+/// use rei_lang::Spec;
+/// use rei_syntax::CostFn;
+///
+/// let spec = Spec::from_strs(["00", "0000"], ["", "0", "000"]).unwrap();
+/// let synth = Synthesizer::new(CostFn::UNIFORM).with_engine(Engine::parallel_with_threads(2));
+/// let result = synth.run(&spec).unwrap();
+/// assert!(spec.is_satisfied_by(&result.regex));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Synthesizer {
+    costs: CostFn,
+    engine: Engine,
+    memory_budget: usize,
+    max_cost: Option<u64>,
+    allowed_error: f64,
+    alphabet: Option<Alphabet>,
+    time_budget: Option<Duration>,
+}
+
+impl Synthesizer {
+    /// Creates a synthesiser for the given cost homomorphism with default
+    /// settings: sequential engine, 256 MiB cache budget, no explicit cost
+    /// bound (the cost of the maximally overfitted expression is used), no
+    /// allowed error, alphabet inferred from the specification.
+    pub fn new(costs: CostFn) -> Self {
+        Synthesizer {
+            costs,
+            engine: Engine::Sequential,
+            memory_budget: DEFAULT_MEMORY_BUDGET,
+            max_cost: None,
+            allowed_error: 0.0,
+            alphabet: None,
+            time_budget: None,
+        }
+    }
+
+    /// Selects the execution engine (sequential or data-parallel).
+    pub fn with_engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Sets the memory budget of the language cache in bytes. When the
+    /// budget is exhausted the search switches to OnTheFly mode and may
+    /// eventually fail with [`SynthesisError::OutOfMemory`].
+    pub fn with_memory_budget(mut self, bytes: usize) -> Self {
+        self.memory_budget = bytes;
+        self
+    }
+
+    /// Bounds the search to expressions of cost at most `max_cost`
+    /// (`maxCost` in Algorithm 1). Without a bound, the cost of the
+    /// maximally overfitted union of all positive examples is used, which
+    /// always suffices for a precise solution.
+    pub fn with_max_cost(mut self, max_cost: u64) -> Self {
+        self.max_cost = Some(max_cost);
+        self
+    }
+
+    /// Sets the allowed error of the REI-with-error extension (§5.2): a
+    /// fraction in `[0, 1]` of examples the result may misclassify.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `error` is not in `[0, 1]` or is not finite.
+    pub fn with_allowed_error(mut self, error: f64) -> Self {
+        assert!(
+            error.is_finite() && (0.0..=1.0).contains(&error),
+            "allowed error must be a fraction in [0, 1]"
+        );
+        self.allowed_error = error;
+        self
+    }
+
+    /// Bounds the wall-clock time of a run. When exceeded the run fails
+    /// with [`SynthesisError::Timeout`]. This mirrors the 5-second timeout
+    /// the paper's evaluation applies to its random benchmark suite.
+    pub fn with_time_budget(mut self, budget: Duration) -> Self {
+        self.time_budget = Some(budget);
+        self
+    }
+
+    /// Overrides the alphabet. By default the alphabet is the set of
+    /// characters occurring in the examples; supplying a larger alphabet
+    /// lets the result mention characters the examples do not exhibit.
+    pub fn with_alphabet(mut self, alphabet: Alphabet) -> Self {
+        self.alphabet = Some(alphabet);
+        self
+    }
+
+    /// The cost homomorphism this synthesiser minimises against.
+    pub fn costs(&self) -> &CostFn {
+        &self.costs
+    }
+
+    /// The configured engine.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Runs regular expression inference on `spec`.
+    ///
+    /// On success the returned expression is *precise* (accepts all of `P`,
+    /// rejects all of `N`, up to the configured allowed error) and
+    /// *minimal* with respect to the cost homomorphism.
+    ///
+    /// # Errors
+    ///
+    /// * [`SynthesisError::NotFound`] if no expression within the cost
+    ///   bound satisfies the specification.
+    /// * [`SynthesisError::OutOfMemory`] if the language cache exceeded its
+    ///   memory budget and OnTheFly mode could not finish the search.
+    pub fn run(&self, spec: &Spec) -> Result<SynthesisResult, SynthesisError> {
+        let started = Instant::now();
+        let allowed_errors = self.allowed_example_errors(spec);
+
+        // Trivial candidates of minimal cost, checked before the search
+        // proper (lines 4-5 of Algorithm 1, generalised to allowed error).
+        let mut candidates_checked = 0u64;
+        for trivial in [Regex::Empty, Regex::Epsilon] {
+            candidates_checked += 1;
+            if spec.misclassified_by(&trivial) <= allowed_errors {
+                return Ok(SynthesisResult {
+                    cost: trivial.cost(&self.costs),
+                    regex: trivial,
+                    stats: SynthesisStats {
+                        candidates_generated: candidates_checked,
+                        unique_languages: candidates_checked,
+                        elapsed: started.elapsed(),
+                        ..SynthesisStats::default()
+                    },
+                });
+            }
+        }
+
+        let alphabet = self
+            .alphabet
+            .clone()
+            .unwrap_or_else(|| Alphabet::of_spec(spec));
+        let max_cost = self
+            .max_cost
+            .unwrap_or_else(|| spec.overfit_regex().cost(&self.costs));
+
+        let params = SearchParams {
+            spec,
+            alphabet,
+            costs: self.costs,
+            engine: &self.engine,
+            memory_budget: self.memory_budget,
+            allowed_errors,
+            max_cost,
+            time_budget: self.time_budget,
+            started,
+        };
+        let mut outcome = search::run(params);
+        match &mut outcome {
+            Ok(result) => result.stats.candidates_generated += candidates_checked,
+            Err(err) => match err {
+                SynthesisError::NotFound { stats, .. }
+                | SynthesisError::OutOfMemory { stats, .. }
+                | SynthesisError::Timeout { stats, .. } => {
+                    stats.candidates_generated += candidates_checked;
+                }
+            },
+        }
+        outcome
+    }
+
+    /// Number of examples the result may misclassify under the configured
+    /// allowed-error fraction.
+    pub fn allowed_example_errors(&self, spec: &Spec) -> usize {
+        (self.allowed_error * spec.len() as f64).floor() as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rei_lang::Word;
+
+    fn uniform() -> Synthesizer {
+        Synthesizer::new(CostFn::UNIFORM)
+    }
+
+    #[test]
+    fn empty_positive_set_yields_empty_language() {
+        let spec = Spec::from_strs([], ["0", "1", ""]).unwrap();
+        let result = uniform().run(&spec).unwrap();
+        assert_eq!(result.regex, Regex::Empty);
+        assert_eq!(result.cost, 1);
+    }
+
+    #[test]
+    fn epsilon_only_positive_yields_epsilon() {
+        let spec = Spec::from_strs([""], ["0", "1"]).unwrap();
+        let result = uniform().run(&spec).unwrap();
+        assert_eq!(result.regex, Regex::Epsilon);
+    }
+
+    #[test]
+    fn single_literal_spec() {
+        let spec = Spec::from_strs(["1"], ["", "0"]).unwrap();
+        let result = uniform().run(&spec).unwrap();
+        assert_eq!(result.regex.to_string(), "1");
+        assert_eq!(result.cost, 1);
+    }
+
+    #[test]
+    fn paper_intro_example_uniform_cost() {
+        let spec = Spec::from_strs(
+            ["10", "101", "100", "1010", "1011", "1000", "1001"],
+            ["", "0", "1", "00", "11", "010"],
+        )
+        .unwrap();
+        let result = uniform().run(&spec).unwrap();
+        assert_eq!(result.regex.to_string(), "10(0+1)*");
+        assert_eq!(result.cost, 8);
+        assert!(result.stats.candidates_generated > 0);
+        assert!(result.stats.infix_closure_size >= 13);
+    }
+
+    #[test]
+    fn sequential_and_parallel_agree() {
+        let spec = Spec::from_strs(
+            ["1", "011", "1011", "11011"],
+            ["", "10", "101", "0011"],
+        )
+        .unwrap();
+        let sequential = uniform().run(&spec).unwrap();
+        let parallel = uniform()
+            .with_engine(Engine::parallel_with_threads(4))
+            .run(&spec)
+            .unwrap();
+        assert!(spec.is_satisfied_by(&sequential.regex));
+        assert!(spec.is_satisfied_by(&parallel.regex));
+        assert_eq!(sequential.cost, parallel.cost, "both engines must be minimal");
+    }
+
+    #[test]
+    fn minimality_against_exhaustive_oracle() {
+        // For a small spec, check that no strictly cheaper expression
+        // (enumerated exhaustively up to the found cost) satisfies it.
+        let spec = Spec::from_strs(["0", "00", "000"], ["", "01", "1"]).unwrap();
+        let result = uniform().run(&spec).unwrap();
+        assert!(spec.is_satisfied_by(&result.regex));
+        assert_eq!(result.regex.to_string(), "00*");
+        // 2 literals + star + concat under the uniform cost function.
+        assert_eq!(result.cost, 4);
+    }
+
+    #[test]
+    fn max_cost_bound_yields_not_found() {
+        let spec = Spec::from_strs(
+            ["10", "101", "100", "1010", "1011", "1000", "1001"],
+            ["", "0", "1", "00", "11", "010"],
+        )
+        .unwrap();
+        let err = uniform().with_max_cost(5).run(&spec).unwrap_err();
+        match err {
+            SynthesisError::NotFound { max_cost, stats } => {
+                assert_eq!(max_cost, 5);
+                assert!(stats.candidates_generated > 0);
+            }
+            other => panic!("expected NotFound, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tiny_memory_budget_reports_out_of_memory() {
+        let spec = Spec::from_strs(
+            ["10", "101", "100", "1010", "1011", "1000", "1001"],
+            ["", "0", "1", "00", "11", "010"],
+        )
+        .unwrap();
+        // A budget of a few hundred bytes holds only a handful of rows.
+        let err = uniform().with_memory_budget(300).run(&spec).unwrap_err();
+        match err {
+            SynthesisError::OutOfMemory { stats, .. } => assert!(stats.used_on_the_fly),
+            other => panic!("expected OutOfMemory, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn allowed_error_half_returns_empty_language() {
+        // With 50 % allowed error the empty language misclassifies only the
+        // positives, which is within budget — matching the last row of the
+        // paper's allowed-error table.
+        let spec = Spec::from_strs(["0", "1"], ["00", "11"]).unwrap();
+        let result = uniform().with_allowed_error(0.5).run(&spec).unwrap();
+        assert_eq!(result.regex, Regex::Empty);
+    }
+
+    #[test]
+    #[should_panic(expected = "allowed error")]
+    fn allowed_error_out_of_range_panics() {
+        let _ = uniform().with_allowed_error(1.5);
+    }
+
+    #[test]
+    fn zero_time_budget_times_out() {
+        let spec = Spec::from_strs(
+            ["10", "101", "100", "1010", "1011", "1000", "1001"],
+            ["", "0", "1", "00", "11", "010"],
+        )
+        .unwrap();
+        let err = uniform()
+            .with_time_budget(Duration::ZERO)
+            .run(&spec)
+            .unwrap_err();
+        assert!(matches!(err, SynthesisError::Timeout { .. }), "got {err:?}");
+    }
+
+    #[test]
+    fn explicit_alphabet_extends_search_space() {
+        // With the alphabet {0, 1, 2} the synthesiser may use '2' even
+        // though it never occurs in the examples.
+        let spec = Spec::from_strs(["0", "1", "2"], [""]).unwrap();
+        let result = uniform()
+            .with_alphabet(Alphabet::new(['0', '1', '2']))
+            .run(&spec)
+            .unwrap();
+        assert!(spec.is_satisfied_by(&result.regex));
+        assert!(result.regex.literals().contains(&'2'));
+    }
+
+    #[test]
+    fn star_expensive_cost_function_prefers_star_free_results() {
+        let spec = Spec::from_strs(["01", "0101"], ["", "0", "1", "10"]).unwrap();
+        let expensive_star = Synthesizer::new(CostFn::new(1, 1, 50, 1, 1));
+        let result = expensive_star.run(&spec).unwrap();
+        assert!(spec.is_satisfied_by(&result.regex));
+        assert!(
+            rei_syntax::metrics::is_star_free(&result.regex),
+            "expected a star-free result, got {}",
+            result.regex
+        );
+    }
+
+    #[test]
+    fn alphabet_with_epsilon_examples() {
+        let spec = Spec::new(
+            [Word::epsilon(), Word::from("ab")],
+            [Word::from("a"), Word::from("b")],
+        )
+        .unwrap();
+        let result = uniform().run(&spec).unwrap();
+        assert!(spec.is_satisfied_by(&result.regex));
+    }
+}

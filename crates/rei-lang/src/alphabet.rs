@@ -1,0 +1,177 @@
+//! Finite, ordered alphabets.
+
+use std::fmt;
+
+use crate::{Spec, Word};
+
+/// A finite alphabet: an ordered set of characters.
+///
+/// Paresy works over arbitrary alphabets; the alphabet determines which
+/// literal characteristic sequences seed the language cache.
+///
+/// # Example
+///
+/// ```
+/// use rei_lang::Alphabet;
+///
+/// let sigma = Alphabet::new("abca".chars());
+/// assert_eq!(sigma.len(), 3);
+/// assert_eq!(sigma.index_of('b'), Some(1));
+/// assert!(sigma.contains('c'));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Alphabet {
+    symbols: Vec<char>,
+}
+
+impl Alphabet {
+    /// The binary alphabet `{0, 1}` used by most of the paper's benchmarks.
+    pub fn binary() -> Self {
+        Alphabet::new(['0', '1'])
+    }
+
+    /// Creates an alphabet from an iterator of characters. Duplicates are
+    /// removed and the symbols are stored in ascending order.
+    pub fn new<I: IntoIterator<Item = char>>(symbols: I) -> Self {
+        let mut symbols: Vec<char> = symbols.into_iter().collect();
+        symbols.sort_unstable();
+        symbols.dedup();
+        Alphabet { symbols }
+    }
+
+    /// The alphabet of all characters occurring in the examples of `spec`.
+    ///
+    /// This is the default alphabet the synthesiser uses when none is given
+    /// explicitly.
+    pub fn of_spec(spec: &Spec) -> Self {
+        Alphabet::new(
+            spec.positive()
+                .iter()
+                .chain(spec.negative())
+                .flat_map(|w| w.chars().iter().copied()),
+        )
+    }
+
+    /// Number of symbols.
+    pub fn len(&self) -> usize {
+        self.symbols.len()
+    }
+
+    /// Returns `true` if the alphabet has no symbols.
+    pub fn is_empty(&self) -> bool {
+        self.symbols.is_empty()
+    }
+
+    /// The symbols in ascending order.
+    pub fn symbols(&self) -> &[char] {
+        &self.symbols
+    }
+
+    /// Returns `true` if `c` belongs to the alphabet.
+    pub fn contains(&self, c: char) -> bool {
+        self.symbols.binary_search(&c).is_ok()
+    }
+
+    /// Index of `c` in the ascending order of the alphabet.
+    pub fn index_of(&self, c: char) -> Option<usize> {
+        self.symbols.binary_search(&c).ok()
+    }
+
+    /// Iterates over all words of exactly length `len`, in lexicographic
+    /// order. Used by the Type 1 / Type 2 benchmark generators.
+    pub fn words_of_length(&self, len: usize) -> Vec<Word> {
+        let mut out = vec![Word::epsilon()];
+        for _ in 0..len {
+            let mut next = Vec::with_capacity(out.len() * self.symbols.len());
+            for w in &out {
+                for &c in &self.symbols {
+                    next.push(w.concat(&Word::new([c])));
+                }
+            }
+            out = next;
+        }
+        out
+    }
+
+    /// Total number of words of length at most `len` (`|Σ^{≤len}|`).
+    pub fn count_words_up_to(&self, len: usize) -> u128 {
+        let k = self.symbols.len() as u128;
+        if k == 0 {
+            return 1;
+        }
+        if k == 1 {
+            return len as u128 + 1;
+        }
+        (k.pow(len as u32 + 1) - 1) / (k - 1)
+    }
+}
+
+impl fmt::Display for Alphabet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, c) in self.symbols.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<char> for Alphabet {
+    fn from_iter<I: IntoIterator<Item = char>>(iter: I) -> Self {
+        Alphabet::new(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deduplicates_and_sorts() {
+        let sigma = Alphabet::new("cbaab".chars());
+        assert_eq!(sigma.symbols(), &['a', 'b', 'c']);
+    }
+
+    #[test]
+    fn binary_alphabet() {
+        let sigma = Alphabet::binary();
+        assert_eq!(sigma.len(), 2);
+        assert!(sigma.contains('0'));
+        assert!(!sigma.contains('2'));
+        assert_eq!(sigma.to_string(), "{0, 1}");
+    }
+
+    #[test]
+    fn alphabet_of_spec() {
+        let spec = Spec::from_strs(["ab", "ba"], ["c"]).unwrap();
+        let sigma = Alphabet::of_spec(&spec);
+        assert_eq!(sigma.symbols(), &['a', 'b', 'c']);
+    }
+
+    #[test]
+    fn words_of_length_enumerates_all() {
+        let sigma = Alphabet::binary();
+        let words = sigma.words_of_length(2);
+        let rendered: Vec<String> = words.iter().map(|w| w.to_string()).collect();
+        assert_eq!(rendered, vec!["00", "01", "10", "11"]);
+    }
+
+    #[test]
+    fn count_words_up_to_matches_enumeration() {
+        let sigma = Alphabet::binary();
+        let total: usize = (0..=3).map(|l| sigma.words_of_length(l).len()).sum();
+        assert_eq!(sigma.count_words_up_to(3), total as u128);
+        let unary = Alphabet::new(['a']);
+        assert_eq!(unary.count_words_up_to(5), 6);
+    }
+
+    #[test]
+    fn empty_alphabet() {
+        let sigma = Alphabet::new([]);
+        assert!(sigma.is_empty());
+        assert_eq!(sigma.count_words_up_to(4), 1);
+    }
+}

@@ -1,0 +1,428 @@
+//! Block-level kernels on characteristic sequences.
+//!
+//! The language cache of the synthesiser stores characteristic sequences as
+//! contiguous rows of `u64` blocks. Both the sequential (CPU) engine and
+//! the data-parallel (GPU-simulated) engine express their work in terms of
+//! the free functions in this module, which operate directly on block
+//! slices and perform no allocation. The owned [`crate::Cs`] type is a thin
+//! wrapper over the same kernels.
+//!
+//! The operations implement the infix-power-series semiring of
+//! Definition 3.5 of the paper:
+//!
+//! * union is a bitwise or ([`or_into`]),
+//! * the question mark adds the `ε` bit ([`question_into`]),
+//! * concatenation folds over the pre-computed guide table
+//!   ([`concat_into`]),
+//! * the Kleene star iterates concatenation to a fixed point
+//!   ([`star_into`]).
+
+use crate::GuideTable;
+
+/// Reads bit `i` of a block slice.
+#[inline]
+pub fn get_bit(blocks: &[u64], i: usize) -> bool {
+    (blocks[i / 64] >> (i % 64)) & 1 == 1
+}
+
+/// Sets bit `i` of a block slice.
+#[inline]
+pub fn set_bit(blocks: &mut [u64], i: usize) {
+    blocks[i / 64] |= 1u64 << (i % 64);
+}
+
+/// Fills a block slice with zeros.
+#[inline]
+pub fn clear(dst: &mut [u64]) {
+    dst.fill(0);
+}
+
+/// Copies `src` into `dst`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn copy_into(dst: &mut [u64], src: &[u64]) {
+    dst.copy_from_slice(src);
+}
+
+/// Returns `true` if the two rows are bitwise identical.
+#[inline]
+pub fn equal(a: &[u64], b: &[u64]) -> bool {
+    a == b
+}
+
+/// `dst := a | b` — the union (semiring sum) of two languages.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn or_into(dst: &mut [u64], a: &[u64], b: &[u64]) {
+    debug_assert_eq!(a.len(), b.len());
+    for ((d, &x), &y) in dst.iter_mut().zip(a).zip(b) {
+        *d = x | y;
+    }
+}
+
+/// `dst := a` with the `ε` bit set — the question-mark operator.
+#[inline]
+pub fn question_into(dst: &mut [u64], a: &[u64], eps_index: usize) {
+    copy_into(dst, a);
+    set_bit(dst, eps_index);
+}
+
+/// Computes a single bit of a concatenation: whether word `w` of the infix
+/// closure belongs to `L(a) · L(b)`.
+///
+/// This is the per-thread kernel body of the GPU implementation: one thread
+/// is responsible for one (target CS, word) pair and folds over the guide
+/// table row of that word. There is no early exit, matching the paper's
+/// observation that data-dependent branching hurts GPU performance; the
+/// sequential engine uses [`concat_into`], which does exit early.
+#[inline]
+pub fn concat_word_bit(a: &[u64], b: &[u64], guide: &GuideTable, w: usize) -> bool {
+    let mut any = false;
+    for &(l, r) in guide.splits(w) {
+        any |= get_bit(a, l as usize) && get_bit(b, r as usize);
+    }
+    any
+}
+
+/// `dst := a · b` — the concatenation (semiring product) of two languages,
+/// restricted to the infix closure, using the staged guide table.
+///
+/// # Panics
+///
+/// Panics if `dst` is too short for `guide.num_words()` bits.
+pub fn concat_into(dst: &mut [u64], a: &[u64], b: &[u64], guide: &GuideTable) {
+    clear(dst);
+    for w in 0..guide.num_words() {
+        // Early exit per word is fine on a CPU; the data-parallel engine
+        // uses `concat_word_bit` instead.
+        let hit = guide
+            .splits(w)
+            .iter()
+            .any(|&(l, r)| get_bit(a, l as usize) && get_bit(b, r as usize));
+        if hit {
+            set_bit(dst, w);
+        }
+    }
+}
+
+/// `dst := a · b` computed **without** the staged guide table, by
+/// enumerating the splits of every word on the fly.
+///
+/// This exists only as the baseline for the guide-table ablation benchmark
+/// (`DESIGN.md` §5): it recomputes, for every target word, every split and
+/// two hash look-ups into the closure, which is exactly the work the guide
+/// table pre-computes once per synthesis run.
+pub fn concat_into_unstaged(dst: &mut [u64], a: &[u64], b: &[u64], ic: &crate::InfixClosure) {
+    clear(dst);
+    for (w, word) in ic.iter() {
+        let n = word.len();
+        let hit = (0..=n).any(|cut| {
+            let left = ic.index_of(&word.infix(0, cut));
+            let right = ic.index_of(&word.infix(cut, n));
+            match (left, right) {
+                (Some(l), Some(r)) => get_bit(a, l) && get_bit(b, r),
+                _ => false,
+            }
+        });
+        if hit {
+            set_bit(dst, w);
+        }
+    }
+}
+
+/// `dst := a*` — the Kleene star of a language, restricted to the infix
+/// closure.
+///
+/// The star is computed as the limit of `t_0 = {ε}`, `t_{k+1} = t_k ∪ t_k·a`,
+/// which is monotone and therefore reaches a fixed point after at most
+/// `#ic` iterations (in practice after `max word length + 1` iterations).
+/// `scratch` must have the same length as `dst` and is used as temporary
+/// storage for the intermediate concatenations.
+///
+/// # Panics
+///
+/// Panics if `dst` and `scratch` have different lengths.
+pub fn star_into(dst: &mut [u64], a: &[u64], guide: &GuideTable, eps_index: usize, scratch: &mut [u64]) {
+    assert_eq!(dst.len(), scratch.len(), "scratch must match dst length");
+    clear(dst);
+    set_bit(dst, eps_index);
+    loop {
+        concat_into(scratch, dst, a, guide);
+        let mut changed = false;
+        for (d, &s) in dst.iter_mut().zip(scratch.iter()) {
+            let next = *d | s;
+            if next != *d {
+                changed = true;
+                *d = next;
+            }
+        }
+        if !changed {
+            return;
+        }
+    }
+}
+
+/// Returns `true` if `row` satisfies the positive/negative masks:
+/// `(row & pos) == pos` and `(row & neg) == 0`.
+#[inline]
+pub fn satisfies(row: &[u64], pos: &[u64], neg: &[u64]) -> bool {
+    row.iter()
+        .zip(pos)
+        .zip(neg)
+        .all(|((&r, &p), &n)| (r & p) == p && (r & n) == 0)
+}
+
+/// Number of example words misclassified by `row`: positive words missing
+/// from the language plus negative words present in it.
+#[inline]
+pub fn misclassified(row: &[u64], pos: &[u64], neg: &[u64]) -> usize {
+    row.iter()
+        .zip(pos)
+        .zip(neg)
+        .map(|((&r, &p), &n)| ((p & !r).count_ones() + (r & n).count_ones()) as usize)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Cs, InfixClosure, Spec};
+    use proptest::prelude::*;
+    use rei_syntax::{parse, Regex};
+
+    fn setup(spec: &Spec) -> (InfixClosure, GuideTable) {
+        let ic = InfixClosure::of_spec(spec);
+        let gt = GuideTable::build(&ic);
+        (ic, gt)
+    }
+
+    fn example_spec() -> Spec {
+        Spec::from_strs(["1", "011", "1011", "11011"], ["", "10", "101", "0011"]).unwrap()
+    }
+
+    /// Computes the CS of a regex with the block kernels and compares it
+    /// with the derivative-matcher reference.
+    fn check_regex_via_kernels(spec: &Spec, expr: &str) {
+        let (ic, gt) = setup(spec);
+        let r = parse(expr).unwrap();
+        let expected = ic.cs_of_regex(&r);
+        let got = eval_kernels(&r, &ic, &gt);
+        assert_eq!(got, expected, "CS mismatch for {expr}");
+    }
+
+    /// Recursively evaluates a regex to a CS using only the block kernels.
+    fn eval_kernels(r: &Regex, ic: &InfixClosure, gt: &GuideTable) -> Cs {
+        let width = ic.width();
+        let eps = ic.eps_index().unwrap();
+        match r {
+            Regex::Empty => Cs::zero(width),
+            Regex::Epsilon => ic.cs_of_epsilon(),
+            Regex::Literal(a) => ic.cs_of_literal(*a),
+            Regex::Union(l, rr) => {
+                let (a, b) = (eval_kernels(l, ic, gt), eval_kernels(rr, ic, gt));
+                let mut dst = Cs::zero(width);
+                or_into(dst.blocks_mut(), a.blocks(), b.blocks());
+                dst
+            }
+            Regex::Concat(l, rr) => {
+                let (a, b) = (eval_kernels(l, ic, gt), eval_kernels(rr, ic, gt));
+                let mut dst = Cs::zero(width);
+                concat_into(dst.blocks_mut(), a.blocks(), b.blocks(), gt);
+                dst
+            }
+            Regex::Star(inner) => {
+                let a = eval_kernels(inner, ic, gt);
+                let mut dst = Cs::zero(width);
+                let mut scratch = vec![0u64; width.blocks()];
+                star_into(dst.blocks_mut(), a.blocks(), gt, eps, &mut scratch);
+                dst
+            }
+            Regex::Question(inner) => {
+                let a = eval_kernels(inner, ic, gt);
+                let mut dst = Cs::zero(width);
+                question_into(dst.blocks_mut(), a.blocks(), eps);
+                dst
+            }
+        }
+    }
+
+    #[test]
+    fn union_is_bitwise_or() {
+        check_regex_via_kernels(&example_spec(), "0+1");
+        check_regex_via_kernels(&example_spec(), "10+011+ε");
+    }
+
+    #[test]
+    fn concat_matches_reference_semantics() {
+        check_regex_via_kernels(&example_spec(), "01");
+        check_regex_via_kernels(&example_spec(), "1(0+1)");
+        check_regex_via_kernels(&example_spec(), "(0+1)(0+1)(0+1)");
+        check_regex_via_kernels(&example_spec(), "ε(0+1)");
+        check_regex_via_kernels(&example_spec(), "∅(0+1)");
+    }
+
+    #[test]
+    fn star_matches_reference_semantics() {
+        check_regex_via_kernels(&example_spec(), "(0+1)*");
+        check_regex_via_kernels(&example_spec(), "(0?1)*");
+        check_regex_via_kernels(&example_spec(), "(0?1)*1");
+        check_regex_via_kernels(&example_spec(), "∅*");
+        check_regex_via_kernels(&example_spec(), "(11)*");
+    }
+
+    #[test]
+    fn question_matches_reference_semantics() {
+        check_regex_via_kernels(&example_spec(), "0?");
+        check_regex_via_kernels(&example_spec(), "(10)?1?");
+    }
+
+    #[test]
+    fn unstaged_concat_agrees_with_staged_concat() {
+        let (ic, gt) = setup(&example_spec());
+        for (ea, eb) in [("0", "1"), ("1(0+1)?", "(0+1)1"), ("(0?1)*", "1"), ("∅", "01")] {
+            let a = ic.cs_of_regex(&parse(ea).unwrap());
+            let b = ic.cs_of_regex(&parse(eb).unwrap());
+            let mut staged = Cs::zero(ic.width());
+            let mut unstaged = Cs::zero(ic.width());
+            concat_into(staged.blocks_mut(), a.blocks(), b.blocks(), &gt);
+            concat_into_unstaged(unstaged.blocks_mut(), a.blocks(), b.blocks(), &ic);
+            assert_eq!(staged, unstaged, "{ea} · {eb}");
+        }
+    }
+
+    #[test]
+    fn concat_word_bit_agrees_with_concat_into() {
+        let (ic, gt) = setup(&example_spec());
+        let a = ic.cs_of_regex(&parse("1(0+1)?").unwrap());
+        let b = ic.cs_of_regex(&parse("(0+1)1").unwrap());
+        let mut dst = Cs::zero(ic.width());
+        concat_into(dst.blocks_mut(), a.blocks(), b.blocks(), &gt);
+        for w in 0..ic.len() {
+            assert_eq!(dst.get(w), concat_word_bit(a.blocks(), b.blocks(), &gt, w));
+        }
+    }
+
+    #[test]
+    fn satisfies_and_misclassified() {
+        let spec = Spec::from_strs(["10", "100"], ["", "01"]).unwrap();
+        let ic = InfixClosure::of_spec(&spec);
+        let pos = ic.cs_of_words(spec.positive().iter());
+        let neg = ic.cs_of_words(spec.negative().iter());
+        let good = ic.cs_of_regex(&parse("10(0+1)*").unwrap());
+        let bad = ic.cs_of_regex(&parse("(0+1)*").unwrap());
+        assert!(satisfies(good.blocks(), pos.blocks(), neg.blocks()));
+        assert!(!satisfies(bad.blocks(), pos.blocks(), neg.blocks()));
+        assert_eq!(misclassified(good.blocks(), pos.blocks(), neg.blocks()), 0);
+        assert_eq!(misclassified(bad.blocks(), pos.blocks(), neg.blocks()), 2);
+        let empty = Cs::zero(ic.width());
+        assert_eq!(misclassified(empty.blocks(), pos.blocks(), neg.blocks()), 2);
+    }
+
+    #[test]
+    fn star_of_epsilon_and_empty() {
+        let (ic, gt) = setup(&example_spec());
+        let width = ic.width();
+        let eps_idx = ic.eps_index().unwrap();
+        let mut scratch = vec![0u64; width.blocks()];
+        let mut dst = Cs::zero(width);
+        // ∅* = {ε}
+        star_into(dst.blocks_mut(), Cs::zero(width).blocks(), &gt, eps_idx, &mut scratch);
+        assert_eq!(dst, ic.cs_of_epsilon());
+    }
+
+    proptest! {
+        /// The kernel evaluation of random small regexes agrees with the
+        /// derivative matcher on every word of the infix closure.
+        #[test]
+        fn kernels_agree_with_matcher(expr in "[01+*?()]{1,10}") {
+            if let Ok(r) = parse(&expr) {
+                let spec = example_spec();
+                let (ic, gt) = setup(&spec);
+                let expected = ic.cs_of_regex(&r);
+                let got = eval_kernels(&r, &ic, &gt);
+                prop_assert_eq!(got, expected, "expr {}", r);
+            }
+        }
+
+        /// Kleene-star laws on characteristic sequences: `a ⊆ a*`,
+        /// `ε ∈ a*`, idempotence `(a*)* = a*`, and `a*·a* = a*`.
+        #[test]
+        fn star_laws(expr in "[01+?]{1,5}") {
+            let r = match parse(&expr) { Ok(r) => r, Err(_) => return Ok(()) };
+            let spec = example_spec();
+            let (ic, gt) = setup(&spec);
+            let width = ic.width();
+            let eps = ic.eps_index().unwrap();
+            let a = ic.cs_of_regex(&r);
+            let mut scratch = vec![0u64; width.blocks()];
+            let mut star = Cs::zero(width);
+            star_into(star.blocks_mut(), a.blocks(), &gt, eps, &mut scratch);
+            // a ⊆ a* and ε ∈ a*.
+            prop_assert!(a.is_subset_of(&star));
+            prop_assert!(star.get(eps));
+            // (a*)* = a*.
+            let mut star_star = Cs::zero(width);
+            star_into(star_star.blocks_mut(), star.blocks(), &gt, eps, &mut scratch);
+            prop_assert_eq!(&star_star, &star);
+            // a*·a* = a*.
+            let mut squared = Cs::zero(width);
+            concat_into(squared.blocks_mut(), star.blocks(), star.blocks(), &gt);
+            prop_assert_eq!(&squared, &star);
+        }
+
+        /// Concatenation is associative on characteristic sequences.
+        #[test]
+        fn concat_is_associative(e1 in "[01+?]{1,4}", e2 in "[01+?]{1,4}", e3 in "[01+?]{1,4}") {
+            let (r1, r2, r3) = match (parse(&e1), parse(&e2), parse(&e3)) {
+                (Ok(a), Ok(b), Ok(c)) => (a, b, c),
+                _ => return Ok(()),
+            };
+            let spec = example_spec();
+            let (ic, gt) = setup(&spec);
+            let width = ic.width();
+            let (a, b, c) = (ic.cs_of_regex(&r1), ic.cs_of_regex(&r2), ic.cs_of_regex(&r3));
+            let mut ab = Cs::zero(width);
+            let mut bc = Cs::zero(width);
+            let mut ab_c = Cs::zero(width);
+            let mut a_bc = Cs::zero(width);
+            concat_into(ab.blocks_mut(), a.blocks(), b.blocks(), &gt);
+            concat_into(bc.blocks_mut(), b.blocks(), c.blocks(), &gt);
+            concat_into(ab_c.blocks_mut(), ab.blocks(), c.blocks(), &gt);
+            concat_into(a_bc.blocks_mut(), a.blocks(), bc.blocks(), &gt);
+            prop_assert_eq!(ab_c, a_bc);
+        }
+
+        /// Concatenation distributes over union (semiring law), observed on
+        /// characteristic sequences.
+        #[test]
+        fn concat_distributes_over_union(e1 in "[01+?]{1,4}", e2 in "[01+?]{1,4}", e3 in "[01+?]{1,4}") {
+            let (r1, r2, r3) = match (parse(&e1), parse(&e2), parse(&e3)) {
+                (Ok(a), Ok(b), Ok(c)) => (a, b, c),
+                _ => return Ok(()),
+            };
+            let spec = example_spec();
+            let (ic, gt) = setup(&spec);
+            let width = ic.width();
+            let (a, b, c) = (ic.cs_of_regex(&r1), ic.cs_of_regex(&r2), ic.cs_of_regex(&r3));
+            // a·(b+c)
+            let mut bc = Cs::zero(width);
+            or_into(bc.blocks_mut(), b.blocks(), c.blocks());
+            let mut lhs = Cs::zero(width);
+            concat_into(lhs.blocks_mut(), a.blocks(), bc.blocks(), &gt);
+            // a·b + a·c
+            let mut ab = Cs::zero(width);
+            let mut ac = Cs::zero(width);
+            concat_into(ab.blocks_mut(), a.blocks(), b.blocks(), &gt);
+            concat_into(ac.blocks_mut(), a.blocks(), c.blocks(), &gt);
+            let mut rhs = Cs::zero(width);
+            or_into(rhs.blocks_mut(), ab.blocks(), ac.blocks());
+            prop_assert_eq!(lhs, rhs);
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! Error types for specifications.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::Word;
+
+/// An error produced while constructing a [`crate::Spec`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecError {
+    /// The same word appears among both positive and negative examples, so
+    /// no language can satisfy the specification.
+    Contradictory {
+        /// A witness word contained in both `P` and `N`.
+        word: Word,
+    },
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::Contradictory { word } => write!(
+                f,
+                "contradictory specification: '{word}' is both a positive and a negative example"
+            ),
+        }
+    }
+}
+
+impl Error for SpecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_witness() {
+        let e = SpecError::Contradictory { word: Word::from("01") };
+        assert!(e.to_string().contains("'01'"));
+    }
+}

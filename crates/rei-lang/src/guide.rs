@@ -1,0 +1,178 @@
+//! The guide table: staged pre-computation of every split of every word.
+
+use crate::InfixClosure;
+
+/// For each word `w` of the infix closure, the guide table stores every way
+/// of writing `w = σ1 · σ2` with both `σ1` and `σ2` in the closure, as a
+/// pair of bit positions `(index(σ1), index(σ2))`.
+///
+/// Because the closure is infix-closed, every prefix and suffix of `w` is a
+/// member, so a word of length `ℓ` has exactly `ℓ + 1` splits. The table is
+/// computed once per synthesis run (the paper's *staging*), after which the
+/// convolution at the heart of concatenation and Kleene star becomes a pure
+/// gather over bit positions with no string comparisons.
+///
+/// # Example
+///
+/// ```
+/// use rei_lang::{GuideTable, InfixClosure, Word};
+///
+/// let ic = InfixClosure::of_words([Word::from("110")]);
+/// let gt = GuideTable::build(&ic);
+/// let w = ic.index_of(&Word::from("110")).unwrap();
+/// // "110" splits as ε·110, 1·10, 11·0, 110·ε.
+/// assert_eq!(gt.splits(w).len(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GuideTable {
+    /// `offsets[w]..offsets[w + 1]` indexes the splits of word `w` in
+    /// `pairs`.
+    offsets: Vec<u32>,
+    /// Flattened `(left, right)` index pairs.
+    pairs: Vec<(u32, u32)>,
+}
+
+impl GuideTable {
+    /// Builds the guide table for an infix closure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the closure has more than `u32::MAX` members (far beyond
+    /// any feasible memory budget).
+    pub fn build(ic: &InfixClosure) -> Self {
+        assert!(ic.len() <= u32::MAX as usize, "infix closure too large");
+        let mut offsets = Vec::with_capacity(ic.len() + 1);
+        let mut pairs = Vec::new();
+        offsets.push(0u32);
+        for (_, word) in ic.iter() {
+            let n = word.len();
+            for cut in 0..=n {
+                let left = word.infix(0, cut);
+                let right = word.infix(cut, n);
+                let li = ic
+                    .index_of(&left)
+                    .expect("prefix of a closure word must be in the closure");
+                let ri = ic
+                    .index_of(&right)
+                    .expect("suffix of a closure word must be in the closure");
+                pairs.push((li as u32, ri as u32));
+            }
+            offsets.push(pairs.len() as u32);
+        }
+        GuideTable { offsets, pairs }
+    }
+
+    /// Number of words covered by the table.
+    pub fn num_words(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Returns `true` if the table covers no words.
+    pub fn is_empty(&self) -> bool {
+        self.num_words() == 0
+    }
+
+    /// The splits of the `w`-th word, as pairs of closure indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w >= self.num_words()`.
+    pub fn splits(&self, w: usize) -> &[(u32, u32)] {
+        let start = self.offsets[w] as usize;
+        let end = self.offsets[w + 1] as usize;
+        &self.pairs[start..end]
+    }
+
+    /// Total number of `(σ1, σ2)` pairs across all words; proportional to
+    /// the memory the staged table occupies.
+    pub fn total_pairs(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Approximate memory footprint of the table in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<u32>()
+            + self.pairs.len() * std::mem::size_of::<(u32, u32)>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Spec, Word};
+    use proptest::prelude::*;
+
+    #[test]
+    fn splits_count_is_length_plus_one() {
+        let spec = Spec::from_strs(["1", "011", "1011", "11011"], ["", "10", "101", "0011"])
+            .unwrap();
+        let ic = InfixClosure::of_spec(&spec);
+        let gt = GuideTable::build(&ic);
+        assert_eq!(gt.num_words(), ic.len());
+        for (i, word) in ic.iter() {
+            assert_eq!(gt.splits(i).len(), word.len() + 1, "word {word}");
+        }
+    }
+
+    #[test]
+    fn splits_reconstruct_the_word() {
+        let ic = InfixClosure::of_words([Word::from("11011")]);
+        let gt = GuideTable::build(&ic);
+        for (i, word) in ic.iter() {
+            for &(l, r) in gt.splits(i) {
+                let rebuilt = ic.word(l as usize).concat(ic.word(r as usize));
+                assert_eq!(&rebuilt, word);
+            }
+        }
+    }
+
+    #[test]
+    fn paper_guide_table_example() {
+        // Section 3 of the paper: the guide-table row for "110" contains a
+        // split into "11" and "0".
+        let spec = Spec::from_strs(["1", "011", "1011", "11011"], ["", "10", "101", "0011"])
+            .unwrap();
+        let ic = InfixClosure::of_spec(&spec);
+        let gt = GuideTable::build(&ic);
+        let w = ic.index_of(&Word::from("110")).unwrap();
+        let eleven = ic.index_of(&Word::from("11")).unwrap() as u32;
+        let zero = ic.index_of(&Word::from("0")).unwrap() as u32;
+        assert!(gt.splits(w).contains(&(eleven, zero)));
+    }
+
+    #[test]
+    fn empty_closure() {
+        let ic = InfixClosure::of_words(Vec::new());
+        let gt = GuideTable::build(&ic);
+        assert!(gt.is_empty());
+        assert_eq!(gt.total_pairs(), 0);
+    }
+
+    #[test]
+    fn memory_accounting_is_positive() {
+        let ic = InfixClosure::of_words([Word::from("0101")]);
+        let gt = GuideTable::build(&ic);
+        assert!(gt.memory_bytes() > 0);
+        assert_eq!(
+            gt.total_pairs(),
+            ic.iter().map(|(_, w)| w.len() + 1).sum::<usize>()
+        );
+    }
+
+    proptest! {
+        /// Every split listed is valid and every valid split is listed.
+        #[test]
+        fn splits_sound_and_complete(words in proptest::collection::vec("[01]{0,5}", 1..4)) {
+            let ic = InfixClosure::of_words(words.iter().map(|s| Word::from(s.as_str())));
+            let gt = GuideTable::build(&ic);
+            for (i, word) in ic.iter() {
+                let splits = gt.splits(i);
+                // Sound (checked via reconstruction) and complete (count).
+                for &(l, r) in splits {
+                    prop_assert_eq!(&ic.word(l as usize).concat(ic.word(r as usize)), word);
+                }
+                prop_assert_eq!(splits.len(), word.len() + 1);
+            }
+        }
+    }
+}

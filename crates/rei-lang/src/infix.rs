@@ -1,0 +1,282 @@
+//! The infix closure `ic(P ∪ N)` and its shortlex indexing.
+
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+
+use rei_syntax::Regex;
+
+use crate::{Cs, CsWidth, Spec, Word};
+
+/// The infix closure of a finite set of words, totally ordered by shortlex.
+///
+/// `ic(S)` is the smallest superset of `S` that contains every infix
+/// (substring) of every member (Definition 2.2). It is the index set of
+/// every characteristic sequence: the `i`-th bit of a CS records whether
+/// the `i`-th word of the closure belongs to the represented language.
+///
+/// The closure is immutable once built — `P` and `N` do not change during a
+/// synthesis run — which is what allows the guide table to be staged and
+/// every CS to have the same width.
+///
+/// # Example
+///
+/// ```
+/// use rei_lang::{InfixClosure, Spec, Word};
+///
+/// // Example 3.6 of the paper.
+/// let spec = Spec::from_strs(["1", "011", "1011", "11011"], ["", "10", "101", "0011"]).unwrap();
+/// let ic = InfixClosure::of_spec(&spec);
+/// assert_eq!(ic.len(), 15);
+/// assert_eq!(ic.index_of(&Word::epsilon()), Some(0));
+/// assert_eq!(ic.word(ic.len() - 1).to_string(), "11011");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InfixClosure {
+    words: Vec<Word>,
+    index: HashMap<Word, usize>,
+}
+
+impl InfixClosure {
+    /// Builds the infix closure of all examples of `spec`.
+    pub fn of_spec(spec: &Spec) -> Self {
+        InfixClosure::of_words(spec.iter().cloned())
+    }
+
+    /// Builds the infix closure of an arbitrary finite set of words.
+    pub fn of_words<I: IntoIterator<Item = Word>>(words: I) -> Self {
+        let mut closure: BTreeSet<Word> = BTreeSet::new();
+        for word in words {
+            for infix in word.infixes() {
+                closure.insert(infix);
+            }
+        }
+        let words: Vec<Word> = closure.into_iter().collect();
+        let index = words
+            .iter()
+            .enumerate()
+            .map(|(i, w)| (w.clone(), i))
+            .collect();
+        InfixClosure { words, index }
+    }
+
+    /// Number of words in the closure (`#ic(P ∪ N)`, the `k` of the
+    /// paper's space analysis).
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Returns `true` if the closure is empty (only possible for an empty
+    /// input set).
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// The bitvector geometry induced by this closure.
+    pub fn width(&self) -> CsWidth {
+        CsWidth::for_len(self.words.len())
+    }
+
+    /// The `i`-th word in shortlex order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn word(&self, i: usize) -> &Word {
+        &self.words[i]
+    }
+
+    /// All words of the closure in shortlex order.
+    pub fn words(&self) -> &[Word] {
+        &self.words
+    }
+
+    /// Index of `word` in the closure, if present.
+    pub fn index_of(&self, word: &Word) -> Option<usize> {
+        self.index.get(word).copied()
+    }
+
+    /// Index of the empty word, if the closure is non-empty. With shortlex
+    /// ordering this is always index 0.
+    pub fn eps_index(&self) -> Option<usize> {
+        if self.words.is_empty() {
+            None
+        } else {
+            debug_assert!(self.words[0].is_empty());
+            Some(0)
+        }
+    }
+
+    /// Iterates over `(index, word)` pairs in shortlex order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &Word)> {
+        self.words.iter().enumerate()
+    }
+
+    /// The characteristic sequence of a finite set of words: bit `i` is set
+    /// iff the `i`-th word of the closure is in the set. Words outside the
+    /// closure are ignored.
+    pub fn cs_of_words<'a, I: IntoIterator<Item = &'a Word>>(&self, words: I) -> Cs {
+        let mut cs = Cs::zero(self.width());
+        for word in words {
+            if let Some(i) = self.index_of(word) {
+                cs.set(i);
+            }
+        }
+        cs
+    }
+
+    /// The characteristic sequence of the single-character language `{a}`.
+    pub fn cs_of_literal(&self, a: char) -> Cs {
+        self.cs_of_words([Word::new([a])].iter())
+    }
+
+    /// The characteristic sequence of `{ε}`.
+    pub fn cs_of_epsilon(&self) -> Cs {
+        self.cs_of_words([Word::epsilon()].iter())
+    }
+
+    /// The characteristic sequence of `Lang(regex) ∩ ic(P ∪ N)`, computed
+    /// with the derivative matcher. This is the reference implementation
+    /// ("the math") that the synthesiser's bit-parallel operations are
+    /// tested against.
+    pub fn cs_of_regex(&self, regex: &Regex) -> Cs {
+        let mut cs = Cs::zero(self.width());
+        for (i, word) in self.iter() {
+            if regex.accepts(word.chars().iter().copied()) {
+                cs.set(i);
+            }
+        }
+        cs
+    }
+}
+
+impl fmt::Display for InfixClosure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, w) in self.words.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{w}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rei_syntax::parse;
+
+    fn example_3_6() -> InfixClosure {
+        let spec =
+            Spec::from_strs(["1", "011", "1011", "11011"], ["", "10", "101", "0011"]).unwrap();
+        InfixClosure::of_spec(&spec)
+    }
+
+    #[test]
+    fn example_3_6_has_15_words() {
+        let ic = example_3_6();
+        assert_eq!(ic.len(), 15);
+        let rendered: Vec<String> = ic.words().iter().map(|w| w.to_string()).collect();
+        // Same set as the paper (the paper lists them in a different
+        // order; we use shortlex ascending).
+        let mut expected = vec![
+            "11011", "1101", "110", "11", "1011", "101", "10", "1", "011", "01", "0011", "001",
+            "00", "0", "ε",
+        ];
+        expected.sort_by_key(|s| {
+            let w = if *s == "ε" { Word::epsilon() } else { Word::from(*s) };
+            (w.len(), w.chars().to_vec())
+        });
+        assert_eq!(rendered, expected);
+    }
+
+    #[test]
+    fn closure_is_infix_closed() {
+        let ic = example_3_6();
+        for (_, word) in ic.iter() {
+            for infix in word.infixes() {
+                assert!(
+                    ic.index_of(&infix).is_some(),
+                    "infix {infix} of {word} missing from closure"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn epsilon_is_first() {
+        let ic = example_3_6();
+        assert_eq!(ic.eps_index(), Some(0));
+        assert!(ic.word(0).is_empty());
+    }
+
+    #[test]
+    fn cs_of_regex_matches_example_3_6() {
+        // (0?1)*1 intersected with ic is {11011, 1011, 011, 11, 1}.
+        let ic = example_3_6();
+        let cs = ic.cs_of_regex(&parse("(0?1)*1").unwrap());
+        let members: Vec<String> = ic
+            .iter()
+            .filter(|(i, _)| cs.get(*i))
+            .map(|(_, w)| w.to_string())
+            .collect();
+        let mut expected = vec!["1", "11", "011", "1011", "11011"];
+        expected.sort_by_key(|s| (s.len(), s.to_string()));
+        assert_eq!(members, expected);
+    }
+
+    #[test]
+    fn heterogeneity_example_from_section_4_3() {
+        // ic({aaa, aa}) = {aaa, aa, a, ε} has 4 elements while
+        // ic({abc, de}) has 10.
+        let homogeneous = InfixClosure::of_words([Word::from("aaa"), Word::from("aa")]);
+        let heterogeneous = InfixClosure::of_words([Word::from("abc"), Word::from("de")]);
+        assert_eq!(homogeneous.len(), 4);
+        assert_eq!(heterogeneous.len(), 10);
+    }
+
+    #[test]
+    fn empty_input_gives_empty_closure() {
+        let ic = InfixClosure::of_words(Vec::new());
+        assert!(ic.is_empty());
+        assert_eq!(ic.eps_index(), None);
+    }
+
+    #[test]
+    fn cs_of_literal_and_epsilon() {
+        let ic = example_3_6();
+        let eps = ic.cs_of_epsilon();
+        assert!(eps.get(0));
+        assert_eq!(eps.count_ones(), 1);
+        let zero = ic.cs_of_literal('0');
+        assert_eq!(zero.count_ones(), 1);
+        assert_eq!(ic.word(zero.iter_ones().next().unwrap()).to_string(), "0");
+        // A literal outside every example has an all-zero CS.
+        assert_eq!(ic.cs_of_literal('x').count_ones(), 0);
+    }
+
+    proptest! {
+        /// The closure contains exactly the infixes of its generators.
+        #[test]
+        fn closure_is_sound_and_complete(words in proptest::collection::vec("[01]{0,6}", 0..5)) {
+            let generators: Vec<Word> = words.iter().map(|s| Word::from(s.as_str())).collect();
+            let ic = InfixClosure::of_words(generators.clone());
+            // Sound: every member is an infix of some generator.
+            for (_, w) in ic.iter() {
+                prop_assert!(generators.iter().any(|g| g.contains_infix(w)));
+            }
+            // Complete: every infix of every generator is a member.
+            for g in &generators {
+                for infix in g.infixes() {
+                    prop_assert!(ic.index_of(&infix).is_some());
+                }
+            }
+            // Sorted by shortlex.
+            let mut sorted = ic.words().to_vec();
+            sorted.sort();
+            prop_assert_eq!(sorted.as_slice(), ic.words());
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Satisfaction masks: checking `L ⊨ (P, N)` with two bitwise operations.
+
+use crate::{csops, Cs, CsWidth, InfixClosure, Spec};
+
+/// The pair of bit masks used to decide whether a characteristic sequence
+/// satisfies a specification.
+///
+/// `pos` has a 1 exactly at the closure index of every positive example,
+/// `neg` at the index of every negative example. A language represented by
+/// the row `cs` satisfies the specification iff `(cs & pos) == pos` and
+/// `(cs & neg) == 0`. This check runs once per freshly constructed CS, so
+/// it is on the hot path of the search.
+///
+/// # Example
+///
+/// ```
+/// use rei_lang::{InfixClosure, SatisfyMasks, Spec};
+/// use rei_syntax::parse;
+///
+/// let spec = Spec::from_strs(["10", "100"], ["", "01"]).unwrap();
+/// let ic = InfixClosure::of_spec(&spec);
+/// let masks = SatisfyMasks::new(&spec, &ic);
+/// let cs = ic.cs_of_regex(&parse("10(0+1)*").unwrap());
+/// assert!(masks.is_satisfied(cs.blocks()));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SatisfyMasks {
+    width: CsWidth,
+    pos: Cs,
+    neg: Cs,
+}
+
+impl SatisfyMasks {
+    /// Builds the masks for `spec` relative to the infix closure `ic`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an example of `spec` is not a member of `ic` (the closure
+    /// must have been computed from the same specification).
+    pub fn new(spec: &Spec, ic: &InfixClosure) -> Self {
+        for word in spec.iter() {
+            assert!(
+                ic.index_of(word).is_some(),
+                "example '{word}' is not in the infix closure"
+            );
+        }
+        SatisfyMasks {
+            width: ic.width(),
+            pos: ic.cs_of_words(spec.positive().iter()),
+            neg: ic.cs_of_words(spec.negative().iter()),
+        }
+    }
+
+    /// The bitvector geometry of the masks.
+    pub fn width(&self) -> CsWidth {
+        self.width
+    }
+
+    /// The positive-example mask.
+    pub fn positive(&self) -> &Cs {
+        &self.pos
+    }
+
+    /// The negative-example mask.
+    pub fn negative(&self) -> &Cs {
+        &self.neg
+    }
+
+    /// Total number of examples covered by the masks.
+    pub fn num_examples(&self) -> usize {
+        self.pos.count_ones() + self.neg.count_ones()
+    }
+
+    /// Returns `true` if the row accepts every positive and rejects every
+    /// negative example.
+    #[inline]
+    pub fn is_satisfied(&self, row: &[u64]) -> bool {
+        csops::satisfies(row, self.pos.blocks(), self.neg.blocks())
+    }
+
+    /// Number of examples the row misclassifies (positives missing plus
+    /// negatives present). Used by REI with allowed error (paper §5.2).
+    #[inline]
+    pub fn misclassified(&self, row: &[u64]) -> usize {
+        csops::misclassified(row, self.pos.blocks(), self.neg.blocks())
+    }
+
+    /// Returns `true` if the row misclassifies at most `allowed` examples.
+    #[inline]
+    pub fn is_satisfied_with_error(&self, row: &[u64], allowed: usize) -> bool {
+        self.misclassified(row) <= allowed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rei_syntax::parse;
+
+    fn setup() -> (Spec, InfixClosure, SatisfyMasks) {
+        let spec = Spec::from_strs(
+            ["10", "101", "100", "1010", "1011", "1000", "1001"],
+            ["", "0", "1", "00", "11", "010"],
+        )
+        .unwrap();
+        let ic = InfixClosure::of_spec(&spec);
+        let masks = SatisfyMasks::new(&spec, &ic);
+        (spec, ic, masks)
+    }
+
+    #[test]
+    fn target_expression_satisfies() {
+        let (_, ic, masks) = setup();
+        let cs = ic.cs_of_regex(&parse("10(0+1)*").unwrap());
+        assert!(masks.is_satisfied(cs.blocks()));
+        assert_eq!(masks.misclassified(cs.blocks()), 0);
+    }
+
+    #[test]
+    fn overfit_and_everything_expressions() {
+        let (spec, ic, masks) = setup();
+        let overfit = ic.cs_of_regex(&spec.overfit_regex());
+        assert!(masks.is_satisfied(overfit.blocks()));
+        let everything = ic.cs_of_regex(&parse("(0+1)*").unwrap());
+        assert!(!masks.is_satisfied(everything.blocks()));
+        assert_eq!(masks.misclassified(everything.blocks()), spec.num_negative());
+        let nothing = Cs::zero(ic.width());
+        assert_eq!(masks.misclassified(nothing.blocks()), spec.num_positive());
+    }
+
+    #[test]
+    fn error_tolerant_check() {
+        let (_, ic, masks) = setup();
+        let everything = ic.cs_of_regex(&parse("(0+1)*").unwrap());
+        assert!(!masks.is_satisfied_with_error(everything.blocks(), 2));
+        assert!(masks.is_satisfied_with_error(everything.blocks(), 6));
+    }
+
+    #[test]
+    fn num_examples_matches_spec() {
+        let (spec, _, masks) = setup();
+        assert_eq!(masks.num_examples(), spec.len());
+    }
+
+    #[test]
+    fn masks_agree_with_oracle_on_sampled_expressions() {
+        let (spec, ic, masks) = setup();
+        for expr in ["10", "1(0+1)*", "10(0+1)*", "(0+1)*0", "10?(0+1)*", "∅", "ε"] {
+            let r = parse(expr).unwrap();
+            let cs = ic.cs_of_regex(&r);
+            assert_eq!(
+                masks.is_satisfied(cs.blocks()),
+                spec.is_satisfied_by(&r),
+                "disagreement on {expr}"
+            );
+            assert_eq!(
+                masks.misclassified(cs.blocks()),
+                spec.misclassified_by(&r),
+                "error count disagreement on {expr}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not in the infix closure")]
+    fn mismatched_closure_is_rejected() {
+        let spec_a = Spec::from_strs(["0"], ["1"]).unwrap();
+        let spec_b = Spec::from_strs(["111"], ["0000"]).unwrap();
+        let ic_a = InfixClosure::of_spec(&spec_a);
+        let _ = SatisfyMasks::new(&spec_b, &ic_a);
+    }
+}

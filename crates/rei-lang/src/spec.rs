@@ -1,0 +1,225 @@
+//! Specifications: positive and negative example sets.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use rei_syntax::Regex;
+
+use crate::{SpecError, Word};
+
+/// A specification `(P, N)` over an arbitrary alphabet (Definition 3.1 of
+/// the paper): a finite set `P` of strings the inferred language must
+/// accept, and a finite, disjoint set `N` of strings it must reject.
+///
+/// # Example
+///
+/// ```
+/// use rei_lang::Spec;
+/// use rei_syntax::parse;
+///
+/// let spec = Spec::from_strs(
+///     ["10", "101", "100", "1010", "1011", "1000", "1001"],
+///     ["", "0", "1", "00", "11", "010"],
+/// )
+/// .unwrap();
+/// assert!(spec.is_satisfied_by(&parse("10(0+1)*").unwrap()));
+/// assert!(!spec.is_satisfied_by(&parse("1(0+1)*").unwrap()));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Spec {
+    positive: BTreeSet<Word>,
+    negative: BTreeSet<Word>,
+}
+
+impl Spec {
+    /// Creates a specification from iterators of positive and negative
+    /// words.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::Contradictory`] if the two sets overlap.
+    pub fn new<P, N>(positive: P, negative: N) -> Result<Self, SpecError>
+    where
+        P: IntoIterator<Item = Word>,
+        N: IntoIterator<Item = Word>,
+    {
+        let positive: BTreeSet<Word> = positive.into_iter().collect();
+        let negative: BTreeSet<Word> = negative.into_iter().collect();
+        if let Some(word) = positive.intersection(&negative).next() {
+            return Err(SpecError::Contradictory { word: word.clone() });
+        }
+        Ok(Spec { positive, negative })
+    }
+
+    /// Creates a specification from string slices; the empty string denotes
+    /// `ε`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::Contradictory`] if the two sets overlap.
+    pub fn from_strs<'a, P, N>(positive: P, negative: N) -> Result<Self, SpecError>
+    where
+        P: IntoIterator<Item = &'a str>,
+        N: IntoIterator<Item = &'a str>,
+    {
+        Spec::new(
+            positive.into_iter().map(Word::from),
+            negative.into_iter().map(Word::from),
+        )
+    }
+
+    /// The positive examples, in shortlex order.
+    pub fn positive(&self) -> &BTreeSet<Word> {
+        &self.positive
+    }
+
+    /// The negative examples, in shortlex order.
+    pub fn negative(&self) -> &BTreeSet<Word> {
+        &self.negative
+    }
+
+    /// Number of positive examples (`#P`).
+    pub fn num_positive(&self) -> usize {
+        self.positive.len()
+    }
+
+    /// Number of negative examples (`#N`).
+    pub fn num_negative(&self) -> usize {
+        self.negative.len()
+    }
+
+    /// Total number of examples (`#(P ∪ N)`).
+    pub fn len(&self) -> usize {
+        self.positive.len() + self.negative.len()
+    }
+
+    /// Returns `true` if the specification has no examples at all.
+    pub fn is_empty(&self) -> bool {
+        self.positive.is_empty() && self.negative.is_empty()
+    }
+
+    /// Iterates over all examples, positives before negatives.
+    pub fn iter(&self) -> impl Iterator<Item = &Word> {
+        self.positive.iter().chain(self.negative.iter())
+    }
+
+    /// Length of the longest example string (`le` in the benchmark
+    /// parameters of Section 4.3), or 0 for an empty specification.
+    pub fn max_example_len(&self) -> usize {
+        self.iter().map(Word::len).max().unwrap_or(0)
+    }
+
+    /// Returns `true` if `regex` accepts every positive and rejects every
+    /// negative example, i.e. `Lang(regex) ⊨ (P, N)`.
+    ///
+    /// This uses the derivative matcher as an oracle; the synthesiser
+    /// itself checks satisfaction on characteristic sequences instead.
+    pub fn is_satisfied_by(&self, regex: &Regex) -> bool {
+        self.misclassified_by(regex) == 0
+    }
+
+    /// Number of examples misclassified by `regex`: positives rejected plus
+    /// negatives accepted. Used by the REI-with-error extension
+    /// (Section 5.2 of the paper).
+    pub fn misclassified_by(&self, regex: &Regex) -> usize {
+        let wrong_pos = self
+            .positive
+            .iter()
+            .filter(|w| !regex.accepts(w.chars().iter().copied()))
+            .count();
+        let wrong_neg = self
+            .negative
+            .iter()
+            .filter(|w| regex.accepts(w.chars().iter().copied()))
+            .count();
+        wrong_pos + wrong_neg
+    }
+
+    /// The maximally overfitted solution `w1 + ... + wk` for `P = {w1..wk}`
+    /// (expression (2) in the paper's introduction). Its cost is an upper
+    /// bound on the cost of the minimal solution, which bounds the search.
+    pub fn overfit_regex(&self) -> Regex {
+        Regex::union_of(
+            self.positive
+                .iter()
+                .map(|w| Regex::word(w.chars().iter().copied())),
+        )
+    }
+}
+
+impl fmt::Display for Spec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P = {{")?;
+        for (i, w) in self.positive.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{w}")?;
+        }
+        write!(f, "}}, N = {{")?;
+        for (i, w) in self.negative.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{w}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rei_syntax::parse;
+
+    #[test]
+    fn overlapping_examples_are_rejected() {
+        let err = Spec::from_strs(["0", "1"], ["1", "00"]).unwrap_err();
+        assert_eq!(err, SpecError::Contradictory { word: Word::from("1") });
+    }
+
+    #[test]
+    fn duplicates_are_collapsed() {
+        let spec = Spec::from_strs(["0", "0", "1"], ["00"]).unwrap();
+        assert_eq!(spec.num_positive(), 2);
+        assert_eq!(spec.num_negative(), 1);
+        assert_eq!(spec.len(), 3);
+    }
+
+    #[test]
+    fn satisfaction_oracle() {
+        let spec = Spec::from_strs(["10", "100"], ["", "01"]).unwrap();
+        assert!(spec.is_satisfied_by(&parse("10(0+1)*").unwrap()));
+        assert!(!spec.is_satisfied_by(&parse("0(0+1)*").unwrap()));
+        assert_eq!(spec.misclassified_by(&parse("∅").unwrap()), 2);
+        assert_eq!(spec.misclassified_by(&parse("(0+1)*").unwrap()), 2);
+    }
+
+    #[test]
+    fn overfit_regex_accepts_exactly_the_positives() {
+        let spec = Spec::from_strs(["10", "101"], ["0", "11"]).unwrap();
+        let overfit = spec.overfit_regex();
+        assert!(spec.is_satisfied_by(&overfit));
+        assert!(!overfit.accepts("1010".chars()));
+    }
+
+    #[test]
+    fn empty_word_is_a_valid_example() {
+        let spec = Spec::from_strs(["", "11"], ["1"]).unwrap();
+        assert!(spec.positive().contains(&Word::epsilon()));
+        assert!(spec.is_satisfied_by(&parse("(11)*").unwrap()));
+    }
+
+    #[test]
+    fn max_example_len() {
+        let spec = Spec::from_strs(["", "11"], ["10101"]).unwrap();
+        assert_eq!(spec.max_example_len(), 5);
+        assert_eq!(Spec::default().max_example_len(), 0);
+    }
+
+    #[test]
+    fn display_lists_both_sets() {
+        let spec = Spec::from_strs(["1"], [""]).unwrap();
+        assert_eq!(spec.to_string(), "P = {1}, N = {ε}");
+    }
+}

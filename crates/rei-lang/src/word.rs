@@ -1,0 +1,222 @@
+//! Words (finite strings) over a `char` alphabet with the shortlex order.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::str::FromStr;
+
+/// A finite string over an arbitrary `char` alphabet.
+///
+/// Words are ordered by **shortlex** (Definition 2.5 of the paper): shorter
+/// words come first, words of equal length are compared lexicographically.
+/// This is the total order used to lay out characteristic sequences in
+/// memory.
+///
+/// # Example
+///
+/// ```
+/// use rei_lang::Word;
+///
+/// let a: Word = "10".parse().unwrap();
+/// let b: Word = "011".parse().unwrap();
+/// assert!(a < b, "shortlex: length dominates");
+/// assert!(Word::epsilon() < a);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Word(Vec<char>);
+
+impl Word {
+    /// The empty word `ε`.
+    pub fn epsilon() -> Self {
+        Word(Vec::new())
+    }
+
+    /// Creates a word from an iterator of characters.
+    pub fn new<I: IntoIterator<Item = char>>(chars: I) -> Self {
+        Word(chars.into_iter().collect())
+    }
+
+    /// Length of the word (`||σ||` in the paper's notation).
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Returns `true` if this is the empty word.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The characters of the word.
+    pub fn chars(&self) -> &[char] {
+        &self.0
+    }
+
+    /// Concatenation `self · other`.
+    pub fn concat(&self, other: &Word) -> Word {
+        let mut chars = self.0.clone();
+        chars.extend_from_slice(&other.0);
+        Word(chars)
+    }
+
+    /// The infix (substring) spanning positions `start..end`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end` or `end > self.len()`.
+    pub fn infix(&self, start: usize, end: usize) -> Word {
+        Word(self.0[start..end].to_vec())
+    }
+
+    /// Iterates over all infixes of the word, including `ε` and the word
+    /// itself. Duplicates are produced when the same infix occurs at
+    /// multiple positions.
+    pub fn infixes(&self) -> impl Iterator<Item = Word> + '_ {
+        let n = self.len();
+        std::iter::once(Word::epsilon()).chain(
+            (0..n).flat_map(move |start| {
+                (start + 1..=n).map(move |end| self.infix(start, end))
+            }),
+        )
+    }
+
+    /// Returns `true` if `other` occurs as an infix of `self`.
+    pub fn contains_infix(&self, other: &Word) -> bool {
+        if other.is_empty() {
+            return true;
+        }
+        if other.len() > self.len() {
+            return false;
+        }
+        self.0.windows(other.len()).any(|w| w == other.chars())
+    }
+}
+
+impl Ord for Word {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.len()
+            .cmp(&other.len())
+            .then_with(|| self.0.cmp(&other.0))
+    }
+}
+
+impl PartialOrd for Word {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl fmt::Display for Word {
+    /// The empty word is displayed as `ε`, other words as their characters.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            f.write_str("ε")
+        } else {
+            for c in &self.0 {
+                write!(f, "{c}")?;
+            }
+            Ok(())
+        }
+    }
+}
+
+impl FromStr for Word {
+    type Err = std::convert::Infallible;
+
+    /// Every string parses; the empty string parses to `ε`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Ok(Word::new(s.chars()))
+    }
+}
+
+impl From<&str> for Word {
+    fn from(s: &str) -> Self {
+        Word::new(s.chars())
+    }
+}
+
+impl FromIterator<char> for Word {
+    fn from_iter<I: IntoIterator<Item = char>>(iter: I) -> Self {
+        Word::new(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn shortlex_orders_by_length_first() {
+        let mut words: Vec<Word> = ["11", "0", "", "10", "000", "1"]
+            .iter()
+            .map(|s| Word::from(*s))
+            .collect();
+        words.sort();
+        let rendered: Vec<String> = words.iter().map(|w| w.to_string()).collect();
+        assert_eq!(rendered, vec!["ε", "0", "1", "10", "11", "000"]);
+    }
+
+    #[test]
+    fn infixes_of_small_word() {
+        let w = Word::from("abc");
+        let mut infixes: Vec<String> = w.infixes().map(|x| x.to_string()).collect();
+        infixes.sort();
+        infixes.dedup();
+        assert_eq!(infixes, vec!["a", "ab", "abc", "b", "bc", "c", "ε"]);
+    }
+
+    #[test]
+    fn contains_infix_matches_paper_definition() {
+        let w = Word::from("11011");
+        assert!(w.contains_infix(&Word::from("101")));
+        assert!(w.contains_infix(&Word::epsilon()));
+        assert!(!w.contains_infix(&Word::from("00")));
+        assert!(!w.contains_infix(&Word::from("110110")));
+    }
+
+    #[test]
+    fn concat_and_display() {
+        let w = Word::from("10").concat(&Word::from("01"));
+        assert_eq!(w.to_string(), "1001");
+        assert_eq!(Word::epsilon().to_string(), "ε");
+    }
+
+    #[test]
+    fn parse_round_trip() {
+        let w: Word = "0101".parse().unwrap();
+        assert_eq!(w, Word::from("0101"));
+        let e: Word = "".parse().unwrap();
+        assert_eq!(e, Word::epsilon());
+    }
+
+    proptest! {
+        /// Every infix reported by `infixes` is contained in the word.
+        #[test]
+        fn infixes_are_contained(s in "[01ab]{0,8}") {
+            let w = Word::from(s.as_str());
+            for infix in w.infixes() {
+                prop_assert!(w.contains_infix(&infix));
+            }
+        }
+
+        /// The number of infix occurrences of a word of length n is
+        /// 1 + n(n+1)/2.
+        #[test]
+        fn infix_occurrence_count(s in "[01]{0,10}") {
+            let w = Word::from(s.as_str());
+            let n = w.len();
+            prop_assert_eq!(w.infixes().count(), 1 + n * (n + 1) / 2);
+        }
+
+        /// Shortlex is a total order compatible with concatenation length.
+        #[test]
+        fn shortlex_total(a in "[01]{0,5}", b in "[01]{0,5}") {
+            let wa = Word::from(a.as_str());
+            let wb = Word::from(b.as_str());
+            let ordered = wa.cmp(&wb);
+            prop_assert_eq!(ordered.reverse(), wb.cmp(&wa));
+            if wa.len() < wb.len() {
+                prop_assert_eq!(ordered, std::cmp::Ordering::Less);
+            }
+        }
+    }
+}

@@ -1,0 +1,447 @@
+//! Deterministic finite automata: determinisation, minimisation, Boolean
+//! products and language equivalence.
+//!
+//! The synthesiser never needs automata — that is the point of the paper's
+//! characteristic-sequence representation — but the reproduction uses them
+//! as *oracles*: a DFA built from a synthesised expression can be checked
+//! for language equivalence against a reference solution, minimised to an
+//! independent canonical form, or used to produce counterexample words,
+//! giving the test suite much stronger guarantees than example-level
+//! checks.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::nfa::Nfa;
+use crate::Regex;
+
+/// A complete deterministic finite automaton over an explicit alphabet.
+///
+/// Every state has exactly one successor per alphabet character (a dead
+/// state is materialised during construction), which keeps products and
+/// complements simple.
+///
+/// # Example
+///
+/// ```
+/// use rei_syntax::{dfa::Dfa, parse};
+///
+/// let dfa = Dfa::from_regex(&parse("(0+1)*00").unwrap(), &['0', '1']);
+/// assert!(dfa.accepts("1100".chars()));
+/// assert!(!dfa.accepts("0".chars()));
+/// assert!(dfa.minimize().state_count() <= dfa.state_count());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dfa {
+    alphabet: Vec<char>,
+    /// `transitions[state][symbol_index]` is the successor state.
+    transitions: Vec<Vec<usize>>,
+    accepting: Vec<bool>,
+    start: usize,
+}
+
+impl Dfa {
+    /// Builds a DFA for `regex` over `alphabet` using Thompson's
+    /// construction followed by the subset construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `regex` mentions a character outside `alphabet`.
+    pub fn from_regex(regex: &Regex, alphabet: &[char]) -> Self {
+        for literal in regex.literals() {
+            assert!(
+                alphabet.contains(&literal),
+                "literal '{literal}' is not in the supplied alphabet"
+            );
+        }
+        Dfa::from_nfa(&Nfa::compile(regex), alphabet)
+    }
+
+    /// Determinises an NFA over the given alphabet.
+    pub fn from_nfa(nfa: &Nfa, alphabet: &[char]) -> Self {
+        let alphabet: Vec<char> = {
+            let mut a = alphabet.to_vec();
+            a.sort_unstable();
+            a.dedup();
+            a
+        };
+        let mut subset_index: BTreeMap<BTreeSet<usize>, usize> = BTreeMap::new();
+        let mut transitions: Vec<Vec<usize>> = Vec::new();
+        let mut accepting: Vec<bool> = Vec::new();
+        let mut worklist: VecDeque<BTreeSet<usize>> = VecDeque::new();
+
+        let start_set = nfa.start_set();
+        subset_index.insert(start_set.clone(), 0);
+        transitions.push(vec![usize::MAX; alphabet.len()]);
+        accepting.push(nfa.set_accepts(&start_set));
+        worklist.push_back(start_set);
+
+        while let Some(current) = worklist.pop_front() {
+            let current_id = subset_index[&current];
+            for (symbol_index, &c) in alphabet.iter().enumerate() {
+                let next = nfa.step(&current, c);
+                let next_id = match subset_index.get(&next) {
+                    Some(&id) => id,
+                    None => {
+                        let id = transitions.len();
+                        subset_index.insert(next.clone(), id);
+                        transitions.push(vec![usize::MAX; alphabet.len()]);
+                        accepting.push(nfa.set_accepts(&next));
+                        worklist.push_back(next);
+                        id
+                    }
+                };
+                transitions[current_id][symbol_index] = next_id;
+            }
+        }
+        Dfa { alphabet, transitions, accepting, start: 0 }
+    }
+
+    /// The alphabet the automaton is complete over.
+    pub fn alphabet(&self) -> &[char] {
+        &self.alphabet
+    }
+
+    /// Number of states (including any dead state).
+    pub fn state_count(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// Returns `true` if the automaton accepts `word`.
+    ///
+    /// Characters outside the alphabet immediately reject.
+    pub fn accepts<I: IntoIterator<Item = char>>(&self, word: I) -> bool {
+        let mut state = self.start;
+        for c in word {
+            match self.alphabet.binary_search(&c) {
+                Ok(symbol_index) => state = self.transitions[state][symbol_index],
+                Err(_) => return false,
+            }
+        }
+        self.accepting[state]
+    }
+
+    /// The complement automaton (accepts exactly the words over the
+    /// alphabet that `self` rejects).
+    pub fn complement(&self) -> Dfa {
+        let mut out = self.clone();
+        for accept in &mut out.accepting {
+            *accept = !*accept;
+        }
+        out
+    }
+
+    /// The product automaton whose acceptance combines the two automata's
+    /// acceptance with `combine` (e.g. `|a, b| a && b` for intersection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two automata have different alphabets.
+    pub fn product<F: Fn(bool, bool) -> bool>(&self, other: &Dfa, combine: F) -> Dfa {
+        assert_eq!(self.alphabet, other.alphabet, "product requires a common alphabet");
+        let columns = other.state_count();
+        let mut transitions = Vec::with_capacity(self.state_count() * columns);
+        let mut accepting = Vec::with_capacity(self.state_count() * columns);
+        for a in 0..self.state_count() {
+            for b in 0..columns {
+                let row = (0..self.alphabet.len())
+                    .map(|s| self.transitions[a][s] * columns + other.transitions[b][s])
+                    .collect();
+                transitions.push(row);
+                accepting.push(combine(self.accepting[a], other.accepting[b]));
+            }
+        }
+        Dfa {
+            alphabet: self.alphabet.clone(),
+            transitions,
+            accepting,
+            start: self.start * columns + other.start,
+        }
+    }
+
+    /// The intersection of two automata.
+    pub fn intersection(&self, other: &Dfa) -> Dfa {
+        self.product(other, |a, b| a && b)
+    }
+
+    /// The symmetric difference of two automata: accepts words on which
+    /// the two disagree.
+    pub fn symmetric_difference(&self, other: &Dfa) -> Dfa {
+        self.product(other, |a, b| a != b)
+    }
+
+    /// Returns `true` if the automaton accepts no word at all.
+    pub fn is_empty(&self) -> bool {
+        self.shortest_accepted().is_none()
+    }
+
+    /// The shortest accepted word (ties broken towards smaller characters),
+    /// or `None` for the empty language. Found by breadth-first search from
+    /// the start state.
+    pub fn shortest_accepted(&self) -> Option<String> {
+        let mut visited = vec![false; self.state_count()];
+        let mut queue: VecDeque<(usize, String)> = VecDeque::new();
+        visited[self.start] = true;
+        queue.push_back((self.start, String::new()));
+        while let Some((state, word)) = queue.pop_front() {
+            if self.accepting[state] {
+                return Some(word);
+            }
+            for (symbol_index, &c) in self.alphabet.iter().enumerate() {
+                let next = self.transitions[state][symbol_index];
+                if !visited[next] {
+                    visited[next] = true;
+                    let mut extended = word.clone();
+                    extended.push(c);
+                    queue.push_back((next, extended));
+                }
+            }
+        }
+        None
+    }
+
+    /// Returns `true` if the two automata accept exactly the same language.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the alphabets differ.
+    pub fn is_equivalent(&self, other: &Dfa) -> bool {
+        self.counterexample(other).is_none()
+    }
+
+    /// A shortest word on which the two automata disagree, or `None` if the
+    /// languages are equal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the alphabets differ.
+    pub fn counterexample(&self, other: &Dfa) -> Option<String> {
+        self.symmetric_difference(other).shortest_accepted()
+    }
+
+    /// A minimal DFA for the same language (Moore's partition-refinement
+    /// algorithm over reachable states, followed by re-numbering).
+    pub fn minimize(&self) -> Dfa {
+        // Restrict to reachable states first.
+        let mut reachable = vec![false; self.state_count()];
+        let mut queue = VecDeque::from([self.start]);
+        reachable[self.start] = true;
+        while let Some(state) = queue.pop_front() {
+            for &next in &self.transitions[state] {
+                if !reachable[next] {
+                    reachable[next] = true;
+                    queue.push_back(next);
+                }
+            }
+        }
+        // Initial partition: accepting vs rejecting (reachable only).
+        let mut class: Vec<usize> =
+            self.accepting.iter().map(|&a| if a { 1 } else { 0 }).collect();
+        loop {
+            // Signature of a state: its class plus the classes of all
+            // successors.
+            let mut signatures: BTreeMap<Vec<usize>, usize> = BTreeMap::new();
+            let mut next_class = vec![0usize; self.state_count()];
+            for state in 0..self.state_count() {
+                if !reachable[state] {
+                    continue;
+                }
+                let mut signature = Vec::with_capacity(self.alphabet.len() + 1);
+                signature.push(class[state]);
+                for &succ in &self.transitions[state] {
+                    signature.push(class[succ]);
+                }
+                let fresh = signatures.len();
+                let id = *signatures.entry(signature).or_insert(fresh);
+                next_class[state] = id;
+            }
+            if next_class
+                .iter()
+                .zip(&class)
+                .enumerate()
+                .filter(|(s, _)| reachable[*s])
+                .all(|(_, (a, b))| a == b)
+                && signatures.len() == class_count(&class, &reachable)
+            {
+                break;
+            }
+            class = next_class;
+        }
+        // Build the quotient automaton.
+        let representative_count = class_count(&class, &reachable);
+        let mut transitions = vec![vec![0usize; self.alphabet.len()]; representative_count];
+        let mut accepting = vec![false; representative_count];
+        for state in 0..self.state_count() {
+            if !reachable[state] {
+                continue;
+            }
+            let c = class[state];
+            accepting[c] = self.accepting[state];
+            for (symbol_index, &succ) in self.transitions[state].iter().enumerate() {
+                transitions[c][symbol_index] = class[succ];
+            }
+        }
+        Dfa {
+            alphabet: self.alphabet.clone(),
+            transitions,
+            accepting,
+            start: class[self.start],
+        }
+    }
+}
+
+fn class_count(class: &[usize], reachable: &[bool]) -> usize {
+    class
+        .iter()
+        .zip(reachable)
+        .filter(|(_, &r)| r)
+        .map(|(&c, _)| c)
+        .collect::<BTreeSet<_>>()
+        .len()
+}
+
+/// Checks whether two regular expressions denote the same language over the
+/// union of their alphabets (plus any extra characters supplied).
+///
+/// # Example
+///
+/// ```
+/// use rei_syntax::{dfa::equivalent, parse};
+///
+/// let a = parse("(0+1)*").unwrap();
+/// let b = parse("(0*1*)*").unwrap();
+/// assert!(equivalent(&a, &b, &[]));
+/// assert!(!equivalent(&a, &parse("0*").unwrap(), &[]));
+/// ```
+pub fn equivalent(a: &Regex, b: &Regex, extra_alphabet: &[char]) -> bool {
+    counterexample(a, b, extra_alphabet).is_none()
+}
+
+/// A shortest word distinguishing the two expressions, or `None` if they
+/// are equivalent over the union of their alphabets and `extra_alphabet`.
+pub fn counterexample(a: &Regex, b: &Regex, extra_alphabet: &[char]) -> Option<String> {
+    let mut alphabet: Vec<char> = a.literals();
+    alphabet.extend(b.literals());
+    alphabet.extend_from_slice(extra_alphabet);
+    alphabet.sort_unstable();
+    alphabet.dedup();
+    let da = Dfa::from_regex(a, &alphabet);
+    let db = Dfa::from_regex(b, &alphabet);
+    da.counterexample(&db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+    use proptest::prelude::*;
+
+    fn binary() -> [char; 2] {
+        ['0', '1']
+    }
+
+    #[test]
+    fn determinisation_preserves_acceptance() {
+        let r = parse("10(0+1)*").unwrap();
+        let dfa = Dfa::from_regex(&r, &binary());
+        for (word, expected) in [("10", true), ("1001", true), ("01", false), ("", false)] {
+            assert_eq!(dfa.accepts(word.chars()), expected, "{word}");
+        }
+    }
+
+    #[test]
+    fn characters_outside_the_alphabet_reject() {
+        let dfa = Dfa::from_regex(&parse("a*").unwrap(), &['a', 'b']);
+        assert!(dfa.accepts("aa".chars()));
+        assert!(!dfa.accepts("ac".chars()));
+    }
+
+    #[test]
+    #[should_panic(expected = "not in the supplied alphabet")]
+    fn missing_alphabet_character_panics() {
+        let _ = Dfa::from_regex(&parse("abc").unwrap(), &['a', 'b']);
+    }
+
+    #[test]
+    fn minimisation_reaches_the_known_minimal_size() {
+        // "Strings over {0,1} ending in 00" has a 3-state minimal DFA.
+        let dfa = Dfa::from_regex(&parse("(0+1)*00").unwrap(), &binary());
+        let minimal = dfa.minimize();
+        assert_eq!(minimal.state_count(), 3);
+        assert!(minimal.is_equivalent(&dfa));
+        // Minimisation is idempotent.
+        assert_eq!(minimal.minimize().state_count(), 3);
+    }
+
+    #[test]
+    fn complement_and_intersection() {
+        let ends_zero = Dfa::from_regex(&parse("(0+1)*0").unwrap(), &binary());
+        let starts_one = Dfa::from_regex(&parse("1(0+1)*").unwrap(), &binary());
+        let both = ends_zero.intersection(&starts_one);
+        assert!(both.accepts("10".chars()));
+        assert!(!both.accepts("01".chars()));
+        let neither = ends_zero.complement().intersection(&starts_one.complement());
+        assert!(neither.accepts("01".chars()));
+        assert!(!neither.accepts("10".chars()));
+    }
+
+    #[test]
+    fn equivalence_and_counterexamples() {
+        assert!(equivalent(
+            &parse("(0+1)*").unwrap(),
+            &parse("(1+0)*").unwrap(),
+            &[]
+        ));
+        assert!(equivalent(&parse("∅?").unwrap(), &Regex::Epsilon, &[]));
+        let cex = counterexample(&parse("0*").unwrap(), &parse("0*1?").unwrap(), &[]).unwrap();
+        assert_eq!(cex, "1");
+        // The paper's footnote 1: the synthesised no25 expression accepts
+        // 1111, unlike the English description "at most one pair of
+        // consecutive 1s" — DFA equivalence makes such gaps visible.
+        let synthesised = parse("0+((1+00)(0+1))*").unwrap();
+        let dfa = Dfa::from_regex(&synthesised, &binary());
+        assert!(dfa.accepts("1111".chars()));
+    }
+
+    #[test]
+    fn empty_language_and_shortest_word() {
+        let empty = Dfa::from_regex(&Regex::Empty, &binary());
+        assert!(empty.is_empty());
+        assert_eq!(empty.shortest_accepted(), None);
+        let ends_00 = Dfa::from_regex(&parse("(0+1)*00").unwrap(), &binary());
+        assert_eq!(ends_00.shortest_accepted(), Some("00".to_string()));
+    }
+
+    proptest! {
+        /// The DFA agrees with the derivative matcher on random expressions
+        /// and words — a third independent semantics implementation.
+        #[test]
+        fn dfa_agrees_with_derivatives(expr in "[01+*?()]{1,12}", word in "[01]{0,8}") {
+            if let Ok(r) = parse(&expr) {
+                let dfa = Dfa::from_regex(&r, &['0', '1']);
+                prop_assert_eq!(dfa.accepts(word.chars()), r.accepts(word.chars()), "{}", r);
+            }
+        }
+
+        /// Minimisation preserves the language.
+        #[test]
+        fn minimisation_preserves_language(expr in "[01+*?()]{1,10}", word in "[01]{0,6}") {
+            if let Ok(r) = parse(&expr) {
+                let dfa = Dfa::from_regex(&r, &['0', '1']);
+                let minimal = dfa.minimize();
+                prop_assert_eq!(dfa.accepts(word.chars()), minimal.accepts(word.chars()));
+                prop_assert!(minimal.state_count() <= dfa.state_count());
+            }
+        }
+
+        /// The simplifier is language-preserving according to the DFA
+        /// equivalence oracle (not just on sampled words).
+        #[test]
+        fn simplify_is_equivalent_by_dfa(expr in "[01+*?()#_]{1,10}") {
+            if let Ok(r) = parse(&expr) {
+                let simplified = crate::simplify::simplify(&r);
+                prop_assert!(equivalent(&r, &simplified, &['0', '1']),
+                    "{} vs {}", r, simplified);
+            }
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Precedence-aware pretty printing of regular expressions.
+//!
+//! The printer produces the concrete syntax accepted by [`crate::parse`], so
+//! `parse(r.to_string())` round-trips for every expression `r` (verified by a
+//! property test in the `parse` module).
+
+use std::fmt;
+
+use crate::Regex;
+
+/// Binding strength of each syntactic level; larger binds tighter.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Prec {
+    /// Union `r + s`.
+    Union = 0,
+    /// Concatenation `r s`.
+    Concat = 1,
+    /// Postfix `*` and `?`.
+    Postfix = 2,
+    /// Literals, `∅`, `ε` and parenthesised groups.
+    Atom = 3,
+}
+
+fn write_prec(r: &Regex, min: Prec, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    let own = match r {
+        Regex::Union(..) => Prec::Union,
+        Regex::Concat(..) => Prec::Concat,
+        Regex::Star(..) | Regex::Question(..) => Prec::Postfix,
+        Regex::Empty | Regex::Epsilon | Regex::Literal(_) => Prec::Atom,
+    };
+    let needs_parens = own < min;
+    if needs_parens {
+        f.write_str("(")?;
+    }
+    match r {
+        Regex::Empty => f.write_str("∅")?,
+        Regex::Epsilon => f.write_str("ε")?,
+        Regex::Literal(a) => write!(f, "{a}")?,
+        Regex::Union(l, rr) => {
+            write_prec(l, Prec::Union, f)?;
+            f.write_str("+")?;
+            write_prec(rr, Prec::Union, f)?;
+        }
+        Regex::Concat(l, rr) => {
+            write_prec(l, Prec::Concat, f)?;
+            write_prec(rr, Prec::Concat, f)?;
+        }
+        Regex::Star(inner) => {
+            write_prec(inner, Prec::Postfix, f)?;
+            f.write_str("*")?;
+        }
+        Regex::Question(inner) => {
+            write_prec(inner, Prec::Postfix, f)?;
+            f.write_str("?")?;
+        }
+    }
+    if needs_parens {
+        f.write_str(")")?;
+    }
+    Ok(())
+}
+
+impl fmt::Display for Regex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_prec(self, Prec::Union, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Regex;
+
+    #[test]
+    fn atoms() {
+        assert_eq!(Regex::Empty.to_string(), "∅");
+        assert_eq!(Regex::Epsilon.to_string(), "ε");
+        assert_eq!(Regex::literal('a').to_string(), "a");
+    }
+
+    #[test]
+    fn union_is_flat() {
+        let r = Regex::union(
+            Regex::literal('a'),
+            Regex::union(Regex::literal('b'), Regex::literal('c')),
+        );
+        assert_eq!(r.to_string(), "a+b+c");
+    }
+
+    #[test]
+    fn concat_binds_tighter_than_union() {
+        let r = Regex::concat(
+            Regex::union(Regex::literal('a'), Regex::literal('b')),
+            Regex::literal('c'),
+        );
+        assert_eq!(r.to_string(), "(a+b)c");
+        let r = Regex::union(
+            Regex::concat(Regex::literal('a'), Regex::literal('b')),
+            Regex::literal('c'),
+        );
+        assert_eq!(r.to_string(), "ab+c");
+    }
+
+    #[test]
+    fn star_of_compound_needs_parens() {
+        let r = Regex::union(Regex::literal('0'), Regex::literal('1')).star();
+        assert_eq!(r.to_string(), "(0+1)*");
+        let r = Regex::concat(Regex::literal('a'), Regex::literal('b')).star();
+        assert_eq!(r.to_string(), "(ab)*");
+        let r = Regex::literal('a').star().star();
+        assert_eq!(r.to_string(), "a**");
+    }
+
+    #[test]
+    fn question_prints_postfix() {
+        let r = Regex::concat(
+            Regex::literal('0').question(),
+            Regex::literal('1'),
+        )
+        .star();
+        assert_eq!(r.to_string(), "(0?1)*");
+    }
+
+    #[test]
+    fn paper_intro_expression() {
+        // 10(0+1)* from the introduction of the paper.
+        let r = Regex::concat(
+            Regex::word("10".chars()),
+            Regex::any_of(['0', '1']).star(),
+        );
+        assert_eq!(r.to_string(), "10(0+1)*");
+    }
+}

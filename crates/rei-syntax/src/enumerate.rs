@@ -1,0 +1,181 @@
+//! Exhaustive enumeration of regular expressions by increasing cost.
+//!
+//! This is the brute-force reference against which the search-based
+//! synthesiser is validated: for small cost bounds it enumerates *every*
+//! expression over an alphabet (up to the same constructor grammar Paresy
+//! searches: literals, `?`, `*`, `·`, `+`), so a test can assert that no
+//! expression cheaper than the synthesiser's answer satisfies a
+//! specification. It is exponential and intended for oracle use only.
+
+use std::collections::BTreeMap;
+
+use crate::{CostFn, Regex};
+
+/// Enumerates every regular expression of cost at most `max_cost` over
+/// `alphabet`, grouped by exact cost in ascending order.
+///
+/// The grammar is the synthesiser's: single-character literals, `?`, `*`,
+/// concatenation and union (the constants `∅`/`ε` are only interesting as
+/// whole answers and are omitted, exactly as in Algorithm 1 of the paper).
+/// Union operands are generated in both orders; no language-level
+/// deduplication is attempted — this is the raw syntactic space.
+///
+/// # Example
+///
+/// ```
+/// use rei_syntax::{enumerate::expressions_up_to, CostFn};
+///
+/// let all = expressions_up_to(&['0', '1'], &CostFn::UNIFORM, 3);
+/// // Cost 1: 0, 1. Cost 2: 0?, 0*, 1?, 1*. Cost 3 adds binary combinations.
+/// assert!(all.iter().any(|(cost, r)| *cost == 3 && r.to_string() == "0+1"));
+/// ```
+pub fn expressions_up_to(
+    alphabet: &[char],
+    costs: &CostFn,
+    max_cost: u64,
+) -> Vec<(u64, Regex)> {
+    let mut by_cost: BTreeMap<u64, Vec<Regex>> = BTreeMap::new();
+    if costs.literal <= max_cost {
+        by_cost.insert(
+            costs.literal,
+            alphabet.iter().map(|&a| Regex::literal(a)).collect(),
+        );
+    }
+    let mut cost = costs.literal;
+    while cost < max_cost {
+        cost += 1;
+        let mut level: Vec<Regex> = Vec::new();
+        // Unary constructors.
+        if let Some(operand_cost) = cost.checked_sub(costs.question) {
+            for r in by_cost.get(&operand_cost).into_iter().flatten() {
+                level.push(r.clone().question());
+            }
+        }
+        if let Some(operand_cost) = cost.checked_sub(costs.star) {
+            for r in by_cost.get(&operand_cost).into_iter().flatten() {
+                level.push(r.clone().star());
+            }
+        }
+        // Binary constructors.
+        for (constructor_cost, is_union) in [(costs.concat, false), (costs.union, true)] {
+            let Some(remaining) = cost.checked_sub(constructor_cost) else { continue };
+            if remaining < 2 * costs.literal {
+                continue;
+            }
+            for left_cost in costs.literal..=(remaining - costs.literal) {
+                let right_cost = remaining - left_cost;
+                let (Some(lefts), Some(rights)) =
+                    (by_cost.get(&left_cost), by_cost.get(&right_cost))
+                else {
+                    continue;
+                };
+                for l in lefts {
+                    for r in rights {
+                        level.push(if is_union {
+                            Regex::union(l.clone(), r.clone())
+                        } else {
+                            Regex::concat(l.clone(), r.clone())
+                        });
+                    }
+                }
+            }
+        }
+        if !level.is_empty() {
+            by_cost.insert(cost, level);
+        }
+    }
+    by_cost
+        .into_iter()
+        .flat_map(|(cost, exprs)| exprs.into_iter().map(move |r| (cost, r)))
+        .collect()
+}
+
+/// Counts the expressions of cost at most `max_cost` without materialising
+/// them all (used by tests and by capacity estimates).
+pub fn count_up_to(alphabet: &[char], costs: &CostFn, max_cost: u64) -> u64 {
+    let mut counts: BTreeMap<u64, u64> = BTreeMap::new();
+    if costs.literal <= max_cost {
+        counts.insert(costs.literal, alphabet.len() as u64);
+    }
+    let mut cost = costs.literal;
+    while cost < max_cost {
+        cost += 1;
+        let mut level = 0u64;
+        if let Some(c) = cost.checked_sub(costs.question) {
+            level += counts.get(&c).copied().unwrap_or(0);
+        }
+        if let Some(c) = cost.checked_sub(costs.star) {
+            level += counts.get(&c).copied().unwrap_or(0);
+        }
+        for constructor_cost in [costs.concat, costs.union] {
+            let Some(remaining) = cost.checked_sub(constructor_cost) else { continue };
+            if remaining < 2 * costs.literal {
+                continue;
+            }
+            for left_cost in costs.literal..=(remaining - costs.literal) {
+                let right_cost = remaining - left_cost;
+                level += counts.get(&left_cost).copied().unwrap_or(0)
+                    * counts.get(&right_cost).copied().unwrap_or(0);
+            }
+        }
+        if level > 0 {
+            counts.insert(cost, level);
+        }
+    }
+    counts.values().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smallest_levels_are_exactly_right() {
+        let all = expressions_up_to(&['0', '1'], &CostFn::UNIFORM, 2);
+        let rendered: Vec<(u64, String)> =
+            all.iter().map(|(c, r)| (*c, r.to_string())).collect();
+        assert_eq!(
+            rendered,
+            vec![
+                (1, "0".to_string()),
+                (1, "1".to_string()),
+                (2, "0?".to_string()),
+                (2, "1?".to_string()),
+                (2, "0*".to_string()),
+                (2, "1*".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn enumeration_and_count_agree() {
+        for max_cost in 1..=6 {
+            let listed = expressions_up_to(&['0', '1'], &CostFn::UNIFORM, max_cost).len() as u64;
+            let counted = count_up_to(&['0', '1'], &CostFn::UNIFORM, max_cost);
+            assert_eq!(listed, counted, "max_cost {max_cost}");
+        }
+    }
+
+    #[test]
+    fn every_enumerated_expression_has_the_reported_cost() {
+        for (cost, regex) in expressions_up_to(&['a', 'b'], &CostFn::new(2, 1, 3, 1, 2), 8) {
+            assert_eq!(regex.cost(&CostFn::new(2, 1, 3, 1, 2)), cost, "{regex}");
+        }
+    }
+
+    #[test]
+    fn growth_is_exponential_in_cost() {
+        let c5 = count_up_to(&['0', '1'], &CostFn::UNIFORM, 5);
+        let c7 = count_up_to(&['0', '1'], &CostFn::UNIFORM, 7);
+        let c9 = count_up_to(&['0', '1'], &CostFn::UNIFORM, 9);
+        assert!(c7 > 4 * c5);
+        assert!(c9 > 4 * c7);
+    }
+
+    #[test]
+    fn unary_alphabet_enumeration() {
+        let all = expressions_up_to(&['a'], &CostFn::UNIFORM, 3);
+        assert!(all.iter().all(|(_, r)| r.literals() == vec!['a']));
+        assert!(all.iter().any(|(_, r)| r.to_string() == "aa"));
+    }
+}

@@ -1,0 +1,41 @@
+//! Error types for the syntax crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// An error produced while parsing the concrete regular-expression syntax.
+///
+/// The error reports the byte offset of the offending character in the
+/// input together with a human readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset in the input at which the error was detected.
+    pub offset: usize,
+    /// Description of what went wrong.
+    pub message: String,
+}
+
+impl ParseError {
+    pub(crate) fn new(offset: usize, message: impl Into<String>) -> Self {
+        ParseError { offset, message: message.into() }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at offset {}: {}", self.offset, self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_offset_and_message() {
+        let e = ParseError::new(3, "unexpected ')'");
+        assert_eq!(e.to_string(), "parse error at offset 3: unexpected ')'");
+    }
+}

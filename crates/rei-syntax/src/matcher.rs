@@ -1,0 +1,183 @@
+//! A Brzozowski-derivative matcher (the *contains-check* of the paper).
+//!
+//! The Paresy synthesiser never needs a contains-check — it decides
+//! membership via characteristic sequences — but the AlphaRegex baseline,
+//! the benchmark harness and the test oracles do. Derivatives keep the
+//! implementation purely syntactic and alphabet-agnostic.
+//!
+//! To avoid the classical blow-up of naive derivatives, the derivative is
+//! computed with *smart constructors* that apply the similarity rules of
+//! Brzozowski (identities of `∅`, `ε`, idempotent/commutative-free union
+//! collapsing of syntactically equal operands, and star/question
+//! flattening).
+
+use std::rc::Rc;
+
+use crate::Regex;
+
+/// Returns `true` if `regex` accepts the word given by `word`.
+///
+/// # Example
+///
+/// ```
+/// use rei_syntax::{matcher, parse};
+///
+/// let r = parse("(0+11)*1").unwrap();
+/// assert!(matcher::accepts(&r, "111".chars()));
+/// assert!(!matcher::accepts(&r, "110".chars()));
+/// ```
+pub fn accepts<I: IntoIterator<Item = char>>(regex: &Regex, word: I) -> bool {
+    let mut current = regex.clone();
+    for c in word {
+        current = derivative(&current, c);
+        if current.is_empty_language() {
+            return false;
+        }
+    }
+    current.is_nullable()
+}
+
+/// The Brzozowski derivative of `regex` with respect to character `a`:
+/// the expression whose language is `{ w | a·w ∈ L(regex) }`.
+///
+/// # Example
+///
+/// ```
+/// use rei_syntax::{matcher::derivative, parse};
+///
+/// let r = parse("ab+ac").unwrap();
+/// let d = derivative(&r, 'a');
+/// assert!(d.accepts("b".chars()));
+/// assert!(d.accepts("c".chars()));
+/// assert!(!d.accepts("a".chars()));
+/// ```
+pub fn derivative(regex: &Regex, a: char) -> Regex {
+    match regex {
+        Regex::Empty | Regex::Epsilon => Regex::Empty,
+        Regex::Literal(b) => {
+            if *b == a {
+                Regex::Epsilon
+            } else {
+                Regex::Empty
+            }
+        }
+        Regex::Concat(l, r) => {
+            let dl_r = smart_concat(derivative(l, a), (**r).clone());
+            if l.is_nullable() {
+                smart_union(dl_r, derivative(r, a))
+            } else {
+                dl_r
+            }
+        }
+        Regex::Union(l, r) => smart_union(derivative(l, a), derivative(r, a)),
+        Regex::Star(inner) => smart_concat(derivative(inner, a), Regex::Star(Rc::clone(inner))),
+        Regex::Question(inner) => derivative(inner, a),
+    }
+}
+
+/// Concatenation with the similarity rules `∅·r = r·∅ = ∅` and
+/// `ε·r = r·ε = r` applied.
+pub(crate) fn smart_concat(l: Regex, r: Regex) -> Regex {
+    match (&l, &r) {
+        (Regex::Empty, _) | (_, Regex::Empty) => Regex::Empty,
+        (Regex::Epsilon, _) => r,
+        (_, Regex::Epsilon) => l,
+        _ => Regex::concat(l, r),
+    }
+}
+
+/// Union with the similarity rules `∅ + r = r + ∅ = r` and `r + r = r`
+/// (for syntactically identical operands) applied.
+pub(crate) fn smart_union(l: Regex, r: Regex) -> Regex {
+    match (&l, &r) {
+        (Regex::Empty, _) => r,
+        (_, Regex::Empty) => l,
+        _ if l == r => l,
+        _ => Regex::union(l, r),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+    use proptest::prelude::*;
+
+    #[test]
+    fn accepts_basic_words() {
+        let r = parse("10(0+1)*").unwrap();
+        for pos in ["10", "101", "100", "1010", "1011", "1000", "1001"] {
+            assert!(accepts(&r, pos.chars()), "{pos} should be accepted");
+        }
+        for neg in ["", "0", "1", "00", "11", "010"] {
+            assert!(!accepts(&r, neg.chars()), "{neg} should be rejected");
+        }
+    }
+
+    #[test]
+    fn empty_and_epsilon() {
+        assert!(!accepts(&Regex::Empty, "".chars()));
+        assert!(accepts(&Regex::Epsilon, "".chars()));
+        assert!(!accepts(&Regex::Epsilon, "a".chars()));
+    }
+
+    #[test]
+    fn star_accepts_zero_and_many() {
+        let r = parse("(ab)*").unwrap();
+        assert!(accepts(&r, "".chars()));
+        assert!(accepts(&r, "abab".chars()));
+        assert!(!accepts(&r, "aba".chars()));
+    }
+
+    #[test]
+    fn question_accepts_zero_or_one() {
+        let r = parse("a?b").unwrap();
+        assert!(accepts(&r, "ab".chars()));
+        assert!(accepts(&r, "b".chars()));
+        assert!(!accepts(&r, "aab".chars()));
+    }
+
+    #[test]
+    fn derivative_of_star_unrolls_once() {
+        let r = parse("(01)*").unwrap();
+        let d = derivative(&r, '0');
+        assert!(d.accepts("1".chars()));
+        assert!(d.accepts("101".chars()));
+        assert!(!d.accepts("".chars()));
+    }
+
+    #[test]
+    fn smart_constructors_collapse_units() {
+        assert_eq!(smart_concat(Regex::Empty, Regex::literal('a')), Regex::Empty);
+        assert_eq!(smart_concat(Regex::Epsilon, Regex::literal('a')), Regex::literal('a'));
+        assert_eq!(smart_union(Regex::Empty, Regex::literal('a')), Regex::literal('a'));
+        assert_eq!(
+            smart_union(Regex::literal('a'), Regex::literal('a')),
+            Regex::literal('a')
+        );
+    }
+
+    #[test]
+    fn non_binary_alphabet() {
+        let r = parse("x(y+z)*w").unwrap();
+        assert!(accepts(&r, "xw".chars()));
+        assert!(accepts(&r, "xyzyw".chars()));
+        assert!(!accepts(&r, "xy".chars()));
+    }
+
+    proptest! {
+        /// For random words, the derivative matcher agrees with the NFA
+        /// matcher (an independent implementation).
+        #[test]
+        fn agrees_with_nfa(expr in "[01+*?()]{0,12}", word in "[01]{0,8}") {
+            if let Ok(r) = parse(&expr) {
+                let nfa = crate::nfa::Nfa::compile(&r);
+                prop_assert_eq!(
+                    accepts(&r, word.chars()),
+                    nfa.accepts(word.chars()),
+                    "expr {} word {}", r, word
+                );
+            }
+        }
+    }
+}

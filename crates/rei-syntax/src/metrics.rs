@@ -1,0 +1,110 @@
+//! Structural metrics of regular expressions.
+//!
+//! These are used by the benchmark harness for reporting (e.g. Table 2 of
+//! the paper reports `Cost(RE)`), by the AlphaRegex baseline for its search
+//! ordering and by tests as sanity bounds.
+
+use crate::Regex;
+
+/// Number of AST nodes of the expression.
+///
+/// ```
+/// use rei_syntax::{metrics::size, parse};
+/// assert_eq!(size(&parse("10(0+1)*").unwrap()), 8);
+/// ```
+pub fn size(regex: &Regex) -> usize {
+    match regex {
+        Regex::Empty | Regex::Epsilon | Regex::Literal(_) => 1,
+        Regex::Star(r) | Regex::Question(r) => 1 + size(r),
+        Regex::Concat(l, r) | Regex::Union(l, r) => 1 + size(l) + size(r),
+    }
+}
+
+/// Height of the AST (a single leaf has height 1).
+pub fn height(regex: &Regex) -> usize {
+    match regex {
+        Regex::Empty | Regex::Epsilon | Regex::Literal(_) => 1,
+        Regex::Star(r) | Regex::Question(r) => 1 + height(r),
+        Regex::Concat(l, r) | Regex::Union(l, r) => 1 + height(l).max(height(r)),
+    }
+}
+
+/// The star height: maximal nesting depth of Kleene stars.
+///
+/// ```
+/// use rei_syntax::{metrics::star_height, parse};
+/// assert_eq!(star_height(&parse("(0*1)*").unwrap()), 2);
+/// assert_eq!(star_height(&parse("0*1*").unwrap()), 1);
+/// ```
+pub fn star_height(regex: &Regex) -> usize {
+    match regex {
+        Regex::Empty | Regex::Epsilon | Regex::Literal(_) => 0,
+        Regex::Star(r) => 1 + star_height(r),
+        Regex::Question(r) => star_height(r),
+        Regex::Concat(l, r) | Regex::Union(l, r) => star_height(l).max(star_height(r)),
+    }
+}
+
+/// Number of literal (character) leaves, counting repetitions.
+pub fn literal_count(regex: &Regex) -> usize {
+    match regex {
+        Regex::Empty | Regex::Epsilon => 0,
+        Regex::Literal(_) => 1,
+        Regex::Star(r) | Regex::Question(r) => literal_count(r),
+        Regex::Concat(l, r) | Regex::Union(l, r) => literal_count(l) + literal_count(r),
+    }
+}
+
+/// Returns `true` if the expression is *star free* (contains no Kleene
+/// star). Section 5.1 of the paper discusses searching the star-free
+/// fragment by making the star expensive; the harness uses this predicate
+/// to validate that setting `cost(*)` high enough indeed yields star-free
+/// results.
+pub fn is_star_free(regex: &Regex) -> bool {
+    star_height(regex) == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn size_counts_all_nodes() {
+        assert_eq!(size(&Regex::Empty), 1);
+        assert_eq!(size(&parse("a+b").unwrap()), 3);
+        assert_eq!(size(&parse("(a+b)*").unwrap()), 4);
+    }
+
+    #[test]
+    fn height_of_leaf_and_nested() {
+        assert_eq!(height(&Regex::Epsilon), 1);
+        assert_eq!(height(&parse("(a+b)*").unwrap()), 3);
+    }
+
+    #[test]
+    fn star_height_ignores_question() {
+        assert_eq!(star_height(&parse("a?b?").unwrap()), 0);
+        assert_eq!(star_height(&parse("(a?b)*").unwrap()), 1);
+    }
+
+    #[test]
+    fn literal_count_counts_duplicates() {
+        assert_eq!(literal_count(&parse("aa+a").unwrap()), 3);
+        assert_eq!(literal_count(&parse("ε+∅").unwrap()), 0);
+    }
+
+    #[test]
+    fn star_free_predicate() {
+        assert!(is_star_free(&parse("a?b+c").unwrap()));
+        assert!(!is_star_free(&parse("ab*").unwrap()));
+    }
+
+    #[test]
+    fn size_is_consistent_with_uniform_cost() {
+        // Under the uniform cost function, cost == size for ?/star-free
+        // expressions built only from literals, concat and union.
+        let r = parse("10+101+100").unwrap();
+        assert_eq!(size(&r) as u64, r.cost(&crate::CostFn::UNIFORM));
+    }
+}

@@ -1,0 +1,254 @@
+//! A small recursive-descent parser for the concrete regular-expression
+//! syntax used in examples, tests and the benchmark suite.
+//!
+//! Grammar (whitespace is ignored everywhere):
+//!
+//! ```text
+//! union   := concat ('+' concat)*
+//! concat  := postfix postfix*
+//! postfix := atom ('*' | '?')*
+//! atom    := '(' union ')' | '∅' | '#' | 'ε' | '_' | literal
+//! ```
+//!
+//! `#` is an ASCII alias for `∅` and `_` for `ε`. A literal is any other
+//! non-metacharacter; this allows arbitrary alphabets such as `{a, b, …}`,
+//! `{0, 1}` or unicode symbols.
+
+use crate::{ParseError, Regex};
+
+/// Parses a regular expression from its concrete syntax.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the offset and cause when the input
+/// is not a well-formed expression (unbalanced parentheses, dangling
+/// operators, empty input, …).
+///
+/// # Example
+///
+/// ```
+/// use rei_syntax::parse;
+///
+/// let r = parse("(0+11)*1").unwrap();
+/// assert!(r.accepts("111".chars()));
+/// assert!(parse("0++1").is_err());
+/// ```
+pub fn parse(input: &str) -> Result<Regex, ParseError> {
+    let mut parser = Parser::new(input);
+    let regex = parser.union()?;
+    parser.skip_ws();
+    match parser.peek() {
+        None => Ok(regex),
+        Some((off, c)) => Err(ParseError::new(off, format!("unexpected character '{c}'"))),
+    }
+}
+
+/// Characters that cannot appear as literals because they are part of the
+/// concrete syntax.
+const METACHARACTERS: &[char] = &['(', ')', '+', '*', '?', '#', '_', '∅', 'ε'];
+
+struct Parser<'a> {
+    input: &'a str,
+    chars: std::iter::Peekable<std::str::CharIndices<'a>>,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Parser { input, chars: input.char_indices().peekable() }
+    }
+
+    fn peek(&mut self) -> Option<(usize, char)> {
+        self.chars.peek().copied()
+    }
+
+    fn bump(&mut self) -> Option<(usize, char)> {
+        self.chars.next()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some((_, c)) if c.is_whitespace()) {
+            self.bump();
+        }
+    }
+
+    fn eof_offset(&self) -> usize {
+        self.input.len()
+    }
+
+    fn union(&mut self) -> Result<Regex, ParseError> {
+        let mut acc = self.concat()?;
+        loop {
+            self.skip_ws();
+            if matches!(self.peek(), Some((_, '+'))) {
+                self.bump();
+                let rhs = self.concat()?;
+                acc = Regex::union(acc, rhs);
+            } else {
+                return Ok(acc);
+            }
+        }
+    }
+
+    fn concat(&mut self) -> Result<Regex, ParseError> {
+        let mut acc = self.postfix()?;
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some((_, c)) if c != ')' && c != '+' => {
+                    let rhs = self.postfix()?;
+                    acc = Regex::concat(acc, rhs);
+                }
+                _ => return Ok(acc),
+            }
+        }
+    }
+
+    fn postfix(&mut self) -> Result<Regex, ParseError> {
+        let mut acc = self.atom()?;
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some((_, '*')) => {
+                    self.bump();
+                    acc = acc.star();
+                }
+                Some((_, '?')) => {
+                    self.bump();
+                    acc = acc.question();
+                }
+                _ => return Ok(acc),
+            }
+        }
+    }
+
+    fn atom(&mut self) -> Result<Regex, ParseError> {
+        self.skip_ws();
+        match self.bump() {
+            None => Err(ParseError::new(self.eof_offset(), "unexpected end of input")),
+            Some((off, '(')) => {
+                let inner = self.union()?;
+                self.skip_ws();
+                match self.bump() {
+                    Some((_, ')')) => Ok(inner),
+                    Some((off, c)) => {
+                        Err(ParseError::new(off, format!("expected ')', found '{c}'")))
+                    }
+                    None => Err(ParseError::new(off, "unclosed '('")),
+                }
+            }
+            Some((_, '∅')) | Some((_, '#')) => Ok(Regex::Empty),
+            Some((_, 'ε')) | Some((_, '_')) => Ok(Regex::Epsilon),
+            Some((off, c)) if METACHARACTERS.contains(&c) => {
+                Err(ParseError::new(off, format!("unexpected character '{c}'")))
+            }
+            Some((_, c)) => Ok(Regex::Literal(c)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Regex;
+    use proptest::prelude::*;
+
+    #[test]
+    fn parses_atoms_and_aliases() {
+        assert_eq!(parse("#").unwrap(), Regex::Empty);
+        assert_eq!(parse("∅").unwrap(), Regex::Empty);
+        assert_eq!(parse("_").unwrap(), Regex::Epsilon);
+        assert_eq!(parse("ε").unwrap(), Regex::Epsilon);
+        assert_eq!(parse("a").unwrap(), Regex::literal('a'));
+    }
+
+    #[test]
+    fn precedence_star_concat_union() {
+        let r = parse("ab+c*").unwrap();
+        assert_eq!(
+            r,
+            Regex::union(
+                Regex::concat(Regex::literal('a'), Regex::literal('b')),
+                Regex::literal('c').star()
+            )
+        );
+    }
+
+    #[test]
+    fn parentheses_override_precedence() {
+        let r = parse("(a+b)c").unwrap();
+        assert_eq!(
+            r,
+            Regex::concat(
+                Regex::union(Regex::literal('a'), Regex::literal('b')),
+                Regex::literal('c')
+            )
+        );
+    }
+
+    #[test]
+    fn whitespace_is_ignored() {
+        assert_eq!(parse(" a +  b ").unwrap(), parse("a+b").unwrap());
+    }
+
+    #[test]
+    fn paper_examples_parse() {
+        for s in [
+            "10(0+1)*",
+            "10(0*+1*)*+1000",
+            "(0?1)*1",
+            "0+(00+10*10?(0+1))1?",
+            "(0+11)*(1+00)",
+        ] {
+            let r = parse(s).expect(s);
+            // Round-trip through Display must preserve the AST.
+            assert_eq!(parse(&r.to_string()).unwrap(), r, "round trip of {s}");
+        }
+    }
+
+    #[test]
+    fn errors_report_offsets() {
+        assert!(parse("").is_err());
+        assert!(parse("a+").is_err());
+        assert!(parse("(a").is_err());
+        assert!(parse("a)").is_err());
+        assert!(parse("*a").is_err());
+        let err = parse("a)").unwrap_err();
+        assert_eq!(err.offset, 1);
+    }
+
+    fn arb_regex() -> impl Strategy<Value = Regex> {
+        let leaf = prop_oneof![
+            Just(Regex::Empty),
+            Just(Regex::Epsilon),
+            prop_oneof![Just('0'), Just('1'), Just('a'), Just('b')].prop_map(Regex::Literal),
+        ];
+        leaf.prop_recursive(6, 48, 2, |inner| {
+            prop_oneof![
+                (inner.clone(), inner.clone()).prop_map(|(l, r)| Regex::concat(l, r)),
+                (inner.clone(), inner.clone()).prop_map(|(l, r)| Regex::union(l, r)),
+                inner.clone().prop_map(Regex::star),
+                inner.prop_map(Regex::question),
+            ]
+        })
+    }
+
+    proptest! {
+        /// Pretty-printing is a fixpoint of `parse ∘ to_string`: the printer
+        /// flattens associativity, so we compare printed forms rather than
+        /// ASTs, and additionally check language agreement via the NFA
+        /// oracle on a sampled word.
+        #[test]
+        fn display_parse_round_trip(r in arb_regex(), word in "[01ab]{0,6}") {
+            let printed = r.to_string();
+            let reparsed = parse(&printed).unwrap();
+            prop_assert_eq!(reparsed.to_string(), printed.clone());
+            let original_nfa = crate::nfa::Nfa::compile(&r);
+            let reparsed_nfa = crate::nfa::Nfa::compile(&reparsed);
+            prop_assert_eq!(
+                original_nfa.accepts(word.chars()),
+                reparsed_nfa.accepts(word.chars()),
+                "printed {}", printed
+            );
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Algebraic simplification of regular expressions.
+//!
+//! The synthesiser reconstructs expressions from provenance information in
+//! the language cache and therefore never produces redundant syntax, but the
+//! AlphaRegex baseline and user-written expressions benefit from a light
+//! rewriting pass. Only language-preserving rules are applied:
+//!
+//! * `∅ + r = r`, `r + ∅ = r`, `r + r = r`
+//! * `∅ · r = ∅`, `r · ∅ = ∅`, `ε · r = r`, `r · ε = r`
+//! * `∅* = ε`, `ε* = ε`, `(r*)* = r*`, `(r?)* = r*`, `(r*)? = r*`
+//! * `∅? = ε`, `ε? = ε`
+//!
+//! The rewriting is bottom-up and runs to a fixed point in a single pass
+//! because every rule strictly decreases the size of the term.
+
+use crate::Regex;
+
+/// Simplifies `regex` using language-preserving rewrite rules.
+///
+/// # Example
+///
+/// ```
+/// use rei_syntax::{parse, simplify::simplify};
+///
+/// let r = parse("(a+∅)(ε+∅*)").unwrap();
+/// assert_eq!(simplify(&r).to_string(), "a");
+/// ```
+pub fn simplify(regex: &Regex) -> Regex {
+    match regex {
+        Regex::Empty | Regex::Epsilon | Regex::Literal(_) => regex.clone(),
+        Regex::Concat(l, r) => {
+            let (l, r) = (simplify(l), simplify(r));
+            match (&l, &r) {
+                (Regex::Empty, _) | (_, Regex::Empty) => Regex::Empty,
+                (Regex::Epsilon, _) => r,
+                (_, Regex::Epsilon) => l,
+                _ => Regex::concat(l, r),
+            }
+        }
+        Regex::Union(l, r) => {
+            let (l, r) = (simplify(l), simplify(r));
+            match (&l, &r) {
+                (Regex::Empty, _) => r,
+                (_, Regex::Empty) => l,
+                _ if l == r => l,
+                _ => Regex::union(l, r),
+            }
+        }
+        Regex::Star(inner) => {
+            let inner = simplify(inner);
+            match inner {
+                Regex::Empty | Regex::Epsilon => Regex::Epsilon,
+                Regex::Star(_) => inner,
+                Regex::Question(q) => Regex::Star(q),
+                _ => inner.star(),
+            }
+        }
+        Regex::Question(inner) => {
+            let inner = simplify(inner);
+            match &inner {
+                Regex::Empty | Regex::Epsilon => Regex::Epsilon,
+                Regex::Star(_) | Regex::Question(_) => inner,
+                _ if inner.is_nullable() => inner,
+                _ => inner.question(),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{matcher, parse, CostFn};
+    use proptest::prelude::*;
+
+    #[test]
+    fn unit_and_absorbing_elements() {
+        assert_eq!(simplify(&parse("a+∅").unwrap()), parse("a").unwrap());
+        assert_eq!(simplify(&parse("∅a").unwrap()), Regex::Empty);
+        assert_eq!(simplify(&parse("εa").unwrap()), parse("a").unwrap());
+        assert_eq!(simplify(&parse("aε").unwrap()), parse("a").unwrap());
+    }
+
+    #[test]
+    fn star_collapsing() {
+        assert_eq!(simplify(&parse("∅*").unwrap()), Regex::Epsilon);
+        assert_eq!(simplify(&parse("ε*").unwrap()), Regex::Epsilon);
+        assert_eq!(simplify(&parse("a**").unwrap()), parse("a*").unwrap());
+        assert_eq!(simplify(&parse("a?*").unwrap()), parse("a*").unwrap());
+        assert_eq!(simplify(&parse("a*?").unwrap()), parse("a*").unwrap());
+    }
+
+    #[test]
+    fn question_of_nullable_is_dropped() {
+        assert_eq!(simplify(&parse("(ab?)?").unwrap()), parse("(ab?)?").unwrap());
+        assert_eq!(simplify(&parse("(a?b?)?").unwrap()), parse("a?b?").unwrap());
+    }
+
+    #[test]
+    fn idempotent_union() {
+        assert_eq!(simplify(&parse("ab+ab").unwrap()), parse("ab").unwrap());
+    }
+
+    #[test]
+    fn never_increases_cost() {
+        let inputs = ["(a+∅)(ε+∅*)", "((0+1)+(0+1))*", "0?*?", "(∅+∅)?"];
+        for s in inputs {
+            let r = parse(s).unwrap();
+            let simplified = simplify(&r);
+            assert!(simplified.cost(&CostFn::UNIFORM) <= r.cost(&CostFn::UNIFORM));
+        }
+    }
+
+    proptest! {
+        /// Simplification preserves the language on sampled words.
+        #[test]
+        fn preserves_language(expr in "[01+*?()#_]{0,14}", word in "[01]{0,7}") {
+            if let Ok(r) = parse(&expr) {
+                let s = simplify(&r);
+                prop_assert_eq!(
+                    matcher::accepts(&r, word.chars()),
+                    matcher::accepts(&s, word.chars()),
+                    "expr {} simplified {} word {}", r, s, word
+                );
+            }
+        }
+
+        /// Simplification is idempotent.
+        #[test]
+        fn idempotent(expr in "[01+*?()#_]{0,14}") {
+            if let Ok(r) = parse(&expr) {
+                let once = simplify(&r);
+                let twice = simplify(&once);
+                prop_assert_eq!(once, twice);
+            }
+        }
+    }
+}

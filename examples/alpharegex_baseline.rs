@@ -1,0 +1,48 @@
+//! Table 2 in miniature: run Paresy and the AlphaRegex baseline on a few
+//! classic introductory-automata tasks and compare times, search effort and
+//! result costs.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example alpharegex_baseline
+//! ```
+
+use std::time::Instant;
+
+use paresy::baseline::{AlphaRegex, AlphaRegexConfig};
+use paresy::bench::suite::easy_tasks;
+use paresy::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!(
+        "{:<6} {:<40} {:>10} {:>10} {:>8} {:>8}",
+        "task", "description", "αR (s)", "paresy (s)", "αR cost", "P cost"
+    );
+    for task in easy_tasks(8) {
+        let spec = task.spec();
+
+        let alpha_config = AlphaRegexConfig { use_wildcard: task.wildcard, ..Default::default() };
+        let started = Instant::now();
+        let alpha = AlphaRegex::with_config(alpha_config).run(&spec)?;
+        let alpha_secs = started.elapsed().as_secs_f64();
+
+        let started = Instant::now();
+        let paresy = Synthesizer::new(CostFn::ALPHAREGEX).run(&spec)?;
+        let paresy_secs = started.elapsed().as_secs_f64();
+
+        // Paresy is cost-minimal, so it can never be beaten on cost.
+        assert!(paresy.cost <= alpha.cost);
+        println!(
+            "{:<6} {:<40} {:>10.4} {:>10.4} {:>8} {:>8}{}",
+            task.name(),
+            task.description,
+            alpha_secs,
+            paresy_secs,
+            alpha.cost,
+            paresy.cost,
+            if alpha.cost > paresy.cost { "  (AlphaRegex not minimal)" } else { "" }
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,39 @@
+//! REI with allowed error (Section 5.2 of the paper): trade precision for
+//! drastically smaller search effort on the paper's own specification.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example error_tolerant
+//! ```
+
+use paresy::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The specification of Section 5.2 (the top row of Table 1).
+    let spec = Spec::from_strs(
+        ["00", "1101", "0001", "0111", "001", "1", "10", "1100", "111", "1010"],
+        ["", "0", "0000", "0011", "01", "010", "011", "100", "1000", "1001", "11", "1110"],
+    )?;
+
+    println!("{:<14} {:>12} {:<22} {:>8}", "allowed error", "#REs", "RE", "cost");
+    for percent in [15u32, 20, 25, 30, 35, 40, 45, 50] {
+        let synthesizer =
+            Synthesizer::new(CostFn::UNIFORM).with_allowed_error(f64::from(percent) / 100.0);
+        let result = synthesizer.run(&spec)?;
+        println!(
+            "{:>12} % {:>12} {:<22} {:>8}",
+            percent, result.stats.candidates_generated, result.regex.to_string(), result.cost
+        );
+
+        // The result misclassifies at most the allowed fraction of examples.
+        let allowed = synthesizer.allowed_example_errors(&spec);
+        assert!(spec.misclassified_by(&result.regex) <= allowed);
+    }
+    println!(
+        "\nLower allowed error means exponentially more work — run\n\
+         `cargo run --release -p rei-bench --bin reproduce -- error --full`\n\
+         to extend the sweep towards exact synthesis (0 %)."
+    );
+    Ok(())
+}

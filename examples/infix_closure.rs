@@ -1,0 +1,58 @@
+//! A guided tour of Paresy's data structures on Example 3.6 of the paper:
+//! the infix closure, characteristic sequences, the guide table and the
+//! satisfaction masks.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example infix_closure
+//! ```
+
+use paresy::lang::{GuideTable, InfixClosure, SatisfyMasks, Spec};
+use paresy::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Example 3.6: P = {1, 011, 1011, 11011}, N = {ε, 10, 101, 0011}.
+    let spec = Spec::from_strs(["1", "011", "1011", "11011"], ["", "10", "101", "0011"])?;
+    let ic = InfixClosure::of_spec(&spec);
+
+    println!("specification  : {spec}");
+    println!("#ic(P ∪ N)     : {}", ic.len());
+    println!("closure (shortlex):");
+    for (i, word) in ic.iter() {
+        let class = if spec.positive().contains(word) {
+            "positive"
+        } else if spec.negative().contains(word) {
+            "negative"
+        } else {
+            "infix"
+        };
+        println!("  [{i:>2}] {word:<6} ({class})");
+    }
+
+    // The characteristic sequence of (0?1)*1 relative to the closure — the
+    // row picture of Example 3.6.
+    let regex = parse("(0?1)*1")?;
+    let cs = ic.cs_of_regex(&regex);
+    println!("\nCS of {regex} : {cs}");
+
+    // The guide table row for "110": every way of splitting it into two
+    // members of the closure.
+    let guide = GuideTable::build(&ic);
+    let w = ic.index_of(&"110".into()).expect("110 is an infix");
+    println!("guide table row for \"110\":");
+    for &(l, r) in guide.splits(w) {
+        println!("  {} · {}", ic.word(l as usize), ic.word(r as usize));
+    }
+
+    // Satisfaction is two bitwise comparisons against these masks.
+    let masks = SatisfyMasks::new(&spec, &ic);
+    println!("\npositive mask : {}", masks.positive());
+    println!("negative mask : {}", masks.negative());
+    println!("(0?1)*1 satisfies the spec: {}", masks.is_satisfied(cs.blocks()));
+
+    // And the synthesiser indeed recovers a minimal expression.
+    let result = Synthesizer::new(CostFn::UNIFORM).run(&spec)?;
+    println!("\nsynthesised   : {} (cost {})", result.regex, result.cost);
+    Ok(())
+}

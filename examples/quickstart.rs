@@ -1,0 +1,31 @@
+//! Quickstart: infer `10(0+1)*` from the paper's introductory example.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use paresy::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Positive and negative example strings (expression (1) in the paper).
+    let spec = Spec::from_strs(
+        ["10", "101", "100", "1010", "1011", "1000", "1001"],
+        ["", "0", "1", "00", "11", "010"],
+    )?;
+
+    // A synthesiser with the uniform cost homomorphism (1, 1, 1, 1, 1).
+    let synthesizer = Synthesizer::new(CostFn::UNIFORM);
+    let result = synthesizer.run(&spec)?;
+
+    println!("specification : {spec}");
+    println!("inferred      : {}", result.regex);
+    println!("cost          : {}", result.cost);
+    println!("candidates    : {}", result.stats.candidates_generated);
+    println!("unique langs  : {}", result.stats.unique_languages);
+    println!("elapsed       : {:.2?}", result.stats.elapsed);
+
+    assert_eq!(result.regex.to_string(), "10(0+1)*");
+    Ok(())
+}

@@ -1,0 +1,48 @@
+//! Paresy-rs: a Rust reproduction of *"Search-Based Regular Expression
+//! Inference on a GPU"* (Valizadeh & Berger, PLDI 2023).
+//!
+//! This facade crate re-exports the public API of the workspace crates so
+//! that downstream users can depend on a single crate:
+//!
+//! * [`syntax`] — regular-expression ASTs, cost homomorphisms, parsing and
+//!   matching ([`rei_syntax`]).
+//! * [`lang`] — the formal-language substrate: specifications, infix
+//!   closures, characteristic sequences and guide tables ([`rei_lang`]).
+//! * [`core`] — the Paresy synthesiser itself ([`rei_core`]).
+//! * [`gpu`] — the software SIMT device model used as the GPU substrate
+//!   ([`gpu_sim`]).
+//! * [`baseline`] — the AlphaRegex baseline ([`alpharegex`]).
+//! * [`bench`] — benchmark generators and the paper-reproduction harness
+//!   ([`rei_bench`]).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use paresy::prelude::*;
+//!
+//! // The introductory example of the paper: learn 10(0+1)*.
+//! let spec = Spec::from_strs(
+//!     ["10", "101", "100", "1010", "1011", "1000", "1001"],
+//!     ["", "0", "1", "00", "11", "010"],
+//! )
+//! .unwrap();
+//! let result = Synthesizer::new(CostFn::UNIFORM).run(&spec).unwrap();
+//! assert_eq!(result.regex.to_string(), "10(0+1)*");
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use alpharegex as baseline;
+pub use gpu_sim as gpu;
+pub use rei_bench as bench;
+pub use rei_core as core;
+pub use rei_lang as lang;
+pub use rei_syntax as syntax;
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use alpharegex::AlphaRegex;
+    pub use rei_core::{Engine, SynthesisResult, Synthesizer};
+    pub use rei_lang::{Alphabet, InfixClosure, Spec, Word};
+    pub use rei_syntax::{parse, CostFn, Regex};
+}

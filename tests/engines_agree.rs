@@ -1,0 +1,63 @@
+//! Property tests: the sequential and data-parallel engines implement the
+//! same algorithm, so on any specification they must agree on the minimal
+//! cost (the expressions themselves may differ between equally-minimal
+//! candidates).
+
+use proptest::prelude::*;
+
+use paresy::bench::generator::{generate_type2, Type2Params};
+use paresy::core::Engine;
+use paresy::lang::Alphabet;
+use paresy::prelude::*;
+
+fn small_spec(seed: u64, max_len: usize, examples: usize) -> Option<Spec> {
+    let params = Type2Params {
+        alphabet: Alphabet::binary(),
+        max_len,
+        positives: examples,
+        negatives: examples,
+    };
+    generate_type2(&params, seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Both engines find expressions of the same (minimal) cost and both
+    /// results classify every example correctly.
+    #[test]
+    fn engines_agree_on_minimal_cost(seed in 0u64..10_000, max_len in 2usize..4, examples in 2usize..4) {
+        let Some(spec) = small_spec(seed, max_len, examples) else { return Ok(()) };
+        let sequential = Synthesizer::new(CostFn::UNIFORM).run(&spec).unwrap();
+        let parallel = Synthesizer::new(CostFn::UNIFORM)
+            .with_engine(Engine::parallel_with_threads(3))
+            .run(&spec)
+            .unwrap();
+        prop_assert_eq!(sequential.cost, parallel.cost, "spec {}", spec);
+        prop_assert!(spec.is_satisfied_by(&sequential.regex));
+        prop_assert!(spec.is_satisfied_by(&parallel.regex));
+        prop_assert_eq!(sequential.regex.cost(&CostFn::UNIFORM), sequential.cost);
+        prop_assert_eq!(parallel.regex.cost(&CostFn::UNIFORM), parallel.cost);
+    }
+
+    /// The reported cost never exceeds the cost of the overfitted union of
+    /// positives, which is the search's own upper bound.
+    #[test]
+    fn results_never_exceed_the_overfit_bound(seed in 0u64..10_000) {
+        let Some(spec) = small_spec(seed, 3, 3) else { return Ok(()) };
+        let result = Synthesizer::new(CostFn::UNIFORM).run(&spec).unwrap();
+        prop_assert!(result.cost <= spec.overfit_regex().cost(&CostFn::UNIFORM));
+    }
+
+    /// Minimality is monotone in the cost function: making the star more
+    /// expensive can only increase (or keep) the total cost of the result.
+    #[test]
+    fn star_surcharge_is_monotone(seed in 0u64..10_000) {
+        let Some(spec) = small_spec(seed, 3, 3) else { return Ok(()) };
+        let cheap = Synthesizer::new(CostFn::UNIFORM).run(&spec).unwrap();
+        let pricey = Synthesizer::new(CostFn::new(1, 1, 5, 1, 1)).run(&spec).unwrap();
+        // Evaluate both results under the uniform function: the result of
+        // the uniform search is by definition minimal there.
+        prop_assert!(cheap.cost <= pricey.regex.cost(&CostFn::UNIFORM));
+    }
+}

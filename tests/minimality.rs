@@ -1,0 +1,80 @@
+//! Cross-tool minimality check: Paresy and an un-heuristic AlphaRegex both
+//! perform exhaustive search ordered by the same cost homomorphism over the
+//! same constructor grammar, so on specifications without ε examples they
+//! must report results of identical cost — two independently implemented
+//! oracles for "precise and minimal".
+
+use proptest::prelude::*;
+
+use paresy::baseline::{AlphaRegex, AlphaRegexConfig, AlphaRegexError};
+use paresy::bench::generator::{generate_type1, Type1Params};
+use paresy::lang::Alphabet;
+use paresy::prelude::*;
+
+fn spec_without_epsilon(seed: u64) -> Option<Spec> {
+    let params = Type1Params {
+        alphabet: Alphabet::binary(),
+        max_len: 3,
+        positives: 3,
+        negatives: 3,
+    };
+    let spec = generate_type1(&params, seed)?;
+    if spec.iter().any(|w| w.is_empty()) {
+        None
+    } else {
+        Some(spec)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn paresy_matches_alpharegex_minimal_cost(seed in 0u64..10_000) {
+        let Some(spec) = spec_without_epsilon(seed) else { return Ok(()) };
+
+        let paresy = Synthesizer::new(CostFn::ALPHAREGEX).run(&spec).unwrap();
+        prop_assert!(spec.is_satisfied_by(&paresy.regex));
+
+        let config = AlphaRegexConfig {
+            use_wildcard: false,
+            time_budget: Some(std::time::Duration::from_secs(10)),
+            ..AlphaRegexConfig::default()
+        };
+        match AlphaRegex::with_config(config).run(&spec) {
+            Ok(alpha) => {
+                prop_assert!(spec.is_satisfied_by(&alpha.regex));
+                prop_assert_eq!(
+                    paresy.cost, alpha.cost,
+                    "spec {}: paresy found {} vs alpharegex {}", spec, paresy.regex, alpha.regex
+                );
+            }
+            // The baseline may exhaust its budget on unlucky draws; that
+            // does not invalidate the property.
+            Err(AlphaRegexError::SearchExhausted { .. }) => {}
+            Err(other) => return Err(TestCaseError::fail(format!("alpharegex failed: {other}"))),
+        }
+    }
+}
+
+/// The paper reports that AlphaRegex's wild-card heuristic sacrifices
+/// minimality; check that the heuristic can only ever match or increase
+/// the cost Paresy attains.
+#[test]
+fn wildcard_heuristic_never_beats_paresy() {
+    for task in paresy::bench::suite::easy_tasks(8) {
+        let spec = task.spec();
+        let paresy = Synthesizer::new(CostFn::ALPHAREGEX).run(&spec).unwrap();
+        let config = AlphaRegexConfig { use_wildcard: true, ..AlphaRegexConfig::default() };
+        let alpha = AlphaRegex::with_config(config).run(&spec).unwrap();
+        assert!(
+            paresy.cost <= alpha.cost,
+            "{}: paresy {} (cost {}) vs alpharegex {} (cost {})",
+            task.name(),
+            paresy.regex,
+            paresy.cost,
+            alpha.regex,
+            alpha.cost
+        );
+    }
+}

@@ -1,0 +1,103 @@
+//! Integration tests that pin down the worked examples of the paper:
+//! the introductory specification, Example 3.6, the Section 5.2
+//! allowed-error table and the star-free search of Section 5.1.
+
+use paresy::core::Engine;
+use paresy::prelude::*;
+use paresy::syntax::metrics;
+
+fn intro_spec() -> Spec {
+    Spec::from_strs(
+        ["10", "101", "100", "1010", "1011", "1000", "1001"],
+        ["", "0", "1", "00", "11", "010"],
+    )
+    .unwrap()
+}
+
+#[test]
+fn intro_example_learns_the_intended_expression() {
+    let result = Synthesizer::new(CostFn::UNIFORM).run(&intro_spec()).unwrap();
+    assert_eq!(result.regex.to_string(), "10(0+1)*");
+    assert_eq!(result.cost, 8);
+    // The overfitted union of all positives (expression (2) in the paper)
+    // also satisfies the specification but is much more expensive.
+    let overfit = intro_spec().overfit_regex();
+    assert!(intro_spec().is_satisfied_by(&overfit));
+    assert!(overfit.cost(&CostFn::UNIFORM) > result.cost);
+}
+
+#[test]
+fn intro_example_on_the_parallel_engine_is_identical() {
+    let sequential = Synthesizer::new(CostFn::UNIFORM).run(&intro_spec()).unwrap();
+    let parallel = Synthesizer::new(CostFn::UNIFORM)
+        .with_engine(Engine::parallel_with_threads(4))
+        .run(&intro_spec())
+        .unwrap();
+    assert_eq!(sequential.cost, parallel.cost);
+    assert!(intro_spec().is_satisfied_by(&parallel.regex));
+}
+
+#[test]
+fn example_3_6_learns_a_cost_7_expression() {
+    let spec =
+        Spec::from_strs(["1", "011", "1011", "11011"], ["", "10", "101", "0011"]).unwrap();
+    let result = Synthesizer::new(CostFn::UNIFORM).run(&spec).unwrap();
+    // The paper's Example 3.6 annotates (0?1)*1 as the minimal expression.
+    assert_eq!(result.cost, parse("(0?1)*1").unwrap().cost(&CostFn::UNIFORM));
+    assert!(spec.is_satisfied_by(&result.regex));
+}
+
+#[test]
+fn allowed_error_table_matches_the_paper() {
+    // Section 5.2, allowed error vs. cost of the result. The paper reports
+    // (20 %, 12), (25 %, 8), (30 %, 8), (35 %, 7), (40 %, 4), (45 %, 1),
+    // (50 %, 1); the exact expressions it prints are reproduced too.
+    let spec = Spec::from_strs(
+        ["00", "1101", "0001", "0111", "001", "1", "10", "1100", "111", "1010"],
+        ["", "0", "0000", "0011", "01", "010", "011", "100", "1000", "1001", "11", "1110"],
+    )
+    .unwrap();
+    let expected = [
+        (20, 12, "(0+11)*(1+00)"),
+        (25, 8, "(0+11)*1"),
+        (30, 8, "(0+11)*1"),
+        (35, 7, "1+(0+1)0"),
+        (40, 4, "10?"),
+        (45, 1, "1"),
+        (50, 1, "∅"),
+    ];
+    for (percent, cost, regex) in expected {
+        let synth =
+            Synthesizer::new(CostFn::UNIFORM).with_allowed_error(f64::from(percent) / 100.0);
+        let result = synth.run(&spec).unwrap();
+        assert_eq!(result.cost, cost, "allowed error {percent}% produced {}", result.regex);
+        assert_eq!(result.regex.to_string(), regex, "allowed error {percent}%");
+        let allowed = synth.allowed_example_errors(&spec);
+        assert!(spec.misclassified_by(&result.regex) <= allowed);
+    }
+}
+
+#[test]
+fn expensive_star_searches_the_star_free_fragment() {
+    // Section 5.1: "We can already search in the star-free fragment, by
+    // setting cost(*) high enough."
+    let spec = Spec::from_strs(["01", "011", "0111"], ["", "0", "1", "10", "110"]).unwrap();
+    let star_free_costs = CostFn::new(1, 1, 100, 1, 1);
+    let result = Synthesizer::new(star_free_costs).run(&spec).unwrap();
+    assert!(spec.is_satisfied_by(&result.regex));
+    assert!(
+        metrics::is_star_free(&result.regex),
+        "expected a star-free expression, got {}",
+        result.regex
+    );
+}
+
+#[test]
+fn infix_heterogeneity_governs_closure_size() {
+    // Section 4.3's observation that ic({aaa, aa}) is much smaller than
+    // ic({abc, de}) drives the benchmark design; check the sizes are as
+    // published (4 vs 10).
+    use paresy::lang::{InfixClosure, Word};
+    assert_eq!(InfixClosure::of_words([Word::from("aaa"), Word::from("aa")]).len(), 4);
+    assert_eq!(InfixClosure::of_words([Word::from("abc"), Word::from("de")]).len(), 10);
+}

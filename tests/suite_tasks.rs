@@ -1,0 +1,74 @@
+//! End-to-end runs of the reconstructed AlphaRegex suite through the public
+//! API: precision with respect to the examples, minimality with respect to
+//! the hand-written reference solutions and cross-matcher agreement.
+
+use paresy::bench::suite::{alpharegex_suite, easy_tasks};
+use paresy::prelude::*;
+use paresy::syntax::nfa::Nfa;
+
+#[test]
+fn every_task_specification_is_well_formed() {
+    for task in alpharegex_suite() {
+        let spec = task.spec();
+        assert!(spec.num_positive() >= 4, "{} has too few positives", task.name());
+        assert!(spec.num_negative() >= 4, "{} has too few negatives", task.name());
+        assert!(spec.is_satisfied_by(&task.reference_regex()), "{}", task.name());
+    }
+}
+
+#[test]
+fn paresy_solves_the_easy_tasks_at_least_as_cheaply_as_the_references() {
+    for task in easy_tasks(9) {
+        let spec = task.spec();
+        let result = Synthesizer::new(CostFn::UNIFORM).run(&spec).unwrap();
+        assert!(
+            spec.is_satisfied_by(&result.regex),
+            "{}: {} is not precise",
+            task.name(),
+            result.regex
+        );
+        let reference_cost = task.reference_regex().cost(&CostFn::UNIFORM);
+        assert!(
+            result.cost <= reference_cost,
+            "{}: found cost {} but the reference {} costs {}",
+            task.name(),
+            result.cost,
+            task.reference,
+            reference_cost
+        );
+    }
+}
+
+#[test]
+fn derivative_and_nfa_matchers_agree_on_synthesised_results() {
+    for task in easy_tasks(8) {
+        let spec = task.spec();
+        let result = Synthesizer::new(CostFn::UNIFORM).run(&spec).unwrap();
+        let nfa = Nfa::compile(&result.regex);
+        for word in spec.iter() {
+            let via_derivatives = result.regex.accepts(word.chars().iter().copied());
+            let via_nfa = nfa.accepts(word.chars().iter().copied());
+            assert_eq!(via_derivatives, via_nfa, "{}: word {word}", task.name());
+        }
+    }
+}
+
+#[test]
+fn synthesised_results_generalise_beyond_the_examples() {
+    // For a task with a crisp target language ("strings ending with 0"),
+    // the minimal result should agree with the reference on *all* strings
+    // up to length 5, not just the examples.
+    let task = alpharegex_suite().into_iter().find(|t| t.number == 11).unwrap();
+    let spec = task.spec();
+    let result = Synthesizer::new(CostFn::UNIFORM).run(&spec).unwrap();
+    let reference = Nfa::compile(&task.reference_regex());
+    let learned = Nfa::compile(&result.regex);
+    // The task's examples contain no ε (AlphaRegex cannot handle it), so
+    // the learned language is only pinned down on non-empty words.
+    let non_empty = |words: Vec<String>| -> Vec<String> {
+        words.into_iter().filter(|w| !w.is_empty()).collect()
+    };
+    let reference_words = non_empty(reference.enumerate_up_to(&['0', '1'], 5));
+    let learned_words = non_empty(learned.enumerate_up_to(&['0', '1'], 5));
+    assert_eq!(reference_words, learned_words, "learned {}", result.regex);
+}
