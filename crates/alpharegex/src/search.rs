@@ -84,10 +84,16 @@ impl fmt::Display for AlphaRegexError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             AlphaRegexError::EpsilonExample => {
-                write!(f, "alpharegex does not support the empty string as an example")
+                write!(
+                    f,
+                    "alpharegex does not support the empty string as an example"
+                )
             }
             AlphaRegexError::SearchExhausted { res_checked } => {
-                write!(f, "search budget exhausted after checking {res_checked} expressions")
+                write!(
+                    f,
+                    "search budget exhausted after checking {res_checked} expressions"
+                )
             }
         }
     }
@@ -169,7 +175,7 @@ impl AlphaRegex {
                 break;
             }
             if let Some(budget) = self.config.time_budget {
-                if states_explored % 1024 == 0 && started.elapsed() > budget {
+                if states_explored.is_multiple_of(1024) && started.elapsed() > budget {
                     break;
                 }
             }
@@ -259,13 +265,19 @@ mod tests {
     #[test]
     fn rejects_epsilon_examples() {
         let spec = Spec::from_strs(["", "0"], ["1"]).unwrap();
-        assert_eq!(AlphaRegex::new().run(&spec).unwrap_err(), AlphaRegexError::EpsilonExample);
+        assert_eq!(
+            AlphaRegex::new().run(&spec).unwrap_err(),
+            AlphaRegexError::EpsilonExample
+        );
     }
 
     #[test]
     fn search_budget_is_respected() {
         let spec = Spec::from_strs(["0110", "1001"], ["0", "1", "00", "11"]).unwrap();
-        let config = AlphaRegexConfig { max_states: 5, ..AlphaRegexConfig::default() };
+        let config = AlphaRegexConfig {
+            max_states: 5,
+            ..AlphaRegexConfig::default()
+        };
         let err = AlphaRegex::with_config(config).run(&spec).unwrap_err();
         assert!(matches!(err, AlphaRegexError::SearchExhausted { .. }));
     }
@@ -276,7 +288,10 @@ mod tests {
         // X1X*-style expressions quickly.
         let spec = Spec::from_strs(["01", "11", "010", "110"], ["0", "1", "00", "100"]).unwrap();
         let plain = AlphaRegex::new().run(&spec).unwrap();
-        let config = AlphaRegexConfig { use_wildcard: true, ..AlphaRegexConfig::default() };
+        let config = AlphaRegexConfig {
+            use_wildcard: true,
+            ..AlphaRegexConfig::default()
+        };
         let wild = AlphaRegex::with_config(config).run(&spec).unwrap();
         assert!(spec.is_satisfied_by(&plain.regex));
         assert!(spec.is_satisfied_by(&wild.regex));
@@ -290,7 +305,11 @@ mod tests {
         // ε cannot be a negative example for AlphaRegex, so 0* is precise.
         let spec = Spec::from_strs(["0", "00", "000"], ["1", "01", "10", "11"]).unwrap();
         let result = AlphaRegex::new().run(&spec).unwrap();
-        assert_eq!(result.cost, 10, "got {} with cost {}", result.regex, result.cost);
+        assert_eq!(
+            result.cost, 10,
+            "got {} with cost {}",
+            result.regex, result.cost
+        );
         assert_eq!(result.regex.to_string(), "0*");
     }
 

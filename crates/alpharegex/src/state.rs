@@ -81,9 +81,9 @@ impl Partial {
             Partial::Hole => Some(filler.clone()),
             Partial::Literal(_) | Partial::Wildcard => None,
             Partial::Star(p) => p.fill_leftmost(filler).map(|q| Partial::Star(Rc::new(q))),
-            Partial::Question(p) => {
-                p.fill_leftmost(filler).map(|q| Partial::Question(Rc::new(q)))
-            }
+            Partial::Question(p) => p
+                .fill_leftmost(filler)
+                .map(|q| Partial::Question(Rc::new(q))),
             Partial::Concat(l, r) => match l.fill_leftmost(filler) {
                 Some(new_l) => Some(Partial::Concat(Rc::new(new_l), Rc::clone(r))),
                 None => r
@@ -126,7 +126,10 @@ impl Partial {
     ///
     /// Panics if the state still contains holes.
     pub fn to_regex(&self, alphabet: &[char]) -> Regex {
-        assert!(self.is_complete(), "cannot convert a state with holes to a regex");
+        assert!(
+            self.is_complete(),
+            "cannot convert a state with holes to a regex"
+        );
         self.to_regex_with(&Regex::Empty, alphabet)
     }
 
@@ -167,7 +170,10 @@ mod tests {
 
     #[test]
     fn hole_counting() {
-        let s = Partial::Concat(Rc::new(Partial::Hole), Rc::new(Partial::Star(Rc::new(Partial::Hole))));
+        let s = Partial::Concat(
+            Rc::new(Partial::Hole),
+            Rc::new(Partial::Star(Rc::new(Partial::Hole))),
+        );
         assert_eq!(s.hole_count(), 2);
         assert!(!s.is_complete());
         assert!(Partial::Literal('0').is_complete());

@@ -51,7 +51,9 @@ fn guide_table_staging(c: &mut Criterion) {
 /// structures the engines can use.
 fn uniqueness_structures(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation/uniqueness");
-    let keys: Vec<u64> = (0..20_000u64).map(|k| k.wrapping_mul(0x9E3779B97F4A7C15)).collect();
+    let keys: Vec<u64> = (0..20_000u64)
+        .map(|k| k.wrapping_mul(0x9E3779B97F4A7C15))
+        .collect();
     group.bench_function("lockfree_u64", |b| {
         b.iter(|| {
             let set = LockFreeU64Set::with_capacity(keys.len() * 2);
@@ -77,7 +79,10 @@ fn memory_budget(c: &mut Criterion) {
     let spec = example_3_6_spec();
     let mut group = c.benchmark_group("ablation/memory_budget");
     group.sample_size(10);
-    for (label, bytes) in [("roomy_64MiB", 64 * 1024 * 1024), ("tight_64KiB", 64 * 1024)] {
+    for (label, bytes) in [
+        ("roomy_64MiB", 64 * 1024 * 1024),
+        ("tight_64KiB", 64 * 1024),
+    ] {
         group.bench_with_input(BenchmarkId::from_parameter(label), &bytes, |b, &bytes| {
             let synth = Synthesizer::new(CostFn::UNIFORM).with_memory_budget(bytes);
             b.iter(|| {
@@ -90,5 +95,10 @@ fn memory_budget(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, guide_table_staging, uniqueness_structures, memory_budget);
+criterion_group!(
+    benches,
+    guide_table_staging,
+    uniqueness_structures,
+    memory_budget
+);
 criterion_main!(benches);

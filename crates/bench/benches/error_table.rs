@@ -14,11 +14,19 @@ fn allowed_error_sweep(c: &mut Criterion) {
     // The exact end of the sweep (0-10 %) needs millions to billions of
     // candidates and is exercised by `reproduce error --full` instead.
     for percent in [15u32, 20, 25, 30, 40, 50] {
-        group.bench_with_input(BenchmarkId::from_parameter(percent), &percent, |b, &percent| {
-            let synth =
-                Synthesizer::new(CostFn::UNIFORM).with_allowed_error(percent as f64 / 100.0);
-            b.iter(|| synth.run(std::hint::black_box(&spec)).expect("relaxed spec solves"));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(percent),
+            &percent,
+            |b, &percent| {
+                let synth =
+                    Synthesizer::new(CostFn::UNIFORM).with_allowed_error(percent as f64 / 100.0);
+                b.iter(|| {
+                    synth
+                        .run(std::hint::black_box(&spec))
+                        .expect("relaxed spec solves")
+                });
+            },
+        );
     }
     group.finish();
 }

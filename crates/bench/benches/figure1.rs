@@ -19,10 +19,18 @@ fn cost_function_sensitivity(c: &mut Criterion) {
     let mut group = c.benchmark_group("figure1/cost_functions");
     group.sample_size(10);
     for named in PAPER_COST_FUNCTIONS {
-        group.bench_with_input(BenchmarkId::from_parameter(named.label), &named, |b, named| {
-            let synth = Synthesizer::new(named.costs);
-            b.iter(|| synth.run(std::hint::black_box(&spec)).expect("intro example solves"));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(named.label),
+            &named,
+            |b, named| {
+                let synth = Synthesizer::new(named.costs);
+                b.iter(|| {
+                    synth
+                        .run(std::hint::black_box(&spec))
+                        .expect("intro example solves")
+                });
+            },
+        );
     }
     group.finish();
 }

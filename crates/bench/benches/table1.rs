@@ -1,25 +1,38 @@
-//! Table 1: sequential (CPU) engine versus data-parallel (simulated GPU)
-//! engine on the same specification, plus a thread-scaling ablation.
+//! Table 1: sequential (CPU) backend versus data-parallel (simulated GPU)
+//! backend on the same specification, plus a thread-scaling ablation.
+//!
+//! Each backend's session is created once outside the measured loop, so
+//! the timings cover synthesis only — device setup is the session's
+//! one-off cost, exactly as in the production API.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use bench::{example_3_6_spec, intro_spec};
-use rei_core::{Engine, Synthesizer};
+use rei_core::{BackendChoice, SynthConfig, SynthSession};
 use rei_syntax::CostFn;
 
-fn engines_on_fixed_specs(c: &mut Criterion) {
+fn session(backend: BackendChoice) -> SynthSession {
+    SynthSession::new(SynthConfig::new(CostFn::UNIFORM).with_backend(backend))
+        .expect("bench config is valid")
+}
+
+fn backends_on_fixed_specs(c: &mut Criterion) {
     let specs = [("intro", intro_spec()), ("example_3_6", example_3_6_spec())];
-    let mut group = c.benchmark_group("table1/engines");
+    let mut group = c.benchmark_group("table1/backends");
     group.sample_size(10);
     for (name, spec) in &specs {
         group.bench_with_input(BenchmarkId::new("cpu_sequential", name), spec, |b, spec| {
-            let synth = Synthesizer::new(CostFn::UNIFORM);
-            b.iter(|| synth.run(std::hint::black_box(spec)).expect("solves"));
+            let mut session = session(BackendChoice::Sequential);
+            b.iter(|| session.run(std::hint::black_box(spec)).expect("solves"));
         });
-        group.bench_with_input(BenchmarkId::new("gpu_sim_parallel", name), spec, |b, spec| {
-            let synth = Synthesizer::new(CostFn::UNIFORM).with_engine(Engine::parallel());
-            b.iter(|| synth.run(std::hint::black_box(spec)).expect("solves"));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("gpu_sim_parallel", name),
+            spec,
+            |b, spec| {
+                let mut session = session(BackendChoice::parallel());
+                b.iter(|| session.run(std::hint::black_box(spec)).expect("solves"));
+            },
+        );
     }
     group.finish();
 }
@@ -29,14 +42,19 @@ fn thread_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("table1/thread_scaling");
     group.sample_size(10);
     for threads in [1usize, 2, 4, 8] {
-        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &threads| {
-            let synth = Synthesizer::new(CostFn::UNIFORM)
-                .with_engine(Engine::parallel_with_threads(threads));
-            b.iter(|| synth.run(std::hint::black_box(&spec)).expect("solves"));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                let mut session = session(BackendChoice::DeviceParallel {
+                    threads: Some(threads),
+                });
+                b.iter(|| session.run(std::hint::black_box(&spec)).expect("solves"));
+            },
+        );
     }
     group.finish();
 }
 
-criterion_group!(benches, engines_on_fixed_specs, thread_scaling);
+criterion_group!(benches, backends_on_fixed_specs, thread_scaling);
 criterion_main!(benches);

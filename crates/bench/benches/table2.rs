@@ -17,13 +17,28 @@ fn paresy_vs_alpharegex(c: &mut Criterion) {
         let spec = task.spec();
         group.bench_with_input(BenchmarkId::new("paresy", task.name()), &spec, |b, spec| {
             let synth = Synthesizer::new(CostFn::ALPHAREGEX);
-            b.iter(|| synth.run(std::hint::black_box(spec)).expect("suite task solves"));
+            b.iter(|| {
+                synth
+                    .run(std::hint::black_box(spec))
+                    .expect("suite task solves")
+            });
         });
-        group.bench_with_input(BenchmarkId::new("alpharegex", task.name()), &spec, |b, spec| {
-            let config = AlphaRegexConfig { use_wildcard: task.wildcard, ..Default::default() };
-            let alpha = AlphaRegex::with_config(config);
-            b.iter(|| alpha.run(std::hint::black_box(spec)).expect("suite task solves"));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("alpharegex", task.name()),
+            &spec,
+            |b, spec| {
+                let config = AlphaRegexConfig {
+                    use_wildcard: task.wildcard,
+                    ..Default::default()
+                };
+                let alpha = AlphaRegex::with_config(config);
+                b.iter(|| {
+                    alpha
+                        .run(std::hint::black_box(spec))
+                        .expect("suite task solves")
+                });
+            },
+        );
     }
     group.finish();
 }

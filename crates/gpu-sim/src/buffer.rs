@@ -40,7 +40,10 @@ impl<T> DeviceBuffer<T> {
     /// Moves a host vector into device memory.
     pub fn from_vec(device: &Device, data: Vec<T>) -> Self {
         device.note_alloc((data.capacity() * std::mem::size_of::<T>()) as u64);
-        DeviceBuffer { device: device.clone(), data }
+        DeviceBuffer {
+            device: device.clone(),
+            data,
+        }
     }
 
     /// Copies a host slice into device memory.

@@ -22,7 +22,10 @@ impl Default for DeviceConfig {
         let threads = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(4);
-        DeviceConfig { threads, block_size: 256 }
+        DeviceConfig {
+            threads,
+            block_size: 256,
+        }
     }
 }
 
@@ -70,13 +73,19 @@ impl Device {
             threads: config.threads.max(1),
             block_size: config.block_size.max(1),
         };
-        Device { config, counters: Arc::new(Counters::default()) }
+        Device {
+            config,
+            counters: Arc::new(Counters::default()),
+        }
     }
 
     /// Creates a device with `threads` worker threads and the default block
     /// size.
     pub fn with_threads(threads: usize) -> Self {
-        Device::new(DeviceConfig { threads, ..DeviceConfig::default() })
+        Device::new(DeviceConfig {
+            threads,
+            ..DeviceConfig::default()
+        })
     }
 
     /// A "device" with a single worker thread: the sequential baseline with
@@ -88,6 +97,22 @@ impl Device {
     /// The configuration the device was created with.
     pub fn config(&self) -> DeviceConfig {
         self.config
+    }
+
+    /// Resets the per-run execution counters so a device reused across
+    /// many synthesis runs (one session, a whole benchmark suite) can
+    /// report per-run deltas.
+    ///
+    /// Kernel-launch, item and hash-insertion counters are zeroed. The
+    /// live-allocation gauge is *not* touched — buffers allocated before
+    /// the reset are still resident — and the peak gauge restarts from the
+    /// current live size.
+    pub fn reset_stats(&self) {
+        self.counters.kernel_launches.store(0, Ordering::Relaxed);
+        self.counters.items_executed.store(0, Ordering::Relaxed);
+        self.counters.hash_insertions.store(0, Ordering::Relaxed);
+        let live = self.counters.bytes_allocated.load(Ordering::Relaxed);
+        self.counters.peak_bytes.store(live, Ordering::Relaxed);
     }
 
     /// A snapshot of the execution statistics.
@@ -116,7 +141,11 @@ impl Device {
         if items == 0 {
             return;
         }
-        let workers = self.config.threads.min(items.div_ceil(self.config.block_size)).max(1);
+        let workers = self
+            .config
+            .threads
+            .min(items.div_ceil(self.config.block_size))
+            .max(1);
         if workers == 1 {
             for i in 0..items {
                 kernel(i);
@@ -161,7 +190,11 @@ impl Device {
         F: Fn(usize, &mut [T]) + Sync,
     {
         assert!(chunk_len > 0, "chunk_len must be positive");
-        assert_eq!(out.len() % chunk_len, 0, "output length must be a multiple of chunk_len");
+        assert_eq!(
+            out.len() % chunk_len,
+            0,
+            "output length must be a multiple of chunk_len"
+        );
         let items = out.len() / chunk_len;
         self.note_launch(items);
         if items == 0 {
@@ -208,19 +241,27 @@ impl Device {
     }
 
     fn note_launch(&self, items: usize) {
-        self.counters.kernel_launches.fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .kernel_launches
+            .fetch_add(1, Ordering::Relaxed);
         self.counters
             .items_executed
             .fetch_add(items as u64, Ordering::Relaxed);
     }
 
     pub(crate) fn note_alloc(&self, bytes: u64) {
-        let now = self.counters.bytes_allocated.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        let now = self
+            .counters
+            .bytes_allocated
+            .fetch_add(bytes, Ordering::Relaxed)
+            + bytes;
         self.counters.peak_bytes.fetch_max(now, Ordering::Relaxed);
     }
 
     pub(crate) fn note_free(&self, bytes: u64) {
-        self.counters.bytes_allocated.fetch_sub(bytes, Ordering::Relaxed);
+        self.counters
+            .bytes_allocated
+            .fetch_sub(bytes, Ordering::Relaxed);
     }
 
     /// Records `count` hash-set insertions in the device statistics.
@@ -229,7 +270,9 @@ impl Device {
     /// kernel hot paths stay free of shared-counter contention; engines
     /// call this once per batch instead.
     pub fn record_hash_insertions(&self, count: u64) {
-        self.counters.hash_insertions.fetch_add(count, Ordering::Relaxed);
+        self.counters
+            .hash_insertions
+            .fetch_add(count, Ordering::Relaxed);
     }
 }
 
@@ -250,7 +293,10 @@ mod tests {
 
     #[test]
     fn launch_chunks_gives_each_item_its_own_chunk() {
-        let device = Device::new(DeviceConfig { threads: 3, block_size: 4 });
+        let device = Device::new(DeviceConfig {
+            threads: 3,
+            block_size: 4,
+        });
         let mut out = vec![0u64; 12 * 4];
         device.launch_chunks("ids", &mut out, 4, |i, chunk| {
             for (j, slot) in chunk.iter_mut().enumerate() {
@@ -290,6 +336,37 @@ mod tests {
     }
 
     #[test]
+    fn reset_stats_gives_per_run_deltas_on_a_reused_device() {
+        let device = Device::with_threads(2);
+        device.launch("warm-up-run", 10, |_| {});
+        device.record_hash_insertions(3);
+        assert_eq!(device.stats().kernel_launches, 1);
+
+        device.reset_stats();
+        let cleared = device.stats();
+        assert_eq!(cleared.kernel_launches, 0);
+        assert_eq!(cleared.items_executed, 0);
+        assert_eq!(cleared.hash_insertions, 0);
+
+        device.launch("second-run", 7, |_| {});
+        assert_eq!(device.stats().kernel_launches, 1);
+        assert_eq!(device.stats().items_executed, 7);
+    }
+
+    #[test]
+    fn reset_stats_keeps_live_allocations() {
+        let device = Device::sequential();
+        let buffer = crate::DeviceBuffer::<u64>::zeroed(&device, 16);
+        let live = device.stats().bytes_allocated;
+        assert!(live > 0);
+        device.reset_stats();
+        assert_eq!(device.stats().bytes_allocated, live);
+        assert_eq!(device.stats().peak_bytes, live);
+        drop(buffer);
+        assert_eq!(device.stats().bytes_allocated, 0);
+    }
+
+    #[test]
     #[should_panic(expected = "multiple of chunk_len")]
     fn mismatched_chunking_panics() {
         let device = Device::sequential();
@@ -299,7 +376,10 @@ mod tests {
 
     #[test]
     fn zero_thread_config_is_clamped() {
-        let device = Device::new(DeviceConfig { threads: 0, block_size: 0 });
+        let device = Device::new(DeviceConfig {
+            threads: 0,
+            block_size: 0,
+        });
         assert_eq!(device.config().threads, 1);
         assert_eq!(device.config().block_size, 1);
         let counter = AtomicU64::new(0);

@@ -177,14 +177,13 @@ impl LockFreeU64Set {
         for _ in 0..self.states.len() {
             match self.states[idx].load(Ordering::Acquire) {
                 SLOT_EMPTY => return false,
-                SLOT_READY => {
-                    if self.keys[idx].load(Ordering::Acquire) == key {
-                        return true;
-                    }
+                SLOT_READY if self.keys[idx].load(Ordering::Acquire) == key => {
+                    return true;
                 }
                 _ => {
-                    // Writer in flight; it can only be publishing a key that
-                    // is not yet visible — treat as occupied and probe on.
+                    // Either a writer is in flight (it can only be
+                    // publishing a key that is not yet visible) or the slot
+                    // holds another key — treat as occupied and probe on.
                 }
             }
             idx = (idx + 1) & self.mask;

@@ -4,17 +4,8 @@ use std::error::Error;
 use std::fmt;
 use std::time::Duration;
 
+use rei_core::BackendChoice;
 use rei_syntax::CostFn;
-
-/// Which engine the `synth` command should use.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum EngineChoice {
-    /// The sequential reference engine.
-    #[default]
-    Sequential,
-    /// The data-parallel engine on the simulated device.
-    Parallel,
-}
 
 /// Options of the `synth` command.
 #[derive(Debug, Clone, PartialEq)]
@@ -25,10 +16,15 @@ pub struct SynthOptions {
     pub negatives: Vec<String>,
     /// Path of a `.spec` file to read examples from.
     pub spec_file: Option<String>,
+    /// Paths of `.spec` files to run as one batch through a single
+    /// session (`--batch`).
+    pub batch_files: Vec<String>,
     /// The cost homomorphism (default uniform).
     pub costs: CostFn,
-    /// Engine selection.
-    pub engine: EngineChoice,
+    /// Backend selection (`--backend`, with `--engine` as an alias). The
+    /// accepted names come straight from `Backend::name()`, the single
+    /// source of truth shared with the benchmark reports.
+    pub backend: BackendChoice,
     /// Allowed error fraction (default 0).
     pub allowed_error: f64,
     /// Optional cost bound.
@@ -45,8 +41,9 @@ impl Default for SynthOptions {
             positives: Vec::new(),
             negatives: Vec::new(),
             spec_file: None,
+            batch_files: Vec::new(),
             costs: CostFn::UNIFORM,
-            engine: EngineChoice::Sequential,
+            backend: BackendChoice::Sequential,
             allowed_error: 0.0,
             max_cost: None,
             time_budget: None,
@@ -58,7 +55,7 @@ impl Default for SynthOptions {
 /// A parsed command line.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
-    /// Run the synthesiser on a specification.
+    /// Run the synthesiser on a specification (or a batch of them).
     Synth(SynthOptions),
     /// Run one or all tasks of the bundled AlphaRegex suite.
     Suite {
@@ -100,7 +97,8 @@ paresy — search-based regular expression inference (Paresy, PLDI 2023)
 
 USAGE:
   paresy synth    [--pos w1,w2,...] [--neg w1,w2,...] [--spec-file FILE]
-                  [--cost a,q,s,c,u] [--engine sequential|parallel]
+                  [--batch FILE1,FILE2,...]
+                  [--cost a,q,s,c,u] [--backend cpu-sequential|gpu-sim-parallel]
                   [--error FRACTION] [--max-cost N] [--timeout SECONDS]
                   [--compare-baseline]
   paresy suite    [--task N]
@@ -108,11 +106,20 @@ USAGE:
   paresy help
 
 Examples are comma separated; the empty string is written 'ε'.
+Backends also accept the aliases sequential/cpu and parallel/gpu, the
+latter optionally with a thread count (parallel:8). --batch runs every
+file through one session, so the parallel backend's device is set up once.
 ";
 
 fn split_words(raw: &str) -> Vec<String> {
     raw.split(',')
-        .map(|w| if w == "ε" || w == "<eps>" { String::new() } else { w.to_string() })
+        .map(|w| {
+            if w == "ε" || w == "<eps>" {
+                String::new()
+            } else {
+                w.to_string()
+            }
+        })
         .collect()
 }
 
@@ -127,14 +134,17 @@ fn parse_cost(raw: &str) -> Result<CostFn, CommandError> {
             "cost tuple must have five strictly positive components, got '{raw}'"
         )));
     }
-    Ok(CostFn::new(parts[0], parts[1], parts[2], parts[3], parts[4]))
+    Ok(CostFn::new(
+        parts[0], parts[1], parts[2], parts[3], parts[4],
+    ))
 }
 
 fn next_value<'a, I: Iterator<Item = &'a str>>(
     flag: &str,
     iter: &mut I,
 ) -> Result<&'a str, CommandError> {
-    iter.next().ok_or_else(|| CommandError(format!("{flag} expects a value")))
+    iter.next()
+        .ok_or_else(|| CommandError(format!("{flag} expects a value")))
 }
 
 /// Parses a full command line (excluding the program name).
@@ -167,15 +177,16 @@ pub fn parse_args<S: AsRef<str>>(args: &[S]) -> Result<Command, CommandError> {
                     "--spec-file" => {
                         options.spec_file = Some(next_value(flag, &mut iter)?.to_string())
                     }
+                    "--batch" => {
+                        options.batch_files = next_value(flag, &mut iter)?
+                            .split(',')
+                            .map(str::to_string)
+                            .collect()
+                    }
                     "--cost" => options.costs = parse_cost(next_value(flag, &mut iter)?)?,
-                    "--engine" => {
-                        options.engine = match next_value(flag, &mut iter)? {
-                            "sequential" | "cpu" => EngineChoice::Sequential,
-                            "parallel" | "gpu" => EngineChoice::Parallel,
-                            other => {
-                                return Err(CommandError(format!("unknown engine '{other}'")))
-                            }
-                        }
+                    "--backend" | "--engine" => {
+                        options.backend =
+                            next_value(flag, &mut iter)?.parse().map_err(CommandError)?
                     }
                     "--error" => {
                         options.allowed_error = next_value(flag, &mut iter)?
@@ -199,9 +210,23 @@ pub fn parse_args<S: AsRef<str>>(args: &[S]) -> Result<Command, CommandError> {
                     other => return Err(CommandError(format!("unknown flag '{other}'"))),
                 }
             }
-            if options.spec_file.is_none() && options.positives.is_empty() {
+            if options.spec_file.is_none()
+                && options.batch_files.is_empty()
+                && options.positives.is_empty()
+            {
                 return Err(CommandError(
-                    "synth needs --pos/--neg examples or a --spec-file".into(),
+                    "synth needs --pos/--neg examples, a --spec-file, or a --batch list".into(),
+                ));
+            }
+            if !options.batch_files.is_empty()
+                && (options.spec_file.is_some()
+                    || !options.positives.is_empty()
+                    || !options.negatives.is_empty())
+            {
+                return Err(CommandError(
+                    "--batch cannot be combined with --pos/--neg or --spec-file \
+                     (the batch files are the only specifications run)"
+                        .into(),
                 ));
             }
             Ok(Command::Synth(options))
@@ -249,8 +274,9 @@ pub fn parse_args<S: AsRef<str>>(args: &[S]) -> Result<Command, CommandError> {
                             .map_err(|_| CommandError("invalid --negatives".into()))?
                     }
                     "--seed" => {
-                        seed =
-                            value.parse().map_err(|_| CommandError("invalid --seed".into()))?
+                        seed = value
+                            .parse()
+                            .map_err(|_| CommandError("invalid --seed".into()))?
                     }
                     other => return Err(CommandError(format!("unknown flag '{other}'"))),
                 }
@@ -258,7 +284,13 @@ pub fn parse_args<S: AsRef<str>>(args: &[S]) -> Result<Command, CommandError> {
             if scheme != 1 && scheme != 2 {
                 return Err(CommandError("--scheme must be 1 or 2".into()));
             }
-            Ok(Command::Generate { scheme, max_len, positives, negatives, seed })
+            Ok(Command::Generate {
+                scheme,
+                max_len,
+                positives,
+                negatives,
+                seed,
+            })
         }
         other => Err(CommandError(format!("unknown command '{other}'"))),
     }
@@ -278,8 +310,19 @@ mod tests {
     #[test]
     fn synth_with_inline_examples() {
         let cmd = parse_args(&[
-            "synth", "--pos", "10,101", "--neg", "ε,0", "--cost", "1,1,10,1,1", "--engine",
-            "parallel", "--error", "0.1", "--timeout", "2.5",
+            "synth",
+            "--pos",
+            "10,101",
+            "--neg",
+            "ε,0",
+            "--cost",
+            "1,1,10,1,1",
+            "--backend",
+            "parallel",
+            "--error",
+            "0.1",
+            "--timeout",
+            "2.5",
         ])
         .unwrap();
         match cmd {
@@ -287,7 +330,10 @@ mod tests {
                 assert_eq!(options.positives, vec!["10", "101"]);
                 assert_eq!(options.negatives, vec!["", "0"]);
                 assert_eq!(options.costs, CostFn::new(1, 1, 10, 1, 1));
-                assert_eq!(options.engine, EngineChoice::Parallel);
+                assert_eq!(
+                    options.backend,
+                    BackendChoice::DeviceParallel { threads: None }
+                );
                 assert!((options.allowed_error - 0.1).abs() < 1e-9);
                 assert_eq!(options.time_budget, Some(Duration::from_secs_f64(2.5)));
                 assert!(!options.compare_baseline);
@@ -297,9 +343,69 @@ mod tests {
     }
 
     #[test]
+    fn backend_names_and_aliases() {
+        for (raw, expected) in [
+            ("cpu-sequential", BackendChoice::Sequential),
+            ("sequential", BackendChoice::Sequential),
+            ("cpu", BackendChoice::Sequential),
+            ("gpu-sim-parallel", BackendChoice::parallel()),
+            ("parallel", BackendChoice::parallel()),
+            ("gpu", BackendChoice::parallel()),
+            (
+                "parallel:8",
+                BackendChoice::DeviceParallel { threads: Some(8) },
+            ),
+        ] {
+            let cmd = parse_args(&["synth", "--pos", "1", "--backend", raw]).unwrap();
+            match cmd {
+                Command::Synth(options) => assert_eq!(options.backend, expected, "{raw}"),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        // `--engine` stays as an alias for old scripts.
+        let cmd = parse_args(&["synth", "--pos", "1", "--engine", "parallel"]).unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Synth(SynthOptions {
+                backend: BackendChoice::DeviceParallel { .. },
+                ..
+            })
+        ));
+        assert!(parse_args(&["synth", "--pos", "1", "--backend", "quantum"]).is_err());
+    }
+
+    #[test]
     fn synth_requires_examples_or_a_file() {
         assert!(parse_args(&["synth"]).is_err());
         assert!(parse_args(&["synth", "--spec-file", "x.spec"]).is_ok());
+        assert!(parse_args(&["synth", "--batch", "a.spec,b.spec"]).is_ok());
+    }
+
+    #[test]
+    fn batch_splits_file_list() {
+        let cmd = parse_args(&["synth", "--batch", "a.spec,b.spec,c.spec"]).unwrap();
+        match cmd {
+            Command::Synth(options) => {
+                assert_eq!(options.batch_files, vec!["a.spec", "b.spec", "c.spec"]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn batch_conflicts_with_inline_specs() {
+        // A silent precedence would drop the user's inline examples.
+        for conflicting in [
+            vec!["synth", "--pos", "10", "--batch", "a.spec"],
+            vec!["synth", "--neg", "0", "--batch", "a.spec"],
+            vec!["synth", "--spec-file", "x.spec", "--batch", "a.spec"],
+        ] {
+            let err = parse_args(&conflicting).unwrap_err();
+            assert!(
+                err.to_string().contains("--batch"),
+                "{conflicting:?}: {err}"
+            );
+        }
     }
 
     #[test]
@@ -311,16 +417,37 @@ mod tests {
 
     #[test]
     fn suite_and_generate() {
-        assert_eq!(parse_args(&["suite"]).unwrap(), Command::Suite { task: None });
-        assert_eq!(parse_args(&["suite", "--task", "7"]).unwrap(), Command::Suite { task: Some(7) });
+        assert_eq!(
+            parse_args(&["suite"]).unwrap(),
+            Command::Suite { task: None }
+        );
+        assert_eq!(
+            parse_args(&["suite", "--task", "7"]).unwrap(),
+            Command::Suite { task: Some(7) }
+        );
         let generate = parse_args(&[
-            "generate", "--scheme", "2", "--max-len", "6", "--positives", "8", "--negatives",
-            "9", "--seed", "42",
+            "generate",
+            "--scheme",
+            "2",
+            "--max-len",
+            "6",
+            "--positives",
+            "8",
+            "--negatives",
+            "9",
+            "--seed",
+            "42",
         ])
         .unwrap();
         assert_eq!(
             generate,
-            Command::Generate { scheme: 2, max_len: 6, positives: 8, negatives: 9, seed: 42 }
+            Command::Generate {
+                scheme: 2,
+                max_len: 6,
+                positives: 8,
+                negatives: 9,
+                seed: 42
+            }
         );
         assert!(parse_args(&["generate", "--scheme", "3"]).is_err());
     }

@@ -38,7 +38,10 @@ impl fmt::Display for SpecFileError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SpecFileError::BadLine { line, content } => {
-                write!(f, "line {line}: expected '+ <word>' or '- <word>', found '{content}'")
+                write!(
+                    f,
+                    "line {line}: expected '+ <word>' or '- <word>', found '{content}'"
+                )
             }
             SpecFileError::Contradictory(err) => write!(f, "{err}"),
         }
@@ -134,7 +137,10 @@ mod tests {
         let err = parse_spec_file("+ 10\noops\n").unwrap_err();
         assert_eq!(
             err,
-            SpecFileError::BadLine { line: 2, content: "oops".to_string() }
+            SpecFileError::BadLine {
+                line: 2,
+                content: "oops".to_string()
+            }
         );
     }
 

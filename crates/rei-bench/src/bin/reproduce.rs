@@ -72,7 +72,12 @@ fn usage(error: &str) -> ExitCode {
 
 fn outcome_cells(outcome: &RunOutcome) -> (String, String, String) {
     match outcome {
-        RunOutcome::Solved { seconds, cost, candidates, .. } => (
+        RunOutcome::Solved {
+            seconds,
+            cost,
+            candidates,
+            ..
+        } => (
             format!("{seconds:.4}"),
             cost.to_string(),
             candidates.to_string(),
@@ -99,7 +104,10 @@ fn print_figure1(config: &HarnessConfig) {
         .collect();
     println!(
         "{}",
-        format_table(&["benchmark", "type", "#P", "#N", "cost function", "time"], &table_rows)
+        format_table(
+            &["benchmark", "type", "#P", "#N", "cost function", "time"],
+            &table_rows
+        )
     );
 }
 
@@ -118,14 +126,26 @@ fn print_table1(config: &HarnessConfig) {
                 fmt_opt(r.cpu.seconds(), 4),
                 fmt_opt(r.gpu.seconds(), 4),
                 fmt_opt(r.speedup, 1),
-                r.candidates.map(|c| c.to_string()).unwrap_or_else(|| "-".into()),
+                r.candidates
+                    .map(|c| c.to_string())
+                    .unwrap_or_else(|| "-".into()),
             ]
         })
         .collect();
     println!(
         "{}",
         format_table(
-            &["type", "bench", "#P", "#N", "cost function", "cpu s", "par s", "speedup", "#REs"],
+            &[
+                "type",
+                "bench",
+                "#P",
+                "#N",
+                "cost function",
+                "cpu s",
+                "par s",
+                "speedup",
+                "#REs"
+            ],
             &table_rows
         )
     );
@@ -169,8 +189,16 @@ fn print_table2(config: &HarnessConfig) {
         "{}",
         format_table(
             &[
-                "task", "αR s", "paresy s", "speedup", "αR cost", "paresy cost", "αR #REs",
-                "paresy #REs", "increase", "αR minimal"
+                "task",
+                "αR s",
+                "paresy s",
+                "speedup",
+                "αR cost",
+                "paresy cost",
+                "αR #REs",
+                "paresy #REs",
+                "increase",
+                "αR minimal"
             ],
             &table_rows
         )
@@ -183,9 +211,17 @@ fn print_outliers(config: &HarnessConfig) {
     let dist = outlier_distribution(&rows, &PAPER_THRESHOLDS);
     let table_rows: Vec<Vec<String>> = dist
         .iter()
-        .map(|r| vec![format!("<{}", r.threshold_seconds), format!("{:.2}", r.percent_below)])
+        .map(|r| {
+            vec![
+                format!("<{}", r.threshold_seconds),
+                format!("{:.2}", r.percent_below),
+            ]
+        })
         .collect();
-    println!("{}", format_table(&["duration (sec)", "% of benchmarks"], &table_rows));
+    println!(
+        "{}",
+        format_table(&["duration (sec)", "% of benchmarks"], &table_rows)
+    );
 }
 
 fn print_error(config: &HarnessConfig) {
@@ -210,6 +246,9 @@ fn print_error(config: &HarnessConfig) {
         .collect();
     println!(
         "{}",
-        format_table(&["allowed error", "#REs", "RE", "cost(RE)", "time (s)"], &table_rows)
+        format_table(
+            &["allowed error", "#REs", "RE", "cost(RE)", "time (s)"],
+            &table_rows
+        )
     );
 }

@@ -14,18 +14,54 @@ pub struct NamedCostFn {
 /// The twelve cost functions of Figure 1 and Table 1, in the paper's order
 /// `(cost(a), cost(?), cost(*), cost(·), cost(+))`.
 pub const PAPER_COST_FUNCTIONS: [NamedCostFn; 12] = [
-    NamedCostFn { label: "(1, 1, 1, 1, 1)", costs: CostFn::new(1, 1, 1, 1, 1) },
-    NamedCostFn { label: "(10, 1, 1, 1, 1)", costs: CostFn::new(10, 1, 1, 1, 1) },
-    NamedCostFn { label: "(1, 10, 1, 1, 1)", costs: CostFn::new(1, 10, 1, 1, 1) },
-    NamedCostFn { label: "(1, 1, 10, 1, 1)", costs: CostFn::new(1, 1, 10, 1, 1) },
-    NamedCostFn { label: "(1, 1, 1, 10, 1)", costs: CostFn::new(1, 1, 1, 10, 1) },
-    NamedCostFn { label: "(1, 1, 1, 1, 10)", costs: CostFn::new(1, 1, 1, 1, 10) },
-    NamedCostFn { label: "(10, 10, 10, 10, 1)", costs: CostFn::new(10, 10, 10, 10, 1) },
-    NamedCostFn { label: "(10, 10, 10, 1, 10)", costs: CostFn::new(10, 10, 10, 1, 10) },
-    NamedCostFn { label: "(10, 10, 1, 10, 10)", costs: CostFn::new(10, 10, 1, 10, 10) },
-    NamedCostFn { label: "(10, 1, 10, 10, 10)", costs: CostFn::new(10, 1, 10, 10, 10) },
-    NamedCostFn { label: "(1, 10, 10, 10, 10)", costs: CostFn::new(1, 10, 10, 10, 10) },
-    NamedCostFn { label: "(20, 20, 20, 5, 30)", costs: CostFn::new(20, 20, 20, 5, 30) },
+    NamedCostFn {
+        label: "(1, 1, 1, 1, 1)",
+        costs: CostFn::new(1, 1, 1, 1, 1),
+    },
+    NamedCostFn {
+        label: "(10, 1, 1, 1, 1)",
+        costs: CostFn::new(10, 1, 1, 1, 1),
+    },
+    NamedCostFn {
+        label: "(1, 10, 1, 1, 1)",
+        costs: CostFn::new(1, 10, 1, 1, 1),
+    },
+    NamedCostFn {
+        label: "(1, 1, 10, 1, 1)",
+        costs: CostFn::new(1, 1, 10, 1, 1),
+    },
+    NamedCostFn {
+        label: "(1, 1, 1, 10, 1)",
+        costs: CostFn::new(1, 1, 1, 10, 1),
+    },
+    NamedCostFn {
+        label: "(1, 1, 1, 1, 10)",
+        costs: CostFn::new(1, 1, 1, 1, 10),
+    },
+    NamedCostFn {
+        label: "(10, 10, 10, 10, 1)",
+        costs: CostFn::new(10, 10, 10, 10, 1),
+    },
+    NamedCostFn {
+        label: "(10, 10, 10, 1, 10)",
+        costs: CostFn::new(10, 10, 10, 1, 10),
+    },
+    NamedCostFn {
+        label: "(10, 10, 1, 10, 10)",
+        costs: CostFn::new(10, 10, 1, 10, 10),
+    },
+    NamedCostFn {
+        label: "(10, 1, 10, 10, 10)",
+        costs: CostFn::new(10, 1, 10, 10, 10),
+    },
+    NamedCostFn {
+        label: "(1, 10, 10, 10, 10)",
+        costs: CostFn::new(1, 10, 10, 10, 10),
+    },
+    NamedCostFn {
+        label: "(20, 20, 20, 5, 30)",
+        costs: CostFn::new(20, 20, 20, 5, 30),
+    },
 ];
 
 /// The uniform reference cost function the paper uses to order Figure 1's
@@ -40,7 +76,11 @@ mod tests {
     fn twelve_distinct_cost_functions() {
         let mut seen = std::collections::HashSet::new();
         for named in PAPER_COST_FUNCTIONS {
-            assert!(seen.insert(named.costs.as_tuple()), "duplicate {}", named.label);
+            assert!(
+                seen.insert(named.costs.as_tuple()),
+                "duplicate {}",
+                named.label
+            );
         }
         assert_eq!(seen.len(), 12);
     }

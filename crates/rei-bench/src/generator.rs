@@ -95,12 +95,7 @@ fn word_of_rank(alphabet: &Alphabet, len: usize, mut rank: u128) -> Word {
     Word::new(chars)
 }
 
-fn sample_spec<F>(
-    positives: usize,
-    negatives: usize,
-    seed: u64,
-    mut draw: F,
-) -> Option<Spec>
+fn sample_spec<F>(positives: usize, negatives: usize, seed: u64, mut draw: F) -> Option<Spec>
 where
     F: FnMut(&mut StdRng) -> Word,
 {
@@ -188,7 +183,11 @@ pub fn generate_pool(
                 negatives,
             };
             if let Some(spec) = generate_type1(&params, rng.gen()) {
-                pool.push(Benchmark { name: format!("T1-{i:03}"), scheme: 1, spec });
+                pool.push(Benchmark {
+                    name: format!("T1-{i:03}"),
+                    scheme: 1,
+                    spec,
+                });
                 break;
             }
         }
@@ -205,7 +204,11 @@ pub fn generate_pool(
                 negatives,
             };
             if let Some(spec) = generate_type2(&params, rng.gen()) {
-                pool.push(Benchmark { name: format!("T2-{i:03}"), scheme: 2, spec });
+                pool.push(Benchmark {
+                    name: format!("T2-{i:03}"),
+                    scheme: 2,
+                    spec,
+                });
                 break;
             }
         }
@@ -219,7 +222,12 @@ mod tests {
     use proptest::prelude::*;
 
     fn binary_t1(max_len: usize, p: usize, n: usize) -> Type1Params {
-        Type1Params { alphabet: Alphabet::binary(), max_len, positives: p, negatives: n }
+        Type1Params {
+            alphabet: Alphabet::binary(),
+            max_len,
+            positives: p,
+            negatives: n,
+        }
     }
 
     #[test]
@@ -268,13 +276,18 @@ mod tests {
                 type2_has_eps += 1;
             }
         }
-        assert!(type2_has_eps > 10, "ε occurred in only {type2_has_eps}/40 Type 2 specs");
+        assert!(
+            type2_has_eps > 10,
+            "ε occurred in only {type2_has_eps}/40 Type 2 specs"
+        );
     }
 
     #[test]
     fn word_of_rank_enumerates_lexicographically() {
         let sigma = Alphabet::binary();
-        let words: Vec<String> = (0..4).map(|r| word_of_rank(&sigma, 2, r).to_string()).collect();
+        let words: Vec<String> = (0..4)
+            .map(|r| word_of_rank(&sigma, 2, r).to_string())
+            .collect();
         assert_eq!(words, vec!["00", "01", "10", "11"]);
     }
 

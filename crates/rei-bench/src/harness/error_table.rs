@@ -20,8 +20,12 @@ pub struct ErrorRow {
 /// Table 1).
 pub fn paper_error_spec() -> Spec {
     Spec::from_strs(
-        ["00", "1101", "0001", "0111", "001", "1", "10", "1100", "111", "1010"],
-        ["", "0", "0000", "0011", "01", "010", "011", "100", "1000", "1001", "11", "1110"],
+        [
+            "00", "1101", "0001", "0111", "001", "1", "10", "1100", "111", "1010",
+        ],
+        [
+            "", "0", "0000", "0011", "01", "010", "011", "100", "1000", "1001", "11", "1110",
+        ],
     )
     .expect("the paper's §5.2 example sets are disjoint")
 }
@@ -39,13 +43,20 @@ pub fn run_error_table(config: &HarnessConfig) -> Vec<ErrorRow> {
         Scale::Quick => (15..=50).step_by(5).collect(),
         Scale::Full => (0..=50).step_by(5).collect(),
     };
+    // The whole sweep shares one device; each allowed-error setting is its
+    // own session (the config differs), built over that device.
+    let device = config.device();
     percentages
         .into_iter()
         .map(|percent| {
-            let synth = config
-                .synthesizer(CostFn::UNIFORM, config.parallel_engine())
+            let relaxed = config
+                .synth_config(CostFn::UNIFORM)
                 .with_allowed_error(percent as f64 / 100.0);
-            ErrorRow { allowed_error_percent: percent, outcome: run_paresy(&synth, &spec) }
+            let mut session = config.parallel_session_with(relaxed, &device);
+            ErrorRow {
+                allowed_error_percent: percent,
+                outcome: run_paresy(&mut session, &spec),
+            }
         })
         .collect()
 }
@@ -71,7 +82,10 @@ mod tests {
         // Costs are non-increasing as the allowed error grows (whenever the
         // runs solved), and the 50 % row degenerates to ∅ as in the paper.
         let costs: Vec<u64> = rows.iter().filter_map(|r| r.outcome.cost()).collect();
-        assert!(costs.windows(2).all(|w| w[0] >= w[1]), "costs not monotone: {costs:?}");
+        assert!(
+            costs.windows(2).all(|w| w[0] >= w[1]),
+            "costs not monotone: {costs:?}"
+        );
         if let RunOutcome::Solved { regex, .. } = &rows.last().unwrap().outcome {
             assert_eq!(regex, "∅");
         } else {

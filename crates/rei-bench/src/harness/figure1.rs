@@ -32,7 +32,15 @@ pub(crate) fn benchmark_pool(config: &HarnessConfig) -> Vec<Benchmark> {
     match config.scale {
         // Paper parameters: Type 1 with p, n ∈ 8..12 and le ≤ 7; Type 2
         // with p, n ∈ 7..14 and le ≤ 10.
-        Scale::Full => generate_pool(&alphabet, 25, (4, 7), (8, 12), (4, 10), (7, 14), config.seed),
+        Scale::Full => generate_pool(
+            &alphabet,
+            25,
+            (4, 7),
+            (8, 12),
+            (4, 10),
+            (7, 14),
+            config.seed,
+        ),
         // Quick: smaller example counts and lengths so a full sweep stays
         // in the seconds range.
         Scale::Quick => generate_pool(&alphabet, 5, (2, 4), (3, 5), (2, 5), (3, 5), config.seed),
@@ -40,15 +48,22 @@ pub(crate) fn benchmark_pool(config: &HarnessConfig) -> Vec<Benchmark> {
 }
 
 /// Runs the Figure 1 sweep: every benchmark of the pool under every cost
-/// function, on the data-parallel engine, with the configured per-run
+/// function, on the data-parallel backend, with the configured per-run
 /// timeout.
+///
+/// One device and one session per cost function serve the whole pool, so
+/// device setup is amortised across the sweep.
 pub fn run_figure1(config: &HarnessConfig) -> Vec<Figure1Row> {
     let pool = benchmark_pool(config);
+    let device = config.device();
     let mut rows = Vec::with_capacity(pool.len() * PAPER_COST_FUNCTIONS.len());
+    let mut sessions: Vec<_> = PAPER_COST_FUNCTIONS
+        .iter()
+        .map(|named| config.parallel_session(named.costs, &device))
+        .collect();
     for benchmark in &pool {
-        for named in PAPER_COST_FUNCTIONS {
-            let synth = config.synthesizer(named.costs, config.parallel_engine());
-            let outcome = run_paresy(&synth, &benchmark.spec);
+        for (named, session) in PAPER_COST_FUNCTIONS.iter().zip(&mut sessions) {
+            let outcome = run_paresy(session, &benchmark.spec);
             rows.push(Figure1Row {
                 benchmark: benchmark.name.clone(),
                 scheme: benchmark.scheme,
@@ -72,7 +87,9 @@ mod tests {
         let pool = benchmark_pool(&HarnessConfig::quick());
         assert!(!pool.is_empty());
         assert!(pool.len() <= 10);
-        assert!(pool.iter().all(|b| b.name.starts_with("T1-") || b.name.starts_with("T2-")));
+        assert!(pool
+            .iter()
+            .all(|b| b.name.starts_with("T1-") || b.name.starts_with("T2-")));
     }
 
     #[test]
@@ -86,7 +103,10 @@ mod tests {
         assert_eq!(rows.len(), pool.len() * 12);
         assert!(rows.iter().any(|r| r.outcome.is_solved()));
         // Every benchmark appears with all 12 cost functions.
-        let per_bench = rows.iter().filter(|r| r.benchmark == rows[0].benchmark).count();
+        let per_bench = rows
+            .iter()
+            .filter(|r| r.benchmark == rows[0].benchmark)
+            .count();
         assert_eq!(per_bench, 12);
     }
 }

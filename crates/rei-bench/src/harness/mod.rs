@@ -18,7 +18,11 @@ pub use table2::{run_table2, Table2Row};
 
 use std::time::Duration;
 
-use rei_core::{Engine, SynthesisError, SynthesisResult, Synthesizer};
+use gpu_sim::Device;
+use rei_core::{
+    BackendChoice, DeviceParallel, Sequential, SynthConfig, SynthSession, SynthesisError,
+    SynthesisResult,
+};
 use rei_lang::Spec;
 use rei_syntax::CostFn;
 use serde::{Deserialize, Serialize};
@@ -74,23 +78,54 @@ impl HarnessConfig {
         }
     }
 
-    /// A Paresy synthesiser configured for this harness with the given cost
-    /// function and engine.
-    pub fn synthesizer(&self, costs: CostFn, engine: Engine) -> Synthesizer {
-        Synthesizer::new(costs)
-            .with_engine(engine)
+    /// A session configuration for this harness with the given cost
+    /// function: harness memory and time budgets, sequential backend.
+    pub fn synth_config(&self, costs: CostFn) -> SynthConfig {
+        SynthConfig::new(costs)
             .with_memory_budget(self.memory_budget)
             .with_time_budget(self.time_budget)
     }
 
-    /// The data-parallel engine for this configuration.
-    pub fn parallel_engine(&self) -> Engine {
-        Engine::parallel_with_threads(self.device_threads)
+    /// The simulated device an experiment shares across all of its
+    /// data-parallel sessions. Creating it once per suite — rather than
+    /// once per run, as the old `Synthesizer`-based harness did — is the
+    /// batching win of the session API: thread-pool setup and device
+    /// statistics are paid and accumulated per experiment.
+    pub fn device(&self) -> Device {
+        Device::with_threads(self.device_threads)
+    }
+
+    /// A reusable sequential session for this configuration.
+    pub fn sequential_session(&self, costs: CostFn) -> SynthSession {
+        let config = self.synth_config(costs);
+        SynthSession::with_backend(config, Box::new(Sequential)).expect("harness config is valid")
+    }
+
+    /// A reusable data-parallel session sharing `device` with the rest of
+    /// the experiment.
+    pub fn parallel_session(&self, costs: CostFn, device: &Device) -> SynthSession {
+        self.parallel_session_with(self.synth_config(costs), device)
+    }
+
+    /// Like [`parallel_session`](HarnessConfig::parallel_session) but for
+    /// an experiment-specific config (different allowed error, budget, …);
+    /// the config's own backend choice is overridden by the shared device.
+    pub fn parallel_session_with(&self, config: SynthConfig, device: &Device) -> SynthSession {
+        let config = config.with_backend(BackendChoice::DeviceParallel {
+            threads: Some(self.device_threads),
+        });
+        SynthSession::with_backend(
+            config,
+            Box::new(DeviceParallel::with_device(device.clone())),
+        )
+        .expect("harness config is valid")
     }
 }
 
 fn available_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
 }
 
 /// The outcome of running one synthesis task inside the harness.
@@ -113,6 +148,8 @@ pub enum RunOutcome {
     OutOfMemory,
     /// The search space was exhausted without a solution.
     NotFound,
+    /// The run was cancelled through its session's cancel token.
+    Cancelled,
 }
 
 impl RunOutcome {
@@ -152,13 +189,20 @@ impl RunOutcome {
             RunOutcome::Timeout => "timeout".to_string(),
             RunOutcome::OutOfMemory => "oom".to_string(),
             RunOutcome::NotFound => "not-found".to_string(),
+            RunOutcome::Cancelled => "cancelled".to_string(),
         }
     }
 }
 
-/// Runs one Paresy synthesis and converts the result into a [`RunOutcome`].
-pub fn run_paresy(synthesizer: &Synthesizer, spec: &Spec) -> RunOutcome {
-    match synthesizer.run(spec) {
+/// Runs one Paresy synthesis through a session and converts the result
+/// into a [`RunOutcome`].
+///
+/// # Panics
+///
+/// Panics on [`SynthesisError::InvalidConfig`]: the harness builds its own
+/// configurations, so an invalid one is a bug, not a benchmark outcome.
+pub fn run_paresy(session: &mut SynthSession, spec: &Spec) -> RunOutcome {
+    match session.run(spec) {
         Ok(SynthesisResult { regex, cost, stats }) => RunOutcome::Solved {
             seconds: stats.elapsed.as_secs_f64(),
             cost,
@@ -168,6 +212,10 @@ pub fn run_paresy(synthesizer: &Synthesizer, spec: &Spec) -> RunOutcome {
         Err(SynthesisError::Timeout { .. }) => RunOutcome::Timeout,
         Err(SynthesisError::OutOfMemory { .. }) => RunOutcome::OutOfMemory,
         Err(SynthesisError::NotFound { .. }) => RunOutcome::NotFound,
+        Err(SynthesisError::Cancelled { .. }) => RunOutcome::Cancelled,
+        Err(err @ SynthesisError::InvalidConfig { .. }) => {
+            panic!("harness produced an invalid configuration: {err}")
+        }
     }
 }
 
@@ -205,15 +253,28 @@ mod tests {
     fn run_paresy_reports_solved_and_timeout() {
         let config = HarnessConfig::quick();
         let spec = Spec::from_strs(["0", "00"], ["1", "10"]).unwrap();
-        let synth = config.synthesizer(CostFn::UNIFORM, Engine::Sequential);
-        assert!(run_paresy(&synth, &spec).is_solved());
+        let mut session = config.sequential_session(CostFn::UNIFORM);
+        assert!(run_paresy(&mut session, &spec).is_solved());
 
         let spec = Spec::from_strs(
             ["10", "101", "100", "1010", "1011", "1000", "1001"],
             ["", "0", "1", "00", "11", "010"],
         )
         .unwrap();
-        let strict = Synthesizer::new(CostFn::UNIFORM).with_time_budget(Duration::ZERO);
-        assert_eq!(run_paresy(&strict, &spec), RunOutcome::Timeout);
+        let strict = SynthConfig::new(CostFn::UNIFORM).with_time_budget(Duration::ZERO);
+        let mut strict = SynthSession::new(strict).unwrap();
+        assert_eq!(run_paresy(&mut strict, &spec), RunOutcome::Timeout);
+        assert_eq!(session.stats().runs, 1);
+        assert_eq!(strict.stats().failed, 1);
+    }
+
+    #[test]
+    fn cancelled_runs_have_their_own_outcome() {
+        let config = HarnessConfig::quick();
+        let spec = Spec::from_strs(["0", "00"], ["1", "10"]).unwrap();
+        let mut session = config.sequential_session(CostFn::UNIFORM);
+        session.cancel_token().cancel();
+        assert_eq!(run_paresy(&mut session, &spec), RunOutcome::Cancelled);
+        assert_eq!(RunOutcome::Cancelled.label(), "cancelled");
     }
 }

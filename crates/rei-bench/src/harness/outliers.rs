@@ -6,8 +6,9 @@ use serde::{Deserialize, Serialize};
 use crate::harness::Figure1Row;
 
 /// The duration thresholds (seconds) reported by the paper's outlier table.
-pub const PAPER_THRESHOLDS: [f64; 11] =
-    [2.0, 3.0, 4.0, 5.0, 10.0, 25.0, 50.0, 100.0, 200.0, 400.0, 800.0];
+pub const PAPER_THRESHOLDS: [f64; 11] = [
+    2.0, 3.0, 4.0, 5.0, 10.0, 25.0, 50.0, 100.0, 200.0, 400.0, 800.0,
+];
 
 /// One row of the outlier table.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -35,7 +36,10 @@ pub fn outlier_distribution(rows: &[Figure1Row], thresholds: &[f64]) -> Vec<Outl
             } else {
                 100.0 * below as f64 / total as f64
             };
-            OutlierRow { threshold_seconds, percent_below }
+            OutlierRow {
+                threshold_seconds,
+                percent_below,
+            }
         })
         .collect()
 }

@@ -1,7 +1,6 @@
 //! Table 1: sequential (CPU) versus data-parallel (simulated GPU) engine
 //! on the hardest benchmark per (scheme, cost function).
 
-use rei_core::Engine;
 use serde::{Deserialize, Serialize};
 
 use crate::costs::PAPER_COST_FUNCTIONS;
@@ -34,21 +33,26 @@ pub struct Table1Row {
 /// Runs the Table 1 comparison.
 ///
 /// Following the paper's protocol, for each pair (scheme, cost function)
-/// the hardest benchmark of the pool that the parallel engine still solves
-/// within the time budget is selected (hardness measured by the number of
-/// generated candidates); that instance is then timed on both engines.
-/// The sequential engine gets a generously larger time budget so that the
-/// comparison is not cut short.
+/// the hardest benchmark of the pool that the parallel backend still
+/// solves within the time budget is selected (hardness measured by the
+/// number of generated candidates); that instance is then timed on both
+/// backends. The sequential run gets a generously larger time budget so
+/// that the comparison is not cut short.
+///
+/// The whole table shares one simulated device: each (scheme, cost
+/// function) pair gets a session over it, so device setup is paid once per
+/// suite instead of once per probed benchmark as before.
 pub fn run_table1(config: &HarnessConfig) -> Vec<Table1Row> {
     let pool = benchmark_pool(config);
+    let device = config.device();
     let mut rows = Vec::new();
     for scheme in [1u8, 2u8] {
         for named in PAPER_COST_FUNCTIONS {
+            let mut gpu_session = config.parallel_session(named.costs, &device);
             // Select the hardest solvable instance for this combination.
             let mut hardest: Option<(&crate::generator::Benchmark, RunOutcome)> = None;
             for benchmark in pool.iter().filter(|b| b.scheme == scheme) {
-                let synth = config.synthesizer(named.costs, config.parallel_engine());
-                let outcome = run_paresy(&synth, &benchmark.spec);
+                let outcome = run_paresy(&mut gpu_session, &benchmark.spec);
                 if !outcome.is_solved() {
                     continue;
                 }
@@ -60,18 +64,21 @@ pub fn run_table1(config: &HarnessConfig) -> Vec<Table1Row> {
                     hardest = Some((benchmark, outcome));
                 }
             }
-            let Some((benchmark, gpu_probe)) = hardest else { continue };
+            let Some((benchmark, gpu_probe)) = hardest else {
+                continue;
+            };
 
-            // Re-time both engines on the selected instance. The
+            // Re-time both backends on the selected instance. The
             // sequential run gets 20x the budget, mirroring the paper where
             // the CPU runs take ~1000x longer and are not subject to the
             // 5-second GPU timeout.
-            let gpu_synth = config.synthesizer(named.costs, config.parallel_engine());
-            let gpu = run_paresy(&gpu_synth, &benchmark.spec);
-            let cpu_synth = config
-                .synthesizer(named.costs, Engine::Sequential)
+            let gpu = run_paresy(&mut gpu_session, &benchmark.spec);
+            let cpu_config = config
+                .synth_config(named.costs)
                 .with_time_budget(config.time_budget * 20);
-            let cpu = run_paresy(&cpu_synth, &benchmark.spec);
+            let mut cpu_session =
+                rei_core::SynthSession::new(cpu_config).expect("harness config is valid");
+            let cpu = run_paresy(&mut cpu_session, &benchmark.spec);
             let speedup = match (cpu.seconds(), gpu.seconds()) {
                 (Some(c), Some(g)) if g > 0.0 => Some(c / g),
                 _ => None,
@@ -108,7 +115,11 @@ mod tests {
         // are minimal), even though the expressions may differ.
         for row in &rows {
             if let (Some(c), Some(g)) = (row.cpu.cost(), row.gpu.cost()) {
-                assert_eq!(c, g, "engines disagree on {} / {}", row.benchmark, row.cost_label);
+                assert_eq!(
+                    c, g,
+                    "engines disagree on {} / {}",
+                    row.benchmark, row.cost_label
+                );
             }
         }
         assert_eq!(config.scale, Scale::Quick);

@@ -1,7 +1,7 @@
 //! Table 2: Paresy versus AlphaRegex on the 25-task suite.
 
 use alpharegex::{AlphaRegex, AlphaRegexConfig, AlphaRegexError};
-use rei_core::Engine;
+use rei_core::SynthSession;
 use rei_syntax::CostFn;
 use serde::{Deserialize, Serialize};
 
@@ -58,14 +58,16 @@ pub fn run_table2(config: &HarnessConfig) -> Vec<Table2Row> {
         Scale::Quick => easy_tasks(8),
     };
     let mut rows = Vec::with_capacity(tasks.len());
+    // Paresy on the laptop-CPU setting of the paper: sequential backend,
+    // same cost scale as AlphaRegex so the Cost(RE) columns compare. One
+    // session serves all tasks of the table.
+    let paresy_config = config
+        .synth_config(CostFn::ALPHAREGEX)
+        .with_time_budget(config.time_budget * 4);
+    let mut paresy_session = SynthSession::new(paresy_config).expect("harness config is valid");
     for task in &tasks {
         let alpha = run_alpharegex(config, task);
-        // Paresy on the laptop-CPU setting of the paper: sequential engine,
-        // same cost scale as AlphaRegex so the Cost(RE) columns compare.
-        let synth = config
-            .synthesizer(CostFn::ALPHAREGEX, Engine::Sequential)
-            .with_time_budget(config.time_budget * 4);
-        let paresy = run_paresy(&synth, &task.spec());
+        let paresy = run_paresy(&mut paresy_session, &task.spec());
 
         let speedup = match (alpha.seconds(), paresy.seconds()) {
             (Some(a), Some(p)) if p > 0.0 => Some(a / p),

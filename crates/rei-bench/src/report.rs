@@ -33,7 +33,10 @@ pub fn format_table(headers: &[&str], rows: &[Vec<String>]) -> String {
         }
         line.trim_end().to_string()
     };
-    out.push_str(&render_row(headers.iter().map(|s| s.to_string()).collect(), &widths));
+    out.push_str(&render_row(
+        headers.iter().map(|s| s.to_string()).collect(),
+        &widths,
+    ));
     out.push('\n');
     out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (columns - 1)));
     out.push('\n');

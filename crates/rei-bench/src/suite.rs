@@ -78,82 +78,206 @@ macro_rules! task {
 /// The 25 tasks of the reconstructed AlphaRegex suite.
 pub fn alpharegex_suite() -> Vec<Task> {
     vec![
-        task!(1, "strings starting with 0", true, "0(0+1)*",
+        task!(
+            1,
+            "strings starting with 0",
+            true,
+            "0(0+1)*",
             ["0", "00", "01", "010", "0110"],
-            ["1", "10", "11", "101", "1100"]),
-        task!(2, "strings ending with 01", true, "(0+1)*01",
+            ["1", "10", "11", "101", "1100"]
+        ),
+        task!(
+            2,
+            "strings ending with 01",
+            true,
+            "(0+1)*01",
             ["01", "001", "101", "1101", "0101"],
-            ["0", "1", "10", "110", "0110"]),
-        task!(3, "strings containing 0101", true, "(0+1)*0101(0+1)*",
+            ["0", "1", "10", "110", "0110"]
+        ),
+        task!(
+            3,
+            "strings containing 0101",
+            true,
+            "(0+1)*0101(0+1)*",
             ["0101", "00101", "01011", "10101"],
-            ["0", "1", "010", "0110", "01001", "10010"]),
-        task!(4, "strings whose third symbol is 0", true, "(0+1)(0+1)0(0+1)*",
+            ["0", "1", "010", "0110", "01001", "10010"]
+        ),
+        task!(
+            4,
+            "strings whose third symbol is 0",
+            true,
+            "(0+1)(0+1)0(0+1)*",
             ["110", "000", "010", "1100", "01011"],
-            ["0", "11", "001", "111", "0110", "10111"]),
-        task!(5, "strings of even length", true, "((0+1)(0+1))*",
+            ["0", "11", "001", "111", "0110", "10111"]
+        ),
+        task!(
+            5,
+            "strings of even length",
+            true,
+            "((0+1)(0+1))*",
             ["00", "01", "1011", "110100"],
-            ["0", "1", "011", "10110"]),
-        task!(6, "strings with an odd number of 1s", true, "0*10*(10*10*)*",
+            ["0", "1", "011", "10110"]
+        ),
+        task!(
+            6,
+            "strings with an odd number of 1s",
+            true,
+            "0*10*(10*10*)*",
             ["1", "10", "001", "111", "10011"],
-            ["0", "11", "0110", "1001", "00"]),
-        task!(7, "strings with no two consecutive 0s", false, "(1+01)*0?",
+            ["0", "11", "0110", "1001", "00"]
+        ),
+        task!(
+            7,
+            "strings with no two consecutive 0s",
+            false,
+            "(1+01)*0?",
             ["1", "0", "01", "010", "10101", "0110"],
-            ["00", "100", "001", "0100", "11001"]),
-        task!(8, "strings beginning and ending with the same symbol", false,
+            ["00", "100", "001", "0100", "11001"]
+        ),
+        task!(
+            8,
+            "strings beginning and ending with the same symbol",
+            false,
             "0(0+1)*0+1(0+1)*1+0+1",
             ["0", "1", "00", "101", "0110", "11011"],
-            ["01", "10", "001", "110", "0101"]),
-        task!(9, "strings in which every 0 is immediately followed by a 1", true, "(1+01)*",
+            ["01", "10", "001", "110", "0101"]
+        ),
+        task!(
+            9,
+            "strings in which every 0 is immediately followed by a 1",
+            true,
+            "(1+01)*",
             ["1", "01", "11", "011", "0101", "1011"],
-            ["0", "10", "00", "010", "0110", "100"]),
-        task!(10, "strings containing at least two 1s", false, "0*10*1(0+1)*",
+            ["0", "10", "00", "010", "0110", "100"]
+        ),
+        task!(
+            10,
+            "strings containing at least two 1s",
+            false,
+            "0*10*1(0+1)*",
             ["11", "101", "110", "0101", "10010"],
-            ["0", "1", "00", "010", "1000"]),
-        task!(11, "strings ending with 0", false, "(0+1)*0",
+            ["0", "1", "00", "010", "1000"]
+        ),
+        task!(
+            11,
+            "strings ending with 0",
+            false,
+            "(0+1)*0",
             ["0", "10", "00", "110", "0100"],
-            ["1", "01", "11", "001", "1011"]),
-        task!(12, "strings of length exactly three", false, "(0+1)(0+1)(0+1)",
+            ["1", "01", "11", "001", "1011"]
+        ),
+        task!(
+            12,
+            "strings of length exactly three",
+            false,
+            "(0+1)(0+1)(0+1)",
             ["000", "010", "101", "111"],
-            ["0", "11", "0000", "10", "01011"]),
-        task!(13, "strings with an even number of 0s", false, "1*(01*01*)*",
+            ["0", "11", "0000", "10", "01011"]
+        ),
+        task!(
+            13,
+            "strings with an even number of 0s",
+            false,
+            "1*(01*01*)*",
             ["11", "00", "001", "0110", "1001"],
-            ["0", "01", "10", "000", "00011", "11110"]),
-        task!(14, "strings containing 0110", true, "(0+1)*0110(0+1)*",
+            ["0", "01", "10", "000", "00011", "11110"]
+        ),
+        task!(
+            14,
+            "strings containing 0110",
+            true,
+            "(0+1)*0110(0+1)*",
             ["0110", "00110", "01101", "101100"],
-            ["0", "1", "011", "0101", "01011", "1100"]),
-        task!(15, "strings of odd length", true, "(0+1)((0+1)(0+1))*",
+            ["0", "1", "011", "0101", "01011", "1100"]
+        ),
+        task!(
+            15,
+            "strings of odd length",
+            true,
+            "(0+1)((0+1)(0+1))*",
             ["0", "1", "010", "111", "01011"],
-            ["00", "10", "0101", "110110"]),
-        task!(16, "strings whose second symbol is 1", true, "(0+1)1(0+1)*",
+            ["00", "10", "0101", "110110"]
+        ),
+        task!(
+            16,
+            "strings whose second symbol is 1",
+            true,
+            "(0+1)1(0+1)*",
             ["01", "11", "010", "111", "0110"],
-            ["0", "1", "00", "100", "1011"]),
-        task!(17, "strings containing 11", false, "(0+1)*11(0+1)*",
+            ["0", "1", "00", "100", "1011"]
+        ),
+        task!(
+            17,
+            "strings containing 11",
+            false,
+            "(0+1)*11(0+1)*",
             ["11", "011", "110", "0110", "10111"],
-            ["0", "1", "10", "0101", "10010"]),
-        task!(18, "strings starting with 1 and ending with 0", false, "1(0+1)*0",
+            ["0", "1", "10", "0101", "10010"]
+        ),
+        task!(
+            18,
+            "strings starting with 1 and ending with 0",
+            false,
+            "1(0+1)*0",
             ["10", "110", "100", "1010", "11000"],
-            ["0", "1", "01", "011", "0110", "101"]),
-        task!(19, "non-empty strings of length at most two", true, "(0+1)(0+1)?",
+            ["0", "1", "01", "011", "0110", "101"]
+        ),
+        task!(
+            19,
+            "non-empty strings of length at most two",
+            true,
+            "(0+1)(0+1)?",
             ["0", "1", "01", "11"],
-            ["000", "010", "1011", "11111"]),
-        task!(20, "non-empty strings containing no 1", true, "00*",
+            ["000", "010", "1011", "11111"]
+        ),
+        task!(
+            20,
+            "non-empty strings containing no 1",
+            true,
+            "00*",
             ["0", "00", "000", "00000"],
-            ["1", "01", "10", "0010", "111"]),
-        task!(21, "strings in which every 1 is immediately followed by a 0", false, "(0+10)*",
+            ["1", "01", "10", "0010", "111"]
+        ),
+        task!(
+            21,
+            "strings in which every 1 is immediately followed by a 0",
+            false,
+            "(0+10)*",
             ["0", "10", "00", "100", "1010", "0010"],
-            ["1", "01", "11", "101", "10011"]),
-        task!(22, "strings starting with 01 or 10", true, "(01+10)(0+1)*",
+            ["1", "01", "11", "101", "10011"]
+        ),
+        task!(
+            22,
+            "strings starting with 01 or 10",
+            true,
+            "(01+10)(0+1)*",
             ["01", "10", "010", "101", "0111", "1000"],
-            ["0", "1", "00", "11", "001", "110"]),
-        task!(23, "strings containing at most one 0", false, "1*0?1*",
+            ["0", "1", "00", "11", "001", "110"]
+        ),
+        task!(
+            23,
+            "strings containing at most one 0",
+            false,
+            "1*0?1*",
             ["1", "0", "11", "101", "110", "1111"],
-            ["00", "010", "001", "0100", "10010"]),
-        task!(24, "strings containing exactly two 1s", false, "0*10*10*",
+            ["00", "010", "001", "0100", "10010"]
+        ),
+        task!(
+            24,
+            "strings containing exactly two 1s",
+            false,
+            "0*10*10*",
             ["11", "101", "110", "0101", "10010"],
-            ["0", "1", "10", "111", "1011", "0000"]),
-        task!(25, "strings not ending with 01", false, "(0+1)*(00+10+11)+0+1",
+            ["0", "1", "10", "111", "1011", "0000"]
+        ),
+        task!(
+            25,
+            "strings not ending with 01",
+            false,
+            "(0+1)*(00+10+11)+0+1",
             ["0", "1", "00", "10", "11", "010", "111", "100"],
-            ["01", "001", "101", "0101", "11001"]),
+            ["01", "001", "101", "0101", "11001"]
+        ),
     ]
 }
 
@@ -243,7 +367,10 @@ mod tests {
         let none = easy_tasks(1).len();
         assert_eq!(all, 25);
         assert!(none <= some && some <= all);
-        assert!(some >= 5, "expected at least a handful of easy tasks, got {some}");
+        assert!(
+            some >= 5,
+            "expected at least a handful of easy tasks, got {some}"
+        );
     }
 
     #[test]

@@ -1,0 +1,277 @@
+//! Execution backends: the open abstraction over *how* a cost level's
+//! candidate rows are computed.
+//!
+//! The seed's closed two-variant `Engine` enum is replaced by the
+//! [`Backend`] trait, so new execution strategies (chunked/rayon-style CPU,
+//! a real GPU runtime, remote executors) can plug into the search without
+//! touching the search core. Two implementations ship with this crate,
+//! mirroring the paper's CPU/GPU split:
+//!
+//! * [`Sequential`] — one candidate at a time on the calling thread, with
+//!   early exits; the reference implementation.
+//! * [`DeviceParallel`] — each batch of a level is materialised as
+//!   data-parallel kernel items on an owned, reusable
+//!   [`gpu_sim::Device`], mirroring the temporary-buffer → cache copy
+//!   structure of the paper's GPU implementation.
+//!
+//! A backend receives each batch as a [`LevelBatch`] and either drives one
+//! of the prebuilt strategies ([`LevelBatch::run_sequential`],
+//! [`LevelBatch::run_on_device`]) or composes its own loop from the
+//! per-candidate primitives ([`LevelBatch::compute_row`],
+//! [`LevelBatch::admit`]).
+
+use std::fmt;
+
+use gpu_sim::{Device, DeviceConfig};
+
+pub use crate::search::{BatchOutcome, LevelBatch, RowVerdict};
+
+/// An execution strategy for the cost-ordered search.
+///
+/// Implementations must be deterministic in *outcome*: any two backends
+/// must find expressions of the same minimal cost on the same
+/// specification (the expressions themselves may differ between
+/// equally-minimal candidates, as in the paper's CPU/GPU comparison).
+pub trait Backend: fmt::Debug + Send + Sync {
+    /// A short, stable, human-readable name.
+    ///
+    /// This is the single source of truth used by the CLI's `--backend`
+    /// flag, the benchmark reports and the session statistics.
+    fn name(&self) -> &'static str;
+
+    /// The device owned by this backend, if any. The search uses it for
+    /// statistics accounting; sessions expose it for reuse across runs.
+    fn device(&self) -> Option<&Device> {
+        None
+    }
+
+    /// Called once at the start of every run, before any level is built.
+    /// Backends with warm per-run state reset it here.
+    fn begin_run(&self) {}
+
+    /// Processes one batch of same-cost candidate constructions.
+    fn process(&self, batch: &mut LevelBatch<'_, '_>) -> BatchOutcome;
+}
+
+/// The reference CPU strategy: one candidate at a time with early exits.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Sequential;
+
+impl Sequential {
+    /// The canonical name of this backend.
+    pub const NAME: &'static str = "cpu-sequential";
+}
+
+impl Backend for Sequential {
+    fn name(&self) -> &'static str {
+        Sequential::NAME
+    }
+
+    fn process(&self, batch: &mut LevelBatch<'_, '_>) -> BatchOutcome {
+        batch.run_sequential()
+    }
+}
+
+/// The data-parallel strategy: level batches run as kernels on an owned,
+/// reusable simulated SIMT [`Device`].
+///
+/// The device is created once (per backend) and shared across every run of
+/// the owning session, so thread-pool setup and statistics accumulate per
+/// session rather than per specification — the batching win the
+/// session API exists for. Use [`Device::reset_stats`] for per-run deltas.
+#[derive(Debug, Clone)]
+pub struct DeviceParallel {
+    device: Device,
+}
+
+impl DeviceParallel {
+    /// The canonical name of this backend.
+    pub const NAME: &'static str = "gpu-sim-parallel";
+
+    /// A backend on a device with the default configuration (one worker
+    /// per available core).
+    pub fn new() -> Self {
+        DeviceParallel {
+            device: Device::new(DeviceConfig::default()),
+        }
+    }
+
+    /// A backend on a device with an explicit number of worker threads.
+    pub fn with_threads(threads: usize) -> Self {
+        DeviceParallel {
+            device: Device::with_threads(threads),
+        }
+    }
+
+    /// A backend on an existing device (shared statistics).
+    pub fn with_device(device: Device) -> Self {
+        DeviceParallel { device }
+    }
+}
+
+impl Default for DeviceParallel {
+    fn default() -> Self {
+        DeviceParallel::new()
+    }
+}
+
+impl Backend for DeviceParallel {
+    fn name(&self) -> &'static str {
+        DeviceParallel::NAME
+    }
+
+    fn device(&self) -> Option<&Device> {
+        Some(&self.device)
+    }
+
+    fn process(&self, batch: &mut LevelBatch<'_, '_>) -> BatchOutcome {
+        batch.run_on_device(&self.device)
+    }
+}
+
+/// A serializable selector for the built-in backends, used by
+/// [`SynthConfig`](crate::SynthConfig), the CLI's `--backend` flag and the
+/// benchmark harness.
+///
+/// Unlike a [`Backend`] instance (which may own live device state), a
+/// choice is plain data: `Copy`, comparable, and round-trippable through
+/// [`fmt::Display`] / [`std::str::FromStr`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackendChoice {
+    /// The reference CPU strategy ([`Sequential`]).
+    #[default]
+    Sequential,
+    /// The data-parallel strategy ([`DeviceParallel`]).
+    DeviceParallel {
+        /// Worker threads of the device; `None` uses one per core.
+        threads: Option<usize>,
+    },
+}
+
+impl BackendChoice {
+    /// The data-parallel choice with the default thread count.
+    pub fn parallel() -> Self {
+        BackendChoice::DeviceParallel { threads: None }
+    }
+
+    /// The canonical backend name this choice resolves to (the same string
+    /// the built [`Backend::name`] reports).
+    pub fn name(&self) -> &'static str {
+        match self {
+            BackendChoice::Sequential => Sequential::NAME,
+            BackendChoice::DeviceParallel { .. } => DeviceParallel::NAME,
+        }
+    }
+
+    /// Constructs the chosen backend.
+    pub fn build(&self) -> Box<dyn Backend> {
+        match self {
+            BackendChoice::Sequential => Box::new(Sequential),
+            BackendChoice::DeviceParallel { threads: None } => Box::new(DeviceParallel::new()),
+            BackendChoice::DeviceParallel { threads: Some(n) } => {
+                Box::new(DeviceParallel::with_threads(*n))
+            }
+        }
+    }
+
+    /// Parses a backend name: a canonical [`name`](BackendChoice::name) or
+    /// one of the aliases `sequential`/`cpu` and `parallel`/`gpu`. The
+    /// parallel forms accept a `:<threads>` suffix, e.g. `parallel:8`.
+    pub fn parse(raw: &str) -> Option<Self> {
+        let (base, threads) = match raw.split_once(':') {
+            Some((base, t)) => (base, Some(t.parse::<usize>().ok()?)),
+            None => (raw, None),
+        };
+        match base {
+            _ if base == Sequential::NAME => threads.is_none().then_some(BackendChoice::Sequential),
+            "sequential" | "cpu" => threads.is_none().then_some(BackendChoice::Sequential),
+            _ if base == DeviceParallel::NAME => Some(BackendChoice::DeviceParallel { threads }),
+            "parallel" | "gpu" => Some(BackendChoice::DeviceParallel { threads }),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for BackendChoice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BackendChoice::DeviceParallel { threads: Some(n) } => {
+                write!(f, "{}:{n}", self.name())
+            }
+            _ => f.write_str(self.name()),
+        }
+    }
+}
+
+impl std::str::FromStr for BackendChoice {
+    type Err = String;
+
+    fn from_str(raw: &str) -> Result<Self, Self::Err> {
+        BackendChoice::parse(raw).ok_or_else(|| {
+            format!(
+                "unknown backend '{raw}' (expected '{}', '{}', or aliases \
+                 'sequential'/'cpu'/'parallel'/'gpu', optionally 'parallel:<threads>')",
+                Sequential::NAME,
+                DeviceParallel::NAME
+            )
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_the_single_source_of_truth() {
+        assert_eq!(Sequential.name(), Sequential::NAME);
+        assert_eq!(DeviceParallel::new().name(), DeviceParallel::NAME);
+        assert_eq!(BackendChoice::Sequential.name(), Sequential::NAME);
+        assert_eq!(BackendChoice::parallel().name(), DeviceParallel::NAME);
+        assert_eq!(BackendChoice::Sequential.build().name(), Sequential::NAME);
+        assert_eq!(
+            BackendChoice::parallel().build().name(),
+            DeviceParallel::NAME
+        );
+    }
+
+    #[test]
+    fn devices_are_owned_and_reusable() {
+        assert!(Sequential.device().is_none());
+        let backend = DeviceParallel::with_threads(3);
+        assert_eq!(backend.device().unwrap().config().threads, 3);
+        let shared = Device::with_threads(2);
+        let reused = DeviceParallel::with_device(shared.clone());
+        reused.device().unwrap().record_hash_insertions(7);
+        assert_eq!(shared.stats().hash_insertions, 7);
+    }
+
+    #[test]
+    fn choice_parsing_round_trips() {
+        for raw in ["cpu-sequential", "sequential", "cpu"] {
+            assert_eq!(BackendChoice::parse(raw), Some(BackendChoice::Sequential));
+        }
+        for raw in ["gpu-sim-parallel", "parallel", "gpu"] {
+            assert_eq!(
+                BackendChoice::parse(raw),
+                Some(BackendChoice::DeviceParallel { threads: None })
+            );
+        }
+        assert_eq!(
+            BackendChoice::parse("parallel:8"),
+            Some(BackendChoice::DeviceParallel { threads: Some(8) })
+        );
+        assert_eq!(BackendChoice::parse("sequential:8"), None);
+        assert_eq!(BackendChoice::parse("quantum"), None);
+
+        for choice in [
+            BackendChoice::Sequential,
+            BackendChoice::parallel(),
+            BackendChoice::DeviceParallel { threads: Some(4) },
+        ] {
+            let rendered = choice.to_string();
+            assert_eq!(rendered.parse::<BackendChoice>().unwrap(), choice);
+        }
+        assert!("quantum".parse::<BackendChoice>().is_err());
+    }
+}

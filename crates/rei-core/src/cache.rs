@@ -153,7 +153,10 @@ impl LanguageCache {
     pub fn push(&mut self, blocks: &[u64], provenance: Provenance, cost: u64) -> Option<u32> {
         assert_eq!(blocks.len(), self.width.blocks(), "row width mismatch");
         if let Some(&last) = self.costs.last() {
-            assert!(cost >= last, "cache must be filled in non-decreasing cost order");
+            assert!(
+                cost >= last,
+                "cache must be filled in non-decreasing cost order"
+            );
         }
         if self.is_full() {
             return None;
@@ -277,7 +280,9 @@ mod tests {
         let mut cache = LanguageCache::new(width(), 1 << 16);
         let zero = cache.push(&[0b001], Provenance::Literal('0'), 1).unwrap();
         let one = cache.push(&[0b010], Provenance::Literal('1'), 1).unwrap();
-        let union = cache.push(&[0b011], Provenance::Union(zero, one), 3).unwrap();
+        let union = cache
+            .push(&[0b011], Provenance::Union(zero, one), 3)
+            .unwrap();
         let star = cache.push(&[0b111], Provenance::Star(union), 4).unwrap();
         let r = cache.reconstruct_row(star);
         assert_eq!(r.to_string(), "(0+1)*");

@@ -1,19 +1,29 @@
-//! Execution engines: sequential (CPU) and data-parallel (simulated GPU).
+//! The deprecated closed-enum engine selector, kept as a thin shim over
+//! the open [`Backend`] abstraction so pre-0.2 call sites keep compiling
+//! (with deprecation warnings).
 
-use gpu_sim::{Device, DeviceConfig};
+#![allow(deprecated)]
+
+use gpu_sim::Device;
+
+use crate::backend::{Backend, BackendChoice, DeviceParallel, Sequential};
 
 /// How the rows of each cost level are computed.
 ///
-/// Both engines implement the same algorithm and produce identical results;
-/// they correspond to the paper's CPU and GPU implementations. The
-/// sequential engine iterates over candidates one at a time with early
-/// exits; the parallel engine materialises each level's candidates as a
-/// batch of data-parallel kernel items on a [`Device`] and performs the
-/// uniqueness/satisfaction pass afterwards, mirroring the temporary-buffer
-/// → cache copy structure of the paper's GPU implementation.
-#[derive(Debug, Clone)]
+/// Deprecated: the two variants correspond one-to-one to the
+/// [`Sequential`] and [`DeviceParallel`] backends; new code should select
+/// a backend through [`SynthConfig::with_backend`](crate::SynthConfig) or
+/// pass a custom [`Backend`] to
+/// [`SynthSession::with_backend`](crate::SynthSession::with_backend).
+#[deprecated(
+    since = "0.2.0",
+    note = "use the `Backend` trait (`Sequential`, `DeviceParallel`) with `SynthSession`, \
+            or `BackendChoice` in `SynthConfig`"
+)]
+#[derive(Debug, Clone, Default)]
 pub enum Engine {
     /// One candidate at a time, on the calling thread.
+    #[default]
     Sequential,
     /// Candidates of a level computed as kernels on the given device.
     Parallel(Device),
@@ -23,7 +33,7 @@ impl Engine {
     /// A parallel engine on a device with the default configuration (one
     /// worker per available core).
     pub fn parallel() -> Self {
-        Engine::Parallel(Device::new(DeviceConfig::default()))
+        Engine::Parallel(Device::default())
     }
 
     /// A parallel engine with an explicit number of device threads.
@@ -39,18 +49,36 @@ impl Engine {
         }
     }
 
-    /// A short human-readable name used by the benchmark harness.
+    /// A short human-readable name. Delegates to the canonical
+    /// [`Backend::name`] constants, which are the single source of truth
+    /// shared with the CLI and the benchmark reports.
     pub fn name(&self) -> &'static str {
         match self {
-            Engine::Sequential => "cpu-sequential",
-            Engine::Parallel(_) => "gpu-sim-parallel",
+            Engine::Sequential => Sequential::NAME,
+            Engine::Parallel(_) => DeviceParallel::NAME,
         }
     }
-}
 
-impl Default for Engine {
-    fn default() -> Self {
-        Engine::Sequential
+    /// The backend this engine corresponds to. A `Parallel` engine's
+    /// device is shared with the returned backend (statistics and
+    /// configuration included).
+    pub fn to_backend(&self) -> Box<dyn Backend> {
+        match self {
+            Engine::Sequential => Box::new(Sequential),
+            Engine::Parallel(device) => Box::new(DeviceParallel::with_device(device.clone())),
+        }
+    }
+
+    /// The serializable [`BackendChoice`] naming the same strategy. The
+    /// device identity of a `Parallel` engine is not representable as a
+    /// choice; only its thread count carries over.
+    pub fn to_choice(&self) -> BackendChoice {
+        match self {
+            Engine::Sequential => BackendChoice::Sequential,
+            Engine::Parallel(device) => BackendChoice::DeviceParallel {
+                threads: Some(device.config().threads),
+            },
+        }
     }
 }
 
@@ -70,5 +98,27 @@ mod tests {
     #[test]
     fn default_is_sequential() {
         assert!(matches!(Engine::default(), Engine::Sequential));
+    }
+
+    #[test]
+    fn shim_agrees_with_backend_names() {
+        assert_eq!(
+            Engine::Sequential.name(),
+            Engine::Sequential.to_backend().name()
+        );
+        let parallel = Engine::parallel_with_threads(2);
+        assert_eq!(parallel.name(), parallel.to_backend().name());
+        assert_eq!(
+            parallel.to_choice(),
+            BackendChoice::DeviceParallel { threads: Some(2) }
+        );
+    }
+
+    #[test]
+    fn to_backend_shares_the_parallel_device() {
+        let engine = Engine::parallel_with_threads(2);
+        let backend = engine.to_backend();
+        backend.device().unwrap().record_hash_insertions(5);
+        assert_eq!(engine.device().unwrap().stats().hash_insertions, 5);
     }
 }

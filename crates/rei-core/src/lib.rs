@@ -15,15 +15,29 @@
 //!   stored next to each row, and
 //! * the **REI-with-error** extension of Section 5.2.
 //!
-//! Two engines share all of this machinery and differ only in how the rows
-//! of a cost level are computed: [`Engine::Sequential`] is the reference
-//! CPU implementation, [`Engine::parallel`] dispatches the per-candidate
-//! work as data-parallel kernels on a [`gpu_sim::Device`].
+//! # Architecture
+//!
+//! Execution strategy is an open abstraction: the [`Backend`] trait
+//! decides how the rows of a cost level are computed. Two backends ship
+//! with the crate, mirroring the paper's CPU/GPU split — [`Sequential`]
+//! (the reference CPU loop) and [`DeviceParallel`] (data-parallel kernels
+//! on an owned [`gpu_sim::Device`]). Both produce results of identical
+//! minimal cost.
+//!
+//! The primary entry point is the session API: a [`SynthConfig`] (plain,
+//! serializable data, validated into [`SynthesisError::InvalidConfig`])
+//! creates a [`SynthSession`] that is reused across runs — it owns the
+//! backend, the warm device buffers and cumulative counters, and exposes
+//! [`run`](SynthSession::run), [`run_batch`](SynthSession::run_batch) and
+//! [`run_with`](SynthSession::run_with) (per-cost-level [`Observer`]
+//! events). Long runs stop cooperatively through a [`CancelToken`].
+//! [`Synthesizer`] remains as a one-shot convenience wrapper, and the old
+//! closed [`Engine`] enum survives as a deprecated shim.
 //!
 //! # Example
 //!
 //! ```
-//! use rei_core::{Synthesizer, SynthesisError};
+//! use rei_core::{SynthConfig, SynthSession, SynthesisError};
 //! use rei_lang::Spec;
 //! use rei_syntax::CostFn;
 //!
@@ -31,7 +45,8 @@
 //!     ["10", "101", "100", "1010", "1011", "1000", "1001"],
 //!     ["", "0", "1", "00", "11", "010"],
 //! ).unwrap();
-//! let result = Synthesizer::new(CostFn::UNIFORM).run(&spec).unwrap();
+//! let mut session = SynthSession::new(SynthConfig::new(CostFn::UNIFORM))?;
+//! let result = session.run(&spec)?;
 //! assert_eq!(result.regex.to_string(), "10(0+1)*");
 //! assert_eq!(result.cost, 8);
 //! # Ok::<(), SynthesisError>(())
@@ -40,13 +55,24 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod cache;
+mod config;
 mod engine;
+mod observe;
 mod result;
 mod search;
+mod session;
 mod synth;
 
+pub use backend::{
+    Backend, BackendChoice, BatchOutcome, DeviceParallel, LevelBatch, RowVerdict, Sequential,
+};
 pub use cache::{LanguageCache, Provenance};
+pub use config::SynthConfig;
+#[allow(deprecated)]
 pub use engine::Engine;
+pub use observe::{CancelToken, LevelLog, NoopObserver, Observer};
 pub use result::{LevelStats, SynthesisError, SynthesisResult, SynthesisStats};
+pub use session::{SessionStats, SynthSession};
 pub use synth::Synthesizer;

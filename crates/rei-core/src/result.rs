@@ -89,15 +89,49 @@ pub enum SynthesisError {
         /// Work counters of the failed run.
         stats: SynthesisStats,
     },
+    /// A [`CancelToken`](crate::CancelToken) was tripped and the search
+    /// stopped cooperatively at the next level boundary.
+    Cancelled {
+        /// Work counters of the cancelled run.
+        stats: SynthesisStats,
+    },
+    /// The [`SynthConfig`](crate::SynthConfig) is invalid (for example an
+    /// allowed error outside `[0, 1]`); no search was attempted.
+    InvalidConfig {
+        /// A human-readable description of the offending field.
+        message: String,
+    },
 }
 
 impl SynthesisError {
-    /// The statistics gathered before the run failed.
-    pub fn stats(&self) -> &SynthesisStats {
+    /// The statistics gathered before the run failed. `None` for
+    /// [`SynthesisError::InvalidConfig`], which fails before any search
+    /// work happens.
+    pub fn stats(&self) -> Option<&SynthesisStats> {
         match self {
-            SynthesisError::NotFound { stats, .. } => stats,
-            SynthesisError::OutOfMemory { stats, .. } => stats,
-            SynthesisError::Timeout { stats, .. } => stats,
+            SynthesisError::NotFound { stats, .. }
+            | SynthesisError::OutOfMemory { stats, .. }
+            | SynthesisError::Timeout { stats, .. }
+            | SynthesisError::Cancelled { stats } => Some(stats),
+            SynthesisError::InvalidConfig { .. } => None,
+        }
+    }
+
+    /// Mutable access to the failure statistics, if any.
+    pub(crate) fn stats_mut(&mut self) -> Option<&mut SynthesisStats> {
+        match self {
+            SynthesisError::NotFound { stats, .. }
+            | SynthesisError::OutOfMemory { stats, .. }
+            | SynthesisError::Timeout { stats, .. }
+            | SynthesisError::Cancelled { stats } => Some(stats),
+            SynthesisError::InvalidConfig { .. } => None,
+        }
+    }
+
+    /// Constructs an [`SynthesisError::InvalidConfig`] from a message.
+    pub fn invalid_config(message: impl Into<String>) -> Self {
+        SynthesisError::InvalidConfig {
+            message: message.into(),
         }
     }
 }
@@ -106,14 +140,23 @@ impl fmt::Display for SynthesisError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SynthesisError::NotFound { max_cost, .. } => {
-                write!(f, "no satisfying regular expression of cost at most {max_cost}")
+                write!(
+                    f,
+                    "no satisfying regular expression of cost at most {max_cost}"
+                )
             }
-            SynthesisError::OutOfMemory { last_complete_cost, .. } => write!(
+            SynthesisError::OutOfMemory {
+                last_complete_cost, ..
+            } => write!(
                 f,
                 "language cache memory budget exhausted after cost level {last_complete_cost}"
             ),
             SynthesisError::Timeout { budget, .. } => {
                 write!(f, "time budget of {budget:?} exhausted")
+            }
+            SynthesisError::Cancelled { .. } => write!(f, "run cancelled"),
+            SynthesisError::InvalidConfig { message } => {
+                write!(f, "invalid configuration: {message}")
             }
         }
     }
@@ -127,18 +170,38 @@ mod tests {
 
     #[test]
     fn error_display_and_stats_access() {
-        let stats = SynthesisStats { candidates_generated: 42, ..Default::default() };
-        let not_found = SynthesisError::NotFound { max_cost: 9, stats: stats.clone() };
+        let stats = SynthesisStats {
+            candidates_generated: 42,
+            ..Default::default()
+        };
+        let not_found = SynthesisError::NotFound {
+            max_cost: 9,
+            stats: stats.clone(),
+        };
         assert!(not_found.to_string().contains("cost at most 9"));
-        assert_eq!(not_found.stats().candidates_generated, 42);
+        assert_eq!(not_found.stats().unwrap().candidates_generated, 42);
 
-        let oom = SynthesisError::OutOfMemory { last_complete_cost: 7, stats: stats.clone() };
+        let oom = SynthesisError::OutOfMemory {
+            last_complete_cost: 7,
+            stats: stats.clone(),
+        };
         assert!(oom.to_string().contains("cost level 7"));
-        assert_eq!(oom.stats().candidates_generated, 42);
+        assert_eq!(oom.stats().unwrap().candidates_generated, 42);
 
-        let timeout = SynthesisError::Timeout { budget: Duration::from_secs(5), stats };
+        let timeout = SynthesisError::Timeout {
+            budget: Duration::from_secs(5),
+            stats: stats.clone(),
+        };
         assert!(timeout.to_string().contains("time budget"));
-        assert_eq!(timeout.stats().candidates_generated, 42);
+        assert_eq!(timeout.stats().unwrap().candidates_generated, 42);
+
+        let cancelled = SynthesisError::Cancelled { stats };
+        assert!(cancelled.to_string().contains("cancelled"));
+        assert!(cancelled.stats().is_some());
+
+        let invalid = SynthesisError::invalid_config("allowed error must be in [0, 1]");
+        assert!(invalid.to_string().contains("invalid configuration"));
+        assert!(invalid.stats().is_none());
     }
 
     #[test]

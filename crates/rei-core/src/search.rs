@@ -1,12 +1,16 @@
 //! The bottom-up, cost-ordered search over characteristic sequences.
 //!
 //! This module implements Algorithms 1 and 2 of the paper. The search is
-//! parameterised by an [`Engine`]: the sequential engine computes candidate
-//! rows one at a time with early exits, the parallel engine computes each
-//! cost level as batches of data-parallel kernel items on a
-//! [`gpu_sim::Device`] and then performs the uniqueness / satisfaction pass
-//! over the temporary batch, mirroring the temporary-buffer → cache copy of
-//! the paper's GPU implementation.
+//! parameterised by a [`Backend`]: each batch of a cost level's candidate
+//! constructions is handed to the backend as a [`LevelBatch`], which either
+//! runs the reference sequential loop ([`LevelBatch::run_sequential`]) or
+//! computes the batch as data-parallel kernel items on a
+//! [`gpu_sim::Device`] ([`LevelBatch::run_on_device`]), mirroring the
+//! temporary-buffer → cache copy of the paper's GPU implementation.
+//!
+//! Between batches and between levels the search polls a [`StopCheck`]
+//! (deadline + cooperative [`CancelToken`]) and reports each completed
+//! level to the run's [`Observer`].
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
@@ -16,25 +20,67 @@ use gpu_sim::Device;
 use rei_lang::{csops, Alphabet, CsWidth, GuideTable, InfixClosure, SatisfyMasks, Spec};
 use rei_syntax::CostFn;
 
+use crate::backend::Backend;
 use crate::cache::{LanguageCache, Provenance};
+use crate::observe::{CancelToken, Observer};
 use crate::result::{LevelStats, SynthesisError, SynthesisResult, SynthesisStats};
-use crate::Engine;
 
-/// Number of candidate rows materialised per kernel launch by the parallel
-/// engine. Bounds the size of the temporary device buffer.
+/// Number of candidate rows materialised per kernel launch. Bounds the size
+/// of the temporary device buffer.
 const PARALLEL_BATCH: usize = 1 << 16;
 
-/// Everything the search needs, assembled by [`crate::Synthesizer`].
+/// Everything the search needs about the problem, assembled by
+/// [`crate::SynthSession`].
 pub(crate) struct SearchParams<'a> {
     pub spec: &'a Spec,
     pub alphabet: Alphabet,
     pub costs: CostFn,
-    pub engine: &'a Engine,
     pub memory_budget: usize,
     pub allowed_errors: usize,
     pub max_cost: u64,
-    pub time_budget: Option<Duration>,
     pub started: Instant,
+}
+
+/// The unified stop condition, polled between batches and between levels:
+/// an optional wall-clock deadline (the old ad-hoc time-budget check) and
+/// an optional cooperative cancellation token.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct StopCheck {
+    pub deadline: Option<Instant>,
+    /// The configured budget, reported in [`SynthesisError::Timeout`].
+    pub budget: Duration,
+    pub cancel: Option<CancelToken>,
+}
+
+impl StopCheck {
+    fn poll(&self) -> Option<Stop> {
+        if let Some(cancel) = &self.cancel {
+            if cancel.is_cancelled() {
+                return Some(Stop::Cancelled);
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() > deadline {
+                return Some(Stop::TimedOut);
+            }
+        }
+        None
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Stop {
+    TimedOut,
+    Cancelled,
+}
+
+/// Warm per-session buffers reused across runs, owned by
+/// [`crate::SynthSession`]. Reusing the device batch buffer across the
+/// specs of a `run_batch` avoids re-allocating a multi-megabyte temporary
+/// per spec — part of the amortisation the session API exists for.
+#[derive(Debug, Default)]
+pub(crate) struct SessionScratch {
+    batch_rows: Vec<u64>,
 }
 
 /// A candidate construction at the current cost level: the outermost
@@ -66,19 +112,48 @@ enum LevelOutcome {
     Continue,
     /// OnTheFly mode can no longer reach the operands it needs.
     Exhausted,
-    /// The wall-clock budget expired while building the level.
-    TimedOut,
+    /// The stop condition fired while building the level.
+    Stopped(Stop),
+}
+
+/// The outcome a [`Backend`] reports for one processed [`LevelBatch`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchOutcome {
+    /// A satisfying candidate was found; the search reconstructs the
+    /// expression from this provenance.
+    Found(Provenance),
+    /// Every candidate of the batch was processed without a hit.
+    Continue,
+}
+
+/// The outcome of admitting one computed row via [`LevelBatch::admit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RowVerdict {
+    /// The row satisfies the specification.
+    Found(Provenance),
+    /// The row is a new unique language and was cached.
+    Admitted,
+    /// The row duplicates an earlier language (or OnTheFly mode is active
+    /// and the row does not satisfy the specification).
+    Duplicate,
+    /// The cache rejected the row; the search switched to OnTheFly mode.
+    Overflowed,
 }
 
 struct Search<'a> {
     params: SearchParams<'a>,
+    observer: &'a mut dyn Observer,
+    stop: StopCheck,
+    scratch: &'a mut SessionScratch,
     guide: GuideTable,
     masks: SatisfyMasks,
     width: CsWidth,
     eps_index: usize,
     cache: LanguageCache,
     seen: CsSet,
-    device: Device,
+    /// Device used for statistics accounting; the backend's device when it
+    /// has one, a single-threaded stand-in otherwise.
+    stats_device: Device,
     stats: SynthesisStats,
     /// `true` once the cache rejected a row: new rows are no longer cached
     /// or uniqueness-checked (the paper's OnTheFly mode).
@@ -87,215 +162,107 @@ struct Search<'a> {
     last_full_cost: u64,
 }
 
-/// Runs the full search. Trivial specifications (`P = ∅`, `P = {ε}` and the
-/// corresponding relaxed checks) are handled by the caller.
-pub(crate) fn run(params: SearchParams<'_>) -> Result<SynthesisResult, SynthesisError> {
-    let ic = InfixClosure::of_spec(params.spec);
-    let guide = GuideTable::build(&ic);
-    let masks = SatisfyMasks::new(params.spec, &ic);
-    let width = ic.width();
-    let eps_index = ic.eps_index().expect("non-trivial spec has a non-empty closure");
-    let cache = LanguageCache::new(width, params.memory_budget);
-    // The uniqueness table starts small and is grown between kernel
-    // launches as the cache fills (see `CsSet::maybe_grow`).
-    let seen = CsSet::new(width.blocks(), 4096.min(cache.capacity_rows()));
-    let device = params
-        .engine
-        .device()
-        .cloned()
-        .unwrap_or_else(Device::sequential);
-    let literal_cost = params.costs.literal;
-    let max_cost = params.max_cost;
-
-    let mut stats = SynthesisStats::default();
-    stats.infix_closure_size = ic.len() as u64;
-
-    let mut search = Search {
-        params,
-        guide,
-        masks,
-        width,
-        eps_index,
-        cache,
-        seen,
-        device,
-        stats,
-        on_the_fly: false,
-        last_full_cost: 0,
-    };
-
-    // Seed the cache with the characteristic sequences of the alphabet
-    // characters (line 6 of Algorithm 1), checking each for satisfaction.
-    if let Some(found) = search.seed_alphabet(&ic) {
-        return Ok(search.finish(found));
-    }
-
-    for cost in (literal_cost + 1)..=max_cost {
-        search.stats.max_cost_reached = cost;
-        match search.build_level(cost) {
-            LevelOutcome::Found(prov) => return Ok(search.finish(prov)),
-            LevelOutcome::Continue => {}
-            LevelOutcome::Exhausted => {
-                return Err(SynthesisError::OutOfMemory {
-                    last_complete_cost: search.last_full_cost,
-                    stats: search.final_stats(),
-                });
-            }
-            LevelOutcome::TimedOut => {
-                return Err(SynthesisError::Timeout {
-                    budget: search.params.time_budget.unwrap_or_default(),
-                    stats: search.final_stats(),
-                });
-            }
-        }
-    }
-
-    Err(SynthesisError::NotFound { max_cost, stats: search.final_stats() })
+/// One batch of same-cost candidate constructions, handed to a
+/// [`Backend`].
+///
+/// Built-in strategies are available as [`run_sequential`] and
+/// [`run_on_device`]; custom backends can instead drive the
+/// per-candidate primitives [`compute_row`] and [`admit`] in any order
+/// or partition, as long as every candidate is eventually admitted.
+///
+/// [`run_sequential`]: LevelBatch::run_sequential
+/// [`run_on_device`]: LevelBatch::run_on_device
+/// [`compute_row`]: LevelBatch::compute_row
+/// [`admit`]: LevelBatch::admit
+pub struct LevelBatch<'b, 'a> {
+    search: &'b mut Search<'a>,
+    jobs: &'b [Job],
+    cost: u64,
 }
 
-impl<'a> Search<'a> {
-    fn seed_alphabet(&mut self, ic: &InfixClosure) -> Option<Provenance> {
-        let cost = self.params.costs.literal;
-        self.stats.max_cost_reached = cost;
-        let alphabet = self.params.alphabet.clone();
-        for &a in alphabet.symbols() {
-            let row = ic.cs_of_literal(a);
-            self.stats.candidates_generated += 1;
-            self.device.record_hash_insertions(1);
-            if !self.seen.insert(row.blocks()) {
-                continue;
-            }
-            self.stats.unique_languages += 1;
-            if self.masks.is_satisfied_with_error(row.blocks(), self.params.allowed_errors) {
-                return Some(Provenance::Literal(a));
-            }
-            if self
-                .cache
-                .push(row.blocks(), Provenance::Literal(a), cost)
-                .is_none()
-            {
-                // A memory budget too small even for the alphabet: OnTheFly
-                // from the start; nothing will ever be cached.
-                self.enter_on_the_fly();
-            }
-        }
-        if !self.on_the_fly {
-            self.last_full_cost = cost;
-        }
-        self.stats.levels.push(LevelStats {
-            cost,
-            candidates: alphabet.len() as u64,
-            unique: self.stats.unique_languages,
-            cached: self.cache.len() as u64,
-        });
-        None
+impl LevelBatch<'_, '_> {
+    /// Number of candidate constructions in this batch.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
     }
 
-    fn enter_on_the_fly(&mut self) {
-        self.on_the_fly = true;
-        self.stats.used_on_the_fly = true;
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
     }
 
-    /// Returns `true` when a wall-clock budget is configured and exceeded.
-    fn over_time_budget(&self) -> bool {
-        match self.params.time_budget {
-            Some(budget) => self.params.started.elapsed() > budget,
-            None => false,
-        }
+    /// The cost of the level this batch belongs to.
+    pub fn cost(&self) -> u64 {
+        self.cost
     }
 
-    /// The highest operand cost any constructor may need when building
-    /// languages of cost `cost`.
-    fn max_operand_cost(&self, cost: u64) -> u64 {
-        cost.saturating_sub(self.params.costs.min_constructor_cost())
+    /// Width of a characteristic-sequence row, in `u64` words.
+    pub fn row_blocks(&self) -> usize {
+        self.search.width.blocks()
     }
 
-    fn build_level(&mut self, cost: u64) -> LevelOutcome {
-        if self.on_the_fly && self.max_operand_cost(cost) > self.last_full_cost {
-            // OnTheFly mode would need operand levels that were never
-            // (fully) cached: the search cannot make further progress
-            // without violating minimality, so it stops (paper: the
-            // out-of-memory outcome).
-            return LevelOutcome::Exhausted;
-        }
-        let jobs = self.enumerate_jobs(cost);
-        self.stats.candidates_generated += jobs.len() as u64;
-        let unique_before = self.stats.unique_languages;
-        let cached_before = self.cache.len() as u64;
-        let mut level_complete = !self.on_the_fly;
+    /// Computes the characteristic sequence of candidate `k` into `row`.
+    /// `scratch` must be another `row_blocks()`-sized buffer (used by the
+    /// star fixpoint).
+    pub fn compute_row(&self, k: usize, row: &mut [u64], scratch: &mut [u64]) {
+        self.search.compute_row(self.jobs[k], row, scratch);
+    }
 
-        let parallel = matches!(self.params.engine, Engine::Parallel(_));
-        let blocks = self.width.blocks();
-        let mut scratch = vec![0u64; blocks];
+    /// Runs candidate `k`'s computed row through the uniqueness check, the
+    /// satisfaction check and the cache (the admission pipeline of
+    /// Algorithm 1).
+    pub fn admit(&mut self, k: usize, row: &[u64]) -> RowVerdict {
+        self.search.admit(row, self.jobs[k], self.cost)
+    }
+
+    /// The reference strategy: one candidate at a time with early exits.
+    pub fn run_sequential(&mut self) -> BatchOutcome {
+        let blocks = self.row_blocks();
         let mut row = vec![0u64; blocks];
-        // Each parallel batch row carries one extra word of flags (bit 0:
-        // survived the uniqueness check, bit 1: satisfies the masks).
-        let mut batch_rows = vec![0u64; PARALLEL_BATCH * (blocks + 1)];
-
-        for batch in jobs.chunks(PARALLEL_BATCH) {
-            if self.over_time_budget() {
-                return LevelOutcome::TimedOut;
-            }
-            if parallel {
-                match self.process_batch_parallel(batch, &mut batch_rows, cost) {
-                    Admit::Found(prov) => return LevelOutcome::Found(prov),
-                    Admit::Overflowed => level_complete = false,
-                    Admit::Stored | Admit::Duplicate => {}
-                }
-            } else {
-                for job in batch {
-                    self.compute_row(*job, &mut row, &mut scratch);
-                    match self.admit(&row, *job, cost) {
-                        Admit::Found(prov) => return LevelOutcome::Found(prov),
-                        Admit::Overflowed => level_complete = false,
-                        Admit::Stored | Admit::Duplicate => {}
-                    }
-                }
+        let mut scratch = vec![0u64; blocks];
+        for k in 0..self.jobs.len() {
+            self.compute_row(k, &mut row, &mut scratch);
+            if let RowVerdict::Found(prov) = self.admit(k, &row) {
+                return BatchOutcome::Found(prov);
             }
         }
-
-        if level_complete {
-            self.last_full_cost = cost;
-        }
-        // Per-level breakdown for fully processed levels (levels cut short
-        // by a satisfying row or a timeout are not recorded).
-        self.stats.levels.push(LevelStats {
-            cost,
-            candidates: jobs.len() as u64,
-            unique: self.stats.unique_languages - unique_before,
-            cached: self.cache.len() as u64 - cached_before,
-        });
-        LevelOutcome::Continue
+        BatchOutcome::Continue
     }
 
-    /// Processes one batch of jobs on the device, mirroring the paper's GPU
-    /// structure: a single kernel computes each candidate row *and* performs
-    /// the uniqueness insertion (into the WarpCore-style concurrent set) and
-    /// the satisfaction check; the host then only copies the surviving rows
-    /// into the language cache.
+    /// The data-parallel strategy: a single kernel computes each candidate
+    /// row *and* performs the uniqueness insertion (into the WarpCore-style
+    /// concurrent set) and the satisfaction check; the host then only
+    /// copies the surviving rows into the language cache.
     ///
-    /// Item `k` of the launch owns the `k`-th chunk of `batch_rows`, laid
-    /// out as `blocks` row words followed by one flag word (bit 0 = unique,
-    /// bit 1 = satisfies the specification).
-    fn process_batch_parallel(&mut self, batch: &[Job], batch_rows: &mut [u64], cost: u64) -> Admit {
-        let blocks = self.width.blocks();
+    /// Item `k` of the launch owns the `k`-th chunk of the batch buffer,
+    /// laid out as `row_blocks()` row words followed by one flag word
+    /// (bit 0 = unique, bit 1 = satisfies the specification).
+    pub fn run_on_device(&mut self, device: &Device) -> BatchOutcome {
+        let blocks = self.row_blocks();
         let stride = blocks + 1;
+        let batch = self.jobs;
+        // The batch buffer is session state: warm across batches, levels
+        // and runs.
+        let mut batch_rows = std::mem::take(&mut self.search.scratch.batch_rows);
+        if batch_rows.len() < batch.len() * stride {
+            batch_rows.resize(batch.len() * stride, 0);
+        }
+
         // Make sure the concurrent set cannot fill up mid-kernel.
-        if !self.on_the_fly {
-            self.seen.reserve(batch.len());
-            self.device.record_hash_insertions(batch.len() as u64);
+        if !self.search.on_the_fly {
+            self.search.seen.reserve(batch.len());
+            device.record_hash_insertions(batch.len() as u64);
         }
         let buf = &mut batch_rows[..batch.len() * stride];
         let found = AtomicU64::new(u64::MAX);
         {
-            let cache = &self.cache;
-            let guide = &self.guide;
-            let masks = &self.masks;
-            let seen = &self.seen;
-            let device = &self.device;
-            let eps = self.eps_index;
-            let allowed = self.params.allowed_errors;
-            let on_the_fly = self.on_the_fly;
+            let cache = &self.search.cache;
+            let guide = &self.search.guide;
+            let masks = &self.search.masks;
+            let seen = &self.search.seen;
+            let eps = self.search.eps_index;
+            let allowed = self.search.params.allowed_errors;
+            let on_the_fly = self.search.on_the_fly;
             let num_words = guide.num_words();
             let found = &found;
             device.launch_chunks("build-level", buf, stride, move |k, chunk| {
@@ -341,27 +308,225 @@ impl<'a> Search<'a> {
         // Host-side pass: account for unique rows and copy them into the
         // write-once cache (the paper's temporary-buffer → cache copy).
         let winner = found.load(Ordering::Relaxed);
-        let mut outcome = Admit::Duplicate;
         for (k, chunk) in buf.chunks(stride).enumerate() {
             let (row, flags) = chunk.split_at(blocks);
             if flags[0] & 1 == 0 {
                 continue;
             }
-            self.stats.unique_languages += 1;
+            self.search.stats.unique_languages += 1;
             if winner != u64::MAX {
                 // A satisfying row exists in this batch: nothing after it
                 // needs caching, exactly as in the sequential early return.
                 continue;
             }
-            if !self.on_the_fly && self.cache.push(row, batch[k].provenance(), cost).is_none() {
-                self.enter_on_the_fly();
-                outcome = Admit::Overflowed;
+            if !self.search.on_the_fly
+                && self
+                    .search
+                    .cache
+                    .push(row, batch[k].provenance(), self.cost)
+                    .is_none()
+            {
+                self.search.enter_on_the_fly();
             }
         }
+        self.search.scratch.batch_rows = batch_rows;
         if winner != u64::MAX {
-            return Admit::Found(batch[winner as usize].provenance());
+            return BatchOutcome::Found(batch[winner as usize].provenance());
         }
-        outcome
+        BatchOutcome::Continue
+    }
+}
+
+/// Runs the full search. Trivial specifications (`P = ∅`, `P = {ε}` and the
+/// corresponding relaxed checks) are handled by the caller.
+pub(crate) fn run(
+    params: SearchParams<'_>,
+    backend: &dyn Backend,
+    observer: &mut dyn Observer,
+    stop: StopCheck,
+    scratch: &mut SessionScratch,
+) -> Result<SynthesisResult, SynthesisError> {
+    let ic = InfixClosure::of_spec(params.spec);
+    let guide = GuideTable::build(&ic);
+    let masks = SatisfyMasks::new(params.spec, &ic);
+    let width = ic.width();
+    let eps_index = ic
+        .eps_index()
+        .expect("non-trivial spec has a non-empty closure");
+    let cache = LanguageCache::new(width, params.memory_budget);
+    // The uniqueness table starts small and is grown between kernel
+    // launches as the cache fills (see `CsSet::maybe_grow`).
+    let seen = CsSet::new(width.blocks(), 4096.min(cache.capacity_rows()));
+    let stats_device = backend.device().cloned().unwrap_or_else(Device::sequential);
+    let literal_cost = params.costs.literal;
+    let max_cost = params.max_cost;
+
+    let stats = SynthesisStats {
+        infix_closure_size: ic.len() as u64,
+        ..Default::default()
+    };
+
+    let mut search = Search {
+        params,
+        observer,
+        stop,
+        scratch,
+        guide,
+        masks,
+        width,
+        eps_index,
+        cache,
+        seen,
+        stats_device,
+        stats,
+        on_the_fly: false,
+        last_full_cost: 0,
+    };
+
+    // Seed the cache with the characteristic sequences of the alphabet
+    // characters (line 6 of Algorithm 1), checking each for satisfaction.
+    if let Some(found) = search.seed_alphabet(&ic) {
+        return Ok(search.finish(found));
+    }
+
+    for cost in (literal_cost + 1)..=max_cost {
+        // The unified stop check, at the level boundary.
+        if let Some(stop) = search.stop.poll() {
+            return Err(search.stopped(stop));
+        }
+        search.stats.max_cost_reached = cost;
+        match search.build_level(cost, backend) {
+            LevelOutcome::Found(prov) => return Ok(search.finish(prov)),
+            LevelOutcome::Continue => {}
+            LevelOutcome::Exhausted => {
+                return Err(SynthesisError::OutOfMemory {
+                    last_complete_cost: search.last_full_cost,
+                    stats: search.final_stats(),
+                });
+            }
+            LevelOutcome::Stopped(stop) => return Err(search.stopped(stop)),
+        }
+    }
+
+    Err(SynthesisError::NotFound {
+        max_cost,
+        stats: search.final_stats(),
+    })
+}
+
+impl<'a> Search<'a> {
+    fn seed_alphabet(&mut self, ic: &InfixClosure) -> Option<Provenance> {
+        let cost = self.params.costs.literal;
+        self.stats.max_cost_reached = cost;
+        let alphabet = self.params.alphabet.clone();
+        for &a in alphabet.symbols() {
+            let row = ic.cs_of_literal(a);
+            self.stats.candidates_generated += 1;
+            self.stats_device.record_hash_insertions(1);
+            if !self.seen.insert(row.blocks()) {
+                continue;
+            }
+            self.stats.unique_languages += 1;
+            if self
+                .masks
+                .is_satisfied_with_error(row.blocks(), self.params.allowed_errors)
+            {
+                return Some(Provenance::Literal(a));
+            }
+            if self
+                .cache
+                .push(row.blocks(), Provenance::Literal(a), cost)
+                .is_none()
+            {
+                // A memory budget too small even for the alphabet: OnTheFly
+                // from the start; nothing will ever be cached.
+                self.enter_on_the_fly();
+            }
+        }
+        if !self.on_the_fly {
+            self.last_full_cost = cost;
+        }
+        self.push_level(LevelStats {
+            cost,
+            candidates: alphabet.len() as u64,
+            unique: self.stats.unique_languages,
+            cached: self.cache.len() as u64,
+        });
+        None
+    }
+
+    fn enter_on_the_fly(&mut self) {
+        self.on_the_fly = true;
+        self.stats.used_on_the_fly = true;
+    }
+
+    /// Records a completed level and reports it to the observer.
+    fn push_level(&mut self, level: LevelStats) {
+        self.stats.levels.push(level);
+        self.observer.on_level(&level);
+    }
+
+    /// Converts a fired stop condition into the corresponding error.
+    fn stopped(&self, stop: Stop) -> SynthesisError {
+        match stop {
+            Stop::TimedOut => SynthesisError::Timeout {
+                budget: self.stop.budget,
+                stats: self.final_stats(),
+            },
+            Stop::Cancelled => SynthesisError::Cancelled {
+                stats: self.final_stats(),
+            },
+        }
+    }
+
+    /// The highest operand cost any constructor may need when building
+    /// languages of cost `cost`.
+    fn max_operand_cost(&self, cost: u64) -> u64 {
+        cost.saturating_sub(self.params.costs.min_constructor_cost())
+    }
+
+    fn build_level(&mut self, cost: u64, backend: &dyn Backend) -> LevelOutcome {
+        if self.on_the_fly && self.max_operand_cost(cost) > self.last_full_cost {
+            // OnTheFly mode would need operand levels that were never
+            // (fully) cached: the search cannot make further progress
+            // without violating minimality, so it stops (paper: the
+            // out-of-memory outcome).
+            return LevelOutcome::Exhausted;
+        }
+        let jobs = self.enumerate_jobs(cost);
+        self.stats.candidates_generated += jobs.len() as u64;
+        let unique_before = self.stats.unique_languages;
+        let cached_before = self.cache.len() as u64;
+
+        for chunk in jobs.chunks(PARALLEL_BATCH) {
+            if let Some(stop) = self.stop.poll() {
+                return LevelOutcome::Stopped(stop);
+            }
+            let mut batch = LevelBatch {
+                search: self,
+                jobs: chunk,
+                cost,
+            };
+            if let BatchOutcome::Found(prov) = backend.process(&mut batch) {
+                return LevelOutcome::Found(prov);
+            }
+        }
+
+        // Once the cache has rejected a row the level is not fully stored
+        // (and `on_the_fly` stays set), so level completeness is exactly
+        // the absence of OnTheFly mode.
+        if !self.on_the_fly {
+            self.last_full_cost = cost;
+        }
+        // Per-level breakdown for fully processed levels (levels cut short
+        // by a satisfying row or a stop are not recorded).
+        self.push_level(LevelStats {
+            cost,
+            candidates: jobs.len() as u64,
+            unique: self.stats.unique_languages - unique_before,
+            cached: self.cache.len() as u64 - cached_before,
+        });
+        LevelOutcome::Continue
     }
 
     fn compute_row(&self, job: Job, row: &mut [u64], scratch: &mut [u64]) {
@@ -377,7 +542,7 @@ impl<'a> Search<'a> {
         }
     }
 
-    fn admit(&mut self, row: &[u64], job: Job, cost: u64) -> Admit {
+    fn admit(&mut self, row: &[u64], job: Job, cost: u64) -> RowVerdict {
         self.seen.maybe_grow();
         if self.on_the_fly {
             // OnTheFly: no uniqueness check, no caching — only the
@@ -386,26 +551,26 @@ impl<'a> Search<'a> {
                 .masks
                 .is_satisfied_with_error(row, self.params.allowed_errors)
             {
-                return Admit::Found(job.provenance());
+                return RowVerdict::Found(job.provenance());
             }
-            return Admit::Duplicate;
+            return RowVerdict::Duplicate;
         }
-        self.device.record_hash_insertions(1);
+        self.stats_device.record_hash_insertions(1);
         if !self.seen.insert(row) {
-            return Admit::Duplicate;
+            return RowVerdict::Duplicate;
         }
         self.stats.unique_languages += 1;
         if self
             .masks
             .is_satisfied_with_error(row, self.params.allowed_errors)
         {
-            return Admit::Found(job.provenance());
+            return RowVerdict::Found(job.provenance());
         }
         if self.cache.push(row, job.provenance(), cost).is_none() {
             self.enter_on_the_fly();
-            return Admit::Overflowed;
+            return RowVerdict::Overflowed;
         }
-        Admit::Stored
+        RowVerdict::Admitted
     }
 
     /// Enumerates every candidate construction of the given cost from the
@@ -483,15 +648,12 @@ impl<'a> Search<'a> {
             self.params.spec.misclassified_by(&regex) <= self.params.allowed_errors,
             "reconstructed expression {regex} does not satisfy the specification"
         );
-        SynthesisResult { regex, cost, stats: self.final_stats() }
+        SynthesisResult {
+            regex,
+            cost,
+            stats: self.final_stats(),
+        }
     }
-}
-
-enum Admit {
-    Found(Provenance),
-    Stored,
-    Duplicate,
-    Overflowed,
 }
 
 #[cfg(test)]
@@ -504,5 +666,26 @@ mod tests {
         assert_eq!(Job::Star(4).provenance(), Provenance::Star(4));
         assert_eq!(Job::Concat(1, 2).provenance(), Provenance::Concat(1, 2));
         assert_eq!(Job::Union(5, 6).provenance(), Provenance::Union(5, 6));
+    }
+
+    #[test]
+    fn stop_check_polls_cancel_and_deadline() {
+        assert!(StopCheck::default().poll().is_none());
+
+        let token = CancelToken::new();
+        let stop = StopCheck {
+            cancel: Some(token.clone()),
+            ..StopCheck::default()
+        };
+        assert!(stop.poll().is_none());
+        token.cancel();
+        assert!(matches!(stop.poll(), Some(Stop::Cancelled)));
+
+        let expired = StopCheck {
+            deadline: Some(Instant::now() - Duration::from_millis(1)),
+            budget: Duration::ZERO,
+            cancel: None,
+        };
+        assert!(matches!(expired.poll(), Some(Stop::TimedOut)));
     }
 }

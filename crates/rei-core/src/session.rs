@@ -1,0 +1,372 @@
+//! The session-based synthesis API.
+//!
+//! A [`SynthSession`] is created once from a [`SynthConfig`] and reused
+//! across many specifications. It owns the execution [`Backend`] (and
+//! therefore the warm [`gpu_sim::Device`] of the data-parallel backend),
+//! the reusable device batch buffers, and cumulative run counters — so a
+//! batch of inference requests pays device setup once instead of once per
+//! spec, the batching structure the benchmark harness and a future service
+//! front-end both need.
+
+use std::time::{Duration, Instant};
+
+use gpu_sim::Device;
+use rei_lang::{Alphabet, Spec};
+use rei_syntax::Regex;
+
+use crate::backend::Backend;
+use crate::config::SynthConfig;
+use crate::observe::{CancelToken, NoopObserver, Observer};
+use crate::result::{SynthesisError, SynthesisResult, SynthesisStats};
+use crate::search::{self, SearchParams, SessionScratch, StopCheck};
+
+/// Cumulative counters over every run of a session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SessionStats {
+    /// Total runs attempted (solved + failed).
+    pub runs: u64,
+    /// Runs that produced an expression.
+    pub solved: u64,
+    /// Runs that failed (not found, out of memory, timeout, cancelled).
+    pub failed: u64,
+    /// Candidate languages constructed across all runs.
+    pub candidates_generated: u64,
+    /// Unique languages across all runs.
+    pub unique_languages: u64,
+    /// Wall-clock time spent inside `run*` calls.
+    pub elapsed: Duration,
+}
+
+/// A reusable synthesis session: one configuration, one backend, many
+/// specifications.
+///
+/// # Example
+///
+/// ```
+/// use rei_core::{BackendChoice, SynthConfig, SynthSession};
+/// use rei_lang::Spec;
+/// use rei_syntax::CostFn;
+///
+/// let spec = Spec::from_strs(
+///     ["10", "101", "100", "1010", "1011", "1000", "1001"],
+///     ["", "0", "1", "00", "11", "010"],
+/// ).unwrap();
+/// let config = SynthConfig::new(CostFn::UNIFORM).with_backend(BackendChoice::parallel());
+/// let mut session = SynthSession::new(config).unwrap();
+/// let result = session.run(&spec).unwrap();
+/// // Backends guarantee the minimal cost; the expression itself may be
+/// // any equally-minimal candidate (here cost 8, e.g. `10(0+1)*`).
+/// assert_eq!(result.cost, 8);
+/// assert!(spec.is_satisfied_by(&result.regex));
+/// assert_eq!(session.stats().runs, 1);
+/// ```
+#[derive(Debug)]
+pub struct SynthSession {
+    config: SynthConfig,
+    backend: Box<dyn Backend>,
+    cancel: CancelToken,
+    scratch: SessionScratch,
+    stats: SessionStats,
+}
+
+impl SynthSession {
+    /// Creates a session, building the backend named by the config.
+    ///
+    /// # Errors
+    ///
+    /// [`SynthesisError::InvalidConfig`] when the configuration fails
+    /// [`SynthConfig::validate`].
+    pub fn new(config: SynthConfig) -> Result<Self, SynthesisError> {
+        let backend = config.backend().build();
+        SynthSession::with_backend(config, backend)
+    }
+
+    /// Creates a session around a caller-supplied backend (a custom
+    /// [`Backend`] implementation, or a [`DeviceParallel`] sharing a
+    /// specific [`Device`]). The config's own
+    /// [`backend`](SynthConfig::backend) choice is ignored.
+    ///
+    /// [`DeviceParallel`]: crate::DeviceParallel
+    pub fn with_backend(
+        config: SynthConfig,
+        backend: Box<dyn Backend>,
+    ) -> Result<Self, SynthesisError> {
+        config.validate()?;
+        Ok(SynthSession {
+            config,
+            backend,
+            cancel: CancelToken::new(),
+            scratch: SessionScratch::default(),
+            stats: SessionStats::default(),
+        })
+    }
+
+    /// The configuration this session was created from.
+    pub fn config(&self) -> &SynthConfig {
+        &self.config
+    }
+
+    /// The backend executing this session's runs.
+    pub fn backend(&self) -> &dyn Backend {
+        &*self.backend
+    }
+
+    /// The backend's name (see [`Backend::name`]); the string reported by
+    /// the CLI, the benchmark harness and session logs.
+    pub fn backend_name(&self) -> &'static str {
+        self.backend.name()
+    }
+
+    /// The device shared by this session's runs, if the backend owns one.
+    pub fn device(&self) -> Option<&Device> {
+        self.backend.device()
+    }
+
+    /// A handle to this session's cancellation flag. Cloning is cheap;
+    /// trip it from any thread with [`CancelToken::cancel`] and the
+    /// in-flight run stops at the next level boundary with
+    /// [`SynthesisError::Cancelled`]. The flag stays set (subsequent runs
+    /// fail fast) until [`CancelToken::reset`].
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+
+    /// Cumulative counters over every run of this session.
+    pub fn stats(&self) -> &SessionStats {
+        &self.stats
+    }
+
+    /// Total runs attempted so far.
+    pub fn runs_completed(&self) -> u64 {
+        self.stats.runs
+    }
+
+    /// Runs regular expression inference on `spec`.
+    ///
+    /// On success the returned expression is *precise* (accepts all of
+    /// `P`, rejects all of `N`, up to the configured allowed error) and
+    /// *minimal* with respect to the cost homomorphism.
+    ///
+    /// # Errors
+    ///
+    /// * [`SynthesisError::NotFound`] if no expression within the cost
+    ///   bound satisfies the specification.
+    /// * [`SynthesisError::OutOfMemory`] if the language cache exceeded
+    ///   its memory budget and OnTheFly mode could not finish the search.
+    /// * [`SynthesisError::Timeout`] / [`SynthesisError::Cancelled`] when
+    ///   the time budget or the session's [`CancelToken`] fired.
+    pub fn run(&mut self, spec: &Spec) -> Result<SynthesisResult, SynthesisError> {
+        self.run_with(spec, &mut NoopObserver)
+    }
+
+    /// Like [`run`](SynthSession::run), delivering per-cost-level progress
+    /// events to `observer` (see [`Observer`]).
+    pub fn run_with(
+        &mut self,
+        spec: &Spec,
+        observer: &mut dyn Observer,
+    ) -> Result<SynthesisResult, SynthesisError> {
+        observer.on_start(spec);
+        let outcome = self.run_inner(spec, observer);
+        self.note_outcome(&outcome);
+        observer.on_finish(outcome.as_ref());
+        outcome
+    }
+
+    /// Runs every specification through this session in order, reusing the
+    /// backend's device and warm buffers across all of them. Each spec
+    /// gets its own result slot; a failure on one spec does not stop the
+    /// others (a tripped [`CancelToken`] does — the remaining specs report
+    /// [`SynthesisError::Cancelled`] immediately).
+    pub fn run_batch(&mut self, specs: &[Spec]) -> Vec<Result<SynthesisResult, SynthesisError>> {
+        self.run_batch_with(specs, &mut NoopObserver)
+    }
+
+    /// Like [`run_batch`](SynthSession::run_batch), with progress events.
+    pub fn run_batch_with(
+        &mut self,
+        specs: &[Spec],
+        observer: &mut dyn Observer,
+    ) -> Vec<Result<SynthesisResult, SynthesisError>> {
+        specs
+            .iter()
+            .map(|spec| self.run_with(spec, observer))
+            .collect()
+    }
+
+    fn run_inner(
+        &mut self,
+        spec: &Spec,
+        observer: &mut dyn Observer,
+    ) -> Result<SynthesisResult, SynthesisError> {
+        let started = Instant::now();
+        // The config was validated at session construction and is
+        // immutable afterwards, so no per-run re-validation is needed.
+        if self.cancel.is_cancelled() {
+            return Err(SynthesisError::Cancelled {
+                stats: SynthesisStats::default(),
+            });
+        }
+        self.backend.begin_run();
+        let costs = *self.config.costs();
+        let allowed_errors = self.config.allowed_example_errors(spec);
+
+        // Trivial candidates of minimal cost, checked before the search
+        // proper (lines 4-5 of Algorithm 1, generalised to allowed error).
+        let mut candidates_checked = 0u64;
+        for trivial in [Regex::Empty, Regex::Epsilon] {
+            candidates_checked += 1;
+            if spec.misclassified_by(&trivial) <= allowed_errors {
+                return Ok(SynthesisResult {
+                    cost: trivial.cost(&costs),
+                    regex: trivial,
+                    stats: SynthesisStats {
+                        candidates_generated: candidates_checked,
+                        unique_languages: candidates_checked,
+                        elapsed: started.elapsed(),
+                        ..SynthesisStats::default()
+                    },
+                });
+            }
+        }
+
+        let alphabet = self
+            .config
+            .alphabet()
+            .cloned()
+            .unwrap_or_else(|| Alphabet::of_spec(spec));
+        let max_cost = self
+            .config
+            .max_cost()
+            .unwrap_or_else(|| spec.overfit_regex().cost(&costs));
+
+        let params = SearchParams {
+            spec,
+            alphabet,
+            costs,
+            memory_budget: self.config.memory_budget(),
+            allowed_errors,
+            max_cost,
+            started,
+        };
+        let stop = StopCheck {
+            deadline: self.config.time_budget().map(|budget| started + budget),
+            budget: self.config.time_budget().unwrap_or_default(),
+            cancel: Some(self.cancel.clone()),
+        };
+        let mut outcome = search::run(params, &*self.backend, observer, stop, &mut self.scratch);
+        match &mut outcome {
+            Ok(result) => result.stats.candidates_generated += candidates_checked,
+            Err(err) => {
+                if let Some(stats) = err.stats_mut() {
+                    stats.candidates_generated += candidates_checked;
+                }
+            }
+        }
+        outcome
+    }
+
+    fn note_outcome(&mut self, outcome: &Result<SynthesisResult, SynthesisError>) {
+        self.stats.runs += 1;
+        match outcome {
+            Ok(result) => {
+                self.stats.solved += 1;
+                self.stats.candidates_generated += result.stats.candidates_generated;
+                self.stats.unique_languages += result.stats.unique_languages;
+                self.stats.elapsed += result.stats.elapsed;
+            }
+            Err(err) => {
+                self.stats.failed += 1;
+                if let Some(stats) = err.stats() {
+                    self.stats.candidates_generated += stats.candidates_generated;
+                    self.stats.unique_languages += stats.unique_languages;
+                    self.stats.elapsed += stats.elapsed;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{BackendChoice, DeviceParallel};
+    use crate::observe::LevelLog;
+    use rei_syntax::CostFn;
+
+    fn intro_spec() -> Spec {
+        Spec::from_strs(
+            ["10", "101", "100", "1010", "1011", "1000", "1001"],
+            ["", "0", "1", "00", "11", "010"],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn invalid_config_fails_at_session_creation() {
+        let err = SynthSession::new(SynthConfig::default().with_allowed_error(1.5)).unwrap_err();
+        assert!(
+            matches!(err, SynthesisError::InvalidConfig { .. }),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn session_counts_runs_and_reuses_one_device() {
+        let specs = vec![
+            Spec::from_strs(["0", "00"], ["1", "10"]).unwrap(),
+            Spec::from_strs(["1", "11", "111"], ["", "0", "10"]).unwrap(),
+            intro_spec(),
+        ];
+        let config = SynthConfig::new(CostFn::UNIFORM)
+            .with_backend(BackendChoice::DeviceParallel { threads: Some(2) });
+        let mut session = SynthSession::new(config).unwrap();
+        let device = session
+            .device()
+            .expect("parallel backend owns a device")
+            .clone();
+
+        let results = session.run_batch(&specs);
+        assert_eq!(results.len(), 3);
+        assert!(results.iter().all(|r| r.is_ok()));
+        assert_eq!(session.stats().runs, 3);
+        assert_eq!(session.stats().solved, 3);
+        // All three runs hit the same device: its counters kept growing
+        // and the session still reports the very same instance.
+        assert!(device.stats().kernel_launches > 0);
+        assert_eq!(session.device().unwrap().stats(), device.stats());
+    }
+
+    #[test]
+    fn run_with_reports_levels_and_finish() {
+        let mut session = SynthSession::new(SynthConfig::default()).unwrap();
+        let mut log = LevelLog::default();
+        let result = session.run_with(&intro_spec(), &mut log).unwrap();
+        assert_eq!(result.regex.to_string(), "10(0+1)*");
+        assert!(!log.levels.is_empty());
+        assert!(log.levels.windows(2).all(|w| w[0].cost < w[1].cost));
+    }
+
+    #[test]
+    fn cancelled_session_fails_fast_until_reset() {
+        let mut session = SynthSession::new(SynthConfig::default()).unwrap();
+        let token = session.cancel_token();
+        token.cancel();
+        let err = session.run(&intro_spec()).unwrap_err();
+        assert!(matches!(err, SynthesisError::Cancelled { .. }), "{err:?}");
+        token.reset();
+        assert!(session.run(&intro_spec()).is_ok());
+        assert_eq!(session.stats().runs, 2);
+        assert_eq!(session.stats().failed, 1);
+    }
+
+    #[test]
+    fn custom_backend_device_is_shared() {
+        let device = Device::with_threads(2);
+        let backend = Box::new(DeviceParallel::with_device(device.clone()));
+        let mut session = SynthSession::with_backend(SynthConfig::default(), backend).unwrap();
+        session.run(&intro_spec()).unwrap();
+        assert!(device.stats().kernel_launches > 0);
+        assert_eq!(session.backend_name(), DeviceParallel::NAME);
+    }
+}

@@ -1,69 +1,67 @@
-//! The public synthesiser API.
+//! The one-shot synthesiser API, now a thin convenience wrapper around
+//! [`SynthSession`].
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use rei_lang::{Alphabet, Spec};
-use rei_syntax::{CostFn, Regex};
+use rei_syntax::CostFn;
 
-use crate::result::{SynthesisError, SynthesisResult, SynthesisStats};
-use crate::search::{self, SearchParams};
+use crate::config::SynthConfig;
+use crate::result::{SynthesisError, SynthesisResult};
+use crate::session::SynthSession;
+#[allow(deprecated)]
 use crate::Engine;
 
-/// Default memory budget for the language cache (bytes). The paper restricts
-/// both implementations to the 25 GB of the Colab CPU; the default here is
-/// sized for laptop-scale runs and can be raised with
-/// [`Synthesizer::with_memory_budget`].
-const DEFAULT_MEMORY_BUDGET: usize = 256 * 1024 * 1024;
-
-/// A configured Paresy synthesiser.
+/// A configured Paresy synthesiser for one-shot runs.
 ///
 /// A `Synthesizer` is constructed from a cost homomorphism and optional
-/// overrides (engine, memory budget, cost bound, allowed error, alphabet)
-/// and then applied to one or more specifications with
-/// [`Synthesizer::run`]. The synthesiser is stateless across runs.
+/// overrides and then applied to a specification with
+/// [`Synthesizer::run`]; it is stateless across runs. Internally every run
+/// creates a fresh [`SynthSession`] — when running many specifications,
+/// create one session yourself (via [`SynthConfig`]) so device setup and
+/// warm buffers are paid once.
 ///
 /// # Example
 ///
 /// ```
-/// use rei_core::{Engine, Synthesizer};
+/// use rei_core::Synthesizer;
 /// use rei_lang::Spec;
 /// use rei_syntax::CostFn;
 ///
 /// let spec = Spec::from_strs(["00", "0000"], ["", "0", "000"]).unwrap();
-/// let synth = Synthesizer::new(CostFn::UNIFORM).with_engine(Engine::parallel_with_threads(2));
-/// let result = synth.run(&spec).unwrap();
+/// let result = Synthesizer::new(CostFn::UNIFORM).run(&spec).unwrap();
 /// assert!(spec.is_satisfied_by(&result.regex));
 /// ```
 #[derive(Debug, Clone)]
 pub struct Synthesizer {
-    costs: CostFn,
+    config: SynthConfig,
+    /// Kept (rather than only a `BackendChoice`) so that
+    /// `with_engine(Engine::Parallel(device))` call sites retain their
+    /// device identity — the run's backend shares that exact device.
+    #[allow(deprecated)]
     engine: Engine,
-    memory_budget: usize,
-    max_cost: Option<u64>,
-    allowed_error: f64,
-    alphabet: Option<Alphabet>,
-    time_budget: Option<Duration>,
 }
 
 impl Synthesizer {
     /// Creates a synthesiser for the given cost homomorphism with default
-    /// settings: sequential engine, 256 MiB cache budget, no explicit cost
-    /// bound (the cost of the maximally overfitted expression is used), no
-    /// allowed error, alphabet inferred from the specification.
+    /// settings (see [`SynthConfig::new`]).
     pub fn new(costs: CostFn) -> Self {
+        #[allow(deprecated)]
         Synthesizer {
-            costs,
+            config: SynthConfig::new(costs),
             engine: Engine::Sequential,
-            memory_budget: DEFAULT_MEMORY_BUDGET,
-            max_cost: None,
-            allowed_error: 0.0,
-            alphabet: None,
-            time_budget: None,
         }
     }
 
     /// Selects the execution engine (sequential or data-parallel).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `SynthConfig::with_backend` and `SynthSession`, or keep `Synthesizer` \
+                and accept the default sequential backend"
+    )]
+    #[allow(deprecated)]
     pub fn with_engine(mut self, engine: Engine) -> Self {
+        self.config = self.config.with_backend(engine.to_choice());
         self.engine = engine;
         self
     }
@@ -72,132 +70,75 @@ impl Synthesizer {
     /// budget is exhausted the search switches to OnTheFly mode and may
     /// eventually fail with [`SynthesisError::OutOfMemory`].
     pub fn with_memory_budget(mut self, bytes: usize) -> Self {
-        self.memory_budget = bytes;
+        self.config = self.config.with_memory_budget(bytes);
         self
     }
 
     /// Bounds the search to expressions of cost at most `max_cost`
-    /// (`maxCost` in Algorithm 1). Without a bound, the cost of the
-    /// maximally overfitted union of all positive examples is used, which
-    /// always suffices for a precise solution.
+    /// (`maxCost` in Algorithm 1).
     pub fn with_max_cost(mut self, max_cost: u64) -> Self {
-        self.max_cost = Some(max_cost);
+        self.config = self.config.with_max_cost(max_cost);
         self
     }
 
     /// Sets the allowed error of the REI-with-error extension (§5.2): a
     /// fraction in `[0, 1]` of examples the result may misclassify.
     ///
-    /// # Panics
-    ///
-    /// Panics if `error` is not in `[0, 1]` or is not finite.
+    /// Out-of-range values no longer panic: they are reported by
+    /// [`Synthesizer::run`] as [`SynthesisError::InvalidConfig`], exactly
+    /// like [`SynthConfig::with_allowed_error`].
     pub fn with_allowed_error(mut self, error: f64) -> Self {
-        assert!(
-            error.is_finite() && (0.0..=1.0).contains(&error),
-            "allowed error must be a fraction in [0, 1]"
-        );
-        self.allowed_error = error;
+        self.config = self.config.with_allowed_error(error);
         self
     }
 
     /// Bounds the wall-clock time of a run. When exceeded the run fails
-    /// with [`SynthesisError::Timeout`]. This mirrors the 5-second timeout
-    /// the paper's evaluation applies to its random benchmark suite.
+    /// with [`SynthesisError::Timeout`].
     pub fn with_time_budget(mut self, budget: Duration) -> Self {
-        self.time_budget = Some(budget);
+        self.config = self.config.with_time_budget(budget);
         self
     }
 
     /// Overrides the alphabet. By default the alphabet is the set of
-    /// characters occurring in the examples; supplying a larger alphabet
-    /// lets the result mention characters the examples do not exhibit.
+    /// characters occurring in the examples.
     pub fn with_alphabet(mut self, alphabet: Alphabet) -> Self {
-        self.alphabet = Some(alphabet);
+        self.config = self.config.with_alphabet(alphabet);
         self
     }
 
     /// The cost homomorphism this synthesiser minimises against.
     pub fn costs(&self) -> &CostFn {
-        &self.costs
+        self.config.costs()
+    }
+
+    /// The underlying session configuration.
+    pub fn config(&self) -> &SynthConfig {
+        &self.config
     }
 
     /// The configured engine.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `config().backend()` / `SynthSession::backend`"
+    )]
+    #[allow(deprecated)]
     pub fn engine(&self) -> &Engine {
         &self.engine
     }
 
-    /// Runs regular expression inference on `spec`.
-    ///
-    /// On success the returned expression is *precise* (accepts all of `P`,
-    /// rejects all of `N`, up to the configured allowed error) and
-    /// *minimal* with respect to the cost homomorphism.
-    ///
-    /// # Errors
-    ///
-    /// * [`SynthesisError::NotFound`] if no expression within the cost
-    ///   bound satisfies the specification.
-    /// * [`SynthesisError::OutOfMemory`] if the language cache exceeded its
-    ///   memory budget and OnTheFly mode could not finish the search.
+    /// Runs regular expression inference on `spec` in a fresh one-shot
+    /// session. See [`SynthSession::run`] for the result contract.
     pub fn run(&self, spec: &Spec) -> Result<SynthesisResult, SynthesisError> {
-        let started = Instant::now();
-        let allowed_errors = self.allowed_example_errors(spec);
-
-        // Trivial candidates of minimal cost, checked before the search
-        // proper (lines 4-5 of Algorithm 1, generalised to allowed error).
-        let mut candidates_checked = 0u64;
-        for trivial in [Regex::Empty, Regex::Epsilon] {
-            candidates_checked += 1;
-            if spec.misclassified_by(&trivial) <= allowed_errors {
-                return Ok(SynthesisResult {
-                    cost: trivial.cost(&self.costs),
-                    regex: trivial,
-                    stats: SynthesisStats {
-                        candidates_generated: candidates_checked,
-                        unique_languages: candidates_checked,
-                        elapsed: started.elapsed(),
-                        ..SynthesisStats::default()
-                    },
-                });
-            }
-        }
-
-        let alphabet = self
-            .alphabet
-            .clone()
-            .unwrap_or_else(|| Alphabet::of_spec(spec));
-        let max_cost = self
-            .max_cost
-            .unwrap_or_else(|| spec.overfit_regex().cost(&self.costs));
-
-        let params = SearchParams {
-            spec,
-            alphabet,
-            costs: self.costs,
-            engine: &self.engine,
-            memory_budget: self.memory_budget,
-            allowed_errors,
-            max_cost,
-            time_budget: self.time_budget,
-            started,
-        };
-        let mut outcome = search::run(params);
-        match &mut outcome {
-            Ok(result) => result.stats.candidates_generated += candidates_checked,
-            Err(err) => match err {
-                SynthesisError::NotFound { stats, .. }
-                | SynthesisError::OutOfMemory { stats, .. }
-                | SynthesisError::Timeout { stats, .. } => {
-                    stats.candidates_generated += candidates_checked;
-                }
-            },
-        }
-        outcome
+        #[allow(deprecated)]
+        let backend = self.engine.to_backend();
+        let mut session = SynthSession::with_backend(self.config.clone(), backend)?;
+        session.run(spec)
     }
 
     /// Number of examples the result may misclassify under the configured
     /// allowed-error fraction.
     pub fn allowed_example_errors(&self, spec: &Spec) -> usize {
-        (self.allowed_error * spec.len() as f64).floor() as usize
+        self.config.allowed_example_errors(spec)
     }
 }
 
@@ -205,6 +146,7 @@ impl Synthesizer {
 mod tests {
     use super::*;
     use rei_lang::Word;
+    use rei_syntax::Regex;
 
     fn uniform() -> Synthesizer {
         Synthesizer::new(CostFn::UNIFORM)
@@ -248,12 +190,10 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn sequential_and_parallel_agree() {
-        let spec = Spec::from_strs(
-            ["1", "011", "1011", "11011"],
-            ["", "10", "101", "0011"],
-        )
-        .unwrap();
+        let spec =
+            Spec::from_strs(["1", "011", "1011", "11011"], ["", "10", "101", "0011"]).unwrap();
         let sequential = uniform().run(&spec).unwrap();
         let parallel = uniform()
             .with_engine(Engine::parallel_with_threads(4))
@@ -261,7 +201,10 @@ mod tests {
             .unwrap();
         assert!(spec.is_satisfied_by(&sequential.regex));
         assert!(spec.is_satisfied_by(&parallel.regex));
-        assert_eq!(sequential.cost, parallel.cost, "both engines must be minimal");
+        assert_eq!(
+            sequential.cost, parallel.cost,
+            "both engines must be minimal"
+        );
     }
 
     #[test]
@@ -319,9 +262,17 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "allowed error")]
-    fn allowed_error_out_of_range_panics() {
-        let _ = uniform().with_allowed_error(1.5);
+    fn allowed_error_out_of_range_is_invalid_config() {
+        // The old builder panicked here; the config-validated API reports
+        // the problem as a recoverable error instead.
+        let spec = Spec::from_strs(["0"], ["1"]).unwrap();
+        for bad in [1.5, -0.5, f64::NAN] {
+            let err = uniform().with_allowed_error(bad).run(&spec).unwrap_err();
+            assert!(
+                matches!(err, SynthesisError::InvalidConfig { .. }),
+                "expected InvalidConfig for {bad}, got {err:?}"
+            );
+        }
     }
 
     #[test]

@@ -97,7 +97,10 @@ pub struct Cs {
 impl Cs {
     /// The all-zero sequence (the empty language `∅`).
     pub fn zero(width: CsWidth) -> Self {
-        Cs { width, blocks: vec![0; width.blocks()] }
+        Cs {
+            width,
+            blocks: vec![0; width.blocks()],
+        }
     }
 
     /// Builds a sequence from raw blocks.
@@ -162,18 +165,21 @@ impl Cs {
 
     /// Iterates over the indices of set bits in ascending order.
     pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
-        self.blocks.iter().enumerate().flat_map(|(block_idx, &block)| {
-            let mut bits = block;
-            std::iter::from_fn(move || {
-                if bits == 0 {
-                    None
-                } else {
-                    let tz = bits.trailing_zeros() as usize;
-                    bits &= bits - 1;
-                    Some(block_idx * 64 + tz)
-                }
+        self.blocks
+            .iter()
+            .enumerate()
+            .flat_map(|(block_idx, &block)| {
+                let mut bits = block;
+                std::iter::from_fn(move || {
+                    if bits == 0 {
+                        None
+                    } else {
+                        let tz = bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
+                        Some(block_idx * 64 + tz)
+                    }
+                })
             })
-        })
     }
 
     /// Union of two languages (bitwise or). This is the `+` of the IPS
@@ -190,7 +196,10 @@ impl Cs {
             .zip(&other.blocks)
             .map(|(a, b)| a | b)
             .collect();
-        Cs { width: self.width, blocks }
+        Cs {
+            width: self.width,
+            blocks,
+        }
     }
 
     /// Intersection of two languages (bitwise and).
@@ -206,7 +215,10 @@ impl Cs {
             .zip(&other.blocks)
             .map(|(a, b)| a & b)
             .collect();
-        Cs { width: self.width, blocks }
+        Cs {
+            width: self.width,
+            blocks,
+        }
     }
 
     /// Returns `true` if every set bit of `self` is also set in `other`.

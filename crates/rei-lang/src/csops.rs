@@ -148,7 +148,13 @@ pub fn concat_into_unstaged(dst: &mut [u64], a: &[u64], b: &[u64], ic: &crate::I
 /// # Panics
 ///
 /// Panics if `dst` and `scratch` have different lengths.
-pub fn star_into(dst: &mut [u64], a: &[u64], guide: &GuideTable, eps_index: usize, scratch: &mut [u64]) {
+pub fn star_into(
+    dst: &mut [u64],
+    a: &[u64],
+    guide: &GuideTable,
+    eps_index: usize,
+    scratch: &mut [u64],
+) {
     assert_eq!(dst.len(), scratch.len(), "scratch must match dst length");
     clear(dst);
     set_bit(dst, eps_index);
@@ -285,7 +291,12 @@ mod tests {
     #[test]
     fn unstaged_concat_agrees_with_staged_concat() {
         let (ic, gt) = setup(&example_spec());
-        for (ea, eb) in [("0", "1"), ("1(0+1)?", "(0+1)1"), ("(0?1)*", "1"), ("∅", "01")] {
+        for (ea, eb) in [
+            ("0", "1"),
+            ("1(0+1)?", "(0+1)1"),
+            ("(0?1)*", "1"),
+            ("∅", "01"),
+        ] {
             let a = ic.cs_of_regex(&parse(ea).unwrap());
             let b = ic.cs_of_regex(&parse(eb).unwrap());
             let mut staged = Cs::zero(ic.width());
@@ -332,7 +343,13 @@ mod tests {
         let mut scratch = vec![0u64; width.blocks()];
         let mut dst = Cs::zero(width);
         // ∅* = {ε}
-        star_into(dst.blocks_mut(), Cs::zero(width).blocks(), &gt, eps_idx, &mut scratch);
+        star_into(
+            dst.blocks_mut(),
+            Cs::zero(width).blocks(),
+            &gt,
+            eps_idx,
+            &mut scratch,
+        );
         assert_eq!(dst, ic.cs_of_epsilon());
     }
 

@@ -35,7 +35,9 @@ mod tests {
 
     #[test]
     fn display_names_the_witness() {
-        let e = SpecError::Contradictory { word: Word::from("01") };
+        let e = SpecError::Contradictory {
+            word: Word::from("01"),
+        };
         assert!(e.to_string().contains("'01'"));
     }
 }

@@ -104,8 +104,8 @@ mod tests {
 
     #[test]
     fn splits_count_is_length_plus_one() {
-        let spec = Spec::from_strs(["1", "011", "1011", "11011"], ["", "10", "101", "0011"])
-            .unwrap();
+        let spec =
+            Spec::from_strs(["1", "011", "1011", "11011"], ["", "10", "101", "0011"]).unwrap();
         let ic = InfixClosure::of_spec(&spec);
         let gt = GuideTable::build(&ic);
         assert_eq!(gt.num_words(), ic.len());
@@ -130,8 +130,8 @@ mod tests {
     fn paper_guide_table_example() {
         // Section 3 of the paper: the guide-table row for "110" contains a
         // split into "11" and "0".
-        let spec = Spec::from_strs(["1", "011", "1011", "11011"], ["", "10", "101", "0011"])
-            .unwrap();
+        let spec =
+            Spec::from_strs(["1", "011", "1011", "11011"], ["", "10", "101", "0011"]).unwrap();
         let ic = InfixClosure::of_spec(&spec);
         let gt = GuideTable::build(&ic);
         let w = ic.index_of(&Word::from("110")).unwrap();

@@ -186,7 +186,11 @@ mod tests {
             "00", "0", "ε",
         ];
         expected.sort_by_key(|s| {
-            let w = if *s == "ε" { Word::epsilon() } else { Word::from(*s) };
+            let w = if *s == "ε" {
+                Word::epsilon()
+            } else {
+                Word::from(*s)
+            };
             (w.len(), w.chars().to_vec())
         });
         assert_eq!(rendered, expected);

@@ -123,7 +123,10 @@ mod tests {
         assert!(masks.is_satisfied(overfit.blocks()));
         let everything = ic.cs_of_regex(&parse("(0+1)*").unwrap());
         assert!(!masks.is_satisfied(everything.blocks()));
-        assert_eq!(masks.misclassified(everything.blocks()), spec.num_negative());
+        assert_eq!(
+            masks.misclassified(everything.blocks()),
+            spec.num_negative()
+        );
         let nothing = Cs::zero(ic.width());
         assert_eq!(masks.misclassified(nothing.blocks()), spec.num_positive());
     }
@@ -145,7 +148,15 @@ mod tests {
     #[test]
     fn masks_agree_with_oracle_on_sampled_expressions() {
         let (spec, ic, masks) = setup();
-        for expr in ["10", "1(0+1)*", "10(0+1)*", "(0+1)*0", "10?(0+1)*", "∅", "ε"] {
+        for expr in [
+            "10",
+            "1(0+1)*",
+            "10(0+1)*",
+            "(0+1)*0",
+            "10?(0+1)*",
+            "∅",
+            "ε",
+        ] {
             let r = parse(expr).unwrap();
             let cs = ic.cs_of_regex(&r);
             assert_eq!(

@@ -175,7 +175,12 @@ mod tests {
     #[test]
     fn overlapping_examples_are_rejected() {
         let err = Spec::from_strs(["0", "1"], ["1", "00"]).unwrap_err();
-        assert_eq!(err, SpecError::Contradictory { word: Word::from("1") });
+        assert_eq!(
+            err,
+            SpecError::Contradictory {
+                word: Word::from("1")
+            }
+        );
     }
 
     #[test]

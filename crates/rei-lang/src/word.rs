@@ -72,9 +72,7 @@ impl Word {
     pub fn infixes(&self) -> impl Iterator<Item = Word> + '_ {
         let n = self.len();
         std::iter::once(Word::epsilon()).chain(
-            (0..n).flat_map(move |start| {
-                (start + 1..=n).map(move |end| self.infix(start, end))
-            }),
+            (0..n).flat_map(move |start| (start + 1..=n).map(move |end| self.infix(start, end))),
         )
     }
 

@@ -57,7 +57,13 @@ impl CostFn {
             literal > 0 && question > 0 && star > 0 && concat > 0 && union > 0,
             "cost homomorphism components must be strictly positive"
         );
-        CostFn { literal, question, star, concat, union }
+        CostFn {
+            literal,
+            question,
+            star,
+            concat,
+            union,
+        }
     }
 
     /// Creates a cost homomorphism from a 5-element array in the paper's
@@ -68,7 +74,13 @@ impl CostFn {
 
     /// Returns the 5-tuple `(literal, question, star, concat, union)`.
     pub const fn as_tuple(&self) -> [u64; 5] {
-        [self.literal, self.question, self.star, self.concat, self.union]
+        [
+            self.literal,
+            self.question,
+            self.star,
+            self.concat,
+            self.union,
+        ]
     }
 
     /// The smallest additional cost of any unary or binary constructor.
@@ -77,7 +89,10 @@ impl CostFn {
     /// below the target cost the operands of a new language can lie (paper,
     /// Section 3, "OnTheFly mode").
     pub fn min_constructor_cost(&self) -> u64 {
-        self.question.min(self.star).min(self.concat).min(self.union)
+        self.question
+            .min(self.star)
+            .min(self.concat)
+            .min(self.union)
     }
 
     /// The largest component of the tuple; useful for sizing caches.

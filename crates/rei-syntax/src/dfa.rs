@@ -93,7 +93,12 @@ impl Dfa {
                 transitions[current_id][symbol_index] = next_id;
             }
         }
-        Dfa { alphabet, transitions, accepting, start: 0 }
+        Dfa {
+            alphabet,
+            transitions,
+            accepting,
+            start: 0,
+        }
     }
 
     /// The alphabet the automaton is complete over.
@@ -137,7 +142,10 @@ impl Dfa {
     ///
     /// Panics if the two automata have different alphabets.
     pub fn product<F: Fn(bool, bool) -> bool>(&self, other: &Dfa, combine: F) -> Dfa {
-        assert_eq!(self.alphabet, other.alphabet, "product requires a common alphabet");
+        assert_eq!(
+            self.alphabet, other.alphabet,
+            "product requires a common alphabet"
+        );
         let columns = other.state_count();
         let mut transitions = Vec::with_capacity(self.state_count() * columns);
         let mut accepting = Vec::with_capacity(self.state_count() * columns);
@@ -234,8 +242,11 @@ impl Dfa {
             }
         }
         // Initial partition: accepting vs rejecting (reachable only).
-        let mut class: Vec<usize> =
-            self.accepting.iter().map(|&a| if a { 1 } else { 0 }).collect();
+        let mut class: Vec<usize> = self
+            .accepting
+            .iter()
+            .map(|&a| if a { 1 } else { 0 })
+            .collect();
         loop {
             // Signature of a state: its class plus the classes of all
             // successors.
@@ -379,7 +390,9 @@ mod tests {
         let both = ends_zero.intersection(&starts_one);
         assert!(both.accepts("10".chars()));
         assert!(!both.accepts("01".chars()));
-        let neither = ends_zero.complement().intersection(&starts_one.complement());
+        let neither = ends_zero
+            .complement()
+            .intersection(&starts_one.complement());
         assert!(neither.accepts("01".chars()));
         assert!(!neither.accepts("10".chars()));
     }

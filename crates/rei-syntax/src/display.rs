@@ -112,21 +112,14 @@ mod tests {
 
     #[test]
     fn question_prints_postfix() {
-        let r = Regex::concat(
-            Regex::literal('0').question(),
-            Regex::literal('1'),
-        )
-        .star();
+        let r = Regex::concat(Regex::literal('0').question(), Regex::literal('1')).star();
         assert_eq!(r.to_string(), "(0?1)*");
     }
 
     #[test]
     fn paper_intro_expression() {
         // 10(0+1)* from the introduction of the paper.
-        let r = Regex::concat(
-            Regex::word("10".chars()),
-            Regex::any_of(['0', '1']).star(),
-        );
+        let r = Regex::concat(Regex::word("10".chars()), Regex::any_of(['0', '1']).star());
         assert_eq!(r.to_string(), "10(0+1)*");
     }
 }

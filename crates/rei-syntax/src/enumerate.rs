@@ -29,11 +29,7 @@ use crate::{CostFn, Regex};
 /// // Cost 1: 0, 1. Cost 2: 0?, 0*, 1?, 1*. Cost 3 adds binary combinations.
 /// assert!(all.iter().any(|(cost, r)| *cost == 3 && r.to_string() == "0+1"));
 /// ```
-pub fn expressions_up_to(
-    alphabet: &[char],
-    costs: &CostFn,
-    max_cost: u64,
-) -> Vec<(u64, Regex)> {
+pub fn expressions_up_to(alphabet: &[char], costs: &CostFn, max_cost: u64) -> Vec<(u64, Regex)> {
     let mut by_cost: BTreeMap<u64, Vec<Regex>> = BTreeMap::new();
     if costs.literal <= max_cost {
         by_cost.insert(
@@ -58,7 +54,9 @@ pub fn expressions_up_to(
         }
         // Binary constructors.
         for (constructor_cost, is_union) in [(costs.concat, false), (costs.union, true)] {
-            let Some(remaining) = cost.checked_sub(constructor_cost) else { continue };
+            let Some(remaining) = cost.checked_sub(constructor_cost) else {
+                continue;
+            };
             if remaining < 2 * costs.literal {
                 continue;
             }
@@ -108,7 +106,9 @@ pub fn count_up_to(alphabet: &[char], costs: &CostFn, max_cost: u64) -> u64 {
             level += counts.get(&c).copied().unwrap_or(0);
         }
         for constructor_cost in [costs.concat, costs.union] {
-            let Some(remaining) = cost.checked_sub(constructor_cost) else { continue };
+            let Some(remaining) = cost.checked_sub(constructor_cost) else {
+                continue;
+            };
             if remaining < 2 * costs.literal {
                 continue;
             }
@@ -132,8 +132,7 @@ mod tests {
     #[test]
     fn smallest_levels_are_exactly_right() {
         let all = expressions_up_to(&['0', '1'], &CostFn::UNIFORM, 2);
-        let rendered: Vec<(u64, String)> =
-            all.iter().map(|(c, r)| (*c, r.to_string())).collect();
+        let rendered: Vec<(u64, String)> = all.iter().map(|(c, r)| (*c, r.to_string())).collect();
         assert_eq!(
             rendered,
             vec![

@@ -17,7 +17,10 @@ pub struct ParseError {
 
 impl ParseError {
     pub(crate) fn new(offset: usize, message: impl Into<String>) -> Self {
-        ParseError { offset, message: message.into() }
+        ParseError {
+            offset,
+            message: message.into(),
+        }
     }
 }
 

@@ -148,9 +148,18 @@ mod tests {
 
     #[test]
     fn smart_constructors_collapse_units() {
-        assert_eq!(smart_concat(Regex::Empty, Regex::literal('a')), Regex::Empty);
-        assert_eq!(smart_concat(Regex::Epsilon, Regex::literal('a')), Regex::literal('a'));
-        assert_eq!(smart_union(Regex::Empty, Regex::literal('a')), Regex::literal('a'));
+        assert_eq!(
+            smart_concat(Regex::Empty, Regex::literal('a')),
+            Regex::Empty
+        );
+        assert_eq!(
+            smart_concat(Regex::Epsilon, Regex::literal('a')),
+            Regex::literal('a')
+        );
+        assert_eq!(
+            smart_union(Regex::Empty, Regex::literal('a')),
+            Regex::literal('a')
+        );
         assert_eq!(
             smart_union(Regex::literal('a'), Regex::literal('a')),
             Regex::literal('a')

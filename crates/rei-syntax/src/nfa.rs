@@ -49,9 +49,15 @@ impl Nfa {
     /// Compiles a regular expression into an NFA using Thompson's
     /// construction. The automaton has `O(|r|)` states.
     pub fn compile(regex: &Regex) -> Self {
-        let mut builder = Builder { transitions: Vec::new() };
+        let mut builder = Builder {
+            transitions: Vec::new(),
+        };
         let (start, accept) = builder.build(regex);
-        Nfa { transitions: builder.transitions, start, accept }
+        Nfa {
+            transitions: builder.transitions,
+            start,
+            accept,
+        }
     }
 
     /// Number of states of the automaton.
@@ -88,7 +94,10 @@ impl Nfa {
     /// small alphabets only.
     pub fn enumerate_up_to(&self, alphabet: &[char], max_len: usize) -> Vec<String> {
         let mut out = Vec::new();
-        let mut frontier = vec![(String::new(), self.eps_closure([self.start].into_iter().collect()))];
+        let mut frontier = vec![(
+            String::new(),
+            self.eps_closure([self.start].into_iter().collect()),
+        )];
         if frontier[0].1.contains(&self.accept) {
             out.push(String::new());
         }

@@ -54,7 +54,10 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn new(input: &'a str) -> Self {
-        Parser { input, chars: input.char_indices().peekable() }
+        Parser {
+            input,
+            chars: input.char_indices().peekable(),
+        }
     }
 
     fn peek(&mut self) -> Option<(usize, char)> {
@@ -124,7 +127,10 @@ impl<'a> Parser<'a> {
     fn atom(&mut self) -> Result<Regex, ParseError> {
         self.skip_ws();
         match self.bump() {
-            None => Err(ParseError::new(self.eof_offset(), "unexpected end of input")),
+            None => Err(ParseError::new(
+                self.eof_offset(),
+                "unexpected end of input",
+            )),
             Some((off, '(')) => {
                 let inner = self.union()?;
                 self.skip_ws();

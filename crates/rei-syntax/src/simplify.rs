@@ -92,7 +92,10 @@ mod tests {
 
     #[test]
     fn question_of_nullable_is_dropped() {
-        assert_eq!(simplify(&parse("(ab?)?").unwrap()), parse("(ab?)?").unwrap());
+        assert_eq!(
+            simplify(&parse("(ab?)?").unwrap()),
+            parse("(ab?)?").unwrap()
+        );
         assert_eq!(simplify(&parse("(a?b?)?").unwrap()), parse("a?b?").unwrap());
     }
 

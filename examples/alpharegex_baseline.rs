@@ -22,7 +22,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for task in easy_tasks(8) {
         let spec = task.spec();
 
-        let alpha_config = AlphaRegexConfig { use_wildcard: task.wildcard, ..Default::default() };
+        let alpha_config = AlphaRegexConfig {
+            use_wildcard: task.wildcard,
+            ..Default::default()
+        };
         let started = Instant::now();
         let alpha = AlphaRegex::with_config(alpha_config).run(&spec)?;
         let alpha_secs = started.elapsed().as_secs_f64();
@@ -41,7 +44,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             paresy_secs,
             alpha.cost,
             paresy.cost,
-            if alpha.cost > paresy.cost { "  (AlphaRegex not minimal)" } else { "" }
+            if alpha.cost > paresy.cost {
+                "  (AlphaRegex not minimal)"
+            } else {
+                ""
+            }
         );
     }
     Ok(())

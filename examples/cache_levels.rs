@@ -18,7 +18,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("specification : {spec}");
     println!("result        : {} (cost {})\n", result.regex, result.cost);
-    println!("{:>5} {:>12} {:>10} {:>10} {:>10}", "cost", "candidates", "unique", "cached", "dupl. %");
+    println!(
+        "{:>5} {:>12} {:>10} {:>10} {:>10}",
+        "cost", "candidates", "unique", "cached", "dupl. %"
+    );
     for level in &result.stats.levels {
         let duplicates = level.candidates.saturating_sub(level.unique);
         let duplicate_percent = if level.candidates == 0 {

@@ -12,18 +12,28 @@ use paresy::prelude::*;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The specification of Section 5.2 (the top row of Table 1).
     let spec = Spec::from_strs(
-        ["00", "1101", "0001", "0111", "001", "1", "10", "1100", "111", "1010"],
-        ["", "0", "0000", "0011", "01", "010", "011", "100", "1000", "1001", "11", "1110"],
+        [
+            "00", "1101", "0001", "0111", "001", "1", "10", "1100", "111", "1010",
+        ],
+        [
+            "", "0", "0000", "0011", "01", "010", "011", "100", "1000", "1001", "11", "1110",
+        ],
     )?;
 
-    println!("{:<14} {:>12} {:<22} {:>8}", "allowed error", "#REs", "RE", "cost");
+    println!(
+        "{:<14} {:>12} {:<22} {:>8}",
+        "allowed error", "#REs", "RE", "cost"
+    );
     for percent in [15u32, 20, 25, 30, 35, 40, 45, 50] {
         let synthesizer =
             Synthesizer::new(CostFn::UNIFORM).with_allowed_error(f64::from(percent) / 100.0);
         let result = synthesizer.run(&spec)?;
         println!(
             "{:>12} % {:>12} {:<22} {:>8}",
-            percent, result.stats.candidates_generated, result.regex.to_string(), result.cost
+            percent,
+            result.stats.candidates_generated,
+            result.regex.to_string(),
+            result.cost
         );
 
         // The result misclassifies at most the allowed fraction of examples.

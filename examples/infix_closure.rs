@@ -49,7 +49,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let masks = SatisfyMasks::new(&spec, &ic);
     println!("\npositive mask : {}", masks.positive());
     println!("negative mask : {}", masks.negative());
-    println!("(0?1)*1 satisfies the spec: {}", masks.is_satisfied(cs.blocks()));
+    println!(
+        "(0?1)*1 satisfies the spec: {}",
+        masks.is_satisfied(cs.blocks())
+    );
 
     // And the synthesiser indeed recovers a minimal expression.
     let result = Synthesizer::new(CostFn::UNIFORM).run(&spec)?;

@@ -1,4 +1,5 @@
-//! Quickstart: infer `10(0+1)*` from the paper's introductory example.
+//! Quickstart: infer `10(0+1)*` from the paper's introductory example
+//! through the session API.
 //!
 //! Run with:
 //!
@@ -15,16 +16,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ["", "0", "1", "00", "11", "010"],
     )?;
 
-    // A synthesiser with the uniform cost homomorphism (1, 1, 1, 1, 1).
-    let synthesizer = Synthesizer::new(CostFn::UNIFORM);
-    let result = synthesizer.run(&spec)?;
+    // A serializable configuration: uniform cost homomorphism
+    // (1, 1, 1, 1, 1), default sequential backend. Invalid settings are
+    // reported as `SynthesisError::InvalidConfig`, not panics.
+    let config = SynthConfig::new(CostFn::UNIFORM);
+    println!("config        : {config}");
 
+    // The session is created once and can serve many specifications.
+    let mut session = SynthSession::new(config)?;
+    let result = session.run(&spec)?;
+
+    println!("backend       : {}", session.backend_name());
     println!("specification : {spec}");
     println!("inferred      : {}", result.regex);
     println!("cost          : {}", result.cost);
     println!("candidates    : {}", result.stats.candidates_generated);
     println!("unique langs  : {}", result.stats.unique_languages);
     println!("elapsed       : {:.2?}", result.stats.elapsed);
+
+    // Follow-up requests reuse the warm session.
+    let more = Spec::from_strs(["0", "00", "000"], ["", "01", "1"])?;
+    let second = session.run(&more)?;
+    println!(
+        "second result : {} (session runs: {})",
+        second.regex,
+        session.stats().runs
+    );
 
     assert_eq!(result.regex.to_string(), "10(0+1)*");
     Ok(())

@@ -37,7 +37,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert!(spec.is_satisfied_by(&result.regex));
     // …and generalises to unseen readings of the same shape.
     for fresh in ["-1", "+21"] {
-        println!("unseen '{fresh}' accepted: {}", result.regex.accepts(fresh.chars()));
+        println!(
+            "unseen '{fresh}' accepted: {}",
+            result.regex.accepts(fresh.chars())
+        );
     }
     Ok(())
 }

@@ -1,0 +1,254 @@
+//! A dependency-free stand-in for the subset of `criterion` this workspace
+//! uses: `criterion_group!` / `criterion_main!`, benchmark groups,
+//! `bench_function` / `bench_with_input`, `Bencher::iter` /
+//! `iter_batched`, `BenchmarkId` and `BatchSize`.
+//!
+//! No statistics, plots or baselines — each benchmark is warmed once and
+//! then timed over a small fixed window, and the mean per-iteration time is
+//! printed. The point is that `cargo bench` compiles and produces an
+//! order-of-magnitude signal offline; real measurement runs should use the
+//! actual criterion crate when a registry is available.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// How long each benchmark is measured for (after one warm-up call).
+const MEASURE_WINDOW: Duration = Duration::from_millis(200);
+
+/// Hint for how setup results are batched in [`Bencher::iter_batched`].
+/// The shim runs one setup per iteration regardless.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter rendering.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id consisting only of a parameter rendering.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(id: &str) -> Self {
+        BenchmarkId { id: id.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Passed to benchmark closures; runs and times the measured routine.
+pub struct Bencher {
+    iterations: u64,
+    total: Duration,
+}
+
+impl Bencher {
+    fn new() -> Self {
+        Bencher {
+            iterations: 0,
+            total: Duration::ZERO,
+        }
+    }
+
+    /// Times `routine` repeatedly within the measurement window.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        std::hint::black_box(routine()); // warm-up, excluded from timing
+        let started = Instant::now();
+        while started.elapsed() < MEASURE_WINDOW {
+            let t0 = Instant::now();
+            std::hint::black_box(routine());
+            self.total += t0.elapsed();
+            self.iterations += 1;
+        }
+    }
+
+    /// Times `routine` on fresh inputs produced by `setup`; only the
+    /// routine is timed.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        std::hint::black_box(routine(setup())); // warm-up
+        let started = Instant::now();
+        while started.elapsed() < MEASURE_WINDOW {
+            let input = setup();
+            let t0 = Instant::now();
+            std::hint::black_box(routine(input));
+            self.total += t0.elapsed();
+            self.iterations += 1;
+        }
+    }
+
+    fn report(&self, label: &str) {
+        if self.iterations == 0 {
+            println!("{label:<50} (no iterations completed)");
+        } else {
+            let mean = self.total / self.iterations as u32;
+            println!(
+                "{label:<50} {mean:>12.2?}/iter  ({} iters)",
+                self.iterations
+            );
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for compatibility; the shim ignores sample counts.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for compatibility; the shim uses a fixed window.
+    pub fn measurement_time(&mut self, _window: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<I, F>(&mut self, id: I, mut body: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into());
+        let mut bencher = Bencher::new();
+        body(&mut bencher);
+        bencher.report(&label);
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I, D, F>(&mut self, id: I, input: &D, mut body: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher, &D),
+    {
+        let label = format!("{}/{}", self.name, id.into());
+        let mut bencher = Bencher::new();
+        body(&mut bencher, input);
+        bencher.report(&label);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// The top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== bench group: {name}");
+        BenchmarkGroup {
+            name,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a top-level benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: &str, mut body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::new();
+        body(&mut bencher);
+        bencher.report(id);
+        self
+    }
+}
+
+/// Re-export for code that uses `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Bundles benchmark functions into a group runner, mirroring criterion's
+/// macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_run_their_benchmarks() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        let mut runs = 0u64;
+        group.sample_size(10).bench_function("count", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("param", 3), &3u64, |b, &x| {
+            b.iter_batched(|| x, |v| v * 2, BatchSize::SmallInput)
+        });
+        group.finish();
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn ids_render() {
+        assert_eq!(BenchmarkId::new("f", 8).to_string(), "f/8");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}

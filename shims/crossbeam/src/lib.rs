@@ -1,0 +1,182 @@
+//! A dependency-free stand-in for the parts of the `crossbeam` facade this
+//! workspace uses: [`scope`] (scoped threads, built on [`std::thread::scope`])
+//! and [`channel::unbounded`] (an MPMC queue over a mutex + condvar).
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! this minimal API-compatible subset instead. Only the call shapes exercised
+//! by `gpu-sim` are provided.
+
+#![forbid(unsafe_code)]
+
+use std::any::Any;
+
+/// The error half of [`scope`]'s result. With the std-backed implementation a
+/// worker panic propagates out of [`std::thread::scope`] directly, so this is
+/// never actually constructed; it exists for API compatibility.
+pub type ScopeError = Box<dyn Any + Send + 'static>;
+
+/// A handle for spawning threads scoped to the enclosing [`scope`] call.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. As in crossbeam, the closure receives the
+    /// scope itself so it can spawn further threads.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || f(&Scope { inner }))
+    }
+}
+
+/// Creates a scope in which spawned threads may borrow from the enclosing
+/// stack frame; all threads are joined before `scope` returns.
+pub fn scope<'env, F, R>(f: F) -> Result<R, ScopeError>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+pub mod channel {
+    //! An unbounded multi-producer multi-consumer channel.
+
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct State<T> {
+        items: VecDeque<T>,
+        senders: usize,
+    }
+
+    struct Shared<T> {
+        state: Mutex<State<T>>,
+        ready: Condvar,
+    }
+
+    /// The sending half; cloning adds a sender.
+    pub struct Sender<T>(Arc<Shared<T>>);
+
+    /// The receiving half; cloning adds a consumer of the same queue.
+    pub struct Receiver<T>(Arc<Shared<T>>);
+
+    /// Returned by [`Sender::send`] when every receiver is gone.
+    pub struct SendError<T>(pub T);
+
+    /// Returned by [`Receiver::recv`] when the queue is empty and every
+    /// sender is gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                items: VecDeque::new(),
+                senders: 1,
+            }),
+            ready: Condvar::new(),
+        });
+        (Sender(Arc::clone(&shared)), Receiver(shared))
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues a value, waking one blocked receiver.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut state = self.0.state.lock().unwrap_or_else(|e| e.into_inner());
+            state.items.push_back(value);
+            drop(state);
+            self.0.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            let mut state = self.0.state.lock().unwrap_or_else(|e| e.into_inner());
+            state.senders += 1;
+            drop(state);
+            Sender(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut state = self.0.state.lock().unwrap_or_else(|e| e.into_inner());
+            state.senders -= 1;
+            let disconnected = state.senders == 0;
+            drop(state);
+            if disconnected {
+                self.0.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a value is available or every sender has been
+        /// dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut state = self.0.state.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(value) = state.items.pop_front() {
+                    return Ok(value);
+                }
+                if state.senders == 0 {
+                    return Err(RecvError);
+                }
+                state = self.0.ready.wait(state).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver(Arc::clone(&self.0))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoped_threads_join_and_return() {
+        let mut data = [0u64; 8];
+        let chunks: Vec<&mut u64> = data.iter_mut().collect();
+        scope(|s| {
+            for (i, slot) in chunks.into_iter().enumerate() {
+                s.spawn(move |_| *slot = i as u64);
+            }
+        })
+        .unwrap();
+        assert_eq!(data, [0, 1, 2, 3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn channel_drains_after_senders_drop() {
+        let (tx, rx) = channel::unbounded();
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let mut sum = 0;
+        let rx2 = rx.clone();
+        while let Ok(v) = rx2.recv() {
+            sum += v;
+        }
+        assert_eq!(sum, (0..100).sum::<i32>());
+        assert_eq!(rx.recv(), Err(channel::RecvError));
+    }
+}

@@ -1,0 +1,595 @@
+//! A dependency-free stand-in for the subset of `proptest` this workspace
+//! uses. The build environment has no crates.io access, so this shim
+//! re-implements the *API surface* — `proptest!`, `prop_assert!`,
+//! `prop_assert_eq!`, `prop_oneof!`, `Strategy` with `prop_map` /
+//! `prop_recursive`, `Just`, integer-range and character-class string
+//! strategies, and `collection::{vec, btree_set}` — over a deterministic
+//! SplitMix64 generator.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **No shrinking.** A failing case reports its inputs (via the
+//!   `prop_assert*` message) but is not minimised.
+//! * **Deterministic seeds.** Cases are derived from a hash of the test
+//!   name, so a failure reproduces on every run.
+//! * **String strategies** support exactly the character-class pattern
+//!   `"[chars]{lo,hi}"` used in this workspace, not full regex syntax.
+
+#![forbid(unsafe_code)]
+
+/// The deterministic generator threaded through all strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        TestRng {
+            state: seed ^ 0x5851_F42D_4C95_7F2D,
+        }
+    }
+
+    /// The next raw 64-bit value (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform index in `0..n`. Panics if `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "cannot sample an index from an empty domain");
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// Hashes a test name into a stable per-test seed (FNV-1a).
+#[doc(hidden)]
+pub fn seed_of_name(name: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for byte in name.bytes() {
+        h = (h ^ byte as u64).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+pub mod test_runner {
+    //! Configuration and failure reporting.
+
+    /// Run configuration; only `cases` is honoured by the shim.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases to execute per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // Real proptest defaults to 256; the shim trades a little
+            // coverage for suite latency.
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// A property failure, produced by the `prop_assert*` macros or
+    /// [`TestCaseError::fail`].
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError(String);
+
+    impl TestCaseError {
+        /// A failure with the given message.
+        pub fn fail(message: impl std::fmt::Display) -> Self {
+            TestCaseError(message.to_string())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// The result type of one property case.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+}
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use std::ops::{Range, RangeInclusive};
+    use std::rc::Rc;
+
+    use crate::TestRng;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy: Clone {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `map`.
+        fn prop_map<O, F>(self, map: F) -> Map<Self, F>
+        where
+            F: Fn(Self::Value) -> O + Clone,
+            Self: Sized,
+        {
+            Map { inner: self, map }
+        }
+
+        /// Type-erases the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Rc::new(self))
+        }
+
+        /// Builds a recursive strategy: `self` is the leaf case and
+        /// `recurse` wraps an inner strategy into the branch cases. The
+        /// shim unrolls `depth` levels, choosing leaf or branch with equal
+        /// probability at each level; `_desired_size` and
+        /// `_expected_branch_size` are accepted for API compatibility.
+        fn prop_recursive<F, S2>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            S2: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> S2,
+        {
+            let leaf = self.boxed();
+            let mut current = leaf.clone();
+            for _ in 0..depth {
+                let branch = recurse(current).boxed();
+                current = one_of(vec![leaf.clone(), branch]).boxed();
+            }
+            current
+        }
+    }
+
+    trait ErasedStrategy<T> {
+        fn erased_generate(&self, rng: &mut TestRng) -> T;
+    }
+
+    impl<S: Strategy> ErasedStrategy<S::Value> for S {
+        fn erased_generate(&self, rng: &mut TestRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    /// A type-erased strategy (cheaply clonable).
+    pub struct BoxedStrategy<T>(Rc<dyn ErasedStrategy<T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0.erased_generate(rng)
+        }
+    }
+
+    /// The strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        map: F,
+    }
+
+    impl<S: Clone, F: Clone> Clone for Map<S, F> {
+        fn clone(&self) -> Self {
+            Map {
+                inner: self.inner.clone(),
+                map: self.map.clone(),
+            }
+        }
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O + Clone,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.map)(self.inner.generate(rng))
+        }
+    }
+
+    /// A strategy that always yields a clone of its value.
+    #[derive(Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice between type-erased alternatives (`prop_oneof!`).
+    pub struct OneOf<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Clone for OneOf<T> {
+        fn clone(&self) -> Self {
+            OneOf {
+                options: self.options.clone(),
+            }
+        }
+    }
+
+    impl<T> Strategy for OneOf<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let k = rng.index(self.options.len());
+            self.options[k].generate(rng)
+        }
+    }
+
+    /// Builds a [`OneOf`] from boxed alternatives.
+    pub fn one_of<T>(options: Vec<BoxedStrategy<T>>) -> OneOf<T> {
+        assert!(
+            !options.is_empty(),
+            "prop_oneof! needs at least one alternative"
+        );
+        OneOf { options }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end - self.start) as u64;
+                    self.start + (rng.next_u64() % span) as $t
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi - lo) as u64 + 1;
+                    lo + (rng.next_u64() % span) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize);
+
+    /// Character-class string patterns: exactly `"[chars]{lo,hi}"`.
+    impl Strategy for &'static str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let (class, lo, hi) = parse_class_pattern(self);
+            let len = lo + rng.index(hi - lo + 1);
+            (0..len).map(|_| class[rng.index(class.len())]).collect()
+        }
+    }
+
+    fn unsupported_pattern(pattern: &str) -> ! {
+        panic!(
+            "proptest shim: unsupported string pattern {pattern:?} \
+             (only \"[chars]{{lo,hi}}\" is implemented)"
+        )
+    }
+
+    fn parse_class_pattern(pattern: &str) -> (Vec<char>, usize, usize) {
+        let rest = pattern
+            .strip_prefix('[')
+            .unwrap_or_else(|| unsupported_pattern(pattern));
+        let (class, rest) = rest
+            .split_once(']')
+            .unwrap_or_else(|| unsupported_pattern(pattern));
+        let counts = rest
+            .strip_prefix('{')
+            .and_then(|r| r.strip_suffix('}'))
+            .unwrap_or_else(|| unsupported_pattern(pattern));
+        let (lo, hi) = counts
+            .split_once(',')
+            .unwrap_or_else(|| unsupported_pattern(pattern));
+        let class: Vec<char> = class.chars().collect();
+        let lo: usize = lo.parse().unwrap_or_else(|_| unsupported_pattern(pattern));
+        let hi: usize = hi.parse().unwrap_or_else(|_| unsupported_pattern(pattern));
+        if class.is_empty() || lo > hi {
+            unsupported_pattern(pattern);
+        }
+        (class, lo, hi)
+    }
+
+    impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+        type Value = (A::Value, B::Value);
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (self.0.generate(rng), self.1.generate(rng))
+        }
+    }
+
+    impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+        type Value = (A::Value, B::Value, C::Value);
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (
+                self.0.generate(rng),
+                self.1.generate(rng),
+                self.2.generate(rng),
+            )
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use std::collections::BTreeSet;
+    use std::ops::Range;
+
+    use crate::strategy::Strategy;
+    use crate::TestRng;
+
+    /// A strategy for `Vec`s whose length is drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Clone> Clone for VecStrategy<S> {
+        fn clone(&self) -> Self {
+            VecStrategy {
+                element: self.element.clone(),
+                size: self.size.clone(),
+            }
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let span = self.size.end - self.size.start;
+            let len = self.size.start + rng.index(span.max(1));
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `Vec` strategy with element strategy `element` and length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty size range");
+        VecStrategy { element, size }
+    }
+
+    /// A strategy for `BTreeSet`s with size drawn from `size` (best effort:
+    /// if the element domain is too small, the set may come out smaller).
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Clone> Clone for BTreeSetStrategy<S> {
+        fn clone(&self) -> Self {
+            BTreeSetStrategy {
+                element: self.element.clone(),
+                size: self.size.clone(),
+            }
+        }
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let span = self.size.end - self.size.start;
+            let target = self.size.start + rng.index(span.max(1));
+            let mut set = BTreeSet::new();
+            let mut attempts = 0usize;
+            while set.len() < target && attempts < target * 20 + 20 {
+                set.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            set
+        }
+    }
+
+    /// `BTreeSet` strategy with element strategy `element` and target size
+    /// in `size`.
+    pub fn btree_set<S: Strategy>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        assert!(size.start < size.end, "empty size range");
+        BTreeSetStrategy { element, size }
+    }
+}
+
+pub mod prelude {
+    //! Everything a property-test module usually imports.
+
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines property tests. Matches the real macro's surface for the forms
+/// used in this workspace: an optional `#![proptest_config(..)]` header
+/// followed by `#[test] fn name(arg in strategy, ..) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_items {
+    (cfg = $config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        #[allow(unreachable_code)]
+        fn $name() {
+            let config = $config;
+            let base = $crate::seed_of_name(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..config.cases {
+                let mut rng =
+                    $crate::TestRng::new(base ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                $(let $arg = $crate::strategy::Strategy::generate(&($strategy), &mut rng);)+
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(err) = outcome {
+                    panic!(
+                        "property {} failed at case {}/{}: {}",
+                        stringify!($name),
+                        case,
+                        config.cases,
+                        err
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+/// Fails the current case when the condition is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current case when the two values are unequal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(left == right, "assertion failed: {:?} != {:?}", left, right);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("{} ({:?} vs {:?})", format!($($fmt)+), left, right),
+            ));
+        }
+    }};
+}
+
+/// Fails the current case when the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(left != right, "assertion failed: {:?} == {:?}", left, right);
+    }};
+}
+
+/// Uniform choice between strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::one_of(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn string_patterns_respect_class_and_length() {
+        let mut rng = crate::TestRng::new(3);
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[01ab]{2,5}", &mut rng);
+            assert!((2..=5).contains(&s.len()));
+            assert!(s.chars().all(|c| "01ab".contains(c)));
+        }
+    }
+
+    #[test]
+    fn recursion_bottoms_out() {
+        #[derive(Clone, Debug)]
+        enum Tree {
+            Leaf,
+            Node(Box<Tree>, Box<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf => 0,
+                Tree::Node(l, r) => 1 + depth(l).max(depth(r)),
+            }
+        }
+        let strat = Just(Tree::Leaf).prop_recursive(4, 16, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(l, r)| Tree::Node(Box::new(l), Box::new(r)))
+        });
+        let mut rng = crate::TestRng::new(11);
+        for _ in 0..100 {
+            assert!(depth(&Strategy::generate(&strat, &mut rng)) <= 4);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn the_macro_runs_and_ranges_hold(x in 1usize..10, v in crate::collection::vec(0u64..5, 0..4)) {
+            prop_assert!((1..10).contains(&x));
+            prop_assert!(v.len() < 4);
+            for item in v {
+                prop_assert!(item < 5, "item {} out of range", item);
+            }
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! A dependency-free stand-in for the subset of `rand` 0.8 this workspace
+//! uses: [`rngs::StdRng`] seeded with [`SeedableRng::seed_from_u64`] and the
+//! [`Rng`] extension methods `gen` and `gen_range`.
+//!
+//! The generator is SplitMix64 — statistically fine for benchmark-instance
+//! sampling, deterministic for a given seed, and NOT cryptographically
+//! secure (neither is the real `StdRng` contractually stable across
+//! versions, so seeds only promise reproducibility within this workspace).
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seedable construction, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Creates an RNG from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// The user-facing random-value methods, mirroring `rand::Rng`.
+pub trait Rng {
+    /// The raw 64-bit output of the generator.
+    fn next_u64(&mut self) -> u64;
+
+    /// Samples a value uniformly from `range`. Panics on an empty range.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// Samples a value of a type with a standard uniform distribution.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::generate(self)
+    }
+}
+
+/// Ranges that can be sampled from, mirroring `rand::distributions::uniform`.
+pub trait SampleRange<T> {
+    /// Draws one value.
+    fn sample<R: Rng>(self, rng: &mut R) -> T;
+}
+
+/// Types with a canonical uniform distribution over all values.
+pub trait Standard: Sized {
+    /// Draws one value.
+    fn generate<R: Rng>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample<R: Rng>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                let span = (self.end - self.start) as u128;
+                let draw = ((rng.next_u64() as u128) << 64 | rng.next_u64() as u128) % span;
+                self.start + draw as $t
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample<R: Rng>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample from empty range");
+                let span = (end - start) as u128 + 1;
+                let draw = ((rng.next_u64() as u128) << 64 | rng.next_u64() as u128) % span;
+                start + draw as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize);
+
+impl SampleRange<u128> for Range<u128> {
+    fn sample<R: Rng>(self, rng: &mut R) -> u128 {
+        assert!(self.start < self.end, "cannot sample from empty range");
+        let span = self.end - self.start;
+        let draw = ((rng.next_u64() as u128) << 64 | rng.next_u64() as u128) % span;
+        self.start + draw
+    }
+}
+
+impl Standard for u64 {
+    fn generate<R: Rng>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn generate<R: Rng>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for bool {
+    fn generate<R: Rng>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+pub mod rngs {
+    //! The standard generator.
+
+    use super::{Rng, SeedableRng};
+
+    /// A deterministic 64-bit generator (SplitMix64).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x: usize = rng.gen_range(3..17);
+            assert!((3..17).contains(&x));
+            let y: u64 = rng.gen_range(5..=5);
+            assert_eq!(y, 5);
+            let z: u128 = rng.gen_range(0..1_000_000u128);
+            assert!(z < 1_000_000);
+        }
+    }
+
+    #[test]
+    fn gen_produces_varied_values() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let a: u64 = rng.gen();
+        let b: u64 = rng.gen();
+        assert_ne!(a, b);
+    }
+}

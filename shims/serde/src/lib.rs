@@ -1,0 +1,16 @@
+//! A dependency-free stand-in for `serde`: the [`Serialize`] and
+//! [`Deserialize`] traits are inert markers and the derives expand to empty
+//! impls, so `#[derive(Serialize, Deserialize)]` annotations compile without
+//! pulling in the real serde stack. No serialization format ships with this
+//! shim; in-workspace serialization uses explicit `Display`/`FromStr`
+//! implementations instead (see `rei_core::SynthConfig`).
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for types annotated `#[derive(Serialize)]`.
+pub trait Serialize {}
+
+/// Marker for types annotated `#[derive(Deserialize)]`.
+pub trait Deserialize<'de>: Sized {}

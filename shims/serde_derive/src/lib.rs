@@ -1,0 +1,52 @@
+//! No-op `Serialize`/`Deserialize` derives for the offline serde shim.
+//!
+//! Each derive emits an empty marker-trait impl for the annotated type.
+//! Written against `proc_macro` alone (no `syn`/`quote`, which are
+//! unavailable offline), so only non-generic `struct`/`enum` items are
+//! supported — which covers every annotated type in this workspace.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type name of the derive input, rejecting generic items.
+fn type_name(input: TokenStream) -> String {
+    let mut tokens = input.into_iter();
+    while let Some(token) = tokens.next() {
+        if let TokenTree::Ident(ident) = &token {
+            let keyword = ident.to_string();
+            if keyword == "struct" || keyword == "enum" {
+                let name = match tokens.next() {
+                    Some(TokenTree::Ident(name)) => name.to_string(),
+                    other => panic!("serde shim derive: expected a type name, found {other:?}"),
+                };
+                if let Some(TokenTree::Punct(p)) = tokens.next() {
+                    if p.as_char() == '<' {
+                        panic!(
+                            "serde shim derive: generic type `{name}` is not supported; \
+                             write the marker impl by hand"
+                        );
+                    }
+                }
+                return name;
+            }
+        }
+    }
+    panic!("serde shim derive: input is not a struct or enum")
+}
+
+/// Emits `impl ::serde::Serialize for T {}`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
+
+/// Emits `impl<'de> ::serde::Deserialize<'de> for T {}`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}

@@ -8,7 +8,8 @@
 //!   matching ([`rei_syntax`]).
 //! * [`lang`] — the formal-language substrate: specifications, infix
 //!   closures, characteristic sequences and guide tables ([`rei_lang`]).
-//! * [`core`] — the Paresy synthesiser itself ([`rei_core`]).
+//! * [`core`] — the Paresy synthesiser itself: sessions, backends,
+//!   observers and the language cache ([`rei_core`]).
 //! * [`gpu`] — the software SIMT device model used as the GPU substrate
 //!   ([`gpu_sim`]).
 //! * [`baseline`] — the AlphaRegex baseline ([`alpharegex`]).
@@ -16,6 +17,13 @@
 //!   ([`rei_bench`]).
 //!
 //! # Quickstart
+//!
+//! Synthesis runs inside a [`SynthSession`](crate::core::SynthSession):
+//! create it once from a serializable
+//! [`SynthConfig`](crate::core::SynthConfig), then reuse it across
+//! specifications — the session owns the execution backend (and the warm
+//! simulated-GPU device of the parallel backend), so batches of requests
+//! pay device setup once.
 //!
 //! ```
 //! use paresy::prelude::*;
@@ -26,9 +34,38 @@
 //!     ["", "0", "1", "00", "11", "010"],
 //! )
 //! .unwrap();
-//! let result = Synthesizer::new(CostFn::UNIFORM).run(&spec).unwrap();
-//! assert_eq!(result.regex.to_string(), "10(0+1)*");
+//! let config = SynthConfig::new(CostFn::UNIFORM).with_backend(BackendChoice::parallel());
+//! let mut session = SynthSession::new(config).unwrap();
+//! let result = session.run(&spec).unwrap();
+//! // Minimal cost is guaranteed on every backend; the expression may be
+//! // any equally-minimal candidate, e.g. `10(0+1)*`.
+//! assert_eq!(result.cost, 8);
+//! assert!(spec.is_satisfied_by(&result.regex));
+//!
+//! // The same session keeps serving further specs on the warm device.
+//! let more = Spec::from_strs(["0", "00", "000"], ["", "01", "1"]).unwrap();
+//! let outcomes = session.run_batch(&[more]);
+//! assert!(outcomes[0].is_ok());
+//! assert_eq!(session.stats().runs, 2);
 //! ```
+//!
+//! Long runs can be observed per cost level and cancelled cooperatively:
+//!
+//! ```
+//! use paresy::prelude::*;
+//!
+//! let spec = Spec::from_strs(["0", "00"], ["1", "10"]).unwrap();
+//! let mut session = SynthSession::new(SynthConfig::new(CostFn::UNIFORM)).unwrap();
+//! let token: CancelToken = session.cancel_token(); // trip from any thread
+//! let mut log = LevelLog::default();               // an Observer
+//! session.run_with(&spec, &mut log).unwrap();
+//! assert!(log.levels.windows(2).all(|w| w[0].cost < w[1].cost));
+//! # let _ = token;
+//! ```
+//!
+//! The one-shot [`Synthesizer`](crate::core::Synthesizer) builder remains
+//! for quick experiments, and the pre-0.2 `Engine` enum still compiles as
+//! a deprecated shim.
 
 #![forbid(unsafe_code)]
 
@@ -42,7 +79,13 @@ pub use rei_syntax as syntax;
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
     pub use alpharegex::AlphaRegex;
-    pub use rei_core::{Engine, SynthesisResult, Synthesizer};
+    #[allow(deprecated)]
+    pub use rei_core::Engine;
+    pub use rei_core::{
+        Backend, BackendChoice, CancelToken, DeviceParallel, LevelLog, LevelStats, Observer,
+        Sequential, SessionStats, SynthConfig, SynthSession, SynthesisError, SynthesisResult,
+        Synthesizer,
+    };
     pub use rei_lang::{Alphabet, InfixClosure, Spec, Word};
     pub use rei_syntax::{parse, CostFn, Regex};
 }

@@ -23,8 +23,14 @@ fn assert_no_cheaper_solution(spec: &Spec, found_cost: u64, costs: &CostFn) {
         );
     }
     // ∅ and ε are not part of the enumeration; check them explicitly.
-    assert!(!spec.is_satisfied_by(&Regex::Empty), "∅ beats the synthesiser on {spec}");
-    assert!(!spec.is_satisfied_by(&Regex::Epsilon), "ε beats the synthesiser on {spec}");
+    assert!(
+        !spec.is_satisfied_by(&Regex::Empty),
+        "∅ beats the synthesiser on {spec}"
+    );
+    assert!(
+        !spec.is_satisfied_by(&Regex::Epsilon),
+        "ε beats the synthesiser on {spec}"
+    );
 }
 
 #[test]

@@ -1,12 +1,12 @@
-//! Property tests: the sequential and data-parallel engines implement the
+//! Property tests: the sequential and data-parallel backends implement the
 //! same algorithm, so on any specification they must agree on the minimal
 //! cost (the expressions themselves may differ between equally-minimal
-//! candidates).
+//! candidates). The agreement is checked through the session API,
+//! including batched runs over one warm device.
 
 use proptest::prelude::*;
 
 use paresy::bench::generator::{generate_type2, Type2Params};
-use paresy::core::Engine;
 use paresy::lang::Alphabet;
 use paresy::prelude::*;
 
@@ -20,17 +20,20 @@ fn small_spec(seed: u64, max_len: usize, examples: usize) -> Option<Spec> {
     generate_type2(&params, seed)
 }
 
+fn session(backend: BackendChoice) -> SynthSession {
+    SynthSession::new(SynthConfig::new(CostFn::UNIFORM).with_backend(backend)).unwrap()
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
-    /// Both engines find expressions of the same (minimal) cost and both
+    /// Both backends find expressions of the same (minimal) cost and both
     /// results classify every example correctly.
     #[test]
-    fn engines_agree_on_minimal_cost(seed in 0u64..10_000, max_len in 2usize..4, examples in 2usize..4) {
+    fn backends_agree_on_minimal_cost(seed in 0u64..10_000, max_len in 2usize..4, examples in 2usize..4) {
         let Some(spec) = small_spec(seed, max_len, examples) else { return Ok(()) };
-        let sequential = Synthesizer::new(CostFn::UNIFORM).run(&spec).unwrap();
-        let parallel = Synthesizer::new(CostFn::UNIFORM)
-            .with_engine(Engine::parallel_with_threads(3))
+        let sequential = session(BackendChoice::Sequential).run(&spec).unwrap();
+        let parallel = session(BackendChoice::DeviceParallel { threads: Some(3) })
             .run(&spec)
             .unwrap();
         prop_assert_eq!(sequential.cost, parallel.cost, "spec {}", spec);
@@ -40,12 +43,42 @@ proptest! {
         prop_assert_eq!(parallel.regex.cost(&CostFn::UNIFORM), parallel.cost);
     }
 
+    /// `run_batch` through one warm session of each backend produces the
+    /// same per-spec minimal costs as the other backend, with every spec
+    /// sharing the parallel session's single device.
+    #[test]
+    fn batched_sessions_agree_spec_by_spec(base in 0u64..10_000) {
+        let specs: Vec<Spec> =
+            (0..4).filter_map(|k| small_spec(base + k, 3, 3)).collect();
+        if specs.is_empty() { return Ok(()) }
+
+        let mut sequential = session(BackendChoice::Sequential);
+        let mut parallel = session(BackendChoice::DeviceParallel { threads: Some(2) });
+        let device_stats_before = parallel.device().unwrap().stats();
+
+        let cpu_results = sequential.run_batch(&specs);
+        let gpu_results = parallel.run_batch(&specs);
+
+        prop_assert_eq!(sequential.stats().runs, specs.len() as u64);
+        prop_assert_eq!(parallel.stats().runs, specs.len() as u64);
+        for ((spec, cpu), gpu) in specs.iter().zip(&cpu_results).zip(&gpu_results) {
+            let cpu = cpu.as_ref().unwrap();
+            let gpu = gpu.as_ref().unwrap();
+            prop_assert_eq!(cpu.cost, gpu.cost, "spec {}", spec);
+            prop_assert!(spec.is_satisfied_by(&cpu.regex));
+            prop_assert!(spec.is_satisfied_by(&gpu.regex));
+        }
+        // Every run of the batch went through the one reusable device.
+        let device_stats = parallel.device().unwrap().stats();
+        prop_assert!(device_stats.kernel_launches > device_stats_before.kernel_launches);
+    }
+
     /// The reported cost never exceeds the cost of the overfitted union of
     /// positives, which is the search's own upper bound.
     #[test]
     fn results_never_exceed_the_overfit_bound(seed in 0u64..10_000) {
         let Some(spec) = small_spec(seed, 3, 3) else { return Ok(()) };
-        let result = Synthesizer::new(CostFn::UNIFORM).run(&spec).unwrap();
+        let result = session(BackendChoice::Sequential).run(&spec).unwrap();
         prop_assert!(result.cost <= spec.overfit_regex().cost(&CostFn::UNIFORM));
     }
 
@@ -54,8 +87,10 @@ proptest! {
     #[test]
     fn star_surcharge_is_monotone(seed in 0u64..10_000) {
         let Some(spec) = small_spec(seed, 3, 3) else { return Ok(()) };
-        let cheap = Synthesizer::new(CostFn::UNIFORM).run(&spec).unwrap();
-        let pricey = Synthesizer::new(CostFn::new(1, 1, 5, 1, 1)).run(&spec).unwrap();
+        let cheap = session(BackendChoice::Sequential).run(&spec).unwrap();
+        let mut pricey_session =
+            SynthSession::new(SynthConfig::new(CostFn::new(1, 1, 5, 1, 1))).unwrap();
+        let pricey = pricey_session.run(&spec).unwrap();
         // Evaluate both results under the uniform function: the result of
         // the uniform search is by definition minimal there.
         prop_assert!(cheap.cost <= pricey.regex.cost(&CostFn::UNIFORM));

@@ -65,7 +65,10 @@ fn wildcard_heuristic_never_beats_paresy() {
     for task in paresy::bench::suite::easy_tasks(8) {
         let spec = task.spec();
         let paresy = Synthesizer::new(CostFn::ALPHAREGEX).run(&spec).unwrap();
-        let config = AlphaRegexConfig { use_wildcard: true, ..AlphaRegexConfig::default() };
+        let config = AlphaRegexConfig {
+            use_wildcard: true,
+            ..AlphaRegexConfig::default()
+        };
         let alpha = AlphaRegex::with_config(config).run(&spec).unwrap();
         assert!(
             paresy.cost <= alpha.cost,

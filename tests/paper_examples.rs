@@ -2,7 +2,6 @@
 //! the introductory specification, Example 3.6, the Section 5.2
 //! allowed-error table and the star-free search of Section 5.1.
 
-use paresy::core::Engine;
 use paresy::prelude::*;
 use paresy::syntax::metrics;
 
@@ -16,7 +15,9 @@ fn intro_spec() -> Spec {
 
 #[test]
 fn intro_example_learns_the_intended_expression() {
-    let result = Synthesizer::new(CostFn::UNIFORM).run(&intro_spec()).unwrap();
+    let result = Synthesizer::new(CostFn::UNIFORM)
+        .run(&intro_spec())
+        .unwrap();
     assert_eq!(result.regex.to_string(), "10(0+1)*");
     assert_eq!(result.cost, 8);
     // The overfitted union of all positives (expression (2) in the paper)
@@ -27,10 +28,14 @@ fn intro_example_learns_the_intended_expression() {
 }
 
 #[test]
-fn intro_example_on_the_parallel_engine_is_identical() {
-    let sequential = Synthesizer::new(CostFn::UNIFORM).run(&intro_spec()).unwrap();
-    let parallel = Synthesizer::new(CostFn::UNIFORM)
-        .with_engine(Engine::parallel_with_threads(4))
+fn intro_example_on_the_parallel_backend_is_identical() {
+    let sequential = Synthesizer::new(CostFn::UNIFORM)
+        .run(&intro_spec())
+        .unwrap();
+    let config = SynthConfig::new(CostFn::UNIFORM)
+        .with_backend(BackendChoice::DeviceParallel { threads: Some(4) });
+    let parallel = SynthSession::new(config)
+        .unwrap()
         .run(&intro_spec())
         .unwrap();
     assert_eq!(sequential.cost, parallel.cost);
@@ -39,11 +44,13 @@ fn intro_example_on_the_parallel_engine_is_identical() {
 
 #[test]
 fn example_3_6_learns_a_cost_7_expression() {
-    let spec =
-        Spec::from_strs(["1", "011", "1011", "11011"], ["", "10", "101", "0011"]).unwrap();
+    let spec = Spec::from_strs(["1", "011", "1011", "11011"], ["", "10", "101", "0011"]).unwrap();
     let result = Synthesizer::new(CostFn::UNIFORM).run(&spec).unwrap();
     // The paper's Example 3.6 annotates (0?1)*1 as the minimal expression.
-    assert_eq!(result.cost, parse("(0?1)*1").unwrap().cost(&CostFn::UNIFORM));
+    assert_eq!(
+        result.cost,
+        parse("(0?1)*1").unwrap().cost(&CostFn::UNIFORM)
+    );
     assert!(spec.is_satisfied_by(&result.regex));
 }
 
@@ -53,8 +60,12 @@ fn allowed_error_table_matches_the_paper() {
     // (20 %, 12), (25 %, 8), (30 %, 8), (35 %, 7), (40 %, 4), (45 %, 1),
     // (50 %, 1); the exact expressions it prints are reproduced too.
     let spec = Spec::from_strs(
-        ["00", "1101", "0001", "0111", "001", "1", "10", "1100", "111", "1010"],
-        ["", "0", "0000", "0011", "01", "010", "011", "100", "1000", "1001", "11", "1110"],
+        [
+            "00", "1101", "0001", "0111", "001", "1", "10", "1100", "111", "1010",
+        ],
+        [
+            "", "0", "0000", "0011", "01", "010", "011", "100", "1000", "1001", "11", "1110",
+        ],
     )
     .unwrap();
     let expected = [
@@ -70,7 +81,11 @@ fn allowed_error_table_matches_the_paper() {
         let synth =
             Synthesizer::new(CostFn::UNIFORM).with_allowed_error(f64::from(percent) / 100.0);
         let result = synth.run(&spec).unwrap();
-        assert_eq!(result.cost, cost, "allowed error {percent}% produced {}", result.regex);
+        assert_eq!(
+            result.cost, cost,
+            "allowed error {percent}% produced {}",
+            result.regex
+        );
         assert_eq!(result.regex.to_string(), regex, "allowed error {percent}%");
         let allowed = synth.allowed_example_errors(&spec);
         assert!(spec.misclassified_by(&result.regex) <= allowed);
@@ -98,6 +113,12 @@ fn infix_heterogeneity_governs_closure_size() {
     // ic({abc, de}) drives the benchmark design; check the sizes are as
     // published (4 vs 10).
     use paresy::lang::{InfixClosure, Word};
-    assert_eq!(InfixClosure::of_words([Word::from("aaa"), Word::from("aa")]).len(), 4);
-    assert_eq!(InfixClosure::of_words([Word::from("abc"), Word::from("de")]).len(), 10);
+    assert_eq!(
+        InfixClosure::of_words([Word::from("aaa"), Word::from("aa")]).len(),
+        4
+    );
+    assert_eq!(
+        InfixClosure::of_words([Word::from("abc"), Word::from("de")]).len(),
+        10
+    );
 }

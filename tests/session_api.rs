@@ -1,0 +1,191 @@
+//! End-to-end tests of the session-based synthesis API: observers,
+//! cooperative cancellation, batching over one warm device, config
+//! serialization, and the deprecated `Engine` compatibility shim.
+
+use paresy::prelude::*;
+
+fn intro_spec() -> Spec {
+    Spec::from_strs(
+        ["10", "101", "100", "1010", "1011", "1000", "1001"],
+        ["", "0", "1", "00", "11", "010"],
+    )
+    .unwrap()
+}
+
+/// An observer that trips a cancel token after a fixed number of level
+/// events — the cooperative-cancellation pattern a service front-end uses.
+struct CancelAfter {
+    token: CancelToken,
+    levels_seen: u64,
+    cancel_after: u64,
+}
+
+impl Observer for CancelAfter {
+    fn on_level(&mut self, _level: &LevelStats) {
+        self.levels_seen += 1;
+        if self.levels_seen >= self.cancel_after {
+            self.token.cancel();
+        }
+    }
+}
+
+#[test]
+fn tripped_cancel_token_stops_between_levels() {
+    let mut session = SynthSession::new(SynthConfig::new(CostFn::UNIFORM)).unwrap();
+    let mut observer = CancelAfter {
+        token: session.cancel_token(),
+        levels_seen: 0,
+        cancel_after: 1,
+    };
+    let err = session.run_with(&intro_spec(), &mut observer).unwrap_err();
+    let SynthesisError::Cancelled { stats } = err else {
+        panic!("expected Cancelled, got {err:?}");
+    };
+    // The token tripped after the first completed level, so the search
+    // stopped at the following level boundary: no further level was
+    // recorded, far below the cost-8 solution.
+    assert_eq!(observer.levels_seen, 1);
+    assert_eq!(stats.levels.len(), 1);
+    assert!(
+        stats.max_cost_reached <= 2,
+        "search ran past the cancellation boundary: {stats:?}"
+    );
+
+    // The flag is sticky across the batch...
+    assert!(matches!(
+        session.run(&intro_spec()),
+        Err(SynthesisError::Cancelled { .. })
+    ));
+    // ...until reset, after which the session solves normally.
+    session.cancel_token().reset();
+    let result = session.run(&intro_spec()).unwrap();
+    assert_eq!(result.regex.to_string(), "10(0+1)*");
+}
+
+#[test]
+fn observers_see_strictly_increasing_cost_levels_on_both_backends() {
+    for backend in [
+        BackendChoice::Sequential,
+        BackendChoice::DeviceParallel { threads: Some(3) },
+    ] {
+        let config = SynthConfig::new(CostFn::UNIFORM).with_backend(backend);
+        let mut session = SynthSession::new(config).unwrap();
+        let mut log = LevelLog::default();
+        let result = session.run_with(&intro_spec(), &mut log).unwrap();
+        assert_eq!(result.cost, 8, "{backend:?}");
+        assert!(!log.levels.is_empty(), "{backend:?}: no level events");
+        assert!(
+            log.levels.windows(2).all(|w| w[0].cost < w[1].cost),
+            "{backend:?}: levels not monotone: {:?}",
+            log.levels
+        );
+        // The observer saw exactly what the run's stats recorded.
+        assert_eq!(log.levels, result.stats.levels, "{backend:?}");
+    }
+}
+
+#[test]
+fn run_batch_reuses_one_device_across_the_table1_style_suite() {
+    // A miniature Table 1 suite: several specs through one parallel
+    // session, all sharing the backend's single device.
+    let specs = vec![
+        intro_spec(),
+        Spec::from_strs(["1", "011", "1011", "11011"], ["", "10", "101", "0011"]).unwrap(),
+        Spec::from_strs(["0", "00", "000"], ["", "01", "1"]).unwrap(),
+        Spec::from_strs(["01", "0101"], ["", "0", "1", "10"]).unwrap(),
+    ];
+    let config = SynthConfig::new(CostFn::UNIFORM)
+        .with_backend(BackendChoice::DeviceParallel { threads: Some(2) });
+    let mut session = SynthSession::new(config).unwrap();
+    let device = session
+        .device()
+        .expect("parallel backend owns a device")
+        .clone();
+
+    let results = session.run_batch(&specs);
+    assert_eq!(results.len(), specs.len());
+    for (spec, result) in specs.iter().zip(&results) {
+        let result = result.as_ref().unwrap();
+        assert!(
+            spec.is_satisfied_by(&result.regex),
+            "{spec}: {}",
+            result.regex
+        );
+    }
+    assert_eq!(session.stats().runs, specs.len() as u64);
+    assert_eq!(session.stats().solved, specs.len() as u64);
+    // Device setup was paid once: the same instance accumulated kernel
+    // launches from every spec of the batch.
+    assert!(device.stats().kernel_launches > 0);
+    assert_eq!(session.device().unwrap().stats(), device.stats());
+
+    // Per-run deltas on the reused device via reset_stats.
+    device.reset_stats();
+    assert_eq!(device.stats().kernel_launches, 0);
+    session.run(&specs[0]).unwrap();
+    assert!(device.stats().kernel_launches > 0);
+}
+
+#[test]
+fn config_round_trips_and_drives_a_session() {
+    let config = SynthConfig::new(CostFn::new(1, 1, 10, 1, 1))
+        .with_backend(BackendChoice::DeviceParallel { threads: Some(2) })
+        .with_allowed_error(0.0)
+        .with_memory_budget(64 * 1024 * 1024);
+    let wire = config.to_string();
+    let parsed: SynthConfig = wire.parse().unwrap();
+    assert_eq!(parsed, config);
+
+    let mut session = SynthSession::new(parsed).unwrap();
+    assert_eq!(session.backend_name(), "gpu-sim-parallel");
+    let result = session.run(&intro_spec()).unwrap();
+    assert!(intro_spec().is_satisfied_by(&result.regex));
+}
+
+#[test]
+fn invalid_config_is_a_recoverable_error_everywhere() {
+    let bad = SynthConfig::new(CostFn::UNIFORM).with_allowed_error(2.0);
+    let err = SynthSession::new(bad).unwrap_err();
+    assert!(
+        matches!(err, SynthesisError::InvalidConfig { .. }),
+        "{err:?}"
+    );
+
+    // The one-shot builder reports it from run() instead of panicking.
+    let err = Synthesizer::new(CostFn::UNIFORM)
+        .with_allowed_error(-1.0)
+        .run(&intro_spec())
+        .unwrap_err();
+    assert!(
+        matches!(err, SynthesisError::InvalidConfig { .. }),
+        "{err:?}"
+    );
+}
+
+/// The pre-0.2 `Engine`-based call sites must keep compiling (with
+/// deprecation warnings) and produce the same results as the new API.
+#[test]
+#[allow(deprecated)]
+fn deprecated_engine_shim_still_works() {
+    let spec = intro_spec();
+    let old_style = Synthesizer::new(CostFn::UNIFORM)
+        .with_engine(Engine::parallel_with_threads(2))
+        .run(&spec)
+        .unwrap();
+    let new_style = SynthSession::new(
+        SynthConfig::new(CostFn::UNIFORM)
+            .with_backend(BackendChoice::DeviceParallel { threads: Some(2) }),
+    )
+    .unwrap()
+    .run(&spec)
+    .unwrap();
+    assert_eq!(old_style.cost, new_style.cost);
+    // Naming is unified: the shim reports the canonical backend names.
+    assert_eq!(Engine::Sequential.name(), Sequential::NAME);
+    assert_eq!(Engine::parallel().name(), DeviceParallel::NAME);
+    assert_eq!(
+        BackendChoice::parallel().name(),
+        DeviceParallel::NAME,
+        "CLI choice and backend agree on the name"
+    );
+}

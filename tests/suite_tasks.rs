@@ -10,9 +10,21 @@ use paresy::syntax::nfa::Nfa;
 fn every_task_specification_is_well_formed() {
     for task in alpharegex_suite() {
         let spec = task.spec();
-        assert!(spec.num_positive() >= 4, "{} has too few positives", task.name());
-        assert!(spec.num_negative() >= 4, "{} has too few negatives", task.name());
-        assert!(spec.is_satisfied_by(&task.reference_regex()), "{}", task.name());
+        assert!(
+            spec.num_positive() >= 4,
+            "{} has too few positives",
+            task.name()
+        );
+        assert!(
+            spec.num_negative() >= 4,
+            "{} has too few negatives",
+            task.name()
+        );
+        assert!(
+            spec.is_satisfied_by(&task.reference_regex()),
+            "{}",
+            task.name()
+        );
     }
 }
 
@@ -58,7 +70,10 @@ fn synthesised_results_generalise_beyond_the_examples() {
     // For a task with a crisp target language ("strings ending with 0"),
     // the minimal result should agree with the reference on *all* strings
     // up to length 5, not just the examples.
-    let task = alpharegex_suite().into_iter().find(|t| t.number == 11).unwrap();
+    let task = alpharegex_suite()
+        .into_iter()
+        .find(|t| t.number == 11)
+        .unwrap();
     let spec = task.spec();
     let result = Synthesizer::new(CostFn::UNIFORM).run(&spec).unwrap();
     let reference = Nfa::compile(&task.reference_regex());
