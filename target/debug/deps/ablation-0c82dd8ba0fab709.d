@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-0c82dd8ba0fab709.d: crates/bench/benches/ablation.rs
+
+/root/repo/target/debug/deps/libablation-0c82dd8ba0fab709.rmeta: crates/bench/benches/ablation.rs
+
+crates/bench/benches/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-8175862901aa7d7e.d: crates/bench/benches/ablation.rs
+
+/root/repo/target/debug/deps/ablation-8175862901aa7d7e: crates/bench/benches/ablation.rs
+
+crates/bench/benches/ablation.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/alpharegex-016b29df69612bb5.d: crates/alpharegex/src/lib.rs crates/alpharegex/src/search.rs crates/alpharegex/src/state.rs
+
+/root/repo/target/debug/deps/libalpharegex-016b29df69612bb5.rmeta: crates/alpharegex/src/lib.rs crates/alpharegex/src/search.rs crates/alpharegex/src/state.rs
+
+crates/alpharegex/src/lib.rs:
+crates/alpharegex/src/search.rs:
+crates/alpharegex/src/state.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/alpharegex-4c1a7b118c2126d1.d: crates/alpharegex/src/lib.rs crates/alpharegex/src/search.rs crates/alpharegex/src/state.rs
+
+/root/repo/target/debug/deps/libalpharegex-4c1a7b118c2126d1.rlib: crates/alpharegex/src/lib.rs crates/alpharegex/src/search.rs crates/alpharegex/src/state.rs
+
+/root/repo/target/debug/deps/libalpharegex-4c1a7b118c2126d1.rmeta: crates/alpharegex/src/lib.rs crates/alpharegex/src/search.rs crates/alpharegex/src/state.rs
+
+crates/alpharegex/src/lib.rs:
+crates/alpharegex/src/search.rs:
+crates/alpharegex/src/state.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/alpharegex-a598930eed546b5c.d: crates/alpharegex/src/lib.rs crates/alpharegex/src/search.rs crates/alpharegex/src/state.rs Cargo.toml
+
+/root/repo/target/debug/deps/libalpharegex-a598930eed546b5c.rmeta: crates/alpharegex/src/lib.rs crates/alpharegex/src/search.rs crates/alpharegex/src/state.rs Cargo.toml
+
+crates/alpharegex/src/lib.rs:
+crates/alpharegex/src/search.rs:
+crates/alpharegex/src/state.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

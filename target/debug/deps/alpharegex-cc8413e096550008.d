@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/alpharegex-cc8413e096550008.d: crates/alpharegex/src/lib.rs crates/alpharegex/src/search.rs crates/alpharegex/src/state.rs
+
+/root/repo/target/debug/deps/alpharegex-cc8413e096550008: crates/alpharegex/src/lib.rs crates/alpharegex/src/search.rs crates/alpharegex/src/state.rs
+
+crates/alpharegex/src/lib.rs:
+crates/alpharegex/src/search.rs:
+crates/alpharegex/src/state.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/alpharegex-cdf9f462d0535ef5.d: crates/alpharegex/src/lib.rs crates/alpharegex/src/search.rs crates/alpharegex/src/state.rs Cargo.toml
+
+/root/repo/target/debug/deps/libalpharegex-cdf9f462d0535ef5.rmeta: crates/alpharegex/src/lib.rs crates/alpharegex/src/search.rs crates/alpharegex/src/state.rs Cargo.toml
+
+crates/alpharegex/src/lib.rs:
+crates/alpharegex/src/search.rs:
+crates/alpharegex/src/state.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

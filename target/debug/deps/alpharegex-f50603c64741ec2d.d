@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/alpharegex-f50603c64741ec2d.d: crates/alpharegex/src/lib.rs crates/alpharegex/src/search.rs crates/alpharegex/src/state.rs
+
+/root/repo/target/debug/deps/libalpharegex-f50603c64741ec2d.rmeta: crates/alpharegex/src/lib.rs crates/alpharegex/src/search.rs crates/alpharegex/src/state.rs
+
+crates/alpharegex/src/lib.rs:
+crates/alpharegex/src/search.rs:
+crates/alpharegex/src/state.rs:

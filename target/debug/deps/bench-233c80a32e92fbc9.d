@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench-233c80a32e92fbc9.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench-233c80a32e92fbc9.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench-4349750681ee17c2.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/bench-4349750681ee17c2: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench-4cbf49b93a7f8cec.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench-4cbf49b93a7f8cec.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench-51c9dbfebb4ea1ec.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench-51c9dbfebb4ea1ec.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

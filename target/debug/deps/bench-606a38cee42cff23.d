@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench-606a38cee42cff23.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/bench-606a38cee42cff23: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

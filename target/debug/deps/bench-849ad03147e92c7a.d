@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bench-849ad03147e92c7a.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench-849ad03147e92c7a.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench-849ad03147e92c7a.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

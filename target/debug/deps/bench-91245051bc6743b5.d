@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench-91245051bc6743b5.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench-91245051bc6743b5.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bench-9506d9bcd00fa5a4.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench-9506d9bcd00fa5a4.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench-9506d9bcd00fa5a4.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/brute_force_minimality-0f24c1527404f7fe.d: tests/brute_force_minimality.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbrute_force_minimality-0f24c1527404f7fe.rmeta: tests/brute_force_minimality.rs Cargo.toml
+
+tests/brute_force_minimality.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

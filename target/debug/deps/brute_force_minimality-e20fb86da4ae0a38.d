@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/brute_force_minimality-e20fb86da4ae0a38.d: tests/brute_force_minimality.rs
+
+/root/repo/target/debug/deps/libbrute_force_minimality-e20fb86da4ae0a38.rmeta: tests/brute_force_minimality.rs
+
+tests/brute_force_minimality.rs:

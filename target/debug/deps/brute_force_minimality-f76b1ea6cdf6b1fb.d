@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/brute_force_minimality-f76b1ea6cdf6b1fb.d: tests/brute_force_minimality.rs
+
+/root/repo/target/debug/deps/brute_force_minimality-f76b1ea6cdf6b1fb: tests/brute_force_minimality.rs
+
+tests/brute_force_minimality.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/brute_force_minimality-f9d25f7e2ea38c84.d: tests/brute_force_minimality.rs
+
+/root/repo/target/debug/deps/brute_force_minimality-f9d25f7e2ea38c84: tests/brute_force_minimality.rs
+
+tests/brute_force_minimality.rs:

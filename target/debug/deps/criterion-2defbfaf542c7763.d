@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-2defbfaf542c7763.d: shims/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-2defbfaf542c7763.rmeta: shims/criterion/src/lib.rs
+
+shims/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-352ec723117c3c6c.d: shims/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/criterion-352ec723117c3c6c: shims/criterion/src/lib.rs
+
+shims/criterion/src/lib.rs:

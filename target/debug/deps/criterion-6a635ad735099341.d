@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-6a635ad735099341.d: shims/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-6a635ad735099341.rmeta: shims/criterion/src/lib.rs
+
+shims/criterion/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-f6306572a6bc2b0e.d: shims/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-f6306572a6bc2b0e.rlib: shims/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-f6306572a6bc2b0e.rmeta: shims/criterion/src/lib.rs
+
+shims/criterion/src/lib.rs:

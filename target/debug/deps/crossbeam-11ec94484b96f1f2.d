@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crossbeam-11ec94484b96f1f2.d: shims/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-11ec94484b96f1f2.rmeta: shims/crossbeam/src/lib.rs
+
+shims/crossbeam/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/crossbeam-3b3493b16825c3a8.d: shims/crossbeam/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcrossbeam-3b3493b16825c3a8.rmeta: shims/crossbeam/src/lib.rs Cargo.toml
+
+shims/crossbeam/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

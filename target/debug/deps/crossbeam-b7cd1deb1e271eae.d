@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crossbeam-b7cd1deb1e271eae.d: shims/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/crossbeam-b7cd1deb1e271eae: shims/crossbeam/src/lib.rs
+
+shims/crossbeam/src/lib.rs:

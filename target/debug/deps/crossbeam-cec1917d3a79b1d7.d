@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/crossbeam-cec1917d3a79b1d7.d: shims/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-cec1917d3a79b1d7.rlib: shims/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-cec1917d3a79b1d7.rmeta: shims/crossbeam/src/lib.rs
+
+shims/crossbeam/src/lib.rs:

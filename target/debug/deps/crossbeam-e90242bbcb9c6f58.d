@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crossbeam-e90242bbcb9c6f58.d: shims/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-e90242bbcb9c6f58.rmeta: shims/crossbeam/src/lib.rs
+
+shims/crossbeam/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engines_agree-3d45d41810caff6b.d: tests/engines_agree.rs
+
+/root/repo/target/debug/deps/engines_agree-3d45d41810caff6b: tests/engines_agree.rs
+
+tests/engines_agree.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engines_agree-80d61e6f23077f4f.d: tests/engines_agree.rs
+
+/root/repo/target/debug/deps/libengines_agree-80d61e6f23077f4f.rmeta: tests/engines_agree.rs
+
+tests/engines_agree.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engines_agree-a53ad1f104b0d5f0.d: tests/engines_agree.rs
+
+/root/repo/target/debug/deps/engines_agree-a53ad1f104b0d5f0: tests/engines_agree.rs
+
+tests/engines_agree.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engines_agree-bbc3fa68b377e65c.d: tests/engines_agree.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengines_agree-bbc3fa68b377e65c.rmeta: tests/engines_agree.rs Cargo.toml
+
+tests/engines_agree.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/error_table-0f3b75b9f8d2a9b0.d: crates/bench/benches/error_table.rs
+
+/root/repo/target/debug/deps/error_table-0f3b75b9f8d2a9b0: crates/bench/benches/error_table.rs
+
+crates/bench/benches/error_table.rs:

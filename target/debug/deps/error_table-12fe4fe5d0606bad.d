@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/error_table-12fe4fe5d0606bad.d: crates/bench/benches/error_table.rs
+
+/root/repo/target/debug/deps/liberror_table-12fe4fe5d0606bad.rmeta: crates/bench/benches/error_table.rs
+
+crates/bench/benches/error_table.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/error_table-ee67ba1622a80104.d: crates/bench/benches/error_table.rs Cargo.toml
+
+/root/repo/target/debug/deps/liberror_table-ee67ba1622a80104.rmeta: crates/bench/benches/error_table.rs Cargo.toml
+
+crates/bench/benches/error_table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

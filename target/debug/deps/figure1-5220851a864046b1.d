@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figure1-5220851a864046b1.d: crates/bench/benches/figure1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigure1-5220851a864046b1.rmeta: crates/bench/benches/figure1.rs Cargo.toml
+
+crates/bench/benches/figure1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure1-7438474ad3b8a853.d: crates/bench/benches/figure1.rs
+
+/root/repo/target/debug/deps/figure1-7438474ad3b8a853: crates/bench/benches/figure1.rs
+
+crates/bench/benches/figure1.rs:

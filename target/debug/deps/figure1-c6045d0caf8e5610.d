@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure1-c6045d0caf8e5610.d: crates/bench/benches/figure1.rs
+
+/root/repo/target/debug/deps/libfigure1-c6045d0caf8e5610.rmeta: crates/bench/benches/figure1.rs
+
+crates/bench/benches/figure1.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/gpu_sim-29df0752d2293a7d.d: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/buffer.rs crates/gpu-sim/src/device.rs crates/gpu-sim/src/hashset.rs crates/gpu-sim/src/stats.rs
+
+/root/repo/target/debug/deps/libgpu_sim-29df0752d2293a7d.rlib: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/buffer.rs crates/gpu-sim/src/device.rs crates/gpu-sim/src/hashset.rs crates/gpu-sim/src/stats.rs
+
+/root/repo/target/debug/deps/libgpu_sim-29df0752d2293a7d.rmeta: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/buffer.rs crates/gpu-sim/src/device.rs crates/gpu-sim/src/hashset.rs crates/gpu-sim/src/stats.rs
+
+crates/gpu-sim/src/lib.rs:
+crates/gpu-sim/src/buffer.rs:
+crates/gpu-sim/src/device.rs:
+crates/gpu-sim/src/hashset.rs:
+crates/gpu-sim/src/stats.rs:

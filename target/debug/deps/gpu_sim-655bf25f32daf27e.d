@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gpu_sim-655bf25f32daf27e.d: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/buffer.rs crates/gpu-sim/src/device.rs crates/gpu-sim/src/hashset.rs crates/gpu-sim/src/stats.rs
+
+/root/repo/target/debug/deps/libgpu_sim-655bf25f32daf27e.rmeta: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/buffer.rs crates/gpu-sim/src/device.rs crates/gpu-sim/src/hashset.rs crates/gpu-sim/src/stats.rs
+
+crates/gpu-sim/src/lib.rs:
+crates/gpu-sim/src/buffer.rs:
+crates/gpu-sim/src/device.rs:
+crates/gpu-sim/src/hashset.rs:
+crates/gpu-sim/src/stats.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/gpu_sim-b369c373e4007088.d: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/buffer.rs crates/gpu-sim/src/device.rs crates/gpu-sim/src/hashset.rs crates/gpu-sim/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgpu_sim-b369c373e4007088.rmeta: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/buffer.rs crates/gpu-sim/src/device.rs crates/gpu-sim/src/hashset.rs crates/gpu-sim/src/stats.rs Cargo.toml
+
+crates/gpu-sim/src/lib.rs:
+crates/gpu-sim/src/buffer.rs:
+crates/gpu-sim/src/device.rs:
+crates/gpu-sim/src/hashset.rs:
+crates/gpu-sim/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

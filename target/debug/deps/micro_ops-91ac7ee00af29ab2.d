@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/micro_ops-91ac7ee00af29ab2.d: crates/bench/benches/micro_ops.rs
+
+/root/repo/target/debug/deps/micro_ops-91ac7ee00af29ab2: crates/bench/benches/micro_ops.rs
+
+crates/bench/benches/micro_ops.rs:

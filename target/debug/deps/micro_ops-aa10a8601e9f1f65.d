@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/micro_ops-aa10a8601e9f1f65.d: crates/bench/benches/micro_ops.rs
+
+/root/repo/target/debug/deps/libmicro_ops-aa10a8601e9f1f65.rmeta: crates/bench/benches/micro_ops.rs
+
+crates/bench/benches/micro_ops.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/micro_ops-c1df91f9563cde15.d: crates/bench/benches/micro_ops.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmicro_ops-c1df91f9563cde15.rmeta: crates/bench/benches/micro_ops.rs Cargo.toml
+
+crates/bench/benches/micro_ops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

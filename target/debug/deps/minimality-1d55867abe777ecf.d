@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/minimality-1d55867abe777ecf.d: tests/minimality.rs
+
+/root/repo/target/debug/deps/minimality-1d55867abe777ecf: tests/minimality.rs
+
+tests/minimality.rs:

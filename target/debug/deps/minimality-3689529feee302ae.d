@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/minimality-3689529feee302ae.d: tests/minimality.rs
+
+/root/repo/target/debug/deps/libminimality-3689529feee302ae.rmeta: tests/minimality.rs
+
+tests/minimality.rs:

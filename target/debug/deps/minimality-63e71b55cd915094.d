@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/minimality-63e71b55cd915094.d: tests/minimality.rs Cargo.toml
+
+/root/repo/target/debug/deps/libminimality-63e71b55cd915094.rmeta: tests/minimality.rs Cargo.toml
+
+tests/minimality.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/minimality-bf667d041e6740a1.d: tests/minimality.rs
+
+/root/repo/target/debug/deps/minimality-bf667d041e6740a1: tests/minimality.rs
+
+tests/minimality.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_examples-2cd57ee9c6715376.d: tests/paper_examples.rs
+
+/root/repo/target/debug/deps/paper_examples-2cd57ee9c6715376: tests/paper_examples.rs
+
+tests/paper_examples.rs:

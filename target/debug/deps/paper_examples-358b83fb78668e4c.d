@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_examples-358b83fb78668e4c.d: tests/paper_examples.rs
+
+/root/repo/target/debug/deps/libpaper_examples-358b83fb78668e4c.rmeta: tests/paper_examples.rs
+
+tests/paper_examples.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_examples-ab3c72f6e1be7ddf.d: tests/paper_examples.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_examples-ab3c72f6e1be7ddf.rmeta: tests/paper_examples.rs Cargo.toml
+
+tests/paper_examples.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

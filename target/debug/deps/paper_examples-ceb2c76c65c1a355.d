@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_examples-ceb2c76c65c1a355.d: tests/paper_examples.rs
+
+/root/repo/target/debug/deps/paper_examples-ceb2c76c65c1a355: tests/paper_examples.rs
+
+tests/paper_examples.rs:

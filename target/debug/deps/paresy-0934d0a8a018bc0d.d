@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paresy-0934d0a8a018bc0d.d: crates/paresy-cli/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparesy-0934d0a8a018bc0d.rmeta: crates/paresy-cli/src/main.rs Cargo.toml
+
+crates/paresy-cli/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paresy-24796bc18f95a51c.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparesy-24796bc18f95a51c.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

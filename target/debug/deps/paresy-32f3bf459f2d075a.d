@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/paresy-32f3bf459f2d075a.d: src/lib.rs
+
+/root/repo/target/debug/deps/libparesy-32f3bf459f2d075a.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libparesy-32f3bf459f2d075a.rmeta: src/lib.rs
+
+src/lib.rs:

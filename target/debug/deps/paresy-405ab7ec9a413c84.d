@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paresy-405ab7ec9a413c84.d: crates/paresy-cli/src/main.rs
+
+/root/repo/target/debug/deps/libparesy-405ab7ec9a413c84.rmeta: crates/paresy-cli/src/main.rs
+
+crates/paresy-cli/src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paresy-48f8a9328f691519.d: crates/paresy-cli/src/main.rs
+
+/root/repo/target/debug/deps/libparesy-48f8a9328f691519.rmeta: crates/paresy-cli/src/main.rs
+
+crates/paresy-cli/src/main.rs:

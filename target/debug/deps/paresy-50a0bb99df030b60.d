@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paresy-50a0bb99df030b60.d: crates/paresy-cli/src/main.rs
+
+/root/repo/target/debug/deps/paresy-50a0bb99df030b60: crates/paresy-cli/src/main.rs
+
+crates/paresy-cli/src/main.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/paresy-5790be52c8a8d893.d: src/lib.rs
+
+/root/repo/target/debug/deps/libparesy-5790be52c8a8d893.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libparesy-5790be52c8a8d893.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paresy-6fb939dfa764671a.d: crates/paresy-cli/src/main.rs
+
+/root/repo/target/debug/deps/paresy-6fb939dfa764671a: crates/paresy-cli/src/main.rs
+
+crates/paresy-cli/src/main.rs:

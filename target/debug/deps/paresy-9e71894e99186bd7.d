@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paresy-9e71894e99186bd7.d: src/lib.rs
+
+/root/repo/target/debug/deps/paresy-9e71894e99186bd7: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paresy-a88ad0931f296692.d: crates/paresy-cli/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparesy-a88ad0931f296692.rmeta: crates/paresy-cli/src/main.rs Cargo.toml
+
+crates/paresy-cli/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paresy-ac046d67311f1301.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparesy-ac046d67311f1301.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paresy-accc31371cbee0d8.d: crates/paresy-cli/src/main.rs
+
+/root/repo/target/debug/deps/paresy-accc31371cbee0d8: crates/paresy-cli/src/main.rs
+
+crates/paresy-cli/src/main.rs:

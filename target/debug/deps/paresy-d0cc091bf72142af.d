@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paresy-d0cc091bf72142af.d: src/lib.rs
+
+/root/repo/target/debug/deps/paresy-d0cc091bf72142af: src/lib.rs
+
+src/lib.rs:

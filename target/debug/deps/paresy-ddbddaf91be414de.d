@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paresy-ddbddaf91be414de.d: src/lib.rs
+
+/root/repo/target/debug/deps/libparesy-ddbddaf91be414de.rmeta: src/lib.rs
+
+src/lib.rs:

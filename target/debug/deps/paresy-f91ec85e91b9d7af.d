@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paresy-f91ec85e91b9d7af.d: src/lib.rs
+
+/root/repo/target/debug/deps/libparesy-f91ec85e91b9d7af.rmeta: src/lib.rs
+
+src/lib.rs:

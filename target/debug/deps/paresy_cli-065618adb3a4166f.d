@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/paresy_cli-065618adb3a4166f.d: crates/paresy-cli/src/lib.rs crates/paresy-cli/src/args.rs crates/paresy-cli/src/commands.rs crates/paresy-cli/src/specfile.rs
+
+/root/repo/target/debug/deps/libparesy_cli-065618adb3a4166f.rmeta: crates/paresy-cli/src/lib.rs crates/paresy-cli/src/args.rs crates/paresy-cli/src/commands.rs crates/paresy-cli/src/specfile.rs
+
+crates/paresy-cli/src/lib.rs:
+crates/paresy-cli/src/args.rs:
+crates/paresy-cli/src/commands.rs:
+crates/paresy-cli/src/specfile.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/paresy_cli-77419cca51f20191.d: crates/paresy-cli/src/lib.rs crates/paresy-cli/src/args.rs crates/paresy-cli/src/commands.rs crates/paresy-cli/src/specfile.rs
+
+/root/repo/target/debug/deps/libparesy_cli-77419cca51f20191.rlib: crates/paresy-cli/src/lib.rs crates/paresy-cli/src/args.rs crates/paresy-cli/src/commands.rs crates/paresy-cli/src/specfile.rs
+
+/root/repo/target/debug/deps/libparesy_cli-77419cca51f20191.rmeta: crates/paresy-cli/src/lib.rs crates/paresy-cli/src/args.rs crates/paresy-cli/src/commands.rs crates/paresy-cli/src/specfile.rs
+
+crates/paresy-cli/src/lib.rs:
+crates/paresy-cli/src/args.rs:
+crates/paresy-cli/src/commands.rs:
+crates/paresy-cli/src/specfile.rs:

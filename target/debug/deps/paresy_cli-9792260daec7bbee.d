@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/paresy_cli-9792260daec7bbee.d: crates/paresy-cli/src/lib.rs crates/paresy-cli/src/args.rs crates/paresy-cli/src/commands.rs crates/paresy-cli/src/specfile.rs
+
+/root/repo/target/debug/deps/paresy_cli-9792260daec7bbee: crates/paresy-cli/src/lib.rs crates/paresy-cli/src/args.rs crates/paresy-cli/src/commands.rs crates/paresy-cli/src/specfile.rs
+
+crates/paresy-cli/src/lib.rs:
+crates/paresy-cli/src/args.rs:
+crates/paresy-cli/src/commands.rs:
+crates/paresy-cli/src/specfile.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/parking_lot-5f74d57de1e77bdd.d: shims/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-5f74d57de1e77bdd.rlib: shims/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-5f74d57de1e77bdd.rmeta: shims/parking_lot/src/lib.rs
+
+shims/parking_lot/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-767dd14dabdfdf6c.d: shims/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/parking_lot-767dd14dabdfdf6c: shims/parking_lot/src/lib.rs
+
+shims/parking_lot/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parking_lot-c3d5eedb3dcf86c1.d: shims/parking_lot/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparking_lot-c3d5eedb3dcf86c1.rmeta: shims/parking_lot/src/lib.rs Cargo.toml
+
+shims/parking_lot/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-d59fc75392b92b73.d: shims/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-d59fc75392b92b73.rmeta: shims/parking_lot/src/lib.rs
+
+shims/parking_lot/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-ea67a3a11c6923e9.d: shims/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-ea67a3a11c6923e9.rmeta: shims/parking_lot/src/lib.rs
+
+shims/parking_lot/src/lib.rs:

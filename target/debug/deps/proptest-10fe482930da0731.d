@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-10fe482930da0731.d: shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-10fe482930da0731.rmeta: shims/proptest/src/lib.rs
+
+shims/proptest/src/lib.rs:

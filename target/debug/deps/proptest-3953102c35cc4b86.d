@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-3953102c35cc4b86.d: shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-3953102c35cc4b86.rlib: shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-3953102c35cc4b86.rmeta: shims/proptest/src/lib.rs
+
+shims/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-49089ce28a7e3816.d: shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-49089ce28a7e3816.rmeta: shims/proptest/src/lib.rs
+
+shims/proptest/src/lib.rs:

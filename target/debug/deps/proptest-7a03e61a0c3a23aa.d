@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-7a03e61a0c3a23aa.d: shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-7a03e61a0c3a23aa: shims/proptest/src/lib.rs
+
+shims/proptest/src/lib.rs:

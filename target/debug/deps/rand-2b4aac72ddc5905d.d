@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-2b4aac72ddc5905d.d: shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-2b4aac72ddc5905d.rmeta: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rand-8dfbc5179f5a401b.d: shims/rand/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librand-8dfbc5179f5a401b.rmeta: shims/rand/src/lib.rs Cargo.toml
+
+shims/rand/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

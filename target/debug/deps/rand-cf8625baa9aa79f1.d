@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rand-cf8625baa9aa79f1.d: shims/rand/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librand-cf8625baa9aa79f1.rmeta: shims/rand/src/lib.rs Cargo.toml
+
+shims/rand/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-d720a14e0157d2d4.d: shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-d720a14e0157d2d4: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

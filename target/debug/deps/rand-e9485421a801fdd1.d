@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-e9485421a801fdd1.d: shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-e9485421a801fdd1.rmeta: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-f220fde8849308e7.d: shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-f220fde8849308e7.rlib: shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-f220fde8849308e7.rmeta: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

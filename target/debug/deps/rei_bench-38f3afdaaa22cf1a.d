@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/rei_bench-38f3afdaaa22cf1a.d: crates/rei-bench/src/lib.rs crates/rei-bench/src/costs.rs crates/rei-bench/src/generator.rs crates/rei-bench/src/harness/mod.rs crates/rei-bench/src/harness/error_table.rs crates/rei-bench/src/harness/figure1.rs crates/rei-bench/src/harness/outliers.rs crates/rei-bench/src/harness/table1.rs crates/rei-bench/src/harness/table2.rs crates/rei-bench/src/report.rs crates/rei-bench/src/suite.rs Cargo.toml
+
+/root/repo/target/debug/deps/librei_bench-38f3afdaaa22cf1a.rmeta: crates/rei-bench/src/lib.rs crates/rei-bench/src/costs.rs crates/rei-bench/src/generator.rs crates/rei-bench/src/harness/mod.rs crates/rei-bench/src/harness/error_table.rs crates/rei-bench/src/harness/figure1.rs crates/rei-bench/src/harness/outliers.rs crates/rei-bench/src/harness/table1.rs crates/rei-bench/src/harness/table2.rs crates/rei-bench/src/report.rs crates/rei-bench/src/suite.rs Cargo.toml
+
+crates/rei-bench/src/lib.rs:
+crates/rei-bench/src/costs.rs:
+crates/rei-bench/src/generator.rs:
+crates/rei-bench/src/harness/mod.rs:
+crates/rei-bench/src/harness/error_table.rs:
+crates/rei-bench/src/harness/figure1.rs:
+crates/rei-bench/src/harness/outliers.rs:
+crates/rei-bench/src/harness/table1.rs:
+crates/rei-bench/src/harness/table2.rs:
+crates/rei-bench/src/report.rs:
+crates/rei-bench/src/suite.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/rei_bench-898a3d016febaff2.d: crates/rei-bench/src/lib.rs crates/rei-bench/src/costs.rs crates/rei-bench/src/generator.rs crates/rei-bench/src/harness/mod.rs crates/rei-bench/src/harness/error_table.rs crates/rei-bench/src/harness/figure1.rs crates/rei-bench/src/harness/outliers.rs crates/rei-bench/src/harness/table1.rs crates/rei-bench/src/harness/table2.rs crates/rei-bench/src/report.rs crates/rei-bench/src/suite.rs
+
+/root/repo/target/debug/deps/librei_bench-898a3d016febaff2.rmeta: crates/rei-bench/src/lib.rs crates/rei-bench/src/costs.rs crates/rei-bench/src/generator.rs crates/rei-bench/src/harness/mod.rs crates/rei-bench/src/harness/error_table.rs crates/rei-bench/src/harness/figure1.rs crates/rei-bench/src/harness/outliers.rs crates/rei-bench/src/harness/table1.rs crates/rei-bench/src/harness/table2.rs crates/rei-bench/src/report.rs crates/rei-bench/src/suite.rs
+
+crates/rei-bench/src/lib.rs:
+crates/rei-bench/src/costs.rs:
+crates/rei-bench/src/generator.rs:
+crates/rei-bench/src/harness/mod.rs:
+crates/rei-bench/src/harness/error_table.rs:
+crates/rei-bench/src/harness/figure1.rs:
+crates/rei-bench/src/harness/outliers.rs:
+crates/rei-bench/src/harness/table1.rs:
+crates/rei-bench/src/harness/table2.rs:
+crates/rei-bench/src/report.rs:
+crates/rei-bench/src/suite.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/rei_core-2c625a4d28e48d64.d: crates/rei-core/src/lib.rs crates/rei-core/src/backend.rs crates/rei-core/src/cache.rs crates/rei-core/src/config.rs crates/rei-core/src/engine.rs crates/rei-core/src/observe.rs crates/rei-core/src/result.rs crates/rei-core/src/search.rs crates/rei-core/src/session.rs crates/rei-core/src/synth.rs
+
+/root/repo/target/debug/deps/librei_core-2c625a4d28e48d64.rmeta: crates/rei-core/src/lib.rs crates/rei-core/src/backend.rs crates/rei-core/src/cache.rs crates/rei-core/src/config.rs crates/rei-core/src/engine.rs crates/rei-core/src/observe.rs crates/rei-core/src/result.rs crates/rei-core/src/search.rs crates/rei-core/src/session.rs crates/rei-core/src/synth.rs
+
+crates/rei-core/src/lib.rs:
+crates/rei-core/src/backend.rs:
+crates/rei-core/src/cache.rs:
+crates/rei-core/src/config.rs:
+crates/rei-core/src/engine.rs:
+crates/rei-core/src/observe.rs:
+crates/rei-core/src/result.rs:
+crates/rei-core/src/search.rs:
+crates/rei-core/src/session.rs:
+crates/rei-core/src/synth.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/rei_core-81022afdd7e6b276.d: crates/rei-core/src/lib.rs crates/rei-core/src/backend.rs crates/rei-core/src/cache.rs crates/rei-core/src/config.rs crates/rei-core/src/engine.rs crates/rei-core/src/observe.rs crates/rei-core/src/result.rs crates/rei-core/src/search.rs crates/rei-core/src/session.rs crates/rei-core/src/synth.rs Cargo.toml
+
+/root/repo/target/debug/deps/librei_core-81022afdd7e6b276.rmeta: crates/rei-core/src/lib.rs crates/rei-core/src/backend.rs crates/rei-core/src/cache.rs crates/rei-core/src/config.rs crates/rei-core/src/engine.rs crates/rei-core/src/observe.rs crates/rei-core/src/result.rs crates/rei-core/src/search.rs crates/rei-core/src/session.rs crates/rei-core/src/synth.rs Cargo.toml
+
+crates/rei-core/src/lib.rs:
+crates/rei-core/src/backend.rs:
+crates/rei-core/src/cache.rs:
+crates/rei-core/src/config.rs:
+crates/rei-core/src/engine.rs:
+crates/rei-core/src/observe.rs:
+crates/rei-core/src/result.rs:
+crates/rei-core/src/search.rs:
+crates/rei-core/src/session.rs:
+crates/rei-core/src/synth.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/rei_core-c1535660c7fb6e5d.d: crates/rei-core/src/lib.rs crates/rei-core/src/backend.rs crates/rei-core/src/cache.rs crates/rei-core/src/config.rs crates/rei-core/src/engine.rs crates/rei-core/src/observe.rs crates/rei-core/src/result.rs crates/rei-core/src/search.rs crates/rei-core/src/session.rs crates/rei-core/src/synth.rs
+
+/root/repo/target/debug/deps/rei_core-c1535660c7fb6e5d: crates/rei-core/src/lib.rs crates/rei-core/src/backend.rs crates/rei-core/src/cache.rs crates/rei-core/src/config.rs crates/rei-core/src/engine.rs crates/rei-core/src/observe.rs crates/rei-core/src/result.rs crates/rei-core/src/search.rs crates/rei-core/src/session.rs crates/rei-core/src/synth.rs
+
+crates/rei-core/src/lib.rs:
+crates/rei-core/src/backend.rs:
+crates/rei-core/src/cache.rs:
+crates/rei-core/src/config.rs:
+crates/rei-core/src/engine.rs:
+crates/rei-core/src/observe.rs:
+crates/rei-core/src/result.rs:
+crates/rei-core/src/search.rs:
+crates/rei-core/src/session.rs:
+crates/rei-core/src/synth.rs:

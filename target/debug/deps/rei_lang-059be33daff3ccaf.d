@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/rei_lang-059be33daff3ccaf.d: crates/rei-lang/src/lib.rs crates/rei-lang/src/alphabet.rs crates/rei-lang/src/cs.rs crates/rei-lang/src/csops.rs crates/rei-lang/src/error.rs crates/rei-lang/src/guide.rs crates/rei-lang/src/infix.rs crates/rei-lang/src/satisfy.rs crates/rei-lang/src/spec.rs crates/rei-lang/src/word.rs
+
+/root/repo/target/debug/deps/rei_lang-059be33daff3ccaf: crates/rei-lang/src/lib.rs crates/rei-lang/src/alphabet.rs crates/rei-lang/src/cs.rs crates/rei-lang/src/csops.rs crates/rei-lang/src/error.rs crates/rei-lang/src/guide.rs crates/rei-lang/src/infix.rs crates/rei-lang/src/satisfy.rs crates/rei-lang/src/spec.rs crates/rei-lang/src/word.rs
+
+crates/rei-lang/src/lib.rs:
+crates/rei-lang/src/alphabet.rs:
+crates/rei-lang/src/cs.rs:
+crates/rei-lang/src/csops.rs:
+crates/rei-lang/src/error.rs:
+crates/rei-lang/src/guide.rs:
+crates/rei-lang/src/infix.rs:
+crates/rei-lang/src/satisfy.rs:
+crates/rei-lang/src/spec.rs:
+crates/rei-lang/src/word.rs:

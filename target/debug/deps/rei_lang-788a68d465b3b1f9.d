@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/rei_lang-788a68d465b3b1f9.d: crates/rei-lang/src/lib.rs crates/rei-lang/src/alphabet.rs crates/rei-lang/src/cs.rs crates/rei-lang/src/csops.rs crates/rei-lang/src/error.rs crates/rei-lang/src/guide.rs crates/rei-lang/src/infix.rs crates/rei-lang/src/satisfy.rs crates/rei-lang/src/spec.rs crates/rei-lang/src/word.rs Cargo.toml
+
+/root/repo/target/debug/deps/librei_lang-788a68d465b3b1f9.rmeta: crates/rei-lang/src/lib.rs crates/rei-lang/src/alphabet.rs crates/rei-lang/src/cs.rs crates/rei-lang/src/csops.rs crates/rei-lang/src/error.rs crates/rei-lang/src/guide.rs crates/rei-lang/src/infix.rs crates/rei-lang/src/satisfy.rs crates/rei-lang/src/spec.rs crates/rei-lang/src/word.rs Cargo.toml
+
+crates/rei-lang/src/lib.rs:
+crates/rei-lang/src/alphabet.rs:
+crates/rei-lang/src/cs.rs:
+crates/rei-lang/src/csops.rs:
+crates/rei-lang/src/error.rs:
+crates/rei-lang/src/guide.rs:
+crates/rei-lang/src/infix.rs:
+crates/rei-lang/src/satisfy.rs:
+crates/rei-lang/src/spec.rs:
+crates/rei-lang/src/word.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/rei_syntax-6b56bdf2099d3cbe.d: crates/rei-syntax/src/lib.rs crates/rei-syntax/src/cost.rs crates/rei-syntax/src/dfa.rs crates/rei-syntax/src/display.rs crates/rei-syntax/src/enumerate.rs crates/rei-syntax/src/error.rs crates/rei-syntax/src/matcher.rs crates/rei-syntax/src/metrics.rs crates/rei-syntax/src/nfa.rs crates/rei-syntax/src/parse.rs crates/rei-syntax/src/regex.rs crates/rei-syntax/src/simplify.rs
+
+/root/repo/target/debug/deps/librei_syntax-6b56bdf2099d3cbe.rlib: crates/rei-syntax/src/lib.rs crates/rei-syntax/src/cost.rs crates/rei-syntax/src/dfa.rs crates/rei-syntax/src/display.rs crates/rei-syntax/src/enumerate.rs crates/rei-syntax/src/error.rs crates/rei-syntax/src/matcher.rs crates/rei-syntax/src/metrics.rs crates/rei-syntax/src/nfa.rs crates/rei-syntax/src/parse.rs crates/rei-syntax/src/regex.rs crates/rei-syntax/src/simplify.rs
+
+/root/repo/target/debug/deps/librei_syntax-6b56bdf2099d3cbe.rmeta: crates/rei-syntax/src/lib.rs crates/rei-syntax/src/cost.rs crates/rei-syntax/src/dfa.rs crates/rei-syntax/src/display.rs crates/rei-syntax/src/enumerate.rs crates/rei-syntax/src/error.rs crates/rei-syntax/src/matcher.rs crates/rei-syntax/src/metrics.rs crates/rei-syntax/src/nfa.rs crates/rei-syntax/src/parse.rs crates/rei-syntax/src/regex.rs crates/rei-syntax/src/simplify.rs
+
+crates/rei-syntax/src/lib.rs:
+crates/rei-syntax/src/cost.rs:
+crates/rei-syntax/src/dfa.rs:
+crates/rei-syntax/src/display.rs:
+crates/rei-syntax/src/enumerate.rs:
+crates/rei-syntax/src/error.rs:
+crates/rei-syntax/src/matcher.rs:
+crates/rei-syntax/src/metrics.rs:
+crates/rei-syntax/src/nfa.rs:
+crates/rei-syntax/src/parse.rs:
+crates/rei-syntax/src/regex.rs:
+crates/rei-syntax/src/simplify.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/rei_syntax-938fbf31fef88d1b.d: crates/rei-syntax/src/lib.rs crates/rei-syntax/src/cost.rs crates/rei-syntax/src/dfa.rs crates/rei-syntax/src/display.rs crates/rei-syntax/src/enumerate.rs crates/rei-syntax/src/error.rs crates/rei-syntax/src/matcher.rs crates/rei-syntax/src/metrics.rs crates/rei-syntax/src/nfa.rs crates/rei-syntax/src/parse.rs crates/rei-syntax/src/regex.rs crates/rei-syntax/src/simplify.rs
+
+/root/repo/target/debug/deps/librei_syntax-938fbf31fef88d1b.rmeta: crates/rei-syntax/src/lib.rs crates/rei-syntax/src/cost.rs crates/rei-syntax/src/dfa.rs crates/rei-syntax/src/display.rs crates/rei-syntax/src/enumerate.rs crates/rei-syntax/src/error.rs crates/rei-syntax/src/matcher.rs crates/rei-syntax/src/metrics.rs crates/rei-syntax/src/nfa.rs crates/rei-syntax/src/parse.rs crates/rei-syntax/src/regex.rs crates/rei-syntax/src/simplify.rs
+
+crates/rei-syntax/src/lib.rs:
+crates/rei-syntax/src/cost.rs:
+crates/rei-syntax/src/dfa.rs:
+crates/rei-syntax/src/display.rs:
+crates/rei-syntax/src/enumerate.rs:
+crates/rei-syntax/src/error.rs:
+crates/rei-syntax/src/matcher.rs:
+crates/rei-syntax/src/metrics.rs:
+crates/rei-syntax/src/nfa.rs:
+crates/rei-syntax/src/parse.rs:
+crates/rei-syntax/src/regex.rs:
+crates/rei-syntax/src/simplify.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/rei_syntax-e0299ad1dafe4845.d: crates/rei-syntax/src/lib.rs crates/rei-syntax/src/cost.rs crates/rei-syntax/src/dfa.rs crates/rei-syntax/src/display.rs crates/rei-syntax/src/enumerate.rs crates/rei-syntax/src/error.rs crates/rei-syntax/src/matcher.rs crates/rei-syntax/src/metrics.rs crates/rei-syntax/src/nfa.rs crates/rei-syntax/src/parse.rs crates/rei-syntax/src/regex.rs crates/rei-syntax/src/simplify.rs Cargo.toml
+
+/root/repo/target/debug/deps/librei_syntax-e0299ad1dafe4845.rmeta: crates/rei-syntax/src/lib.rs crates/rei-syntax/src/cost.rs crates/rei-syntax/src/dfa.rs crates/rei-syntax/src/display.rs crates/rei-syntax/src/enumerate.rs crates/rei-syntax/src/error.rs crates/rei-syntax/src/matcher.rs crates/rei-syntax/src/metrics.rs crates/rei-syntax/src/nfa.rs crates/rei-syntax/src/parse.rs crates/rei-syntax/src/regex.rs crates/rei-syntax/src/simplify.rs Cargo.toml
+
+crates/rei-syntax/src/lib.rs:
+crates/rei-syntax/src/cost.rs:
+crates/rei-syntax/src/dfa.rs:
+crates/rei-syntax/src/display.rs:
+crates/rei-syntax/src/enumerate.rs:
+crates/rei-syntax/src/error.rs:
+crates/rei-syntax/src/matcher.rs:
+crates/rei-syntax/src/metrics.rs:
+crates/rei-syntax/src/nfa.rs:
+crates/rei-syntax/src/parse.rs:
+crates/rei-syntax/src/regex.rs:
+crates/rei-syntax/src/simplify.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce-24ddb4bbfdf97954.d: crates/rei-bench/src/bin/reproduce.rs
+
+/root/repo/target/debug/deps/reproduce-24ddb4bbfdf97954: crates/rei-bench/src/bin/reproduce.rs
+
+crates/rei-bench/src/bin/reproduce.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce-2f03347262f5d058.d: crates/rei-bench/src/bin/reproduce.rs
+
+/root/repo/target/debug/deps/libreproduce-2f03347262f5d058.rmeta: crates/rei-bench/src/bin/reproduce.rs
+
+crates/rei-bench/src/bin/reproduce.rs:

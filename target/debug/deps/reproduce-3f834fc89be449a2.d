@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce-3f834fc89be449a2.d: crates/rei-bench/src/bin/reproduce.rs
+
+/root/repo/target/debug/deps/libreproduce-3f834fc89be449a2.rmeta: crates/rei-bench/src/bin/reproduce.rs
+
+crates/rei-bench/src/bin/reproduce.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/reproduce-521ada1b806dfb23.d: crates/rei-bench/src/bin/reproduce.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreproduce-521ada1b806dfb23.rmeta: crates/rei-bench/src/bin/reproduce.rs Cargo.toml
+
+crates/rei-bench/src/bin/reproduce.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce-565c1c998f5b2e94.d: crates/rei-bench/src/bin/reproduce.rs
+
+/root/repo/target/debug/deps/reproduce-565c1c998f5b2e94: crates/rei-bench/src/bin/reproduce.rs
+
+crates/rei-bench/src/bin/reproduce.rs:

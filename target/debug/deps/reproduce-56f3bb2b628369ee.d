@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/reproduce-56f3bb2b628369ee.d: crates/rei-bench/src/bin/reproduce.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreproduce-56f3bb2b628369ee.rmeta: crates/rei-bench/src/bin/reproduce.rs Cargo.toml
+
+crates/rei-bench/src/bin/reproduce.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

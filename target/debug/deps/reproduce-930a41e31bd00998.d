@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce-930a41e31bd00998.d: crates/rei-bench/src/bin/reproduce.rs
+
+/root/repo/target/debug/deps/reproduce-930a41e31bd00998: crates/rei-bench/src/bin/reproduce.rs
+
+crates/rei-bench/src/bin/reproduce.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-1f6811ae3824d5c4.d: shims/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-1f6811ae3824d5c4.rmeta: shims/serde/src/lib.rs
+
+shims/serde/src/lib.rs:

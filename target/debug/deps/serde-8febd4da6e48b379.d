@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-8febd4da6e48b379.d: shims/serde/src/lib.rs
+
+/root/repo/target/debug/deps/serde-8febd4da6e48b379: shims/serde/src/lib.rs
+
+shims/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-e530d8a90c96e1f2.d: shims/serde/src/lib.rs
+
+/root/repo/target/debug/deps/serde-e530d8a90c96e1f2: shims/serde/src/lib.rs
+
+shims/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-49255c5dce60230a.d: shims/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-49255c5dce60230a.so: shims/serde_derive/src/lib.rs
+
+shims/serde_derive/src/lib.rs:

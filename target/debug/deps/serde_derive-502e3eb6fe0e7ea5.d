@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde_derive-502e3eb6fe0e7ea5.d: shims/serde_derive/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde_derive-502e3eb6fe0e7ea5.so: shims/serde_derive/src/lib.rs Cargo.toml
+
+shims/serde_derive/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-ca900d0893111fd1.d: shims/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-ca900d0893111fd1.rmeta: shims/serde_derive/src/lib.rs
+
+shims/serde_derive/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde_derive-f28172a039af844b.d: shims/serde_derive/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde_derive-f28172a039af844b.rmeta: shims/serde_derive/src/lib.rs Cargo.toml
+
+shims/serde_derive/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

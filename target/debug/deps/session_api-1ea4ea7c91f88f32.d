@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/session_api-1ea4ea7c91f88f32.d: tests/session_api.rs
+
+/root/repo/target/debug/deps/session_api-1ea4ea7c91f88f32: tests/session_api.rs
+
+tests/session_api.rs:

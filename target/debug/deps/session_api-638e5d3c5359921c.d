@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/session_api-638e5d3c5359921c.d: tests/session_api.rs
+
+/root/repo/target/debug/deps/libsession_api-638e5d3c5359921c.rmeta: tests/session_api.rs
+
+tests/session_api.rs:

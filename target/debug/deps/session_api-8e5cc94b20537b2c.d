@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/session_api-8e5cc94b20537b2c.d: tests/session_api.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsession_api-8e5cc94b20537b2c.rmeta: tests/session_api.rs Cargo.toml
+
+tests/session_api.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/session_api-f4f591014e5fa073.d: tests/session_api.rs
+
+/root/repo/target/debug/deps/session_api-f4f591014e5fa073: tests/session_api.rs
+
+tests/session_api.rs:

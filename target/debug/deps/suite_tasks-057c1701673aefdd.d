@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/suite_tasks-057c1701673aefdd.d: tests/suite_tasks.rs
+
+/root/repo/target/debug/deps/suite_tasks-057c1701673aefdd: tests/suite_tasks.rs
+
+tests/suite_tasks.rs:

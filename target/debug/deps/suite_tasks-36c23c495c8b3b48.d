@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/suite_tasks-36c23c495c8b3b48.d: tests/suite_tasks.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsuite_tasks-36c23c495c8b3b48.rmeta: tests/suite_tasks.rs Cargo.toml
+
+tests/suite_tasks.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/suite_tasks-b7be71b0b4f43aea.d: tests/suite_tasks.rs
+
+/root/repo/target/debug/deps/suite_tasks-b7be71b0b4f43aea: tests/suite_tasks.rs
+
+tests/suite_tasks.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/suite_tasks-e01e8669ec99fb3e.d: tests/suite_tasks.rs
+
+/root/repo/target/debug/deps/libsuite_tasks-e01e8669ec99fb3e.rmeta: tests/suite_tasks.rs
+
+tests/suite_tasks.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1-6b2ba239cab954e0.d: crates/bench/benches/table1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1-6b2ba239cab954e0.rmeta: crates/bench/benches/table1.rs Cargo.toml
+
+crates/bench/benches/table1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-b987f5144c3449a8.d: crates/bench/benches/table1.rs
+
+/root/repo/target/debug/deps/libtable1-b987f5144c3449a8.rmeta: crates/bench/benches/table1.rs
+
+crates/bench/benches/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-fcbeaa73a166e6ce.d: crates/bench/benches/table1.rs
+
+/root/repo/target/debug/deps/table1-fcbeaa73a166e6ce: crates/bench/benches/table1.rs
+
+crates/bench/benches/table1.rs:

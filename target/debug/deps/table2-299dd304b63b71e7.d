@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2-299dd304b63b71e7.d: crates/bench/benches/table2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2-299dd304b63b71e7.rmeta: crates/bench/benches/table2.rs Cargo.toml
+
+crates/bench/benches/table2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

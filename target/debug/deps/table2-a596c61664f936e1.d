@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-a596c61664f936e1.d: crates/bench/benches/table2.rs
+
+/root/repo/target/debug/deps/table2-a596c61664f936e1: crates/bench/benches/table2.rs
+
+crates/bench/benches/table2.rs:

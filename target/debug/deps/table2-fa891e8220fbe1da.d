@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-fa891e8220fbe1da.d: crates/bench/benches/table2.rs
+
+/root/repo/target/debug/deps/libtable2-fa891e8220fbe1da.rmeta: crates/bench/benches/table2.rs
+
+crates/bench/benches/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/__alpha_rt-fc4e6fc53d2c70de.d: examples/__alpha_rt.rs
+
+/root/repo/target/debug/examples/__alpha_rt-fc4e6fc53d2c70de: examples/__alpha_rt.rs
+
+examples/__alpha_rt.rs:

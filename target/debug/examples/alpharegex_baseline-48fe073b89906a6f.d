@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/alpharegex_baseline-48fe073b89906a6f.d: examples/alpharegex_baseline.rs
+
+/root/repo/target/debug/examples/alpharegex_baseline-48fe073b89906a6f: examples/alpharegex_baseline.rs
+
+examples/alpharegex_baseline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/alpharegex_baseline-865ede9aa4fd9669.d: examples/alpharegex_baseline.rs
+
+/root/repo/target/debug/examples/alpharegex_baseline-865ede9aa4fd9669: examples/alpharegex_baseline.rs
+
+examples/alpharegex_baseline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/alpharegex_baseline-9b1edfd430d4d772.d: examples/alpharegex_baseline.rs
+
+/root/repo/target/debug/examples/libalpharegex_baseline-9b1edfd430d4d772.rmeta: examples/alpharegex_baseline.rs
+
+examples/alpharegex_baseline.rs:

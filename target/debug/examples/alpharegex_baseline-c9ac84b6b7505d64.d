@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/alpharegex_baseline-c9ac84b6b7505d64.d: examples/alpharegex_baseline.rs Cargo.toml
+
+/root/repo/target/debug/examples/libalpharegex_baseline-c9ac84b6b7505d64.rmeta: examples/alpharegex_baseline.rs Cargo.toml
+
+examples/alpharegex_baseline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

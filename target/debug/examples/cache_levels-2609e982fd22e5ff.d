@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cache_levels-2609e982fd22e5ff.d: examples/cache_levels.rs
+
+/root/repo/target/debug/examples/cache_levels-2609e982fd22e5ff: examples/cache_levels.rs
+
+examples/cache_levels.rs:

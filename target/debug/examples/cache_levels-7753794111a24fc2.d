@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cache_levels-7753794111a24fc2.d: examples/cache_levels.rs
+
+/root/repo/target/debug/examples/libcache_levels-7753794111a24fc2.rmeta: examples/cache_levels.rs
+
+examples/cache_levels.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/cache_levels-c83ce418f51075cb.d: examples/cache_levels.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcache_levels-c83ce418f51075cb.rmeta: examples/cache_levels.rs Cargo.toml
+
+examples/cache_levels.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cache_levels-d7fbf4301a6aaca3.d: examples/cache_levels.rs
+
+/root/repo/target/debug/examples/cache_levels-d7fbf4301a6aaca3: examples/cache_levels.rs
+
+examples/cache_levels.rs:

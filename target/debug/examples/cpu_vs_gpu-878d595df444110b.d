@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cpu_vs_gpu-878d595df444110b.d: examples/cpu_vs_gpu.rs
+
+/root/repo/target/debug/examples/cpu_vs_gpu-878d595df444110b: examples/cpu_vs_gpu.rs
+
+examples/cpu_vs_gpu.rs:

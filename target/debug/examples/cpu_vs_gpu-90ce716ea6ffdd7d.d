@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/cpu_vs_gpu-90ce716ea6ffdd7d.d: examples/cpu_vs_gpu.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcpu_vs_gpu-90ce716ea6ffdd7d.rmeta: examples/cpu_vs_gpu.rs Cargo.toml
+
+examples/cpu_vs_gpu.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cpu_vs_gpu-b82d9c1faa6759db.d: examples/cpu_vs_gpu.rs
+
+/root/repo/target/debug/examples/libcpu_vs_gpu-b82d9c1faa6759db.rmeta: examples/cpu_vs_gpu.rs
+
+examples/cpu_vs_gpu.rs:

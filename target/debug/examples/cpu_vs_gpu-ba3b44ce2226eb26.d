@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cpu_vs_gpu-ba3b44ce2226eb26.d: examples/cpu_vs_gpu.rs
+
+/root/repo/target/debug/examples/cpu_vs_gpu-ba3b44ce2226eb26: examples/cpu_vs_gpu.rs
+
+examples/cpu_vs_gpu.rs:

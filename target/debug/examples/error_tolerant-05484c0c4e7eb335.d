@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/error_tolerant-05484c0c4e7eb335.d: examples/error_tolerant.rs Cargo.toml
+
+/root/repo/target/debug/examples/liberror_tolerant-05484c0c4e7eb335.rmeta: examples/error_tolerant.rs Cargo.toml
+
+examples/error_tolerant.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

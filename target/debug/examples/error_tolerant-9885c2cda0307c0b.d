@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/error_tolerant-9885c2cda0307c0b.d: examples/error_tolerant.rs
+
+/root/repo/target/debug/examples/error_tolerant-9885c2cda0307c0b: examples/error_tolerant.rs
+
+examples/error_tolerant.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/error_tolerant-9e60993d02c9506b.d: examples/error_tolerant.rs
+
+/root/repo/target/debug/examples/error_tolerant-9e60993d02c9506b: examples/error_tolerant.rs
+
+examples/error_tolerant.rs:

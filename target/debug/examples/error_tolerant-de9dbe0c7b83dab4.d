@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/error_tolerant-de9dbe0c7b83dab4.d: examples/error_tolerant.rs
+
+/root/repo/target/debug/examples/liberror_tolerant-de9dbe0c7b83dab4.rmeta: examples/error_tolerant.rs
+
+examples/error_tolerant.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/infix_closure-5700a06dc8ee6440.d: examples/infix_closure.rs
+
+/root/repo/target/debug/examples/libinfix_closure-5700a06dc8ee6440.rmeta: examples/infix_closure.rs
+
+examples/infix_closure.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/infix_closure-5f81a617b96482b5.d: examples/infix_closure.rs Cargo.toml
+
+/root/repo/target/debug/examples/libinfix_closure-5f81a617b96482b5.rmeta: examples/infix_closure.rs Cargo.toml
+
+examples/infix_closure.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/infix_closure-bf07fb21c186dbb4.d: examples/infix_closure.rs
+
+/root/repo/target/debug/examples/infix_closure-bf07fb21c186dbb4: examples/infix_closure.rs
+
+examples/infix_closure.rs:

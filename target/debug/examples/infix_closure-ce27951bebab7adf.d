@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/infix_closure-ce27951bebab7adf.d: examples/infix_closure.rs
+
+/root/repo/target/debug/examples/infix_closure-ce27951bebab7adf: examples/infix_closure.rs
+
+examples/infix_closure.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-0874265dcf6dddaf.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-0874265dcf6dddaf.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-528f056e6a2ffa38.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-528f056e6a2ffa38: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-68ef38dbc2fee0c3.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-68ef38dbc2fee0c3: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-b59fa6c21b7f1311.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-b59fa6c21b7f1311.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:

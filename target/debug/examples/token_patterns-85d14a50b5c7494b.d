@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/token_patterns-85d14a50b5c7494b.d: examples/token_patterns.rs
+
+/root/repo/target/debug/examples/libtoken_patterns-85d14a50b5c7494b.rmeta: examples/token_patterns.rs
+
+examples/token_patterns.rs:

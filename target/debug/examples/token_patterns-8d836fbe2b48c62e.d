@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/token_patterns-8d836fbe2b48c62e.d: examples/token_patterns.rs
+
+/root/repo/target/debug/examples/token_patterns-8d836fbe2b48c62e: examples/token_patterns.rs
+
+examples/token_patterns.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/token_patterns-ad4487274e4aaaeb.d: examples/token_patterns.rs
+
+/root/repo/target/debug/examples/token_patterns-ad4487274e4aaaeb: examples/token_patterns.rs
+
+examples/token_patterns.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/token_patterns-c2e93e7658c62a20.d: examples/token_patterns.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtoken_patterns-c2e93e7658c62a20.rmeta: examples/token_patterns.rs Cargo.toml
+
+examples/token_patterns.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

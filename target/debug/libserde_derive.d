@@ -1,0 +1,1 @@
+/root/repo/target/debug/libserde_derive.so: /root/repo/shims/serde_derive/src/lib.rs

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-ed09ff0702aadea7.d: crates/bench/benches/ablation.rs
+
+/root/repo/target/release/deps/ablation-ed09ff0702aadea7: crates/bench/benches/ablation.rs
+
+crates/bench/benches/ablation.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/alpharegex-1ba0b060b9052a06.d: crates/alpharegex/src/lib.rs crates/alpharegex/src/search.rs crates/alpharegex/src/state.rs
+
+/root/repo/target/release/deps/alpharegex-1ba0b060b9052a06: crates/alpharegex/src/lib.rs crates/alpharegex/src/search.rs crates/alpharegex/src/state.rs
+
+crates/alpharegex/src/lib.rs:
+crates/alpharegex/src/search.rs:
+crates/alpharegex/src/state.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench-b7077040e4abcebe.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/bench-b7077040e4abcebe: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

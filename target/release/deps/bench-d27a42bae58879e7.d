@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bench-d27a42bae58879e7.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libbench-d27a42bae58879e7.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libbench-d27a42bae58879e7.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/criterion-11ffb5828e656160.d: shims/criterion/src/lib.rs
+
+/root/repo/target/release/deps/criterion-11ffb5828e656160: shims/criterion/src/lib.rs
+
+shims/criterion/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-e762fdc98e89efd0.d: shims/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-e762fdc98e89efd0.rlib: shims/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-e762fdc98e89efd0.rmeta: shims/criterion/src/lib.rs
+
+shims/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/crossbeam-37e9ea6dc4928ff1.d: shims/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/crossbeam-37e9ea6dc4928ff1: shims/crossbeam/src/lib.rs
+
+shims/crossbeam/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/crossbeam-685d8f855f4b0916.d: shims/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-685d8f855f4b0916.rlib: shims/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-685d8f855f4b0916.rmeta: shims/crossbeam/src/lib.rs
+
+shims/crossbeam/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/error_table-c05518621986e355.d: crates/bench/benches/error_table.rs
+
+/root/repo/target/release/deps/error_table-c05518621986e355: crates/bench/benches/error_table.rs
+
+crates/bench/benches/error_table.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure1-2100c56ed620bf2f.d: crates/bench/benches/figure1.rs
+
+/root/repo/target/release/deps/figure1-2100c56ed620bf2f: crates/bench/benches/figure1.rs
+
+crates/bench/benches/figure1.rs:

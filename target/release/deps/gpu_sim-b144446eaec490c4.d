@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/gpu_sim-b144446eaec490c4.d: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/buffer.rs crates/gpu-sim/src/device.rs crates/gpu-sim/src/hashset.rs crates/gpu-sim/src/stats.rs
+
+/root/repo/target/release/deps/libgpu_sim-b144446eaec490c4.rlib: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/buffer.rs crates/gpu-sim/src/device.rs crates/gpu-sim/src/hashset.rs crates/gpu-sim/src/stats.rs
+
+/root/repo/target/release/deps/libgpu_sim-b144446eaec490c4.rmeta: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/buffer.rs crates/gpu-sim/src/device.rs crates/gpu-sim/src/hashset.rs crates/gpu-sim/src/stats.rs
+
+crates/gpu-sim/src/lib.rs:
+crates/gpu-sim/src/buffer.rs:
+crates/gpu-sim/src/device.rs:
+crates/gpu-sim/src/hashset.rs:
+crates/gpu-sim/src/stats.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/gpu_sim-f8e4a031e87a8867.d: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/buffer.rs crates/gpu-sim/src/device.rs crates/gpu-sim/src/hashset.rs crates/gpu-sim/src/stats.rs
+
+/root/repo/target/release/deps/gpu_sim-f8e4a031e87a8867: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/buffer.rs crates/gpu-sim/src/device.rs crates/gpu-sim/src/hashset.rs crates/gpu-sim/src/stats.rs
+
+crates/gpu-sim/src/lib.rs:
+crates/gpu-sim/src/buffer.rs:
+crates/gpu-sim/src/device.rs:
+crates/gpu-sim/src/hashset.rs:
+crates/gpu-sim/src/stats.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/micro_ops-7366985924e9b487.d: crates/bench/benches/micro_ops.rs
+
+/root/repo/target/release/deps/micro_ops-7366985924e9b487: crates/bench/benches/micro_ops.rs
+
+crates/bench/benches/micro_ops.rs:

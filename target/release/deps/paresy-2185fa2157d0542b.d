@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/paresy-2185fa2157d0542b.d: src/lib.rs
+
+/root/repo/target/release/deps/paresy-2185fa2157d0542b: src/lib.rs
+
+src/lib.rs:

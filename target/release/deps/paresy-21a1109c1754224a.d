@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/paresy-21a1109c1754224a.d: crates/paresy-cli/src/main.rs
+
+/root/repo/target/release/deps/paresy-21a1109c1754224a: crates/paresy-cli/src/main.rs
+
+crates/paresy-cli/src/main.rs:

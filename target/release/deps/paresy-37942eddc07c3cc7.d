@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/paresy-37942eddc07c3cc7.d: src/lib.rs
+
+/root/repo/target/release/deps/libparesy-37942eddc07c3cc7.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libparesy-37942eddc07c3cc7.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/paresy-7b2d13c6a7b44028.d: crates/paresy-cli/src/main.rs
+
+/root/repo/target/release/deps/paresy-7b2d13c6a7b44028: crates/paresy-cli/src/main.rs
+
+crates/paresy-cli/src/main.rs:

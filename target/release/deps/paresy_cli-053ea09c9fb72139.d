@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/paresy_cli-053ea09c9fb72139.d: crates/paresy-cli/src/lib.rs crates/paresy-cli/src/args.rs crates/paresy-cli/src/commands.rs crates/paresy-cli/src/specfile.rs
+
+/root/repo/target/release/deps/paresy_cli-053ea09c9fb72139: crates/paresy-cli/src/lib.rs crates/paresy-cli/src/args.rs crates/paresy-cli/src/commands.rs crates/paresy-cli/src/specfile.rs
+
+crates/paresy-cli/src/lib.rs:
+crates/paresy-cli/src/args.rs:
+crates/paresy-cli/src/commands.rs:
+crates/paresy-cli/src/specfile.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/paresy_cli-1e4573a4860b307a.d: crates/paresy-cli/src/lib.rs crates/paresy-cli/src/args.rs crates/paresy-cli/src/commands.rs crates/paresy-cli/src/specfile.rs
+
+/root/repo/target/release/deps/libparesy_cli-1e4573a4860b307a.rlib: crates/paresy-cli/src/lib.rs crates/paresy-cli/src/args.rs crates/paresy-cli/src/commands.rs crates/paresy-cli/src/specfile.rs
+
+/root/repo/target/release/deps/libparesy_cli-1e4573a4860b307a.rmeta: crates/paresy-cli/src/lib.rs crates/paresy-cli/src/args.rs crates/paresy-cli/src/commands.rs crates/paresy-cli/src/specfile.rs
+
+crates/paresy-cli/src/lib.rs:
+crates/paresy-cli/src/args.rs:
+crates/paresy-cli/src/commands.rs:
+crates/paresy-cli/src/specfile.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/parking_lot-8d7fc3ade4b7ba52.d: shims/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/parking_lot-8d7fc3ade4b7ba52: shims/parking_lot/src/lib.rs
+
+shims/parking_lot/src/lib.rs:

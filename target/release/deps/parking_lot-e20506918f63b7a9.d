@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-e20506918f63b7a9.d: shims/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-e20506918f63b7a9.rlib: shims/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-e20506918f63b7a9.rmeta: shims/parking_lot/src/lib.rs
+
+shims/parking_lot/src/lib.rs:

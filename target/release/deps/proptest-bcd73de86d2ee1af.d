@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest-bcd73de86d2ee1af.d: shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/proptest-bcd73de86d2ee1af: shims/proptest/src/lib.rs
+
+shims/proptest/src/lib.rs:

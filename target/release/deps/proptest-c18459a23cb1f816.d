@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-c18459a23cb1f816.d: shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-c18459a23cb1f816.rlib: shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-c18459a23cb1f816.rmeta: shims/proptest/src/lib.rs
+
+shims/proptest/src/lib.rs:

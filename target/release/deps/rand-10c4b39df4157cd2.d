@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-10c4b39df4157cd2.d: shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-10c4b39df4157cd2.rlib: shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-10c4b39df4157cd2.rmeta: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rand-23a84e3d6f008aad.d: shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/rand-23a84e3d6f008aad: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

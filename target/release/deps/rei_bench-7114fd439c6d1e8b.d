@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/rei_bench-7114fd439c6d1e8b.d: crates/rei-bench/src/lib.rs crates/rei-bench/src/costs.rs crates/rei-bench/src/generator.rs crates/rei-bench/src/harness/mod.rs crates/rei-bench/src/harness/error_table.rs crates/rei-bench/src/harness/figure1.rs crates/rei-bench/src/harness/outliers.rs crates/rei-bench/src/harness/table1.rs crates/rei-bench/src/harness/table2.rs crates/rei-bench/src/report.rs crates/rei-bench/src/suite.rs
+
+/root/repo/target/release/deps/rei_bench-7114fd439c6d1e8b: crates/rei-bench/src/lib.rs crates/rei-bench/src/costs.rs crates/rei-bench/src/generator.rs crates/rei-bench/src/harness/mod.rs crates/rei-bench/src/harness/error_table.rs crates/rei-bench/src/harness/figure1.rs crates/rei-bench/src/harness/outliers.rs crates/rei-bench/src/harness/table1.rs crates/rei-bench/src/harness/table2.rs crates/rei-bench/src/report.rs crates/rei-bench/src/suite.rs
+
+crates/rei-bench/src/lib.rs:
+crates/rei-bench/src/costs.rs:
+crates/rei-bench/src/generator.rs:
+crates/rei-bench/src/harness/mod.rs:
+crates/rei-bench/src/harness/error_table.rs:
+crates/rei-bench/src/harness/figure1.rs:
+crates/rei-bench/src/harness/outliers.rs:
+crates/rei-bench/src/harness/table1.rs:
+crates/rei-bench/src/harness/table2.rs:
+crates/rei-bench/src/report.rs:
+crates/rei-bench/src/suite.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/rei_bench-ae365b8a98bdce1e.d: crates/rei-bench/src/lib.rs crates/rei-bench/src/costs.rs crates/rei-bench/src/generator.rs crates/rei-bench/src/harness/mod.rs crates/rei-bench/src/harness/error_table.rs crates/rei-bench/src/harness/figure1.rs crates/rei-bench/src/harness/outliers.rs crates/rei-bench/src/harness/table1.rs crates/rei-bench/src/harness/table2.rs crates/rei-bench/src/report.rs crates/rei-bench/src/suite.rs
+
+/root/repo/target/release/deps/librei_bench-ae365b8a98bdce1e.rlib: crates/rei-bench/src/lib.rs crates/rei-bench/src/costs.rs crates/rei-bench/src/generator.rs crates/rei-bench/src/harness/mod.rs crates/rei-bench/src/harness/error_table.rs crates/rei-bench/src/harness/figure1.rs crates/rei-bench/src/harness/outliers.rs crates/rei-bench/src/harness/table1.rs crates/rei-bench/src/harness/table2.rs crates/rei-bench/src/report.rs crates/rei-bench/src/suite.rs
+
+/root/repo/target/release/deps/librei_bench-ae365b8a98bdce1e.rmeta: crates/rei-bench/src/lib.rs crates/rei-bench/src/costs.rs crates/rei-bench/src/generator.rs crates/rei-bench/src/harness/mod.rs crates/rei-bench/src/harness/error_table.rs crates/rei-bench/src/harness/figure1.rs crates/rei-bench/src/harness/outliers.rs crates/rei-bench/src/harness/table1.rs crates/rei-bench/src/harness/table2.rs crates/rei-bench/src/report.rs crates/rei-bench/src/suite.rs
+
+crates/rei-bench/src/lib.rs:
+crates/rei-bench/src/costs.rs:
+crates/rei-bench/src/generator.rs:
+crates/rei-bench/src/harness/mod.rs:
+crates/rei-bench/src/harness/error_table.rs:
+crates/rei-bench/src/harness/figure1.rs:
+crates/rei-bench/src/harness/outliers.rs:
+crates/rei-bench/src/harness/table1.rs:
+crates/rei-bench/src/harness/table2.rs:
+crates/rei-bench/src/report.rs:
+crates/rei-bench/src/suite.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/rei_core-0a38599c2332a857.d: crates/rei-core/src/lib.rs crates/rei-core/src/backend.rs crates/rei-core/src/cache.rs crates/rei-core/src/config.rs crates/rei-core/src/engine.rs crates/rei-core/src/observe.rs crates/rei-core/src/result.rs crates/rei-core/src/search.rs crates/rei-core/src/session.rs crates/rei-core/src/synth.rs
+
+/root/repo/target/release/deps/rei_core-0a38599c2332a857: crates/rei-core/src/lib.rs crates/rei-core/src/backend.rs crates/rei-core/src/cache.rs crates/rei-core/src/config.rs crates/rei-core/src/engine.rs crates/rei-core/src/observe.rs crates/rei-core/src/result.rs crates/rei-core/src/search.rs crates/rei-core/src/session.rs crates/rei-core/src/synth.rs
+
+crates/rei-core/src/lib.rs:
+crates/rei-core/src/backend.rs:
+crates/rei-core/src/cache.rs:
+crates/rei-core/src/config.rs:
+crates/rei-core/src/engine.rs:
+crates/rei-core/src/observe.rs:
+crates/rei-core/src/result.rs:
+crates/rei-core/src/search.rs:
+crates/rei-core/src/session.rs:
+crates/rei-core/src/synth.rs:

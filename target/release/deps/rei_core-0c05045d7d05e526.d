@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/rei_core-0c05045d7d05e526.d: crates/rei-core/src/lib.rs crates/rei-core/src/backend.rs crates/rei-core/src/cache.rs crates/rei-core/src/config.rs crates/rei-core/src/engine.rs crates/rei-core/src/observe.rs crates/rei-core/src/result.rs crates/rei-core/src/search.rs crates/rei-core/src/session.rs crates/rei-core/src/synth.rs
+
+/root/repo/target/release/deps/librei_core-0c05045d7d05e526.rlib: crates/rei-core/src/lib.rs crates/rei-core/src/backend.rs crates/rei-core/src/cache.rs crates/rei-core/src/config.rs crates/rei-core/src/engine.rs crates/rei-core/src/observe.rs crates/rei-core/src/result.rs crates/rei-core/src/search.rs crates/rei-core/src/session.rs crates/rei-core/src/synth.rs
+
+/root/repo/target/release/deps/librei_core-0c05045d7d05e526.rmeta: crates/rei-core/src/lib.rs crates/rei-core/src/backend.rs crates/rei-core/src/cache.rs crates/rei-core/src/config.rs crates/rei-core/src/engine.rs crates/rei-core/src/observe.rs crates/rei-core/src/result.rs crates/rei-core/src/search.rs crates/rei-core/src/session.rs crates/rei-core/src/synth.rs
+
+crates/rei-core/src/lib.rs:
+crates/rei-core/src/backend.rs:
+crates/rei-core/src/cache.rs:
+crates/rei-core/src/config.rs:
+crates/rei-core/src/engine.rs:
+crates/rei-core/src/observe.rs:
+crates/rei-core/src/result.rs:
+crates/rei-core/src/search.rs:
+crates/rei-core/src/session.rs:
+crates/rei-core/src/synth.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/rei_lang-04d8d645223f260e.d: crates/rei-lang/src/lib.rs crates/rei-lang/src/alphabet.rs crates/rei-lang/src/cs.rs crates/rei-lang/src/csops.rs crates/rei-lang/src/error.rs crates/rei-lang/src/guide.rs crates/rei-lang/src/infix.rs crates/rei-lang/src/satisfy.rs crates/rei-lang/src/spec.rs crates/rei-lang/src/word.rs
+
+/root/repo/target/release/deps/librei_lang-04d8d645223f260e.rlib: crates/rei-lang/src/lib.rs crates/rei-lang/src/alphabet.rs crates/rei-lang/src/cs.rs crates/rei-lang/src/csops.rs crates/rei-lang/src/error.rs crates/rei-lang/src/guide.rs crates/rei-lang/src/infix.rs crates/rei-lang/src/satisfy.rs crates/rei-lang/src/spec.rs crates/rei-lang/src/word.rs
+
+/root/repo/target/release/deps/librei_lang-04d8d645223f260e.rmeta: crates/rei-lang/src/lib.rs crates/rei-lang/src/alphabet.rs crates/rei-lang/src/cs.rs crates/rei-lang/src/csops.rs crates/rei-lang/src/error.rs crates/rei-lang/src/guide.rs crates/rei-lang/src/infix.rs crates/rei-lang/src/satisfy.rs crates/rei-lang/src/spec.rs crates/rei-lang/src/word.rs
+
+crates/rei-lang/src/lib.rs:
+crates/rei-lang/src/alphabet.rs:
+crates/rei-lang/src/cs.rs:
+crates/rei-lang/src/csops.rs:
+crates/rei-lang/src/error.rs:
+crates/rei-lang/src/guide.rs:
+crates/rei-lang/src/infix.rs:
+crates/rei-lang/src/satisfy.rs:
+crates/rei-lang/src/spec.rs:
+crates/rei-lang/src/word.rs:

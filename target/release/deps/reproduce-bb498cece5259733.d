@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/reproduce-bb498cece5259733.d: crates/rei-bench/src/bin/reproduce.rs
+
+/root/repo/target/release/deps/reproduce-bb498cece5259733: crates/rei-bench/src/bin/reproduce.rs
+
+crates/rei-bench/src/bin/reproduce.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/reproduce-e44dbf1bfb1f221e.d: crates/rei-bench/src/bin/reproduce.rs
+
+/root/repo/target/release/deps/reproduce-e44dbf1bfb1f221e: crates/rei-bench/src/bin/reproduce.rs
+
+crates/rei-bench/src/bin/reproduce.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde-6a913fc597f5d95a.d: shims/serde/src/lib.rs
+
+/root/repo/target/release/deps/serde-6a913fc597f5d95a: shims/serde/src/lib.rs
+
+shims/serde/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-97cfc78f0c14a757.d: shims/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-97cfc78f0c14a757.rlib: shims/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-97cfc78f0c14a757.rmeta: shims/serde/src/lib.rs
+
+shims/serde/src/lib.rs:

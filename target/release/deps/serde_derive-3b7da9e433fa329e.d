@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-3b7da9e433fa329e.d: shims/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-3b7da9e433fa329e.so: shims/serde_derive/src/lib.rs
+
+shims/serde_derive/src/lib.rs:

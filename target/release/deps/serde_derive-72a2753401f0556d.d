@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-72a2753401f0556d.d: shims/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/serde_derive-72a2753401f0556d: shims/serde_derive/src/lib.rs
+
+shims/serde_derive/src/lib.rs:

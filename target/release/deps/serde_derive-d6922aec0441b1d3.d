@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-d6922aec0441b1d3.d: shims/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-d6922aec0441b1d3.so: shims/serde_derive/src/lib.rs
+
+shims/serde_derive/src/lib.rs:

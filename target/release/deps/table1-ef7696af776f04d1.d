@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-ef7696af776f04d1.d: crates/bench/benches/table1.rs
+
+/root/repo/target/release/deps/table1-ef7696af776f04d1: crates/bench/benches/table1.rs
+
+crates/bench/benches/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-d58f99932939b64d.d: crates/bench/benches/table2.rs
+
+/root/repo/target/release/deps/table2-d58f99932939b64d: crates/bench/benches/table2.rs
+
+crates/bench/benches/table2.rs:

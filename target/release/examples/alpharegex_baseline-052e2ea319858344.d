@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/alpharegex_baseline-052e2ea319858344.d: examples/alpharegex_baseline.rs
+
+/root/repo/target/release/examples/alpharegex_baseline-052e2ea319858344: examples/alpharegex_baseline.rs
+
+examples/alpharegex_baseline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/cache_levels-374c63e38f5eb392.d: examples/cache_levels.rs
+
+/root/repo/target/release/examples/cache_levels-374c63e38f5eb392: examples/cache_levels.rs
+
+examples/cache_levels.rs:

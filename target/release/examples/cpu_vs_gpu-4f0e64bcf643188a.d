@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/cpu_vs_gpu-4f0e64bcf643188a.d: examples/cpu_vs_gpu.rs
+
+/root/repo/target/release/examples/cpu_vs_gpu-4f0e64bcf643188a: examples/cpu_vs_gpu.rs
+
+examples/cpu_vs_gpu.rs:

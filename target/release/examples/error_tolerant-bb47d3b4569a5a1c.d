@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/error_tolerant-bb47d3b4569a5a1c.d: examples/error_tolerant.rs
+
+/root/repo/target/release/examples/error_tolerant-bb47d3b4569a5a1c: examples/error_tolerant.rs
+
+examples/error_tolerant.rs:

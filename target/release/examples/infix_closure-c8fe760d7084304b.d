@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/infix_closure-c8fe760d7084304b.d: examples/infix_closure.rs
+
+/root/repo/target/release/examples/infix_closure-c8fe760d7084304b: examples/infix_closure.rs
+
+examples/infix_closure.rs:

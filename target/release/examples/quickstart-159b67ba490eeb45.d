@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-159b67ba490eeb45.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-159b67ba490eeb45: examples/quickstart.rs
+
+examples/quickstart.rs:

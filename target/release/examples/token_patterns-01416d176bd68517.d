@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/token_patterns-01416d176bd68517.d: examples/token_patterns.rs
+
+/root/repo/target/release/examples/token_patterns-01416d176bd68517: examples/token_patterns.rs
+
+examples/token_patterns.rs:

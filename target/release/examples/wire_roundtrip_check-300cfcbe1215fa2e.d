@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/wire_roundtrip_check-300cfcbe1215fa2e.d: examples/wire_roundtrip_check.rs
+
+/root/repo/target/release/examples/wire_roundtrip_check-300cfcbe1215fa2e: examples/wire_roundtrip_check.rs
+
+examples/wire_roundtrip_check.rs:

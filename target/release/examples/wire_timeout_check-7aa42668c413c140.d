@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/wire_timeout_check-7aa42668c413c140.d: examples/wire_timeout_check.rs
+
+/root/repo/target/release/examples/wire_timeout_check-7aa42668c413c140: examples/wire_timeout_check.rs
+
+examples/wire_timeout_check.rs:

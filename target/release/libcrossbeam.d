@@ -1,0 +1,1 @@
+/root/repo/target/release/libcrossbeam.rlib: /root/repo/shims/crossbeam/src/lib.rs

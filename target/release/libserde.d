@@ -1,0 +1,1 @@
+/root/repo/target/release/libserde.rlib: /root/repo/shims/serde/src/lib.rs /root/repo/shims/serde_derive/src/lib.rs
