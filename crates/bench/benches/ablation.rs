@@ -1,33 +1,45 @@
-//! Ablations of the design choices called out in `DESIGN.md` §5:
-//! guide-table staging and the choice of uniqueness structure, measured on
-//! a whole synthesis run rather than a single kernel (see `micro_ops` for
-//! the per-kernel numbers).
+//! Ablations of the repo's staging design choices: guide-table staging
+//! and the choice of uniqueness structure, measured on a whole synthesis
+//! run rather than a single kernel (see `micro_ops` for the per-kernel
+//! numbers, including mask-based vs gather concatenation).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use bench::{error_table_spec, example_3_6_spec};
 use gpu_sim::hashset::{LockFreeU64Set, ShardedSet};
 use rei_core::Synthesizer;
-use rei_lang::{csops, Cs, GuideTable, InfixClosure};
+use rei_lang::{csops, Cs, GuideMasks, GuideTable, InfixClosure};
 use rei_syntax::{parse, CostFn};
 
-/// Staged guide table vs. on-the-fly split enumeration, amortised over the
-/// number of concatenations a real level performs.
+/// Staged split tables (mask-based and pair-based) vs. on-the-fly split
+/// enumeration, amortised over the number of concatenations a real level
+/// performs.
 fn guide_table_staging(c: &mut Criterion) {
     let spec = error_table_spec();
     let ic = InfixClosure::of_spec(&spec);
     let gt = GuideTable::build(&ic);
+    let gm = GuideMasks::build(&ic);
     let operands: Vec<Cs> = ["0", "1", "0?1", "(0+1)(0+1)", "1(0+1)*", "(0+11)*1"]
         .iter()
         .map(|e| ic.cs_of_regex(&parse(e).unwrap()))
         .collect();
     let mut group = c.benchmark_group("ablation/guide_table");
+    group.bench_function("masked_36_concats", |b| {
+        let mut dst = Cs::zero(ic.width());
+        b.iter(|| {
+            for l in &operands {
+                for r in &operands {
+                    csops::concat_into(dst.blocks_mut(), l.blocks(), r.blocks(), &gm);
+                }
+            }
+        })
+    });
     group.bench_function("staged_36_concats", |b| {
         let mut dst = Cs::zero(ic.width());
         b.iter(|| {
             for l in &operands {
                 for r in &operands {
-                    csops::concat_into(dst.blocks_mut(), l.blocks(), r.blocks(), &gt);
+                    csops::concat_into_gather(dst.blocks_mut(), l.blocks(), r.blocks(), &gt);
                 }
             }
         })
@@ -42,8 +54,9 @@ fn guide_table_staging(c: &mut Criterion) {
             }
         })
     });
-    // Include the one-off staging cost itself for context.
+    // Include the one-off staging costs themselves for context.
     group.bench_function("staging_cost", |b| b.iter(|| GuideTable::build(&ic)));
+    group.bench_function("mask_staging_cost", |b| b.iter(|| GuideMasks::build(&ic)));
     group.finish();
 }
 

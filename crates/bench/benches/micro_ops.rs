@@ -7,7 +7,7 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use bench::{error_table_spec, example_3_6_spec};
 use gpu_sim::hashset::LockFreeU64Set;
 use gpu_sim::Device;
-use rei_lang::{csops, Cs, GuideTable, InfixClosure};
+use rei_lang::{csops, Cs, GuideMasks, GuideTable, InfixClosure};
 use rei_syntax::parse;
 
 fn substrate_construction(c: &mut Criterion) {
@@ -20,6 +20,9 @@ fn substrate_construction(c: &mut Criterion) {
     group.bench_function("guide_table_build", |b| {
         b.iter(|| GuideTable::build(std::hint::black_box(&ic)))
     });
+    group.bench_function("guide_masks_build", |b| {
+        b.iter(|| GuideMasks::build(std::hint::black_box(&ic)))
+    });
     group.finish();
 }
 
@@ -27,6 +30,7 @@ fn cs_kernels(c: &mut Criterion) {
     let spec = example_3_6_spec();
     let ic = InfixClosure::of_spec(&spec);
     let gt = GuideTable::build(&ic);
+    let gm = GuideMasks::build(&ic);
     let a = ic.cs_of_regex(&parse("(0?1)*").unwrap());
     let b_cs = ic.cs_of_regex(&parse("1(0+1)?").unwrap());
     let eps = ic.eps_index().unwrap();
@@ -37,18 +41,31 @@ fn cs_kernels(c: &mut Criterion) {
         let mut dst = Cs::zero(width);
         b.iter(|| csops::or_into(dst.blocks_mut(), a.blocks(), b_cs.blocks()))
     });
-    group.bench_function("concat_staged", |b| {
+    // The three concatenation kernels, fastest to slowest: the mask-based
+    // hot path, the split gather it replaced, and the unstaged baseline.
+    group.bench_function("concat_masked", |b| {
         let mut dst = Cs::zero(width);
-        b.iter(|| csops::concat_into(dst.blocks_mut(), a.blocks(), b_cs.blocks(), &gt))
+        b.iter(|| csops::concat_into(dst.blocks_mut(), a.blocks(), b_cs.blocks(), &gm))
+    });
+    group.bench_function("concat_gather", |b| {
+        let mut dst = Cs::zero(width);
+        b.iter(|| csops::concat_into_gather(dst.blocks_mut(), a.blocks(), b_cs.blocks(), &gt))
     });
     group.bench_function("concat_unstaged", |b| {
         let mut dst = Cs::zero(width);
         b.iter(|| csops::concat_into_unstaged(dst.blocks_mut(), a.blocks(), b_cs.blocks(), &ic))
     });
-    group.bench_function("star", |b| {
+    // Star by squaring (over the mask table) against the linear fixed
+    // point (over the pair table) it replaced.
+    group.bench_function("star_squared", |b| {
         let mut dst = Cs::zero(width);
         let mut scratch = vec![0u64; width.blocks()];
-        b.iter(|| csops::star_into(dst.blocks_mut(), a.blocks(), &gt, eps, &mut scratch))
+        b.iter(|| csops::star_into(dst.blocks_mut(), a.blocks(), &gm, eps, &mut scratch))
+    });
+    group.bench_function("star_linear", |b| {
+        let mut dst = Cs::zero(width);
+        let mut scratch = vec![0u64; width.blocks()];
+        b.iter(|| csops::star_into_linear(dst.blocks_mut(), a.blocks(), &gt, eps, &mut scratch))
     });
     group.finish();
 }

@@ -1,9 +1,10 @@
 //! Shared fixtures for the Criterion benchmark suite.
 //!
 //! Each bench target in `benches/` regenerates one table or figure of the
-//! paper (see `DESIGN.md` for the experiment index); this library only
-//! provides the specifications they operate on so that all targets measure
-//! the same inputs.
+//! paper (`figure1`, `table1`, `table2`, `error_table`) or measures the
+//! substrate (`micro_ops`, `ablation`); this library only provides the
+//! specifications they operate on so that all targets measure the same
+//! inputs.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -264,6 +264,17 @@ impl Device {
             .fetch_sub(bytes, Ordering::Relaxed);
     }
 
+    /// Records a kernel launch of `items` items that was *scheduled by the
+    /// caller* rather than through [`Device::launch`] /
+    /// [`Device::launch_chunks`].
+    ///
+    /// Backends that partition work over their own scoped threads (the
+    /// thread-parallel CPU backend) use this so that launch and item
+    /// counters stay comparable across backends in benchmark reports.
+    pub fn record_launch(&self, items: usize) {
+        self.note_launch(items);
+    }
+
     /// Records `count` hash-set insertions in the device statistics.
     ///
     /// The concurrent sets themselves do not touch this counter so that

@@ -98,7 +98,8 @@ paresy — search-based regular expression inference (Paresy, PLDI 2023)
 USAGE:
   paresy synth    [--pos w1,w2,...] [--neg w1,w2,...] [--spec-file FILE]
                   [--batch FILE1,FILE2,...]
-                  [--cost a,q,s,c,u] [--backend cpu-sequential|gpu-sim-parallel]
+                  [--cost a,q,s,c,u]
+                  [--backend cpu-sequential|cpu-thread-parallel|gpu-sim-parallel]
                   [--error FRACTION] [--max-cost N] [--timeout SECONDS]
                   [--compare-baseline]
   paresy suite    [--task N]
@@ -106,9 +107,10 @@ USAGE:
   paresy help
 
 Examples are comma separated; the empty string is written 'ε'.
-Backends also accept the aliases sequential/cpu and parallel/gpu, the
-latter optionally with a thread count (parallel:8). --batch runs every
-file through one session, so the parallel backend's device is set up once.
+Backends also accept the aliases sequential/cpu, threads/thread-parallel
+and parallel/gpu; the multi-threaded forms take an optional thread count
+(threads:4, parallel:8). --batch runs every file through one session, so
+a parallel backend's device is set up once.
 ";
 
 fn split_words(raw: &str) -> Vec<String> {
@@ -351,6 +353,13 @@ mod tests {
             ("gpu-sim-parallel", BackendChoice::parallel()),
             ("parallel", BackendChoice::parallel()),
             ("gpu", BackendChoice::parallel()),
+            ("cpu-thread-parallel", BackendChoice::threaded()),
+            ("threads", BackendChoice::threaded()),
+            ("thread-parallel", BackendChoice::threaded()),
+            (
+                "threads:4",
+                BackendChoice::ThreadParallel { threads: Some(4) },
+            ),
             (
                 "parallel:8",
                 BackendChoice::DeviceParallel { threads: Some(8) },

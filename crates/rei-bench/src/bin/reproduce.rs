@@ -2,18 +2,21 @@
 //! figures.
 //!
 //! ```text
-//! reproduce [--full] [--seed N] <experiment>
-//!   experiment: figure1 | table1 | table2 | outliers | error | all
+//! reproduce [--full] [--seed N] [--out FILE] <experiment>
+//!   experiment: figure1 | table1 | table2 | outliers | error | perf | all
 //! ```
 //!
 //! By default the quick scale is used (seconds per experiment); `--full`
 //! switches to paper-scale parameters with a 5-second per-run timeout.
+//! The `perf` experiment additionally writes the machine-readable
+//! baseline `BENCH_core.json` (path overridable with `--out`); see
+//! `ROADMAP.md` for how to read it.
 
 use std::process::ExitCode;
 
 use rei_bench::harness::{
-    outlier_distribution, run_error_table, run_figure1, run_table1, run_table2, HarnessConfig,
-    RunOutcome, PAPER_THRESHOLDS,
+    outlier_distribution, run_error_table, run_figure1, run_perf, run_table1, run_table2,
+    HarnessConfig, RunOutcome, PAPER_THRESHOLDS,
 };
 use rei_bench::report::{fmt_opt, format_table};
 
@@ -21,6 +24,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut config = HarnessConfig::quick();
     let mut experiment: Option<String> = None;
+    let mut out_path = "BENCH_core.json".to_string();
     let mut iter = args.iter().peekable();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -28,6 +32,10 @@ fn main() -> ExitCode {
             "--seed" => match iter.next().and_then(|s| s.parse().ok()) {
                 Some(seed) => config.seed = seed,
                 None => return usage("--seed expects an integer"),
+            },
+            "--out" => match iter.next() {
+                Some(path) => out_path = path.clone(),
+                None => return usage("--out expects a file path"),
             },
             "--help" | "-h" => return usage(""),
             other if experiment.is_none() && !other.starts_with('-') => {
@@ -46,12 +54,20 @@ fn main() -> ExitCode {
         "table2" => print_table2(&config),
         "outliers" => print_outliers(&config),
         "error" => print_error(&config),
+        "perf" => {
+            if !print_perf(&config, &out_path) {
+                return ExitCode::FAILURE;
+            }
+        }
         "all" => {
             print_figure1(&config);
             print_table1(&config);
             print_table2(&config);
             print_outliers(&config);
             print_error(&config);
+            if !print_perf(&config, &out_path) {
+                return ExitCode::FAILURE;
+            }
         }
         other => return usage(&format!("unknown experiment '{other}'")),
     }
@@ -62,7 +78,10 @@ fn usage(error: &str) -> ExitCode {
     if !error.is_empty() {
         eprintln!("error: {error}");
     }
-    eprintln!("usage: reproduce [--full] [--seed N] <figure1|table1|table2|outliers|error|all>");
+    eprintln!(
+        "usage: reproduce [--full] [--seed N] [--out FILE] \
+         <figure1|table1|table2|outliers|error|perf|all>"
+    );
     if error.is_empty() {
         ExitCode::SUCCESS
     } else {
@@ -203,6 +222,78 @@ fn print_table2(config: &HarnessConfig) {
             &table_rows
         )
     );
+}
+
+fn print_perf(config: &HarnessConfig, out_path: &str) -> bool {
+    println!("== Perf baseline: kernels and backends ==");
+    let report = run_perf(config);
+    let kernel_rows: Vec<Vec<String>> = report
+        .kernels
+        .iter()
+        .map(|k| {
+            vec![
+                k.benchmark.clone(),
+                k.closure_size.to_string(),
+                format!("{:.0}", k.concat_gather_ns),
+                format!("{:.0}", k.concat_masked_ns),
+                format!("{:.2}x", k.concat_speedup),
+                format!("{:.0}", k.star_linear_ns),
+                format!("{:.0}", k.star_squared_ns),
+                format!("{:.2}x", k.star_speedup),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        format_table(
+            &[
+                "bench",
+                "#ic",
+                "gather ns",
+                "masked ns",
+                "concat",
+                "linear ns",
+                "squared ns",
+                "star"
+            ],
+            &kernel_rows
+        )
+    );
+    println!(
+        "geomean speedups: concat {:.2}x, star {:.2}x\n",
+        report.geomean_concat_speedup, report.geomean_star_speedup
+    );
+    let backend_rows: Vec<Vec<String>> = report
+        .backends
+        .iter()
+        .map(|b| {
+            vec![
+                b.backend.clone(),
+                format!("{:.4}", b.wall_seconds),
+                format!("{}/{}", b.solved, b.total),
+                b.candidates.to_string(),
+                b.rows_built.to_string(),
+                format!("{:.2}%", b.dedup_hit_rate * 100.0),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        format_table(
+            &["backend", "wall s", "solved", "#REs", "rows", "dedup hits"],
+            &backend_rows
+        )
+    );
+    match std::fs::write(out_path, report.to_json()) {
+        Ok(()) => {
+            println!("wrote {out_path}");
+            true
+        }
+        Err(err) => {
+            eprintln!("error: cannot write {out_path}: {err}");
+            false
+        }
+    }
 }
 
 fn print_outliers(config: &HarnessConfig) {

@@ -7,12 +7,14 @@
 mod error_table;
 mod figure1;
 mod outliers;
+mod perf;
 mod table1;
 mod table2;
 
 pub use error_table::{paper_error_spec, run_error_table, ErrorRow};
 pub use figure1::{run_figure1, Figure1Row};
 pub use outliers::{outlier_distribution, OutlierRow, PAPER_THRESHOLDS};
+pub use perf::{run_perf, BackendPerfRow, KernelPerfRow, PerfReport};
 pub use table1::{run_table1, Table1Row};
 pub use table2::{run_table2, Table2Row};
 

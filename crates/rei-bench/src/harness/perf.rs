@@ -1,0 +1,422 @@
+//! The `perf` experiment: a machine-readable performance baseline.
+//!
+//! Unlike the paper-reproduction experiments, this one tracks the
+//! repository's *own* performance trajectory: per-benchmark kernel
+//! micro-timings (the mask-based concatenation and squared star against
+//! the split-gather and linear-iteration kernels they replaced) and a
+//! per-backend wall-clock comparison over the Table 1 benchmark pool.
+//! The `reproduce perf` command serialises the report to
+//! `BENCH_core.json` (see [`PerfReport::to_json`]); a copy of the file is
+//! committed at the repository root so every PR has a baseline to beat,
+//! and CI regenerates it as an artifact on every push.
+
+use std::time::Instant;
+
+use rei_core::{BackendChoice, SynthSession, SynthesisStats};
+use rei_lang::{csops, Cs, GuideMasks, GuideTable, InfixClosure};
+use rei_syntax::parse;
+
+use crate::costs::REFERENCE;
+use crate::harness::figure1::benchmark_pool;
+use crate::harness::{HarnessConfig, Scale};
+
+/// Kernel micro-timings on one benchmark's infix closure.
+#[derive(Debug, Clone)]
+pub struct KernelPerfRow {
+    /// Benchmark name (`T1-…` / `T2-…`).
+    pub benchmark: String,
+    /// Size of the infix closure the kernels operate over.
+    pub closure_size: usize,
+    /// Mean nanoseconds per split-gather concatenation (the seed kernel).
+    pub concat_gather_ns: f64,
+    /// Mean nanoseconds per mask-based concatenation.
+    pub concat_masked_ns: f64,
+    /// `concat_gather_ns / concat_masked_ns`.
+    pub concat_speedup: f64,
+    /// Mean nanoseconds per linear-iteration star (the seed kernel).
+    pub star_linear_ns: f64,
+    /// Mean nanoseconds per squared star.
+    pub star_squared_ns: f64,
+    /// `star_linear_ns / star_squared_ns`.
+    pub star_speedup: f64,
+}
+
+/// Wall-clock and search statistics of one backend over the whole pool.
+#[derive(Debug, Clone)]
+pub struct BackendPerfRow {
+    /// Canonical backend name (`Backend::name()`).
+    pub backend: String,
+    /// Wall-clock seconds across every run of the pool.
+    pub wall_seconds: f64,
+    /// Runs that produced an expression.
+    pub solved: usize,
+    /// Total runs.
+    pub total: usize,
+    /// Candidate languages constructed across all runs.
+    pub candidates: u64,
+    /// Unique languages (rows built) across all runs.
+    pub rows_built: u64,
+    /// Fraction of candidates rejected as duplicates:
+    /// `1 − rows_built / candidates`.
+    pub dedup_hit_rate: f64,
+}
+
+/// The full perf baseline: kernel micro-timings plus the per-backend
+/// comparison, with geometric-mean summaries.
+#[derive(Debug, Clone)]
+pub struct PerfReport {
+    /// `"quick"` or `"full"`.
+    pub scale: String,
+    /// Seed the benchmark pool was generated from.
+    pub seed: u64,
+    /// Worker threads used by the parallel backends.
+    pub threads: usize,
+    /// Cores the host reported; the thread-parallel vs sequential
+    /// wall-clock comparison is only meaningful when this is ≥ 2.
+    pub available_cores: usize,
+    /// Per-benchmark kernel rows.
+    pub kernels: Vec<KernelPerfRow>,
+    /// Geometric mean of the per-benchmark concat speedups.
+    pub geomean_concat_speedup: f64,
+    /// Geometric mean of the per-benchmark star speedups.
+    pub geomean_star_speedup: f64,
+    /// One row per backend over the shared pool.
+    pub backends: Vec<BackendPerfRow>,
+}
+
+/// Times `f` and returns the nanoseconds per operation of the *fastest*
+/// of several measurement rounds (the minimum is the standard scheduler-
+/// noise-resistant estimator for micro-benchmarks), where each call of
+/// `f` performs `ops_per_call` operations. One warm-up call precedes the
+/// measurements.
+fn time_per_op<F: FnMut()>(calls: usize, ops_per_call: usize, mut f: F) -> f64 {
+    const ROUNDS: usize = 5;
+    f();
+    let mut best = f64::INFINITY;
+    for _ in 0..ROUNDS {
+        let start = Instant::now();
+        for _ in 0..calls {
+            f();
+        }
+        let per_op = start.elapsed().as_nanos() as f64 / (calls * ops_per_call) as f64;
+        best = best.min(per_op);
+    }
+    best
+}
+
+/// A mixed bag of operand rows over `ic`: sparse literals, mid-density
+/// concatenations and dense starred languages, mirroring what a real
+/// cost level combines.
+fn operand_rows(ic: &InfixClosure) -> Vec<Cs> {
+    [
+        "0",
+        "1",
+        "01",
+        "0?1",
+        "(0+1)(0+1)",
+        "1(0+1)*",
+        "(0?1)*",
+        "(0+11)*1",
+        "(10)*",
+    ]
+    .iter()
+    .map(|e| ic.cs_of_regex(&parse(e).expect("operand regex parses")))
+    .collect()
+}
+
+fn kernel_row(name: &str, spec: &rei_lang::Spec, calls: usize) -> KernelPerfRow {
+    let ic = InfixClosure::of_spec(spec);
+    let gt = GuideTable::build(&ic);
+    let gm = GuideMasks::build(&ic);
+    let eps = ic.eps_index().expect("non-empty spec closure");
+    let rows = operand_rows(&ic);
+    let width = ic.width();
+    let pairs = rows.len() * rows.len();
+
+    let mut dst = Cs::zero(width);
+    let concat_gather_ns = time_per_op(calls, pairs, || {
+        for a in &rows {
+            for b in &rows {
+                csops::concat_into_gather(dst.blocks_mut(), a.blocks(), b.blocks(), &gt);
+            }
+        }
+    });
+    let concat_masked_ns = time_per_op(calls, pairs, || {
+        for a in &rows {
+            for b in &rows {
+                csops::concat_into(dst.blocks_mut(), a.blocks(), b.blocks(), &gm);
+            }
+        }
+    });
+
+    let mut scratch = vec![0u64; width.blocks()];
+    let star_linear_ns = time_per_op(calls, rows.len(), || {
+        for a in &rows {
+            csops::star_into_linear(dst.blocks_mut(), a.blocks(), &gt, eps, &mut scratch);
+        }
+    });
+    let star_squared_ns = time_per_op(calls, rows.len(), || {
+        for a in &rows {
+            csops::star_into(dst.blocks_mut(), a.blocks(), &gm, eps, &mut scratch);
+        }
+    });
+
+    KernelPerfRow {
+        benchmark: name.to_string(),
+        closure_size: ic.len(),
+        concat_gather_ns,
+        concat_masked_ns,
+        concat_speedup: concat_gather_ns / concat_masked_ns,
+        star_linear_ns,
+        star_squared_ns,
+        star_speedup: star_linear_ns / star_squared_ns,
+    }
+}
+
+fn geomean(values: impl Iterator<Item = f64>) -> f64 {
+    let (sum, count) = values.fold((0.0f64, 0usize), |(s, c), v| (s + v.ln(), c + 1));
+    if count == 0 {
+        1.0
+    } else {
+        (sum / count as f64).exp()
+    }
+}
+
+fn backend_row(
+    config: &HarnessConfig,
+    choice: BackendChoice,
+    specs: &[rei_lang::Spec],
+) -> BackendPerfRow {
+    let synth_config = config.synth_config(REFERENCE.costs).with_backend(choice);
+    let mut session = SynthSession::new(synth_config).expect("perf config is valid");
+    let started = Instant::now();
+    let mut solved = 0usize;
+    let mut candidates = 0u64;
+    let mut rows_built = 0u64;
+    for spec in specs {
+        let stats: Option<SynthesisStats> = match session.run(spec) {
+            Ok(result) => {
+                solved += 1;
+                Some(result.stats)
+            }
+            Err(err) => err.stats().cloned(),
+        };
+        if let Some(stats) = stats {
+            candidates += stats.candidates_generated;
+            rows_built += stats.unique_languages;
+        }
+    }
+    let wall_seconds = started.elapsed().as_secs_f64();
+    BackendPerfRow {
+        backend: session.backend_name().to_string(),
+        wall_seconds,
+        solved,
+        total: specs.len(),
+        candidates,
+        rows_built,
+        dedup_hit_rate: if candidates == 0 {
+            0.0
+        } else {
+            1.0 - rows_built as f64 / candidates as f64
+        },
+    }
+}
+
+/// Runs the perf baseline: kernel micro-timings on every benchmark of the
+/// Table 1 pool, then the pool end-to-end on each backend.
+pub fn run_perf(config: &HarnessConfig) -> PerfReport {
+    let pool = benchmark_pool(config);
+    let calls = match config.scale {
+        Scale::Quick => 200,
+        Scale::Full => 1000,
+    };
+    let kernels: Vec<KernelPerfRow> = pool
+        .iter()
+        .map(|b| kernel_row(&b.name, &b.spec, calls))
+        .collect();
+
+    let specs: Vec<rei_lang::Spec> = pool.iter().map(|b| b.spec.clone()).collect();
+    let threads = config.device_threads;
+    let backends = vec![
+        backend_row(config, BackendChoice::Sequential, &specs),
+        backend_row(
+            config,
+            BackendChoice::ThreadParallel {
+                threads: Some(threads),
+            },
+            &specs,
+        ),
+        backend_row(
+            config,
+            BackendChoice::DeviceParallel {
+                threads: Some(threads),
+            },
+            &specs,
+        ),
+    ];
+
+    PerfReport {
+        scale: match config.scale {
+            Scale::Quick => "quick".to_string(),
+            Scale::Full => "full".to_string(),
+        },
+        seed: config.seed,
+        threads,
+        available_cores: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        geomean_concat_speedup: geomean(kernels.iter().map(|k| k.concat_speedup)),
+        geomean_star_speedup: geomean(kernels.iter().map(|k| k.star_speedup)),
+        kernels,
+        backends,
+    }
+}
+
+/// Escapes a string for inclusion in a JSON document.
+fn json_escape(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    for c in raw.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl PerfReport {
+    /// Serialises the report as pretty-printed JSON (the workspace's
+    /// serde shim provides no serializer, so the document is emitted by
+    /// hand — the schema is versioned through the `schema` field).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"schema\": \"rei-bench/perf-v1\",\n");
+        out.push_str(&format!("  \"scale\": \"{}\",\n", json_escape(&self.scale)));
+        out.push_str(&format!("  \"seed\": {},\n", self.seed));
+        out.push_str(&format!("  \"threads\": {},\n", self.threads));
+        out.push_str(&format!(
+            "  \"available_cores\": {},\n",
+            self.available_cores
+        ));
+        out.push_str("  \"kernels\": {\n");
+        out.push_str(&format!(
+            "    \"geomean_concat_speedup\": {:.2},\n",
+            self.geomean_concat_speedup
+        ));
+        out.push_str(&format!(
+            "    \"geomean_star_speedup\": {:.2},\n",
+            self.geomean_star_speedup
+        ));
+        out.push_str("    \"per_benchmark\": [\n");
+        for (i, k) in self.kernels.iter().enumerate() {
+            out.push_str(&format!(
+                "      {{\"benchmark\": \"{}\", \"closure_size\": {}, \
+                 \"concat_gather_ns\": {:.1}, \"concat_masked_ns\": {:.1}, \
+                 \"concat_speedup\": {:.2}, \"star_linear_ns\": {:.1}, \
+                 \"star_squared_ns\": {:.1}, \"star_speedup\": {:.2}}}{}\n",
+                json_escape(&k.benchmark),
+                k.closure_size,
+                k.concat_gather_ns,
+                k.concat_masked_ns,
+                k.concat_speedup,
+                k.star_linear_ns,
+                k.star_squared_ns,
+                k.star_speedup,
+                if i + 1 < self.kernels.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("    ]\n");
+        out.push_str("  },\n");
+        out.push_str("  \"backends\": [\n");
+        for (i, b) in self.backends.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"backend\": \"{}\", \"wall_seconds\": {:.4}, \
+                 \"solved\": {}, \"total\": {}, \"candidates\": {}, \
+                 \"rows_built\": {}, \"dedup_hit_rate\": {:.4}}}{}\n",
+                json_escape(&b.backend),
+                b.wall_seconds,
+                b.solved,
+                b.total,
+                b.candidates,
+                b.rows_built,
+                b.dedup_hit_rate,
+                if i + 1 < self.backends.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n");
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> HarnessConfig {
+        let mut config = HarnessConfig::quick();
+        config.time_budget = std::time::Duration::from_millis(250);
+        config
+    }
+
+    #[test]
+    fn perf_report_covers_every_backend_and_benchmark() {
+        let config = tiny_config();
+        let report = run_perf(&config);
+        assert_eq!(report.backends.len(), 3);
+        assert!(!report.kernels.is_empty());
+        let names: Vec<&str> = report.backends.iter().map(|b| b.backend.as_str()).collect();
+        assert_eq!(
+            names,
+            ["cpu-sequential", "cpu-thread-parallel", "gpu-sim-parallel"]
+        );
+        for b in &report.backends {
+            assert_eq!(b.total, benchmark_pool(&config).len());
+            assert!(b.wall_seconds > 0.0);
+            assert!((0.0..=1.0).contains(&b.dedup_hit_rate));
+        }
+        for k in &report.kernels {
+            assert!(k.concat_masked_ns > 0.0 && k.concat_gather_ns > 0.0);
+            assert!(k.star_squared_ns > 0.0 && k.star_linear_ns > 0.0);
+        }
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let config = tiny_config();
+        let report = run_perf(&config);
+        let json = report.to_json();
+        assert!(json.starts_with("{\n"));
+        assert!(json.ends_with("}\n"));
+        assert!(json.contains("\"schema\": \"rei-bench/perf-v1\""));
+        assert!(json.contains("\"cpu-thread-parallel\""));
+        // Balanced braces and brackets (no string values contain any).
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "{json}"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn json_escaping_handles_control_and_quote_characters() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("x\ny"), "x\\ny");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn geomean_of_equal_values_is_the_value() {
+        let g = geomean([2.0, 2.0, 2.0].into_iter());
+        assert!((g - 2.0).abs() < 1e-9);
+        assert_eq!(geomean(std::iter::empty()), 1.0);
+    }
+}

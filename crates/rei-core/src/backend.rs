@@ -9,6 +9,11 @@
 //!
 //! * [`Sequential`] — one candidate at a time on the calling thread, with
 //!   early exits; the reference implementation.
+//! * [`ThreadParallel`] — each batch of a level is statically partitioned
+//!   across worker threads, each running the fast sequential kernels
+//!   (mask-based concatenation, star by squaring) with per-thread scratch
+//!   rows and the shared concurrent uniqueness set; the multi-core CPU
+//!   strategy.
 //! * [`DeviceParallel`] — each batch of a level is materialised as
 //!   data-parallel kernel items on an owned, reusable
 //!   [`gpu_sim::Device`], mirroring the temporary-buffer → cache copy
@@ -69,6 +74,64 @@ impl Backend for Sequential {
 
     fn process(&self, batch: &mut LevelBatch<'_, '_>) -> BatchOutcome {
         batch.run_sequential()
+    }
+}
+
+/// The multi-core CPU strategy: level batches are partitioned across
+/// worker threads, each running the bit-parallel sequential kernels.
+///
+/// The backend owns a [`Device`] purely for statistics accounting
+/// (launches, items, hash insertions accumulate there exactly as for
+/// [`DeviceParallel`], so benchmark reports can compare backends); work
+/// is scheduled over scoped threads by
+/// [`LevelBatch::run_threaded`], not through the device's kernel
+/// launcher.
+#[derive(Debug, Clone)]
+pub struct ThreadParallel {
+    device: Device,
+}
+
+impl ThreadParallel {
+    /// The canonical name of this backend.
+    pub const NAME: &'static str = "cpu-thread-parallel";
+
+    /// A backend with one worker per available core.
+    pub fn new() -> Self {
+        ThreadParallel {
+            device: Device::new(DeviceConfig::default()),
+        }
+    }
+
+    /// A backend with an explicit number of worker threads.
+    pub fn with_threads(threads: usize) -> Self {
+        ThreadParallel {
+            device: Device::with_threads(threads),
+        }
+    }
+
+    /// Number of worker threads the backend partitions batches over.
+    pub fn threads(&self) -> usize {
+        self.device.config().threads
+    }
+}
+
+impl Default for ThreadParallel {
+    fn default() -> Self {
+        ThreadParallel::new()
+    }
+}
+
+impl Backend for ThreadParallel {
+    fn name(&self) -> &'static str {
+        ThreadParallel::NAME
+    }
+
+    fn device(&self) -> Option<&Device> {
+        Some(&self.device)
+    }
+
+    fn process(&self, batch: &mut LevelBatch<'_, '_>) -> BatchOutcome {
+        batch.run_threaded(self.threads())
     }
 }
 
@@ -141,6 +204,11 @@ pub enum BackendChoice {
     /// The reference CPU strategy ([`Sequential`]).
     #[default]
     Sequential,
+    /// The multi-core CPU strategy ([`ThreadParallel`]).
+    ThreadParallel {
+        /// Worker threads; `None` uses one per core.
+        threads: Option<usize>,
+    },
     /// The data-parallel strategy ([`DeviceParallel`]).
     DeviceParallel {
         /// Worker threads of the device; `None` uses one per core.
@@ -154,11 +222,17 @@ impl BackendChoice {
         BackendChoice::DeviceParallel { threads: None }
     }
 
+    /// The multi-core CPU choice with the default thread count.
+    pub fn threaded() -> Self {
+        BackendChoice::ThreadParallel { threads: None }
+    }
+
     /// The canonical backend name this choice resolves to (the same string
     /// the built [`Backend::name`] reports).
     pub fn name(&self) -> &'static str {
         match self {
             BackendChoice::Sequential => Sequential::NAME,
+            BackendChoice::ThreadParallel { .. } => ThreadParallel::NAME,
             BackendChoice::DeviceParallel { .. } => DeviceParallel::NAME,
         }
     }
@@ -167,6 +241,10 @@ impl BackendChoice {
     pub fn build(&self) -> Box<dyn Backend> {
         match self {
             BackendChoice::Sequential => Box::new(Sequential),
+            BackendChoice::ThreadParallel { threads: None } => Box::new(ThreadParallel::new()),
+            BackendChoice::ThreadParallel { threads: Some(n) } => {
+                Box::new(ThreadParallel::with_threads(*n))
+            }
             BackendChoice::DeviceParallel { threads: None } => Box::new(DeviceParallel::new()),
             BackendChoice::DeviceParallel { threads: Some(n) } => {
                 Box::new(DeviceParallel::with_threads(*n))
@@ -175,8 +253,9 @@ impl BackendChoice {
     }
 
     /// Parses a backend name: a canonical [`name`](BackendChoice::name) or
-    /// one of the aliases `sequential`/`cpu` and `parallel`/`gpu`. The
-    /// parallel forms accept a `:<threads>` suffix, e.g. `parallel:8`.
+    /// one of the aliases `sequential`/`cpu`, `threads`/`thread-parallel`
+    /// and `parallel`/`gpu`. The multi-threaded forms accept a
+    /// `:<threads>` suffix, e.g. `parallel:8` or `threads:4`.
     pub fn parse(raw: &str) -> Option<Self> {
         let (base, threads) = match raw.split_once(':') {
             Some((base, t)) => (base, Some(t.parse::<usize>().ok()?)),
@@ -185,6 +264,8 @@ impl BackendChoice {
         match base {
             _ if base == Sequential::NAME => threads.is_none().then_some(BackendChoice::Sequential),
             "sequential" | "cpu" => threads.is_none().then_some(BackendChoice::Sequential),
+            _ if base == ThreadParallel::NAME => Some(BackendChoice::ThreadParallel { threads }),
+            "threads" | "thread-parallel" => Some(BackendChoice::ThreadParallel { threads }),
             _ if base == DeviceParallel::NAME => Some(BackendChoice::DeviceParallel { threads }),
             "parallel" | "gpu" => Some(BackendChoice::DeviceParallel { threads }),
             _ => None,
@@ -195,7 +276,8 @@ impl BackendChoice {
 impl fmt::Display for BackendChoice {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            BackendChoice::DeviceParallel { threads: Some(n) } => {
+            BackendChoice::ThreadParallel { threads: Some(n) }
+            | BackendChoice::DeviceParallel { threads: Some(n) } => {
                 write!(f, "{}:{n}", self.name())
             }
             _ => f.write_str(self.name()),
@@ -209,9 +291,11 @@ impl std::str::FromStr for BackendChoice {
     fn from_str(raw: &str) -> Result<Self, Self::Err> {
         BackendChoice::parse(raw).ok_or_else(|| {
             format!(
-                "unknown backend '{raw}' (expected '{}', '{}', or aliases \
-                 'sequential'/'cpu'/'parallel'/'gpu', optionally 'parallel:<threads>')",
+                "unknown backend '{raw}' (expected '{}', '{}', '{}', or aliases \
+                 'sequential'/'cpu'/'threads'/'thread-parallel'/'parallel'/'gpu', \
+                 optionally with a thread count as in 'parallel:<threads>')",
                 Sequential::NAME,
+                ThreadParallel::NAME,
                 DeviceParallel::NAME
             )
         })
@@ -225,14 +309,29 @@ mod tests {
     #[test]
     fn names_are_the_single_source_of_truth() {
         assert_eq!(Sequential.name(), Sequential::NAME);
+        assert_eq!(ThreadParallel::new().name(), ThreadParallel::NAME);
         assert_eq!(DeviceParallel::new().name(), DeviceParallel::NAME);
         assert_eq!(BackendChoice::Sequential.name(), Sequential::NAME);
+        assert_eq!(BackendChoice::threaded().name(), ThreadParallel::NAME);
         assert_eq!(BackendChoice::parallel().name(), DeviceParallel::NAME);
         assert_eq!(BackendChoice::Sequential.build().name(), Sequential::NAME);
+        assert_eq!(
+            BackendChoice::threaded().build().name(),
+            ThreadParallel::NAME
+        );
         assert_eq!(
             BackendChoice::parallel().build().name(),
             DeviceParallel::NAME
         );
+    }
+
+    #[test]
+    fn thread_parallel_owns_a_stats_device() {
+        let backend = ThreadParallel::with_threads(3);
+        assert_eq!(backend.threads(), 3);
+        assert_eq!(backend.device().unwrap().config().threads, 3);
+        backend.device().unwrap().record_hash_insertions(5);
+        assert_eq!(backend.device().unwrap().stats().hash_insertions, 5);
     }
 
     #[test]
@@ -251,6 +350,12 @@ mod tests {
         for raw in ["cpu-sequential", "sequential", "cpu"] {
             assert_eq!(BackendChoice::parse(raw), Some(BackendChoice::Sequential));
         }
+        for raw in ["cpu-thread-parallel", "threads", "thread-parallel"] {
+            assert_eq!(
+                BackendChoice::parse(raw),
+                Some(BackendChoice::ThreadParallel { threads: None })
+            );
+        }
         for raw in ["gpu-sim-parallel", "parallel", "gpu"] {
             assert_eq!(
                 BackendChoice::parse(raw),
@@ -261,11 +366,17 @@ mod tests {
             BackendChoice::parse("parallel:8"),
             Some(BackendChoice::DeviceParallel { threads: Some(8) })
         );
+        assert_eq!(
+            BackendChoice::parse("threads:4"),
+            Some(BackendChoice::ThreadParallel { threads: Some(4) })
+        );
         assert_eq!(BackendChoice::parse("sequential:8"), None);
         assert_eq!(BackendChoice::parse("quantum"), None);
 
         for choice in [
             BackendChoice::Sequential,
+            BackendChoice::threaded(),
+            BackendChoice::ThreadParallel { threads: Some(2) },
             BackendChoice::parallel(),
             BackendChoice::DeviceParallel { threads: Some(4) },
         ] {

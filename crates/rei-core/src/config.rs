@@ -370,6 +370,7 @@ mod tests {
                 .with_alphabet(Alphabet::new(['0', '1', 'a'])),
             // Sub-millisecond budgets must survive the wire format too.
             SynthConfig::default().with_time_budget(Duration::from_micros(500)),
+            SynthConfig::default().with_backend(BackendChoice::ThreadParallel { threads: Some(3) }),
         ];
         for config in configs {
             let wire = config.to_string();

@@ -18,11 +18,13 @@
 //! # Architecture
 //!
 //! Execution strategy is an open abstraction: the [`Backend`] trait
-//! decides how the rows of a cost level are computed. Two backends ship
-//! with the crate, mirroring the paper's CPU/GPU split — [`Sequential`]
-//! (the reference CPU loop) and [`DeviceParallel`] (data-parallel kernels
-//! on an owned [`gpu_sim::Device`]). Both produce results of identical
-//! minimal cost.
+//! decides how the rows of a cost level are computed. Three backends ship
+//! with the crate — [`Sequential`] (the reference CPU loop),
+//! [`ThreadParallel`] (level batches statically partitioned over worker
+//! threads running the bit-parallel mask kernels) and [`DeviceParallel`]
+//! (data-parallel kernels on an owned [`gpu_sim::Device`], mirroring the
+//! paper's GPU implementation). All produce results of identical minimal
+//! cost.
 //!
 //! The primary entry point is the session API: a [`SynthConfig`] (plain,
 //! serializable data, validated into [`SynthesisError::InvalidConfig`])
@@ -67,6 +69,7 @@ mod synth;
 
 pub use backend::{
     Backend, BackendChoice, BatchOutcome, DeviceParallel, LevelBatch, RowVerdict, Sequential,
+    ThreadParallel,
 };
 pub use cache::{LanguageCache, Provenance};
 pub use config::SynthConfig;

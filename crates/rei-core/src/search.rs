@@ -2,22 +2,28 @@
 //!
 //! This module implements Algorithms 1 and 2 of the paper. The search is
 //! parameterised by a [`Backend`]: each batch of a cost level's candidate
-//! constructions is handed to the backend as a [`LevelBatch`], which either
-//! runs the reference sequential loop ([`LevelBatch::run_sequential`]) or
-//! computes the batch as data-parallel kernel items on a
-//! [`gpu_sim::Device`] ([`LevelBatch::run_on_device`]), mirroring the
-//! temporary-buffer → cache copy of the paper's GPU implementation.
+//! constructions is handed to the backend as a [`LevelBatch`], which runs
+//! the reference sequential loop ([`LevelBatch::run_sequential`]),
+//! partitions the batch across worker threads running the bit-parallel
+//! mask kernels ([`LevelBatch::run_threaded`]), or computes the batch as
+//! data-parallel kernel items on a [`gpu_sim::Device`]
+//! ([`LevelBatch::run_on_device`]), mirroring the temporary-buffer →
+//! cache copy of the paper's GPU implementation.
 //!
 //! Between batches and between levels the search polls a [`StopCheck`]
 //! (deadline + cooperative [`CancelToken`]) and reports each completed
 //! level to the run's [`Observer`].
 
+use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
 use gpu_sim::hashset::CsSet;
 use gpu_sim::Device;
-use rei_lang::{csops, Alphabet, CsWidth, GuideTable, InfixClosure, SatisfyMasks, Spec};
+use rei_lang::{
+    csops, Alphabet, CsWidth, GuideMasks, GuideTable, InfixClosure, SatisfyMasks, Spec,
+};
 use rei_syntax::CostFn;
 
 use crate::backend::Backend;
@@ -104,6 +110,67 @@ impl Job {
     }
 }
 
+/// Computes the characteristic sequence of one candidate with the fast
+/// CPU kernels (mask-based concatenation, star by squaring).
+///
+/// This is the kernel body shared by the sequential path
+/// ([`Search::compute_row`]) and the thread-parallel workers
+/// ([`LevelBatch::run_threaded`]); the data-parallel device instead runs
+/// the branch-free GPU-style body in [`LevelBatch::run_on_device`].
+fn compute_job_row(
+    job: Job,
+    row: &mut [u64],
+    scratch: &mut [u64],
+    cache: &LanguageCache,
+    guide_masks: &GuideMasks,
+    eps_index: usize,
+) {
+    match job {
+        Job::Question(i) => csops::question_into(row, cache.row(i), eps_index),
+        Job::Star(i) => csops::star_into(row, cache.row(i), guide_masks, eps_index, scratch),
+        Job::Concat(l, r) => csops::concat_into(row, cache.row(l), cache.row(r), guide_masks),
+        Job::Union(l, r) => csops::or_into(row, cache.row(l), cache.row(r)),
+    }
+}
+
+thread_local! {
+    /// Star scratch row for the device kernel body: the device schedules
+    /// items rather than workers, so per-worker reusable state lives in a
+    /// thread local instead of a per-item heap allocation.
+    static STAR_SCRATCH: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The kernel-side admission protocol shared by the parallel strategies:
+/// resets the per-item flag word, records uniqueness (bit 0) through the
+/// shared concurrent set, checks satisfaction (bit 1) and lowers `found`
+/// to the earliest satisfying batch index.
+#[allow(clippy::too_many_arguments)]
+fn flag_computed_row(
+    k: usize,
+    row: &[u64],
+    flags: &mut [u64],
+    seen: &CsSet,
+    masks: &SatisfyMasks,
+    on_the_fly: bool,
+    allowed: usize,
+    found: &AtomicU64,
+) {
+    flags[0] = 0;
+    let unique = if on_the_fly {
+        false
+    } else {
+        let fresh = seen.insert(row);
+        if fresh {
+            flags[0] |= 1;
+        }
+        fresh
+    };
+    if (on_the_fly || unique) && masks.is_satisfied_with_error(row, allowed) {
+        flags[0] |= 2;
+        found.fetch_min(k as u64, Ordering::Relaxed);
+    }
+}
+
 /// Result of building one cost level.
 enum LevelOutcome {
     /// A satisfying row was constructed; its provenance is returned.
@@ -145,7 +212,15 @@ struct Search<'a> {
     observer: &'a mut dyn Observer,
     stop: StopCheck,
     scratch: &'a mut SessionScratch,
-    guide: GuideTable,
+    ic: InfixClosure,
+    /// The pair-based guide table, staged lazily: only the device
+    /// strategy's GPU-style concatenation reads it, so sequential and
+    /// thread-parallel runs never pay for building it.
+    pair_table: OnceLock<GuideTable>,
+    /// The transposed block-mask form of the guide relation, driving the
+    /// bit-parallel CPU kernels (`csops::concat_into`, squared
+    /// `csops::star_into`). Always staged — every strategy uses it.
+    guide_masks: GuideMasks,
     masks: SatisfyMasks,
     width: CsWidth,
     eps_index: usize,
@@ -257,7 +332,8 @@ impl LevelBatch<'_, '_> {
         let found = AtomicU64::new(u64::MAX);
         {
             let cache = &self.search.cache;
-            let guide = &self.search.guide;
+            let guide = self.search.pair_table();
+            let guide_masks = &self.search.guide_masks;
             let masks = &self.search.masks;
             let seen = &self.search.seen;
             let eps = self.search.eps_index;
@@ -267,10 +343,7 @@ impl LevelBatch<'_, '_> {
             let found = &found;
             device.launch_chunks("build-level", buf, stride, move |k, chunk| {
                 let (row, flags) = chunk.split_at_mut(blocks);
-                flags[0] = 0;
                 match batch[k] {
-                    Job::Question(i) => csops::question_into(row, cache.row(i), eps),
-                    Job::Union(l, r) => csops::or_into(row, cache.row(l), cache.row(r)),
                     Job::Concat(l, r) => {
                         // GPU-style kernel: fold over every word with no
                         // data-dependent early exit (cf. Algorithm 2). The
@@ -284,30 +357,105 @@ impl LevelBatch<'_, '_> {
                             }
                         }
                     }
-                    Job::Star(i) => {
-                        let mut scratch = vec![0u64; blocks];
-                        csops::star_into(row, cache.row(i), guide, eps, &mut scratch);
-                    }
+                    // The device schedules items, not workers, so the star
+                    // scratch row lives in a thread local instead of a
+                    // per-worker stack slot.
+                    job => STAR_SCRATCH.with(|cell| {
+                        let mut scratch = cell.borrow_mut();
+                        scratch.resize(blocks, 0);
+                        compute_job_row(job, row, &mut scratch, cache, guide_masks, eps);
+                    }),
                 }
-                let unique = if on_the_fly {
-                    false
-                } else {
-                    let fresh = seen.insert(row);
-                    if fresh {
-                        flags[0] |= 1;
-                    }
-                    fresh
-                };
-                if (on_the_fly || unique) && masks.is_satisfied_with_error(row, allowed) {
-                    flags[0] |= 2;
-                    found.fetch_min(k as u64, Ordering::Relaxed);
-                }
+                flag_computed_row(k, row, flags, seen, masks, on_the_fly, allowed, found);
             });
         }
 
-        // Host-side pass: account for unique rows and copy them into the
-        // write-once cache (the paper's temporary-buffer → cache copy).
-        let winner = found.load(Ordering::Relaxed);
+        let outcome = self.flush_unique_rows(buf, stride, found.load(Ordering::Relaxed));
+        self.search.scratch.batch_rows = batch_rows;
+        outcome
+    }
+
+    /// The thread-parallel CPU strategy: the batch is split into one
+    /// contiguous span per worker thread; each worker computes its
+    /// candidates with the fast sequential kernels (mask-based
+    /// concatenation, star by squaring) into its own span of the batch
+    /// buffer, using a private star scratch row and the shared concurrent
+    /// [`CsSet`] for the global uniqueness check. The host then performs
+    /// the same admission pass as the device strategy.
+    ///
+    /// Compared to [`run_on_device`](LevelBatch::run_on_device) this is
+    /// the pragmatic multi-core backend: static partitioning (no
+    /// per-block channel traffic), per-thread scratch reuse, and the
+    /// bit-parallel kernels instead of the branch-free GPU bodies.
+    pub fn run_threaded(&mut self, threads: usize) -> BatchOutcome {
+        let blocks = self.row_blocks();
+        let stride = blocks + 1;
+        let batch = self.jobs;
+        if batch.is_empty() {
+            return BatchOutcome::Continue;
+        }
+        let threads = threads.clamp(1, batch.len());
+        let mut batch_rows = std::mem::take(&mut self.search.scratch.batch_rows);
+        if batch_rows.len() < batch.len() * stride {
+            batch_rows.resize(batch.len() * stride, 0);
+        }
+
+        // Make sure the concurrent set cannot fill up mid-pass.
+        if !self.search.on_the_fly {
+            self.search.seen.reserve(batch.len());
+            self.search
+                .stats_device
+                .record_hash_insertions(batch.len() as u64);
+        }
+        self.search.stats_device.record_launch(batch.len());
+        let buf = &mut batch_rows[..batch.len() * stride];
+        let found = AtomicU64::new(u64::MAX);
+        {
+            let cache = &self.search.cache;
+            let guide_masks = &self.search.guide_masks;
+            let masks = &self.search.masks;
+            let seen = &self.search.seen;
+            let eps = self.search.eps_index;
+            let allowed = self.search.params.allowed_errors;
+            let on_the_fly = self.search.on_the_fly;
+            let found = &found;
+            let per_worker = batch.len().div_ceil(threads);
+            let worker = |base: usize, span: &mut [u64]| {
+                let mut scratch = vec![0u64; blocks];
+                for (offset, chunk) in span.chunks_mut(stride).enumerate() {
+                    let k = base + offset;
+                    let (row, flags) = chunk.split_at_mut(blocks);
+                    compute_job_row(batch[k], row, &mut scratch, cache, guide_masks, eps);
+                    flag_computed_row(k, row, flags, seen, masks, on_the_fly, allowed, found);
+                }
+            };
+            if threads == 1 {
+                // Single worker: run inline, no thread spawn (keeps the
+                // backend graceful on single-core hosts).
+                worker(0, buf);
+            } else {
+                let worker = &worker;
+                crossbeam::scope(|scope| {
+                    for (t, span) in buf.chunks_mut(per_worker * stride).enumerate() {
+                        scope.spawn(move |_| worker(t * per_worker, span));
+                    }
+                })
+                .expect("level worker panicked");
+            }
+        }
+
+        let outcome = self.flush_unique_rows(buf, stride, found.load(Ordering::Relaxed));
+        self.search.scratch.batch_rows = batch_rows;
+        outcome
+    }
+
+    /// Host-side admission pass shared by the parallel strategies:
+    /// accounts for unique rows and copies them into the write-once cache
+    /// (the paper's temporary-buffer → cache copy). `winner` is the
+    /// smallest batch index whose row satisfied the specification, or
+    /// `u64::MAX`.
+    fn flush_unique_rows(&mut self, buf: &[u64], stride: usize, winner: u64) -> BatchOutcome {
+        let blocks = self.row_blocks();
         for (k, chunk) in buf.chunks(stride).enumerate() {
             let (row, flags) = chunk.split_at(blocks);
             if flags[0] & 1 == 0 {
@@ -323,15 +471,14 @@ impl LevelBatch<'_, '_> {
                 && self
                     .search
                     .cache
-                    .push(row, batch[k].provenance(), self.cost)
+                    .push(row, self.jobs[k].provenance(), self.cost)
                     .is_none()
             {
                 self.search.enter_on_the_fly();
             }
         }
-        self.search.scratch.batch_rows = batch_rows;
         if winner != u64::MAX {
-            return BatchOutcome::Found(batch[winner as usize].provenance());
+            return BatchOutcome::Found(self.jobs[winner as usize].provenance());
         }
         BatchOutcome::Continue
     }
@@ -347,7 +494,7 @@ pub(crate) fn run(
     scratch: &mut SessionScratch,
 ) -> Result<SynthesisResult, SynthesisError> {
     let ic = InfixClosure::of_spec(params.spec);
-    let guide = GuideTable::build(&ic);
+    let guide_masks = GuideMasks::build(&ic);
     let masks = SatisfyMasks::new(params.spec, &ic);
     let width = ic.width();
     let eps_index = ic
@@ -371,7 +518,9 @@ pub(crate) fn run(
         observer,
         stop,
         scratch,
-        guide,
+        ic,
+        pair_table: OnceLock::new(),
+        guide_masks,
         masks,
         width,
         eps_index,
@@ -385,7 +534,7 @@ pub(crate) fn run(
 
     // Seed the cache with the characteristic sequences of the alphabet
     // characters (line 6 of Algorithm 1), checking each for satisfaction.
-    if let Some(found) = search.seed_alphabet(&ic) {
+    if let Some(found) = search.seed_alphabet() {
         return Ok(search.finish(found));
     }
 
@@ -415,12 +564,18 @@ pub(crate) fn run(
 }
 
 impl<'a> Search<'a> {
-    fn seed_alphabet(&mut self, ic: &InfixClosure) -> Option<Provenance> {
+    /// The pair-based guide table, built on first use (only the device
+    /// strategy reads it).
+    fn pair_table(&self) -> &GuideTable {
+        self.pair_table.get_or_init(|| GuideTable::build(&self.ic))
+    }
+
+    fn seed_alphabet(&mut self) -> Option<Provenance> {
         let cost = self.params.costs.literal;
         self.stats.max_cost_reached = cost;
         let alphabet = self.params.alphabet.clone();
         for &a in alphabet.symbols() {
-            let row = ic.cs_of_literal(a);
+            let row = self.ic.cs_of_literal(a);
             self.stats.candidates_generated += 1;
             self.stats_device.record_hash_insertions(1);
             if !self.seen.insert(row.blocks()) {
@@ -530,16 +685,14 @@ impl<'a> Search<'a> {
     }
 
     fn compute_row(&self, job: Job, row: &mut [u64], scratch: &mut [u64]) {
-        match job {
-            Job::Question(i) => csops::question_into(row, self.cache.row(i), self.eps_index),
-            Job::Star(i) => {
-                csops::star_into(row, self.cache.row(i), &self.guide, self.eps_index, scratch)
-            }
-            Job::Concat(l, r) => {
-                csops::concat_into(row, self.cache.row(l), self.cache.row(r), &self.guide)
-            }
-            Job::Union(l, r) => csops::or_into(row, self.cache.row(l), self.cache.row(r)),
-        }
+        compute_job_row(
+            job,
+            row,
+            scratch,
+            &self.cache,
+            &self.guide_masks,
+            self.eps_index,
+        );
     }
 
     fn admit(&mut self, row: &[u64], job: Job, cost: u64) -> RowVerdict {

@@ -361,6 +361,21 @@ mod tests {
     }
 
     #[test]
+    fn thread_parallel_sessions_solve_and_account() {
+        let config = SynthConfig::new(CostFn::UNIFORM)
+            .with_backend(BackendChoice::ThreadParallel { threads: Some(3) });
+        let mut session = SynthSession::new(config).unwrap();
+        let result = session.run(&intro_spec()).unwrap();
+        assert_eq!(result.cost, 8);
+        assert_eq!(session.backend_name(), "cpu-thread-parallel");
+        // The stats device accounted the self-scheduled launches.
+        let stats = session.device().unwrap().stats();
+        assert!(stats.kernel_launches > 0);
+        assert!(stats.items_executed >= stats.kernel_launches);
+        assert!(stats.hash_insertions > 0);
+    }
+
+    #[test]
     fn custom_backend_device_is_shared() {
         let device = Device::with_threads(2);
         let backend = Box::new(DeviceParallel::with_device(device.clone()));

@@ -12,12 +12,30 @@
 //!
 //! * union is a bitwise or ([`or_into`]),
 //! * the question mark adds the `ε` bit ([`question_into`]),
-//! * concatenation folds over the pre-computed guide table
-//!   ([`concat_into`]),
-//! * the Kleene star iterates concatenation to a fixed point
-//!   ([`star_into`]).
+//! * concatenation walks the set bits of its left operand and ORs
+//!   whole blocks of the right operand through the transposed
+//!   [`GuideMasks`] table ([`concat_into`]); the original per-word gather
+//!   over the [`GuideTable`] survives as [`concat_into_gather`] and as
+//!   the branch-free GPU kernel body [`concat_word_bit`],
+//! * the Kleene star reaches its fixed point by *squaring*
+//!   (`t := t · t`, [`star_into`]), needing only O(log max word length)
+//!   concatenations; the original linear iteration survives as
+//!   [`star_into_linear`].
+//!
+//! # Mask-based concatenation
+//!
+//! [`concat_into`] is bit-parallel on both sides: it visits only the set
+//! bits `l` of the left operand (via `trailing_zeros`), and for each `l`
+//! applies the pre-staged [`MaskEntry`] row — each entry moves up to 64
+//! right-operand bits into the result with one mask, one shift and one
+//! or. The per-split work of the gather kernels (two bit tests per split
+//! per target word, whether or not the operands are sparse) disappears
+//! entirely; see the [`crate::guide`] module docs for the entry layout
+//! and the memory trade-off against the pair table.
+//!
+//! [`MaskEntry`]: crate::MaskEntry
 
-use crate::GuideTable;
+use crate::{GuideMasks, GuideTable};
 
 /// Reads bit `i` of a block slice.
 #[inline]
@@ -91,12 +109,46 @@ pub fn concat_word_bit(a: &[u64], b: &[u64], guide: &GuideTable, w: usize) -> bo
 }
 
 /// `dst := a · b` — the concatenation (semiring product) of two languages,
-/// restricted to the infix closure, using the staged guide table.
+/// restricted to the infix closure, using the transposed mask table.
+///
+/// For every set bit `l` of `a` the pre-staged mask row is applied: each
+/// entry selects the participating right-operand bits of one block with a
+/// mask, shifts them onto their target positions and ORs them into the
+/// result. Work is proportional to `popcount(a) ×` (entries per row)
+/// instead of `num_words ×` (splits per word).
+///
+/// # Panics
+///
+/// Panics if `dst` or `b` is too short for the bit positions the mask
+/// table references.
+pub fn concat_into(dst: &mut [u64], a: &[u64], b: &[u64], masks: &GuideMasks) {
+    clear(dst);
+    let num_left = masks.num_left();
+    for (block, &word) in a.iter().enumerate() {
+        let mut bits = word;
+        while bits != 0 {
+            let l = block * 64 + bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            if l >= num_left {
+                // Padding bits above the closure are always zero in rows
+                // produced by these kernels; stop defensively anyway.
+                break;
+            }
+            for entry in masks.row(l) {
+                entry.apply(b, dst);
+            }
+        }
+    }
+}
+
+/// `dst := a · b` computed with the per-word split gather over the pair
+/// table — the seed's sequential kernel, kept as the ablation baseline
+/// for [`concat_into`] (see `crates/bench/benches/micro_ops.rs`).
 ///
 /// # Panics
 ///
 /// Panics if `dst` is too short for `guide.num_words()` bits.
-pub fn concat_into(dst: &mut [u64], a: &[u64], b: &[u64], guide: &GuideTable) {
+pub fn concat_into_gather(dst: &mut [u64], a: &[u64], b: &[u64], guide: &GuideTable) {
     clear(dst);
     for w in 0..guide.num_words() {
         // Early exit per word is fine on a CPU; the data-parallel engine
@@ -115,7 +167,8 @@ pub fn concat_into(dst: &mut [u64], a: &[u64], b: &[u64], guide: &GuideTable) {
 /// enumerating the splits of every word on the fly.
 ///
 /// This exists only as the baseline for the guide-table ablation benchmark
-/// (`DESIGN.md` §5): it recomputes, for every target word, every split and
+/// (`crates/bench/benches/ablation.rs`): it recomputes, for every target
+/// word, every split and
 /// two hash look-ups into the closure, which is exactly the work the guide
 /// table pre-computes once per synthesis run.
 pub fn concat_into_unstaged(dst: &mut [u64], a: &[u64], b: &[u64], ic: &crate::InfixClosure) {
@@ -137,18 +190,52 @@ pub fn concat_into_unstaged(dst: &mut [u64], a: &[u64], b: &[u64], ic: &crate::I
 }
 
 /// `dst := a*` — the Kleene star of a language, restricted to the infix
-/// closure.
+/// closure, computed by **squaring**.
 ///
-/// The star is computed as the limit of `t_0 = {ε}`, `t_{k+1} = t_k ∪ t_k·a`,
-/// which is monotone and therefore reaches a fixed point after at most
-/// `#ic` iterations (in practice after `max word length + 1` iterations).
-/// `scratch` must have the same length as `dst` and is used as temporary
-/// storage for the intermediate concatenations.
+/// Starting from `t_0 = a ∪ {ε}`, the iteration `t_{k+1} = t_k · t_k`
+/// doubles the number of factors covered each round, so the fixed point
+/// `a*` (restricted to the closure) is reached after
+/// O(log max word length) mask-based concatenations instead of the
+/// O(max word length) rounds of the linear iteration
+/// ([`star_into_linear`]). The iteration is monotone (`ε ∈ t_k` implies
+/// `t_k ⊆ t_k · t_k`), so plain equality detects the fixed point.
+/// `scratch` must have the same length as `dst` and holds the
+/// intermediate squares.
 ///
 /// # Panics
 ///
 /// Panics if `dst` and `scratch` have different lengths.
 pub fn star_into(
+    dst: &mut [u64],
+    a: &[u64],
+    masks: &GuideMasks,
+    eps_index: usize,
+    scratch: &mut [u64],
+) {
+    assert_eq!(dst.len(), scratch.len(), "scratch must match dst length");
+    copy_into(dst, a);
+    set_bit(dst, eps_index);
+    loop {
+        concat_into(scratch, dst, dst, masks);
+        if equal(scratch, dst) {
+            return;
+        }
+        copy_into(dst, scratch);
+    }
+}
+
+/// `dst := a*` computed by the seed's linear iteration
+/// `t_0 = {ε}`, `t_{k+1} = t_k ∪ t_k · a` over the pair table.
+///
+/// Monotone, reaching the fixed point after at most
+/// `max word length + 1` rounds. Kept as the reference and ablation
+/// baseline for the squaring kernel ([`star_into`]); the property tests
+/// assert both compute identical sequences.
+///
+/// # Panics
+///
+/// Panics if `dst` and `scratch` have different lengths.
+pub fn star_into_linear(
     dst: &mut [u64],
     a: &[u64],
     guide: &GuideTable,
@@ -159,7 +246,7 @@ pub fn star_into(
     clear(dst);
     set_bit(dst, eps_index);
     loop {
-        concat_into(scratch, dst, a, guide);
+        concat_into_gather(scratch, dst, a, guide);
         let mut changed = false;
         for (d, &s) in dst.iter_mut().zip(scratch.iter()) {
             let next = *d | s;
@@ -198,14 +285,15 @@ pub fn misclassified(row: &[u64], pos: &[u64], neg: &[u64]) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{Cs, InfixClosure, Spec};
+    use crate::{Cs, InfixClosure, Spec, Word};
     use proptest::prelude::*;
     use rei_syntax::{parse, Regex};
 
-    fn setup(spec: &Spec) -> (InfixClosure, GuideTable) {
+    fn setup(spec: &Spec) -> (InfixClosure, GuideTable, GuideMasks) {
         let ic = InfixClosure::of_spec(spec);
         let gt = GuideTable::build(&ic);
-        (ic, gt)
+        let gm = GuideMasks::build(&ic);
+        (ic, gt, gm)
     }
 
     fn example_spec() -> Spec {
@@ -215,15 +303,15 @@ mod tests {
     /// Computes the CS of a regex with the block kernels and compares it
     /// with the derivative-matcher reference.
     fn check_regex_via_kernels(spec: &Spec, expr: &str) {
-        let (ic, gt) = setup(spec);
+        let (ic, _, gm) = setup(spec);
         let r = parse(expr).unwrap();
         let expected = ic.cs_of_regex(&r);
-        let got = eval_kernels(&r, &ic, &gt);
+        let got = eval_kernels(&r, &ic, &gm);
         assert_eq!(got, expected, "CS mismatch for {expr}");
     }
 
     /// Recursively evaluates a regex to a CS using only the block kernels.
-    fn eval_kernels(r: &Regex, ic: &InfixClosure, gt: &GuideTable) -> Cs {
+    fn eval_kernels(r: &Regex, ic: &InfixClosure, gm: &GuideMasks) -> Cs {
         let width = ic.width();
         let eps = ic.eps_index().unwrap();
         match r {
@@ -231,26 +319,26 @@ mod tests {
             Regex::Epsilon => ic.cs_of_epsilon(),
             Regex::Literal(a) => ic.cs_of_literal(*a),
             Regex::Union(l, rr) => {
-                let (a, b) = (eval_kernels(l, ic, gt), eval_kernels(rr, ic, gt));
+                let (a, b) = (eval_kernels(l, ic, gm), eval_kernels(rr, ic, gm));
                 let mut dst = Cs::zero(width);
                 or_into(dst.blocks_mut(), a.blocks(), b.blocks());
                 dst
             }
             Regex::Concat(l, rr) => {
-                let (a, b) = (eval_kernels(l, ic, gt), eval_kernels(rr, ic, gt));
+                let (a, b) = (eval_kernels(l, ic, gm), eval_kernels(rr, ic, gm));
                 let mut dst = Cs::zero(width);
-                concat_into(dst.blocks_mut(), a.blocks(), b.blocks(), gt);
+                concat_into(dst.blocks_mut(), a.blocks(), b.blocks(), gm);
                 dst
             }
             Regex::Star(inner) => {
-                let a = eval_kernels(inner, ic, gt);
+                let a = eval_kernels(inner, ic, gm);
                 let mut dst = Cs::zero(width);
                 let mut scratch = vec![0u64; width.blocks()];
-                star_into(dst.blocks_mut(), a.blocks(), gt, eps, &mut scratch);
+                star_into(dst.blocks_mut(), a.blocks(), gm, eps, &mut scratch);
                 dst
             }
             Regex::Question(inner) => {
-                let a = eval_kernels(inner, ic, gt);
+                let a = eval_kernels(inner, ic, gm);
                 let mut dst = Cs::zero(width);
                 question_into(dst.blocks_mut(), a.blocks(), eps);
                 dst
@@ -289,8 +377,8 @@ mod tests {
     }
 
     #[test]
-    fn unstaged_concat_agrees_with_staged_concat() {
-        let (ic, gt) = setup(&example_spec());
+    fn all_concat_implementations_agree() {
+        let (ic, gt, gm) = setup(&example_spec());
         for (ea, eb) in [
             ("0", "1"),
             ("1(0+1)?", "(0+1)1"),
@@ -299,21 +387,24 @@ mod tests {
         ] {
             let a = ic.cs_of_regex(&parse(ea).unwrap());
             let b = ic.cs_of_regex(&parse(eb).unwrap());
-            let mut staged = Cs::zero(ic.width());
+            let mut masked = Cs::zero(ic.width());
+            let mut gathered = Cs::zero(ic.width());
             let mut unstaged = Cs::zero(ic.width());
-            concat_into(staged.blocks_mut(), a.blocks(), b.blocks(), &gt);
+            concat_into(masked.blocks_mut(), a.blocks(), b.blocks(), &gm);
+            concat_into_gather(gathered.blocks_mut(), a.blocks(), b.blocks(), &gt);
             concat_into_unstaged(unstaged.blocks_mut(), a.blocks(), b.blocks(), &ic);
-            assert_eq!(staged, unstaged, "{ea} · {eb}");
+            assert_eq!(masked, gathered, "{ea} · {eb}");
+            assert_eq!(masked, unstaged, "{ea} · {eb}");
         }
     }
 
     #[test]
     fn concat_word_bit_agrees_with_concat_into() {
-        let (ic, gt) = setup(&example_spec());
+        let (ic, gt, gm) = setup(&example_spec());
         let a = ic.cs_of_regex(&parse("1(0+1)?").unwrap());
         let b = ic.cs_of_regex(&parse("(0+1)1").unwrap());
         let mut dst = Cs::zero(ic.width());
-        concat_into(dst.blocks_mut(), a.blocks(), b.blocks(), &gt);
+        concat_into(dst.blocks_mut(), a.blocks(), b.blocks(), &gm);
         for w in 0..ic.len() {
             assert_eq!(dst.get(w), concat_word_bit(a.blocks(), b.blocks(), &gt, w));
         }
@@ -337,7 +428,7 @@ mod tests {
 
     #[test]
     fn star_of_epsilon_and_empty() {
-        let (ic, gt) = setup(&example_spec());
+        let (ic, gt, gm) = setup(&example_spec());
         let width = ic.width();
         let eps_idx = ic.eps_index().unwrap();
         let mut scratch = vec![0u64; width.blocks()];
@@ -346,11 +437,20 @@ mod tests {
         star_into(
             dst.blocks_mut(),
             Cs::zero(width).blocks(),
-            &gt,
+            &gm,
             eps_idx,
             &mut scratch,
         );
         assert_eq!(dst, ic.cs_of_epsilon());
+        let mut linear = Cs::zero(width);
+        star_into_linear(
+            linear.blocks_mut(),
+            Cs::zero(width).blocks(),
+            &gt,
+            eps_idx,
+            &mut scratch,
+        );
+        assert_eq!(linear, dst);
     }
 
     proptest! {
@@ -360,9 +460,9 @@ mod tests {
         fn kernels_agree_with_matcher(expr in "[01+*?()]{1,10}") {
             if let Ok(r) = parse(&expr) {
                 let spec = example_spec();
-                let (ic, gt) = setup(&spec);
+                let (ic, _, gm) = setup(&spec);
                 let expected = ic.cs_of_regex(&r);
-                let got = eval_kernels(&r, &ic, &gt);
+                let got = eval_kernels(&r, &ic, &gm);
                 prop_assert_eq!(got, expected, "expr {}", r);
             }
         }
@@ -373,24 +473,75 @@ mod tests {
         fn star_laws(expr in "[01+?]{1,5}") {
             let r = match parse(&expr) { Ok(r) => r, Err(_) => return Ok(()) };
             let spec = example_spec();
-            let (ic, gt) = setup(&spec);
+            let (ic, _, gm) = setup(&spec);
             let width = ic.width();
             let eps = ic.eps_index().unwrap();
             let a = ic.cs_of_regex(&r);
             let mut scratch = vec![0u64; width.blocks()];
             let mut star = Cs::zero(width);
-            star_into(star.blocks_mut(), a.blocks(), &gt, eps, &mut scratch);
+            star_into(star.blocks_mut(), a.blocks(), &gm, eps, &mut scratch);
             // a ⊆ a* and ε ∈ a*.
             prop_assert!(a.is_subset_of(&star));
             prop_assert!(star.get(eps));
             // (a*)* = a*.
             let mut star_star = Cs::zero(width);
-            star_into(star_star.blocks_mut(), star.blocks(), &gt, eps, &mut scratch);
+            star_into(star_star.blocks_mut(), star.blocks(), &gm, eps, &mut scratch);
             prop_assert_eq!(&star_star, &star);
             // a*·a* = a*.
             let mut squared = Cs::zero(width);
-            concat_into(squared.blocks_mut(), star.blocks(), star.blocks(), &gt);
+            concat_into(squared.blocks_mut(), star.blocks(), star.blocks(), &gm);
             prop_assert_eq!(&squared, &star);
+        }
+
+        /// The three concatenation implementations — mask-based
+        /// (`concat_into`), split-gather (`concat_into_gather`) and
+        /// unstaged (`concat_into_unstaged`) — agree on random closures
+        /// and random operand rows.
+        #[test]
+        fn concat_implementations_agree_on_random_closures(
+            words in proptest::collection::vec("[01]{0,6}", 1..5),
+            ea in "[01+*?]{1,6}",
+            eb in "[01+*?]{1,6}",
+        ) {
+            let (ra, rb) = match (parse(&ea), parse(&eb)) {
+                (Ok(a), Ok(b)) => (a, b),
+                _ => return Ok(()),
+            };
+            let ic = InfixClosure::of_words(words.iter().map(|s| Word::from(s.as_str())));
+            let gt = GuideTable::build(&ic);
+            let gm = GuideMasks::build(&ic);
+            let a = ic.cs_of_regex(&ra);
+            let b = ic.cs_of_regex(&rb);
+            let mut masked = Cs::zero(ic.width());
+            let mut gathered = Cs::zero(ic.width());
+            let mut unstaged = Cs::zero(ic.width());
+            concat_into(masked.blocks_mut(), a.blocks(), b.blocks(), &gm);
+            concat_into_gather(gathered.blocks_mut(), a.blocks(), b.blocks(), &gt);
+            concat_into_unstaged(unstaged.blocks_mut(), a.blocks(), b.blocks(), &ic);
+            prop_assert_eq!(&masked, &gathered, "{} · {}", ra, rb);
+            prop_assert_eq!(&masked, &unstaged, "{} · {}", ra, rb);
+        }
+
+        /// Star by squaring equals the linear fixed-point iteration on
+        /// random closures and random operands.
+        #[test]
+        fn star_squaring_agrees_with_linear_iteration(
+            words in proptest::collection::vec("[01]{0,6}", 1..5),
+            expr in "[01+*?]{1,6}",
+        ) {
+            let r = match parse(&expr) { Ok(r) => r, Err(_) => return Ok(()) };
+            let ic = InfixClosure::of_words(words.iter().map(|s| Word::from(s.as_str())));
+            if ic.is_empty() { return Ok(()); }
+            let gt = GuideTable::build(&ic);
+            let gm = GuideMasks::build(&ic);
+            let eps = ic.eps_index().unwrap();
+            let a = ic.cs_of_regex(&r);
+            let mut scratch = vec![0u64; ic.width().blocks()];
+            let mut squared = Cs::zero(ic.width());
+            let mut linear = Cs::zero(ic.width());
+            star_into(squared.blocks_mut(), a.blocks(), &gm, eps, &mut scratch);
+            star_into_linear(linear.blocks_mut(), a.blocks(), &gt, eps, &mut scratch);
+            prop_assert_eq!(&squared, &linear, "({})*", r);
         }
 
         /// Concatenation is associative on characteristic sequences.
@@ -401,17 +552,17 @@ mod tests {
                 _ => return Ok(()),
             };
             let spec = example_spec();
-            let (ic, gt) = setup(&spec);
+            let (ic, _, gm) = setup(&spec);
             let width = ic.width();
             let (a, b, c) = (ic.cs_of_regex(&r1), ic.cs_of_regex(&r2), ic.cs_of_regex(&r3));
             let mut ab = Cs::zero(width);
             let mut bc = Cs::zero(width);
             let mut ab_c = Cs::zero(width);
             let mut a_bc = Cs::zero(width);
-            concat_into(ab.blocks_mut(), a.blocks(), b.blocks(), &gt);
-            concat_into(bc.blocks_mut(), b.blocks(), c.blocks(), &gt);
-            concat_into(ab_c.blocks_mut(), ab.blocks(), c.blocks(), &gt);
-            concat_into(a_bc.blocks_mut(), a.blocks(), bc.blocks(), &gt);
+            concat_into(ab.blocks_mut(), a.blocks(), b.blocks(), &gm);
+            concat_into(bc.blocks_mut(), b.blocks(), c.blocks(), &gm);
+            concat_into(ab_c.blocks_mut(), ab.blocks(), c.blocks(), &gm);
+            concat_into(a_bc.blocks_mut(), a.blocks(), bc.blocks(), &gm);
             prop_assert_eq!(ab_c, a_bc);
         }
 
@@ -424,19 +575,19 @@ mod tests {
                 _ => return Ok(()),
             };
             let spec = example_spec();
-            let (ic, gt) = setup(&spec);
+            let (ic, _, gm) = setup(&spec);
             let width = ic.width();
             let (a, b, c) = (ic.cs_of_regex(&r1), ic.cs_of_regex(&r2), ic.cs_of_regex(&r3));
             // a·(b+c)
             let mut bc = Cs::zero(width);
             or_into(bc.blocks_mut(), b.blocks(), c.blocks());
             let mut lhs = Cs::zero(width);
-            concat_into(lhs.blocks_mut(), a.blocks(), bc.blocks(), &gt);
+            concat_into(lhs.blocks_mut(), a.blocks(), bc.blocks(), &gm);
             // a·b + a·c
             let mut ab = Cs::zero(width);
             let mut ac = Cs::zero(width);
-            concat_into(ab.blocks_mut(), a.blocks(), b.blocks(), &gt);
-            concat_into(ac.blocks_mut(), a.blocks(), c.blocks(), &gt);
+            concat_into(ab.blocks_mut(), a.blocks(), b.blocks(), &gm);
+            concat_into(ac.blocks_mut(), a.blocks(), c.blocks(), &gm);
             let mut rhs = Cs::zero(width);
             or_into(rhs.blocks_mut(), ab.blocks(), ac.blocks());
             prop_assert_eq!(lhs, rhs);

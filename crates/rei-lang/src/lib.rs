@@ -18,6 +18,10 @@
 //! * [`GuideTable`] — the staged pre-computation of all splits of every
 //!   word in the infix closure, which turns concatenation into a gather
 //!   over bit positions (the paper's *guide table*).
+//! * [`GuideMasks`] — the transposed, block-mask form of the guide table:
+//!   one row of `(right-mask, target-mask)` entries per *left* index,
+//!   which turns concatenation into whole-`u64` mask-shift-or operations
+//!   over only the set bits of the left operand (see [`csops::concat_into`]).
 //! * [`SatisfyMasks`] — the pair of bit masks used to check `L ⊨ (P, N)`
 //!   with two bitwise operations.
 //!
@@ -48,7 +52,7 @@ mod word;
 pub use alphabet::Alphabet;
 pub use cs::{Cs, CsWidth};
 pub use error::SpecError;
-pub use guide::GuideTable;
+pub use guide::{GuideMasks, GuideTable, MaskEntry};
 pub use infix::InfixClosure;
 pub use satisfy::SatisfyMasks;
 pub use spec::Spec;

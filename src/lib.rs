@@ -84,7 +84,7 @@ pub mod prelude {
     pub use rei_core::{
         Backend, BackendChoice, CancelToken, DeviceParallel, LevelLog, LevelStats, Observer,
         Sequential, SessionStats, SynthConfig, SynthSession, SynthesisError, SynthesisResult,
-        Synthesizer,
+        Synthesizer, ThreadParallel,
     };
     pub use rei_lang::{Alphabet, InfixClosure, Spec, Word};
     pub use rei_syntax::{parse, CostFn, Regex};

@@ -1,8 +1,9 @@
-//! Property tests: the sequential and data-parallel backends implement the
-//! same algorithm, so on any specification they must agree on the minimal
-//! cost (the expressions themselves may differ between equally-minimal
-//! candidates). The agreement is checked through the session API,
-//! including batched runs over one warm device.
+//! Property tests: the sequential, thread-parallel and data-parallel
+//! backends implement the same algorithm, so on any specification they
+//! must agree on the minimal cost (the expressions themselves may differ
+//! between equally-minimal candidates). The agreement is checked through
+//! the session API, including batched runs over one warm device and runs
+//! under cancellation.
 
 use proptest::prelude::*;
 
@@ -27,20 +28,69 @@ fn session(backend: BackendChoice) -> SynthSession {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
-    /// Both backends find expressions of the same (minimal) cost and both
-    /// results classify every example correctly.
+    /// All three backends find expressions of the same (minimal) cost and
+    /// every result classifies every example correctly.
     #[test]
     fn backends_agree_on_minimal_cost(seed in 0u64..10_000, max_len in 2usize..4, examples in 2usize..4) {
         let Some(spec) = small_spec(seed, max_len, examples) else { return Ok(()) };
         let sequential = session(BackendChoice::Sequential).run(&spec).unwrap();
+        let threaded = session(BackendChoice::ThreadParallel { threads: Some(3) })
+            .run(&spec)
+            .unwrap();
         let parallel = session(BackendChoice::DeviceParallel { threads: Some(3) })
             .run(&spec)
             .unwrap();
+        prop_assert_eq!(sequential.cost, threaded.cost, "spec {}", spec);
         prop_assert_eq!(sequential.cost, parallel.cost, "spec {}", spec);
         prop_assert!(spec.is_satisfied_by(&sequential.regex));
+        prop_assert!(spec.is_satisfied_by(&threaded.regex));
         prop_assert!(spec.is_satisfied_by(&parallel.regex));
         prop_assert_eq!(sequential.regex.cost(&CostFn::UNIFORM), sequential.cost);
+        prop_assert_eq!(threaded.regex.cost(&CostFn::UNIFORM), threaded.cost);
         prop_assert_eq!(parallel.regex.cost(&CostFn::UNIFORM), parallel.cost);
+    }
+
+    /// A batch through a warm thread-parallel session agrees with the
+    /// sequential baseline spec by spec, and a cancellation mid-batch
+    /// makes the remaining specs fail fast with `Cancelled` on every
+    /// backend alike.
+    #[test]
+    fn threaded_batches_agree_and_cancel(base in 0u64..10_000) {
+        let specs: Vec<Spec> =
+            (0..4).filter_map(|k| small_spec(base + k, 3, 3)).collect();
+        if specs.is_empty() { return Ok(()) }
+
+        let mut sequential = session(BackendChoice::Sequential);
+        let mut threaded = session(BackendChoice::ThreadParallel { threads: Some(2) });
+        let cpu_results = sequential.run_batch(&specs);
+        let mt_results = threaded.run_batch(&specs);
+        prop_assert_eq!(threaded.stats().runs, specs.len() as u64);
+        for ((spec, cpu), mt) in specs.iter().zip(&cpu_results).zip(&mt_results) {
+            let cpu = cpu.as_ref().unwrap();
+            let mt = mt.as_ref().unwrap();
+            prop_assert_eq!(cpu.cost, mt.cost, "spec {}", spec);
+            prop_assert!(spec.is_satisfied_by(&mt.regex));
+        }
+        // The self-scheduled launches were accounted on the stats device.
+        prop_assert!(threaded.device().unwrap().stats().kernel_launches > 0);
+
+        // Cancellation: tripping the token fails the whole batch fast,
+        // identically across backends.
+        for choice in [
+            BackendChoice::Sequential,
+            BackendChoice::ThreadParallel { threads: Some(2) },
+            BackendChoice::DeviceParallel { threads: Some(2) },
+        ] {
+            let mut cancelled = session(choice);
+            cancelled.cancel_token().cancel();
+            for result in cancelled.run_batch(&specs) {
+                prop_assert!(
+                    matches!(result, Err(SynthesisError::Cancelled { .. })),
+                    "backend {} did not cancel", choice.name()
+                );
+            }
+            prop_assert_eq!(cancelled.stats().failed, specs.len() as u64);
+        }
     }
 
     /// `run_batch` through one warm session of each backend produces the
