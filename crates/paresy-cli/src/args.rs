@@ -52,11 +52,53 @@ impl Default for SynthOptions {
     }
 }
 
+/// Options of the `serve` command.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeOptions {
+    /// Worker threads of the service pool.
+    pub workers: usize,
+    /// Bound of the job queue.
+    pub queue_capacity: usize,
+    /// Result-cache capacity.
+    pub cache_capacity: usize,
+    /// The cost homomorphism every worker session runs.
+    pub costs: CostFn,
+    /// Backend of every worker session.
+    pub backend: BackendChoice,
+    /// Allowed error fraction.
+    pub allowed_error: f64,
+    /// Optional cost bound.
+    pub max_cost: Option<u64>,
+    /// Optional per-run wall-clock budget of the worker sessions
+    /// (requests can additionally carry their own `timeout_ms` deadline).
+    pub time_budget: Option<Duration>,
+    /// Emit a final metrics JSON line after the results.
+    pub metrics: bool,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            workers: 2,
+            queue_capacity: 64,
+            cache_capacity: 1024,
+            costs: CostFn::UNIFORM,
+            backend: BackendChoice::Sequential,
+            allowed_error: 0.0,
+            max_cost: None,
+            time_budget: None,
+            metrics: false,
+        }
+    }
+}
+
 /// A parsed command line.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
     /// Run the synthesiser on a specification (or a batch of them).
     Synth(SynthOptions),
+    /// Serve JSONL synthesis requests from stdin through a worker pool.
+    Serve(ServeOptions),
     /// Run one or all tasks of the bundled AlphaRegex suite.
     Suite {
         /// Specific task number (1..=25), or `None` for all easy tasks.
@@ -102,6 +144,9 @@ USAGE:
                   [--backend cpu-sequential|cpu-thread-parallel|gpu-sim-parallel]
                   [--error FRACTION] [--max-cost N] [--timeout SECONDS]
                   [--compare-baseline]
+  paresy serve    [--workers N] [--queue N] [--cache N]
+                  [--cost a,q,s,c,u] [--backend NAME] [--error FRACTION]
+                  [--max-cost N] [--timeout SECONDS] [--metrics]
   paresy suite    [--task N]
   paresy generate [--scheme 1|2] [--max-len N] [--positives N] [--negatives N] [--seed N]
   paresy help
@@ -111,6 +156,13 @@ Backends also accept the aliases sequential/cpu, threads/thread-parallel
 and parallel/gpu; the multi-threaded forms take an optional thread count
 (threads:4, parallel:8). --batch runs every file through one session, so
 a parallel backend's device is set up once.
+
+serve reads one JSON request per stdin line, e.g.
+  {\"id\": \"r1\", \"pos\": [\"10\", \"101\"], \"neg\": [\"\", \"0\"],
+   \"priority\": 1, \"timeout_ms\": 500}
+and emits one JSON result per request, in request order. Identical
+requests are answered by the result cache or coalesced onto one
+in-flight synthesis. --metrics appends a final metrics JSON line.
 ";
 
 fn split_words(raw: &str) -> Vec<String> {
@@ -149,6 +201,53 @@ fn next_value<'a, I: Iterator<Item = &'a str>>(
         .ok_or_else(|| CommandError(format!("{flag} expects a value")))
 }
 
+/// Parses one of the session flags `synth` and `serve` share (`--cost`,
+/// `--backend`/`--engine`, `--error`, `--max-cost`, `--timeout`) into the
+/// given slots. Returns `Ok(false)` when `flag` is none of them, so the
+/// caller can try its own flags or report it as unknown.
+fn parse_session_flag<'a, I: Iterator<Item = &'a str>>(
+    flag: &str,
+    iter: &mut I,
+    costs: &mut CostFn,
+    backend: &mut BackendChoice,
+    allowed_error: &mut f64,
+    max_cost: &mut Option<u64>,
+    time_budget: &mut Option<Duration>,
+) -> Result<bool, CommandError> {
+    match flag {
+        "--cost" => *costs = parse_cost(next_value(flag, iter)?)?,
+        "--backend" | "--engine" => {
+            *backend = next_value(flag, iter)?.parse().map_err(CommandError)?
+        }
+        "--error" => {
+            *allowed_error = next_value(flag, iter)?
+                .parse()
+                .map_err(|_| CommandError("invalid --error fraction".into()))?
+        }
+        "--max-cost" => {
+            *max_cost = Some(
+                next_value(flag, iter)?
+                    .parse()
+                    .map_err(|_| CommandError("invalid --max-cost".into()))?,
+            )
+        }
+        "--timeout" => {
+            // try_from rejects negative, NaN, infinite and overflowing
+            // values — a usage error, not a panic.
+            let budget = next_value(flag, iter)?
+                .parse::<f64>()
+                .ok()
+                .and_then(|seconds| Duration::try_from_secs_f64(seconds).ok())
+                .ok_or_else(|| {
+                    CommandError("--timeout expects a non-negative number of seconds".into())
+                })?;
+            *time_budget = Some(budget);
+        }
+        _ => return Ok(false),
+    }
+    Ok(true)
+}
+
 /// Parses a full command line (excluding the program name).
 ///
 /// # Errors
@@ -185,31 +284,20 @@ pub fn parse_args<S: AsRef<str>>(args: &[S]) -> Result<Command, CommandError> {
                             .map(str::to_string)
                             .collect()
                     }
-                    "--cost" => options.costs = parse_cost(next_value(flag, &mut iter)?)?,
-                    "--backend" | "--engine" => {
-                        options.backend =
-                            next_value(flag, &mut iter)?.parse().map_err(CommandError)?
-                    }
-                    "--error" => {
-                        options.allowed_error = next_value(flag, &mut iter)?
-                            .parse()
-                            .map_err(|_| CommandError("invalid --error fraction".into()))?
-                    }
-                    "--max-cost" => {
-                        options.max_cost = Some(
-                            next_value(flag, &mut iter)?
-                                .parse()
-                                .map_err(|_| CommandError("invalid --max-cost".into()))?,
-                        )
-                    }
-                    "--timeout" => {
-                        let seconds: f64 = next_value(flag, &mut iter)?
-                            .parse()
-                            .map_err(|_| CommandError("invalid --timeout".into()))?;
-                        options.time_budget = Some(Duration::from_secs_f64(seconds));
-                    }
                     "--compare-baseline" => options.compare_baseline = true,
-                    other => return Err(CommandError(format!("unknown flag '{other}'"))),
+                    other => {
+                        if !parse_session_flag(
+                            other,
+                            &mut iter,
+                            &mut options.costs,
+                            &mut options.backend,
+                            &mut options.allowed_error,
+                            &mut options.max_cost,
+                            &mut options.time_budget,
+                        )? {
+                            return Err(CommandError(format!("unknown flag '{other}'")));
+                        }
+                    }
                 }
             }
             if options.spec_file.is_none()
@@ -232,6 +320,55 @@ pub fn parse_args<S: AsRef<str>>(args: &[S]) -> Result<Command, CommandError> {
                 ));
             }
             Ok(Command::Synth(options))
+        }
+        "serve" => {
+            let mut options = ServeOptions::default();
+            while let Some(flag) = iter.next() {
+                match flag {
+                    "--workers" => {
+                        options.workers = next_value(flag, &mut iter)?
+                            .parse()
+                            .ok()
+                            .filter(|n| *n >= 1)
+                            .ok_or_else(|| {
+                                CommandError("--workers expects a positive integer".into())
+                            })?
+                    }
+                    "--queue" => {
+                        options.queue_capacity = next_value(flag, &mut iter)?
+                            .parse()
+                            .ok()
+                            .filter(|n| *n >= 1)
+                            .ok_or_else(|| {
+                                CommandError("--queue expects a positive integer".into())
+                            })?
+                    }
+                    "--cache" => {
+                        options.cache_capacity = next_value(flag, &mut iter)?
+                            .parse()
+                            .ok()
+                            .filter(|n| *n >= 1)
+                            .ok_or_else(|| {
+                                CommandError("--cache expects a positive integer".into())
+                            })?
+                    }
+                    "--metrics" => options.metrics = true,
+                    other => {
+                        if !parse_session_flag(
+                            other,
+                            &mut iter,
+                            &mut options.costs,
+                            &mut options.backend,
+                            &mut options.allowed_error,
+                            &mut options.max_cost,
+                            &mut options.time_budget,
+                        )? {
+                            return Err(CommandError(format!("unknown flag '{other}'")));
+                        }
+                    }
+                }
+            }
+            Ok(Command::Serve(options))
         }
         "suite" => {
             let mut task = None;
@@ -422,6 +559,69 @@ mod tests {
         assert!(parse_args(&["synth", "--pos", "1", "--cost", "1,2,3"]).is_err());
         assert!(parse_args(&["synth", "--pos", "1", "--cost", "1,0,1,1,1"]).is_err());
         assert!(parse_args(&["synth", "--pos", "1", "--cost", "a,b,c,d,e"]).is_err());
+    }
+
+    #[test]
+    fn serve_flags_and_defaults() {
+        assert_eq!(
+            parse_args(&["serve"]).unwrap(),
+            Command::Serve(ServeOptions::default())
+        );
+        let cmd = parse_args(&[
+            "serve",
+            "--workers",
+            "4",
+            "--queue",
+            "8",
+            "--cache",
+            "16",
+            "--backend",
+            "threads:2",
+            "--timeout",
+            "0.5",
+            "--metrics",
+        ])
+        .unwrap();
+        match cmd {
+            Command::Serve(options) => {
+                assert_eq!(options.workers, 4);
+                assert_eq!(options.queue_capacity, 8);
+                assert_eq!(options.cache_capacity, 16);
+                assert_eq!(
+                    options.backend,
+                    BackendChoice::ThreadParallel { threads: Some(2) }
+                );
+                assert_eq!(options.time_budget, Some(Duration::from_millis(500)));
+                assert!(options.metrics);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        for bad in [
+            vec!["serve", "--workers", "0"],
+            vec!["serve", "--queue", "none"],
+            vec!["serve", "--cache", "0"],
+            vec!["serve", "--backend", "quantum"],
+            vec!["serve", "--wat"],
+        ] {
+            assert!(parse_args(&bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn hostile_timeouts_are_usage_errors_not_panics() {
+        for command in ["synth", "serve"] {
+            for bad in ["-1", "nan", "inf", "1e30", "zero"] {
+                let args = match command {
+                    "synth" => vec!["synth", "--pos", "1", "--timeout", bad],
+                    _ => vec!["serve", "--timeout", bad],
+                };
+                let err = parse_args(&args).unwrap_err();
+                assert!(
+                    err.to_string().contains("--timeout"),
+                    "{command} {bad}: {err}"
+                );
+            }
+        }
     }
 
     #[test]

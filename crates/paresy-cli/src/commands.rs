@@ -10,6 +10,7 @@ use rei_core::{SynthConfig, SynthSession, SynthesisError, SynthesisResult};
 use rei_lang::{Alphabet, Spec};
 
 use crate::args::{Command, SynthOptions, USAGE};
+use crate::serve::run_serve_on;
 use crate::specfile::{parse_spec_file, render_spec_file};
 
 /// Runs a parsed command and returns the text to print.
@@ -23,6 +24,14 @@ pub fn run_command(command: &Command) -> Result<String, String> {
     match command {
         Command::Help => Ok(USAGE.to_string()),
         Command::Synth(options) => run_synth(options),
+        Command::Serve(options) => {
+            // The serve command is the one consumer of stdin; tests drive
+            // `run_serve_on` with in-memory input instead.
+            let mut input = String::new();
+            std::io::Read::read_to_string(&mut std::io::stdin().lock(), &mut input)
+                .map_err(|err| format!("cannot read stdin: {err}"))?;
+            run_serve_on(options, &input)
+        }
         Command::Suite { task } => run_suite(*task),
         Command::Generate {
             scheme,

@@ -6,6 +6,7 @@
 //! paresy synth --pos 10,101,100 --neg ,0,1
 //! paresy synth --spec-file examples.spec --cost 1,1,10,1,1 --backend parallel
 //! paresy synth --batch a.spec,b.spec,c.spec --backend gpu-sim-parallel
+//! paresy serve --workers 4 --metrics < requests.jsonl
 //! paresy suite --task 7
 //! paresy generate --scheme 2 --max-len 6 --positives 8 --negatives 8 --seed 7
 //! ```
@@ -19,8 +20,9 @@
 
 pub mod args;
 pub mod commands;
+pub mod serve;
 pub mod specfile;
 
-pub use args::{Command, CommandError, SynthOptions};
+pub use args::{Command, CommandError, ServeOptions, SynthOptions};
 pub use rei_core::BackendChoice;
 pub use specfile::{parse_spec_file, render_spec_file, SpecFileError};

@@ -1,0 +1,358 @@
+//! The `serve` command: JSONL requests on stdin, JSONL results out.
+//!
+//! Each input line is one JSON request object:
+//!
+//! ```json
+//! {"id": "r1", "pos": ["10", "101"], "neg": ["", "0"],
+//!  "priority": 1, "timeout_ms": 500}
+//! ```
+//!
+//! * `pos` (required) / `neg` (optional) — example strings; `""`, `"ε"`
+//!   and `"<eps>"` all denote the empty word.
+//! * `id` (optional) — echoed back verbatim; defaults to the 1-based
+//!   line number.
+//! * `priority` (optional) — higher runs earlier.
+//! * `timeout_ms` (optional) — a per-request deadline; an expired request
+//!   is answered with `"status": "cancelled"` without occupying a worker.
+//!
+//! Every request is submitted to a [`SynthService`] as it is read
+//! (identical requests are cache-served or coalesced), and one result
+//! line is emitted per request, in request order:
+//!
+//! ```json
+//! {"id": "r1", "status": "solved", "regex": "10(0+1)*", "cost": 8,
+//!  "source": "fresh", "wait_ms": 0.1, "run_ms": 2.5, "candidates": 117}
+//! ```
+//!
+//! Failed searches report `"status"` of `timeout` / `oom` / `not-found` /
+//! `cancelled`; malformed lines report `bad-request` with an `error`
+//! message (and are not submitted). Blank lines are skipped.
+
+use std::time::Duration;
+
+use rei_core::{SynthConfig, SynthesisError};
+use rei_lang::Spec;
+use rei_service::json::Json;
+use rei_service::{JobHandle, ServiceConfig, SynthRequest, SynthService};
+
+use crate::args::ServeOptions;
+
+/// Builds the pool-wide synthesis configuration the flags describe.
+fn synth_config(options: &ServeOptions) -> SynthConfig {
+    let mut config = SynthConfig::new(options.costs)
+        .with_backend(options.backend)
+        .with_allowed_error(options.allowed_error);
+    if let Some(max_cost) = options.max_cost {
+        config = config.with_max_cost(max_cost);
+    }
+    if let Some(budget) = options.time_budget {
+        config = config.with_time_budget(budget);
+    }
+    config
+}
+
+/// One parsed input line: the request plus the identity to echo back.
+struct ParsedRequest {
+    id: Json,
+    request: SynthRequest,
+}
+
+fn words_of(value: &Json, key: &str) -> Result<Vec<String>, String> {
+    let Some(raw) = value.get(key) else {
+        return Ok(Vec::new());
+    };
+    let items = raw
+        .as_array()
+        .ok_or_else(|| format!("'{key}' must be an array of strings"))?;
+    items
+        .iter()
+        .map(|item| {
+            let word = item
+                .as_str()
+                .ok_or_else(|| format!("'{key}' must contain only strings"))?;
+            Ok(match word {
+                "ε" | "<eps>" => String::new(),
+                other => other.to_string(),
+            })
+        })
+        .collect()
+}
+
+/// Parses one input line. A malformed line yields the identity to echo —
+/// the client's `id` when one was readable, the line number otherwise —
+/// alongside the error message, so clients can always correlate
+/// `bad-request` results with their requests.
+fn parse_request(line: &str, line_number: usize) -> Result<ParsedRequest, (Json, String)> {
+    let line_id = Json::uint(line_number as u64);
+    let value = Json::parse(line).map_err(|err| (line_id.clone(), err.to_string()))?;
+    if value.as_object().is_none() {
+        return Err((line_id, "request must be a JSON object".into()));
+    }
+    let id = match value.get("id") {
+        Some(id @ (Json::Str(_) | Json::Number(_))) => id.clone(),
+        Some(_) => return Err((line_id, "'id' must be a string or a number".into())),
+        None => line_id,
+    };
+    let fail = |message: String| (id.clone(), message);
+    if value.get("pos").is_none() {
+        return Err(fail("request needs a 'pos' array".into()));
+    }
+    let positives = words_of(&value, "pos").map_err(fail)?;
+    let negatives = words_of(&value, "neg").map_err(fail)?;
+    let spec = Spec::from_strs(
+        positives.iter().map(String::as_str),
+        negatives.iter().map(String::as_str),
+    )
+    .map_err(|err| fail(err.to_string()))?;
+
+    let mut request = SynthRequest::new(spec);
+    if let Some(priority) = value.get("priority") {
+        let priority = priority
+            .as_f64()
+            .filter(|p| p.fract() == 0.0 && (i32::MIN as f64..=i32::MAX as f64).contains(p))
+            .ok_or_else(|| fail("'priority' must be an integer".into()))?;
+        request = request.with_priority(priority as i32);
+    }
+    if let Some(timeout) = value.get("timeout_ms") {
+        // try_from rejects negative, NaN, infinite and overflowing values.
+        let timeout = timeout
+            .as_f64()
+            .and_then(|ms| Duration::try_from_secs_f64(ms / 1e3).ok())
+            .ok_or_else(|| fail("'timeout_ms' must be a non-negative number".into()))?;
+        request = request.with_timeout(timeout);
+    }
+    Ok(ParsedRequest { id, request })
+}
+
+fn error_status(err: &SynthesisError) -> &'static str {
+    match err {
+        SynthesisError::Timeout { .. } => "timeout",
+        SynthesisError::OutOfMemory { .. } => "oom",
+        SynthesisError::NotFound { .. } => "not-found",
+        SynthesisError::Cancelled { .. } => "cancelled",
+        // The service validates its config at start; per-request failures
+        // can never be InvalidConfig.
+        SynthesisError::InvalidConfig { .. } => "invalid-config",
+    }
+}
+
+fn response_line(id: Json, handle: &JobHandle) -> Json {
+    let response = handle.wait();
+    let ms = |d: std::time::Duration| Json::fixed(d.as_secs_f64() * 1e3, 3);
+    let mut line = vec![("id".to_string(), id)];
+    match &response.outcome {
+        Ok(result) => {
+            line.push(("status".into(), Json::str("solved")));
+            line.push(("regex".into(), Json::str(result.regex.to_string())));
+            line.push(("cost".into(), Json::uint(result.cost)));
+        }
+        Err(err) => {
+            line.push(("status".into(), Json::str(error_status(err))));
+        }
+    }
+    line.push(("source".into(), Json::str(response.source.as_str())));
+    line.push(("wait_ms".into(), ms(response.waited)));
+    line.push(("run_ms".into(), ms(response.ran)));
+    if let Ok(result) = &response.outcome {
+        line.push((
+            "candidates".into(),
+            Json::uint(result.stats.candidates_generated),
+        ));
+    }
+    Json::Object(line)
+}
+
+/// Runs the serve command over `input` (one JSON request per line) and
+/// returns the JSONL output.
+///
+/// # Errors
+///
+/// Returns a message when the service configuration is invalid; malformed
+/// *requests* are reported inline as `bad-request` result lines instead.
+pub fn run_serve_on(options: &ServeOptions, input: &str) -> Result<String, String> {
+    let service = SynthService::start(
+        ServiceConfig::new(options.workers)
+            .with_queue_capacity(options.queue_capacity)
+            .with_cache_capacity(options.cache_capacity)
+            .with_synth(synth_config(options)),
+    )
+    .map_err(|err| err.to_string())?;
+
+    // Submit everything up front (the bounded queue applies backpressure
+    // by blocking the reader), then answer in request order.
+    enum Line {
+        Submitted(Json, JobHandle),
+        BadRequest(Json, String),
+    }
+    let mut lines = Vec::new();
+    for (index, line) in input.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_request(line, index + 1) {
+            Ok(parsed) => {
+                let handle = service
+                    .submit(parsed.request)
+                    .expect("service is open until shutdown");
+                lines.push(Line::Submitted(parsed.id, handle));
+            }
+            Err((id, message)) => lines.push(Line::BadRequest(id, message)),
+        }
+    }
+
+    let mut out = String::new();
+    for line in &lines {
+        let rendered = match line {
+            Line::Submitted(id, handle) => response_line(id.clone(), handle),
+            Line::BadRequest(id, message) => Json::object([
+                ("id", id.clone()),
+                ("status", Json::str("bad-request")),
+                ("error", Json::str(message.clone())),
+            ]),
+        };
+        out.push_str(&rendered.to_compact());
+        out.push('\n');
+    }
+    let metrics = service.shutdown();
+    if options.metrics {
+        out.push_str(&metrics.to_json().to_compact());
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rei_core::BackendChoice;
+
+    fn options() -> ServeOptions {
+        ServeOptions {
+            workers: 2,
+            ..ServeOptions::default()
+        }
+    }
+
+    fn lines(raw: &str) -> Vec<Json> {
+        raw.lines().map(|l| Json::parse(l).unwrap()).collect()
+    }
+
+    #[test]
+    fn answers_every_request_in_order() {
+        let input = r#"{"id": "intro", "pos": ["10", "101", "100"], "neg": ["ε", "0", "1"]}
+{"pos": ["0", "00"], "neg": ["1", "10"]}
+
+{"id": 7, "pos": ["0", "00"], "neg": ["1", "10"]}
+"#;
+        let out = run_serve_on(&options(), input).unwrap();
+        let results = lines(&out);
+        assert_eq!(results.len(), 3);
+        assert_eq!(results[0].get("id").and_then(Json::as_str), Some("intro"));
+        assert_eq!(
+            results[0].get("status").and_then(Json::as_str),
+            Some("solved")
+        );
+        assert!(results[0].get("regex").is_some());
+        // The unnamed request is identified by its line number.
+        assert_eq!(results[1].get("id").and_then(Json::as_u64), Some(2));
+        // The duplicate of line 2 is answered without a second synthesis.
+        assert_eq!(results[2].get("id").and_then(Json::as_u64), Some(7));
+        assert_eq!(
+            results[2].get("cost").and_then(Json::as_u64),
+            results[1].get("cost").and_then(Json::as_u64)
+        );
+        assert_ne!(
+            results[2].get("source").and_then(Json::as_str),
+            Some("fresh")
+        );
+    }
+
+    #[test]
+    fn malformed_lines_become_bad_request_results() {
+        let input = "{\"pos\": [\"0\"]}\nnot json\n{\"neg\": [\"1\"]}\n{\"pos\": \"0\"}\n";
+        let out = run_serve_on(&options(), input).unwrap();
+        let results = lines(&out);
+        assert_eq!(results.len(), 4);
+        assert_eq!(
+            results[0].get("status").and_then(Json::as_str),
+            Some("solved")
+        );
+        for (index, result) in results.iter().enumerate().skip(1) {
+            assert_eq!(
+                result.get("status").and_then(Json::as_str),
+                Some("bad-request"),
+                "line {index}"
+            );
+            assert!(result.get("error").is_some());
+        }
+        // Contradictory examples are also a bad request, not a crash —
+        // and the client's own id survives into the error line.
+        let out = run_serve_on(
+            &options(),
+            "{\"id\": \"r9\", \"pos\": [\"0\"], \"neg\": [\"0\"]}\n",
+        )
+        .unwrap();
+        let result = &lines(&out)[0];
+        assert_eq!(
+            result.get("status").and_then(Json::as_str),
+            Some("bad-request")
+        );
+        assert_eq!(result.get("id").and_then(Json::as_str), Some("r9"));
+        // A hostile timeout is a bad request too, not a panic.
+        let out = run_serve_on(
+            &options(),
+            "{\"id\": \"t\", \"pos\": [\"0\"], \"timeout_ms\": -5}\n{\"pos\": [\"0\"], \"timeout_ms\": 1e40}\n",
+        )
+        .unwrap();
+        for result in &lines(&out) {
+            assert_eq!(
+                result.get("status").and_then(Json::as_str),
+                Some("bad-request"),
+                "{result:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn expired_deadline_is_reported_as_cancelled() {
+        let input = "{\"pos\": [\"10\", \"101\"], \"neg\": [\"\", \"0\"], \"timeout_ms\": 0}\n";
+        let out = run_serve_on(&options(), input).unwrap();
+        let results = lines(&out);
+        assert_eq!(
+            results[0].get("status").and_then(Json::as_str),
+            Some("cancelled")
+        );
+        assert_eq!(results[0].get("run_ms").and_then(Json::as_f64), Some(0.0));
+    }
+
+    #[test]
+    fn metrics_flag_appends_a_metrics_line() {
+        let mut options = options();
+        options.metrics = true;
+        options.backend = BackendChoice::ThreadParallel { threads: Some(2) };
+        let input = "{\"pos\": [\"0\"], \"neg\": [\"1\"]}\n{\"pos\": [\"0\"], \"neg\": [\"1\"]}\n";
+        let out = run_serve_on(&options, input).unwrap();
+        let results = lines(&out);
+        assert_eq!(results.len(), 3);
+        let metrics = &results[2];
+        assert_eq!(
+            metrics.get("schema").and_then(Json::as_str),
+            Some("rei-service/metrics-v1")
+        );
+        assert_eq!(
+            metrics
+                .get("requests")
+                .and_then(|r| r.get("submitted"))
+                .and_then(Json::as_u64),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn invalid_service_config_is_an_error() {
+        let mut bad = options();
+        bad.allowed_error = 2.0;
+        let err = run_serve_on(&bad, "").unwrap_err();
+        assert!(err.contains("allowed error"), "{err}");
+    }
+}

@@ -2,29 +2,32 @@
 //! figures.
 //!
 //! ```text
-//! reproduce [--full] [--seed N] [--out FILE] <experiment>
-//!   experiment: figure1 | table1 | table2 | outliers | error | perf | all
+//! reproduce [--full] [--seed N] [--out FILE] [--workers N] <experiment>
+//!   experiment: figure1 | table1 | table2 | outliers | error | perf | serve | all
 //! ```
 //!
 //! By default the quick scale is used (seconds per experiment); `--full`
 //! switches to paper-scale parameters with a 5-second per-run timeout.
-//! The `perf` experiment additionally writes the machine-readable
-//! baseline `BENCH_core.json` (path overridable with `--out`); see
-//! `ROADMAP.md` for how to read it.
+//! The `perf` and `serve` experiments additionally update the
+//! machine-readable baseline `BENCH_core.json` (path overridable with
+//! `--out`): each merges the sections it owns into the existing document
+//! so the other's survive a re-run. See `ROADMAP.md` for how to read it.
 
 use std::process::ExitCode;
 
 use rei_bench::harness::{
-    outlier_distribution, run_error_table, run_figure1, run_perf, run_table1, run_table2,
-    HarnessConfig, RunOutcome, PAPER_THRESHOLDS,
+    outlier_distribution, run_error_table, run_figure1, run_perf, run_serve, run_table1,
+    run_table2, HarnessConfig, RunOutcome, PAPER_THRESHOLDS,
 };
 use rei_bench::report::{fmt_opt, format_table};
+use rei_service::json::Json;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut config = HarnessConfig::quick();
     let mut experiment: Option<String> = None;
     let mut out_path = "BENCH_core.json".to_string();
+    let mut workers = 4usize;
     let mut iter = args.iter().peekable();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -36,6 +39,10 @@ fn main() -> ExitCode {
             "--out" => match iter.next() {
                 Some(path) => out_path = path.clone(),
                 None => return usage("--out expects a file path"),
+            },
+            "--workers" => match iter.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n >= 1 => workers = n,
+                _ => return usage("--workers expects a positive integer"),
             },
             "--help" | "-h" => return usage(""),
             other if experiment.is_none() && !other.starts_with('-') => {
@@ -59,6 +66,11 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+        "serve" => {
+            if !print_serve(&config, workers, &out_path) {
+                return ExitCode::FAILURE;
+            }
+        }
         "all" => {
             print_figure1(&config);
             print_table1(&config);
@@ -66,6 +78,9 @@ fn main() -> ExitCode {
             print_outliers(&config);
             print_error(&config);
             if !print_perf(&config, &out_path) {
+                return ExitCode::FAILURE;
+            }
+            if !print_serve(&config, workers, &out_path) {
                 return ExitCode::FAILURE;
             }
         }
@@ -79,8 +94,8 @@ fn usage(error: &str) -> ExitCode {
         eprintln!("error: {error}");
     }
     eprintln!(
-        "usage: reproduce [--full] [--seed N] [--out FILE] \
-         <figure1|table1|table2|outliers|error|perf|all>"
+        "usage: reproduce [--full] [--seed N] [--out FILE] [--workers N] \
+         <figure1|table1|table2|outliers|error|perf|serve|all>"
     );
     if error.is_empty() {
         ExitCode::SUCCESS
@@ -284,13 +299,76 @@ fn print_perf(config: &HarnessConfig, out_path: &str) -> bool {
             &backend_rows
         )
     );
-    match std::fs::write(out_path, report.to_json()) {
+    merge_sections(out_path, report.to_json_value())
+}
+
+fn print_serve(config: &HarnessConfig, workers: usize, out_path: &str) -> bool {
+    println!("== Service throughput: cold vs cache-warm replay ==");
+    let report = run_serve(config, workers);
+    let pass_row = |label: &str, pass: &rei_bench::harness::ServePass| {
+        vec![
+            label.to_string(),
+            pass.submitted.to_string(),
+            format!("{:.4}", pass.wall_seconds),
+            format!("{}/{}", pass.solved, pass.solved + pass.failed),
+            pass.cache_hits.to_string(),
+            pass.coalesced.to_string(),
+            format!("{:.0}%", pass.cache_hit_rate() * 100.0),
+        ]
+    };
+    println!(
+        "{}",
+        format_table(
+            &[
+                "pass",
+                "requests",
+                "wall s",
+                "solved",
+                "hits",
+                "coalesced",
+                "hit rate"
+            ],
+            &[
+                pass_row("cold", &report.cold),
+                pass_row("warm", &report.warm)
+            ]
+        )
+    );
+    println!(
+        "{} workers on {}, {} distinct specs; warm replay speedup {:.1}x\n",
+        report.workers,
+        report.backend,
+        report.pool_size,
+        report.replay_speedup()
+    );
+    merge_sections(
+        out_path,
+        Json::object([("service", report.to_json_value())]),
+    )
+}
+
+/// Merges the top-level keys of `update` into the JSON document at
+/// `path`, preserving every key the update does not own — so `perf` and
+/// `serve` can each refresh their sections of `BENCH_core.json` without
+/// clobbering the other's. An unreadable or unparsable file is replaced.
+fn merge_sections(path: &str, update: Json) -> bool {
+    let mut doc = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|text| Json::parse(&text).ok())
+        .filter(|doc| matches!(doc, Json::Object(_)))
+        .unwrap_or_else(|| Json::Object(Vec::new()));
+    if let Json::Object(pairs) = update {
+        for (key, value) in pairs {
+            doc.set(&key, value);
+        }
+    }
+    match std::fs::write(path, doc.to_pretty()) {
         Ok(()) => {
-            println!("wrote {out_path}");
+            println!("wrote {path}");
             true
         }
         Err(err) => {
-            eprintln!("error: cannot write {out_path}: {err}");
+            eprintln!("error: cannot write {path}: {err}");
             false
         }
     }

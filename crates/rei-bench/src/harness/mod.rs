@@ -8,6 +8,7 @@ mod error_table;
 mod figure1;
 mod outliers;
 mod perf;
+mod serve;
 mod table1;
 mod table2;
 
@@ -15,6 +16,7 @@ pub use error_table::{paper_error_spec, run_error_table, ErrorRow};
 pub use figure1::{run_figure1, Figure1Row};
 pub use outliers::{outlier_distribution, OutlierRow, PAPER_THRESHOLDS};
 pub use perf::{run_perf, BackendPerfRow, KernelPerfRow, PerfReport};
+pub use serve::{run_serve, ServePass, ServeReport};
 pub use table1::{run_table1, Table1Row};
 pub use table2::{run_table2, Table2Row};
 

@@ -14,6 +14,7 @@ use std::time::Instant;
 
 use rei_core::{BackendChoice, SynthSession, SynthesisStats};
 use rei_lang::{csops, Cs, GuideMasks, GuideTable, InfixClosure};
+use rei_service::json::Json;
 use rei_syntax::parse;
 
 use crate::costs::REFERENCE;
@@ -272,86 +273,67 @@ pub fn run_perf(config: &HarnessConfig) -> PerfReport {
     }
 }
 
-/// Escapes a string for inclusion in a JSON document.
-fn json_escape(raw: &str) -> String {
-    let mut out = String::with_capacity(raw.len());
-    for c in raw.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
-
 impl PerfReport {
-    /// Serialises the report as pretty-printed JSON (the workspace's
-    /// serde shim provides no serializer, so the document is emitted by
-    /// hand — the schema is versioned through the `schema` field).
+    /// The report as a JSON document (schema `rei-bench/perf-v2`), built
+    /// with the shared writer in [`rei_service::json`] — the workspace's
+    /// serde shim provides no serializer. The `reproduce` binary merges
+    /// this object into `BENCH_core.json`, preserving sections other
+    /// experiments own (such as `service`).
+    pub fn to_json_value(&self) -> Json {
+        Json::object([
+            ("schema", Json::str("rei-bench/perf-v2")),
+            ("scale", Json::str(&self.scale)),
+            ("seed", Json::uint(self.seed)),
+            ("threads", Json::uint(self.threads as u64)),
+            ("available_cores", Json::uint(self.available_cores as u64)),
+            (
+                "kernels",
+                Json::object([
+                    (
+                        "geomean_concat_speedup",
+                        Json::fixed(self.geomean_concat_speedup, 2),
+                    ),
+                    (
+                        "geomean_star_speedup",
+                        Json::fixed(self.geomean_star_speedup, 2),
+                    ),
+                    (
+                        "per_benchmark",
+                        Json::array(self.kernels.iter().map(|k| {
+                            Json::object([
+                                ("benchmark", Json::str(&k.benchmark)),
+                                ("closure_size", Json::uint(k.closure_size as u64)),
+                                ("concat_gather_ns", Json::fixed(k.concat_gather_ns, 1)),
+                                ("concat_masked_ns", Json::fixed(k.concat_masked_ns, 1)),
+                                ("concat_speedup", Json::fixed(k.concat_speedup, 2)),
+                                ("star_linear_ns", Json::fixed(k.star_linear_ns, 1)),
+                                ("star_squared_ns", Json::fixed(k.star_squared_ns, 1)),
+                                ("star_speedup", Json::fixed(k.star_speedup, 2)),
+                            ])
+                        })),
+                    ),
+                ]),
+            ),
+            (
+                "backends",
+                Json::array(self.backends.iter().map(|b| {
+                    Json::object([
+                        ("backend", Json::str(&b.backend)),
+                        ("wall_seconds", Json::fixed(b.wall_seconds, 4)),
+                        ("solved", Json::uint(b.solved as u64)),
+                        ("total", Json::uint(b.total as u64)),
+                        ("candidates", Json::uint(b.candidates)),
+                        ("rows_built", Json::uint(b.rows_built)),
+                        ("dedup_hit_rate", Json::fixed(b.dedup_hit_rate, 4)),
+                    ])
+                })),
+            ),
+        ])
+    }
+
+    /// The report rendered as a standalone pretty-printed JSON document.
     pub fn to_json(&self) -> String {
-        let mut out = String::new();
-        out.push_str("{\n");
-        out.push_str("  \"schema\": \"rei-bench/perf-v1\",\n");
-        out.push_str(&format!("  \"scale\": \"{}\",\n", json_escape(&self.scale)));
-        out.push_str(&format!("  \"seed\": {},\n", self.seed));
-        out.push_str(&format!("  \"threads\": {},\n", self.threads));
-        out.push_str(&format!(
-            "  \"available_cores\": {},\n",
-            self.available_cores
-        ));
-        out.push_str("  \"kernels\": {\n");
-        out.push_str(&format!(
-            "    \"geomean_concat_speedup\": {:.2},\n",
-            self.geomean_concat_speedup
-        ));
-        out.push_str(&format!(
-            "    \"geomean_star_speedup\": {:.2},\n",
-            self.geomean_star_speedup
-        ));
-        out.push_str("    \"per_benchmark\": [\n");
-        for (i, k) in self.kernels.iter().enumerate() {
-            out.push_str(&format!(
-                "      {{\"benchmark\": \"{}\", \"closure_size\": {}, \
-                 \"concat_gather_ns\": {:.1}, \"concat_masked_ns\": {:.1}, \
-                 \"concat_speedup\": {:.2}, \"star_linear_ns\": {:.1}, \
-                 \"star_squared_ns\": {:.1}, \"star_speedup\": {:.2}}}{}\n",
-                json_escape(&k.benchmark),
-                k.closure_size,
-                k.concat_gather_ns,
-                k.concat_masked_ns,
-                k.concat_speedup,
-                k.star_linear_ns,
-                k.star_squared_ns,
-                k.star_speedup,
-                if i + 1 < self.kernels.len() { "," } else { "" }
-            ));
-        }
-        out.push_str("    ]\n");
-        out.push_str("  },\n");
-        out.push_str("  \"backends\": [\n");
-        for (i, b) in self.backends.iter().enumerate() {
-            out.push_str(&format!(
-                "    {{\"backend\": \"{}\", \"wall_seconds\": {:.4}, \
-                 \"solved\": {}, \"total\": {}, \"candidates\": {}, \
-                 \"rows_built\": {}, \"dedup_hit_rate\": {:.4}}}{}\n",
-                json_escape(&b.backend),
-                b.wall_seconds,
-                b.solved,
-                b.total,
-                b.candidates,
-                b.rows_built,
-                b.dedup_hit_rate,
-                if i + 1 < self.backends.len() { "," } else { "" }
-            ));
-        }
-        out.push_str("  ]\n");
-        out.push_str("}\n");
-        out
+        self.to_json_value().to_pretty()
     }
 }
 
@@ -388,29 +370,34 @@ mod tests {
     }
 
     #[test]
-    fn json_is_well_formed_enough() {
+    fn json_round_trips_through_the_shared_parser() {
         let config = tiny_config();
         let report = run_perf(&config);
-        let json = report.to_json();
-        assert!(json.starts_with("{\n"));
-        assert!(json.ends_with("}\n"));
-        assert!(json.contains("\"schema\": \"rei-bench/perf-v1\""));
-        assert!(json.contains("\"cpu-thread-parallel\""));
-        // Balanced braces and brackets (no string values contain any).
+        let text = report.to_json();
+        assert!(text.starts_with("{\n"));
+        assert!(text.ends_with("}\n"));
+        let doc = Json::parse(&text).expect("report renders valid JSON");
         assert_eq!(
-            json.matches('{').count(),
-            json.matches('}').count(),
-            "{json}"
+            doc.get("schema").and_then(Json::as_str),
+            Some("rei-bench/perf-v2")
         );
-        assert_eq!(json.matches('[').count(), json.matches(']').count());
-    }
-
-    #[test]
-    fn json_escaping_handles_control_and_quote_characters() {
-        assert_eq!(json_escape("plain"), "plain");
-        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
-        assert_eq!(json_escape("x\ny"), "x\\ny");
-        assert_eq!(json_escape("\u{1}"), "\\u0001");
+        let backends = doc.get("backends").and_then(Json::as_array).unwrap();
+        assert_eq!(backends.len(), 3);
+        assert_eq!(
+            backends[1].get("backend").and_then(Json::as_str),
+            Some("cpu-thread-parallel")
+        );
+        let kernels = doc.get("kernels").unwrap();
+        assert!(kernels
+            .get("geomean_concat_speedup")
+            .unwrap()
+            .as_f64()
+            .is_some());
+        assert!(!kernels
+            .get("per_benchmark")
+            .and_then(Json::as_array)
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

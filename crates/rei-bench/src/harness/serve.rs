@@ -1,0 +1,260 @@
+//! The `serve` experiment: service throughput over the Table 1 pool.
+//!
+//! Replays the shared benchmark pool through a
+//! [`SynthService`](rei_service::SynthService) twice:
+//!
+//! * a **cold pass** that submits every specification twice from an empty
+//!   cache — the duplicates exercise in-flight coalescing (or, when the
+//!   original already finished, the result cache), so the pool's worth of
+//!   duplicate traffic triggers no duplicate synthesis;
+//! * a **warm pass** that resubmits the whole pool against the populated
+//!   cache — the replay should be answered (almost) entirely from cache
+//!   and therefore run in strictly less wall-clock than the cold pass.
+//!
+//! The report lands in the `service` section of `BENCH_core.json` next to
+//! the kernel and backend baselines (see `reproduce serve`).
+
+use std::time::Instant;
+
+use rei_service::json::Json;
+use rei_service::{ServiceConfig, SynthRequest, SynthService};
+
+use crate::costs::REFERENCE;
+use crate::harness::figure1::benchmark_pool;
+use crate::harness::HarnessConfig;
+
+/// Counters of one pass over the pool.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServePass {
+    /// Requests submitted in this pass.
+    pub submitted: u64,
+    /// Wall-clock seconds from first submission to last response.
+    pub wall_seconds: f64,
+    /// Responses carrying an expression.
+    pub solved: usize,
+    /// Responses carrying an error (timeout, not found, …).
+    pub failed: usize,
+    /// Requests answered from the result cache.
+    pub cache_hits: u64,
+    /// Requests coalesced onto an identical in-flight job.
+    pub coalesced: u64,
+}
+
+impl ServePass {
+    /// `cache_hits / submitted` — the acceptance gauge of the warm pass.
+    pub fn cache_hit_rate(&self) -> f64 {
+        if self.submitted == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.submitted as f64
+        }
+    }
+
+    fn to_json(self) -> Json {
+        Json::object([
+            ("submitted", Json::uint(self.submitted)),
+            ("wall_seconds", Json::fixed(self.wall_seconds, 4)),
+            ("solved", Json::uint(self.solved as u64)),
+            ("failed", Json::uint(self.failed as u64)),
+            ("cache_hits", Json::uint(self.cache_hits)),
+            ("coalesced", Json::uint(self.coalesced)),
+            ("cache_hit_rate", Json::fixed(self.cache_hit_rate(), 4)),
+        ])
+    }
+}
+
+/// The full serve-throughput report.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Worker threads of the pool.
+    pub workers: usize,
+    /// Canonical backend name each worker session runs.
+    pub backend: String,
+    /// Job-queue capacity used.
+    pub queue_capacity: usize,
+    /// Number of distinct specifications in the pool.
+    pub pool_size: usize,
+    /// The cold pass (duplicated submissions, empty cache).
+    pub cold: ServePass,
+    /// The warm replay pass (one submission per spec, populated cache).
+    pub warm: ServePass,
+}
+
+impl ServeReport {
+    /// `cold.wall_seconds / warm.wall_seconds` (∞-safe: 0 when warm is 0).
+    pub fn replay_speedup(&self) -> f64 {
+        if self.warm.wall_seconds > 0.0 {
+            self.cold.wall_seconds / self.warm.wall_seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// The `service` section merged into `BENCH_core.json`.
+    pub fn to_json_value(&self) -> Json {
+        Json::object([
+            ("schema", Json::str("rei-bench/service-v1")),
+            ("workers", Json::uint(self.workers as u64)),
+            ("backend", Json::str(&self.backend)),
+            ("queue_capacity", Json::uint(self.queue_capacity as u64)),
+            ("pool", Json::uint(self.pool_size as u64)),
+            ("cold", self.cold.to_json()),
+            ("warm", self.warm.to_json()),
+            ("replay_speedup", Json::fixed(self.replay_speedup(), 2)),
+        ])
+    }
+}
+
+fn run_pass(
+    service: &SynthService,
+    specs: impl Iterator<Item = rei_lang::Spec>,
+) -> (f64, usize, usize) {
+    let started = Instant::now();
+    let handles: Vec<_> = specs
+        .map(|spec| {
+            service
+                .submit(SynthRequest::new(spec))
+                .expect("service accepts while open")
+        })
+        .collect();
+    let (mut solved, mut failed) = (0, 0);
+    for handle in &handles {
+        match handle.wait().outcome {
+            Ok(_) => solved += 1,
+            Err(_) => failed += 1,
+        }
+    }
+    (started.elapsed().as_secs_f64(), solved, failed)
+}
+
+/// Runs the serve experiment: the Table 1 pool through a service with
+/// `workers` workers (cold with duplicates, then a cache-warm replay).
+pub fn run_serve(config: &HarnessConfig, workers: usize) -> ServeReport {
+    let pool = benchmark_pool(config);
+    let synth = config.synth_config(REFERENCE.costs);
+    let backend = synth.backend().name().to_string();
+    // Room for the duplicated cold pass without submit-side blocking.
+    let queue_capacity = (2 * pool.len()).max(1);
+    let service = SynthService::start(
+        ServiceConfig::new(workers)
+            .with_queue_capacity(queue_capacity)
+            .with_synth(synth),
+    )
+    .expect("harness service config is valid");
+
+    let cold_specs = pool.iter().flat_map(|b| [b.spec.clone(), b.spec.clone()]);
+    let (cold_wall, cold_solved, cold_failed) = run_pass(&service, cold_specs);
+    let after_cold = service.metrics();
+    let cold = ServePass {
+        submitted: after_cold.submitted,
+        wall_seconds: cold_wall,
+        solved: cold_solved,
+        failed: cold_failed,
+        cache_hits: after_cold.cache_hits,
+        coalesced: after_cold.coalesced,
+    };
+
+    let warm_specs = pool.iter().map(|b| b.spec.clone());
+    let (warm_wall, warm_solved, warm_failed) = run_pass(&service, warm_specs);
+    let after_warm = service.shutdown();
+    let warm = ServePass {
+        submitted: after_warm.submitted - after_cold.submitted,
+        wall_seconds: warm_wall,
+        solved: warm_solved,
+        failed: warm_failed,
+        cache_hits: after_warm.cache_hits - after_cold.cache_hits,
+        coalesced: after_warm.coalesced - after_cold.coalesced,
+    };
+
+    ServeReport {
+        workers,
+        backend,
+        queue_capacity,
+        pool_size: pool.len(),
+        cold,
+        warm,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> HarnessConfig {
+        let mut config = HarnessConfig::quick();
+        config.time_budget = std::time::Duration::from_millis(500);
+        config
+    }
+
+    #[test]
+    fn warm_replay_is_cache_served_and_faster() {
+        let config = tiny_config();
+        let report = run_serve(&config, 4);
+        assert_eq!(report.workers, 4);
+        assert_eq!(report.backend, "cpu-sequential");
+        assert_eq!(report.cold.submitted, 2 * report.pool_size as u64);
+        // The duplicated cold submissions never trigger a second run.
+        assert_eq!(
+            report.cold.cache_hits + report.cold.coalesced,
+            report.pool_size as u64
+        );
+        // Every benchmark the cold pass solved is served from cache on
+        // replay; the quick pool solves fully, so the rate is 1.0.
+        assert_eq!(report.warm.submitted, report.pool_size as u64);
+        assert!(
+            report.warm.cache_hit_rate() >= 0.9,
+            "warm hit rate {:.2}",
+            report.warm.cache_hit_rate()
+        );
+        assert!(
+            report.warm.wall_seconds < report.cold.wall_seconds,
+            "warm {} vs cold {}",
+            report.warm.wall_seconds,
+            report.cold.wall_seconds
+        );
+        assert!(report.replay_speedup() > 1.0);
+    }
+
+    #[test]
+    fn report_json_has_the_service_shape() {
+        let report = ServeReport {
+            workers: 4,
+            backend: "cpu-sequential".into(),
+            queue_capacity: 10,
+            pool_size: 5,
+            cold: ServePass {
+                submitted: 10,
+                wall_seconds: 1.5,
+                solved: 10,
+                failed: 0,
+                cache_hits: 2,
+                coalesced: 3,
+            },
+            warm: ServePass {
+                submitted: 5,
+                wall_seconds: 0.1,
+                solved: 5,
+                failed: 0,
+                cache_hits: 5,
+                coalesced: 0,
+            },
+        };
+        let json = report.to_json_value();
+        assert_eq!(
+            json.get("schema").and_then(Json::as_str),
+            Some("rei-bench/service-v1")
+        );
+        assert_eq!(
+            json.get("warm")
+                .and_then(|w| w.get("cache_hit_rate"))
+                .and_then(Json::as_f64),
+            Some(1.0)
+        );
+        assert_eq!(
+            json.get("replay_speedup").and_then(Json::as_f64),
+            Some(15.0)
+        );
+        let parsed = Json::parse(&json.to_pretty()).unwrap();
+        assert_eq!(parsed, json);
+    }
+}

@@ -135,6 +135,64 @@ impl Spec {
         wrong_pos + wrong_neg
     }
 
+    /// The canonical textual encoding of this specification.
+    ///
+    /// Specifications are canonical by construction — examples live in
+    /// [`BTreeSet`]s, so duplicates collapse and insertion order is
+    /// irrelevant — and this method exposes that canonical form as a
+    /// string: each example set is emitted in shortlex order, every word
+    /// length-prefixed (`<len>:<chars>`), so the encoding is injective
+    /// (two specifications produce the same string iff they are equal).
+    /// This is the stable identity used by result caches and request
+    /// coalescing; hash it with [`Spec::fingerprint`].
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use rei_lang::Spec;
+    ///
+    /// // Example order and duplicates do not matter.
+    /// let a = Spec::from_strs(["10", "1", "10"], ["0"]).unwrap();
+    /// let b = Spec::from_strs(["1", "10"], ["0"]).unwrap();
+    /// assert_eq!(a.canonicalize(), b.canonicalize());
+    /// assert_eq!(a.fingerprint(), b.fingerprint());
+    /// ```
+    pub fn canonicalize(&self) -> String {
+        let mut out = String::new();
+        for (marker, set) in [('P', &self.positive), ('N', &self.negative)] {
+            out.push(marker);
+            out.push_str(&set.len().to_string());
+            for word in set {
+                out.push(';');
+                out.push_str(&word.len().to_string());
+                out.push(':');
+                out.extend(word.chars().iter());
+            }
+        }
+        out
+    }
+
+    /// A stable 64-bit fingerprint of the specification: FNV-1a over the
+    /// canonical encoding of [`Spec::canonicalize`].
+    ///
+    /// Unlike [`std::collections::hash_map::DefaultHasher`], the value is
+    /// stable across processes, platforms and Rust versions, so it can be
+    /// persisted, logged and compared between service instances. Two
+    /// specifications differing only in example order or duplication hash
+    /// identically; collisions between distinct specifications are
+    /// possible (it is 64 bits), so exact caches must compare the
+    /// canonical encoding as well.
+    pub fn fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut hash = FNV_OFFSET;
+        for byte in self.canonicalize().bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(FNV_PRIME);
+        }
+        hash
+    }
+
     /// The maximally overfitted solution `w1 + ... + wk` for `P = {w1..wk}`
     /// (expression (2) in the paper's introduction). Its cost is an upper
     /// bound on the cost of the minimal solution, which bounds the search.
@@ -226,5 +284,50 @@ mod tests {
     fn display_lists_both_sets() {
         let spec = Spec::from_strs(["1"], [""]).unwrap();
         assert_eq!(spec.to_string(), "P = {1}, N = {ε}");
+    }
+
+    #[test]
+    fn canonical_encoding_is_order_and_duplication_independent() {
+        let a = Spec::from_strs(["10", "1", "10", "011"], ["0", "00"]).unwrap();
+        let b = Spec::from_strs(["011", "10", "1"], ["00", "0", "0"]).unwrap();
+        assert_eq!(a.canonicalize(), b.canonicalize());
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        // Shortlex order and length prefixes make the encoding explicit.
+        assert_eq!(a.canonicalize(), "P3;1:1;2:10;3:011N2;1:0;2:00");
+    }
+
+    #[test]
+    fn canonical_encoding_distinguishes_positives_from_negatives() {
+        let a = Spec::from_strs(["1"], ["0"]).unwrap();
+        let b = Spec::from_strs(["0"], ["1"]).unwrap();
+        assert_ne!(a.canonicalize(), b.canonicalize());
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        // Moving a word across the set boundary also changes the encoding.
+        let c = Spec::from_strs(["1", "0"], []).unwrap();
+        assert_ne!(a.canonicalize(), c.canonicalize());
+        assert_eq!(Spec::default().canonicalize(), "P0N0");
+    }
+
+    #[test]
+    fn fingerprint_is_stable_across_processes() {
+        // FNV-1a is specified byte-for-byte: pin one value so an
+        // accidental algorithm change (which would invalidate persisted
+        // cache keys) fails loudly.
+        assert_eq!(
+            Spec::default().fingerprint(),
+            fnv1a(b"P0N0"),
+            "fingerprint must be FNV-1a of the canonical encoding"
+        );
+        let spec = Spec::from_strs(["10"], ["0"]).unwrap();
+        assert_eq!(spec.fingerprint(), fnv1a(b"P1;2:10N1;1:0"));
+    }
+
+    fn fnv1a(bytes: &[u8]) -> u64 {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for &byte in bytes {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        hash
     }
 }

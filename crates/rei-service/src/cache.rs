@@ -1,0 +1,274 @@
+//! The result cache with in-flight request coalescing.
+//!
+//! Keyed by the canonical identity of a request: the specification's
+//! canonical encoding ([`Spec::canonicalize`]) plus the service
+//! configuration's wire string — two requests with the same key are
+//! guaranteed to produce interchangeable results (same minimal cost under
+//! the same cost function, backend and budgets). The 64-bit
+//! [`Spec::fingerprint`] rides along for logs and metrics, but lookups
+//! compare the full canonical form, so hash collisions can never serve a
+//! wrong result.
+//!
+//! Each slot is either `Done` (a completed, successful synthesis — served
+//! to later requests without a new run) or `InFlight` (a queued or running
+//! job — later identical requests attach to its [`JobState`] instead of
+//! enqueuing duplicate work: N concurrent identical requests trigger one
+//! synthesis and N responses). Failed runs are *not* cached: a timeout or
+//! deadline expiry is a property of that request's budget, not of the
+//! specification.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Mutex};
+
+use rei_core::{SynthConfig, SynthesisResult};
+use rei_lang::Spec;
+
+use crate::request::JobState;
+
+/// The canonical identity of a request (see the module docs).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    canonical: String,
+    fingerprint: u64,
+}
+
+impl CacheKey {
+    /// Builds the key for `spec` under a service configuration.
+    pub fn new(spec: &Spec, config: &SynthConfig) -> Self {
+        CacheKey {
+            canonical: format!("{}|{}", spec.canonicalize(), config),
+            fingerprint: spec.fingerprint(),
+        }
+    }
+
+    /// The specification's stable 64-bit fingerprint (for logs/metrics).
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+}
+
+/// What the cache knows about a key.
+#[derive(Debug)]
+pub(crate) enum Slot {
+    /// A job for this key is queued or running; identical requests attach
+    /// to its completion state.
+    InFlight(Arc<JobState>),
+    /// A successful synthesis completed; the result is served directly.
+    Done(SynthesisResult),
+}
+
+/// The outcome of a cache lookup performed at submission time.
+#[derive(Debug)]
+pub(crate) enum Lookup {
+    /// No entry: the caller owns the miss and must enqueue a fresh job
+    /// (an `InFlight` slot with the returned state was installed).
+    Miss,
+    /// An identical job is in flight; share its state.
+    Coalesce(Arc<JobState>),
+    /// A completed result was found.
+    Hit(SynthesisResult),
+}
+
+#[derive(Debug, Default)]
+struct CacheState {
+    map: HashMap<CacheKey, Slot>,
+    /// Completion order of `Done` keys, for FIFO eviction.
+    done_order: VecDeque<CacheKey>,
+}
+
+/// The concurrent result cache (see the module docs).
+#[derive(Debug)]
+pub(crate) struct ResultCache {
+    state: Mutex<CacheState>,
+    capacity: usize,
+}
+
+impl ResultCache {
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "cache capacity must be positive");
+        ResultCache {
+            state: Mutex::new(CacheState::default()),
+            capacity,
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, CacheState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Submission-time lookup. On a miss, atomically installs an
+    /// `InFlight` slot with `state` so concurrent identical submissions
+    /// coalesce onto it.
+    pub fn lookup_or_reserve(&self, key: &CacheKey, state: &Arc<JobState>) -> Lookup {
+        let mut cache = self.lock();
+        match cache.map.get(key) {
+            Some(Slot::Done(result)) => Lookup::Hit(result.clone()),
+            Some(Slot::InFlight(in_flight)) => Lookup::Coalesce(Arc::clone(in_flight)),
+            None => {
+                cache
+                    .map
+                    .insert(key.clone(), Slot::InFlight(Arc::clone(state)));
+                Lookup::Miss
+            }
+        }
+    }
+
+    /// Records a successful synthesis for `key`, replacing its `InFlight`
+    /// slot and evicting the oldest completed entry beyond capacity.
+    pub fn complete(&self, key: &CacheKey, result: &SynthesisResult) {
+        let mut cache = self.lock();
+        cache.map.insert(key.clone(), Slot::Done(result.clone()));
+        cache.done_order.push_back(key.clone());
+        while cache.done_order.len() > self.capacity {
+            let oldest = cache.done_order.pop_front().expect("len checked");
+            // Only evict if the slot still belongs to that completion: a
+            // key can re-enter in-flight after an eviction of its own.
+            if matches!(cache.map.get(&oldest), Some(Slot::Done(_))) {
+                cache.map.remove(&oldest);
+            }
+        }
+    }
+
+    /// Drops the reservation of a failed job so later identical requests
+    /// run fresh. Only removes the slot if it is still the in-flight
+    /// reservation of `state` (a later fresh job may have re-reserved).
+    pub fn forget(&self, key: &CacheKey, state: &Arc<JobState>) {
+        let mut cache = self.lock();
+        if let Some(Slot::InFlight(in_flight)) = cache.map.get(key) {
+            if Arc::ptr_eq(in_flight, state) {
+                cache.map.remove(key);
+            }
+        }
+    }
+
+    /// Number of completed results currently cached. `done_order` keys
+    /// are 1:1 with `Done` slots (completion pushes both, eviction pops
+    /// both, `forget` touches neither), so this is O(1).
+    pub fn entries(&self) -> usize {
+        let cache = self.lock();
+        debug_assert_eq!(
+            cache.done_order.len(),
+            cache
+                .map
+                .values()
+                .filter(|slot| matches!(slot, Slot::Done(_)))
+                .count()
+        );
+        cache.done_order.len()
+    }
+
+    /// Maximum number of completed results kept.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rei_syntax::{CostFn, Regex};
+
+    fn key(positive: &str) -> CacheKey {
+        let spec = Spec::from_strs([positive], []).unwrap();
+        CacheKey::new(&spec, &SynthConfig::default())
+    }
+
+    fn result(cost: u64) -> SynthesisResult {
+        SynthesisResult {
+            regex: Regex::Epsilon,
+            cost,
+            stats: Default::default(),
+        }
+    }
+
+    #[test]
+    fn key_depends_on_spec_and_config() {
+        let spec = Spec::from_strs(["10", "1"], ["0"]).unwrap();
+        let reordered = Spec::from_strs(["1", "10"], ["0"]).unwrap();
+        let config = SynthConfig::default();
+        assert_eq!(
+            CacheKey::new(&spec, &config),
+            CacheKey::new(&reordered, &config)
+        );
+        assert_eq!(
+            CacheKey::new(&spec, &config).fingerprint(),
+            spec.fingerprint()
+        );
+        let other_config = SynthConfig::new(CostFn::new(1, 2, 3, 4, 5));
+        assert_ne!(
+            CacheKey::new(&spec, &config),
+            CacheKey::new(&spec, &other_config)
+        );
+        let other_spec = Spec::from_strs(["10"], ["0"]).unwrap();
+        assert_ne!(
+            CacheKey::new(&spec, &config),
+            CacheKey::new(&other_spec, &config)
+        );
+    }
+
+    #[test]
+    fn miss_reserves_then_coalesces_then_hits() {
+        let cache = ResultCache::new(8);
+        let state = JobState::new(None);
+        let k = key("0");
+        assert!(matches!(cache.lookup_or_reserve(&k, &state), Lookup::Miss));
+        // A second identical submission coalesces onto the first state.
+        let other = JobState::new(None);
+        match cache.lookup_or_reserve(&k, &other) {
+            Lookup::Coalesce(shared) => assert!(Arc::ptr_eq(&shared, &state)),
+            other => panic!("expected coalesce, got {other:?}"),
+        }
+        cache.complete(&k, &result(3));
+        match cache.lookup_or_reserve(&k, &other) {
+            Lookup::Hit(hit) => assert_eq!(hit.cost, 3),
+            other => panic!("expected hit, got {other:?}"),
+        }
+        assert_eq!(cache.entries(), 1);
+    }
+
+    #[test]
+    fn failures_are_forgotten_not_cached() {
+        let cache = ResultCache::new(8);
+        let state = JobState::new(None);
+        let k = key("0");
+        assert!(matches!(cache.lookup_or_reserve(&k, &state), Lookup::Miss));
+        cache.forget(&k, &state);
+        // The next identical request misses again (fresh run).
+        let retry = JobState::new(None);
+        assert!(matches!(cache.lookup_or_reserve(&k, &retry), Lookup::Miss));
+        // A stale forget (old state) must not drop the new reservation.
+        cache.forget(&k, &state);
+        let third = JobState::new(None);
+        assert!(matches!(
+            cache.lookup_or_reserve(&k, &third),
+            Lookup::Coalesce(_)
+        ));
+    }
+
+    #[test]
+    fn eviction_is_fifo_over_completed_entries() {
+        let cache = ResultCache::new(2);
+        assert_eq!(cache.capacity(), 2);
+        for (i, positive) in ["0", "1", "00"].iter().enumerate() {
+            let k = key(positive);
+            let state = JobState::new(None);
+            assert!(matches!(cache.lookup_or_reserve(&k, &state), Lookup::Miss));
+            cache.complete(&k, &result(i as u64));
+        }
+        assert_eq!(cache.entries(), 2);
+        // The first completion was evicted, the later two survive.
+        let state = JobState::new(None);
+        assert!(matches!(
+            cache.lookup_or_reserve(&key("0"), &state),
+            Lookup::Miss
+        ));
+        assert!(matches!(
+            cache.lookup_or_reserve(&key("1"), &JobState::new(None)),
+            Lookup::Hit(_)
+        ));
+        assert!(matches!(
+            cache.lookup_or_reserve(&key("00"), &JobState::new(None)),
+            Lookup::Hit(_)
+        ));
+    }
+}

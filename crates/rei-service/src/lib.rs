@@ -1,0 +1,94 @@
+//! A multi-tenant synthesis service on top of [`rei_core`]'s session API:
+//! job scheduling, result caching and request coalescing, built entirely
+//! from threads, mutexes and condvars (no async runtime).
+//!
+//! # Architecture
+//!
+//! ```text
+//!                       submit / try_submit
+//!  clients ──────────────────────┬──────────────────────────────────┐
+//!                                ▼                                  │
+//!                       ┌─────────────────┐   hit                   │
+//!                       │  result cache   ├────────► JobHandle (done)│
+//!                       │  + coalescing   │   in-flight             │
+//!                       └───────┬─────────┘────────► JobHandle (shared)
+//!                          miss │ reserve
+//!                               ▼
+//!                   ┌───────────────────────┐     deadline reached
+//!                   │  bounded job queue    │   ┌──────────────────┐
+//!                   │  priority ▸ FIFO      │   │ deadline watchdog│
+//!                   └───┬───────┬───────┬───┘   └────────┬─────────┘
+//!                       ▼       ▼       ▼                │ CancelToken
+//!                   worker 0 worker 1 … worker N ◄───────┘
+//!                   (one warm SynthSession — and one
+//!                    gpu_sim::Device on the device-parallel
+//!                    backend — per worker)
+//! ```
+//!
+//! **Scheduling.** Jobs queue with a per-request priority (higher first,
+//! FIFO within a priority) and an optional deadline. A job whose deadline
+//! passes while it is still queued fails fast with
+//! [`SynthesisError::Cancelled`](rei_core::SynthesisError::Cancelled)
+//! instead of occupying a worker; a job already running when its deadline
+//! fires is cancelled *cooperatively* — the watchdog trips the worker
+//! session's [`CancelToken`](rei_core::CancelToken), and the search stops
+//! at its next poll point, exactly as a caller-side cancellation would.
+//!
+//! **Backpressure.** The queue is bounded. [`SynthService::submit`]
+//! blocks while the queue is at capacity — producers slow down to the
+//! pool's pace — and [`SynthService::try_submit`] returns
+//! [`ServiceError::QueueFull`] for callers that prefer load shedding.
+//! Cache hits and coalesced requests consume no queue slot and never
+//! block.
+//!
+//! **Caching & coalescing.** Results are keyed by the canonical request
+//! identity — [`Spec::canonicalize`](rei_lang::Spec::canonicalize) plus
+//! the pool's [`SynthConfig`](rei_core::SynthConfig) wire string — so
+//! requests that differ only in example order or duplication share one
+//! entry. A request identical to an *in-flight* job attaches to that
+//! job's completion instead of enqueuing duplicate work: N concurrent
+//! identical requests trigger exactly one synthesis and N responses.
+//! Successful results are cached (FIFO-evicted beyond capacity);
+//! failures are not — a timeout belongs to a request's budget, not to
+//! the specification.
+//!
+//! **Shutdown.** [`SynthService::close`] stops intake;
+//! [`SynthService::shutdown`] (and `Drop`) additionally drains — every
+//! already-accepted job completes and every waiter is answered — then
+//! joins the workers and returns the final [`MetricsSnapshot`].
+//!
+//! # Example
+//!
+//! ```
+//! use rei_service::{ServiceConfig, SynthRequest, SynthService};
+//! use rei_lang::Spec;
+//!
+//! let service = SynthService::start(ServiceConfig::new(2)).unwrap();
+//! let spec = Spec::from_strs(["10", "101"], ["", "0"]).unwrap();
+//! // Three identical tenants: one synthesis, three answers.
+//! let handles: Vec<_> = (0..3)
+//!     .map(|_| service.submit(SynthRequest::new(spec.clone())).unwrap())
+//!     .collect();
+//! for handle in &handles {
+//!     let response = handle.wait();
+//!     assert!(spec.is_satisfied_by(&response.outcome.unwrap().regex));
+//! }
+//! let metrics = service.shutdown();
+//! assert_eq!(metrics.submitted, 3);
+//! assert_eq!(metrics.cache_hits + metrics.coalesced, 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+pub mod json;
+mod metrics;
+mod queue;
+mod request;
+mod service;
+
+pub use cache::CacheKey;
+pub use metrics::MetricsSnapshot;
+pub use request::{JobHandle, ResponseSource, SynthRequest, SynthResponse};
+pub use service::{ServiceConfig, ServiceError, SynthService};

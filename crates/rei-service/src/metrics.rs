@@ -1,0 +1,345 @@
+//! The service metrics registry and its JSON snapshot.
+//!
+//! Counters are lock-free atomics bumped on the submit and worker paths;
+//! the per-worker [`SessionStats`] rollup sits behind a mutex the workers
+//! touch once per job. [`MetricsSnapshot`] is a consistent-enough point
+//! read (counters are sampled independently) rendered as hand-rolled JSON
+//! in the `BENCH_core.json` house style via [`crate::json`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use rei_core::{SessionStats, SynthesisError};
+
+use crate::json::Json;
+
+/// The live counters of a running service.
+#[derive(Debug, Default)]
+pub(crate) struct Metrics {
+    pub submitted: AtomicU64,
+    pub cache_hits: AtomicU64,
+    pub coalesced: AtomicU64,
+    pub rejected: AtomicU64,
+    pub enqueued: AtomicU64,
+    pub completed: AtomicU64,
+    pub solved: AtomicU64,
+    pub failed: AtomicU64,
+    pub deadline_expired: AtomicU64,
+    pub cancelled: AtomicU64,
+    pub wait_ns: AtomicU64,
+    pub run_ns: AtomicU64,
+    pub worker_stats: Mutex<Vec<SessionStats>>,
+}
+
+impl Metrics {
+    pub fn new(workers: usize) -> Self {
+        Metrics {
+            worker_stats: Mutex::new(vec![SessionStats::default(); workers]),
+            ..Metrics::default()
+        }
+    }
+
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn add_duration(counter: &AtomicU64, duration: Duration) {
+        let nanos = u64::try_from(duration.as_nanos()).unwrap_or(u64::MAX);
+        counter.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Accounts one finished fresh job.
+    pub fn note_job(&self, outcome: &Result<impl Sized, SynthesisError>, expired_in_queue: bool) {
+        Metrics::bump(&self.completed);
+        match outcome {
+            Ok(_) => Metrics::bump(&self.solved),
+            Err(err) => {
+                Metrics::bump(&self.failed);
+                if matches!(err, SynthesisError::Cancelled { .. }) {
+                    Metrics::bump(&self.cancelled);
+                    if expired_in_queue {
+                        Metrics::bump(&self.deadline_expired);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Publishes the cumulative session stats of worker `index`.
+    pub fn set_worker_stats(&self, index: usize, stats: SessionStats) {
+        let mut rollup = self.worker_stats.lock().unwrap_or_else(|e| e.into_inner());
+        rollup[index] = stats;
+    }
+
+    /// Builds a point-in-time snapshot; the queue/cache gauges are passed
+    /// in by the service, which owns those structures.
+    pub fn snapshot(&self, gauges: Gauges) -> MetricsSnapshot {
+        let load = |counter: &AtomicU64| counter.load(Ordering::Relaxed);
+        MetricsSnapshot {
+            submitted: load(&self.submitted),
+            cache_hits: load(&self.cache_hits),
+            coalesced: load(&self.coalesced),
+            rejected: load(&self.rejected),
+            enqueued: load(&self.enqueued),
+            completed: load(&self.completed),
+            solved: load(&self.solved),
+            failed: load(&self.failed),
+            deadline_expired: load(&self.deadline_expired),
+            cancelled: load(&self.cancelled),
+            wait_total: Duration::from_nanos(load(&self.wait_ns)),
+            run_total: Duration::from_nanos(load(&self.run_ns)),
+            workers: self
+                .worker_stats
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .clone(),
+            queue_depth: gauges.queue_depth,
+            queue_capacity: gauges.queue_capacity,
+            cache_entries: gauges.cache_entries,
+            cache_capacity: gauges.cache_capacity,
+        }
+    }
+}
+
+/// Point-in-time gauges owned by other service structures.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct Gauges {
+    pub queue_depth: usize,
+    pub queue_capacity: usize,
+    pub cache_entries: usize,
+    pub cache_capacity: usize,
+}
+
+/// A consistent-enough point read of every service counter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Requests accepted by `submit`/`try_submit` (including cache hits).
+    pub submitted: u64,
+    /// Requests answered from the result cache without a new run.
+    pub cache_hits: u64,
+    /// Requests attached to an identical in-flight job.
+    pub coalesced: u64,
+    /// Requests rejected (queue full on `try_submit`, or shutting down).
+    pub rejected: u64,
+    /// Fresh jobs placed on the queue.
+    pub enqueued: u64,
+    /// Fresh jobs finished by a worker.
+    pub completed: u64,
+    /// Fresh jobs that produced an expression.
+    pub solved: u64,
+    /// Fresh jobs that failed (timeout, cancelled, not found, OOM).
+    pub failed: u64,
+    /// Failed jobs whose deadline expired while still queued.
+    pub deadline_expired: u64,
+    /// Failed jobs that ended with `Cancelled` (deadline or token).
+    pub cancelled: u64,
+    /// Total queue wait across fresh jobs.
+    pub wait_total: Duration,
+    /// Total synthesis wall-clock across fresh jobs.
+    pub run_total: Duration,
+    /// Cumulative `SessionStats` per worker, in worker order.
+    pub workers: Vec<SessionStats>,
+    /// Jobs currently queued.
+    pub queue_depth: usize,
+    /// Queue capacity.
+    pub queue_capacity: usize,
+    /// Completed results currently cached.
+    pub cache_entries: usize,
+    /// Result-cache capacity.
+    pub cache_capacity: usize,
+}
+
+impl MetricsSnapshot {
+    /// Fraction of answered requests that were served without a new
+    /// synthesis (cache hits plus coalesced), in `[0, 1]`.
+    pub fn reuse_rate(&self) -> f64 {
+        let reused = self.cache_hits + self.coalesced;
+        if self.submitted == 0 {
+            0.0
+        } else {
+            reused as f64 / self.submitted as f64
+        }
+    }
+
+    /// Fraction of submissions answered straight from the cache.
+    pub fn cache_hit_rate(&self) -> f64 {
+        if self.submitted == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.submitted as f64
+        }
+    }
+
+    /// Mean queue wait of fresh jobs.
+    pub fn mean_wait(&self) -> Duration {
+        checked_div(self.wait_total, self.completed)
+    }
+
+    /// Mean synthesis wall-clock of fresh jobs.
+    pub fn mean_run(&self) -> Duration {
+        checked_div(self.run_total, self.completed)
+    }
+
+    /// The snapshot as a JSON document (schema
+    /// `rei-service/metrics-v1`).
+    pub fn to_json(&self) -> Json {
+        let ms = |d: Duration| Json::fixed(d.as_secs_f64() * 1e3, 3);
+        Json::object([
+            ("schema", Json::str("rei-service/metrics-v1")),
+            (
+                "requests",
+                Json::object([
+                    ("submitted", Json::uint(self.submitted)),
+                    ("cache_hits", Json::uint(self.cache_hits)),
+                    ("coalesced", Json::uint(self.coalesced)),
+                    ("rejected", Json::uint(self.rejected)),
+                    ("reuse_rate", Json::fixed(self.reuse_rate(), 4)),
+                ]),
+            ),
+            (
+                "jobs",
+                Json::object([
+                    ("enqueued", Json::uint(self.enqueued)),
+                    ("completed", Json::uint(self.completed)),
+                    ("solved", Json::uint(self.solved)),
+                    ("failed", Json::uint(self.failed)),
+                    ("cancelled", Json::uint(self.cancelled)),
+                    ("deadline_expired", Json::uint(self.deadline_expired)),
+                ]),
+            ),
+            (
+                "latency_ms",
+                Json::object([
+                    ("wait_total", ms(self.wait_total)),
+                    ("wait_mean", ms(self.mean_wait())),
+                    ("run_total", ms(self.run_total)),
+                    ("run_mean", ms(self.mean_run())),
+                ]),
+            ),
+            (
+                "queue",
+                Json::object([
+                    ("depth", Json::uint(self.queue_depth as u64)),
+                    ("capacity", Json::uint(self.queue_capacity as u64)),
+                ]),
+            ),
+            (
+                "cache",
+                Json::object([
+                    ("entries", Json::uint(self.cache_entries as u64)),
+                    ("capacity", Json::uint(self.cache_capacity as u64)),
+                ]),
+            ),
+            (
+                "workers",
+                Json::array(self.workers.iter().enumerate().map(|(i, w)| {
+                    Json::object([
+                        ("worker", Json::uint(i as u64)),
+                        ("runs", Json::uint(w.runs)),
+                        ("solved", Json::uint(w.solved)),
+                        ("failed", Json::uint(w.failed)),
+                        ("candidates", Json::uint(w.candidates_generated)),
+                        ("unique_languages", Json::uint(w.unique_languages)),
+                        ("elapsed_ms", ms(w.elapsed)),
+                    ])
+                })),
+            ),
+        ])
+    }
+}
+
+fn checked_div(total: Duration, count: u64) -> Duration {
+    if count == 0 {
+        Duration::ZERO
+    } else {
+        total / u32::try_from(count).unwrap_or(u32::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rei_core::SynthesisStats;
+
+    #[test]
+    fn job_accounting_distinguishes_outcomes() {
+        let metrics = Metrics::new(1);
+        metrics.note_job(&Ok::<_, SynthesisError>(()), false);
+        metrics.note_job(
+            &Err::<(), _>(SynthesisError::Cancelled {
+                stats: SynthesisStats::default(),
+            }),
+            true,
+        );
+        metrics.note_job(
+            &Err::<(), _>(SynthesisError::Timeout {
+                budget: Duration::from_secs(1),
+                stats: SynthesisStats::default(),
+            }),
+            false,
+        );
+        let snapshot = metrics.snapshot(Gauges::default());
+        assert_eq!(snapshot.completed, 3);
+        assert_eq!(snapshot.solved, 1);
+        assert_eq!(snapshot.failed, 2);
+        assert_eq!(snapshot.cancelled, 1);
+        assert_eq!(snapshot.deadline_expired, 1);
+    }
+
+    #[test]
+    fn rates_and_means_handle_zero_denominators() {
+        let snapshot = Metrics::new(0).snapshot(Gauges::default());
+        assert_eq!(snapshot.reuse_rate(), 0.0);
+        assert_eq!(snapshot.cache_hit_rate(), 0.0);
+        assert_eq!(snapshot.mean_wait(), Duration::ZERO);
+        assert_eq!(snapshot.mean_run(), Duration::ZERO);
+    }
+
+    #[test]
+    fn snapshot_json_has_the_expected_sections() {
+        let metrics = Metrics::new(2);
+        Metrics::bump(&metrics.submitted);
+        Metrics::bump(&metrics.submitted);
+        Metrics::bump(&metrics.cache_hits);
+        Metrics::add_duration(&metrics.wait_ns, Duration::from_millis(4));
+        metrics.set_worker_stats(
+            1,
+            SessionStats {
+                runs: 3,
+                solved: 3,
+                ..SessionStats::default()
+            },
+        );
+        let snapshot = metrics.snapshot(Gauges {
+            queue_depth: 1,
+            queue_capacity: 64,
+            cache_entries: 1,
+            cache_capacity: 256,
+        });
+        assert!((snapshot.reuse_rate() - 0.5).abs() < 1e-9);
+        let json = snapshot.to_json();
+        assert_eq!(
+            json.get("schema").and_then(Json::as_str),
+            Some("rei-service/metrics-v1")
+        );
+        assert_eq!(
+            json.get("requests")
+                .and_then(|r| r.get("submitted"))
+                .and_then(Json::as_u64),
+            Some(2)
+        );
+        assert_eq!(
+            json.get("queue")
+                .and_then(|q| q.get("capacity"))
+                .and_then(Json::as_u64),
+            Some(64)
+        );
+        let workers = json.get("workers").and_then(Json::as_array).unwrap();
+        assert_eq!(workers.len(), 2);
+        assert_eq!(workers[1].get("runs").and_then(Json::as_u64), Some(3));
+        // The snapshot renders as parseable JSON.
+        let text = json.to_pretty();
+        assert_eq!(Json::parse(&text).unwrap(), json);
+    }
+}

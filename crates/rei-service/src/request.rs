@@ -1,0 +1,358 @@
+//! Requests, responses and handles of the synthesis service.
+
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use rei_core::{SynthesisError, SynthesisResult};
+use rei_lang::Spec;
+
+/// A synthesis request: the specification plus scheduling hints.
+///
+/// Priority and deadline are *per request*, unlike the cost function and
+/// backend, which are properties of the service's
+/// [`SynthConfig`](rei_core::SynthConfig) (every worker of a pool runs the
+/// same configuration, so results are interchangeable and cacheable).
+#[derive(Debug, Clone)]
+pub struct SynthRequest {
+    pub(crate) spec: Spec,
+    pub(crate) priority: i32,
+    pub(crate) deadline: Option<Instant>,
+}
+
+impl SynthRequest {
+    /// A request with default scheduling: priority 0, no deadline.
+    pub fn new(spec: Spec) -> Self {
+        SynthRequest {
+            spec,
+            priority: 0,
+            deadline: None,
+        }
+    }
+
+    /// Sets the scheduling priority. Higher runs earlier; equal priorities
+    /// are served in submission order.
+    pub fn with_priority(mut self, priority: i32) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Sets an absolute deadline. A job still queued when its deadline
+    /// passes fails fast with [`SynthesisError::Cancelled`] instead of
+    /// occupying a worker; a job already running is cancelled
+    /// cooperatively through its worker's
+    /// [`CancelToken`](rei_core::CancelToken).
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the deadline relative to now (see
+    /// [`with_deadline`](SynthRequest::with_deadline)).
+    pub fn with_timeout(self, timeout: Duration) -> Self {
+        let deadline = Instant::now() + timeout;
+        self.with_deadline(deadline)
+    }
+
+    /// The specification to synthesise for.
+    pub fn spec(&self) -> &Spec {
+        &self.spec
+    }
+
+    /// The scheduling priority.
+    pub fn priority(&self) -> i32 {
+        self.priority
+    }
+
+    /// The absolute deadline, if any.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+}
+
+/// How a response was produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResponseSource {
+    /// A synthesis ran for this request.
+    Fresh,
+    /// The result was served from the result cache; no synthesis ran.
+    Cache,
+    /// The request was coalesced onto an identical in-flight job; one
+    /// synthesis served all coalesced requests.
+    Coalesced,
+}
+
+impl ResponseSource {
+    /// A stable lowercase label (`fresh` / `cache` / `coalesced`).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ResponseSource::Fresh => "fresh",
+            ResponseSource::Cache => "cache",
+            ResponseSource::Coalesced => "coalesced",
+        }
+    }
+}
+
+impl fmt::Display for ResponseSource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The service's answer to one request.
+#[derive(Debug, Clone)]
+pub struct SynthResponse {
+    /// The synthesis outcome. Cache hits and coalesced requests receive a
+    /// clone of the original result (same regex, same minimal cost); the
+    /// per-run counters in `stats` belong to the run that produced it
+    /// (zeroed for pure cache hits — no work happened).
+    pub outcome: Result<SynthesisResult, SynthesisError>,
+    /// Where the answer came from.
+    pub source: ResponseSource,
+    /// Time between submission and completion of this request.
+    pub waited: Duration,
+    /// Wall-clock time of the synthesis run itself (zero when no run
+    /// happened: cache hits and jobs whose deadline had already expired).
+    pub ran: Duration,
+}
+
+/// The shared completion slot of one job. The worker fills it exactly
+/// once; every handle coalesced onto the job blocks on it.
+///
+/// The state also carries the job's *effective deadline*: the most
+/// lenient deadline across every request coalesced onto it. A deadline
+/// belongs to a request, not to the specification — so a deadline-free
+/// duplicate attaching to a deadlined in-flight job relaxes the job's
+/// deadline to "none" rather than inheriting the initiator's budget.
+#[derive(Debug)]
+pub(crate) struct JobState {
+    slot: Mutex<Option<Completion>>,
+    done: Condvar,
+    deadline: Mutex<DeadlineSlot>,
+}
+
+/// The effective deadline of a job (see [`JobState`]). `unbounded` wins
+/// permanently once any coalesced request has no deadline.
+#[derive(Debug, Clone, Copy)]
+struct DeadlineSlot {
+    deadline: Option<Instant>,
+    unbounded: bool,
+}
+
+/// What the worker stores when the job finishes.
+#[derive(Debug, Clone)]
+pub(crate) struct Completion {
+    pub outcome: Result<SynthesisResult, SynthesisError>,
+    pub finished: Instant,
+    pub ran: Duration,
+}
+
+impl JobState {
+    /// A fresh state whose effective deadline starts as the initiating
+    /// request's deadline.
+    pub fn new(deadline: Option<Instant>) -> Arc<Self> {
+        Arc::new(JobState {
+            slot: Mutex::new(None),
+            done: Condvar::new(),
+            deadline: Mutex::new(DeadlineSlot {
+                unbounded: deadline.is_none(),
+                deadline,
+            }),
+        })
+    }
+
+    /// A state that is already complete (used for cache hits).
+    pub fn completed(outcome: Result<SynthesisResult, SynthesisError>) -> Arc<Self> {
+        let state = JobState::new(None);
+        state.complete(Completion {
+            outcome,
+            finished: Instant::now(),
+            ran: Duration::ZERO,
+        });
+        state
+    }
+
+    /// Relaxes the job's effective deadline with a coalescing request's:
+    /// the later of the two wins, and "no deadline" wins outright.
+    pub fn relax_deadline(&self, other: Option<Instant>) {
+        let mut slot = self.deadline.lock().unwrap_or_else(|e| e.into_inner());
+        match other {
+            None => {
+                slot.unbounded = true;
+                slot.deadline = None;
+            }
+            Some(other) if !slot.unbounded => {
+                slot.deadline = Some(slot.deadline.map_or(other, |cur| cur.max(other)));
+            }
+            Some(_) => {}
+        }
+    }
+
+    /// The effective deadline at this moment. The worker samples it when
+    /// the job is dequeued and once more before arming the watchdog;
+    /// requests coalescing *after* the run started cannot relax the
+    /// already-armed cancellation (they simply share its outcome, and a
+    /// deadline failure is never cached, so a retry runs fresh).
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .deadline
+    }
+
+    pub fn complete(&self, completion: Completion) {
+        let mut slot = self.slot.lock().unwrap_or_else(|e| e.into_inner());
+        debug_assert!(slot.is_none(), "a job completes exactly once");
+        *slot = Some(completion);
+        drop(slot);
+        self.done.notify_all();
+    }
+
+    fn wait(&self) -> Completion {
+        let mut slot = self.slot.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(completion) = slot.as_ref() {
+                return completion.clone();
+            }
+            slot = self.done.wait(slot).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    fn try_get(&self) -> Option<Completion> {
+        self.slot.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+}
+
+/// A handle to a submitted request. Obtain the response with
+/// [`wait`](JobHandle::wait); dropping the handle does not cancel the job
+/// (coalesced requests may share it).
+#[derive(Debug, Clone)]
+pub struct JobHandle {
+    pub(crate) state: Arc<JobState>,
+    pub(crate) source: ResponseSource,
+    pub(crate) submitted: Instant,
+}
+
+impl JobHandle {
+    /// Blocks until the job completes and returns the response.
+    pub fn wait(&self) -> SynthResponse {
+        self.response(self.state.wait())
+    }
+
+    /// Returns the response if the job has already completed.
+    pub fn try_wait(&self) -> Option<SynthResponse> {
+        self.state.try_get().map(|c| self.response(c))
+    }
+
+    /// Where this handle's answer comes from. Known at submission time:
+    /// the first request for a spec is [`Fresh`](ResponseSource::Fresh),
+    /// later identical ones are coalesced or cache-served.
+    pub fn source(&self) -> ResponseSource {
+        self.source
+    }
+
+    fn response(&self, completion: Completion) -> SynthResponse {
+        SynthResponse {
+            outcome: completion.outcome,
+            source: self.source,
+            waited: completion
+                .finished
+                .saturating_duration_since(self.submitted),
+            ran: completion.ran,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rei_core::SynthesisStats;
+
+    fn spec() -> Spec {
+        Spec::from_strs(["0"], ["1"]).unwrap()
+    }
+
+    #[test]
+    fn request_builder_records_scheduling_hints() {
+        let deadline = Instant::now() + Duration::from_secs(1);
+        let request = SynthRequest::new(spec())
+            .with_priority(7)
+            .with_deadline(deadline);
+        assert_eq!(request.priority(), 7);
+        assert_eq!(request.deadline(), Some(deadline));
+        assert_eq!(request.spec().num_positive(), 1);
+        let timed = SynthRequest::new(spec()).with_timeout(Duration::from_millis(10));
+        assert!(timed.deadline().is_some());
+        assert_eq!(SynthRequest::new(spec()).deadline(), None);
+    }
+
+    #[test]
+    fn completed_state_serves_waiters_immediately() {
+        let err = SynthesisError::Cancelled {
+            stats: SynthesisStats::default(),
+        };
+        let state = JobState::completed(Err(err));
+        let handle = JobHandle {
+            state,
+            source: ResponseSource::Cache,
+            submitted: Instant::now(),
+        };
+        let response = handle.try_wait().expect("already complete");
+        assert!(matches!(
+            response.outcome,
+            Err(SynthesisError::Cancelled { .. })
+        ));
+        assert_eq!(response.source, ResponseSource::Cache);
+        assert_eq!(response.ran, Duration::ZERO);
+        assert_eq!(handle.wait().source, ResponseSource::Cache);
+    }
+
+    #[test]
+    fn waiters_block_until_completion() {
+        let state = JobState::new(None);
+        let handle = JobHandle {
+            state: Arc::clone(&state),
+            source: ResponseSource::Fresh,
+            submitted: Instant::now(),
+        };
+        assert!(handle.try_wait().is_none());
+        let waiter = std::thread::spawn({
+            let handle = handle.clone();
+            move || handle.wait()
+        });
+        state.complete(Completion {
+            outcome: Err(SynthesisError::Cancelled {
+                stats: SynthesisStats::default(),
+            }),
+            finished: Instant::now(),
+            ran: Duration::from_millis(3),
+        });
+        let response = waiter.join().unwrap();
+        assert_eq!(response.ran, Duration::from_millis(3));
+        assert_eq!(response.source, ResponseSource::Fresh);
+    }
+
+    #[test]
+    fn deadline_relaxation_takes_the_most_lenient() {
+        let early = Instant::now();
+        let late = early + Duration::from_secs(1);
+        let state = JobState::new(Some(early));
+        assert_eq!(state.deadline(), Some(early));
+        state.relax_deadline(Some(late));
+        assert_eq!(state.deadline(), Some(late));
+        state.relax_deadline(Some(early));
+        assert_eq!(state.deadline(), Some(late), "earlier deadlines lose");
+        state.relax_deadline(None);
+        assert_eq!(state.deadline(), None);
+        state.relax_deadline(Some(late));
+        assert_eq!(state.deadline(), None, "unbounded wins permanently");
+        assert_eq!(JobState::new(None).deadline(), None);
+    }
+
+    #[test]
+    fn source_labels_are_stable() {
+        assert_eq!(ResponseSource::Fresh.to_string(), "fresh");
+        assert_eq!(ResponseSource::Cache.as_str(), "cache");
+        assert_eq!(ResponseSource::Coalesced.as_str(), "coalesced");
+    }
+}

@@ -1,0 +1,620 @@
+//! The synthesis service: worker pool, scheduling and shutdown.
+//!
+//! See the crate docs for the architecture diagram. This module owns the
+//! glue: `submit` runs the cache/coalesce/enqueue decision, workers drain
+//! the queue through warm [`SynthSession`]s, and the deadline watchdog
+//! maps per-job deadlines onto each worker session's [`CancelToken`].
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use rei_core::{CancelToken, SynthConfig, SynthSession, SynthesisError, SynthesisStats};
+
+use crate::cache::{CacheKey, Lookup, ResultCache};
+use crate::metrics::{Gauges, Metrics, MetricsSnapshot};
+use crate::queue::JobQueue;
+use crate::request::{Completion, JobHandle, JobState, ResponseSource, SynthRequest};
+
+/// Configuration of a [`SynthService`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads; each owns one warm [`SynthSession`] (and therefore
+    /// one `gpu_sim::Device` when the backend is device-parallel).
+    pub workers: usize,
+    /// Bound of the job queue; full-queue `submit`s block (backpressure),
+    /// `try_submit`s fail with [`ServiceError::QueueFull`].
+    pub queue_capacity: usize,
+    /// Completed results kept by the cache (FIFO eviction).
+    pub cache_capacity: usize,
+    /// The synthesis configuration every worker session runs. One config
+    /// per pool keeps results interchangeable and therefore cacheable.
+    pub synth: SynthConfig,
+}
+
+impl ServiceConfig {
+    /// A config with `workers` workers and defaults otherwise: queue
+    /// capacity 64, cache capacity 1024, default [`SynthConfig`].
+    pub fn new(workers: usize) -> Self {
+        ServiceConfig {
+            workers,
+            queue_capacity: 64,
+            cache_capacity: 1024,
+            synth: SynthConfig::default(),
+        }
+    }
+
+    /// Replaces the synthesis configuration.
+    pub fn with_synth(mut self, synth: SynthConfig) -> Self {
+        self.synth = synth;
+        self
+    }
+
+    /// Replaces the queue capacity.
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity;
+        self
+    }
+
+    /// Replaces the result-cache capacity.
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
+        self
+    }
+
+    fn validate(&self) -> Result<(), ServiceError> {
+        if self.workers == 0 {
+            return Err(ServiceError::InvalidConfig(
+                "service needs at least one worker".into(),
+            ));
+        }
+        if self.queue_capacity == 0 {
+            return Err(ServiceError::InvalidConfig(
+                "queue capacity must be positive".into(),
+            ));
+        }
+        if self.cache_capacity == 0 {
+            return Err(ServiceError::InvalidConfig(
+                "cache capacity must be positive".into(),
+            ));
+        }
+        self.synth
+            .validate()
+            .map_err(|err| ServiceError::InvalidConfig(err.to_string()))
+    }
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig::new(2)
+    }
+}
+
+/// The ways the service can refuse a request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The service has been closed; no new requests are accepted.
+    ShuttingDown,
+    /// `try_submit` found the queue at capacity.
+    QueueFull,
+    /// The [`ServiceConfig`] is invalid.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::ShuttingDown => write!(f, "service is shutting down"),
+            ServiceError::QueueFull => write!(f, "job queue is full"),
+            ServiceError::InvalidConfig(message) => {
+                write!(f, "invalid service configuration: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// A queued unit of work.
+struct Job {
+    spec: rei_lang::Spec,
+    key: CacheKey,
+    state: Arc<JobState>,
+    submitted: Instant,
+}
+
+/// One armed deadline: when it fires, the owning worker's cancel token
+/// trips. `armed` arbitrates the race between the watchdog firing and the
+/// worker finishing: whoever swaps it to `false` first acts.
+struct DeadlineEntry {
+    deadline: Instant,
+    token: CancelToken,
+    armed: AtomicBool,
+}
+
+#[derive(Default)]
+struct WatchState {
+    entries: Vec<Arc<DeadlineEntry>>,
+    shutdown: bool,
+}
+
+/// The deadline watchdog: one thread that sleeps until the earliest armed
+/// deadline and trips the corresponding worker's [`CancelToken`], turning
+/// deadline expiry into the search's existing cooperative cancellation.
+#[derive(Default)]
+struct Watchdog {
+    state: Mutex<WatchState>,
+    alarm: Condvar,
+}
+
+impl Watchdog {
+    fn lock(&self) -> std::sync::MutexGuard<'_, WatchState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Registers a deadline for the run about to start on `token`.
+    fn arm(&self, deadline: Instant, token: CancelToken) -> Arc<DeadlineEntry> {
+        let entry = Arc::new(DeadlineEntry {
+            deadline,
+            token,
+            armed: AtomicBool::new(true),
+        });
+        self.lock().entries.push(Arc::clone(&entry));
+        self.alarm.notify_one();
+        entry
+    }
+
+    /// Worker-side disarm after the run finished. If the watchdog won the
+    /// race and is about to (or already did) trip the token, waits for the
+    /// cancellation to land so the reset below cannot be overtaken and
+    /// leak into the worker's next job.
+    fn disarm(entry: &DeadlineEntry, token: &CancelToken) {
+        if !entry.armed.swap(false, Ordering::AcqRel) {
+            while !token.is_cancelled() {
+                std::thread::yield_now();
+            }
+        }
+        token.reset();
+    }
+
+    fn run(&self) {
+        let mut state = self.lock();
+        loop {
+            let now = Instant::now();
+            // Fire expired entries; keep still-armed future ones.
+            let mut next: Option<Instant> = None;
+            state.entries.retain(|entry| {
+                if !entry.armed.load(Ordering::Acquire) {
+                    return false;
+                }
+                if entry.deadline <= now {
+                    if entry.armed.swap(false, Ordering::AcqRel) {
+                        entry.token.cancel();
+                    }
+                    return false;
+                }
+                next = Some(next.map_or(entry.deadline, |n| n.min(entry.deadline)));
+                true
+            });
+            if state.shutdown {
+                return;
+            }
+            state = match next {
+                Some(deadline) => {
+                    let timeout = deadline.saturating_duration_since(Instant::now());
+                    self.alarm
+                        .wait_timeout(state, timeout)
+                        .unwrap_or_else(|e| e.into_inner())
+                        .0
+                }
+                None => self.alarm.wait(state).unwrap_or_else(|e| e.into_inner()),
+            };
+        }
+    }
+
+    fn shutdown(&self) {
+        self.lock().shutdown = true;
+        self.alarm.notify_all();
+    }
+}
+
+struct Shared {
+    queue: JobQueue<Job>,
+    cache: ResultCache,
+    metrics: Metrics,
+    watchdog: Watchdog,
+    synth: SynthConfig,
+}
+
+/// A multi-tenant synthesis service (see the crate docs).
+///
+/// # Example
+///
+/// ```
+/// use rei_service::{ServiceConfig, SynthRequest, SynthService};
+/// use rei_lang::Spec;
+///
+/// let service = SynthService::start(ServiceConfig::new(2)).unwrap();
+/// let spec = Spec::from_strs(["0", "00"], ["1", "10"]).unwrap();
+/// let first = service.submit(SynthRequest::new(spec.clone())).unwrap();
+/// assert!(first.wait().outcome.is_ok());
+/// // An identical request is served from the result cache.
+/// let second = service.submit(SynthRequest::new(spec)).unwrap();
+/// let response = second.wait();
+/// assert!(response.outcome.is_ok());
+/// assert_eq!(response.source.as_str(), "cache");
+/// let metrics = service.shutdown();
+/// assert_eq!(metrics.cache_hits, 1);
+/// ```
+pub struct SynthService {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    watchdog: Option<JoinHandle<()>>,
+}
+
+impl fmt::Debug for SynthService {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SynthService")
+            .field("workers", &self.workers.len())
+            .field("queue_depth", &self.shared.queue.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl SynthService {
+    /// Starts the worker pool and the deadline watchdog.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::InvalidConfig`] when the configuration does not
+    /// validate (zero workers/capacities, invalid [`SynthConfig`]).
+    pub fn start(config: ServiceConfig) -> Result<Self, ServiceError> {
+        config.validate()?;
+        let shared = Arc::new(Shared {
+            queue: JobQueue::new(config.queue_capacity),
+            cache: ResultCache::new(config.cache_capacity),
+            metrics: Metrics::new(config.workers),
+            watchdog: Watchdog::default(),
+            synth: config.synth.clone(),
+        });
+        let watchdog = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("rei-service-watchdog".into())
+                .spawn(move || shared.watchdog.run())
+                .expect("spawning the watchdog thread")
+        };
+        let workers = (0..config.workers)
+            .map(|index| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("rei-service-worker-{index}"))
+                    .spawn(move || worker_loop(&shared, index))
+                    .expect("spawning a worker thread")
+            })
+            .collect();
+        Ok(SynthService {
+            shared,
+            workers,
+            watchdog: Some(watchdog),
+        })
+    }
+
+    /// Submits a request, blocking while the queue is at capacity
+    /// (backpressure). Requests answered by the cache or coalesced onto an
+    /// in-flight job never block — they consume no queue slot.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::ShuttingDown`] after [`close`](SynthService::close).
+    pub fn submit(&self, request: SynthRequest) -> Result<JobHandle, ServiceError> {
+        self.submit_inner(request, false)
+    }
+
+    /// Like [`submit`](SynthService::submit), but fails with
+    /// [`ServiceError::QueueFull`] instead of blocking.
+    pub fn try_submit(&self, request: SynthRequest) -> Result<JobHandle, ServiceError> {
+        self.submit_inner(request, true)
+    }
+
+    fn submit_inner(
+        &self,
+        request: SynthRequest,
+        fail_fast: bool,
+    ) -> Result<JobHandle, ServiceError> {
+        let shared = &self.shared;
+        if shared.queue.is_closed() {
+            Metrics::bump(&shared.metrics.rejected);
+            return Err(ServiceError::ShuttingDown);
+        }
+        Metrics::bump(&shared.metrics.submitted);
+        let submitted = Instant::now();
+        let key = CacheKey::new(&request.spec, &shared.synth);
+        let state = JobState::new(request.deadline);
+        match shared.cache.lookup_or_reserve(&key, &state) {
+            Lookup::Hit(result) => {
+                Metrics::bump(&shared.metrics.cache_hits);
+                Ok(JobHandle {
+                    state: JobState::completed(Ok(result)),
+                    source: ResponseSource::Cache,
+                    submitted,
+                })
+            }
+            Lookup::Coalesce(in_flight) => {
+                Metrics::bump(&shared.metrics.coalesced);
+                // The job serves this request too, so its effective
+                // deadline must be at least as lenient as this request's.
+                in_flight.relax_deadline(request.deadline);
+                Ok(JobHandle {
+                    state: in_flight,
+                    source: ResponseSource::Coalesced,
+                    submitted,
+                })
+            }
+            Lookup::Miss => {
+                let job = Job {
+                    spec: request.spec,
+                    key: key.clone(),
+                    state: Arc::clone(&state),
+                    submitted,
+                };
+                let pushed = if fail_fast {
+                    shared.queue.try_push(request.priority, job)
+                } else {
+                    shared.queue.push(request.priority, job)
+                };
+                if pushed.is_err() {
+                    // Roll back so the key is not stuck in flight forever.
+                    shared.cache.forget(&key, &state);
+                    Metrics::bump(&shared.metrics.rejected);
+                    // `submitted` was optimistic; it never became a job.
+                    shared.metrics.submitted.fetch_sub(1, Ordering::Relaxed);
+                    return Err(if shared.queue.is_closed() {
+                        ServiceError::ShuttingDown
+                    } else {
+                        ServiceError::QueueFull
+                    });
+                }
+                Metrics::bump(&shared.metrics.enqueued);
+                Ok(JobHandle {
+                    state,
+                    source: ResponseSource::Fresh,
+                    submitted,
+                })
+            }
+        }
+    }
+
+    /// Closes the service to new submissions. Queued and in-flight jobs
+    /// keep running; call [`shutdown`](SynthService::shutdown) (or drop the
+    /// service) to drain and join.
+    pub fn close(&self) {
+        self.shared.queue.close();
+    }
+
+    /// Graceful shutdown: closes the queue, lets the workers drain every
+    /// queued job, joins them and returns the final metrics. Jobs
+    /// submitted before the call are all answered.
+    pub fn shutdown(mut self) -> MetricsSnapshot {
+        self.join();
+        self.metrics()
+    }
+
+    /// A point-in-time snapshot of the service metrics.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.shared.metrics.snapshot(Gauges {
+            queue_depth: self.shared.queue.len(),
+            queue_capacity: self.shared.queue.capacity(),
+            cache_entries: self.shared.cache.entries(),
+            cache_capacity: self.shared.cache.capacity(),
+        })
+    }
+
+    /// The synthesis configuration the pool runs.
+    pub fn synth_config(&self) -> &SynthConfig {
+        &self.shared.synth
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    fn join(&mut self) {
+        self.shared.queue.close();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        self.shared.watchdog.shutdown();
+        if let Some(watchdog) = self.watchdog.take() {
+            let _ = watchdog.join();
+        }
+    }
+}
+
+impl Drop for SynthService {
+    fn drop(&mut self) {
+        self.join();
+    }
+}
+
+fn worker_loop(shared: &Shared, index: usize) {
+    let mut session =
+        SynthSession::new(shared.synth.clone()).expect("service config was validated at start");
+    let token = session.cancel_token();
+    while let Some(job) = shared.queue.pop() {
+        let waited = job.submitted.elapsed();
+        Metrics::add_duration(&shared.metrics.wait_ns, waited);
+
+        let expired_in_queue = job.state.deadline().is_some_and(|d| Instant::now() >= d);
+        let (outcome, ran) = if expired_in_queue {
+            // Fail fast: an overdue job must not occupy the worker.
+            (
+                Err(SynthesisError::Cancelled {
+                    stats: SynthesisStats::default(),
+                }),
+                Duration::ZERO,
+            )
+        } else {
+            // Re-sample: a coalescer may have relaxed the deadline since
+            // the expiry check above.
+            let entry = job
+                .state
+                .deadline()
+                .map(|deadline| shared.watchdog.arm(deadline, token.clone()));
+            let started = Instant::now();
+            let outcome = session.run(&job.spec);
+            let ran = started.elapsed();
+            if let Some(entry) = entry {
+                Watchdog::disarm(&entry, &token);
+            }
+            (outcome, ran)
+        };
+        Metrics::add_duration(&shared.metrics.run_ns, ran);
+
+        match &outcome {
+            Ok(result) => shared.cache.complete(&job.key, result),
+            Err(_) => shared.cache.forget(&job.key, &job.state),
+        }
+        shared.metrics.note_job(&outcome, expired_in_queue);
+        shared.metrics.set_worker_stats(index, *session.stats());
+        job.state.complete(Completion {
+            outcome,
+            finished: Instant::now(),
+            ran,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rei_lang::Spec;
+
+    fn tiny_spec() -> Spec {
+        Spec::from_strs(["0", "00"], ["1", "10"]).unwrap()
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected_up_front() {
+        for (config, needle) in [
+            (ServiceConfig::new(0), "worker"),
+            (ServiceConfig::new(1).with_queue_capacity(0), "queue"),
+            (ServiceConfig::new(1).with_cache_capacity(0), "cache"),
+            (
+                ServiceConfig::new(1).with_synth(SynthConfig::default().with_allowed_error(2.0)),
+                "allowed error",
+            ),
+        ] {
+            let err = SynthService::start(config).unwrap_err();
+            match err {
+                ServiceError::InvalidConfig(message) => {
+                    assert!(message.contains(needle), "{message}")
+                }
+                other => panic!("expected InvalidConfig, got {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn fresh_cache_and_coalesced_sources_are_reported() {
+        let service = SynthService::start(ServiceConfig::new(1)).unwrap();
+        let first = service.submit(SynthRequest::new(tiny_spec())).unwrap();
+        assert_eq!(first.source(), ResponseSource::Fresh);
+        let first = first.wait();
+        assert!(first.outcome.is_ok());
+        assert!(first.ran > Duration::ZERO);
+
+        let second = service.submit(SynthRequest::new(tiny_spec())).unwrap();
+        assert_eq!(second.source(), ResponseSource::Cache);
+        let second = second.wait();
+        assert_eq!(
+            second.outcome.as_ref().unwrap().cost,
+            first.outcome.as_ref().unwrap().cost
+        );
+        assert_eq!(second.ran, Duration::ZERO);
+
+        let metrics = service.shutdown();
+        assert_eq!(metrics.submitted, 2);
+        assert_eq!(metrics.cache_hits, 1);
+        assert_eq!(metrics.completed, 1);
+        assert_eq!(metrics.solved, 1);
+        assert_eq!(metrics.workers.iter().map(|w| w.runs).sum::<u64>(), 1);
+    }
+
+    #[test]
+    fn close_rejects_new_requests_but_drains_old_ones() {
+        let service = SynthService::start(ServiceConfig::new(1)).unwrap();
+        let accepted = service.submit(SynthRequest::new(tiny_spec())).unwrap();
+        service.close();
+        let rejected = service.submit(SynthRequest::new(tiny_spec())).unwrap_err();
+        assert_eq!(rejected, ServiceError::ShuttingDown);
+        assert!(accepted.wait().outcome.is_ok());
+        let metrics = service.shutdown();
+        assert_eq!(metrics.rejected, 1);
+        assert_eq!(metrics.completed, 1);
+    }
+
+    #[test]
+    fn expired_deadline_fails_fast_without_running() {
+        let service = SynthService::start(ServiceConfig::new(1)).unwrap();
+        let handle = service
+            .submit(SynthRequest::new(tiny_spec()).with_timeout(Duration::ZERO))
+            .unwrap();
+        let response = handle.wait();
+        assert!(matches!(
+            response.outcome,
+            Err(SynthesisError::Cancelled { .. })
+        ));
+        assert_eq!(response.ran, Duration::ZERO);
+        let metrics = service.shutdown();
+        assert_eq!(metrics.deadline_expired, 1);
+        assert_eq!(metrics.workers.iter().map(|w| w.runs).sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn watchdog_disarm_waits_out_the_race() {
+        let watchdog = Watchdog::default();
+        let token = CancelToken::new();
+        let entry = watchdog.arm(Instant::now() + Duration::from_secs(60), token.clone());
+        // Simulate the watchdog winning the race: it swapped `armed` and
+        // is about to cancel from another thread.
+        assert!(entry.armed.swap(false, Ordering::AcqRel));
+        let firing = std::thread::spawn({
+            let token = token.clone();
+            move || {
+                std::thread::sleep(Duration::from_millis(10));
+                token.cancel();
+            }
+        });
+        Watchdog::disarm(&entry, &token);
+        firing.join().unwrap();
+        // disarm waited for the cancel and then reset: the token is clean
+        // for the worker's next job.
+        assert!(!token.is_cancelled());
+    }
+
+    #[test]
+    fn watchdog_fires_only_armed_expired_entries() {
+        let shared = Arc::new(Watchdog::default());
+        let thread = std::thread::spawn({
+            let shared = Arc::clone(&shared);
+            move || shared.run()
+        });
+        let soon = CancelToken::new();
+        let later = CancelToken::new();
+        shared.arm(Instant::now() + Duration::from_millis(10), soon.clone());
+        let far = shared.arm(Instant::now() + Duration::from_secs(60), later.clone());
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while !soon.is_cancelled() && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(soon.is_cancelled(), "expired entry must fire");
+        assert!(!later.is_cancelled(), "future entry must not fire");
+        Watchdog::disarm(&far, &later);
+        shared.shutdown();
+        thread.join().unwrap();
+    }
+}

@@ -11,7 +11,7 @@
 //! collapsing of syntactically equal operands, and star/question
 //! flattening).
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::Regex;
 
@@ -70,7 +70,7 @@ pub fn derivative(regex: &Regex, a: char) -> Regex {
             }
         }
         Regex::Union(l, r) => smart_union(derivative(l, a), derivative(r, a)),
-        Regex::Star(inner) => smart_concat(derivative(inner, a), Regex::Star(Rc::clone(inner))),
+        Regex::Star(inner) => smart_concat(derivative(inner, a), Regex::Star(Arc::clone(inner))),
         Regex::Question(inner) => derivative(inner, a),
     }
 }

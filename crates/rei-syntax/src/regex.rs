@@ -1,6 +1,6 @@
 //! The regular-expression abstract syntax tree.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::matcher;
 use crate::CostFn;
@@ -15,9 +15,11 @@ use crate::CostFn;
 /// r ::= ∅ | ε | a | r·r | r + r | r* | r?
 /// ```
 ///
-/// Sub-expressions are reference counted ([`Rc`]) so that the bottom-up
+/// Sub-expressions are reference counted ([`Arc`]) so that the bottom-up
 /// reconstruction performed by the synthesiser can share sub-terms freely
-/// without quadratic copying.
+/// without quadratic copying, and atomically so that finished expressions
+/// can cross threads (the synthesis service hands results from worker
+/// threads to waiting clients and shares them through its result cache).
 ///
 /// # Example
 ///
@@ -42,13 +44,13 @@ pub enum Regex {
     /// A single-character literal `a`.
     Literal(char),
     /// Concatenation `r·s`.
-    Concat(Rc<Regex>, Rc<Regex>),
+    Concat(Arc<Regex>, Arc<Regex>),
     /// Union (alternation) `r + s`.
-    Union(Rc<Regex>, Rc<Regex>),
+    Union(Arc<Regex>, Arc<Regex>),
     /// Kleene star `r*`.
-    Star(Rc<Regex>),
+    Star(Arc<Regex>),
     /// Optional `r?`, i.e. the language of `ε + r`.
-    Question(Rc<Regex>),
+    Question(Arc<Regex>),
 }
 
 impl Regex {
@@ -69,22 +71,22 @@ impl Regex {
 
     /// Builds the concatenation `self · rhs` of two expressions.
     pub fn concat(lhs: Regex, rhs: Regex) -> Self {
-        Regex::Concat(Rc::new(lhs), Rc::new(rhs))
+        Regex::Concat(Arc::new(lhs), Arc::new(rhs))
     }
 
     /// Builds the union `lhs + rhs` of two expressions.
     pub fn union(lhs: Regex, rhs: Regex) -> Self {
-        Regex::Union(Rc::new(lhs), Rc::new(rhs))
+        Regex::Union(Arc::new(lhs), Arc::new(rhs))
     }
 
     /// Wraps the expression in a Kleene star, producing `self*`.
     pub fn star(self) -> Self {
-        Regex::Star(Rc::new(self))
+        Regex::Star(Arc::new(self))
     }
 
     /// Wraps the expression in a question mark, producing `self?`.
     pub fn question(self) -> Self {
-        Regex::Question(Rc::new(self))
+        Regex::Question(Arc::new(self))
     }
 
     /// Builds the concatenation of the literals of `word`, or `ε` for the

@@ -15,6 +15,8 @@
 //! * [`baseline`] — the AlphaRegex baseline ([`alpharegex`]).
 //! * [`bench`] — benchmark generators and the paper-reproduction harness
 //!   ([`rei_bench`]).
+//! * [`service`] — the multi-tenant synthesis service: worker pool, job
+//!   scheduling, result caching and request coalescing ([`rei_service`]).
 //!
 //! # Quickstart
 //!
@@ -63,6 +65,21 @@
 //! # let _ = token;
 //! ```
 //!
+//! Many tenants share one warm pool through the service layer: requests
+//! queue with priorities and deadlines, identical requests are answered
+//! from a result cache or coalesced onto one in-flight synthesis:
+//!
+//! ```
+//! use paresy::prelude::*;
+//!
+//! let service = SynthService::start(ServiceConfig::new(2)).unwrap();
+//! let spec = Spec::from_strs(["0", "00"], ["1", "10"]).unwrap();
+//! let handle = service.submit(SynthRequest::new(spec)).unwrap();
+//! assert!(handle.wait().outcome.is_ok());
+//! let metrics = service.shutdown();
+//! assert_eq!(metrics.solved, 1);
+//! ```
+//!
 //! The one-shot [`Synthesizer`](crate::core::Synthesizer) builder remains
 //! for quick experiments, and the pre-0.2 `Engine` enum still compiles as
 //! a deprecated shim.
@@ -74,6 +91,7 @@ pub use gpu_sim as gpu;
 pub use rei_bench as bench;
 pub use rei_core as core;
 pub use rei_lang as lang;
+pub use rei_service as service;
 pub use rei_syntax as syntax;
 
 /// Commonly used items, re-exported for convenience.
@@ -87,5 +105,9 @@ pub mod prelude {
         Synthesizer, ThreadParallel,
     };
     pub use rei_lang::{Alphabet, InfixClosure, Spec, Word};
+    pub use rei_service::{
+        JobHandle, ResponseSource, ServiceConfig, ServiceError, SynthRequest, SynthResponse,
+        SynthService,
+    };
     pub use rei_syntax::{parse, CostFn, Regex};
 }

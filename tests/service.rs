@@ -1,0 +1,238 @@
+//! Integration tests of the synthesis service: caching, coalescing,
+//! deadlines and graceful shutdown, through the public facade.
+
+use std::time::Duration;
+
+use paresy::prelude::*;
+
+/// The paper's introductory specification (minimal cost 8).
+fn intro_spec() -> Spec {
+    Spec::from_strs(
+        ["10", "101", "100", "1010", "1011", "1000", "1001"],
+        ["", "0", "1", "00", "11", "010"],
+    )
+    .unwrap()
+}
+
+/// The same specification with reordered, duplicated examples — a
+/// different tenant writing the same request differently.
+fn intro_spec_reordered() -> Spec {
+    Spec::from_strs(
+        ["1001", "10", "10", "1000", "1011", "1010", "100", "101"],
+        ["010", "11", "00", "1", "0", "", ""],
+    )
+    .unwrap()
+}
+
+/// The §5.2 specification: at zero allowed error its search needs orders
+/// of magnitude more candidates than any quick run can finish, so it
+/// reliably keeps a worker busy until a budget or a cancellation fires.
+fn hard_spec() -> Spec {
+    Spec::from_strs(
+        [
+            "00", "1101", "0001", "0111", "001", "1", "10", "1100", "111", "1010",
+        ],
+        [
+            "", "0", "0000", "0011", "01", "010", "011", "100", "1000", "1001", "11", "1110",
+        ],
+    )
+    .unwrap()
+}
+
+#[test]
+fn cache_hit_returns_an_equivalent_result_without_a_new_run() {
+    let service = SynthService::start(ServiceConfig::new(1)).unwrap();
+
+    let fresh = service.submit(SynthRequest::new(intro_spec())).unwrap();
+    assert_eq!(fresh.source(), ResponseSource::Fresh);
+    let fresh = fresh.wait();
+    let fresh_result = fresh.outcome.expect("intro spec solves");
+    assert_eq!(fresh_result.cost, 8);
+
+    // The reordered duplicate is recognised through spec canonicalization
+    // and answered from the cache.
+    let hit = service
+        .submit(SynthRequest::new(intro_spec_reordered()))
+        .unwrap();
+    assert_eq!(hit.source(), ResponseSource::Cache);
+    let hit = hit.wait();
+    let hit_result = hit.outcome.expect("cache serves the stored result");
+    assert_eq!(hit_result.cost, fresh_result.cost);
+    assert!(intro_spec().is_satisfied_by(&hit_result.regex));
+    assert_eq!(hit.ran, Duration::ZERO, "a cache hit runs no synthesis");
+
+    let metrics = service.shutdown();
+    assert_eq!(metrics.cache_hits, 1);
+    assert_eq!(
+        metrics.workers.iter().map(|w| w.runs).sum::<u64>(),
+        1,
+        "exactly one synthesis ran"
+    );
+}
+
+#[test]
+fn coalesced_concurrent_duplicates_perform_exactly_one_synthesis() {
+    // One worker with a bounded per-run budget: the hard blocker occupies
+    // it while the identical requests pile up behind.
+    let synth = SynthConfig::default().with_time_budget(Duration::from_millis(300));
+    let service = SynthService::start(ServiceConfig::new(1).with_synth(synth)).unwrap();
+
+    let blocker = service.submit(SynthRequest::new(hard_spec())).unwrap();
+    let duplicates: Vec<JobHandle> = (0..4)
+        .map(|_| service.submit(SynthRequest::new(intro_spec())).unwrap())
+        .collect();
+
+    let costs: Vec<u64> = duplicates
+        .iter()
+        .map(|handle| handle.wait().outcome.expect("intro spec solves").cost)
+        .collect();
+    assert_eq!(costs, vec![8; 4]);
+    let fresh = duplicates
+        .iter()
+        .filter(|h| h.source() == ResponseSource::Fresh)
+        .count();
+    assert_eq!(fresh, 1, "exactly one duplicate triggered the synthesis");
+
+    assert!(
+        blocker.wait().outcome.is_err(),
+        "the blocker hit its budget"
+    );
+    let metrics = service.shutdown();
+    assert_eq!(metrics.cache_hits + metrics.coalesced, 3);
+    assert_eq!(
+        metrics.workers.iter().map(|w| w.runs).sum::<u64>(),
+        2,
+        "blocker + one shared synthesis, nothing else"
+    );
+}
+
+#[test]
+fn expired_deadline_fails_fast_with_cancelled_on_every_backend() {
+    for backend in [
+        BackendChoice::Sequential,
+        BackendChoice::ThreadParallel { threads: Some(2) },
+        BackendChoice::DeviceParallel { threads: Some(2) },
+    ] {
+        let synth = SynthConfig::default().with_backend(backend);
+        let service = SynthService::start(ServiceConfig::new(1).with_synth(synth)).unwrap();
+        let handle = service
+            .submit(SynthRequest::new(intro_spec()).with_timeout(Duration::ZERO))
+            .unwrap();
+        let response = handle.wait();
+        assert!(
+            matches!(response.outcome, Err(SynthesisError::Cancelled { .. })),
+            "{backend}: expected Cancelled, got {:?}",
+            response.outcome
+        );
+        assert_eq!(
+            response.ran,
+            Duration::ZERO,
+            "{backend}: an expired job must not occupy the worker"
+        );
+        let metrics = service.shutdown();
+        assert_eq!(metrics.deadline_expired, 1, "{backend}");
+        assert_eq!(
+            metrics.workers.iter().map(|w| w.runs).sum::<u64>(),
+            0,
+            "{backend}: no synthesis ran"
+        );
+    }
+}
+
+#[test]
+fn coalesced_request_relaxes_the_initiators_deadline() {
+    // A deadline belongs to a request, not to the specification: a
+    // deadline-free duplicate attached to a job whose initiator's
+    // deadline expired in the queue must still be synthesized.
+    let synth = SynthConfig::default().with_time_budget(Duration::from_millis(300));
+    let service = SynthService::start(ServiceConfig::new(1).with_synth(synth)).unwrap();
+    let _blocker = service.submit(SynthRequest::new(hard_spec())).unwrap();
+    let doomed = service
+        .submit(SynthRequest::new(intro_spec()).with_timeout(Duration::ZERO))
+        .unwrap();
+    let rescued = service.submit(SynthRequest::new(intro_spec())).unwrap();
+    assert_eq!(rescued.source(), ResponseSource::Coalesced);
+    assert_eq!(
+        rescued.wait().outcome.expect("relaxed job runs").cost,
+        8,
+        "the duplicate's lack of a deadline rescues the shared job"
+    );
+    // The initiator shares the successful run instead of a Cancelled.
+    assert!(doomed.wait().outcome.is_ok());
+    service.shutdown();
+}
+
+#[test]
+fn deadline_reached_mid_run_cancels_cooperatively() {
+    // Generous backstop budget so the test cannot hang; the 50 ms
+    // deadline must fire long before it and cancel — not time out — the
+    // run through the worker's CancelToken.
+    let synth = SynthConfig::default().with_time_budget(Duration::from_secs(30));
+    let service = SynthService::start(ServiceConfig::new(1).with_synth(synth)).unwrap();
+    let handle = service
+        .submit(SynthRequest::new(hard_spec()).with_timeout(Duration::from_millis(50)))
+        .unwrap();
+    let response = handle.wait();
+    assert!(
+        matches!(response.outcome, Err(SynthesisError::Cancelled { .. })),
+        "expected cooperative cancellation, got {:?}",
+        response.outcome
+    );
+    assert!(response.ran > Duration::ZERO, "the run had started");
+
+    // The worker's token was reset after the cancellation: the session
+    // keeps serving later jobs normally.
+    let after = service.submit(SynthRequest::new(intro_spec())).unwrap();
+    assert_eq!(after.wait().outcome.expect("worker recovered").cost, 8);
+    service.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_drains_the_queue() {
+    let service = SynthService::start(ServiceConfig::new(1)).unwrap();
+    let specs = ["0", "1", "00", "11", "01", "010"];
+    let handles: Vec<JobHandle> = specs
+        .iter()
+        .map(|positive| {
+            service
+                .submit(SynthRequest::new(Spec::from_strs([*positive], []).unwrap()))
+                .unwrap()
+        })
+        .collect();
+    // Shut down immediately: every already-accepted job must still be
+    // answered before the workers exit.
+    let metrics = service.shutdown();
+    assert_eq!(metrics.completed, specs.len() as u64);
+    for handle in &handles {
+        let response = handle
+            .try_wait()
+            .expect("drained jobs are complete after shutdown");
+        assert!(response.outcome.is_ok());
+    }
+}
+
+#[test]
+fn priorities_jump_the_queue() {
+    // One worker busy on a budgeted blocker; a low- and a high-priority
+    // job queued behind it must run high first.
+    let synth = SynthConfig::default().with_time_budget(Duration::from_millis(200));
+    let service = SynthService::start(ServiceConfig::new(1).with_synth(synth)).unwrap();
+    let _blocker = service.submit(SynthRequest::new(hard_spec())).unwrap();
+    let low = service
+        .submit(SynthRequest::new(Spec::from_strs(["0", "00"], ["1"]).unwrap()).with_priority(-1))
+        .unwrap();
+    let high = service
+        .submit(SynthRequest::new(Spec::from_strs(["1", "11"], ["0"]).unwrap()).with_priority(9))
+        .unwrap();
+    let high_response = high.wait();
+    let low_response = low.wait();
+    assert!(high_response.outcome.is_ok());
+    assert!(low_response.outcome.is_ok());
+    assert!(
+        high_response.waited <= low_response.waited,
+        "high priority waited {:?}, low waited {:?}",
+        high_response.waited,
+        low_response.waited
+    );
+    service.shutdown();
+}
