@@ -4,11 +4,12 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 
-use bench::{error_table_spec, example_3_6_spec};
+use bench::{error_table_spec, example_3_6_spec, intro_spec};
 use gpu_sim::hashset::LockFreeU64Set;
 use gpu_sim::Device;
-use rei_lang::{csops, Cs, GuideMasks, GuideTable, InfixClosure};
-use rei_syntax::parse;
+use rei_core::{BackendChoice, SynthConfig, SynthSession};
+use rei_lang::{csops, Cs, GuideMasks, GuideTable, InfixClosure, SatisfyMasks};
+use rei_syntax::{parse, CostFn};
 
 fn substrate_construction(c: &mut Criterion) {
     let spec = error_table_spec();
@@ -70,6 +71,67 @@ fn cs_kernels(c: &mut Criterion) {
     group.finish();
 }
 
+fn admission_prefilter(c: &mut Criterion) {
+    // The two phases of the admission check on a mixed bag of rows: the
+    // single-block prefilter reject against the full per-block fold it
+    // short-circuits.
+    let spec = example_3_6_spec();
+    let ic = InfixClosure::of_spec(&spec);
+    let masks = SatisfyMasks::new(&spec, &ic);
+    let prefilter = masks.prefilter();
+    let rows: Vec<Cs> = ["0", "1", "01", "(0+1)(0+1)", "1(0+1)*", "(0?1)*", "(10)*"]
+        .iter()
+        .map(|e| ic.cs_of_regex(&parse(e).unwrap()))
+        .collect();
+
+    let mut group = c.benchmark_group("prefilter");
+    group.bench_function("prefilter_reject", |b| {
+        b.iter(|| {
+            for row in &rows {
+                std::hint::black_box(prefilter.rejects(std::hint::black_box(row.blocks()), 0));
+            }
+        })
+    });
+    group.bench_function("full_misclassified", |b| {
+        b.iter(|| {
+            for row in &rows {
+                std::hint::black_box(masks.misclassified(std::hint::black_box(row.blocks())));
+            }
+        })
+    });
+    group.finish();
+}
+
+fn level_scheduler_sweep(c: &mut Criterion) {
+    // End-to-end effect of the level-execution knobs on one spec: the
+    // work-stealing claim size on the thread-parallel backend and the
+    // streamed chunk bound on the sequential driver.
+    let spec = intro_spec();
+    let mut group = c.benchmark_group("level_scheduler");
+    for sched_chunk in [16usize, 64, 256] {
+        group.bench_function(format!("threads2_sched_chunk_{sched_chunk}"), |b| {
+            let config = SynthConfig::new(CostFn::UNIFORM)
+                .with_backend(BackendChoice::ThreadParallel { threads: Some(2) })
+                .with_sched_chunk(sched_chunk);
+            let mut session = SynthSession::new(config).unwrap();
+            b.iter(|| std::hint::black_box(session.run(&spec).unwrap().cost))
+        });
+    }
+    for level_chunk_rows in [64usize, 1024, usize::MAX] {
+        let label = if level_chunk_rows == usize::MAX {
+            "whole_level".to_string()
+        } else {
+            level_chunk_rows.to_string()
+        };
+        group.bench_function(format!("sequential_level_chunk_{label}"), |b| {
+            let config = SynthConfig::new(CostFn::UNIFORM).with_level_chunk_rows(level_chunk_rows);
+            let mut session = SynthSession::new(config).unwrap();
+            b.iter(|| std::hint::black_box(session.run(&spec).unwrap().cost))
+        });
+    }
+    group.finish();
+}
+
 fn uniqueness_set(c: &mut Criterion) {
     let device = Device::sequential();
     let mut group = c.benchmark_group("uniqueness");
@@ -99,5 +161,12 @@ fn uniqueness_set(c: &mut Criterion) {
     let _ = device;
 }
 
-criterion_group!(benches, substrate_construction, cs_kernels, uniqueness_set);
+criterion_group!(
+    benches,
+    substrate_construction,
+    cs_kernels,
+    admission_prefilter,
+    level_scheduler_sweep,
+    uniqueness_set
+);
 criterion_main!(benches);

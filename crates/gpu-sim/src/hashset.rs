@@ -15,7 +15,7 @@
 //!   the row width and exposes the single operation the synthesiser needs:
 //!   `insert(row) -> bool` ("was this row new?").
 
-use std::collections::HashSet;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
 
 use parking_lot::Mutex;
@@ -192,14 +192,96 @@ impl LockFreeU64Set {
     }
 }
 
+/// A pass-through hasher for keys that already *are* [`hash_row`]
+/// outputs: re-mixing a well-mixed 64-bit value through SipHash would
+/// waste exactly the work [`ShardedSet::insert_hashed`] exists to avoid.
+#[derive(Default)]
+struct PrehashedKey(u64);
+
+impl std::hash::Hasher for PrehashedKey {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write_u64(&mut self, key: u64) {
+        self.0 = key;
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Only `u64` keys reach these maps (their `Hash` impl calls
+        // `write_u64`); fold any other input conservatively so the hasher
+        // stays total.
+        for &byte in bytes {
+            self.0 = self.0.rotate_left(8) ^ u64::from(byte);
+        }
+    }
+}
+
+/// The rows sharing one [`hash_row`] value. Collisions are vanishingly
+/// rare, so the first row is stored inline — one allocation per unique
+/// row, exactly like the plain `HashSet<Box<[u64]>>` it replaced — and
+/// only an actual collision upgrades the bucket to a `Vec`.
+#[derive(Debug)]
+enum Bucket {
+    /// The common case: one row owns this hash.
+    One(Box<[u64]>),
+    /// Two or more distinct rows collided on the hash.
+    Many(Vec<Box<[u64]>>),
+}
+
+impl Bucket {
+    fn contains(&self, row: &[u64]) -> bool {
+        match self {
+            Bucket::One(stored) => &**stored == row,
+            Bucket::Many(rows) => rows.iter().any(|stored| &**stored == row),
+        }
+    }
+
+    /// Adds `row` to the bucket, returning `false` if it was present.
+    fn push_if_new(&mut self, row: &[u64]) -> bool {
+        match self {
+            Bucket::One(stored) => {
+                if &**stored == row {
+                    return false;
+                }
+                let first = std::mem::take(stored);
+                *self = Bucket::Many(vec![first, row.into()]);
+                true
+            }
+            Bucket::Many(rows) => {
+                if rows.iter().any(|stored| &**stored == row) {
+                    return false;
+                }
+                rows.push(row.into());
+                true
+            }
+        }
+    }
+}
+
+/// One shard of a [`ShardedSet`]: the caller-visible [`hash_row`] value
+/// to the (almost always singleton) bucket of distinct rows sharing it,
+/// keyed without re-hashing.
+type Shard = Mutex<HashMap<u64, Bucket, std::hash::BuildHasherDefault<PrehashedKey>>>;
+
 /// An exact concurrent set for multi-word keys, sharded over mutexes.
 ///
 /// This plays the role of the CPU-side `std::unordered_set`: correctness
 /// over raw speed. The shard count bounds contention when the parallel
 /// engine performs its uniqueness pass.
+///
+/// Internally each shard maps the caller-visible 64-bit [`hash_row`] value
+/// to the (almost always singleton) [`Bucket`] of distinct rows sharing
+/// it, through a pass-through hasher — so every insertion hashes the
+/// multi-word row exactly once, and only exact equality inside a bucket
+/// touches the row again. Callers that already hold a row's hash (say,
+/// carried alongside the row through a pipeline) can skip even that one
+/// walk via [`ShardedSet::insert_hashed`]; the synthesiser's kernels use
+/// plain [`ShardedSet::insert`], whose single internal [`hash_row`] is
+/// already the minimum.
 #[derive(Debug)]
 pub struct ShardedSet {
-    shards: Vec<Mutex<HashSet<Box<[u64]>>>>,
+    shards: Vec<Shard>,
     len: AtomicUsize,
 }
 
@@ -209,7 +291,9 @@ impl ShardedSet {
     pub fn new(shards: usize) -> Self {
         let shards = shards.max(1).next_power_of_two();
         ShardedSet {
-            shards: (0..shards).map(|_| Mutex::new(HashSet::new())).collect(),
+            shards: (0..shards)
+                .map(|_| Mutex::new(HashMap::default()))
+                .collect(),
             len: AtomicUsize::new(0),
         }
     }
@@ -224,11 +308,46 @@ impl ShardedSet {
         self.len() == 0
     }
 
+    /// Pre-sizes every shard for `additional` further rows in total, so a
+    /// streamed level's insertions do not rehash shard tables mid-pass.
+    /// Safe to call while other threads insert (each shard is locked), but
+    /// intended for the quiescent point before a level starts.
+    pub fn reserve(&self, additional: usize) {
+        let per_shard = additional.div_ceil(self.shards.len());
+        for shard in &self.shards {
+            shard.lock().reserve(per_shard);
+        }
+    }
+
     /// Inserts `row`, returning `true` if it was not present before.
     pub fn insert(&self, row: &[u64]) -> bool {
-        let shard = (hash_row(row) as usize) & (self.shards.len() - 1);
-        let mut guard = self.shards[shard].lock();
-        let fresh = guard.insert(row.into());
+        self.insert_hashed(row, hash_row(row))
+    }
+
+    /// The shard a hash belongs to. Shards are picked from the *upper*
+    /// hash bits: the pass-through shard maps consume the lower bits for
+    /// their bucket index, and keys within one shard share their low
+    /// shard-index bits by construction — using them twice would cluster
+    /// every shard map into a fraction of its buckets.
+    fn shard_of(&self, hash: u64) -> usize {
+        ((hash >> 32) as usize) & (self.shards.len() - 1)
+    }
+
+    /// Like [`ShardedSet::insert`], with the row's [`hash_row`] value
+    /// precomputed by the caller, so the row itself is only touched for
+    /// exact equality inside its bucket.
+    pub fn insert_hashed(&self, row: &[u64], hash: u64) -> bool {
+        debug_assert_eq!(hash, hash_row(row), "caller-supplied hash mismatch");
+        let mut guard = self.shards[self.shard_of(hash)].lock();
+        let fresh = match guard.entry(hash) {
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(Bucket::One(row.into()));
+                true
+            }
+            std::collections::hash_map::Entry::Occupied(mut slot) => {
+                slot.get_mut().push_if_new(row)
+            }
+        };
         if fresh {
             self.len.fetch_add(1, Ordering::Relaxed);
         }
@@ -237,8 +356,11 @@ impl ShardedSet {
 
     /// Returns `true` if `row` has been inserted.
     pub fn contains(&self, row: &[u64]) -> bool {
-        let shard = (hash_row(row) as usize) & (self.shards.len() - 1);
-        self.shards[shard].lock().contains(row)
+        let hash = hash_row(row);
+        self.shards[self.shard_of(hash)]
+            .lock()
+            .get(&hash)
+            .is_some_and(|bucket| bucket.contains(row))
     }
 }
 
@@ -260,7 +382,9 @@ impl CsSet {
         if blocks <= 1 {
             CsSet::Narrow(LockFreeU64Set::with_capacity(capacity))
         } else {
-            CsSet::Wide(ShardedSet::new(64))
+            let set = ShardedSet::new(64);
+            set.reserve(capacity);
+            CsSet::Wide(set)
         }
     }
 
@@ -275,14 +399,20 @@ impl CsSet {
         }
     }
 
-    /// Ensures the table can absorb `additional` further keys without
-    /// exceeding a 50 % load factor. Like [`CsSet::maybe_grow`], this must
-    /// be called between kernel launches.
+    /// Ensures the table can absorb `additional` further keys: the narrow
+    /// WarpCore-style table is grown until it would stay at or below a
+    /// 50 % load factor (it cannot grow itself mid-pass — growth needs
+    /// `&mut`), the wide sharded table pre-sizes its shard maps. The
+    /// search calls this once before a streamed level starts, so no kernel
+    /// ever inserts into a table that needs resizing.
     pub fn reserve(&mut self, additional: usize) {
-        if let CsSet::Narrow(set) = self {
-            while (set.len() + additional) * 2 > set.capacity() {
-                set.grow();
+        match self {
+            CsSet::Narrow(set) => {
+                while (set.len() + additional) * 2 > set.capacity() {
+                    set.grow();
+                }
             }
+            CsSet::Wide(set) => set.reserve(additional),
         }
     }
 
@@ -296,6 +426,36 @@ impl CsSet {
         match self {
             CsSet::Narrow(set) => set.insert(row[0]),
             CsSet::Wide(set) => set.insert(row),
+        }
+    }
+
+    /// Like [`CsSet::insert`], with the row's [`hash_row`] value already
+    /// computed by the caller. The narrow single-word table keys directly
+    /// off the row word and ignores the hash; the wide table uses it to
+    /// find the bucket without re-walking the row.
+    ///
+    /// The synthesiser's own kernels call plain [`CsSet::insert`] — its
+    /// single internal hash (none at all on narrow rows) is already the
+    /// minimum, so precomputing would only pessimize the narrow path.
+    /// This entry point exists for callers that carry a row's hash
+    /// alongside the row anyway (e.g. a pipeline that fingerprints rows
+    /// for routing before deduplicating them).
+    pub fn insert_hashed(&self, row: &[u64], hash: u64) -> bool {
+        match self {
+            CsSet::Narrow(set) => set.insert(row[0]),
+            CsSet::Wide(set) => set.insert_hashed(row, hash),
+        }
+    }
+
+    /// Number of insertions the filter could not record exactly (reported
+    /// as unique instead). Only the fixed-capacity narrow table can
+    /// overflow — and only once the search has stopped reserving, i.e.
+    /// after the language cache itself rejected rows; the sharded table is
+    /// exact. Surfaced in the session statistics.
+    pub fn overflowed(&self) -> u64 {
+        match self {
+            CsSet::Narrow(set) => set.overflowed() as u64,
+            CsSet::Wide(_) => 0,
         }
     }
 
@@ -420,6 +580,42 @@ mod tests {
         assert!(set.contains(&[1, 2, 4]));
         assert!(!set.contains(&[9, 9, 9]));
         assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn sharded_insert_hashed_agrees_with_insert() {
+        let set = ShardedSet::new(4);
+        set.reserve(100);
+        for key in 0..100u64 {
+            let row = [key, key.rotate_left(13), !key];
+            assert!(set.insert_hashed(&row, hash_row(&row)), "{key}");
+            assert!(!set.insert(&row), "{key} reinserted plainly");
+            assert!(!set.insert_hashed(&row, hash_row(&row)), "{key} rehashed");
+            assert!(set.contains(&row));
+        }
+        assert_eq!(set.len(), 100);
+    }
+
+    #[test]
+    fn cs_set_insert_hashed_and_reserve_on_both_widths() {
+        let mut narrow = CsSet::new(1, 4);
+        narrow.reserve(1000);
+        for key in 0..1000u64 {
+            let row = [key * 31];
+            assert!(narrow.insert_hashed(&row, hash_row(&row)));
+        }
+        assert_eq!(narrow.len(), 1000);
+        assert_eq!(narrow.overflowed(), 0);
+
+        let mut wide = CsSet::new(3, 4);
+        wide.reserve(500);
+        for key in 0..500u64 {
+            let row = [key, key ^ 7, key << 3];
+            assert!(wide.insert_hashed(&row, hash_row(&row)));
+            assert!(!wide.insert(&row));
+        }
+        assert_eq!(wide.len(), 500);
+        assert_eq!(wide.overflowed(), 0);
     }
 
     #[test]

@@ -60,6 +60,18 @@ pub struct BackendPerfRow {
     /// Fraction of candidates rejected as duplicates:
     /// `1 − rows_built / candidates`.
     pub dedup_hit_rate: f64,
+    /// Work chunks claimed by the level execution engine (streamed level
+    /// chunks, or work-stealing claims on the thread-parallel backend).
+    pub chunks_claimed: u64,
+    /// Chunks a thread-parallel worker stole from a peer's range.
+    pub chunks_stolen: u64,
+    /// Rows whose full satisfaction check the admission prefilter
+    /// skipped.
+    pub prefilter_rejects: u64,
+    /// `prefilter_rejects / candidates` (0 when no candidates ran).
+    pub prefilter_reject_rate: f64,
+    /// Uniqueness-filter insertions that overflowed its table.
+    pub dedup_overflowed: u64,
 }
 
 /// The full perf baseline: kernel micro-timings plus the per-backend
@@ -208,6 +220,10 @@ fn backend_row(
         }
     }
     let wall_seconds = started.elapsed().as_secs_f64();
+    // The scheduler and prefilter counters accumulate on the session
+    // across the whole pool — exactly the per-backend totals the report
+    // wants.
+    let totals = *session.stats();
     BackendPerfRow {
         backend: session.backend_name().to_string(),
         wall_seconds,
@@ -220,6 +236,15 @@ fn backend_row(
         } else {
             1.0 - rows_built as f64 / candidates as f64
         },
+        chunks_claimed: totals.chunks_claimed,
+        chunks_stolen: totals.chunks_stolen,
+        prefilter_rejects: totals.prefilter_rejects,
+        prefilter_reject_rate: if candidates == 0 {
+            0.0
+        } else {
+            totals.prefilter_rejects as f64 / candidates as f64
+        },
+        dedup_overflowed: totals.dedup_overflowed,
     }
 }
 
@@ -274,14 +299,16 @@ pub fn run_perf(config: &HarnessConfig) -> PerfReport {
 }
 
 impl PerfReport {
-    /// The report as a JSON document (schema `rei-bench/perf-v2`), built
+    /// The report as a JSON document (schema `rei-bench/perf-v3`), built
     /// with the shared writer in [`rei_service::json`] — the workspace's
     /// serde shim provides no serializer. The `reproduce` binary merges
     /// this object into `BENCH_core.json`, preserving sections other
-    /// experiments own (such as `service`).
+    /// experiments own (such as `service`). v3 adds the level-execution
+    /// counters per backend: chunks claimed, chunks stolen, prefilter
+    /// rejects (plus rate) and dedup overflow.
     pub fn to_json_value(&self) -> Json {
         Json::object([
-            ("schema", Json::str("rei-bench/perf-v2")),
+            ("schema", Json::str("rei-bench/perf-v3")),
             ("scale", Json::str(&self.scale)),
             ("seed", Json::uint(self.seed)),
             ("threads", Json::uint(self.threads as u64)),
@@ -325,6 +352,14 @@ impl PerfReport {
                         ("candidates", Json::uint(b.candidates)),
                         ("rows_built", Json::uint(b.rows_built)),
                         ("dedup_hit_rate", Json::fixed(b.dedup_hit_rate, 4)),
+                        ("chunks_claimed", Json::uint(b.chunks_claimed)),
+                        ("chunks_stolen", Json::uint(b.chunks_stolen)),
+                        ("prefilter_rejects", Json::uint(b.prefilter_rejects)),
+                        (
+                            "prefilter_reject_rate",
+                            Json::fixed(b.prefilter_reject_rate, 4),
+                        ),
+                        ("dedup_overflowed", Json::uint(b.dedup_overflowed)),
                     ])
                 })),
             ),
@@ -362,6 +397,18 @@ mod tests {
             assert_eq!(b.total, benchmark_pool(&config).len());
             assert!(b.wall_seconds > 0.0);
             assert!((0.0..=1.0).contains(&b.dedup_hit_rate));
+            assert!(b.chunks_claimed > 0, "{}: no chunks claimed", b.backend);
+            assert!(
+                (0.0..=1.0).contains(&b.prefilter_reject_rate),
+                "{}: reject rate {}",
+                b.backend,
+                b.prefilter_reject_rate
+            );
+            assert!(
+                b.prefilter_rejects <= b.candidates,
+                "{}: more rejects than candidates",
+                b.backend
+            );
         }
         for k in &report.kernels {
             assert!(k.concat_masked_ns > 0.0 && k.concat_gather_ns > 0.0);
@@ -379,7 +426,7 @@ mod tests {
         let doc = Json::parse(&text).expect("report renders valid JSON");
         assert_eq!(
             doc.get("schema").and_then(Json::as_str),
-            Some("rei-bench/perf-v2")
+            Some("rei-bench/perf-v3")
         );
         let backends = doc.get("backends").and_then(Json::as_array).unwrap();
         assert_eq!(backends.len(), 3);
@@ -387,6 +434,17 @@ mod tests {
             backends[1].get("backend").and_then(Json::as_str),
             Some("cpu-thread-parallel")
         );
+        for row in backends {
+            for key in [
+                "chunks_claimed",
+                "chunks_stolen",
+                "prefilter_rejects",
+                "prefilter_reject_rate",
+                "dedup_overflowed",
+            ] {
+                assert!(row.get(key).is_some(), "missing {key}: {row:?}");
+            }
+        }
         let kernels = doc.get("kernels").unwrap();
         assert!(kernels
             .get("geomean_concat_speedup")

@@ -46,6 +46,8 @@ pub struct SynthConfig {
     allowed_error: f64,
     time_budget: Option<Duration>,
     alphabet: Option<Alphabet>,
+    sched_chunk: Option<usize>,
+    level_chunk_rows: Option<usize>,
 }
 
 impl SynthConfig {
@@ -63,6 +65,8 @@ impl SynthConfig {
             allowed_error: 0.0,
             time_budget: None,
             alphabet: None,
+            sched_chunk: None,
+            level_chunk_rows: None,
         }
     }
 
@@ -114,6 +118,29 @@ impl SynthConfig {
         self
     }
 
+    /// Sets the number of candidate rows per work-stealing claim of the
+    /// thread-parallel backend. Smaller chunks balance skewed levels
+    /// better; larger chunks amortise claiming overhead. By default the
+    /// search picks a chunk size itself.
+    pub fn with_sched_chunk(mut self, rows: usize) -> Self {
+        self.sched_chunk = Some(rows);
+        self
+    }
+
+    /// Bounds the number of candidate rows a streamed cost level
+    /// materialises at once (the size of the in-flight job chunk and of
+    /// the batch row buffer). By default the bound is derived from the
+    /// memory budget. Lower values tighten both peak memory and the
+    /// cancellation latency (the stop condition is polled between
+    /// chunks); `usize::MAX` is the explicit whole-level fallback — note
+    /// that it makes the batch buffer scale with the largest level
+    /// (quadratic in cached rows on binary-heavy levels), which is
+    /// exactly what the default streaming bound exists to prevent.
+    pub fn with_level_chunk_rows(mut self, rows: usize) -> Self {
+        self.level_chunk_rows = Some(rows);
+        self
+    }
+
     /// The cost homomorphism results are minimised against.
     pub fn costs(&self) -> &CostFn {
         &self.costs
@@ -149,6 +176,16 @@ impl SynthConfig {
         self.alphabet.as_ref()
     }
 
+    /// The work-stealing chunk size override, if any.
+    pub fn sched_chunk(&self) -> Option<usize> {
+        self.sched_chunk
+    }
+
+    /// The streamed-level chunk-row bound override, if any.
+    pub fn level_chunk_rows(&self) -> Option<usize> {
+        self.level_chunk_rows
+    }
+
     /// Checks every field, returning [`SynthesisError::InvalidConfig`]
     /// with a description of the first offending value.
     pub fn validate(&self) -> Result<(), SynthesisError> {
@@ -167,6 +204,16 @@ impl SynthConfig {
             if alphabet.is_empty() {
                 return Err(SynthesisError::invalid_config("alphabet must be non-empty"));
             }
+        }
+        if self.sched_chunk == Some(0) {
+            return Err(SynthesisError::invalid_config(
+                "scheduler chunk size must be positive",
+            ));
+        }
+        if self.level_chunk_rows == Some(0) {
+            return Err(SynthesisError::invalid_config(
+                "level chunk rows must be positive",
+            ));
         }
         Ok(())
     }
@@ -199,6 +246,12 @@ impl fmt::Display for SynthConfig {
             // Nanosecond precision so any Duration round-trips exactly
             // (milliseconds would floor a 500µs budget to 0).
             write!(f, " timeout-ns={}", budget.as_nanos())?;
+        }
+        if let Some(rows) = self.sched_chunk {
+            write!(f, " sched-chunk={rows}")?;
+        }
+        if let Some(rows) = self.level_chunk_rows {
+            write!(f, " level-chunk-rows={rows}")?;
         }
         if let Some(alphabet) = &self.alphabet {
             write!(f, " alphabet=")?;
@@ -306,6 +359,20 @@ impl FromStr for SynthConfig {
                         .map_err(|_| invalid(format!("invalid timeout '{value}'")))?;
                     config.time_budget = Some(Duration::from_millis(millis));
                 }
+                "sched-chunk" => {
+                    config.sched_chunk = Some(
+                        value
+                            .parse()
+                            .map_err(|_| invalid(format!("invalid scheduler chunk '{value}'")))?,
+                    );
+                }
+                "level-chunk-rows" => {
+                    config.level_chunk_rows = Some(
+                        value
+                            .parse()
+                            .map_err(|_| invalid(format!("invalid level chunk rows '{value}'")))?,
+                    );
+                }
                 "alphabet" => {
                     config.alphabet = Some(parse_alphabet_value(value).map_err(invalid)?);
                 }
@@ -371,6 +438,10 @@ mod tests {
             // Sub-millisecond budgets must survive the wire format too.
             SynthConfig::default().with_time_budget(Duration::from_micros(500)),
             SynthConfig::default().with_backend(BackendChoice::ThreadParallel { threads: Some(3) }),
+            SynthConfig::default()
+                .with_sched_chunk(32)
+                .with_level_chunk_rows(4096),
+            SynthConfig::default().with_level_chunk_rows(usize::MAX),
         ];
         for config in configs {
             let wire = config.to_string();
@@ -388,6 +459,10 @@ mod tests {
             "error=2.0",
             "wat=1",
             "no-equals",
+            "sched-chunk=0",
+            "sched-chunk=some",
+            "level-chunk-rows=0",
+            "level-chunk-rows=-3",
         ] {
             let err = bad.parse::<SynthConfig>().unwrap_err();
             assert!(

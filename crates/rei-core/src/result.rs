@@ -30,6 +30,19 @@ pub struct SynthesisStats {
     pub candidates_generated: u64,
     /// Number of candidates that survived the uniqueness check.
     pub unique_languages: u64,
+    /// Work chunks claimed by the level execution engine: streamed level
+    /// chunks on the sequential and device strategies, work-stealing
+    /// scheduler claims on the thread-parallel strategy.
+    pub chunks_claimed: u64,
+    /// Scheduler chunks a thread-parallel worker claimed from another
+    /// worker's range (0 on the other strategies).
+    pub chunks_stolen: u64,
+    /// Candidate rows whose full satisfaction check was skipped by the
+    /// single-block admission prefilter.
+    pub prefilter_rejects: u64,
+    /// Insertions the uniqueness filter could not record exactly (its
+    /// fixed-capacity table was full) and reported as unique instead.
+    pub dedup_overflowed: u64,
     /// Number of rows stored in the language cache when the run ended.
     pub cache_rows: u64,
     /// Approximate memory used by the language cache, in bytes.

@@ -1,0 +1,243 @@
+//! The work-stealing chunk scheduler behind the thread-parallel backend.
+//!
+//! [`LevelBatch::run_threaded`](crate::LevelBatch::run_threaded) used to
+//! split each batch into one contiguous span per worker. Static
+//! partitioning is cheap but leaves cores idle under skew: candidate rows
+//! are far from uniform (star rows run the squaring fixpoint, concat rows
+//! depend on operand density), so one unlucky span can keep a single
+//! worker busy while the rest of the machine waits at the scope join.
+//!
+//! [`StealScheduler`] replaces the static split with chunk claiming.
+//! The batch is cut into fixed-size chunks of candidate rows (the
+//! `sched_chunk` knob of [`SynthConfig`](crate::SynthConfig)); each worker
+//! owns a contiguous range of chunk indices and drains it through an
+//! atomic cursor, and a worker whose range is exhausted *steals* chunks
+//! from the ranges of its peers — so the level ends only when every chunk
+//! is done, not when the slowest static span is done. Claiming is one
+//! `fetch_add` on the hot path (own range) and a bounded scan of peer
+//! cursors when stealing; there are no locks and no channels.
+//!
+//! Keeping per-worker ranges (rather than one global counter) preserves
+//! the sequential claim order within each range, which matters for the
+//! search's early-winner cutoff: low chunk indices — the ones that can
+//! still contain a lower-index satisfying row — are claimed first.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// One claimed chunk: its index in the batch plus whether it was stolen
+/// from another worker's range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Claim {
+    /// Index of the claimed chunk (chunk `c` covers batch rows
+    /// `c * chunk_rows ..`).
+    pub chunk: usize,
+    /// `true` when the chunk came from another worker's range.
+    pub stolen: bool,
+}
+
+/// A lock-free chunk scheduler: `workers` cursors over disjoint chunk
+/// ranges, with stealing between them.
+///
+/// # Example
+///
+/// ```
+/// use rei_core::sched::StealScheduler;
+///
+/// let sched = StealScheduler::new(10, 3);
+/// let mut seen = Vec::new();
+/// while let Some(claim) = sched.claim(0) {
+///     seen.push(claim.chunk);
+/// }
+/// // A single active worker drains its own range, then steals the rest.
+/// seen.sort_unstable();
+/// assert_eq!(seen, (0..10).collect::<Vec<_>>());
+/// ```
+#[derive(Debug)]
+pub struct StealScheduler {
+    /// `cursors[w]` is the next unclaimed chunk of worker `w`'s range.
+    cursors: Vec<AtomicUsize>,
+    /// `bounds[w]..bounds[w + 1]` is worker `w`'s range of chunk indices.
+    bounds: Vec<usize>,
+}
+
+impl StealScheduler {
+    /// Splits `num_chunks` chunk indices as evenly as possible over
+    /// `workers` ranges (`workers >= 1`; earlier workers get the larger
+    /// ranges and the lower indices).
+    pub fn new(num_chunks: usize, workers: usize) -> Self {
+        let workers = workers.max(1);
+        let per = num_chunks / workers;
+        let extra = num_chunks % workers;
+        let mut bounds = Vec::with_capacity(workers + 1);
+        let mut start = 0usize;
+        bounds.push(0);
+        for w in 0..workers {
+            start += per + usize::from(w < extra);
+            bounds.push(start);
+        }
+        StealScheduler {
+            cursors: (0..workers).map(|w| AtomicUsize::new(bounds[w])).collect(),
+            bounds,
+        }
+    }
+
+    /// Number of worker ranges.
+    pub fn workers(&self) -> usize {
+        self.cursors.len()
+    }
+
+    /// Claims the next chunk for `worker`: from its own range while any
+    /// remain, then from its peers' ranges, scanned in round-robin order
+    /// starting after its own. Returns `None` once every chunk of the
+    /// batch has been claimed.
+    ///
+    /// Every chunk index is returned exactly once across all workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `worker >= self.workers()`.
+    pub fn claim(&self, worker: usize) -> Option<Claim> {
+        let own = self.claim_from(worker);
+        if own.is_some() {
+            return own.map(|chunk| Claim {
+                chunk,
+                stolen: false,
+            });
+        }
+        let workers = self.workers();
+        for offset in 1..workers {
+            let victim = (worker + offset) % workers;
+            if let Some(chunk) = self.claim_from(victim) {
+                return Some(Claim {
+                    chunk,
+                    stolen: true,
+                });
+            }
+        }
+        None
+    }
+
+    fn claim_from(&self, range: usize) -> Option<usize> {
+        let end = self.bounds[range + 1];
+        // Relaxed is enough: the chunk payloads are handed over by the
+        // caller (mutex-guarded spans), the cursor only arbitrates indices.
+        if self.cursors[range].load(Ordering::Relaxed) >= end {
+            return None;
+        }
+        let chunk = self.cursors[range].fetch_add(1, Ordering::Relaxed);
+        (chunk < end).then_some(chunk)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::time::Duration;
+
+    fn drain_all(num_chunks: usize, workers: usize) -> Vec<Vec<Claim>> {
+        let sched = StealScheduler::new(num_chunks, workers);
+        let mut logs = vec![Vec::new(); workers];
+        crossbeam::scope(|scope| {
+            for (w, log) in logs.iter_mut().enumerate() {
+                let sched = &sched;
+                scope.spawn(move |_| {
+                    while let Some(claim) = sched.claim(w) {
+                        log.push(claim);
+                    }
+                });
+            }
+        })
+        .unwrap();
+        logs
+    }
+
+    #[test]
+    fn every_chunk_is_claimed_exactly_once() {
+        for (chunks, workers) in [(0, 1), (1, 4), (7, 3), (64, 4), (100, 7), (5, 8)] {
+            let logs = drain_all(chunks, workers);
+            let mut all: Vec<usize> = logs.iter().flatten().map(|claim| claim.chunk).collect();
+            all.sort_unstable();
+            assert_eq!(
+                all,
+                (0..chunks).collect::<Vec<_>>(),
+                "chunks {chunks} workers {workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn own_range_is_claimed_in_ascending_order() {
+        // Low indices first is what makes the early-winner cutoff
+        // effective; verify it per worker range under contention.
+        let logs = drain_all(97, 4);
+        for log in &logs {
+            let own: Vec<usize> = log
+                .iter()
+                .filter(|claim| !claim.stolen)
+                .map(|claim| claim.chunk)
+                .collect();
+            assert!(own.windows(2).all(|w| w[0] < w[1]), "{own:?}");
+        }
+    }
+
+    #[test]
+    fn skewed_batches_keep_all_workers_busy_via_stealing() {
+        // Worker 0's chunks are slow; the other workers must finish their
+        // own ranges and then steal from worker 0's — so the steal counter
+        // is positive and every worker claimed at least one chunk.
+        let workers = 4;
+        let chunks = 32;
+        let sched = StealScheduler::new(chunks, workers);
+        let steals = AtomicUsize::new(0);
+        let claimed = AtomicUsize::new(0);
+        let mut per_worker = vec![0usize; workers];
+        crossbeam::scope(|scope| {
+            for (w, count) in per_worker.iter_mut().enumerate() {
+                let (sched, steals, claimed) = (&sched, &steals, &claimed);
+                scope.spawn(move |_| {
+                    while let Some(claim) = sched.claim(w) {
+                        *count += 1;
+                        claimed.fetch_add(1, Ordering::Relaxed);
+                        if claim.stolen {
+                            steals.fetch_add(1, Ordering::Relaxed);
+                        }
+                        if claim.chunk < chunks / workers {
+                            // The skew: worker 0's own range is expensive.
+                            std::thread::sleep(Duration::from_millis(2));
+                        }
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(claimed.load(Ordering::Relaxed), chunks);
+        assert!(
+            steals.load(Ordering::Relaxed) > 0,
+            "no steals despite skew: {per_worker:?}"
+        );
+        assert!(
+            per_worker.iter().all(|&n| n > 0),
+            "idle worker: {per_worker:?}"
+        );
+    }
+
+    #[test]
+    fn empty_ranges_are_stealable_noops() {
+        // More workers than chunks: the rangeless workers immediately
+        // steal (or finish), nothing is claimed twice, nothing hangs.
+        let sched = StealScheduler::new(3, 8);
+        assert_eq!(sched.workers(), 8);
+        let mut all = Vec::new();
+        for w in (0..8).rev() {
+            while let Some(claim) = sched.claim(w) {
+                all.push(claim.chunk);
+            }
+        }
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2]);
+        for w in 0..8 {
+            assert_eq!(sched.claim(w), None);
+        }
+    }
+}

@@ -15,14 +15,17 @@
 //! level to the run's [`Observer`].
 
 use std::cell::RefCell;
+use std::ops::Range;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
 use gpu_sim::hashset::CsSet;
 use gpu_sim::Device;
+use parking_lot::Mutex;
 use rei_lang::{
-    csops, Alphabet, CsWidth, GuideMasks, GuideTable, InfixClosure, SatisfyMasks, Spec,
+    csops, AdmissionPrefilter, Alphabet, CsWidth, GuideMasks, GuideTable, InfixClosure,
+    SatisfyMasks, Spec,
 };
 use rei_syntax::CostFn;
 
@@ -30,10 +33,27 @@ use crate::backend::Backend;
 use crate::cache::{LanguageCache, Provenance};
 use crate::observe::{CancelToken, Observer};
 use crate::result::{LevelStats, SynthesisError, SynthesisResult, SynthesisStats};
+use crate::sched::StealScheduler;
 
-/// Number of candidate rows materialised per kernel launch. Bounds the size
-/// of the temporary device buffer.
-const PARALLEL_BATCH: usize = 1 << 16;
+/// Hard cap on candidate rows materialised per streamed level chunk (and
+/// therefore per kernel launch) when the configuration does not pin
+/// `level_chunk_rows` itself. Matches the seed's whole-level batch bound.
+const MAX_LEVEL_CHUNK_ROWS: usize = 1 << 16;
+
+/// Floor of the derived chunk size: below this the per-chunk dispatch
+/// overhead dominates the kernels.
+const MIN_LEVEL_CHUNK_ROWS: usize = 256;
+
+/// Default rows per work-stealing claim of the thread-parallel strategy.
+const DEFAULT_SCHED_CHUNK: usize = 64;
+
+/// Derives the streamed-chunk bound from the cache's memory budget: the
+/// in-flight batch buffer (`rows * stride` words) may use about 1/16 of
+/// the budget, clamped to `[MIN, MAX]_LEVEL_CHUNK_ROWS`.
+fn default_level_chunk_rows(memory_budget: usize, stride: usize) -> usize {
+    ((memory_budget / 16) / (stride * std::mem::size_of::<u64>()))
+        .clamp(MIN_LEVEL_CHUNK_ROWS, MAX_LEVEL_CHUNK_ROWS)
+}
 
 /// Everything the search needs about the problem, assembled by
 /// [`crate::SynthSession`].
@@ -45,6 +65,12 @@ pub(crate) struct SearchParams<'a> {
     pub allowed_errors: usize,
     pub max_cost: u64,
     pub started: Instant,
+    /// Rows per work-stealing claim; `None` picks
+    /// [`DEFAULT_SCHED_CHUNK`].
+    pub sched_chunk: Option<usize>,
+    /// Rows per streamed level chunk; `None` derives the bound from the
+    /// memory budget ([`default_level_chunk_rows`]).
+    pub level_chunk_rows: Option<usize>,
 }
 
 /// The unified stop condition, polled between batches and between levels:
@@ -87,6 +113,10 @@ enum Stop {
 #[derive(Debug, Default)]
 pub(crate) struct SessionScratch {
     batch_rows: Vec<u64>,
+    /// The in-flight job chunk of the streamed level driver. Bounded by
+    /// the resolved `level_chunk_rows`, warm across chunks, levels and
+    /// runs.
+    jobs: Vec<Job>,
 }
 
 /// A candidate construction at the current cost level: the outermost
@@ -107,6 +137,212 @@ impl Job {
             Job::Concat(l, r) => Provenance::Concat(l, r),
             Job::Union(l, r) => Provenance::Union(l, r),
         }
+    }
+}
+
+/// One contiguous run of same-shape candidate constructions of a cost
+/// level, described by cache index ranges instead of materialised jobs.
+#[derive(Debug, Clone)]
+enum JobSegment {
+    /// `r?` over a range of operand indices.
+    Question(Range<u32>),
+    /// `r*` over a range of operand indices.
+    Star(Range<u32>),
+    /// A binary constructor over the cross product `left × right`. When
+    /// `triangular` is set (a commutative constructor whose operand costs
+    /// coincide, so `left == right`), only the ordered pairs `r >= l` are
+    /// generated — exactly the seed's duplicate-skipping rule.
+    Binary {
+        union: bool,
+        left: Range<u32>,
+        right: Range<u32>,
+        triangular: bool,
+    },
+}
+
+impl JobSegment {
+    fn len(&self) -> u64 {
+        match self {
+            JobSegment::Question(range) | JobSegment::Star(range) => range.len() as u64,
+            JobSegment::Binary {
+                left,
+                right,
+                triangular,
+                ..
+            } => {
+                if *triangular {
+                    let n = left.len() as u64;
+                    n * (n + 1) / 2
+                } else {
+                    left.len() as u64 * right.len() as u64
+                }
+            }
+        }
+    }
+}
+
+/// The resumable enumeration of one cost level's candidate constructions
+/// (the loop bodies of Algorithm 1), yielding bounded chunks instead of
+/// one whole-level `Vec`.
+///
+/// The stream is described up front by a handful of [`JobSegment`] index
+/// ranges copied out of the cache's *startPoints* map — it borrows
+/// nothing, so the level driver can hand the search (and the cache) to a
+/// backend while the stream is suspended. Enumeration order is identical
+/// to the seed's whole-level materialisation: `?`, `*`, `·` (left cost
+/// ascending), `+`.
+#[derive(Debug)]
+struct JobStream {
+    segments: Vec<JobSegment>,
+    /// Current segment.
+    seg: usize,
+    /// Cursor within the current segment: the operand index for unary
+    /// segments, the left operand index for binary ones.
+    pos: u32,
+    /// Right operand cursor of a binary segment.
+    rpos: u32,
+    /// Total candidates over all segments.
+    total: u64,
+}
+
+impl JobStream {
+    /// Stages the enumeration of every construction of exactly `cost`
+    /// from the cached lower-cost rows.
+    fn for_level(cost: u64, costs: &CostFn, cache: &LanguageCache) -> Self {
+        let range_of = |c: u64| {
+            let r = cache.indices_of_cost(c);
+            r.start as u32..r.end as u32
+        };
+        let mut segments = Vec::new();
+        // r? with cost(r) = cost - cost(?).
+        if let Some(operand) = cost.checked_sub(costs.question) {
+            let range = range_of(operand);
+            if !range.is_empty() {
+                segments.push(JobSegment::Question(range));
+            }
+        }
+        // r* with cost(r) = cost - cost(*).
+        if let Some(operand) = cost.checked_sub(costs.star) {
+            let range = range_of(operand);
+            if !range.is_empty() {
+                segments.push(JobSegment::Star(range));
+            }
+        }
+        // r·s with cost(r) + cost(s) = cost - cost(·), then r+s likewise.
+        // Union is commutative, so only ordered pairs (left cost <= right
+        // cost, and r >= l on the diagonal) are generated.
+        for (ctor_cost, union) in [(costs.concat, false), (costs.union, true)] {
+            let Some(remaining) = cost.checked_sub(ctor_cost) else {
+                continue;
+            };
+            if remaining < 2 * costs.literal {
+                continue;
+            }
+            for left_cost in costs.literal..=(remaining - costs.literal) {
+                let right_cost = remaining - left_cost;
+                if union && left_cost > right_cost {
+                    break;
+                }
+                let left = range_of(left_cost);
+                let right = range_of(right_cost);
+                if left.is_empty() || right.is_empty() {
+                    continue;
+                }
+                segments.push(JobSegment::Binary {
+                    union,
+                    left,
+                    right,
+                    triangular: union && left_cost == right_cost,
+                });
+            }
+        }
+        let total = segments.iter().map(JobSegment::len).sum();
+        let mut stream = JobStream {
+            segments,
+            seg: 0,
+            pos: 0,
+            rpos: 0,
+            total,
+        };
+        stream.rewind_cursor();
+        stream
+    }
+
+    /// Total number of candidates the stream yields.
+    fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Positions the cursors at the start of the current segment.
+    fn rewind_cursor(&mut self) {
+        match self.segments.get(self.seg) {
+            Some(JobSegment::Question(range)) | Some(JobSegment::Star(range)) => {
+                self.pos = range.start;
+            }
+            Some(JobSegment::Binary { left, right, .. }) => {
+                self.pos = left.start;
+                // On the diagonal of a triangular segment `left == right`,
+                // so starting at `right.start` is starting at `l`.
+                self.rpos = right.start;
+            }
+            None => {}
+        }
+    }
+
+    /// Appends up to `cap - out.len()` further jobs to `out`, suspending
+    /// mid-segment when the cap is hit. Returns `false` once the stream
+    /// is exhausted and `out` received nothing.
+    fn fill(&mut self, out: &mut Vec<Job>, cap: usize) -> bool {
+        let before = out.len();
+        while out.len() < cap {
+            let Some(segment) = self.segments.get(self.seg) else {
+                break;
+            };
+            match segment {
+                JobSegment::Question(range) | JobSegment::Star(range) => {
+                    let star = matches!(segment, JobSegment::Star(_));
+                    while out.len() < cap && self.pos < range.end {
+                        out.push(if star {
+                            Job::Star(self.pos)
+                        } else {
+                            Job::Question(self.pos)
+                        });
+                        self.pos += 1;
+                    }
+                    if self.pos < range.end {
+                        break;
+                    }
+                }
+                JobSegment::Binary {
+                    union,
+                    left,
+                    right,
+                    triangular,
+                } => {
+                    'rows: while self.pos < left.end {
+                        while self.rpos < right.end {
+                            if out.len() >= cap {
+                                break 'rows;
+                            }
+                            out.push(if *union {
+                                Job::Union(self.pos, self.rpos)
+                            } else {
+                                Job::Concat(self.pos, self.rpos)
+                            });
+                            self.rpos += 1;
+                        }
+                        self.pos += 1;
+                        self.rpos = if *triangular { self.pos } else { right.start };
+                    }
+                    if self.pos < left.end {
+                        break;
+                    }
+                }
+            }
+            self.seg += 1;
+            self.rewind_cursor();
+        }
+        out.len() > before
     }
 }
 
@@ -140,10 +376,25 @@ thread_local! {
     static STAR_SCRATCH: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
 }
 
+/// Flag-word bit: the row was new to the uniqueness set.
+const FLAG_UNIQUE: u64 = 1;
+/// Flag-word bit: the row satisfies the specification.
+const FLAG_SATISFIES: u64 = 2;
+/// Flag-word bit: the single-block prefilter rejected the row, so the
+/// full satisfaction check never ran.
+const FLAG_PREFILTERED: u64 = 4;
+
 /// The kernel-side admission protocol shared by the parallel strategies:
-/// resets the per-item flag word, records uniqueness (bit 0) through the
-/// shared concurrent set, checks satisfaction (bit 1) and lowers `found`
-/// to the earliest satisfying batch index.
+/// resets the per-item flag word, records uniqueness ([`FLAG_UNIQUE`])
+/// through the shared concurrent set (wide rows are hashed once, while
+/// still hot, inside the sharded set's insert — see
+/// `ShardedSet::insert_hashed`), then runs the two-phase satisfaction
+/// check:
+/// the cheap single-block prefilter first ([`FLAG_PREFILTERED`] when it
+/// proves the row cannot satisfy), the full mask fold only for survivors
+/// ([`FLAG_SATISFIES`], lowering `found` to the earliest satisfying batch
+/// index). Rows at indices above the current winner skip both phases —
+/// they can neither improve the winner nor need their verdict.
 #[allow(clippy::too_many_arguments)]
 fn flag_computed_row(
     k: usize,
@@ -151,6 +402,7 @@ fn flag_computed_row(
     flags: &mut [u64],
     seen: &CsSet,
     masks: &SatisfyMasks,
+    prefilter: &AdmissionPrefilter,
     on_the_fly: bool,
     allowed: usize,
     found: &AtomicU64,
@@ -159,14 +411,30 @@ fn flag_computed_row(
     let unique = if on_the_fly {
         false
     } else {
+        // `CsSet::insert` keys narrow rows directly off their single
+        // block (no hashing at all) and hashes wide rows exactly once
+        // into the pass-through shard maps — forcing a hash here would
+        // only pessimize the narrow path.
         let fresh = seen.insert(row);
         if fresh {
-            flags[0] |= 1;
+            flags[0] |= FLAG_UNIQUE;
         }
         fresh
     };
-    if (on_the_fly || unique) && masks.is_satisfied_with_error(row, allowed) {
-        flags[0] |= 2;
+    if !(on_the_fly || unique) {
+        return;
+    }
+    if (found.load(Ordering::Relaxed) as usize) < k {
+        // A satisfying row with a lower batch index is already known; this
+        // row's verdict cannot matter.
+        return;
+    }
+    if prefilter.rejects(row, allowed) {
+        flags[0] |= FLAG_PREFILTERED;
+        return;
+    }
+    if masks.is_satisfied_with_error(row, allowed) {
+        flags[0] |= FLAG_SATISFIES;
         found.fetch_min(k as u64, Ordering::Relaxed);
     }
 }
@@ -222,8 +490,15 @@ struct Search<'a> {
     /// `csops::star_into`). Always staged — every strategy uses it.
     guide_masks: GuideMasks,
     masks: SatisfyMasks,
+    /// The cheap first phase of admission: a single-block lower bound on
+    /// the satisfaction check, staged from `masks`.
+    prefilter: AdmissionPrefilter,
     width: CsWidth,
     eps_index: usize,
+    /// Resolved rows-per-claim of the work-stealing scheduler.
+    sched_chunk: usize,
+    /// Resolved bound on rows per streamed level chunk.
+    level_chunk_rows: usize,
     cache: LanguageCache,
     seen: CsSet,
     /// Device used for statistics accounting; the backend's device when it
@@ -293,6 +568,8 @@ impl LevelBatch<'_, '_> {
     /// The reference strategy: one candidate at a time with early exits.
     pub fn run_sequential(&mut self) -> BatchOutcome {
         let blocks = self.row_blocks();
+        // One streamed level chunk is one unit of claimed work here.
+        self.search.stats.chunks_claimed += 1;
         let mut row = vec![0u64; blocks];
         let mut scratch = vec![0u64; blocks];
         for k in 0..self.jobs.len() {
@@ -317,17 +594,24 @@ impl LevelBatch<'_, '_> {
         let stride = blocks + 1;
         let batch = self.jobs;
         // The batch buffer is session state: warm across batches, levels
-        // and runs.
+        // and runs, never larger than one streamed level chunk.
         let mut batch_rows = std::mem::take(&mut self.search.scratch.batch_rows);
         if batch_rows.len() < batch.len() * stride {
             batch_rows.resize(batch.len() * stride, 0);
         }
 
-        // Make sure the concurrent set cannot fill up mid-kernel.
         if !self.search.on_the_fly {
+            // The level driver reserved the uniqueness table before the
+            // level started; this is the cheap safety net that keeps the
+            // invariant local. Every row of the launch attempts an
+            // insertion (the device kernel has no chunk skipping), so the
+            // bulk-recorded count is exact.
             self.search.seen.reserve(batch.len());
             device.record_hash_insertions(batch.len() as u64);
         }
+        // One streamed level chunk is one kernel launch (and one unit of
+        // claimed work) on this strategy.
+        self.search.stats.chunks_claimed += 1;
         let buf = &mut batch_rows[..batch.len() * stride];
         let found = AtomicU64::new(u64::MAX);
         {
@@ -335,6 +619,7 @@ impl LevelBatch<'_, '_> {
             let guide = self.search.pair_table();
             let guide_masks = &self.search.guide_masks;
             let masks = &self.search.masks;
+            let prefilter = &self.search.prefilter;
             let seen = &self.search.seen;
             let eps = self.search.eps_index;
             let allowed = self.search.params.allowed_errors;
@@ -366,7 +651,9 @@ impl LevelBatch<'_, '_> {
                         compute_job_row(job, row, &mut scratch, cache, guide_masks, eps);
                     }),
                 }
-                flag_computed_row(k, row, flags, seen, masks, on_the_fly, allowed, found);
+                flag_computed_row(
+                    k, row, flags, seen, masks, prefilter, on_the_fly, allowed, found,
+                );
             });
         }
 
@@ -375,18 +662,26 @@ impl LevelBatch<'_, '_> {
         outcome
     }
 
-    /// The thread-parallel CPU strategy: the batch is split into one
-    /// contiguous span per worker thread; each worker computes its
+    /// The thread-parallel CPU strategy: the batch is cut into fixed-size
+    /// chunks of candidate rows which worker threads claim through the
+    /// work-stealing [`StealScheduler`] — each worker drains its own
+    /// range of chunks through an atomic cursor, then steals chunks from
+    /// its peers, so a skewed batch (a few expensive star rows in one
+    /// region) cannot leave cores idle the way the old static
+    /// one-span-per-worker split could. Each worker computes its claimed
     /// candidates with the fast sequential kernels (mask-based
-    /// concatenation, star by squaring) into its own span of the batch
-    /// buffer, using a private star scratch row and the shared concurrent
-    /// [`CsSet`] for the global uniqueness check. The host then performs
-    /// the same admission pass as the device strategy.
+    /// concatenation, star by squaring) into the chunk's span of the
+    /// batch buffer, using a private star scratch row and the shared
+    /// concurrent [`CsSet`] for the global uniqueness check; chunks whose
+    /// base index lies above the shared `found` winner are skipped
+    /// without running any kernel. The host then performs the same
+    /// admission pass as the device strategy.
     ///
     /// Compared to [`run_on_device`](LevelBatch::run_on_device) this is
-    /// the pragmatic multi-core backend: static partitioning (no
-    /// per-block channel traffic), per-thread scratch reuse, and the
-    /// bit-parallel kernels instead of the branch-free GPU bodies.
+    /// the pragmatic multi-core backend: chunk claiming is one atomic
+    /// `fetch_add` (no per-block channel traffic), scratch rows are
+    /// per-thread, and the kernels are the bit-parallel CPU bodies
+    /// instead of the branch-free GPU ones.
     pub fn run_threaded(&mut self, threads: usize) -> BatchOutcome {
         let blocks = self.row_blocks();
         let stride = blocks + 1;
@@ -395,54 +690,113 @@ impl LevelBatch<'_, '_> {
             return BatchOutcome::Continue;
         }
         let threads = threads.clamp(1, batch.len());
+        let chunk_rows = self.search.sched_chunk.min(batch.len());
         let mut batch_rows = std::mem::take(&mut self.search.scratch.batch_rows);
         if batch_rows.len() < batch.len() * stride {
             batch_rows.resize(batch.len() * stride, 0);
         }
 
-        // Make sure the concurrent set cannot fill up mid-pass.
         if !self.search.on_the_fly {
+            // The level driver reserved the uniqueness table before the
+            // level started; this safety net keeps the invariant local.
             self.search.seen.reserve(batch.len());
-            self.search
-                .stats_device
-                .record_hash_insertions(batch.len() as u64);
         }
         self.search.stats_device.record_launch(batch.len());
         let buf = &mut batch_rows[..batch.len() * stride];
         let found = AtomicU64::new(u64::MAX);
+        // Scheduler telemetry, aggregated once per worker (never on the
+        // kernel hot path): chunks claimed, chunks stolen, and rows
+        // skipped by the early-winner cutoff — the latter also corrects
+        // the hash-insertion accounting below.
+        let claimed = AtomicU64::new(0);
+        let stolen = AtomicU64::new(0);
+        let skipped_rows = AtomicU64::new(0);
         {
             let cache = &self.search.cache;
             let guide_masks = &self.search.guide_masks;
             let masks = &self.search.masks;
+            let prefilter = &self.search.prefilter;
             let seen = &self.search.seen;
             let eps = self.search.eps_index;
             let allowed = self.search.params.allowed_errors;
             let on_the_fly = self.search.on_the_fly;
             let found = &found;
-            let per_worker = batch.len().div_ceil(threads);
-            let worker = |base: usize, span: &mut [u64]| {
-                let mut scratch = vec![0u64; blocks];
-                for (offset, chunk) in span.chunks_mut(stride).enumerate() {
-                    let k = base + offset;
-                    let (row, flags) = chunk.split_at_mut(blocks);
-                    compute_job_row(batch[k], row, &mut scratch, cache, guide_masks, eps);
-                    flag_computed_row(k, row, flags, seen, masks, on_the_fly, allowed, found);
-                }
+            let kernel = |k: usize, chunk: &mut [u64], scratch: &mut [u64]| {
+                let (row, flags) = chunk.split_at_mut(blocks);
+                compute_job_row(batch[k], row, scratch, cache, guide_masks, eps);
+                flag_computed_row(
+                    k, row, flags, seen, masks, prefilter, on_the_fly, allowed, found,
+                );
             };
             if threads == 1 {
-                // Single worker: run inline, no thread spawn (keeps the
-                // backend graceful on single-core hosts).
-                worker(0, buf);
+                // Single worker: run inline, no thread spawn, no
+                // scheduler (keeps the backend graceful on single-core
+                // hosts). The whole batch is one claimed chunk.
+                claimed.fetch_add(1, Ordering::Relaxed);
+                let mut scratch = vec![0u64; blocks];
+                for (k, chunk) in buf.chunks_mut(stride).enumerate() {
+                    kernel(k, chunk, &mut scratch);
+                }
             } else {
-                let worker = &worker;
+                // Hand each chunk's span of the batch buffer over through
+                // a once-per-chunk mutex slot: the scheduler arbitrates
+                // indices, the slot transfers the `&mut` ownership.
+                let spans: Vec<Mutex<Option<&mut [u64]>>> = buf
+                    .chunks_mut(chunk_rows * stride)
+                    .map(|span| Mutex::new(Some(span)))
+                    .collect();
+                let num_chunks = spans.len();
+                let sched = StealScheduler::new(num_chunks, threads);
+                let (spans, sched, kernel) = (&spans, &sched, &kernel);
+                let (claimed, stolen, skipped_rows) = (&claimed, &stolen, &skipped_rows);
                 crossbeam::scope(|scope| {
-                    for (t, span) in buf.chunks_mut(per_worker * stride).enumerate() {
-                        scope.spawn(move |_| worker(t * per_worker, span));
+                    for worker in 0..threads {
+                        scope.spawn(move |_| {
+                            let mut scratch = vec![0u64; blocks];
+                            let (mut my_claimed, mut my_stolen, mut my_skipped) =
+                                (0u64, 0u64, 0u64);
+                            while let Some(claim) = sched.claim(worker) {
+                                my_claimed += 1;
+                                my_stolen += u64::from(claim.stolen);
+                                let base = claim.chunk * chunk_rows;
+                                let span = spans[claim.chunk]
+                                    .lock()
+                                    .take()
+                                    .expect("chunk claimed twice");
+                                if (found.load(Ordering::Relaxed) as usize) < base {
+                                    // A satisfying row below every index of
+                                    // this chunk is already known: clear the
+                                    // (reused) flag words and skip the
+                                    // kernels entirely.
+                                    for chunk in span.chunks_mut(stride) {
+                                        chunk[blocks] = 0;
+                                        my_skipped += 1;
+                                    }
+                                    continue;
+                                }
+                                for (offset, chunk) in span.chunks_mut(stride).enumerate() {
+                                    kernel(base + offset, chunk, &mut scratch);
+                                }
+                            }
+                            claimed.fetch_add(my_claimed, Ordering::Relaxed);
+                            stolen.fetch_add(my_stolen, Ordering::Relaxed);
+                            skipped_rows.fetch_add(my_skipped, Ordering::Relaxed);
+                        });
                     }
                 })
                 .expect("level worker panicked");
             }
         }
+
+        // Account hash insertions from the rows that actually reached the
+        // set: everything except the chunks the early-winner cutoff
+        // skipped (in OnTheFly mode nothing is inserted at all).
+        if !self.search.on_the_fly {
+            let processed = batch.len() as u64 - skipped_rows.load(Ordering::Relaxed);
+            self.search.stats_device.record_hash_insertions(processed);
+        }
+        self.search.stats.chunks_claimed += claimed.load(Ordering::Relaxed);
+        self.search.stats.chunks_stolen += stolen.load(Ordering::Relaxed);
 
         let outcome = self.flush_unique_rows(buf, stride, found.load(Ordering::Relaxed));
         self.search.scratch.batch_rows = batch_rows;
@@ -456,9 +810,14 @@ impl LevelBatch<'_, '_> {
     /// `u64::MAX`.
     fn flush_unique_rows(&mut self, buf: &[u64], stride: usize, winner: u64) -> BatchOutcome {
         let blocks = self.row_blocks();
+        let mut prefiltered = 0u64;
         for (k, chunk) in buf.chunks(stride).enumerate() {
             let (row, flags) = chunk.split_at(blocks);
-            if flags[0] & 1 == 0 {
+            // The kernels record prefilter rejections in the flag word so
+            // that counting happens here, on the serial host pass, instead
+            // of on a contended counter inside the kernels.
+            prefiltered += u64::from(flags[0] & FLAG_PREFILTERED != 0);
+            if flags[0] & FLAG_UNIQUE == 0 {
                 continue;
             }
             self.search.stats.unique_languages += 1;
@@ -477,6 +836,7 @@ impl LevelBatch<'_, '_> {
                 self.search.enter_on_the_fly();
             }
         }
+        self.search.stats.prefilter_rejects += prefiltered;
         if winner != u64::MAX {
             return BatchOutcome::Found(self.jobs[winner as usize].provenance());
         }
@@ -496,10 +856,16 @@ pub(crate) fn run(
     let ic = InfixClosure::of_spec(params.spec);
     let guide_masks = GuideMasks::build(&ic);
     let masks = SatisfyMasks::new(params.spec, &ic);
+    let prefilter = masks.prefilter();
     let width = ic.width();
     let eps_index = ic
         .eps_index()
         .expect("non-trivial spec has a non-empty closure");
+    let sched_chunk = params.sched_chunk.unwrap_or(DEFAULT_SCHED_CHUNK).max(1);
+    let level_chunk_rows = params
+        .level_chunk_rows
+        .unwrap_or_else(|| default_level_chunk_rows(params.memory_budget, width.blocks() + 1))
+        .max(1);
     let cache = LanguageCache::new(width, params.memory_budget);
     // The uniqueness table starts small and is grown between kernel
     // launches as the cache fills (see `CsSet::maybe_grow`).
@@ -522,8 +888,11 @@ pub(crate) fn run(
         pair_table: OnceLock::new(),
         guide_masks,
         masks,
+        prefilter,
         width,
         eps_index,
+        sched_chunk,
+        level_chunk_rows,
         cache,
         seen,
         stats_device,
@@ -640,6 +1009,13 @@ impl<'a> Search<'a> {
         cost.saturating_sub(self.params.costs.min_constructor_cost())
     }
 
+    /// The shared level driver: streams the level's candidate
+    /// constructions in bounded chunks through the backend. Every
+    /// strategy — sequential, thread-parallel and data-parallel — consumes
+    /// the same stream; none of them ever sees (or allocates for) more
+    /// than `level_chunk_rows` candidates at once, and the stop condition
+    /// is polled at every chunk boundary, so cancellation lands mid-level
+    /// instead of waiting out a giant level.
     fn build_level(&mut self, cost: u64, backend: &dyn Backend) -> LevelOutcome {
         if self.on_the_fly && self.max_operand_cost(cost) > self.last_full_cost {
             // OnTheFly mode would need operand levels that were never
@@ -648,23 +1024,69 @@ impl<'a> Search<'a> {
             // out-of-memory outcome).
             return LevelOutcome::Exhausted;
         }
-        let jobs = self.enumerate_jobs(cost);
-        self.stats.candidates_generated += jobs.len() as u64;
+        let mut stream = JobStream::for_level(cost, &self.params.costs, &self.cache);
+        let candidates = stream.total();
+        self.stats.candidates_generated += candidates;
         let unique_before = self.stats.unique_languages;
         let cached_before = self.cache.len() as u64;
 
-        for chunk in jobs.chunks(PARALLEL_BATCH) {
+        if !self.on_the_fly {
+            // Size the uniqueness table once, before the level streams.
+            // The estimate is the level's candidate count scaled by the
+            // dedup rate observed so far (with 2x headroom) — most
+            // candidates are duplicates, so reserving for every candidate
+            // would spike peak memory for nothing — and is clamped by the
+            // hard bound on unique insertions: the cache's remaining row
+            // capacity plus one chunk (after the cache rejects a row the
+            // search flips to OnTheFly mode and stops inserting). The
+            // chunk slack is capped at the default launch bound so an
+            // explicit whole-level `level_chunk_rows` (e.g. `usize::MAX`)
+            // cannot turn the reservation into a level-sized allocation.
+            // An undershoot is safe: the per-batch reserves inside the
+            // strategies still grow the table between launches, and an
+            // outrun narrow table degrades gracefully
+            // (`dedup_overflowed`).
+            let observed = if self.stats.candidates_generated > 0 {
+                let rate =
+                    self.stats.unique_languages as f64 / self.stats.candidates_generated as f64;
+                (candidates as f64 * (rate * 2.0).min(1.0)) as usize
+            } else {
+                candidates as usize
+            };
+            let remaining = self.cache.capacity_rows().saturating_sub(self.cache.len());
+            let slack = self.level_chunk_rows.min(MAX_LEVEL_CHUNK_ROWS);
+            let expected = observed
+                .max(slack)
+                .min(candidates as usize)
+                .min(remaining.saturating_add(slack));
+            self.seen.reserve(expected);
+        }
+
+        let mut jobs = std::mem::take(&mut self.scratch.jobs);
+        let cap = self.level_chunk_rows;
+        let mut outcome = LevelOutcome::Continue;
+        loop {
+            jobs.clear();
+            if !stream.fill(&mut jobs, cap) {
+                break;
+            }
             if let Some(stop) = self.stop.poll() {
-                return LevelOutcome::Stopped(stop);
+                outcome = LevelOutcome::Stopped(stop);
+                break;
             }
             let mut batch = LevelBatch {
                 search: self,
-                jobs: chunk,
+                jobs: &jobs,
                 cost,
             };
             if let BatchOutcome::Found(prov) = backend.process(&mut batch) {
-                return LevelOutcome::Found(prov);
+                outcome = LevelOutcome::Found(prov);
+                break;
             }
+        }
+        self.scratch.jobs = jobs;
+        if !matches!(outcome, LevelOutcome::Continue) {
+            return outcome;
         }
 
         // Once the cache has rejected a row the level is not fully stored
@@ -677,7 +1099,7 @@ impl<'a> Search<'a> {
         // by a satisfying row or a stop are not recorded).
         self.push_level(LevelStats {
             cost,
-            candidates: jobs.len() as u64,
+            candidates,
             unique: self.stats.unique_languages - unique_before,
             cached: self.cache.len() as u64 - cached_before,
         });
@@ -695,15 +1117,24 @@ impl<'a> Search<'a> {
         );
     }
 
+    /// The two-phase satisfaction check: the single-block prefilter
+    /// first, the full mask fold only when the prefilter cannot already
+    /// reject the row.
+    fn row_satisfies(&mut self, row: &[u64]) -> bool {
+        let allowed = self.params.allowed_errors;
+        if self.prefilter.rejects(row, allowed) {
+            self.stats.prefilter_rejects += 1;
+            return false;
+        }
+        self.masks.is_satisfied_with_error(row, allowed)
+    }
+
     fn admit(&mut self, row: &[u64], job: Job, cost: u64) -> RowVerdict {
         self.seen.maybe_grow();
         if self.on_the_fly {
             // OnTheFly: no uniqueness check, no caching — only the
             // satisfaction check (which preserves precision/minimality).
-            if self
-                .masks
-                .is_satisfied_with_error(row, self.params.allowed_errors)
-            {
+            if self.row_satisfies(row) {
                 return RowVerdict::Found(job.provenance());
             }
             return RowVerdict::Duplicate;
@@ -713,10 +1144,7 @@ impl<'a> Search<'a> {
             return RowVerdict::Duplicate;
         }
         self.stats.unique_languages += 1;
-        if self
-            .masks
-            .is_satisfied_with_error(row, self.params.allowed_errors)
-        {
+        if self.row_satisfies(row) {
             return RowVerdict::Found(job.provenance());
         }
         if self.cache.push(row, job.provenance(), cost).is_none() {
@@ -726,70 +1154,11 @@ impl<'a> Search<'a> {
         RowVerdict::Admitted
     }
 
-    /// Enumerates every candidate construction of the given cost from the
-    /// cached lower-cost rows (the loop bodies of Algorithm 1).
-    fn enumerate_jobs(&self, cost: u64) -> Vec<Job> {
-        let costs = &self.params.costs;
-        let mut jobs = Vec::new();
-
-        // r? with cost(r) = cost - cost(?).
-        if let Some(operand) = cost.checked_sub(costs.question) {
-            for i in self.cache.indices_of_cost(operand) {
-                jobs.push(Job::Question(i as u32));
-            }
-        }
-        // r* with cost(r) = cost - cost(*).
-        if let Some(operand) = cost.checked_sub(costs.star) {
-            for i in self.cache.indices_of_cost(operand) {
-                jobs.push(Job::Star(i as u32));
-            }
-        }
-        // r·s with cost(r) + cost(s) = cost - cost(·).
-        if let Some(remaining) = cost.checked_sub(costs.concat) {
-            self.push_binary_jobs(remaining, false, &mut jobs);
-        }
-        // r+s with cost(r) + cost(s) = cost - cost(+). Union is commutative,
-        // so only ordered pairs (left cost ≤ right cost) are generated.
-        if let Some(remaining) = cost.checked_sub(costs.union) {
-            self.push_binary_jobs(remaining, true, &mut jobs);
-        }
-        jobs
-    }
-
-    fn push_binary_jobs(&self, remaining: u64, commutative: bool, jobs: &mut Vec<Job>) {
-        let literal = self.params.costs.literal;
-        if remaining < 2 * literal {
-            return;
-        }
-        for left_cost in literal..=(remaining - literal) {
-            let right_cost = remaining - left_cost;
-            if commutative && left_cost > right_cost {
-                break;
-            }
-            let left_range = self.cache.indices_of_cost(left_cost);
-            let right_range = self.cache.indices_of_cost(right_cost);
-            if left_range.is_empty() || right_range.is_empty() {
-                continue;
-            }
-            for l in left_range.clone() {
-                for r in right_range.clone() {
-                    if commutative && left_cost == right_cost && r < l {
-                        continue;
-                    }
-                    if commutative {
-                        jobs.push(Job::Union(l as u32, r as u32));
-                    } else {
-                        jobs.push(Job::Concat(l as u32, r as u32));
-                    }
-                }
-            }
-        }
-    }
-
     fn final_stats(&self) -> SynthesisStats {
         let mut stats = self.stats.clone();
         stats.cache_rows = self.cache.len() as u64;
         stats.cache_bytes = self.cache.memory_bytes() as u64;
+        stats.dedup_overflowed = self.seen.overflowed();
         stats.elapsed = self.params.started.elapsed();
         stats
     }

@@ -33,6 +33,20 @@ pub struct SessionStats {
     pub candidates_generated: u64,
     /// Unique languages across all runs.
     pub unique_languages: u64,
+    /// Work chunks claimed by the level execution engine across all runs
+    /// (streamed level chunks, or work-stealing claims on the
+    /// thread-parallel backend).
+    pub chunks_claimed: u64,
+    /// Scheduler chunks stolen between thread-parallel workers across all
+    /// runs.
+    pub chunks_stolen: u64,
+    /// Candidate rows rejected by the admission prefilter (their full
+    /// satisfaction check was skipped) across all runs.
+    pub prefilter_rejects: u64,
+    /// Uniqueness-filter insertions that overflowed the filter's table
+    /// and were reported as unique without being recorded, across all
+    /// runs (see `gpu_sim::hashset::LockFreeU64Set::overflowed`).
+    pub dedup_overflowed: u64,
     /// Wall-clock time spent inside `run*` calls.
     pub elapsed: Duration,
 }
@@ -248,6 +262,8 @@ impl SynthSession {
             allowed_errors,
             max_cost,
             started,
+            sched_chunk: self.config.sched_chunk(),
+            level_chunk_rows: self.config.level_chunk_rows(),
         };
         let stop = StopCheck {
             deadline: self.config.time_budget().map(|budget| started + budget),
@@ -268,21 +284,24 @@ impl SynthSession {
 
     fn note_outcome(&mut self, outcome: &Result<SynthesisResult, SynthesisError>) {
         self.stats.runs += 1;
-        match outcome {
+        let run_stats = match outcome {
             Ok(result) => {
                 self.stats.solved += 1;
-                self.stats.candidates_generated += result.stats.candidates_generated;
-                self.stats.unique_languages += result.stats.unique_languages;
-                self.stats.elapsed += result.stats.elapsed;
+                Some(&result.stats)
             }
             Err(err) => {
                 self.stats.failed += 1;
-                if let Some(stats) = err.stats() {
-                    self.stats.candidates_generated += stats.candidates_generated;
-                    self.stats.unique_languages += stats.unique_languages;
-                    self.stats.elapsed += stats.elapsed;
-                }
+                err.stats()
             }
+        };
+        if let Some(stats) = run_stats {
+            self.stats.candidates_generated += stats.candidates_generated;
+            self.stats.unique_languages += stats.unique_languages;
+            self.stats.chunks_claimed += stats.chunks_claimed;
+            self.stats.chunks_stolen += stats.chunks_stolen;
+            self.stats.prefilter_rejects += stats.prefilter_rejects;
+            self.stats.dedup_overflowed += stats.dedup_overflowed;
+            self.stats.elapsed += stats.elapsed;
         }
     }
 }

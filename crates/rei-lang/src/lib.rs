@@ -54,6 +54,6 @@ pub use cs::{Cs, CsWidth};
 pub use error::SpecError;
 pub use guide::{GuideMasks, GuideTable, MaskEntry};
 pub use infix::InfixClosure;
-pub use satisfy::SatisfyMasks;
+pub use satisfy::{AdmissionPrefilter, SatisfyMasks};
 pub use spec::Spec;
 pub use word::Word;

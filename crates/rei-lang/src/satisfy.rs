@@ -90,6 +90,77 @@ impl SatisfyMasks {
     pub fn is_satisfied_with_error(&self, row: &[u64], allowed: usize) -> bool {
         self.misclassified(row) <= allowed
     }
+
+    /// Builds the single-block [`AdmissionPrefilter`] for these masks: the
+    /// cheap first phase of the search's two-phase admission check.
+    pub fn prefilter(&self) -> AdmissionPrefilter {
+        AdmissionPrefilter::new(self)
+    }
+}
+
+/// The cheap reject phase of two-phase admission: a single-block lower
+/// bound on [`SatisfyMasks::misclassified`].
+///
+/// The full satisfaction check folds over every block of the row. Most
+/// candidate rows of a cost level are *not* winners, and almost all of
+/// them already miss a positive-example bit (or hit a negative-example
+/// bit) inside one well-chosen block. The prefilter stores the example
+/// bits of the densest block of `pos | neg` — the block whose must-have
+/// and must-not-have bits reject the most rows — and counts the
+/// misclassifications visible in that block alone:
+///
+/// ```text
+/// lower_bound = popcount((pos_b & !row_b) | (neg_b & row_b))
+/// ```
+///
+/// Since `misclassified(row) >= lower_bound`, `lower_bound > allowed`
+/// proves the row cannot satisfy the specification, and the full
+/// per-block fold is skipped. Rows that pass the prefilter still run the
+/// exact check; the prefilter never changes which rows are admitted, only
+/// how much work rejection costs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionPrefilter {
+    block: usize,
+    pos: u64,
+    neg: u64,
+}
+
+impl AdmissionPrefilter {
+    /// Builds the prefilter from the satisfaction masks, picking the block
+    /// with the most example bits.
+    pub fn new(masks: &SatisfyMasks) -> Self {
+        let pos = masks.pos.blocks();
+        let neg = masks.neg.blocks();
+        let block = (0..pos.len())
+            .max_by_key(|&b| (pos[b] | neg[b]).count_ones())
+            .unwrap_or(0);
+        AdmissionPrefilter {
+            block,
+            pos: pos.get(block).copied().unwrap_or(0),
+            neg: neg.get(block).copied().unwrap_or(0),
+        }
+    }
+
+    /// The block index the prefilter inspects.
+    pub fn block(&self) -> usize {
+        self.block
+    }
+
+    /// Number of example bits visible to the prefilter (its rejection
+    /// power: a row can only be prefilter-rejected on these examples).
+    pub fn example_bits(&self) -> u32 {
+        (self.pos | self.neg).count_ones()
+    }
+
+    /// Returns `true` if the single inspected block already proves the row
+    /// misclassifies more than `allowed` examples. A `true` verdict is
+    /// final (the full check would fail too); `false` means "run the full
+    /// check".
+    #[inline]
+    pub fn rejects(&self, row: &[u64], allowed: usize) -> bool {
+        let b = row[self.block];
+        ((self.pos & !b) | (self.neg & b)).count_ones() as usize > allowed
+    }
 }
 
 #[cfg(test)]
@@ -170,6 +241,38 @@ mod tests {
                 "error count disagreement on {expr}"
             );
         }
+    }
+
+    #[test]
+    fn prefilter_rejections_are_sound() {
+        // On every sampled expression, a prefilter reject must imply the
+        // full check fails, for every allowed-error budget.
+        let (_, ic, masks) = setup();
+        let prefilter = masks.prefilter();
+        assert!(prefilter.example_bits() > 0);
+        assert!(prefilter.block() < ic.width().blocks());
+        for expr in ["10", "1(0+1)*", "10(0+1)*", "(0+1)*0", "∅", "ε", "0?"] {
+            let cs = ic.cs_of_regex(&parse(expr).unwrap());
+            let full = masks.misclassified(cs.blocks());
+            for allowed in 0..=masks.num_examples() {
+                if prefilter.rejects(cs.blocks(), allowed) {
+                    assert!(full > allowed, "{expr} with allowed {allowed}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prefilter_rejects_the_everything_language_cheaply() {
+        // `(0+1)*` contains every negative example, so the single
+        // inspected block already rules it out at zero allowed error.
+        let (_, ic, masks) = setup();
+        let prefilter = masks.prefilter();
+        let everything = ic.cs_of_regex(&parse("(0+1)*").unwrap());
+        assert!(prefilter.rejects(everything.blocks(), 0));
+        // And the satisfying row always passes.
+        let target = ic.cs_of_regex(&parse("10(0+1)*").unwrap());
+        assert!(!prefilter.rejects(target.blocks(), 0));
     }
 
     #[test]

@@ -123,6 +123,41 @@ proptest! {
         prop_assert!(device_stats.kernel_launches > device_stats_before.kernel_launches);
     }
 
+    /// Streamed-chunk level execution is invisible in the outcome: for
+    /// every backend and every chunk bound — including the degenerate
+    /// one-row-at-a-time stream and `usize::MAX`, which restores the
+    /// seed's whole-level batches — the minimal cost matches the
+    /// whole-level sequential baseline, and the result still classifies
+    /// every example correctly.
+    #[test]
+    fn streamed_chunks_agree_with_whole_level_batches(seed in 0u64..10_000, examples in 2usize..4) {
+        let Some(spec) = small_spec(seed, 3, examples) else { return Ok(()) };
+        let whole = {
+            let config = SynthConfig::new(CostFn::UNIFORM)
+                .with_level_chunk_rows(usize::MAX);
+            SynthSession::new(config).unwrap().run(&spec).unwrap()
+        };
+        prop_assert!(spec.is_satisfied_by(&whole.regex));
+        for chunk_rows in [1usize, 7, 64, usize::MAX] {
+            for choice in [
+                BackendChoice::Sequential,
+                BackendChoice::ThreadParallel { threads: Some(3) },
+                BackendChoice::DeviceParallel { threads: Some(3) },
+            ] {
+                let config = SynthConfig::new(CostFn::UNIFORM)
+                    .with_backend(choice)
+                    .with_level_chunk_rows(chunk_rows)
+                    .with_sched_chunk(2);
+                let streamed = SynthSession::new(config).unwrap().run(&spec).unwrap();
+                prop_assert_eq!(
+                    streamed.cost, whole.cost,
+                    "backend {} chunk {} on {}", choice.name(), chunk_rows, spec
+                );
+                prop_assert!(spec.is_satisfied_by(&streamed.regex));
+            }
+        }
+    }
+
     /// The reported cost never exceeds the cost of the overfitted union of
     /// positives, which is the search's own upper bound.
     #[test]

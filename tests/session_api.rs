@@ -1,7 +1,13 @@
 //! End-to-end tests of the session-based synthesis API: observers,
 //! cooperative cancellation, batching over one warm device, config
-//! serialization, and the deprecated `Engine` compatibility shim.
+//! serialization, the streamed level execution engine (chunk-boundary
+//! cancellation, scheduler counters, early-winner correctness), and the
+//! deprecated `Engine` compatibility shim.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use paresy::core::{BatchOutcome, LevelBatch};
 use paresy::prelude::*;
 
 fn intro_spec() -> Spec {
@@ -160,6 +166,122 @@ fn invalid_config_is_a_recoverable_error_everywhere() {
         matches!(err, SynthesisError::InvalidConfig { .. }),
         "{err:?}"
     );
+}
+
+/// A custom backend that trips the session's cancel token while a level
+/// is streaming: chunk `cancel_at` is still processed, after which the
+/// level driver must stop at the very next chunk boundary. The token is
+/// filled in after session construction (sessions mint their own token).
+#[derive(Debug)]
+struct CancelMidLevel {
+    token: Arc<std::sync::OnceLock<CancelToken>>,
+    calls: Arc<AtomicU64>,
+    cancel_at: u64,
+}
+
+impl Backend for CancelMidLevel {
+    fn name(&self) -> &'static str {
+        "test-cancel-mid-level"
+    }
+
+    fn process(&self, batch: &mut LevelBatch<'_, '_>) -> BatchOutcome {
+        let call = self.calls.fetch_add(1, Ordering::Relaxed) + 1;
+        if call == self.cancel_at {
+            self.token
+                .get()
+                .expect("token wired after creation")
+                .cancel();
+        }
+        batch.run_sequential()
+    }
+}
+
+#[test]
+fn cancellation_between_streamed_chunks_lands_promptly() {
+    // One candidate row per chunk: the intro spec needs far more than
+    // `cancel_at` candidate rows, so if cancellation only landed at level
+    // boundaries the backend would see many more process calls.
+    let calls = Arc::new(AtomicU64::new(0));
+    let token_slot = Arc::new(std::sync::OnceLock::new());
+    let mut session = SynthSession::with_backend(
+        SynthConfig::new(CostFn::UNIFORM).with_level_chunk_rows(1),
+        Box::new(CancelMidLevel {
+            token: Arc::clone(&token_slot),
+            calls: Arc::clone(&calls),
+            cancel_at: 3,
+        }),
+    )
+    .unwrap();
+    token_slot
+        .set(session.cancel_token())
+        .expect("token slot set once");
+
+    let err = session.run(&intro_spec()).unwrap_err();
+    assert!(matches!(err, SynthesisError::Cancelled { .. }), "{err:?}");
+    assert_eq!(
+        calls.load(Ordering::Relaxed),
+        3,
+        "the driver processed chunks past the cancellation"
+    );
+}
+
+#[test]
+fn threaded_scheduler_counters_and_early_winner_are_consistent() {
+    // Single-row claims with more workers than rows per chunk maximise
+    // both stealing and early-winner skipping; the outcome must still be
+    // the minimal cost-8 expression, and the session must expose the
+    // scheduler's work.
+    let spec = intro_spec();
+    let config = SynthConfig::new(CostFn::UNIFORM)
+        .with_backend(BackendChoice::ThreadParallel { threads: Some(4) })
+        .with_sched_chunk(1)
+        .with_level_chunk_rows(32);
+    let mut session = SynthSession::new(config).unwrap();
+    let result = session.run(&spec).unwrap();
+    assert_eq!(result.cost, 8);
+    assert!(spec.is_satisfied_by(&result.regex));
+
+    let stats = session.stats();
+    assert!(stats.chunks_claimed > 0, "{stats:?}");
+    assert!(stats.prefilter_rejects > 0, "{stats:?}");
+    assert_eq!(stats.dedup_overflowed, 0, "{stats:?}");
+    // Per-run stats flow into the cumulative session counters.
+    assert_eq!(stats.chunks_claimed, result.stats.chunks_claimed);
+    assert_eq!(stats.chunks_stolen, result.stats.chunks_stolen);
+    // Hash-insert accounting reflects the rows that actually reached the
+    // dedup set — never more than the candidates constructed (the old
+    // whole-batch accounting could overstate under skipping).
+    let device = session.device().unwrap().stats();
+    assert!(
+        device.hash_insertions <= stats.candidates_generated,
+        "inserts {} overstate candidates {}",
+        device.hash_insertions,
+        stats.candidates_generated
+    );
+}
+
+#[test]
+fn sequential_and_device_count_streamed_chunks() {
+    for backend in [
+        BackendChoice::Sequential,
+        BackendChoice::DeviceParallel { threads: Some(2) },
+    ] {
+        let config = SynthConfig::new(CostFn::UNIFORM)
+            .with_backend(backend)
+            .with_level_chunk_rows(4);
+        let mut session = SynthSession::new(config).unwrap();
+        let result = session.run(&intro_spec()).unwrap();
+        assert_eq!(result.cost, 8, "{backend:?}");
+        let stats = session.stats();
+        // Chunked streaming: strictly more chunks than levels, no steals
+        // outside the thread-parallel scheduler.
+        assert!(
+            stats.chunks_claimed > result.stats.levels.len() as u64,
+            "{backend:?}: {stats:?}"
+        );
+        assert_eq!(stats.chunks_stolen, 0, "{backend:?}");
+        assert!(stats.prefilter_rejects > 0, "{backend:?}");
+    }
 }
 
 /// The pre-0.2 `Engine`-based call sites must keep compiling (with
