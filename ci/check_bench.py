@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Validate BENCH_core.json against the repository's baseline contract.
+
+This is the committed, versioned form of the perf-baseline checks CI
+runs (and the one to run locally after regenerating the file):
+
+    cargo run --release -p rei-bench --bin reproduce -- perf --out BENCH_core.json
+    cargo run --release -p rei-bench --bin reproduce -- serve --workers 4 --out BENCH_core.json
+    python3 ci/check_bench.py BENCH_core.json
+
+It asserts the `rei-bench/perf-v4` schema: kernel speedup tripwires, the
+per-backend level-execution counters, and the `service` section's
+(`rei-bench/service-v2`) cold / cache-warm / disk-warm-restart passes
+with their sharded per-pool breakdown.
+"""
+
+import json
+import sys
+
+BACKENDS = ("cpu-sequential", "cpu-thread-parallel", "gpu-sim-parallel")
+LEVEL_COUNTERS = (
+    "chunks_claimed",
+    "chunks_stolen",
+    "prefilter_rejects",
+    "prefilter_reject_rate",
+    "dedup_overflowed",
+)
+
+
+def check_backends(report):
+    backends = {b["backend"]: b for b in report["backends"]}
+    for name in BACKENDS:
+        row = backends[name]
+        assert row["solved"] == row["total"], f"{name} failed runs: {row}"
+        # The level-execution counters must be present and sane on every
+        # backend (perf-v3 contract, unchanged in v4).
+        for key in LEVEL_COUNTERS:
+            assert key in row, f"{name} missing {key}: {row}"
+        assert row["chunks_claimed"] > 0, f"{name}: no chunks claimed: {row}"
+        assert 0.0 <= row["prefilter_reject_rate"] <= 1.0, row
+        assert row["prefilter_rejects"] <= row["candidates"], row
+    # Only the work-stealing backend can steal.
+    assert backends["cpu-sequential"]["chunks_stolen"] == 0
+    assert backends["gpu-sim-parallel"]["chunks_stolen"] == 0
+    seq = backends["cpu-sequential"]["wall_seconds"]
+    mt = backends["cpu-thread-parallel"]["wall_seconds"]
+    print(
+        f"sequential {seq:.4f}s vs thread-parallel {mt:.4f}s "
+        f"on {report['available_cores']} cores "
+        f"({backends['cpu-thread-parallel']['chunks_stolen']} chunks stolen, "
+        f"prefilter reject rate "
+        f"{backends['cpu-thread-parallel']['prefilter_reject_rate']:.2f})"
+    )
+
+
+def check_kernels(report):
+    # Regression tripwire for the mask/squaring kernels (the committed
+    # baseline shows ~2.7x; 1.5x allows runner noise).
+    kernels = report["kernels"]
+    assert kernels["geomean_concat_speedup"] >= 1.5, kernels
+    assert kernels["geomean_star_speedup"] >= 1.5, kernels
+
+
+def check_service(report):
+    service = report["service"]
+    assert service["schema"] == "rei-bench/service-v2", service["schema"]
+    # CI (and the documented regeneration recipe) runs `reproduce serve
+    # --workers 4`; fewer workers here means the flag plumbing broke.
+    assert service["workers"] >= 4, service
+    # Cold pass: every duplicated submission reused the original's work.
+    cold = service["cold"]
+    assert cold["cache_hits"] + cold["coalesced"] == service["pool"], cold
+    # Cache-warm replay: >=90% cache-served and strictly faster than cold.
+    warm = service["warm"]
+    assert warm["cache_hit_rate"] >= 0.9, warm
+    assert warm["wall_seconds"] < cold["wall_seconds"], service
+    # Disk-warm restart: a fresh router (fresh process, as far as the
+    # caches can tell) answers the replay from the compacted files.
+    restart = service["restart"]
+    assert restart["cache_hit_rate"] >= 0.9, restart
+    assert service["restart_disk_loaded"] >= restart["cache_hits"], service
+    assert service["restart_disk_loaded"] > 0, service
+    # Sharded pools: a breakdown exists and accounts for all the cold and
+    # warm traffic.
+    pools = service["pools"]
+    assert len(pools) >= 1, service
+    submitted = sum(p["submitted"] for p in pools)
+    assert submitted == cold["submitted"] + warm["submitted"], pools
+    for pool in pools:
+        for key in ("pool", "submitted", "cache_hits", "coalesced", "completed", "workers"):
+            assert key in pool, pool
+    print(
+        f"service: cold {cold['wall_seconds']:.4f}s vs "
+        f"warm {warm['wall_seconds']:.4f}s "
+        f"(hit rate {warm['cache_hit_rate']:.2f}); "
+        f"restart hit rate {restart['cache_hit_rate']:.2f} from "
+        f"{service['restart_disk_loaded']} disk records across "
+        f"{len(pools)} pools"
+    )
+
+
+def main():
+    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_core.json"
+    with open(path) as handle:
+        report = json.load(handle)
+    assert report["schema"] == "rei-bench/perf-v4", report["schema"]
+    check_backends(report)
+    check_kernels(report)
+    check_service(report)
+    print(f"{path}: baseline contract ok")
+
+
+if __name__ == "__main__":
+    main()

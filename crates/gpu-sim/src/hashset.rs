@@ -271,7 +271,7 @@ type Shard = Mutex<HashMap<u64, Bucket, std::hash::BuildHasherDefault<PrehashedK
 /// engine performs its uniqueness pass.
 ///
 /// Internally each shard maps the caller-visible 64-bit [`hash_row`] value
-/// to the (almost always singleton) [`Bucket`] of distinct rows sharing
+/// to the (almost always singleton) `Bucket` of distinct rows sharing
 /// it, through a pass-through hasher — so every insertion hashes the
 /// multi-word row exactly once, and only exact equality inside a bucket
 /// touches the row again. Callers that already hold a row's hash (say,
@@ -419,7 +419,8 @@ impl CsSet {
     /// Inserts a row, returning `true` if it was new.
     ///
     /// Insertions are *not* counted in any device statistics here — the
-    /// engines record them in bulk via [`Device::record_hash_insertions`]
+    /// engines record them in bulk via
+    /// [`Device::record_hash_insertions`](crate::Device::record_hash_insertions)
     /// so that the hot path of a kernel performs no shared-counter
     /// traffic.
     pub fn insert(&self, row: &[u64]) -> bool {

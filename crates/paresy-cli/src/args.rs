@@ -63,8 +63,12 @@ impl Default for SynthOptions {
 /// Options of the `serve` command.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServeOptions {
-    /// Worker threads of the service pool.
+    /// Worker threads of *each* service pool.
     pub workers: usize,
+    /// Number of pools behind the shard router (`--pools`). Requests are
+    /// routed by their `tenant` key, falling back to the specification
+    /// fingerprint.
+    pub pools: usize,
     /// Bound of the job queue.
     pub queue_capacity: usize,
     /// Result-cache capacity.
@@ -85,6 +89,12 @@ pub struct ServeOptions {
     /// Bound on candidate rows per streamed level chunk of the worker
     /// sessions (also the cancellation granularity of request deadlines).
     pub level_chunk_rows: Option<usize>,
+    /// Directory the per-pool result caches persist to (`--cache-dir`);
+    /// `None` keeps every cache in memory only.
+    pub cache_dir: Option<String>,
+    /// Answer each request as it completes, tagged by id, instead of
+    /// buffering until EOF and answering in request order (`--stream`).
+    pub stream: bool,
     /// Emit a final metrics JSON line after the results.
     pub metrics: bool,
 }
@@ -93,6 +103,7 @@ impl Default for ServeOptions {
     fn default() -> Self {
         ServeOptions {
             workers: 2,
+            pools: 1,
             queue_capacity: 64,
             cache_capacity: 1024,
             costs: CostFn::UNIFORM,
@@ -102,6 +113,8 @@ impl Default for ServeOptions {
             time_budget: None,
             sched_chunk: None,
             level_chunk_rows: None,
+            cache_dir: None,
+            stream: false,
             metrics: false,
         }
     }
@@ -160,7 +173,8 @@ USAGE:
                   [--error FRACTION] [--max-cost N] [--timeout SECONDS]
                   [--sched-chunk ROWS] [--level-chunk-rows ROWS]
                   [--compare-baseline]
-  paresy serve    [--workers N] [--queue N] [--cache N]
+  paresy serve    [--workers N] [--pools N] [--queue N] [--cache N]
+                  [--cache-dir DIR] [--stream]
                   [--cost a,q,s,c,u] [--backend NAME] [--error FRACTION]
                   [--max-cost N] [--timeout SECONDS]
                   [--sched-chunk ROWS] [--level-chunk-rows ROWS] [--metrics]
@@ -182,10 +196,15 @@ Both default to engine-chosen values.
 
 serve reads one JSON request per stdin line, e.g.
   {\"id\": \"r1\", \"pos\": [\"10\", \"101\"], \"neg\": [\"\", \"0\"],
-   \"priority\": 1, \"timeout_ms\": 500}
-and emits one JSON result per request, in request order. Identical
+   \"priority\": 1, \"timeout_ms\": 500, \"tenant\": \"acme\"}
+and emits one JSON result per request, in request order (with --stream:
+as each completes, tagged by id, order not guaranteed). Identical
 requests are answered by the result cache or coalesced onto one
-in-flight synthesis. --metrics appends a final metrics JSON line.
+in-flight synthesis. --pools shards requests across N pools by tenant
+key (spec fingerprint when absent); --cache-dir persists each pool's
+result cache to DIR/pool-K.jsonl and warms it on the next start, so a
+restarted server answers repeats without re-running syntheses.
+--metrics appends a final metrics JSON line (router snapshot).
 ";
 
 fn split_words(raw: &str) -> Vec<String> {
@@ -403,6 +422,19 @@ pub fn parse_args<S: AsRef<str>>(args: &[S]) -> Result<Command, CommandError> {
                                 CommandError("--cache expects a positive integer".into())
                             })?
                     }
+                    "--pools" => {
+                        options.pools = next_value(flag, &mut iter)?
+                            .parse()
+                            .ok()
+                            .filter(|n| *n >= 1)
+                            .ok_or_else(|| {
+                                CommandError("--pools expects a positive integer".into())
+                            })?
+                    }
+                    "--cache-dir" => {
+                        options.cache_dir = Some(next_value(flag, &mut iter)?.to_string())
+                    }
+                    "--stream" => options.stream = true,
                     "--metrics" => options.metrics = true,
                     other => {
                         if !parse_session_flag(
@@ -624,10 +656,15 @@ mod tests {
             "serve",
             "--workers",
             "4",
+            "--pools",
+            "3",
             "--queue",
             "8",
             "--cache",
             "16",
+            "--cache-dir",
+            "/tmp/paresy-cache",
+            "--stream",
             "--backend",
             "threads:2",
             "--timeout",
@@ -638,8 +675,11 @@ mod tests {
         match cmd {
             Command::Serve(options) => {
                 assert_eq!(options.workers, 4);
+                assert_eq!(options.pools, 3);
                 assert_eq!(options.queue_capacity, 8);
                 assert_eq!(options.cache_capacity, 16);
+                assert_eq!(options.cache_dir.as_deref(), Some("/tmp/paresy-cache"));
+                assert!(options.stream);
                 assert_eq!(
                     options.backend,
                     BackendChoice::ThreadParallel { threads: Some(2) }
@@ -651,6 +691,9 @@ mod tests {
         }
         for bad in [
             vec!["serve", "--workers", "0"],
+            vec!["serve", "--pools", "0"],
+            vec!["serve", "--pools", "some"],
+            vec!["serve", "--cache-dir"],
             vec!["serve", "--queue", "none"],
             vec!["serve", "--cache", "0"],
             vec!["serve", "--backend", "quantum"],

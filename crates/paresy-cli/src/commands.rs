@@ -10,7 +10,7 @@ use rei_core::{SynthConfig, SynthSession, SynthesisError, SynthesisResult};
 use rei_lang::{Alphabet, Spec};
 
 use crate::args::{Command, SynthOptions, USAGE};
-use crate::serve::run_serve_on;
+use crate::serve::{run_serve_on, run_serve_stream};
 use crate::specfile::{parse_spec_file, render_spec_file};
 
 /// Runs a parsed command and returns the text to print.
@@ -26,11 +26,24 @@ pub fn run_command(command: &Command) -> Result<String, String> {
         Command::Synth(options) => run_synth(options),
         Command::Serve(options) => {
             // The serve command is the one consumer of stdin; tests drive
-            // `run_serve_on` with in-memory input instead.
-            let mut input = String::new();
-            std::io::Read::read_to_string(&mut std::io::stdin().lock(), &mut input)
-                .map_err(|err| format!("cannot read stdin: {err}"))?;
-            run_serve_on(options, &input)
+            // `run_serve_on`/`run_serve_stream` with in-memory input.
+            if options.stream {
+                // Streaming mode writes (and flushes) each result line
+                // itself, as its request completes.
+                // `Stdin` (unlike `StdinLock`) is `Send`, which the
+                // reader thread inside `run_serve_stream` needs.
+                run_serve_stream(
+                    options,
+                    std::io::BufReader::new(std::io::stdin()),
+                    std::io::stdout().lock(),
+                )?;
+                Ok(String::new())
+            } else {
+                let mut input = String::new();
+                std::io::Read::read_to_string(&mut std::io::stdin().lock(), &mut input)
+                    .map_err(|err| format!("cannot read stdin: {err}"))?;
+                run_serve_on(options, &input)
+            }
         }
         Command::Suite { task } => run_suite(*task),
         Command::Generate {

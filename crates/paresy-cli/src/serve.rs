@@ -4,7 +4,7 @@
 //!
 //! ```json
 //! {"id": "r1", "pos": ["10", "101"], "neg": ["", "0"],
-//!  "priority": 1, "timeout_ms": 500}
+//!  "priority": 1, "timeout_ms": 500, "tenant": "acme"}
 //! ```
 //!
 //! * `pos` (required) / `neg` (optional) — example strings; `""`, `"ε"`
@@ -14,26 +14,45 @@
 //! * `priority` (optional) — higher runs earlier.
 //! * `timeout_ms` (optional) — a per-request deadline; an expired request
 //!   is answered with `"status": "cancelled"` without occupying a worker.
+//! * `tenant` (optional) — the shard-routing key: all requests of a
+//!   tenant land on the same pool of the `--pools` router. Requests
+//!   without one are routed by the specification's fingerprint.
 //!
-//! Every request is submitted to a [`SynthService`] as it is read
+//! Every request is submitted to a [`ShardRouter`] of `--pools`
+//! [`SynthService`](rei_service::SynthService) pools as it is read
 //! (identical requests are cache-served or coalesced), and one result
-//! line is emitted per request, in request order:
+//! line is emitted per request:
 //!
 //! ```json
 //! {"id": "r1", "status": "solved", "regex": "10(0+1)*", "cost": 8,
 //!  "source": "fresh", "wait_ms": 0.1, "run_ms": 2.5, "candidates": 117}
 //! ```
 //!
+//! By default results come in request order after EOF. With `--stream`
+//! each result is written (and flushed) as its request completes —
+//! tagged by id, order no longer guaranteed — which is what long-lived
+//! clients pipelining requests want.
+//!
+//! With `--cache-dir DIR` each pool's result cache persists to
+//! `DIR/pool-K.jsonl`: completed results are appended as they happen and
+//! warm the cache of the next `paresy serve` over the same directory, so
+//! a restarted server answers repeats with `"source": "cache"` without
+//! re-running any synthesis.
+//!
 //! Failed searches report `"status"` of `timeout` / `oom` / `not-found` /
 //! `cancelled`; malformed lines report `bad-request` with an `error`
 //! message (and are not submitted). Blank lines are skipped.
 
+use std::collections::VecDeque;
+use std::io::{BufRead, Write};
 use std::time::Duration;
 
 use rei_core::{SynthConfig, SynthesisError};
 use rei_lang::Spec;
 use rei_service::json::Json;
-use rei_service::{JobHandle, ServiceConfig, SynthRequest, SynthService};
+use rei_service::{
+    JobHandle, RouterConfig, ServiceConfig, ShardRouter, SynthRequest, SynthResponse,
+};
 
 use crate::args::ServeOptions;
 
@@ -55,6 +74,20 @@ fn synth_config(options: &ServeOptions) -> SynthConfig {
         config = config.with_level_chunk_rows(rows);
     }
     config
+}
+
+/// Builds the shard router the flags describe: `--pools` identical pools
+/// of `--workers` workers each, persistent under `--cache-dir` when set.
+fn build_router(options: &ServeOptions) -> Result<ShardRouter, String> {
+    let service = ServiceConfig::new(options.workers)
+        .with_queue_capacity(options.queue_capacity)
+        .with_cache_capacity(options.cache_capacity)
+        .with_synth(synth_config(options));
+    let mut config = RouterConfig::identical(options.pools, service);
+    if let Some(dir) = &options.cache_dir {
+        config = config.with_cache_dir(dir);
+    }
+    ShardRouter::start(config).map_err(|err| err.to_string())
 }
 
 /// One parsed input line: the request plus the identity to echo back.
@@ -127,6 +160,12 @@ fn parse_request(line: &str, line_number: usize) -> Result<ParsedRequest, (Json,
             .ok_or_else(|| fail("'timeout_ms' must be a non-negative number".into()))?;
         request = request.with_timeout(timeout);
     }
+    if let Some(tenant) = value.get("tenant") {
+        let tenant = tenant
+            .as_str()
+            .ok_or_else(|| fail("'tenant' must be a string".into()))?;
+        request = request.with_tenant(tenant);
+    }
     Ok(ParsedRequest { id, request })
 }
 
@@ -142,9 +181,16 @@ fn error_status(err: &SynthesisError) -> &'static str {
     }
 }
 
-fn response_line(id: Json, handle: &JobHandle) -> Json {
-    let response = handle.wait();
-    let ms = |d: std::time::Duration| Json::fixed(d.as_secs_f64() * 1e3, 3);
+fn bad_request_line(id: Json, message: &str) -> Json {
+    Json::object([
+        ("id", id),
+        ("status", Json::str("bad-request")),
+        ("error", Json::str(message)),
+    ])
+}
+
+fn response_line(id: Json, response: &SynthResponse) -> Json {
+    let ms = |d: Duration| Json::fixed(d.as_secs_f64() * 1e3, 3);
     let mut line = vec![("id".to_string(), id)];
     match &response.outcome {
         Ok(result) => {
@@ -169,22 +215,17 @@ fn response_line(id: Json, handle: &JobHandle) -> Json {
 }
 
 /// Runs the serve command over `input` (one JSON request per line) and
-/// returns the JSONL output.
+/// returns the JSONL output, one result per request in request order.
 ///
 /// # Errors
 ///
-/// Returns a message when the service configuration is invalid; malformed
-/// *requests* are reported inline as `bad-request` result lines instead.
+/// Returns a message when the service configuration is invalid (or a
+/// persistent cache file cannot be opened); malformed *requests* are
+/// reported inline as `bad-request` result lines instead.
 pub fn run_serve_on(options: &ServeOptions, input: &str) -> Result<String, String> {
-    let service = SynthService::start(
-        ServiceConfig::new(options.workers)
-            .with_queue_capacity(options.queue_capacity)
-            .with_cache_capacity(options.cache_capacity)
-            .with_synth(synth_config(options)),
-    )
-    .map_err(|err| err.to_string())?;
+    let router = build_router(options)?;
 
-    // Submit everything up front (the bounded queue applies backpressure
+    // Submit everything up front (the bounded queues apply backpressure
     // by blocking the reader), then answer in request order.
     enum Line {
         Submitted(Json, JobHandle),
@@ -197,9 +238,9 @@ pub fn run_serve_on(options: &ServeOptions, input: &str) -> Result<String, Strin
         }
         match parse_request(line, index + 1) {
             Ok(parsed) => {
-                let handle = service
+                let handle = router
                     .submit(parsed.request)
-                    .expect("service is open until shutdown");
+                    .expect("router is open until shutdown");
                 lines.push(Line::Submitted(parsed.id, handle));
             }
             Err((id, message)) => lines.push(Line::BadRequest(id, message)),
@@ -209,22 +250,119 @@ pub fn run_serve_on(options: &ServeOptions, input: &str) -> Result<String, Strin
     let mut out = String::new();
     for line in &lines {
         let rendered = match line {
-            Line::Submitted(id, handle) => response_line(id.clone(), handle),
-            Line::BadRequest(id, message) => Json::object([
-                ("id", id.clone()),
-                ("status", Json::str("bad-request")),
-                ("error", Json::str(message.clone())),
-            ]),
+            Line::Submitted(id, handle) => response_line(id.clone(), &handle.wait()),
+            Line::BadRequest(id, message) => bad_request_line(id.clone(), message),
         };
         out.push_str(&rendered.to_compact());
         out.push('\n');
     }
-    let metrics = service.shutdown();
+    let snapshot = router.shutdown();
     if options.metrics {
-        out.push_str(&metrics.to_json().to_compact());
+        out.push_str(&snapshot.to_json().to_compact());
         out.push('\n');
     }
     Ok(out)
+}
+
+fn emit(out: &mut impl Write, line: &Json) -> Result<(), String> {
+    writeln!(out, "{}", line.to_compact())
+        .and_then(|()| out.flush())
+        .map_err(|err| format!("cannot write output: {err}"))
+}
+
+/// Emits every pending response that has already completed; reports
+/// whether any line was written (so the caller knows to sleep).
+fn drain_completed(
+    pending: &mut VecDeque<(Json, JobHandle)>,
+    out: &mut impl Write,
+) -> Result<bool, String> {
+    let mut emitted = false;
+    let mut index = 0;
+    while index < pending.len() {
+        match pending[index].1.try_wait() {
+            Some(response) => {
+                let (id, _) = pending.remove(index).expect("index < len");
+                emit(out, &response_line(id, &response))?;
+                emitted = true;
+            }
+            None => index += 1,
+        }
+    }
+    Ok(emitted)
+}
+
+/// Runs the serve command in streaming mode: requests are submitted as
+/// they are read from `input`, and each result line is written (and
+/// flushed) to `out` as its request completes — tagged by id, in
+/// completion order rather than request order.
+///
+/// Reading happens on its own *detached* thread: a pipelining client
+/// that waits for an answer before sending its next request (the point
+/// of streaming) must receive that answer while the server's input read
+/// is still blocked, not after the next line arrives. The thread is
+/// deliberately not joined — were the output to fail while the reader
+/// sits in a blocking `read`, a join would hang the error return until
+/// the client happened to send another line. An abandoned reader exits
+/// on its next line (its channel is closed); in the CLI the process
+/// exits first anyway. This is also why `input` must be `'static`.
+///
+/// # Errors
+///
+/// Returns a message when the service configuration is invalid or the
+/// input/output streams fail; malformed requests are reported inline.
+pub fn run_serve_stream(
+    options: &ServeOptions,
+    input: impl BufRead + Send + 'static,
+    mut out: impl Write,
+) -> Result<(), String> {
+    let router = build_router(options)?;
+    let mut pending: VecDeque<(Json, JobHandle)> = VecDeque::new();
+    let (sender, lines) = std::sync::mpsc::channel::<std::io::Result<String>>();
+    std::thread::spawn(move || {
+        for line in input.lines() {
+            let failed = line.is_err();
+            if sender.send(line).is_err() || failed {
+                return;
+            }
+        }
+    });
+    let tick = Duration::from_millis(1);
+    let mut number = 0;
+    let mut open = true;
+    while open || !pending.is_empty() {
+        // Poll for a new request while answering completed ones; the
+        // 1 ms tick bounds the latency of both directions.
+        match lines.recv_timeout(tick) {
+            Ok(line) => {
+                let line = line.map_err(|err| format!("cannot read input: {err}"))?;
+                number += 1;
+                if line.trim().is_empty() {
+                    continue;
+                }
+                match parse_request(&line, number) {
+                    Ok(parsed) => {
+                        let handle = router
+                            .submit(parsed.request)
+                            .expect("router is open until shutdown");
+                        pending.push_back((parsed.id, handle));
+                    }
+                    Err((id, message)) => emit(&mut out, &bad_request_line(id, &message))?,
+                }
+            }
+            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {}
+            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => open = false,
+        }
+        if !drain_completed(&mut pending, &mut out)? && !open && !pending.is_empty() {
+            // Input is done and a disconnected channel returns at once:
+            // without this sleep the final wait would spin a full core.
+            std::thread::sleep(tick);
+        }
+    }
+    let snapshot = router.shutdown();
+    if options.metrics {
+        emit(&mut out, &snapshot.to_json())?;
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -274,6 +412,118 @@ mod tests {
     }
 
     #[test]
+    fn streaming_answers_every_request_tagged_by_id() {
+        let mut options = options();
+        options.stream = true;
+        options.pools = 2;
+        let input = "{\"id\": \"a\", \"pos\": [\"0\", \"00\"], \"neg\": [\"1\"], \"tenant\": \"t1\"}\n\
+                     not json\n\
+                     {\"id\": \"b\", \"pos\": [\"1\", \"11\"], \"neg\": [\"0\"], \"tenant\": \"t2\"}\n\
+                     {\"id\": \"c\", \"pos\": [\"0\", \"00\"], \"neg\": [\"1\"], \"tenant\": \"t1\"}\n";
+        let mut raw = Vec::new();
+        run_serve_stream(&options, input.as_bytes(), &mut raw).unwrap();
+        let raw = String::from_utf8(raw).unwrap();
+        let results = lines(&raw);
+        assert_eq!(results.len(), 4);
+        // Order is not guaranteed; the id *set* is, and ids correlate.
+        let mut ids: Vec<String> = results
+            .iter()
+            .map(|r| {
+                r.get("id")
+                    .and_then(Json::as_str)
+                    .map(str::to_string)
+                    .unwrap_or_else(|| r.get("id").unwrap().to_compact())
+            })
+            .collect();
+        ids.sort();
+        assert_eq!(ids, ["2", "a", "b", "c"]);
+        for result in &results {
+            let id = result.get("id").and_then(Json::as_str);
+            let status = result.get("status").and_then(Json::as_str);
+            match id {
+                Some("a") | Some("b") | Some("c") => assert_eq!(status, Some("solved"), "{id:?}"),
+                _ => assert_eq!(status, Some("bad-request")),
+            }
+        }
+        // "c" duplicates "a" on the same tenant (same pool): no third run.
+        let c = results
+            .iter()
+            .find(|r| r.get("id").and_then(Json::as_str) == Some("c"))
+            .unwrap();
+        assert_ne!(c.get("source").and_then(Json::as_str), Some("fresh"));
+    }
+
+    /// A pipelining client: delivers one request, then keeps the stream
+    /// open (blocking in `read`) for `hold` before signalling EOF.
+    struct PipeliningClient {
+        first: Option<Vec<u8>>,
+        hold: Duration,
+    }
+
+    impl std::io::Read for PipeliningClient {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            match self.first.take() {
+                Some(line) => {
+                    buf[..line.len()].copy_from_slice(&line);
+                    Ok(line.len())
+                }
+                None => {
+                    std::thread::sleep(self.hold);
+                    Ok(0)
+                }
+            }
+        }
+    }
+
+    type TimedLines = Vec<(std::time::Instant, Vec<u8>)>;
+
+    /// A writer that timestamps every line it receives.
+    #[derive(Clone, Default)]
+    struct TimedWriter(std::sync::Arc<std::sync::Mutex<TimedLines>>);
+
+    impl Write for TimedWriter {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0
+                .lock()
+                .unwrap()
+                .push((std::time::Instant::now(), buf.to_vec()));
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn streaming_answers_while_the_input_is_still_open() {
+        // The point of --stream: a client that sends one request and
+        // *waits for the answer* before sending more must receive it
+        // while the server's read is still blocked — not at EOF.
+        let mut options = options();
+        options.stream = true;
+        let hold = Duration::from_millis(1500);
+        let client = std::io::BufReader::new(PipeliningClient {
+            first: Some(
+                b"{\"id\": \"only\", \"pos\": [\"0\", \"00\"], \"neg\": [\"1\"]}\n".to_vec(),
+            ),
+            hold,
+        });
+        let writer = TimedWriter::default();
+        let started = std::time::Instant::now();
+        run_serve_stream(&options, client, writer.clone()).unwrap();
+        let written = writer.0.lock().unwrap();
+        let (answered_at, first) = written.first().expect("one answer line");
+        let line = Json::parse(std::str::from_utf8(first).unwrap().trim()).unwrap();
+        assert_eq!(line.get("id").and_then(Json::as_str), Some("only"));
+        assert_eq!(line.get("status").and_then(Json::as_str), Some("solved"));
+        assert!(
+            answered_at.duration_since(started) < hold / 2,
+            "answer arrived only after {:?} — held back until EOF",
+            answered_at.duration_since(started)
+        );
+    }
+
+    #[test]
     fn malformed_lines_become_bad_request_results() {
         let input = "{\"pos\": [\"0\"]}\nnot json\n{\"neg\": [\"1\"]}\n{\"pos\": \"0\"}\n";
         let out = run_serve_on(&options(), input).unwrap();
@@ -304,10 +554,12 @@ mod tests {
             Some("bad-request")
         );
         assert_eq!(result.get("id").and_then(Json::as_str), Some("r9"));
-        // A hostile timeout is a bad request too, not a panic.
+        // A hostile timeout or tenant is a bad request too, not a panic.
         let out = run_serve_on(
             &options(),
-            "{\"id\": \"t\", \"pos\": [\"0\"], \"timeout_ms\": -5}\n{\"pos\": [\"0\"], \"timeout_ms\": 1e40}\n",
+            "{\"id\": \"t\", \"pos\": [\"0\"], \"timeout_ms\": -5}\n\
+             {\"pos\": [\"0\"], \"timeout_ms\": 1e40}\n\
+             {\"pos\": [\"0\"], \"tenant\": 7}\n",
         )
         .unwrap();
         for result in &lines(&out) {
@@ -332,9 +584,10 @@ mod tests {
     }
 
     #[test]
-    fn metrics_flag_appends_a_metrics_line() {
+    fn metrics_flag_appends_a_router_snapshot_line() {
         let mut options = options();
         options.metrics = true;
+        options.pools = 2;
         options.backend = BackendChoice::ThreadParallel { threads: Some(2) };
         let input = "{\"pos\": [\"0\"], \"neg\": [\"1\"]}\n{\"pos\": [\"0\"], \"neg\": [\"1\"]}\n";
         let out = run_serve_on(&options, input).unwrap();
@@ -343,15 +596,56 @@ mod tests {
         let metrics = &results[2];
         assert_eq!(
             metrics.get("schema").and_then(Json::as_str),
-            Some("rei-service/metrics-v1")
+            Some("rei-service/router-metrics-v1")
         );
+        assert_eq!(metrics.get("pools").and_then(Json::as_u64), Some(2));
         assert_eq!(
             metrics
-                .get("requests")
+                .get("rollup")
+                .and_then(|r| r.get("requests"))
                 .and_then(|r| r.get("submitted"))
                 .and_then(Json::as_u64),
             Some(2)
         );
+    }
+
+    #[test]
+    fn cache_dir_warms_a_restarted_server_from_disk() {
+        let dir = std::env::temp_dir().join(format!("paresy-serve-cache-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let mut options = options();
+        options.cache_dir = Some(dir.to_string_lossy().into_owned());
+        options.metrics = true;
+        let input = "{\"id\": \"x\", \"pos\": [\"0\", \"00\"], \"neg\": [\"1\"]}\n";
+
+        let first = run_serve_on(&options, input).unwrap();
+        let first = lines(&first);
+        assert_eq!(first[0].get("source").and_then(Json::as_str), Some("fresh"));
+
+        // A second process over the same directory answers from disk.
+        let second = run_serve_on(&options, input).unwrap();
+        let second = lines(&second);
+        assert_eq!(
+            second[0].get("source").and_then(Json::as_str),
+            Some("cache")
+        );
+        let rollup = second[1].get("rollup").unwrap();
+        assert_eq!(
+            rollup
+                .get("cache")
+                .and_then(|c| c.get("disk_loaded"))
+                .and_then(Json::as_u64),
+            Some(1)
+        );
+        assert_eq!(
+            rollup
+                .get("jobs")
+                .and_then(|j| j.get("enqueued"))
+                .and_then(Json::as_u64),
+            Some(0),
+            "the restarted server ran no synthesis"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

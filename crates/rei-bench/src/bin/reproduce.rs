@@ -2,9 +2,16 @@
 //! figures.
 //!
 //! ```text
-//! reproduce [--full] [--seed N] [--out FILE] [--workers N] <experiment>
+//! reproduce [--full] [--seed N] [--out FILE] [--workers N] [--pools N]
+//!           [--cache-dir DIR] <experiment>
 //!   experiment: figure1 | table1 | table2 | outliers | error | perf | serve | all
 //! ```
+//!
+//! `--cache-dir` names the persistent-cache directory of the `serve`
+//! experiment's restart pass; any `*.jsonl` cache files already in it
+//! are **removed** before the cold pass (a pre-warmed cold pass would be
+//! meaningless — unrelated files are left alone). Without the flag a
+//! scratch directory is used and removed afterwards.
 //!
 //! By default the quick scale is used (seconds per experiment); `--full`
 //! switches to paper-scale parameters with a 5-second per-run timeout.
@@ -28,6 +35,8 @@ fn main() -> ExitCode {
     let mut experiment: Option<String> = None;
     let mut out_path = "BENCH_core.json".to_string();
     let mut workers = 4usize;
+    let mut pools = 2usize;
+    let mut cache_dir: Option<String> = None;
     let mut iter = args.iter().peekable();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -43,6 +52,14 @@ fn main() -> ExitCode {
             "--workers" => match iter.next().and_then(|s| s.parse().ok()) {
                 Some(n) if n >= 1 => workers = n,
                 _ => return usage("--workers expects a positive integer"),
+            },
+            "--pools" => match iter.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n >= 1 => pools = n,
+                _ => return usage("--pools expects a positive integer"),
+            },
+            "--cache-dir" => match iter.next() {
+                Some(dir) => cache_dir = Some(dir.clone()),
+                None => return usage("--cache-dir expects a directory path"),
             },
             "--help" | "-h" => return usage(""),
             other if experiment.is_none() && !other.starts_with('-') => {
@@ -67,7 +84,7 @@ fn main() -> ExitCode {
             }
         }
         "serve" => {
-            if !print_serve(&config, workers, &out_path) {
+            if !print_serve(&config, workers, pools, cache_dir.as_deref(), &out_path) {
                 return ExitCode::FAILURE;
             }
         }
@@ -80,7 +97,7 @@ fn main() -> ExitCode {
             if !print_perf(&config, &out_path) {
                 return ExitCode::FAILURE;
             }
-            if !print_serve(&config, workers, &out_path) {
+            if !print_serve(&config, workers, pools, cache_dir.as_deref(), &out_path) {
                 return ExitCode::FAILURE;
             }
         }
@@ -94,8 +111,8 @@ fn usage(error: &str) -> ExitCode {
         eprintln!("error: {error}");
     }
     eprintln!(
-        "usage: reproduce [--full] [--seed N] [--out FILE] [--workers N] \
-         <figure1|table1|table2|outliers|error|perf|serve|all>"
+        "usage: reproduce [--full] [--seed N] [--out FILE] [--workers N] [--pools N] \
+         [--cache-dir DIR] <figure1|table1|table2|outliers|error|perf|serve|all>"
     );
     if error.is_empty() {
         ExitCode::SUCCESS
@@ -302,9 +319,31 @@ fn print_perf(config: &HarnessConfig, out_path: &str) -> bool {
     merge_sections(out_path, report.to_json_value())
 }
 
-fn print_serve(config: &HarnessConfig, workers: usize, out_path: &str) -> bool {
-    println!("== Service throughput: cold vs cache-warm replay ==");
-    let report = run_serve(config, workers);
+fn print_serve(
+    config: &HarnessConfig,
+    workers: usize,
+    pools: usize,
+    cache_dir: Option<&str>,
+    out_path: &str,
+) -> bool {
+    println!("== Service throughput: cold vs cache-warm vs disk-warm restart ==");
+    // Without an explicit --cache-dir the restart pass runs over a
+    // scratch directory that is cleaned up afterwards.
+    let scratch = std::env::temp_dir().join(format!("rei-serve-restart-{}", std::process::id()));
+    let dir = match cache_dir {
+        Some(dir) => std::path::PathBuf::from(dir),
+        None => scratch.clone(),
+    };
+    // The cold pass is only cold without leftover cache files: records
+    // from a previous run (or a reused scratch path) would pre-warm it
+    // and corrupt the measurement. Only the experiment's own `*.jsonl`
+    // shard files are removed — a user-supplied --cache-dir may hold
+    // unrelated files that are not ours to delete.
+    clear_cache_files(&dir);
+    let report = run_serve(config, workers, pools, &dir);
+    if cache_dir.is_none() {
+        std::fs::remove_dir_all(&scratch).ok();
+    }
     let pass_row = |label: &str, pass: &rei_bench::harness::ServePass| {
         vec![
             label.to_string(),
@@ -330,21 +369,71 @@ fn print_serve(config: &HarnessConfig, workers: usize, out_path: &str) -> bool {
             ],
             &[
                 pass_row("cold", &report.cold),
-                pass_row("warm", &report.warm)
+                pass_row("warm", &report.warm),
+                pass_row("restart", &report.restart),
             ]
         )
     );
+    let pool_rows: Vec<Vec<String>> = report
+        .pools
+        .iter()
+        .map(|p| {
+            vec![
+                p.name.clone(),
+                p.submitted.to_string(),
+                p.cache_hits.to_string(),
+                p.coalesced.to_string(),
+                p.completed.to_string(),
+                p.workers.to_string(),
+            ]
+        })
+        .collect();
     println!(
-        "{} workers on {}, {} distinct specs; warm replay speedup {:.1}x\n",
+        "{}",
+        format_table(
+            &[
+                "pool",
+                "requests",
+                "hits",
+                "coalesced",
+                "completed",
+                "workers"
+            ],
+            &pool_rows
+        )
+    );
+    println!(
+        "{} pools x {} workers on {}, {} distinct specs; warm replay speedup {:.1}x, \
+         restart warmed {} results from disk\n",
+        report.pools.len(),
         report.workers,
         report.backend,
         report.pool_size,
-        report.replay_speedup()
+        report.replay_speedup(),
+        report.restart_disk_loaded
     );
     merge_sections(
         out_path,
         Json::object([("service", report.to_json_value())]),
     )
+}
+
+/// Removes the serve experiment's `*.jsonl` shard files (and their
+/// compaction temporaries) from `dir`, leaving any unrelated content of
+/// a user-supplied directory alone.
+fn clear_cache_files(dir: &std::path::Path) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let jsonl = path
+            .extension()
+            .is_some_and(|ext| ext == "jsonl" || ext == "tmp");
+        if jsonl {
+            std::fs::remove_file(&path).ok();
+        }
+    }
 }
 
 /// Merges the top-level keys of `update` into the JSON document at

@@ -299,16 +299,18 @@ pub fn run_perf(config: &HarnessConfig) -> PerfReport {
 }
 
 impl PerfReport {
-    /// The report as a JSON document (schema `rei-bench/perf-v3`), built
+    /// The report as a JSON document (schema `rei-bench/perf-v4`), built
     /// with the shared writer in [`rei_service::json`] — the workspace's
     /// serde shim provides no serializer. The `reproduce` binary merges
     /// this object into `BENCH_core.json`, preserving sections other
-    /// experiments own (such as `service`). v3 adds the level-execution
+    /// experiments own (such as `service`). v3 added the level-execution
     /// counters per backend: chunks claimed, chunks stolen, prefilter
-    /// rejects (plus rate) and dedup overflow.
+    /// rejects (plus rate) and dedup overflow. v4 marks the document
+    /// whose `service` section (owned by `reproduce serve`) carries the
+    /// sharded-pool breakdown and the disk-warm restart pass.
     pub fn to_json_value(&self) -> Json {
         Json::object([
-            ("schema", Json::str("rei-bench/perf-v3")),
+            ("schema", Json::str("rei-bench/perf-v4")),
             ("scale", Json::str(&self.scale)),
             ("seed", Json::uint(self.seed)),
             ("threads", Json::uint(self.threads as u64)),
@@ -426,7 +428,7 @@ mod tests {
         let doc = Json::parse(&text).expect("report renders valid JSON");
         assert_eq!(
             doc.get("schema").and_then(Json::as_str),
-            Some("rei-bench/perf-v3")
+            Some("rei-bench/perf-v4")
         );
         let backends = doc.get("backends").and_then(Json::as_array).unwrap();
         assert_eq!(backends.len(), 3);

@@ -1,23 +1,30 @@
 //! The `serve` experiment: service throughput over the Table 1 pool.
 //!
-//! Replays the shared benchmark pool through a
-//! [`SynthService`](rei_service::SynthService) twice:
+//! Replays the shared benchmark pool through a [`ShardRouter`] of
+//! [`SynthService`](rei_service::SynthService) pools three times:
 //!
-//! * a **cold pass** that submits every specification twice from an empty
-//!   cache — the duplicates exercise in-flight coalescing (or, when the
+//! * a **cold pass** that submits every specification twice from empty
+//!   caches — the duplicates exercise in-flight coalescing (or, when the
 //!   original already finished, the result cache), so the pool's worth of
 //!   duplicate traffic triggers no duplicate synthesis;
 //! * a **warm pass** that resubmits the whole pool against the populated
-//!   cache — the replay should be answered (almost) entirely from cache
-//!   and therefore run in strictly less wall-clock than the cold pass.
+//!   caches — the replay should be answered (almost) entirely from cache
+//!   and therefore run in strictly less wall-clock than the cold pass;
+//! * a **restart pass** through a *fresh* router over the same persistent
+//!   cache directory — the first router's shutdown compacted each shard's
+//!   JSONL file, so the new router (a new process, as far as the caches
+//!   can tell) answers the replay from disk-warmed caches without
+//!   running a single synthesis.
 //!
 //! The report lands in the `service` section of `BENCH_core.json` next to
-//! the kernel and backend baselines (see `reproduce serve`).
+//! the kernel and backend baselines (see `reproduce serve`), including a
+//! per-pool breakdown of the sharded traffic.
 
+use std::path::Path;
 use std::time::Instant;
 
 use rei_service::json::Json;
-use rei_service::{ServiceConfig, SynthRequest, SynthService};
+use rei_service::{RouterConfig, RouterSnapshot, ServiceConfig, ShardRouter, SynthRequest};
 
 use crate::costs::REFERENCE;
 use crate::harness::figure1::benchmark_pool;
@@ -41,7 +48,8 @@ pub struct ServePass {
 }
 
 impl ServePass {
-    /// `cache_hits / submitted` — the acceptance gauge of the warm pass.
+    /// `cache_hits / submitted` — the acceptance gauge of the warm and
+    /// restart passes.
     pub fn cache_hit_rate(&self) -> f64 {
         if self.submitted == 0 {
             0.0
@@ -63,21 +71,58 @@ impl ServePass {
     }
 }
 
+/// Final counters of one pool of the sharded cold+warm router.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolBreakdown {
+    /// The pool's name (`pool-0` …).
+    pub name: String,
+    /// Requests routed to this pool across the cold and warm passes.
+    pub submitted: u64,
+    /// Cache-served requests of this pool.
+    pub cache_hits: u64,
+    /// Coalesced requests of this pool.
+    pub coalesced: u64,
+    /// Fresh jobs this pool's workers completed.
+    pub completed: u64,
+    /// Worker threads of this pool.
+    pub workers: usize,
+}
+
+impl PoolBreakdown {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("pool", Json::str(&self.name)),
+            ("submitted", Json::uint(self.submitted)),
+            ("cache_hits", Json::uint(self.cache_hits)),
+            ("coalesced", Json::uint(self.coalesced)),
+            ("completed", Json::uint(self.completed)),
+            ("workers", Json::uint(self.workers as u64)),
+        ])
+    }
+}
+
 /// The full serve-throughput report.
 #[derive(Debug, Clone)]
 pub struct ServeReport {
-    /// Worker threads of the pool.
+    /// Worker threads of each pool.
     pub workers: usize,
     /// Canonical backend name each worker session runs.
     pub backend: String,
-    /// Job-queue capacity used.
+    /// Job-queue capacity of each pool.
     pub queue_capacity: usize,
     /// Number of distinct specifications in the pool.
     pub pool_size: usize,
-    /// The cold pass (duplicated submissions, empty cache).
+    /// The cold pass (duplicated submissions, empty caches).
     pub cold: ServePass,
-    /// The warm replay pass (one submission per spec, populated cache).
+    /// The warm replay pass (one submission per spec, populated caches).
     pub warm: ServePass,
+    /// The replay through a fresh router warmed from the persistent
+    /// cache files the first router compacted at shutdown.
+    pub restart: ServePass,
+    /// Persisted records that warmed the restarted router's caches.
+    pub restart_disk_loaded: u64,
+    /// Per-pool breakdown of the cold+warm router.
+    pub pools: Vec<PoolBreakdown>,
 }
 
 impl ServeReport {
@@ -93,28 +138,34 @@ impl ServeReport {
     /// The `service` section merged into `BENCH_core.json`.
     pub fn to_json_value(&self) -> Json {
         Json::object([
-            ("schema", Json::str("rei-bench/service-v1")),
+            ("schema", Json::str("rei-bench/service-v2")),
             ("workers", Json::uint(self.workers as u64)),
             ("backend", Json::str(&self.backend)),
             ("queue_capacity", Json::uint(self.queue_capacity as u64)),
             ("pool", Json::uint(self.pool_size as u64)),
             ("cold", self.cold.to_json()),
             ("warm", self.warm.to_json()),
+            ("restart", self.restart.to_json()),
+            ("restart_disk_loaded", Json::uint(self.restart_disk_loaded)),
             ("replay_speedup", Json::fixed(self.replay_speedup(), 2)),
+            (
+                "pools",
+                Json::array(self.pools.iter().map(PoolBreakdown::to_json)),
+            ),
         ])
     }
 }
 
 fn run_pass(
-    service: &SynthService,
+    router: &ShardRouter,
     specs: impl Iterator<Item = rei_lang::Spec>,
 ) -> (f64, usize, usize) {
     let started = Instant::now();
     let handles: Vec<_> = specs
         .map(|spec| {
-            service
+            router
                 .submit(SynthRequest::new(spec))
-                .expect("service accepts while open")
+                .expect("router accepts while open")
         })
         .collect();
     let (mut solved, mut failed) = (0, 0);
@@ -127,44 +178,94 @@ fn run_pass(
     (started.elapsed().as_secs_f64(), solved, failed)
 }
 
-/// Runs the serve experiment: the Table 1 pool through a service with
-/// `workers` workers (cold with duplicates, then a cache-warm replay).
-pub fn run_serve(config: &HarnessConfig, workers: usize) -> ServeReport {
+fn pass_counters(
+    snapshot: &RouterSnapshot,
+    baseline: &RouterSnapshot,
+    wall_seconds: f64,
+    solved: usize,
+    failed: usize,
+) -> ServePass {
+    let (now, before) = (snapshot.rollup(), baseline.rollup());
+    ServePass {
+        submitted: now.submitted - before.submitted,
+        wall_seconds,
+        solved,
+        failed,
+        cache_hits: now.cache_hits - before.cache_hits,
+        coalesced: now.coalesced - before.coalesced,
+    }
+}
+
+/// Runs the serve experiment: the Table 1 pool through a shard router of
+/// `pools` pools with `workers` workers each (cold with duplicates, a
+/// cache-warm replay, then a disk-warm replay through a fresh router
+/// restarted over `cache_dir`).
+pub fn run_serve(
+    config: &HarnessConfig,
+    workers: usize,
+    pools: usize,
+    cache_dir: &Path,
+) -> ServeReport {
     let pool = benchmark_pool(config);
     let synth = config.synth_config(REFERENCE.costs);
     let backend = synth.backend().name().to_string();
     // Room for the duplicated cold pass without submit-side blocking.
     let queue_capacity = (2 * pool.len()).max(1);
-    let service = SynthService::start(
-        ServiceConfig::new(workers)
-            .with_queue_capacity(queue_capacity)
-            .with_synth(synth),
-    )
-    .expect("harness service config is valid");
+    let service = ServiceConfig::new(workers)
+        .with_queue_capacity(queue_capacity)
+        .with_synth(synth);
+    let router_config = RouterConfig::identical(pools, service).with_cache_dir(cache_dir);
+    let router = ShardRouter::start(router_config.clone()).expect("harness router config is valid");
 
     let cold_specs = pool.iter().flat_map(|b| [b.spec.clone(), b.spec.clone()]);
-    let (cold_wall, cold_solved, cold_failed) = run_pass(&service, cold_specs);
-    let after_cold = service.metrics();
-    let cold = ServePass {
-        submitted: after_cold.submitted,
-        wall_seconds: cold_wall,
-        solved: cold_solved,
-        failed: cold_failed,
-        cache_hits: after_cold.cache_hits,
-        coalesced: after_cold.coalesced,
-    };
+    let (cold_wall, cold_solved, cold_failed) = run_pass(&router, cold_specs);
+    let after_cold = router.metrics();
+    let cold = pass_counters(
+        &after_cold,
+        &RouterSnapshot::default(),
+        cold_wall,
+        cold_solved,
+        cold_failed,
+    );
 
     let warm_specs = pool.iter().map(|b| b.spec.clone());
-    let (warm_wall, warm_solved, warm_failed) = run_pass(&service, warm_specs);
-    let after_warm = service.shutdown();
-    let warm = ServePass {
-        submitted: after_warm.submitted - after_cold.submitted,
-        wall_seconds: warm_wall,
-        solved: warm_solved,
-        failed: warm_failed,
-        cache_hits: after_warm.cache_hits - after_cold.cache_hits,
-        coalesced: after_warm.coalesced - after_cold.coalesced,
-    };
+    let (warm_wall, warm_solved, warm_failed) = run_pass(&router, warm_specs);
+    // Shutdown compacts each shard's persistent cache file.
+    let after_warm = router.shutdown();
+    let warm = pass_counters(
+        &after_warm,
+        &after_cold,
+        warm_wall,
+        warm_solved,
+        warm_failed,
+    );
+    let pools_breakdown = after_warm
+        .pools
+        .iter()
+        .map(|(name, snapshot)| PoolBreakdown {
+            name: name.clone(),
+            submitted: snapshot.submitted,
+            cache_hits: snapshot.cache_hits,
+            coalesced: snapshot.coalesced,
+            completed: snapshot.completed,
+            workers: snapshot.workers.len(),
+        })
+        .collect();
+
+    // "Restart": a fresh router over the same cache directory. Its pools
+    // warm from the compacted files, so the replay is disk-served.
+    let restarted = ShardRouter::start(router_config).expect("harness router config is valid");
+    let restart_specs = pool.iter().map(|b| b.spec.clone());
+    let (restart_wall, restart_solved, restart_failed) = run_pass(&restarted, restart_specs);
+    let after_restart = restarted.shutdown();
+    let restart = pass_counters(
+        &after_restart,
+        &RouterSnapshot::default(),
+        restart_wall,
+        restart_solved,
+        restart_failed,
+    );
+    let restart_disk_loaded = after_restart.rollup().disk_loaded;
 
     ServeReport {
         workers,
@@ -173,6 +274,9 @@ pub fn run_serve(config: &HarnessConfig, workers: usize) -> ServeReport {
         pool_size: pool.len(),
         cold,
         warm,
+        restart,
+        restart_disk_loaded,
+        pools: pools_breakdown,
     }
 }
 
@@ -186,10 +290,18 @@ mod tests {
         config
     }
 
+    fn temp_cache_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("rei-bench-serve-{}-{tag}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
     #[test]
-    fn warm_replay_is_cache_served_and_faster() {
+    fn warm_and_restart_replays_are_cache_served_and_faster() {
         let config = tiny_config();
-        let report = run_serve(&config, 4);
+        let dir = temp_cache_dir("warm");
+        let report = run_serve(&config, 4, 2, &dir);
         assert_eq!(report.workers, 4);
         assert_eq!(report.backend, "cpu-sequential");
         assert_eq!(report.cold.submitted, 2 * report.pool_size as u64);
@@ -213,36 +325,64 @@ mod tests {
             report.cold.wall_seconds
         );
         assert!(report.replay_speedup() > 1.0);
+        // The restarted router never saw the first router's memory; its
+        // hits all come from the compacted cache files on disk.
+        assert_eq!(report.restart.submitted, report.pool_size as u64);
+        assert!(
+            report.restart.cache_hit_rate() >= 0.9,
+            "restart hit rate {:.2}",
+            report.restart.cache_hit_rate()
+        );
+        assert!(report.restart_disk_loaded >= report.restart.cache_hits);
+        // The sharded traffic is accounted per pool and sums back up.
+        assert_eq!(report.pools.len(), 2);
+        let submitted: u64 = report.pools.iter().map(|p| p.submitted).sum();
+        assert_eq!(submitted, report.cold.submitted + report.warm.submitted);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
     fn report_json_has_the_service_shape() {
+        let pass = |submitted, wall_seconds, solved, cache_hits, coalesced| ServePass {
+            submitted,
+            wall_seconds,
+            solved,
+            failed: 0,
+            cache_hits,
+            coalesced,
+        };
         let report = ServeReport {
             workers: 4,
             backend: "cpu-sequential".into(),
             queue_capacity: 10,
             pool_size: 5,
-            cold: ServePass {
-                submitted: 10,
-                wall_seconds: 1.5,
-                solved: 10,
-                failed: 0,
-                cache_hits: 2,
-                coalesced: 3,
-            },
-            warm: ServePass {
-                submitted: 5,
-                wall_seconds: 0.1,
-                solved: 5,
-                failed: 0,
-                cache_hits: 5,
-                coalesced: 0,
-            },
+            cold: pass(10, 1.5, 10, 2, 3),
+            warm: pass(5, 0.1, 5, 5, 0),
+            restart: pass(5, 0.1, 5, 5, 0),
+            restart_disk_loaded: 5,
+            pools: vec![
+                PoolBreakdown {
+                    name: "pool-0".into(),
+                    submitted: 9,
+                    cache_hits: 4,
+                    coalesced: 2,
+                    completed: 3,
+                    workers: 4,
+                },
+                PoolBreakdown {
+                    name: "pool-1".into(),
+                    submitted: 6,
+                    cache_hits: 3,
+                    coalesced: 1,
+                    completed: 2,
+                    workers: 4,
+                },
+            ],
         };
         let json = report.to_json_value();
         assert_eq!(
             json.get("schema").and_then(Json::as_str),
-            Some("rei-bench/service-v1")
+            Some("rei-bench/service-v2")
         );
         assert_eq!(
             json.get("warm")
@@ -251,9 +391,22 @@ mod tests {
             Some(1.0)
         );
         assert_eq!(
+            json.get("restart")
+                .and_then(|r| r.get("cache_hits"))
+                .and_then(Json::as_u64),
+            Some(5)
+        );
+        assert_eq!(
+            json.get("restart_disk_loaded").and_then(Json::as_u64),
+            Some(5)
+        );
+        assert_eq!(
             json.get("replay_speedup").and_then(Json::as_f64),
             Some(15.0)
         );
+        let pools = json.get("pools").and_then(Json::as_array).unwrap();
+        assert_eq!(pools.len(), 2);
+        assert_eq!(pools[1].get("pool").and_then(Json::as_str), Some("pool-1"));
         let parsed = Json::parse(&json.to_pretty()).unwrap();
         assert_eq!(parsed, json);
     }

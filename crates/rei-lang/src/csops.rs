@@ -30,8 +30,10 @@
 //! right-operand bits into the result with one mask, one shift and one
 //! or. The per-split work of the gather kernels (two bit tests per split
 //! per target word, whether or not the operands are sparse) disappears
-//! entirely; see the [`crate::guide`] module docs for the entry layout
-//! and the memory trade-off against the pair table.
+//! entirely; see the [`GuideMasks`] docs for the entry layout and the
+//! memory trade-off against the pair table.
+//!
+//! [`GuideMasks`]: crate::GuideMasks
 //!
 //! [`MaskEntry`]: crate::MaskEntry
 

@@ -177,8 +177,8 @@ impl MaskEntry {
 /// This is the structure behind the bit-parallel concatenation kernel
 /// [`crate::csops::concat_into`], which walks only the set bits of its
 /// left operand and applies each entry as a whole-block mask-shift-or.
-/// See the [module documentation](self) for the layout and its memory
-/// trade-off against the pair table.
+/// See the `guide` module documentation (in the source) for the layout
+/// and its memory trade-off against the pair table.
 ///
 /// # Example
 ///

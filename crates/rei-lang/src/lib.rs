@@ -55,5 +55,5 @@ pub use error::SpecError;
 pub use guide::{GuideMasks, GuideTable, MaskEntry};
 pub use infix::InfixClosure;
 pub use satisfy::{AdmissionPrefilter, SatisfyMasks};
-pub use spec::Spec;
+pub use spec::{fnv1a, Spec};
 pub use word::Word;

@@ -183,14 +183,7 @@ impl Spec {
     /// possible (it is 64 bits), so exact caches must compare the
     /// canonical encoding as well.
     pub fn fingerprint(&self) -> u64 {
-        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
-        let mut hash = FNV_OFFSET;
-        for byte in self.canonicalize().bytes() {
-            hash ^= u64::from(byte);
-            hash = hash.wrapping_mul(FNV_PRIME);
-        }
-        hash
+        fnv1a(self.canonicalize().as_bytes())
     }
 
     /// The maximally overfitted solution `w1 + ... + wk` for `P = {w1..wk}`
@@ -203,6 +196,24 @@ impl Spec {
                 .map(|w| Regex::word(w.chars().iter().copied())),
         )
     }
+}
+
+/// The stable FNV-1a 64-bit hash behind [`Spec::fingerprint`].
+///
+/// Exposed so that consumers holding only a *stored* canonical encoding
+/// (for example a persisted cache record) can recompute the fingerprint a
+/// live [`Spec`] would produce, without reconstructing the specification.
+/// It is also the hash used for shard-routing tenant keys, so any stable
+/// byte string can be mapped onto the same 64-bit space as specifications.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = FNV_OFFSET;
+    for &byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
 }
 
 impl fmt::Display for Spec {

@@ -1,4 +1,5 @@
-//! The result cache with in-flight request coalescing.
+//! The result cache: in-flight request coalescing plus optional
+//! persistence to disk.
 //!
 //! Keyed by the canonical identity of a request: the specification's
 //! canonical encoding ([`Spec::canonicalize`]) plus the service
@@ -16,19 +17,45 @@
 //! synthesis and N responses). Failed runs are *not* cached: a timeout or
 //! deadline expiry is a property of that request's budget, not of the
 //! specification.
+//!
+//! # Persistence
+//!
+//! A cache built with [`ResultCache::persistent`] additionally spills
+//! every completed result to an append-only JSONL file, one record per
+//! line in the shared [`crate::json`] house style:
+//!
+//! ```json
+//! {"spec": "P2;1:0;2:00N1;1:1", "config": "costs=1,1,1,1,1 backend=…",
+//!  "regex": "0*", "cost": 3}
+//! ```
+//!
+//! On start the file warms the in-memory cache: records whose `config`
+//! wire string differs from the pool's are skipped (a different cost
+//! function or backend must be a miss), a corrupt or truncated record —
+//! the tail of a file cut mid-write, say — is skipped with a warning
+//! instead of failing the start, and when the same key appears more than
+//! once (an entry re-computed after eviction in an earlier process) the
+//! *last* record wins. On graceful shutdown the file is compacted: it is
+//! rewritten with exactly the live entries, dropping superseded
+//! duplicates and unparsable junk.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 
 use rei_core::{SynthConfig, SynthesisResult};
 use rei_lang::Spec;
 
+use crate::json::Json;
 use crate::request::JobState;
 
 /// The canonical identity of a request (see the module docs).
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct CacheKey {
-    canonical: String,
+    spec: String,
+    config: String,
     fingerprint: u64,
 }
 
@@ -36,9 +63,32 @@ impl CacheKey {
     /// Builds the key for `spec` under a service configuration.
     pub fn new(spec: &Spec, config: &SynthConfig) -> Self {
         CacheKey {
-            canonical: format!("{}|{}", spec.canonicalize(), config),
+            spec: spec.canonicalize(),
+            config: config.to_string(),
             fingerprint: spec.fingerprint(),
         }
+    }
+
+    /// Rebuilds a key from a *stored* canonical encoding and config wire
+    /// string (a persisted cache record); the fingerprint is recomputed
+    /// with the same stable hash a live [`Spec`] would produce.
+    pub(crate) fn from_parts(spec: String, config: String) -> Self {
+        let fingerprint = rei_lang::fnv1a(spec.as_bytes());
+        CacheKey {
+            spec,
+            config,
+            fingerprint,
+        }
+    }
+
+    /// The specification's canonical encoding.
+    pub(crate) fn spec(&self) -> &str {
+        &self.spec
+    }
+
+    /// The configuration wire string the key was built under.
+    pub(crate) fn config(&self) -> &str {
+        &self.config
     }
 
     /// The specification's stable 64-bit fingerprint (for logs/metrics).
@@ -76,11 +126,197 @@ struct CacheState {
     done_order: VecDeque<CacheKey>,
 }
 
+/// What warming the in-memory cache from disk found (see the module
+/// docs); surfaced through the service metrics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct LoadStats {
+    /// Records that warmed the cache.
+    pub loaded: u64,
+    /// Unparsable (corrupt or truncated) records skipped with a warning.
+    pub skipped_corrupt: u64,
+    /// Well-formed records skipped because their `config` wire string is
+    /// not this pool's (a different configuration must be a miss).
+    pub skipped_config: u64,
+}
+
+/// One persisted cache record, ready to write or just read.
+struct Record {
+    key: CacheKey,
+    result: SynthesisResult,
+}
+
+impl Record {
+    fn to_line(&self) -> String {
+        Json::object([
+            ("spec", Json::str(self.key.spec())),
+            ("config", Json::str(self.key.config())),
+            ("regex", Json::str(self.result.regex.to_string())),
+            ("cost", Json::uint(self.result.cost)),
+        ])
+        .to_compact()
+    }
+
+    /// Parses one JSONL line. `Err` carries the reason for the warning.
+    fn parse(line: &str) -> Result<Record, String> {
+        let value = Json::parse(line).map_err(|err| err.to_string())?;
+        let field = |key: &str| {
+            value
+                .get(key)
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("missing string field '{key}'"))
+        };
+        let spec = field("spec")?.to_string();
+        let config = field("config")?.to_string();
+        let regex = rei_syntax::parse(field("regex")?).map_err(|err| err.to_string())?;
+        let cost = value
+            .get("cost")
+            .and_then(Json::as_u64)
+            .ok_or("missing integer field 'cost'")?;
+        Ok(Record {
+            key: CacheKey::from_parts(spec, config),
+            result: SynthesisResult {
+                regex,
+                cost,
+                stats: Default::default(),
+            },
+        })
+    }
+}
+
+/// The disk side of a persistent cache: an append handle onto the JSONL
+/// file plus the path for compaction.
+#[derive(Debug)]
+struct CacheStore {
+    path: PathBuf,
+    appender: Mutex<fs::File>,
+}
+
+impl CacheStore {
+    fn open(path: &Path) -> Result<CacheStore, String> {
+        if let Some(dir) = path.parent() {
+            fs::create_dir_all(dir)
+                .map_err(|err| format!("cannot create cache directory {}: {err}", dir.display()))?;
+        }
+        let fail =
+            |err: std::io::Error| format!("cannot open cache file {}: {err}", path.display());
+        let mut appender = fs::OpenOptions::new()
+            .create(true)
+            .read(true)
+            .append(true)
+            .open(path)
+            .map_err(fail)?;
+        // A crash mid-append can leave the file without a trailing
+        // newline; appending straight after that partial tail would fuse
+        // the next record onto it and lose both. Terminate the tail
+        // first (the loader already skips the partial record itself).
+        let len = appender.metadata().map_err(fail)?.len();
+        if len > 0 {
+            use std::io::{Read as _, Seek as _, SeekFrom};
+            let mut last = [0u8];
+            appender.seek(SeekFrom::End(-1)).map_err(fail)?;
+            appender.read_exact(&mut last).map_err(fail)?;
+            if last != [b'\n'] {
+                // Append mode: the write lands at the end of the file.
+                appender.write_all(b"\n").map_err(fail)?;
+            }
+        }
+        Ok(CacheStore {
+            path: path.to_path_buf(),
+            appender: Mutex::new(appender),
+        })
+    }
+
+    /// Reads every valid record currently on disk, last-record-wins for
+    /// duplicated keys, keeping only records matching `config_wire`.
+    fn load(path: &Path, config_wire: &str) -> (Vec<Record>, LoadStats) {
+        let mut stats = LoadStats::default();
+        let bytes = match fs::read(path) {
+            Ok(bytes) => bytes,
+            Err(err) if err.kind() == std::io::ErrorKind::NotFound => {
+                // A missing file is simply an empty (cold) cache.
+                return (Vec::new(), stats);
+            }
+            Err(err) => {
+                // Any other read failure degrades to a cold start, but
+                // loudly: the operator should know the cache was lost.
+                stats.skipped_corrupt += 1;
+                eprintln!("warning: cannot read cache file {}: {err}", path.display());
+                return (Vec::new(), stats);
+            }
+        };
+        // Lossy decoding keeps intact records loadable even when a crash
+        // left garbage bytes elsewhere in the file; the mangled lines
+        // fail to parse and are counted as corrupt below.
+        let text = String::from_utf8_lossy(&bytes);
+        let mut records: Vec<Record> = Vec::new();
+        for (number, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            match Record::parse(line) {
+                Ok(record) if record.key.config() == config_wire => records.push(record),
+                Ok(_) => stats.skipped_config += 1,
+                Err(reason) => {
+                    stats.skipped_corrupt += 1;
+                    eprintln!(
+                        "warning: skipping cache record {}:{}: {reason}",
+                        path.display(),
+                        number + 1
+                    );
+                }
+            }
+        }
+        // Later records supersede earlier ones: keep the last per key.
+        // `loaded` is finalised by the caller, which knows how many of
+        // these survive the capacity bound.
+        let mut seen: HashSet<CacheKey> = HashSet::new();
+        let mut latest: Vec<Record> = Vec::new();
+        for record in records.into_iter().rev() {
+            if seen.insert(record.key.clone()) {
+                latest.push(record);
+            }
+        }
+        latest.reverse();
+        (latest, stats)
+    }
+
+    fn append(&self, record: &Record) {
+        let mut file = self.appender.lock().unwrap_or_else(|e| e.into_inner());
+        let mut line = record.to_line();
+        line.push('\n');
+        if let Err(err) = file.write_all(line.as_bytes()).and_then(|()| file.flush()) {
+            eprintln!(
+                "warning: cannot append to cache file {}: {err}",
+                self.path.display()
+            );
+        }
+    }
+
+    /// Atomically rewrites the file with exactly `records` (the live
+    /// entries), dropping superseded duplicates and unparsable junk.
+    fn compact(&self, records: impl Iterator<Item = Record>) {
+        let mut text = String::new();
+        for record in records {
+            text.push_str(&record.to_line());
+            text.push('\n');
+        }
+        let tmp = self.path.with_extension("jsonl.tmp");
+        let written = fs::write(&tmp, text).and_then(|()| fs::rename(&tmp, &self.path));
+        if let Err(err) = written {
+            eprintln!(
+                "warning: cannot compact cache file {}: {err}",
+                self.path.display()
+            );
+        }
+    }
+}
+
 /// The concurrent result cache (see the module docs).
 #[derive(Debug)]
 pub(crate) struct ResultCache {
     state: Mutex<CacheState>,
     capacity: usize,
+    store: Option<CacheStore>,
 }
 
 impl ResultCache {
@@ -89,7 +325,61 @@ impl ResultCache {
         ResultCache {
             state: Mutex::new(CacheState::default()),
             capacity,
+            store: None,
         }
+    }
+
+    /// A cache backed by the JSONL file at `path`: existing records warm
+    /// the in-memory cache (up to `capacity`, FIFO beyond it), completed
+    /// results are appended, and [`compact`](ResultCache::compact)
+    /// rewrites the file with the live entries.
+    ///
+    /// Content problems (corrupt records, foreign configs) degrade to a
+    /// colder start with a warning; only an unopenable file or
+    /// uncreatable directory is an error.
+    pub fn persistent(
+        capacity: usize,
+        path: &Path,
+        config: &SynthConfig,
+    ) -> Result<(Self, LoadStats), String> {
+        let (records, mut stats) = CacheStore::load(path, &config.to_string());
+        let store = CacheStore::open(path)?;
+        let cache = ResultCache {
+            state: Mutex::new(CacheState::default()),
+            capacity,
+            store: Some(store),
+        };
+        {
+            let mut state = cache.lock();
+            for record in records {
+                insert_done(&mut state, capacity, &record.key, &record.result);
+            }
+            // Count what is actually resident: records beyond capacity
+            // were FIFO-evicted during the warm-up and did not warm
+            // anything.
+            stats.loaded = state.done_order.len() as u64;
+        }
+        Ok((cache, stats))
+    }
+
+    /// Rewrites the backing file (if any) with exactly the live completed
+    /// entries, in completion order. A no-op for in-memory caches.
+    pub fn compact(&self) {
+        let Some(store) = &self.store else {
+            return;
+        };
+        let state = self.lock();
+        let records = state
+            .done_order
+            .iter()
+            .filter_map(|key| match state.map.get(key) {
+                Some(Slot::Done(result)) => Some(Record {
+                    key: key.clone(),
+                    result: result.clone(),
+                }),
+                _ => None,
+            });
+        store.compact(records);
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, CacheState> {
@@ -114,18 +404,18 @@ impl ResultCache {
     }
 
     /// Records a successful synthesis for `key`, replacing its `InFlight`
-    /// slot and evicting the oldest completed entry beyond capacity.
+    /// slot and evicting the oldest completed entry beyond capacity. A
+    /// persistent cache also appends the result to its backing file.
     pub fn complete(&self, key: &CacheKey, result: &SynthesisResult) {
-        let mut cache = self.lock();
-        cache.map.insert(key.clone(), Slot::Done(result.clone()));
-        cache.done_order.push_back(key.clone());
-        while cache.done_order.len() > self.capacity {
-            let oldest = cache.done_order.pop_front().expect("len checked");
-            // Only evict if the slot still belongs to that completion: a
-            // key can re-enter in-flight after an eviction of its own.
-            if matches!(cache.map.get(&oldest), Some(Slot::Done(_))) {
-                cache.map.remove(&oldest);
-            }
+        {
+            let mut cache = self.lock();
+            insert_done(&mut cache, self.capacity, key, result);
+        }
+        if let Some(store) = &self.store {
+            store.append(&Record {
+                key: key.clone(),
+                result: result.clone(),
+            });
         }
     }
 
@@ -160,6 +450,21 @@ impl ResultCache {
     /// Maximum number of completed results kept.
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+}
+
+/// Installs a `Done` slot, evicting the oldest completed entry beyond
+/// `capacity` (shared by completion and the disk warm-up).
+fn insert_done(state: &mut CacheState, capacity: usize, key: &CacheKey, result: &SynthesisResult) {
+    state.map.insert(key.clone(), Slot::Done(result.clone()));
+    state.done_order.push_back(key.clone());
+    while state.done_order.len() > capacity {
+        let oldest = state.done_order.pop_front().expect("len checked");
+        // Only evict if the slot still belongs to that completion: a
+        // key can re-enter in-flight after an eviction of its own.
+        if matches!(state.map.get(&oldest), Some(Slot::Done(_))) {
+            state.map.remove(&oldest);
+        }
     }
 }
 
@@ -243,6 +548,228 @@ mod tests {
             cache.lookup_or_reserve(&k, &third),
             Lookup::Coalesce(_)
         ));
+    }
+
+    fn temp_cache_file(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir()
+            .join(format!("rei-cache-test-{}-{tag}", std::process::id()))
+            .join("results.jsonl")
+    }
+
+    fn cleanup(path: &std::path::Path) {
+        if let Some(dir) = path.parent() {
+            std::fs::remove_dir_all(dir).ok();
+        }
+    }
+
+    #[test]
+    fn persistent_cache_round_trips_across_instances() {
+        let path = temp_cache_file("roundtrip");
+        let config = SynthConfig::default();
+        let spec = Spec::from_strs(["0", "00"], ["1"]).unwrap();
+        let k = CacheKey::new(&spec, &config);
+        {
+            let (cache, stats) = ResultCache::persistent(8, &path, &config).unwrap();
+            assert_eq!(stats, LoadStats::default());
+            let state = JobState::new(None);
+            assert!(matches!(cache.lookup_or_reserve(&k, &state), Lookup::Miss));
+            cache.complete(&k, &result(7));
+            cache.compact();
+        }
+        // A fresh instance (a "new process") is warm from disk.
+        let (cache, stats) = ResultCache::persistent(8, &path, &config).unwrap();
+        assert_eq!(stats.loaded, 1);
+        assert_eq!(stats.skipped_corrupt + stats.skipped_config, 0);
+        match cache.lookup_or_reserve(&k, &JobState::new(None)) {
+            Lookup::Hit(hit) => assert_eq!(hit.cost, 7),
+            other => panic!("expected disk-warm hit, got {other:?}"),
+        }
+        // The reloaded key equals a freshly computed one bit for bit
+        // (including the recomputed fingerprint).
+        assert_eq!(
+            CacheKey::from_parts(spec.canonicalize(), config.to_string()),
+            k
+        );
+        cleanup(&path);
+    }
+
+    #[test]
+    fn corrupt_tail_records_are_skipped_with_a_warning() {
+        let path = temp_cache_file("corrupt");
+        let config = SynthConfig::default();
+        let k = key("0");
+        {
+            let (cache, _) = ResultCache::persistent(8, &path, &config).unwrap();
+            let state = JobState::new(None);
+            assert!(matches!(cache.lookup_or_reserve(&k, &state), Lookup::Miss));
+            cache.complete(&k, &result(3));
+        }
+        // Simulate a crash mid-append: a truncated record on the tail.
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("{\"spec\": \"P1;1:1N0\", \"config\"");
+        std::fs::write(&path, text).unwrap();
+        let (cache, stats) = ResultCache::persistent(8, &path, &config).unwrap();
+        assert_eq!(stats.loaded, 1, "the intact record still warms");
+        assert_eq!(stats.skipped_corrupt, 1);
+        assert!(matches!(
+            cache.lookup_or_reserve(&k, &JobState::new(None)),
+            Lookup::Hit(_)
+        ));
+        // A well-formed record whose regex does not parse is corrupt too.
+        std::fs::write(
+            &path,
+            "{\"spec\": \"s\", \"config\": \"c\", \"regex\": \"+++\", \"cost\": 1}\n",
+        )
+        .unwrap();
+        let (_, stats) = ResultCache::persistent(8, &path, &config).unwrap();
+        assert_eq!(stats.loaded, 0);
+        assert_eq!(stats.skipped_corrupt, 1);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn appends_after_a_truncated_tail_do_not_fuse_records() {
+        let path = temp_cache_file("fuse");
+        let config = SynthConfig::default();
+        let k = key("0");
+        {
+            let (cache, _) = ResultCache::persistent(8, &path, &config).unwrap();
+            let state = JobState::new(None);
+            assert!(matches!(cache.lookup_or_reserve(&k, &state), Lookup::Miss));
+            cache.complete(&k, &result(3));
+        }
+        // A crash mid-append leaves a partial record with no newline.
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("{\"spec\": \"P1;1:1N0\", \"config\"");
+        std::fs::write(&path, text).unwrap();
+        // The next process appends a fresh completion; it must land on
+        // its own line, not be fused onto the partial tail.
+        let other = key("1");
+        {
+            let (cache, _) = ResultCache::persistent(8, &path, &config).unwrap();
+            let state = JobState::new(None);
+            assert!(matches!(
+                cache.lookup_or_reserve(&other, &state),
+                Lookup::Miss
+            ));
+            cache.complete(&other, &result(5));
+        }
+        let (cache, stats) = ResultCache::persistent(8, &path, &config).unwrap();
+        assert_eq!(stats.loaded, 2, "both completions survive");
+        assert_eq!(stats.skipped_corrupt, 1, "only the partial tail is lost");
+        assert!(matches!(
+            cache.lookup_or_reserve(&other, &JobState::new(None)),
+            Lookup::Hit(_)
+        ));
+        cleanup(&path);
+    }
+
+    #[test]
+    fn non_utf8_garbage_is_counted_and_does_not_hide_intact_records() {
+        let path = temp_cache_file("utf8");
+        let config = SynthConfig::default();
+        let k = key("0");
+        {
+            let (cache, _) = ResultCache::persistent(8, &path, &config).unwrap();
+            let state = JobState::new(None);
+            assert!(matches!(cache.lookup_or_reserve(&k, &state), Lookup::Miss));
+            cache.complete(&k, &result(3));
+        }
+        // Prepend a line of invalid UTF-8, as a torn page write might.
+        let mut bytes = vec![0xFF, 0xFE, 0x80, b'\n'];
+        bytes.extend(std::fs::read(&path).unwrap());
+        std::fs::write(&path, bytes).unwrap();
+        let (cache, stats) = ResultCache::persistent(8, &path, &config).unwrap();
+        assert_eq!(stats.loaded, 1, "the intact record still warms");
+        assert_eq!(stats.skipped_corrupt, 1, "the garbage is counted");
+        assert!(matches!(
+            cache.lookup_or_reserve(&k, &JobState::new(None)),
+            Lookup::Hit(_)
+        ));
+        cleanup(&path);
+    }
+
+    #[test]
+    fn disk_loaded_counts_resident_entries_not_parsed_records() {
+        let path = temp_cache_file("capacity");
+        let config = SynthConfig::default();
+        {
+            let (cache, _) = ResultCache::persistent(8, &path, &config).unwrap();
+            for positive in ["0", "1", "00"] {
+                let k = key(positive);
+                let state = JobState::new(None);
+                assert!(matches!(cache.lookup_or_reserve(&k, &state), Lookup::Miss));
+                cache.complete(&k, &result(1));
+            }
+        }
+        // Three records on disk, but a capacity-2 cache keeps (and
+        // therefore reports) only the two newest.
+        let (cache, stats) = ResultCache::persistent(2, &path, &config).unwrap();
+        assert_eq!(stats.loaded, 2);
+        assert!(matches!(
+            cache.lookup_or_reserve(&key("0"), &JobState::new(None)),
+            Lookup::Miss
+        ));
+        assert!(matches!(
+            cache.lookup_or_reserve(&key("00"), &JobState::new(None)),
+            Lookup::Hit(_)
+        ));
+        cleanup(&path);
+    }
+
+    #[test]
+    fn foreign_config_records_are_misses() {
+        let path = temp_cache_file("config");
+        let config = SynthConfig::default();
+        let k = key("0");
+        {
+            let (cache, _) = ResultCache::persistent(8, &path, &config).unwrap();
+            let state = JobState::new(None);
+            assert!(matches!(cache.lookup_or_reserve(&k, &state), Lookup::Miss));
+            cache.complete(&k, &result(3));
+        }
+        // The same file under a different cost function: every record is
+        // a mismatch, so the start is cold.
+        let other = SynthConfig::new(CostFn::new(1, 2, 3, 4, 5));
+        let (cache, stats) = ResultCache::persistent(8, &path, &other).unwrap();
+        assert_eq!(stats.loaded, 0);
+        assert_eq!(stats.skipped_config, 1);
+        let spec = Spec::from_strs(["0"], []).unwrap();
+        assert!(matches!(
+            cache.lookup_or_reserve(&CacheKey::new(&spec, &other), &JobState::new(None)),
+            Lookup::Miss
+        ));
+        cleanup(&path);
+    }
+
+    #[test]
+    fn duplicated_keys_load_last_record_and_compact_to_one() {
+        let path = temp_cache_file("supersede");
+        let config = SynthConfig::default();
+        let spec = Spec::from_strs(["0"], []).unwrap();
+        let k = CacheKey::new(&spec, &config);
+        // Hand-write an append-only history where the key was recorded
+        // twice (recomputed after an eviction in some earlier process).
+        let record = |cost: u64| {
+            format!(
+                "{{\"spec\": \"{}\", \"config\": \"{}\", \"regex\": \"0\", \"cost\": {cost}}}\n",
+                k.spec(),
+                k.config()
+            )
+        };
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, format!("{}{}", record(9), record(1))).unwrap();
+        let (cache, stats) = ResultCache::persistent(8, &path, &config).unwrap();
+        assert_eq!(stats.loaded, 1, "duplicates collapse to the last record");
+        match cache.lookup_or_reserve(&k, &JobState::new(None)) {
+            Lookup::Hit(hit) => assert_eq!(hit.cost, 1, "the last record wins"),
+            other => panic!("expected hit, got {other:?}"),
+        }
+        cache.compact();
+        let compacted = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(compacted.lines().count(), 1, "{compacted}");
+        assert!(compacted.contains("\"cost\":1"), "{compacted}");
+        cleanup(&path);
     }
 
     #[test]

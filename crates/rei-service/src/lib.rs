@@ -52,10 +52,29 @@
 //! failures are not — a timeout belongs to a request's budget, not to
 //! the specification.
 //!
+//! **Persistence.** A pool configured with
+//! [`ServiceConfig::with_cache_dir`] spills every completed result to an
+//! append-only JSONL file — one record of `(canonical spec encoding,
+//! config wire string) → (regex, cost)` per line — warms its in-memory
+//! cache from that file on start (corrupt or truncated tail records are
+//! skipped with a warning, records written under a different
+//! configuration are misses), and compacts the file on graceful
+//! shutdown, dropping superseded duplicates. The spilled identity is the
+//! same canonical form the in-memory cache compares, so a *restarted*
+//! service answers repeats from disk without re-running a synthesis.
+//!
+//! **Sharding.** The [`ShardRouter`] puts N pools — each a full
+//! `SynthService` with its own workers, queue, cache and cache file —
+//! behind one submission front-end and routes each request by its tenant
+//! key ([`SynthRequest::with_tenant`]), falling back to the
+//! specification's stable fingerprint. Per-pool metrics roll up into one
+//! cross-pool [`RouterSnapshot`].
+//!
 //! **Shutdown.** [`SynthService::close`] stops intake;
 //! [`SynthService::shutdown`] (and `Drop`) additionally drains — every
 //! already-accepted job completes and every waiter is answered — then
-//! joins the workers and returns the final [`MetricsSnapshot`].
+//! joins the workers, compacts the persistent cache and returns the
+//! final [`MetricsSnapshot`].
 //!
 //! # Example
 //!
@@ -86,9 +105,11 @@ pub mod json;
 mod metrics;
 mod queue;
 mod request;
+mod router;
 mod service;
 
 pub use cache::CacheKey;
 pub use metrics::MetricsSnapshot;
 pub use request::{JobHandle, ResponseSource, SynthRequest, SynthResponse};
+pub use router::{PoolConfig, RouterConfig, RouterSnapshot, ShardRouter};
 pub use service::{ServiceConfig, ServiceError, SynthService};

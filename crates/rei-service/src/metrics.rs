@@ -29,6 +29,9 @@ pub(crate) struct Metrics {
     pub cancelled: AtomicU64,
     pub wait_ns: AtomicU64,
     pub run_ns: AtomicU64,
+    pub disk_loaded: AtomicU64,
+    pub disk_skipped_corrupt: AtomicU64,
+    pub disk_skipped_config: AtomicU64,
     pub worker_stats: Mutex<Vec<SessionStats>>,
 }
 
@@ -89,6 +92,9 @@ impl Metrics {
             cancelled: load(&self.cancelled),
             wait_total: Duration::from_nanos(load(&self.wait_ns)),
             run_total: Duration::from_nanos(load(&self.run_ns)),
+            disk_loaded: load(&self.disk_loaded),
+            disk_skipped_corrupt: load(&self.disk_skipped_corrupt),
+            disk_skipped_config: load(&self.disk_skipped_config),
             workers: self
                 .worker_stats
                 .lock()
@@ -112,7 +118,7 @@ pub(crate) struct Gauges {
 }
 
 /// A consistent-enough point read of every service counter.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MetricsSnapshot {
     /// Requests accepted by `submit`/`try_submit` (including cache hits).
     pub submitted: u64,
@@ -138,6 +144,14 @@ pub struct MetricsSnapshot {
     pub wait_total: Duration,
     /// Total synthesis wall-clock across fresh jobs.
     pub run_total: Duration,
+    /// Persisted results that warmed the cache at start (0 without a
+    /// cache directory).
+    pub disk_loaded: u64,
+    /// Corrupt or truncated persisted records skipped at start.
+    pub disk_skipped_corrupt: u64,
+    /// Persisted records skipped because they were written under a
+    /// different pool configuration.
+    pub disk_skipped_config: u64,
     /// Cumulative `SessionStats` per worker, in worker order.
     pub workers: Vec<SessionStats>,
     /// Jobs currently queued.
@@ -169,6 +183,34 @@ impl MetricsSnapshot {
         } else {
             self.cache_hits as f64 / self.submitted as f64
         }
+    }
+
+    /// Adds another snapshot's counters into this one: counters and
+    /// durations sum, the worker rollups concatenate (in pool order), and
+    /// the queue/cache gauges sum. This is the cross-pool rollup of the
+    /// shard router — the rollup of N pool snapshots reads exactly like
+    /// the snapshot of one big pool.
+    pub fn absorb(&mut self, other: &MetricsSnapshot) {
+        self.submitted += other.submitted;
+        self.cache_hits += other.cache_hits;
+        self.coalesced += other.coalesced;
+        self.rejected += other.rejected;
+        self.enqueued += other.enqueued;
+        self.completed += other.completed;
+        self.solved += other.solved;
+        self.failed += other.failed;
+        self.deadline_expired += other.deadline_expired;
+        self.cancelled += other.cancelled;
+        self.wait_total += other.wait_total;
+        self.run_total += other.run_total;
+        self.disk_loaded += other.disk_loaded;
+        self.disk_skipped_corrupt += other.disk_skipped_corrupt;
+        self.disk_skipped_config += other.disk_skipped_config;
+        self.workers.extend(other.workers.iter().copied());
+        self.queue_depth += other.queue_depth;
+        self.queue_capacity += other.queue_capacity;
+        self.cache_entries += other.cache_entries;
+        self.cache_capacity += other.cache_capacity;
     }
 
     /// Mean queue wait of fresh jobs.
@@ -229,6 +271,12 @@ impl MetricsSnapshot {
                 Json::object([
                     ("entries", Json::uint(self.cache_entries as u64)),
                     ("capacity", Json::uint(self.cache_capacity as u64)),
+                    ("disk_loaded", Json::uint(self.disk_loaded)),
+                    (
+                        "disk_skipped_corrupt",
+                        Json::uint(self.disk_skipped_corrupt),
+                    ),
+                    ("disk_skipped_config", Json::uint(self.disk_skipped_config)),
                 ]),
             ),
             (

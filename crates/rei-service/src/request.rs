@@ -18,15 +18,18 @@ pub struct SynthRequest {
     pub(crate) spec: Spec,
     pub(crate) priority: i32,
     pub(crate) deadline: Option<Instant>,
+    pub(crate) tenant: Option<String>,
 }
 
 impl SynthRequest {
-    /// A request with default scheduling: priority 0, no deadline.
+    /// A request with default scheduling: priority 0, no deadline, no
+    /// tenant key.
     pub fn new(spec: Spec) -> Self {
         SynthRequest {
             spec,
             priority: 0,
             deadline: None,
+            tenant: None,
         }
     }
 
@@ -54,9 +57,25 @@ impl SynthRequest {
         self.with_deadline(deadline)
     }
 
+    /// Sets the tenant key a [`ShardRouter`](crate::ShardRouter) routes
+    /// by: every request carrying the same tenant key lands on the same
+    /// pool. Requests without one are routed by the specification's
+    /// stable [`fingerprint`](Spec::fingerprint) instead. The key plays
+    /// no part in result caching — two tenants of one pool asking for the
+    /// same specification still share a cache entry.
+    pub fn with_tenant(mut self, tenant: impl Into<String>) -> Self {
+        self.tenant = Some(tenant.into());
+        self
+    }
+
     /// The specification to synthesise for.
     pub fn spec(&self) -> &Spec {
         &self.spec
+    }
+
+    /// The tenant routing key, if any.
+    pub fn tenant(&self) -> Option<&str> {
+        self.tenant.as_deref()
     }
 
     /// The scheduling priority.

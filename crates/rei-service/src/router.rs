@@ -1,0 +1,439 @@
+//! The shard router: several independently-configured service pools
+//! behind one submission front-end.
+//!
+//! A single [`SynthService`] is one queue shared by every tenant: a burst
+//! of heavy requests from one tenant delays everyone, and every worker
+//! runs one configuration. The [`ShardRouter`] owns N pools — each a full
+//! `SynthService` with its own workers, queue, cache and (optionally)
+//! persistent cache file — and deterministically routes each request to
+//! one of them:
+//!
+//! * a request carrying an explicit tenant key
+//!   ([`SynthRequest::with_tenant`]) is routed by the stable FNV-1a hash
+//!   of that key — every request of a tenant lands on the same pool, so
+//!   one tenant's backlog stays on one queue;
+//! * a request without a tenant falls back to the specification's
+//!   [`fingerprint`](rei_lang::Spec::fingerprint) bits — identical
+//!   specifications still land on the same pool, which keeps the result
+//!   cache and in-flight coalescing effective across anonymous traffic.
+//!
+//! Pools fail independently: a full queue rejects `try_submit`s to *that*
+//! pool only, and the other pools keep accepting. Metrics are reported
+//! per pool plus as a cross-pool rollup (see [`RouterSnapshot`]).
+
+use std::path::PathBuf;
+
+use crate::json::Json;
+use crate::metrics::MetricsSnapshot;
+use crate::request::{JobHandle, SynthRequest};
+use crate::service::{ServiceConfig, ServiceError, SynthService};
+
+/// One named pool of a [`RouterConfig`].
+#[derive(Debug, Clone)]
+pub struct PoolConfig {
+    /// The pool's name: used in metrics and as the stem of its persistent
+    /// cache file (`<cache dir>/<name>.jsonl`).
+    pub name: String,
+    /// The pool's full service configuration.
+    pub service: ServiceConfig,
+}
+
+/// Configuration of a [`ShardRouter`]: one entry per pool.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// The pools, in routing order. Routing is `key % pools.len()`, so
+    /// the order (and count) must be stable across restarts for
+    /// persistent caches to warm the right pool.
+    pub pools: Vec<PoolConfig>,
+}
+
+impl RouterConfig {
+    /// A router of differently-configured named pools.
+    pub fn new(pools: impl IntoIterator<Item = PoolConfig>) -> Self {
+        RouterConfig {
+            pools: pools.into_iter().collect(),
+        }
+    }
+
+    /// The common case: `pools` identical shards of one service
+    /// configuration, named `pool-0` … `pool-N-1`.
+    pub fn identical(pools: usize, service: ServiceConfig) -> Self {
+        RouterConfig {
+            pools: (0..pools)
+                .map(|index| PoolConfig {
+                    name: format!("pool-{index}"),
+                    service: service.clone(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Gives every pool whose cache is not already persistent a file of
+    /// its own under `dir`: `<dir>/<pool name>.jsonl`. Routing is
+    /// deterministic, so a restarted router with the same pool list finds
+    /// each shard's entries in its own file.
+    pub fn with_cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        let dir = dir.into();
+        for pool in &mut self.pools {
+            if pool.service.cache_path.is_none() {
+                pool.service.cache_path = Some(dir.join(format!("{}.jsonl", pool.name)));
+            }
+        }
+        self
+    }
+
+    fn validate(&self) -> Result<(), ServiceError> {
+        if self.pools.is_empty() {
+            return Err(ServiceError::InvalidConfig(
+                "router needs at least one pool".into(),
+            ));
+        }
+        for (index, pool) in self.pools.iter().enumerate() {
+            if self.pools[..index].iter().any(|p| p.name == pool.name) {
+                return Err(ServiceError::InvalidConfig(format!(
+                    "duplicate pool name '{}'",
+                    pool.name
+                )));
+            }
+            // Two pools sharing one cache file would clobber each
+            // other's records at compaction — each shutdown rewrites the
+            // file with only its own entries.
+            if let Some(path) = &pool.service.cache_path {
+                if self.pools[..index]
+                    .iter()
+                    .any(|p| p.service.cache_path.as_ref() == Some(path))
+                {
+                    return Err(ServiceError::InvalidConfig(format!(
+                        "pools share the cache file '{}' (give each pool its own, \
+                         e.g. via RouterConfig::with_cache_dir)",
+                        path.display()
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+struct Pool {
+    name: String,
+    service: SynthService,
+}
+
+/// A shard router over N service pools (see the module docs).
+///
+/// # Example
+///
+/// ```
+/// use rei_service::{RouterConfig, ServiceConfig, ShardRouter, SynthRequest};
+/// use rei_lang::Spec;
+///
+/// let router = ShardRouter::start(RouterConfig::identical(2, ServiceConfig::new(1))).unwrap();
+/// let spec = Spec::from_strs(["0", "00"], ["1"]).unwrap();
+/// let handle = router.submit(SynthRequest::new(spec).with_tenant("acme")).unwrap();
+/// assert!(handle.wait().outcome.is_ok());
+/// let snapshot = router.shutdown();
+/// assert_eq!(snapshot.rollup().solved, 1);
+/// ```
+pub struct ShardRouter {
+    pools: Vec<Pool>,
+}
+
+impl std::fmt::Debug for ShardRouter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardRouter")
+            .field("pools", &self.pools.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ShardRouter {
+    /// Starts every pool (workers, watchdogs, persistent cache warm-up).
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::InvalidConfig`] when the router has no pools, pool
+    /// names collide, or any pool's own configuration does not validate;
+    /// pools already started are shut down again.
+    pub fn start(config: RouterConfig) -> Result<Self, ServiceError> {
+        config.validate()?;
+        let mut pools = Vec::with_capacity(config.pools.len());
+        for pool in config.pools {
+            let service = SynthService::start(pool.service).map_err(|err| match err {
+                ServiceError::InvalidConfig(message) => {
+                    ServiceError::InvalidConfig(format!("pool '{}': {message}", pool.name))
+                }
+                other => other,
+            })?;
+            pools.push(Pool {
+                name: pool.name,
+                service,
+            });
+        }
+        Ok(ShardRouter { pools })
+    }
+
+    /// The pool index `request` routes to: the FNV-1a hash of the tenant
+    /// key when one is set, the specification fingerprint otherwise,
+    /// reduced modulo the pool count. Deterministic across processes.
+    pub fn route(&self, request: &SynthRequest) -> usize {
+        let key = match request.tenant() {
+            Some(tenant) => rei_lang::fnv1a(tenant.as_bytes()),
+            None => request.spec().fingerprint(),
+        };
+        (key % self.pools.len() as u64) as usize
+    }
+
+    /// Submits to the routed pool, blocking while that pool's queue is at
+    /// capacity (other pools are unaffected).
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::ShuttingDown`] after [`close`](ShardRouter::close).
+    pub fn submit(&self, request: SynthRequest) -> Result<JobHandle, ServiceError> {
+        self.pools[self.route(&request)].service.submit(request)
+    }
+
+    /// Like [`submit`](ShardRouter::submit), but fails with
+    /// [`ServiceError::QueueFull`] when the routed pool's queue is at
+    /// capacity instead of blocking. Only that pool rejects; requests
+    /// routed elsewhere are unaffected.
+    pub fn try_submit(&self, request: SynthRequest) -> Result<JobHandle, ServiceError> {
+        self.pools[self.route(&request)].service.try_submit(request)
+    }
+
+    /// Number of pools.
+    pub fn pools(&self) -> usize {
+        self.pools.len()
+    }
+
+    /// The name of pool `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index >= pools()`.
+    pub fn pool_name(&self, index: usize) -> &str {
+        &self.pools[index].name
+    }
+
+    /// The pool at `index`, for direct inspection (metrics, config).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index >= pools()`.
+    pub fn pool(&self, index: usize) -> &SynthService {
+        &self.pools[index].service
+    }
+
+    /// A point-in-time snapshot of every pool's metrics.
+    pub fn metrics(&self) -> RouterSnapshot {
+        RouterSnapshot {
+            pools: self
+                .pools
+                .iter()
+                .map(|pool| (pool.name.clone(), pool.service.metrics()))
+                .collect(),
+        }
+    }
+
+    /// Closes every pool to new submissions (queued and in-flight jobs
+    /// keep running; see [`SynthService::close`]).
+    pub fn close(&self) {
+        for pool in &self.pools {
+            pool.service.close();
+        }
+    }
+
+    /// Graceful shutdown of every pool (drain, join, compact persistent
+    /// caches); returns the final per-pool snapshots.
+    pub fn shutdown(self) -> RouterSnapshot {
+        RouterSnapshot {
+            pools: self
+                .pools
+                .into_iter()
+                .map(|pool| (pool.name, pool.service.shutdown()))
+                .collect(),
+        }
+    }
+}
+
+/// Per-pool metrics snapshots plus their cross-pool rollup.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RouterSnapshot {
+    /// `(pool name, snapshot)` in routing order.
+    pub pools: Vec<(String, MetricsSnapshot)>,
+}
+
+impl RouterSnapshot {
+    /// The cross-pool rollup: every counter summed over the pools, the
+    /// worker rollups concatenated in pool order.
+    pub fn rollup(&self) -> MetricsSnapshot {
+        let mut total = MetricsSnapshot::default();
+        for (_, snapshot) in &self.pools {
+            total.absorb(snapshot);
+        }
+        total
+    }
+
+    /// The snapshot as a JSON document (schema
+    /// `rei-service/router-metrics-v1`): a `pools` array of per-pool
+    /// metrics documents plus the `rollup` document.
+    pub fn to_json(&self) -> Json {
+        Json::object([
+            ("schema", Json::str("rei-service/router-metrics-v1")),
+            ("pools", Json::uint(self.pools.len() as u64)),
+            (
+                "per_pool",
+                Json::array(self.pools.iter().map(|(name, snapshot)| {
+                    let mut doc = Json::object([("pool", Json::str(name))]);
+                    if let Json::Object(pairs) = snapshot.to_json() {
+                        for (key, value) in pairs {
+                            if key != "schema" {
+                                doc.set(&key, value);
+                            }
+                        }
+                    }
+                    doc
+                })),
+            ),
+            ("rollup", self.rollup().to_json()),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rei_lang::Spec;
+
+    fn tiny_spec(positive: &str) -> Spec {
+        Spec::from_strs([positive], []).unwrap()
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_tenant_keyed() {
+        let router = ShardRouter::start(RouterConfig::identical(3, ServiceConfig::new(1))).unwrap();
+        // Same tenant, different specs: always the same pool.
+        let by_tenant: Vec<usize> = ["0", "1", "00", "01", "11"]
+            .iter()
+            .map(|p| router.route(&SynthRequest::new(tiny_spec(p)).with_tenant("acme")))
+            .collect();
+        assert!(by_tenant.windows(2).all(|w| w[0] == w[1]), "{by_tenant:?}");
+        // Without a tenant, the spec fingerprint decides — identical
+        // specs agree, and the route matches the fingerprint arithmetic.
+        let spec = tiny_spec("010");
+        let expected = (spec.fingerprint() % 3) as usize;
+        assert_eq!(router.route(&SynthRequest::new(spec.clone())), expected);
+        assert_eq!(router.route(&SynthRequest::new(spec)), expected);
+        // A reasonable spread: many tenants do not all map to one pool.
+        let pools: std::collections::HashSet<usize> = (0..16)
+            .map(|i| {
+                router.route(&SynthRequest::new(tiny_spec("0")).with_tenant(format!("tenant-{i}")))
+            })
+            .collect();
+        assert!(pools.len() > 1, "{pools:?}");
+        router.shutdown();
+    }
+
+    #[test]
+    fn empty_and_duplicate_pool_configs_are_rejected() {
+        let err = ShardRouter::start(RouterConfig::new([])).unwrap_err();
+        assert!(matches!(err, ServiceError::InvalidConfig(_)), "{err}");
+        let twice = RouterConfig::new([
+            PoolConfig {
+                name: "a".into(),
+                service: ServiceConfig::new(1),
+            },
+            PoolConfig {
+                name: "a".into(),
+                service: ServiceConfig::new(1),
+            },
+        ]);
+        let err = ShardRouter::start(twice).unwrap_err();
+        match err {
+            ServiceError::InvalidConfig(message) => {
+                assert!(message.contains("duplicate"), "{message}")
+            }
+            other => panic!("expected InvalidConfig, got {other}"),
+        }
+        // A pool's own invalid config is reported with the pool's name.
+        let bad = RouterConfig::new([PoolConfig {
+            name: "zero".into(),
+            service: ServiceConfig::new(0),
+        }]);
+        let err = ShardRouter::start(bad).unwrap_err();
+        match err {
+            ServiceError::InvalidConfig(message) => {
+                assert!(message.contains("zero"), "{message}")
+            }
+            other => panic!("expected InvalidConfig, got {other}"),
+        }
+        // Pools must not share one cache file: each shutdown compaction
+        // would wipe the others' records. (`identical` over a config
+        // whose cache path is already set is the easy way to hit this.)
+        let shared = RouterConfig::identical(
+            2,
+            ServiceConfig::new(1).with_cache_dir(std::env::temp_dir().join("rei-router-shared")),
+        );
+        let err = ShardRouter::start(shared).unwrap_err();
+        match err {
+            ServiceError::InvalidConfig(message) => {
+                assert!(message.contains("share the cache file"), "{message}")
+            }
+            other => panic!("expected InvalidConfig, got {other}"),
+        }
+    }
+
+    #[test]
+    fn snapshot_rollup_sums_pools_and_renders_json() {
+        let router = ShardRouter::start(RouterConfig::identical(2, ServiceConfig::new(1))).unwrap();
+        let handles: Vec<_> = ["0", "1", "00", "11"]
+            .iter()
+            .map(|p| router.submit(SynthRequest::new(tiny_spec(p))).unwrap())
+            .collect();
+        for handle in &handles {
+            assert!(handle.wait().outcome.is_ok());
+        }
+        let snapshot = router.shutdown();
+        assert_eq!(snapshot.pools.len(), 2);
+        assert_eq!(snapshot.pools[0].0, "pool-0");
+        let rollup = snapshot.rollup();
+        assert_eq!(rollup.submitted, 4);
+        assert_eq!(
+            rollup.solved,
+            snapshot.pools.iter().map(|(_, s)| s.solved).sum::<u64>()
+        );
+        assert_eq!(rollup.workers.len(), 2, "one worker per pool");
+
+        let json = snapshot.to_json();
+        assert_eq!(
+            json.get("schema").and_then(Json::as_str),
+            Some("rei-service/router-metrics-v1")
+        );
+        assert_eq!(json.get("pools").and_then(Json::as_u64), Some(2));
+        let per_pool = json.get("per_pool").and_then(Json::as_array).unwrap();
+        assert_eq!(per_pool.len(), 2);
+        assert_eq!(
+            per_pool[1].get("pool").and_then(Json::as_str),
+            Some("pool-1")
+        );
+        let submitted_sum: u64 = per_pool
+            .iter()
+            .map(|p| {
+                p.get("requests")
+                    .and_then(|r| r.get("submitted"))
+                    .and_then(Json::as_u64)
+                    .unwrap()
+            })
+            .sum();
+        assert_eq!(
+            json.get("rollup")
+                .and_then(|r| r.get("requests"))
+                .and_then(|r| r.get("submitted"))
+                .and_then(Json::as_u64),
+            Some(submitted_sum)
+        );
+        // The document round-trips through the shared parser.
+        assert_eq!(Json::parse(&json.to_pretty()).unwrap(), json);
+    }
+}

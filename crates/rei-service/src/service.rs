@@ -6,6 +6,7 @@
 //! maps per-job deadlines onto each worker session's [`CancelToken`].
 
 use std::fmt;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -32,6 +33,12 @@ pub struct ServiceConfig {
     /// The synthesis configuration every worker session runs. One config
     /// per pool keeps results interchangeable and therefore cacheable.
     pub synth: SynthConfig,
+    /// Optional JSONL file the result cache persists to (see the
+    /// persistence notes in [`crate`] docs): existing records warm the
+    /// cache on start, completed results are appended, and the file is
+    /// compacted on graceful shutdown. `None` keeps the cache in memory
+    /// only.
+    pub cache_path: Option<PathBuf>,
 }
 
 impl ServiceConfig {
@@ -43,6 +50,7 @@ impl ServiceConfig {
             queue_capacity: 64,
             cache_capacity: 1024,
             synth: SynthConfig::default(),
+            cache_path: None,
         }
     }
 
@@ -61,6 +69,22 @@ impl ServiceConfig {
     /// Replaces the result-cache capacity.
     pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
         self.cache_capacity = capacity;
+        self
+    }
+
+    /// Makes the result cache persistent under `dir`: the cache spills to
+    /// and warms from `<dir>/results.jsonl` (the directory is created at
+    /// start). The [`ShardRouter`](crate::ShardRouter) gives each of its
+    /// pools a distinct file in the shared directory instead.
+    pub fn with_cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.cache_path = Some(dir.into().join("results.jsonl"));
+        self
+    }
+
+    /// Makes the result cache persistent at exactly `path` (see
+    /// [`with_cache_dir`](ServiceConfig::with_cache_dir)).
+    pub fn with_cache_path(mut self, path: impl Into<PathBuf>) -> Self {
+        self.cache_path = Some(path.into());
         self
     }
 
@@ -272,10 +296,23 @@ impl SynthService {
     /// validate (zero workers/capacities, invalid [`SynthConfig`]).
     pub fn start(config: ServiceConfig) -> Result<Self, ServiceError> {
         config.validate()?;
+        let (cache, load) = match &config.cache_path {
+            Some(path) => ResultCache::persistent(config.cache_capacity, path, &config.synth)
+                .map_err(ServiceError::InvalidConfig)?,
+            None => (ResultCache::new(config.cache_capacity), Default::default()),
+        };
+        let metrics = Metrics::new(config.workers);
+        metrics.disk_loaded.store(load.loaded, Ordering::Relaxed);
+        metrics
+            .disk_skipped_corrupt
+            .store(load.skipped_corrupt, Ordering::Relaxed);
+        metrics
+            .disk_skipped_config
+            .store(load.skipped_config, Ordering::Relaxed);
         let shared = Arc::new(Shared {
             queue: JobQueue::new(config.queue_capacity),
-            cache: ResultCache::new(config.cache_capacity),
-            metrics: Metrics::new(config.workers),
+            cache,
+            metrics,
             watchdog: Watchdog::default(),
             synth: config.synth.clone(),
         });
@@ -424,12 +461,18 @@ impl SynthService {
 
     fn join(&mut self) {
         self.shared.queue.close();
+        let drained = !self.workers.is_empty();
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
         self.shared.watchdog.shutdown();
         if let Some(watchdog) = self.watchdog.take() {
             let _ = watchdog.join();
+        }
+        if drained {
+            // Every completion has landed: rewrite the persistent cache
+            // file (if any) with exactly the live entries.
+            self.shared.cache.compact();
         }
     }
 }

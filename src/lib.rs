@@ -13,8 +13,8 @@
 //! * [`gpu`] — the software SIMT device model used as the GPU substrate
 //!   ([`gpu_sim`]).
 //! * [`baseline`] — the AlphaRegex baseline ([`alpharegex`]).
-//! * [`bench`] — benchmark generators and the paper-reproduction harness
-//!   ([`rei_bench`]).
+//! * [`mod@bench`] — benchmark generators and the paper-reproduction
+//!   harness ([`rei_bench`]).
 //! * [`service`] — the multi-tenant synthesis service: worker pool, job
 //!   scheduling, result caching and request coalescing ([`rei_service`]).
 //!
@@ -67,7 +67,10 @@
 //!
 //! Many tenants share one warm pool through the service layer: requests
 //! queue with priorities and deadlines, identical requests are answered
-//! from a result cache or coalesced onto one in-flight synthesis:
+//! from a result cache or coalesced onto one in-flight synthesis.
+//! Several pools shard behind a [`ShardRouter`](crate::service::ShardRouter)
+//! (routing by tenant key or spec fingerprint), and a pool given a cache
+//! directory persists its results across restarts:
 //!
 //! ```
 //! use paresy::prelude::*;
@@ -106,8 +109,8 @@ pub mod prelude {
     };
     pub use rei_lang::{Alphabet, InfixClosure, Spec, Word};
     pub use rei_service::{
-        JobHandle, ResponseSource, ServiceConfig, ServiceError, SynthRequest, SynthResponse,
-        SynthService,
+        JobHandle, MetricsSnapshot, PoolConfig, ResponseSource, RouterConfig, RouterSnapshot,
+        ServiceConfig, ServiceError, ShardRouter, SynthRequest, SynthResponse, SynthService,
     };
     pub use rei_syntax::{parse, CostFn, Regex};
 }

@@ -1,0 +1,224 @@
+//! Integration tests of the persistent result cache: disk-warm restarts,
+//! corrupt-tail tolerance, configuration mismatches and compaction,
+//! through the public facade.
+
+use std::path::{Path, PathBuf};
+
+use paresy::prelude::*;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("paresy-persist-{}-{tag}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn cache_file(dir: &Path) -> PathBuf {
+    dir.join("results.jsonl")
+}
+
+fn specs() -> Vec<Spec> {
+    vec![
+        Spec::from_strs(["0", "00"], ["1", "10"]).unwrap(),
+        Spec::from_strs(["1", "11", "111"], ["", "0", "10"]).unwrap(),
+        Spec::from_strs(["10", "101", "100"], ["", "0", "1"]).unwrap(),
+    ]
+}
+
+fn run_all(service: &SynthService, specs: &[Spec]) -> Vec<SynthResponse> {
+    let handles: Vec<JobHandle> = specs
+        .iter()
+        .map(|spec| service.submit(SynthRequest::new(spec.clone())).unwrap())
+        .collect();
+    handles.iter().map(JobHandle::wait).collect()
+}
+
+#[test]
+fn a_restarted_service_answers_repeats_from_disk_without_synthesis() {
+    let dir = temp_dir("restart");
+    let config = || ServiceConfig::new(1).with_cache_dir(&dir);
+
+    // First process: solve everything cold and persist.
+    let first = SynthService::start(config()).unwrap();
+    let cold = run_all(&first, &specs());
+    let costs: Vec<u64> = cold
+        .iter()
+        .map(|r| r.outcome.as_ref().expect("quick specs solve").cost)
+        .collect();
+    let metrics = first.shutdown();
+    assert_eq!(metrics.disk_loaded, 0, "the first start is cold");
+    assert_eq!(metrics.solved, 3);
+
+    // Second process: the same requests are all disk-warm cache hits.
+    let second = SynthService::start(config()).unwrap();
+    let warm = run_all(&second, &specs());
+    for (response, expected_cost) in warm.iter().zip(&costs) {
+        assert_eq!(response.source, ResponseSource::Cache);
+        let result = response.outcome.as_ref().unwrap();
+        assert_eq!(result.cost, *expected_cost, "disk result keeps its cost");
+    }
+    let metrics = second.shutdown();
+    assert_eq!(metrics.disk_loaded, 3);
+    assert_eq!(metrics.cache_hits, 3);
+    assert_eq!(
+        metrics.workers.iter().map(|w| w.runs).sum::<u64>(),
+        0,
+        "the restarted service executed zero syntheses"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn a_truncated_cache_file_degrades_to_a_cold_start() {
+    let dir = temp_dir("truncated");
+    let config = || ServiceConfig::new(1).with_cache_dir(&dir);
+    {
+        let service = SynthService::start(config()).unwrap();
+        run_all(&service, &specs());
+        service.shutdown();
+    }
+    // Cut the file mid-first-record, as a crash mid-write would: nothing
+    // parses any more.
+    let path = cache_file(&dir);
+    let text = std::fs::read_to_string(&path).unwrap();
+    std::fs::write(&path, &text[..20.min(text.len())]).unwrap();
+
+    let service = SynthService::start(config()).expect("corrupt content is not a start error");
+    let responses = run_all(&service, &specs());
+    for response in &responses {
+        assert_eq!(response.source, ResponseSource::Fresh, "cold start");
+        assert!(response.outcome.is_ok());
+    }
+    let metrics = service.shutdown();
+    assert_eq!(metrics.disk_loaded, 0);
+    assert!(metrics.disk_skipped_corrupt >= 1);
+    assert_eq!(metrics.solved, 3, "everything re-ran normally");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn a_partially_truncated_tail_keeps_the_intact_records() {
+    let dir = temp_dir("tail");
+    let config = || ServiceConfig::new(1).with_cache_dir(&dir);
+    {
+        let service = SynthService::start(config()).unwrap();
+        run_all(&service, &specs());
+        service.shutdown();
+    }
+    // Keep every full line but chop the last record in half.
+    let path = cache_file(&dir);
+    let text = std::fs::read_to_string(&path).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 3);
+    let mut mangled = lines[..2].join("\n");
+    mangled.push('\n');
+    mangled.push_str(&lines[2][..lines[2].len() / 2]);
+    std::fs::write(&path, mangled).unwrap();
+
+    let service = SynthService::start(config()).unwrap();
+    let metrics = service.metrics();
+    assert_eq!(metrics.disk_loaded, 2, "the intact records still warm");
+    assert_eq!(metrics.disk_skipped_corrupt, 1);
+    let responses = run_all(&service, &specs());
+    let from_cache = responses
+        .iter()
+        .filter(|r| r.source == ResponseSource::Cache)
+        .count();
+    assert_eq!(from_cache, 2);
+    service.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn a_different_configuration_treats_persisted_records_as_misses() {
+    let dir = temp_dir("config");
+    {
+        let service = SynthService::start(ServiceConfig::new(1).with_cache_dir(&dir)).unwrap();
+        run_all(&service, &specs());
+        service.shutdown();
+    }
+    // The same directory under a different cost function: every record
+    // mismatches, so every request runs fresh.
+    let other = SynthConfig::new(CostFn::new(2, 1, 5, 1, 1));
+    let service =
+        SynthService::start(ServiceConfig::new(1).with_cache_dir(&dir).with_synth(other)).unwrap();
+    let responses = run_all(&service, &specs());
+    for response in &responses {
+        assert_eq!(response.source, ResponseSource::Fresh);
+        assert!(response.outcome.is_ok());
+    }
+    let metrics = service.shutdown();
+    assert_eq!(metrics.disk_loaded, 0);
+    assert_eq!(metrics.disk_skipped_config, 3);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn compaction_drops_superseded_duplicates_and_junk() {
+    let dir = temp_dir("compact");
+    let config = || {
+        ServiceConfig::new(1)
+            .with_cache_capacity(2)
+            .with_cache_dir(&dir)
+    };
+    {
+        // Capacity 2 with 3 specs: the first completion is evicted, so a
+        // repeat of it appends a *second* record for the same key.
+        let service = SynthService::start(config()).unwrap();
+        run_all(&service, &specs());
+        let repeat = service
+            .submit(SynthRequest::new(specs()[0].clone()))
+            .unwrap();
+        assert_eq!(repeat.source(), ResponseSource::Fresh, "evicted → re-run");
+        assert!(repeat.wait().outcome.is_ok());
+        service.shutdown();
+    }
+    // Compaction keeps exactly the live entries (capacity 2), one record
+    // per key, every line parseable.
+    let text = std::fs::read_to_string(cache_file(&dir)).unwrap();
+    assert_eq!(text.lines().count(), 2, "{text}");
+    {
+        let service = SynthService::start(config()).unwrap();
+        let metrics = service.metrics();
+        assert_eq!(metrics.disk_loaded, 2);
+        assert_eq!(metrics.disk_skipped_corrupt, 0);
+        service.shutdown();
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn sharded_pools_persist_into_separate_files_and_rewarm() {
+    let dir = temp_dir("router");
+    let router_config = || RouterConfig::identical(2, ServiceConfig::new(1)).with_cache_dir(&dir);
+    {
+        let router = ShardRouter::start(router_config()).unwrap();
+        let handles: Vec<JobHandle> = specs()
+            .iter()
+            .map(|spec| router.submit(SynthRequest::new(spec.clone())).unwrap())
+            .collect();
+        for handle in &handles {
+            assert!(handle.wait().outcome.is_ok());
+        }
+        router.shutdown();
+    }
+    assert!(dir.join("pool-0.jsonl").exists());
+    assert!(dir.join("pool-1.jsonl").exists());
+
+    // The restarted router routes identically, so each shard finds its
+    // own entries and the whole replay is disk-served.
+    let router = ShardRouter::start(router_config()).unwrap();
+    let handles: Vec<JobHandle> = specs()
+        .iter()
+        .map(|spec| router.submit(SynthRequest::new(spec.clone())).unwrap())
+        .collect();
+    for handle in &handles {
+        let response = handle.wait();
+        assert_eq!(response.source, ResponseSource::Cache);
+        assert!(response.outcome.is_ok());
+    }
+    let rollup = router.shutdown().rollup();
+    assert_eq!(rollup.cache_hits, 3);
+    assert_eq!(rollup.disk_loaded, 3);
+    assert_eq!(rollup.workers.iter().map(|w| w.runs).sum::<u64>(), 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
