@@ -5,13 +5,15 @@ This is the committed, versioned form of the perf-baseline checks CI
 runs (and the one to run locally after regenerating the file):
 
     cargo run --release -p rei-bench --bin reproduce -- perf --out BENCH_core.json
-    cargo run --release -p rei-bench --bin reproduce -- serve --workers 4 --out BENCH_core.json
+    cargo run --release -p rei-bench --bin reproduce -- serve --listen --workers 4 --out BENCH_core.json
     python3 ci/check_bench.py BENCH_core.json
 
 It asserts the `rei-bench/perf-v4` schema: kernel speedup tripwires, the
-per-backend level-execution counters, and the `service` section's
+per-backend level-execution counters, the `service` section's
 (`rei-bench/service-v2`) cold / cache-warm / disk-warm-restart passes
-with their sharded per-pool breakdown.
+with their sharded per-pool breakdown, and the TCP front-end passes of
+`service.net` (`rei-bench/service-net-v1`): concurrent connections, a
+cache-warm replay over the wire, and the rate-limited flood tenant.
 """
 
 import json
@@ -99,6 +101,36 @@ def check_service(report):
     )
 
 
+def check_net(report):
+    net = report["service"]["net"]
+    assert net["schema"] == "rei-bench/service-net-v1", net["schema"]
+    # The harness drives several genuinely concurrent TCP connections.
+    assert net["connections"] >= 2, net
+    for pass_name in ("cold", "warm"):
+        tcp_pass = net[pass_name]
+        assert len(tcp_pass["connections"]) == net["connections"], tcp_pass
+        assert tcp_pass["submitted"] == net["pool"], tcp_pass
+        # Well-behaved tenants are never rate-limited; every request is
+        # answered over the wire.
+        for connection in tcp_pass["connections"]:
+            assert connection["rejected_rate_limited"] == 0, connection
+            assert connection["answered"] == connection["submitted"], connection
+    # The warm replay is served from the result cache end to end.
+    assert net["warm"]["cache_hit_rate"] >= 0.9, net["warm"]
+    # The flood tenant exhausts its burst and is rejected explicitly.
+    flood = net["flood"]
+    assert flood["rejected_rate_limited"] > 0, flood
+    assert flood["answered"] + flood["rejected_rate_limited"] == flood["submitted"], flood
+    assert net["rate_limited"] == flood["rejected_rate_limited"], net
+    assert net["admitted"] >= 2 * net["pool"] + flood["answered"], net
+    print(
+        f"service.net: {net['connections']} connections over "
+        f"{net['net_threads']} handler threads; warm TCP hit rate "
+        f"{net['warm']['cache_hit_rate']:.2f}; flood {flood['answered']} "
+        f"answered / {flood['rejected_rate_limited']} rate-limited"
+    )
+
+
 def main():
     path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_core.json"
     with open(path) as handle:
@@ -107,6 +139,7 @@ def main():
     check_backends(report)
     check_kernels(report)
     check_service(report)
+    check_net(report)
     print(f"{path}: baseline contract ok")
 
 

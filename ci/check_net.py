@@ -1,0 +1,189 @@
+#!/usr/bin/env python3
+"""Drive a live `paresy serve --listen` server over TCP.
+
+Opens three concurrent connections — an ordered one, a streaming one and
+a deliberately over-limit tenant — and asserts the front-end contract:
+ordered answers arrive in submission order, streaming answers arrive per
+id, the flooding tenant is rejected explicitly with `rate_limited`
+(never silently stalled), and the `shutdown` verb drains the server
+cleanly.  The caller then asserts the server process exits 0:
+
+    ./target/release/paresy serve --listen 127.0.0.1:0 \
+        --tenant flood=1,0.000000001,1,4 > serve.log &
+    addr=$(sed -n 's/^listening on //p' serve.log)
+    python3 ci/check_net.py "$addr"
+    wait %1
+
+The flood tenant's name defaults to `flood` and must be configured on
+the server with a near-zero refill rate and a burst of 1 so that exactly
+one of its requests is admitted.
+"""
+
+import argparse
+import json
+import socket
+import sys
+import threading
+
+
+def connect(addr, timeout):
+    host, port = addr.rsplit(":", 1)
+    sock = socket.create_connection((host, int(port)), timeout=timeout)
+    return sock, sock.makefile("r", encoding="utf-8")
+
+
+def send(sock, obj):
+    sock.sendall((json.dumps(obj) + "\n").encode("utf-8"))
+
+
+def read_json(reader):
+    line = reader.readline()
+    assert line, "connection closed early"
+    return json.loads(line)
+
+
+def request(rid, pos, neg, tenant):
+    return {"id": rid, "pos": pos, "neg": neg, "tenant": tenant}
+
+
+def drive_ordered(addr, timeout, results):
+    """Default (ordered) mode: answers come back in submission order."""
+    sock, reader = connect(addr, timeout)
+    # Control verbs are acknowledged immediately, ahead of any answers.
+    send(sock, {"op": "ping"})
+    ack = read_json(reader)
+    assert ack.get("op") == "ping" and ack.get("status") == "ok", ack
+    requests = [
+        request("o1", ["10", "100", "1000"], ["", "0", "1"], "ci-ordered"),
+        request("o2", ["0", "00", "000"], ["1", "10"], "ci-ordered"),
+        request("o3", ["11", "1111"], ["1", "111"], "ci-ordered"),
+    ]
+    for line in requests:
+        send(sock, line)
+    answers = [read_json(reader) for _ in requests]
+    assert [a["id"] for a in answers] == ["o1", "o2", "o3"], answers
+    for answer in answers:
+        assert answer["status"] == "solved", answer
+        assert "regex" in answer and "cost" in answer, answer
+    sock.close()
+    results["ordered"] = len(answers)
+
+
+def drive_streaming(addr, timeout, results):
+    """Stream mode: every id is answered, order not guaranteed."""
+    sock, reader = connect(addr, timeout)
+    send(sock, {"op": "mode", "value": "stream"})
+    ack = read_json(reader)
+    assert ack.get("op") == "mode" and ack.get("status") == "ok", ack
+    ids = {"s1": ["0", "01"], "s2": ["111"], "s3": ["0101", "01"]}
+    for rid, pos in ids.items():
+        send(sock, request(rid, pos, [], "ci-stream"))
+    seen = set()
+    for _ in ids:
+        answer = read_json(reader)
+        assert answer["id"] in ids and answer["id"] not in seen, answer
+        assert answer["status"] == "solved", answer
+        seen.add(answer["id"])
+    assert seen == set(ids), seen
+    sock.close()
+    results["streamed"] = len(seen)
+
+
+def drive_flood(addr, timeout, results, tenant, count):
+    """Over-limit tenant: one admission, explicit rejections after."""
+    sock, reader = connect(addr, timeout)
+    send(sock, {"op": "mode", "value": "stream"})
+    assert read_json(reader).get("status") == "ok"
+    for index in range(count):
+        # Distinct specs so nothing coalesces or cache-serves.
+        send(sock, request(f"f{index}", ["0" * (index + 1)], [], tenant))
+    answered = rejected = 0
+    for _ in range(count):
+        answer = read_json(reader)
+        if answer.get("status") == "rejected":
+            assert answer.get("reason") == "rate_limited", answer
+            rejected += 1
+        else:
+            assert answer.get("status") == "solved", answer
+            answered += 1
+    sock.close()
+    assert answered == 1, f"flood bucket should admit exactly 1, got {answered}"
+    assert rejected == count - 1, f"expected {count - 1} rejections, got {rejected}"
+    results["flood_answered"] = answered
+    results["flood_rejected"] = rejected
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="drive concurrent TCP clients against paresy serve --listen"
+    )
+    parser.add_argument("addr", help="HOST:PORT printed by the server's 'listening on' line")
+    parser.add_argument("--flood-tenant", default="flood")
+    parser.add_argument("--flood-requests", type=int, default=8)
+    parser.add_argument("--timeout", type=float, default=120.0, help="per-socket seconds")
+    args = parser.parse_args()
+
+    results = {}
+    errors = []
+
+    def guarded(fn, *fn_args):
+        def run():
+            try:
+                fn(*fn_args)
+            except BaseException as exc:  # asserts must fail the process
+                errors.append(f"{fn.__name__}: {exc!r}")
+
+        return threading.Thread(target=run, name=fn.__name__)
+
+    threads = [
+        guarded(drive_ordered, args.addr, args.timeout, results),
+        guarded(drive_streaming, args.addr, args.timeout, results),
+        guarded(
+            drive_flood,
+            args.addr,
+            args.timeout,
+            results,
+            args.flood_tenant,
+            args.flood_requests,
+        ),
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=args.timeout)
+        assert not thread.is_alive(), f"{thread.name} hung"
+    if errors:
+        for error in errors:
+            print(error, file=sys.stderr)
+        sys.exit(1)
+
+    # The server-side counters agree with what the clients observed.
+    sock, reader = connect(args.addr, args.timeout)
+    send(sock, {"op": "metrics"})
+    snapshot = read_json(reader)
+    assert snapshot.get("schema") == "rei-service/router-metrics-v1", snapshot
+    counters = snapshot["rollup"]["requests"]
+    assert counters["rate_limited"] >= results["flood_rejected"], counters
+    admitted = results["ordered"] + results["streamed"] + results["flood_answered"]
+    assert counters["admitted"] >= admitted, counters
+    # Admission rejections are split from queue-full ones: the flood was
+    # turned away at the door, not by queue churn.
+    assert "rejected_queue_full" in counters, counters
+
+    # Graceful drain: the verb is acked, then the server closes the
+    # connection once every pending answer has been delivered.
+    send(sock, {"op": "shutdown"})
+    ack = read_json(reader)
+    assert ack.get("op") == "shutdown" and ack.get("status") == "ok", ack
+    assert reader.readline() == "", "expected EOF after shutdown drain"
+    sock.close()
+
+    print(
+        f"net contract ok: {results['ordered']} ordered + "
+        f"{results['streamed']} streamed answers, "
+        f"{results['flood_rejected']} rate-limited rejections, clean shutdown"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -5,6 +5,7 @@ use std::fmt;
 use std::time::Duration;
 
 use rei_core::BackendChoice;
+use rei_service::{AdmissionConfig, TenantPolicy};
 use rei_syntax::CostFn;
 
 /// Options of the `synth` command.
@@ -97,6 +98,14 @@ pub struct ServeOptions {
     pub stream: bool,
     /// Emit a final metrics JSON line after the results.
     pub metrics: bool,
+    /// Listen on a TCP address (`--listen ADDR`) instead of serving
+    /// stdin; `:0` picks a free port, printed as `listening on ADDR`.
+    pub listen: Option<String>,
+    /// Size of the TCP connection-handler pool (`--net-threads`).
+    pub net_threads: usize,
+    /// Fair-share admission policies (`--tenant`, `--default-tenant`);
+    /// only the TCP front-end enforces them.
+    pub admission: AdmissionConfig,
 }
 
 impl Default for ServeOptions {
@@ -116,6 +125,9 @@ impl Default for ServeOptions {
             cache_dir: None,
             stream: false,
             metrics: false,
+            listen: None,
+            net_threads: 4,
+            admission: AdmissionConfig::new(),
         }
     }
 }
@@ -175,6 +187,9 @@ USAGE:
                   [--compare-baseline]
   paresy serve    [--workers N] [--pools N] [--queue N] [--cache N]
                   [--cache-dir DIR] [--stream]
+                  [--listen ADDR] [--net-threads N]
+                  [--tenant NAME=WEIGHT,RATE,BURST,MAX_INFLIGHT]
+                  [--default-tenant WEIGHT,RATE,BURST,MAX_INFLIGHT]
                   [--cost a,q,s,c,u] [--backend NAME] [--error FRACTION]
                   [--max-cost N] [--timeout SECONDS]
                   [--sched-chunk ROWS] [--level-chunk-rows ROWS] [--metrics]
@@ -205,6 +220,18 @@ key (spec fingerprint when absent); --cache-dir persists each pool's
 result cache to DIR/pool-K.jsonl and warms it on the next start, so a
 restarted server answers repeats without re-running syntheses.
 --metrics appends a final metrics JSON line (router snapshot).
+
+--listen ADDR serves the same protocol over TCP instead of stdin
+(':0' picks a free port, printed as 'listening on ADDR'). Connections
+are handled by a pool of --net-threads threads; each may switch itself
+between ordered and streaming answers with {\"op\": \"mode\", \"value\":
+\"stream\"}, and the verbs ping/metrics/shutdown are available. --tenant
+gives one tenant a fair-share admission policy (request weight, token
+rate per second, bucket burst, max in-flight; rate/burst accept 'inf'),
+--default-tenant replaces the all-unlimited policy for everyone else.
+Over-limit requests are answered with \"status\": \"rejected\",
+\"reason\": \"rate_limited\" instead of queueing. Ctrl-C or a shutdown
+verb drains in-flight work, persists caches and exits cleanly.
 ";
 
 fn split_words(raw: &str) -> Vec<String> {
@@ -233,6 +260,38 @@ fn parse_cost(raw: &str) -> Result<CostFn, CommandError> {
     Ok(CostFn::new(
         parts[0], parts[1], parts[2], parts[3], parts[4],
     ))
+}
+
+/// Parses the `WEIGHT,RATE,BURST,MAX_INFLIGHT` tail of `--tenant` and
+/// `--default-tenant`. `RATE` and `BURST` accept `inf` for "unlimited".
+fn parse_tenant_policy(flag: &str, raw: &str) -> Result<TenantPolicy, CommandError> {
+    let bad = || {
+        CommandError(format!(
+            "{flag} expects WEIGHT,RATE,BURST,MAX_INFLIGHT (rate/burst may be 'inf'), got '{raw}'"
+        ))
+    };
+    let parts: Vec<&str> = raw.split(',').map(str::trim).collect();
+    if parts.len() != 4 {
+        return Err(bad());
+    }
+    let weight: u32 = parts[0].parse().ok().filter(|w| *w >= 1).ok_or_else(bad)?;
+    let positive_or_inf = |part: &str| -> Option<f64> {
+        if part.eq_ignore_ascii_case("inf") {
+            return Some(f64::INFINITY);
+        }
+        part.parse::<f64>()
+            .ok()
+            .filter(|v| *v > 0.0 && v.is_finite())
+    };
+    let rate = positive_or_inf(parts[1]).ok_or_else(bad)?;
+    let burst = positive_or_inf(parts[2]).ok_or_else(bad)?;
+    let max_inflight: usize = parts[3].parse().ok().filter(|n| *n >= 1).ok_or_else(bad)?;
+    Ok(TenantPolicy {
+        weight,
+        rate,
+        burst,
+        max_inflight,
+    })
 }
 
 fn next_value<'a, I: Iterator<Item = &'a str>>(
@@ -393,7 +452,11 @@ pub fn parse_args<S: AsRef<str>>(args: &[S]) -> Result<Command, CommandError> {
         }
         "serve" => {
             let mut options = ServeOptions::default();
+            let mut net_only_flag = None;
             while let Some(flag) = iter.next() {
+                if matches!(flag, "--net-threads" | "--tenant" | "--default-tenant") {
+                    net_only_flag = Some(flag.to_string());
+                }
                 match flag {
                     "--workers" => {
                         options.workers = next_value(flag, &mut iter)?
@@ -436,6 +499,35 @@ pub fn parse_args<S: AsRef<str>>(args: &[S]) -> Result<Command, CommandError> {
                     }
                     "--stream" => options.stream = true,
                     "--metrics" => options.metrics = true,
+                    "--listen" => options.listen = Some(next_value(flag, &mut iter)?.to_string()),
+                    "--net-threads" => {
+                        options.net_threads = next_value(flag, &mut iter)?
+                            .parse()
+                            .ok()
+                            .filter(|n| *n >= 1)
+                            .ok_or_else(|| {
+                                CommandError("--net-threads expects a positive integer".into())
+                            })?
+                    }
+                    "--tenant" => {
+                        let raw = next_value(flag, &mut iter)?;
+                        let (name, policy) = raw.split_once('=').ok_or_else(|| {
+                            CommandError(format!(
+                                "--tenant expects NAME=WEIGHT,RATE,BURST,MAX_INFLIGHT, got '{raw}'"
+                            ))
+                        })?;
+                        if name.is_empty() {
+                            return Err(CommandError("--tenant needs a non-empty NAME".into()));
+                        }
+                        let policy = parse_tenant_policy(flag, policy)?;
+                        options.admission =
+                            std::mem::take(&mut options.admission).with_tenant(name, policy);
+                    }
+                    "--default-tenant" => {
+                        let policy = parse_tenant_policy(flag, next_value(flag, &mut iter)?)?;
+                        options.admission =
+                            std::mem::take(&mut options.admission).with_default_policy(policy);
+                    }
                     other => {
                         if !parse_session_flag(
                             other,
@@ -451,6 +543,13 @@ pub fn parse_args<S: AsRef<str>>(args: &[S]) -> Result<Command, CommandError> {
                             return Err(CommandError(format!("unknown flag '{other}'")));
                         }
                     }
+                }
+            }
+            if options.listen.is_none() {
+                if let Some(flag) = net_only_flag {
+                    return Err(CommandError(format!(
+                        "{flag} only applies to the TCP front-end; add --listen ADDR"
+                    )));
                 }
             }
             Ok(Command::Serve(options))
@@ -701,6 +800,59 @@ mod tests {
         ] {
             assert!(parse_args(&bad).is_err(), "{bad:?}");
         }
+    }
+
+    #[test]
+    fn listen_and_tenant_policies_parse() {
+        let cmd = parse_args(&[
+            "serve",
+            "--listen",
+            "127.0.0.1:0",
+            "--net-threads",
+            "8",
+            "--tenant",
+            "acme=3,2.5,10,4",
+            "--tenant",
+            "free=1,0.5,2,1",
+            "--default-tenant",
+            "2,inf,inf,64",
+        ])
+        .unwrap();
+        match cmd {
+            Command::Serve(options) => {
+                assert_eq!(options.listen.as_deref(), Some("127.0.0.1:0"));
+                assert_eq!(options.net_threads, 8);
+                assert_eq!(options.admission.tenants.len(), 2);
+                let (name, acme) = &options.admission.tenants[0];
+                assert_eq!(name, "acme");
+                assert_eq!(acme.weight, 3);
+                assert!((acme.rate - 2.5).abs() < 1e-9);
+                assert!((acme.burst - 10.0).abs() < 1e-9);
+                assert_eq!(acme.max_inflight, 4);
+                assert_eq!(options.admission.default_policy.weight, 2);
+                assert!(options.admission.default_policy.rate.is_infinite());
+                assert_eq!(options.admission.default_policy.max_inflight, 64);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        for bad in [
+            vec!["serve", "--listen", "127.0.0.1:0", "--net-threads", "0"],
+            vec!["serve", "--listen", "x", "--tenant", "acme"],
+            vec!["serve", "--listen", "x", "--tenant", "=1,1,1,1"],
+            vec!["serve", "--listen", "x", "--tenant", "a=0,1,1,1"],
+            vec!["serve", "--listen", "x", "--tenant", "a=1,-2,1,1"],
+            vec!["serve", "--listen", "x", "--tenant", "a=1,1,1"],
+            vec!["serve", "--listen", "x", "--default-tenant", "1,1,1,0"],
+            vec!["serve", "--listen", "x", "--default-tenant", "1,nan,1,1"],
+        ] {
+            assert!(parse_args(&bad).is_err(), "{bad:?}");
+        }
+        // The net-only flags demand --listen so they are never silently
+        // ignored on a stdin server.
+        let err = parse_args(&["serve", "--tenant", "acme=1,1,1,1"]).unwrap_err();
+        assert!(err.to_string().contains("--listen"), "{err}");
+        let err = parse_args(&["serve", "--net-threads", "2"]).unwrap_err();
+        assert!(err.to_string().contains("--listen"), "{err}");
     }
 
     #[test]

@@ -10,7 +10,7 @@ use rei_core::{SynthConfig, SynthSession, SynthesisError, SynthesisResult};
 use rei_lang::{Alphabet, Spec};
 
 use crate::args::{Command, SynthOptions, USAGE};
-use crate::serve::{run_serve_on, run_serve_stream};
+use crate::serve::{run_serve_listen, run_serve_on, run_serve_stream};
 use crate::specfile::{parse_spec_file, render_spec_file};
 
 /// Runs a parsed command and returns the text to print.
@@ -27,7 +27,13 @@ pub fn run_command(command: &Command) -> Result<String, String> {
         Command::Serve(options) => {
             // The serve command is the one consumer of stdin; tests drive
             // `run_serve_on`/`run_serve_stream` with in-memory input.
-            if options.stream {
+            if options.listen.is_some() {
+                // TCP mode: serves sockets instead of stdin and writes
+                // its own lines ("listening on ADDR", then — with
+                // --metrics — the final snapshot) as they happen.
+                run_serve_listen(options, std::io::stdout().lock())?;
+                Ok(String::new())
+            } else if options.stream {
                 // Streaming mode writes (and flushes) each result line
                 // itself, as its request completes.
                 // `Stdin` (unlike `StdinLock`) is `Send`, which the

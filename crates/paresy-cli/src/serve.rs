@@ -42,17 +42,23 @@
 //! Failed searches report `"status"` of `timeout` / `oom` / `not-found` /
 //! `cancelled`; malformed lines report `bad-request` with an `error`
 //! message (and are not submitted). Blank lines are skipped.
+//!
+//! With `--listen ADDR` the same protocol is served over TCP instead of
+//! stdin (see [`rei_net`]): many concurrent connections, per-connection
+//! ordered/streaming answer modes, control verbs, per-tenant fair-share
+//! admission (`--tenant`, `--default-tenant`) and a graceful drain on
+//! Ctrl-C or the `shutdown` verb. The wire format itself lives in
+//! [`rei_net::protocol`], shared between both modes.
 
 use std::collections::VecDeque;
 use std::io::{BufRead, Write};
 use std::time::Duration;
 
-use rei_core::{SynthConfig, SynthesisError};
-use rei_lang::Spec;
+use rei_core::SynthConfig;
+use rei_net::protocol::{bad_request_line, parse_request, response_line};
+use rei_net::{install_sigint, NetConfig, NetServer};
 use rei_service::json::Json;
-use rei_service::{
-    JobHandle, RouterConfig, ServiceConfig, ShardRouter, SynthRequest, SynthResponse,
-};
+use rei_service::{JobHandle, RouterConfig, ServiceConfig, ShardRouter};
 
 use crate::args::ServeOptions;
 
@@ -88,130 +94,6 @@ fn build_router(options: &ServeOptions) -> Result<ShardRouter, String> {
         config = config.with_cache_dir(dir);
     }
     ShardRouter::start(config).map_err(|err| err.to_string())
-}
-
-/// One parsed input line: the request plus the identity to echo back.
-struct ParsedRequest {
-    id: Json,
-    request: SynthRequest,
-}
-
-fn words_of(value: &Json, key: &str) -> Result<Vec<String>, String> {
-    let Some(raw) = value.get(key) else {
-        return Ok(Vec::new());
-    };
-    let items = raw
-        .as_array()
-        .ok_or_else(|| format!("'{key}' must be an array of strings"))?;
-    items
-        .iter()
-        .map(|item| {
-            let word = item
-                .as_str()
-                .ok_or_else(|| format!("'{key}' must contain only strings"))?;
-            Ok(match word {
-                "ε" | "<eps>" => String::new(),
-                other => other.to_string(),
-            })
-        })
-        .collect()
-}
-
-/// Parses one input line. A malformed line yields the identity to echo —
-/// the client's `id` when one was readable, the line number otherwise —
-/// alongside the error message, so clients can always correlate
-/// `bad-request` results with their requests.
-fn parse_request(line: &str, line_number: usize) -> Result<ParsedRequest, (Json, String)> {
-    let line_id = Json::uint(line_number as u64);
-    let value = Json::parse(line).map_err(|err| (line_id.clone(), err.to_string()))?;
-    if value.as_object().is_none() {
-        return Err((line_id, "request must be a JSON object".into()));
-    }
-    let id = match value.get("id") {
-        Some(id @ (Json::Str(_) | Json::Number(_))) => id.clone(),
-        Some(_) => return Err((line_id, "'id' must be a string or a number".into())),
-        None => line_id,
-    };
-    let fail = |message: String| (id.clone(), message);
-    if value.get("pos").is_none() {
-        return Err(fail("request needs a 'pos' array".into()));
-    }
-    let positives = words_of(&value, "pos").map_err(fail)?;
-    let negatives = words_of(&value, "neg").map_err(fail)?;
-    let spec = Spec::from_strs(
-        positives.iter().map(String::as_str),
-        negatives.iter().map(String::as_str),
-    )
-    .map_err(|err| fail(err.to_string()))?;
-
-    let mut request = SynthRequest::new(spec);
-    if let Some(priority) = value.get("priority") {
-        let priority = priority
-            .as_f64()
-            .filter(|p| p.fract() == 0.0 && (i32::MIN as f64..=i32::MAX as f64).contains(p))
-            .ok_or_else(|| fail("'priority' must be an integer".into()))?;
-        request = request.with_priority(priority as i32);
-    }
-    if let Some(timeout) = value.get("timeout_ms") {
-        // try_from rejects negative, NaN, infinite and overflowing values.
-        let timeout = timeout
-            .as_f64()
-            .and_then(|ms| Duration::try_from_secs_f64(ms / 1e3).ok())
-            .ok_or_else(|| fail("'timeout_ms' must be a non-negative number".into()))?;
-        request = request.with_timeout(timeout);
-    }
-    if let Some(tenant) = value.get("tenant") {
-        let tenant = tenant
-            .as_str()
-            .ok_or_else(|| fail("'tenant' must be a string".into()))?;
-        request = request.with_tenant(tenant);
-    }
-    Ok(ParsedRequest { id, request })
-}
-
-fn error_status(err: &SynthesisError) -> &'static str {
-    match err {
-        SynthesisError::Timeout { .. } => "timeout",
-        SynthesisError::OutOfMemory { .. } => "oom",
-        SynthesisError::NotFound { .. } => "not-found",
-        SynthesisError::Cancelled { .. } => "cancelled",
-        // The service validates its config at start; per-request failures
-        // can never be InvalidConfig.
-        SynthesisError::InvalidConfig { .. } => "invalid-config",
-    }
-}
-
-fn bad_request_line(id: Json, message: &str) -> Json {
-    Json::object([
-        ("id", id),
-        ("status", Json::str("bad-request")),
-        ("error", Json::str(message)),
-    ])
-}
-
-fn response_line(id: Json, response: &SynthResponse) -> Json {
-    let ms = |d: Duration| Json::fixed(d.as_secs_f64() * 1e3, 3);
-    let mut line = vec![("id".to_string(), id)];
-    match &response.outcome {
-        Ok(result) => {
-            line.push(("status".into(), Json::str("solved")));
-            line.push(("regex".into(), Json::str(result.regex.to_string())));
-            line.push(("cost".into(), Json::uint(result.cost)));
-        }
-        Err(err) => {
-            line.push(("status".into(), Json::str(error_status(err))));
-        }
-    }
-    line.push(("source".into(), Json::str(response.source.as_str())));
-    line.push(("wait_ms".into(), ms(response.waited)));
-    line.push(("run_ms".into(), ms(response.ran)));
-    if let Ok(result) = &response.outcome {
-        line.push((
-            "candidates".into(),
-            Json::uint(result.stats.candidates_generated),
-        ));
-    }
-    Json::Object(line)
 }
 
 /// Runs the serve command over `input` (one JSON request per line) and
@@ -359,6 +241,38 @@ pub fn run_serve_stream(
         }
     }
     let snapshot = router.shutdown();
+    if options.metrics {
+        emit(&mut out, &snapshot.to_json())?;
+    }
+    Ok(())
+}
+
+/// Runs the serve command as a TCP front-end on `--listen ADDR`: binds,
+/// announces the resolved address on `out` as `listening on ADDR` (which
+/// is how scripts discover a `:0` port), then serves connections until a
+/// `shutdown` control verb or Ctrl-C drains the server. With `--metrics`
+/// the final router snapshot — admission counters included — is written
+/// to `out` as one JSON line after the drain.
+///
+/// # Errors
+///
+/// Returns a message when the service or admission configuration is
+/// invalid, the address cannot be bound, or the listener fails fatally.
+pub fn run_serve_listen(options: &ServeOptions, mut out: impl Write) -> Result<(), String> {
+    let listen = options
+        .listen
+        .as_deref()
+        .ok_or_else(|| "run_serve_listen needs --listen".to_string())?;
+    let router = build_router(options)?;
+    let config = NetConfig::new(listen)
+        .with_handler_threads(options.net_threads)
+        .with_admission(options.admission.clone());
+    let server = NetServer::bind(config, router)?;
+    writeln!(out, "listening on {}", server.local_addr())
+        .and_then(|()| out.flush())
+        .map_err(|err| format!("cannot write output: {err}"))?;
+    install_sigint();
+    let snapshot = server.run()?;
     if options.metrics {
         emit(&mut out, &snapshot.to_json())?;
     }
@@ -646,6 +560,106 @@ mod tests {
             "the restarted server ran no synthesis"
         );
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn listen_mode_serves_tcp_and_reports_admission_metrics() {
+        use std::io::BufRead as _;
+
+        let mut options = options();
+        options.listen = Some("127.0.0.1:0".into());
+        options.metrics = true;
+        options.admission = rei_service::AdmissionConfig::new()
+            .with_tenant("greedy", rei_service::TenantPolicy::limited(1e-9, 1.0));
+
+        let writer = TimedWriter::default();
+        let server = {
+            let writer = writer.clone();
+            std::thread::spawn(move || run_serve_listen(&options, writer).unwrap())
+        };
+        // Writes arrive in fragments; reassemble them into lines.
+        let written_lines = |writer: &TimedWriter| -> Vec<String> {
+            let bytes: Vec<u8> = writer
+                .0
+                .lock()
+                .unwrap()
+                .iter()
+                .flat_map(|(_, chunk)| chunk.clone())
+                .collect();
+            String::from_utf8(bytes)
+                .unwrap()
+                .lines()
+                .map(str::to_string)
+                .collect()
+        };
+        // The first output line announces the resolved port; wait for
+        // the full line (its fragments arrive across several writes).
+        let addr = loop {
+            let complete = writer
+                .0
+                .lock()
+                .unwrap()
+                .iter()
+                .any(|(_, chunk)| chunk.contains(&b'\n'));
+            if complete {
+                let first = written_lines(&writer)[0].clone();
+                break first
+                    .strip_prefix("listening on ")
+                    .unwrap_or_else(|| panic!("unexpected first line {first:?}"))
+                    .to_string();
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        };
+
+        let mut client = std::net::TcpStream::connect(&addr).unwrap();
+        client
+            .write_all(
+                b"{\"id\": \"a\", \"pos\": [\"0\", \"00\"], \"neg\": [\"1\"], \"tenant\": \"greedy\"}\n\
+                  {\"id\": \"b\", \"pos\": [\"0\"], \"tenant\": \"greedy\"}\n\
+                  {\"op\": \"shutdown\"}\n",
+            )
+            .unwrap();
+        let results: Vec<Json> = std::io::BufReader::new(client)
+            .lines()
+            .map(|l| Json::parse(&l.unwrap()).unwrap())
+            .filter(|l| l.get("op").is_none())
+            .collect();
+        // Rejections are answered immediately, bypassing the ordered
+        // buffering — correlate by id rather than by arrival order.
+        assert_eq!(results.len(), 2, "{results:?}");
+        let by_id = |id: &str| {
+            results
+                .iter()
+                .find(|r| r.get("id").and_then(Json::as_str) == Some(id))
+                .unwrap_or_else(|| panic!("no answer for {id}: {results:?}"))
+        };
+        assert_eq!(
+            by_id("a").get("status").and_then(Json::as_str),
+            Some("solved")
+        );
+        // The one-token bucket rejects the second request explicitly.
+        let rejected = by_id("b");
+        assert_eq!(
+            rejected.get("status").and_then(Json::as_str),
+            Some("rejected")
+        );
+        assert_eq!(
+            rejected.get("reason").and_then(Json::as_str),
+            Some("rate_limited")
+        );
+
+        server.join().unwrap();
+        let metrics = written_lines(&writer)
+            .into_iter()
+            .find(|line| line.starts_with('{'))
+            .expect("metrics line after the drain");
+        let metrics = Json::parse(metrics.trim()).unwrap();
+        let requests = metrics
+            .get("rollup")
+            .and_then(|r| r.get("requests"))
+            .unwrap();
+        assert_eq!(requests.get("admitted").and_then(Json::as_u64), Some(1));
+        assert_eq!(requests.get("rate_limited").and_then(Json::as_u64), Some(1));
     }
 
     #[test]

@@ -23,7 +23,7 @@
 use std::process::ExitCode;
 
 use rei_bench::harness::{
-    outlier_distribution, run_error_table, run_figure1, run_perf, run_serve, run_table1,
+    outlier_distribution, run_error_table, run_figure1, run_net, run_perf, run_serve, run_table1,
     run_table2, HarnessConfig, RunOutcome, PAPER_THRESHOLDS,
 };
 use rei_bench::report::{fmt_opt, format_table};
@@ -37,6 +37,8 @@ fn main() -> ExitCode {
     let mut workers = 4usize;
     let mut pools = 2usize;
     let mut cache_dir: Option<String> = None;
+    let mut listen = false;
+    let mut net_threads = 4usize;
     let mut iter = args.iter().peekable();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -61,6 +63,11 @@ fn main() -> ExitCode {
                 Some(dir) => cache_dir = Some(dir.clone()),
                 None => return usage("--cache-dir expects a directory path"),
             },
+            "--listen" => listen = true,
+            "--net-threads" => match iter.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n >= 1 => net_threads = n,
+                _ => return usage("--net-threads expects a positive integer"),
+            },
             "--help" | "-h" => return usage(""),
             other if experiment.is_none() && !other.starts_with('-') => {
                 experiment = Some(other.to_string());
@@ -84,7 +91,14 @@ fn main() -> ExitCode {
             }
         }
         "serve" => {
-            if !print_serve(&config, workers, pools, cache_dir.as_deref(), &out_path) {
+            if !print_serve(
+                &config,
+                workers,
+                pools,
+                cache_dir.as_deref(),
+                listen.then_some(net_threads),
+                &out_path,
+            ) {
                 return ExitCode::FAILURE;
             }
         }
@@ -97,7 +111,14 @@ fn main() -> ExitCode {
             if !print_perf(&config, &out_path) {
                 return ExitCode::FAILURE;
             }
-            if !print_serve(&config, workers, pools, cache_dir.as_deref(), &out_path) {
+            if !print_serve(
+                &config,
+                workers,
+                pools,
+                cache_dir.as_deref(),
+                listen.then_some(net_threads),
+                &out_path,
+            ) {
                 return ExitCode::FAILURE;
             }
         }
@@ -112,7 +133,8 @@ fn usage(error: &str) -> ExitCode {
     }
     eprintln!(
         "usage: reproduce [--full] [--seed N] [--out FILE] [--workers N] [--pools N] \
-         [--cache-dir DIR] <figure1|table1|table2|outliers|error|perf|serve|all>"
+         [--cache-dir DIR] [--listen] [--net-threads N] \
+         <figure1|table1|table2|outliers|error|perf|serve|all>"
     );
     if error.is_empty() {
         ExitCode::SUCCESS
@@ -324,6 +346,7 @@ fn print_serve(
     workers: usize,
     pools: usize,
     cache_dir: Option<&str>,
+    listen_net_threads: Option<usize>,
     out_path: &str,
 ) -> bool {
     println!("== Service throughput: cold vs cache-warm vs disk-warm restart ==");
@@ -412,10 +435,67 @@ fn print_serve(
         report.replay_speedup(),
         report.restart_disk_loaded
     );
-    merge_sections(
-        out_path,
-        Json::object([("service", report.to_json_value())]),
-    )
+    let mut service = report.to_json_value();
+    if let Some(net_threads) = listen_net_threads {
+        service.set("net", print_net(config, workers, pools, net_threads));
+    }
+    merge_sections(out_path, Json::object([("service", service)]))
+}
+
+/// Runs the TCP pass of the serve experiment (`--listen`): concurrent
+/// client threads over real sockets, plus a rate-limited flood. Returns
+/// the `service.net` section.
+fn print_net(config: &HarnessConfig, workers: usize, pools: usize, net_threads: usize) -> Json {
+    println!("== Service over TCP: concurrent connections and fair-share admission ==");
+    let report = run_net(config, workers, pools, net_threads);
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for (label, pass) in [("cold", &report.cold), ("warm", &report.warm)] {
+        for connection in &pass.connections {
+            rows.push(vec![
+                label.to_string(),
+                connection.tenant.clone(),
+                connection.submitted.to_string(),
+                connection.answered.to_string(),
+                connection.rejected_rate_limited.to_string(),
+                format!("{:.4}", connection.wall_seconds),
+                format!("{:.1}", connection.throughput()),
+            ]);
+        }
+    }
+    rows.push(vec![
+        "flood".into(),
+        report.flood.tenant.clone(),
+        report.flood.submitted.to_string(),
+        report.flood.answered.to_string(),
+        report.flood.rejected_rate_limited.to_string(),
+        format!("{:.4}", report.flood.wall_seconds),
+        format!("{:.1}", report.flood.throughput()),
+    ]);
+    println!(
+        "{}",
+        format_table(
+            &[
+                "pass",
+                "tenant",
+                "requests",
+                "answered",
+                "rate_limited",
+                "wall s",
+                "req/s"
+            ],
+            &rows
+        )
+    );
+    println!(
+        "{} handler threads, {} concurrent connections; warm TCP hit rate {:.0}%, \
+         admission admitted {} / rate-limited {}\n",
+        report.net_threads,
+        report.connections,
+        report.warm.cache_hit_rate() * 100.0,
+        report.admitted,
+        report.rate_limited
+    );
+    report.to_json_value()
 }
 
 /// Removes the serve experiment's `*.jsonl` shard files (and their

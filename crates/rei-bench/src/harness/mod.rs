@@ -6,6 +6,7 @@
 
 mod error_table;
 mod figure1;
+mod net;
 mod outliers;
 mod perf;
 mod serve;
@@ -14,6 +15,7 @@ mod table2;
 
 pub use error_table::{paper_error_spec, run_error_table, ErrorRow};
 pub use figure1::{run_figure1, Figure1Row};
+pub use net::{run_net, NetConnection, NetPass, NetReport, FLOOD_BURST, NET_CONNECTIONS};
 pub use outliers::{outlier_distribution, OutlierRow, PAPER_THRESHOLDS};
 pub use perf::{run_perf, BackendPerfRow, KernelPerfRow, PerfReport};
 pub use serve::{run_serve, PoolBreakdown, ServePass, ServeReport};

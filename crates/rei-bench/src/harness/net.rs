@@ -1,0 +1,429 @@
+//! The `net` experiment: serve throughput over real TCP sockets.
+//!
+//! Where the `serve` experiment measures the in-process router, this one
+//! drives the full network stack of `rei-net` — a bound listener, the
+//! handler pool, the JSONL wire format and the fair-share admission
+//! stage — with several concurrent client threads on real sockets:
+//!
+//! * a **cold pass** splits the benchmark pool across concurrent
+//!   streaming connections (one tenant per connection) against empty
+//!   caches and measures the wall clock plus each connection's own
+//!   throughput;
+//! * a **warm pass** replays the same split against the populated
+//!   caches — the replay must be answered (almost) entirely from cache,
+//!   proving the cache pipeline works end-to-end through TCP;
+//! * a **flood pass** hammers the server from one deliberately
+//!   over-limit tenant whose token bucket allows a small burst — every
+//!   request beyond it must come back as an explicit `rate_limited`
+//!   rejection, never hang.
+//!
+//! The report lands in the `service.net` section of `BENCH_core.json`
+//! (see `reproduce serve --listen`).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Instant;
+
+use rei_net::{NetConfig, NetServer};
+use rei_service::json::Json;
+use rei_service::{AdmissionConfig, RouterConfig, ServiceConfig, ShardRouter, TenantPolicy};
+
+use crate::costs::REFERENCE;
+use crate::harness::figure1::benchmark_pool;
+use crate::harness::HarnessConfig;
+
+/// Concurrent client connections of the cold and warm passes.
+pub const NET_CONNECTIONS: usize = 3;
+
+/// Requests the flood tenant's token bucket admits before rejecting.
+pub const FLOOD_BURST: u64 = 2;
+
+/// What one client connection saw during one pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetConnection {
+    /// The tenant the connection submitted as (also its shard key).
+    pub tenant: String,
+    /// Requests written to the socket.
+    pub submitted: u64,
+    /// Answers carrying a synthesis result (any status but `rejected`).
+    pub answered: u64,
+    /// Explicit `rate_limited` rejections received.
+    pub rejected_rate_limited: u64,
+    /// Wall-clock seconds from first write to last answer.
+    pub wall_seconds: f64,
+}
+
+impl NetConnection {
+    /// Answered requests per second of this connection (0 when instant).
+    pub fn throughput(&self) -> f64 {
+        if self.wall_seconds > 0.0 {
+            (self.answered + self.rejected_rate_limited) as f64 / self.wall_seconds
+        } else {
+            0.0
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("tenant", Json::str(&self.tenant)),
+            ("submitted", Json::uint(self.submitted)),
+            ("answered", Json::uint(self.answered)),
+            (
+                "rejected_rate_limited",
+                Json::uint(self.rejected_rate_limited),
+            ),
+            ("wall_seconds", Json::fixed(self.wall_seconds, 4)),
+            ("throughput_rps", Json::fixed(self.throughput(), 2)),
+        ])
+    }
+}
+
+/// One multi-connection pass over the pool.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetPass {
+    /// Wall-clock seconds across all connections of the pass.
+    pub wall_seconds: f64,
+    /// Requests this pass answered from the result cache (measured
+    /// through the `metrics` control verb before and after).
+    pub cache_hits: u64,
+    /// The per-connection breakdown.
+    pub connections: Vec<NetConnection>,
+}
+
+impl NetPass {
+    /// Requests submitted across all connections.
+    pub fn submitted(&self) -> u64 {
+        self.connections.iter().map(|c| c.submitted).sum()
+    }
+
+    /// `cache_hits / submitted` — the warm pass's acceptance gauge.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let submitted = self.submitted();
+        if submitted == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / submitted as f64
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("wall_seconds", Json::fixed(self.wall_seconds, 4)),
+            ("submitted", Json::uint(self.submitted())),
+            ("cache_hits", Json::uint(self.cache_hits)),
+            ("cache_hit_rate", Json::fixed(self.cache_hit_rate(), 4)),
+            (
+                "connections",
+                Json::array(self.connections.iter().map(NetConnection::to_json)),
+            ),
+        ])
+    }
+}
+
+/// The full TCP-serving report.
+#[derive(Debug, Clone)]
+pub struct NetReport {
+    /// Size of the server's connection-handler pool.
+    pub net_threads: usize,
+    /// Concurrent client connections of the cold and warm passes.
+    pub connections: usize,
+    /// Number of distinct specifications in the pool.
+    pub pool_size: usize,
+    /// The cold pass against empty caches.
+    pub cold: NetPass,
+    /// The warm replay of the same split.
+    pub warm: NetPass,
+    /// The over-limit tenant's flood (single connection).
+    pub flood: NetConnection,
+    /// Requests the admission stage admitted, over the server's life.
+    pub admitted: u64,
+    /// Requests the admission stage rejected as over-limit.
+    pub rate_limited: u64,
+}
+
+impl NetReport {
+    /// The `service.net` section merged into `BENCH_core.json`.
+    pub fn to_json_value(&self) -> Json {
+        Json::object([
+            ("schema", Json::str("rei-bench/service-net-v1")),
+            ("net_threads", Json::uint(self.net_threads as u64)),
+            ("connections", Json::uint(self.connections as u64)),
+            ("pool", Json::uint(self.pool_size as u64)),
+            ("cold", self.cold.to_json()),
+            ("warm", self.warm.to_json()),
+            ("flood", self.flood.to_json()),
+            ("admitted", Json::uint(self.admitted)),
+            ("rate_limited", Json::uint(self.rate_limited)),
+        ])
+    }
+}
+
+/// Renders one request line; examples use the protocol's `ε` spelling
+/// for the empty word (the `Word` display form already does).
+fn request_line(id: usize, spec: &rei_lang::Spec, tenant: &str) -> String {
+    let words = |set: &std::collections::BTreeSet<rei_lang::Word>| {
+        Json::array(set.iter().map(|w| Json::str(w.to_string())))
+    };
+    let line = Json::object([
+        ("id", Json::uint(id as u64)),
+        ("pos", words(spec.positive())),
+        ("neg", words(spec.negative())),
+        ("tenant", Json::str(tenant)),
+    ]);
+    let mut line = line.to_compact();
+    line.push('\n');
+    line
+}
+
+/// One streaming client connection: switches to stream mode, writes all
+/// its requests, then reads until every one is answered.
+fn drive_connection(
+    addr: std::net::SocketAddr,
+    tenant: &str,
+    requests: &[String],
+) -> NetConnection {
+    let mut stream = TcpStream::connect(addr).expect("connect to the bench server");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone the socket"));
+    let mut line = String::new();
+    stream
+        .write_all(b"{\"op\": \"mode\", \"value\": \"stream\"}\n")
+        .expect("write the mode verb");
+    reader.read_line(&mut line).expect("mode ack");
+
+    let started = Instant::now();
+    for request in requests {
+        stream
+            .write_all(request.as_bytes())
+            .expect("write a request");
+    }
+    let (mut answered, mut rejected) = (0u64, 0u64);
+    for _ in 0..requests.len() {
+        line.clear();
+        reader.read_line(&mut line).expect("read an answer");
+        let answer = Json::parse(line.trim()).expect("answer is JSON");
+        match answer.get("status").and_then(Json::as_str) {
+            Some("rejected") => rejected += 1,
+            _ => answered += 1,
+        }
+    }
+    NetConnection {
+        tenant: tenant.to_string(),
+        submitted: requests.len() as u64,
+        answered,
+        rejected_rate_limited: rejected,
+        wall_seconds: started.elapsed().as_secs_f64(),
+    }
+}
+
+/// Reads the router's current rollup cache hits through the `metrics`
+/// control verb — the same path a monitoring client would use.
+fn cache_hits_now(addr: std::net::SocketAddr) -> u64 {
+    let mut stream = TcpStream::connect(addr).expect("connect for metrics");
+    stream
+        .write_all(b"{\"op\": \"metrics\"}\n")
+        .expect("write the metrics verb");
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("metrics line");
+    Json::parse(line.trim())
+        .expect("metrics is JSON")
+        .get("rollup")
+        .and_then(|r| r.get("requests"))
+        .and_then(|r| r.get("cache_hits"))
+        .and_then(Json::as_u64)
+        .expect("rollup carries cache_hits")
+}
+
+/// Runs one multi-connection pass: the pool's request lines split
+/// round-robin across [`NET_CONNECTIONS`] concurrent client threads.
+fn run_net_pass(addr: std::net::SocketAddr, requests: &[Vec<String>]) -> NetPass {
+    let before = cache_hits_now(addr);
+    let started = Instant::now();
+    let clients: Vec<_> = requests
+        .iter()
+        .enumerate()
+        .map(|(index, slice)| {
+            let slice = slice.clone();
+            std::thread::spawn(move || drive_connection(addr, &format!("bench-{index}"), &slice))
+        })
+        .collect();
+    let connections: Vec<NetConnection> = clients
+        .into_iter()
+        .map(|c| c.join().expect("client thread"))
+        .collect();
+    NetPass {
+        wall_seconds: started.elapsed().as_secs_f64(),
+        cache_hits: cache_hits_now(addr) - before,
+        connections,
+    }
+}
+
+/// Runs the net experiment: the Table 1 pool through a real TCP server
+/// of `pools` pools with `workers` workers each, served by `net_threads`
+/// handler threads, then a rate-limited flood.
+pub fn run_net(
+    config: &HarnessConfig,
+    workers: usize,
+    pools: usize,
+    net_threads: usize,
+) -> NetReport {
+    let pool = benchmark_pool(config);
+    let synth = config.synth_config(REFERENCE.costs);
+    let queue_capacity = (2 * pool.len()).max(1);
+    let service = ServiceConfig::new(workers)
+        .with_queue_capacity(queue_capacity)
+        .with_synth(synth);
+    let router = ShardRouter::start(RouterConfig::identical(pools, service))
+        .expect("harness router config is valid");
+
+    // The flood tenant's bucket admits FLOOD_BURST requests and then
+    // refills so slowly that everything else must be rejected.
+    let admission = AdmissionConfig::new()
+        .with_tenant("flooder", TenantPolicy::limited(1e-9, FLOOD_BURST as f64));
+    let net_config = NetConfig::new("127.0.0.1:0")
+        .with_handler_threads(net_threads)
+        .with_admission(admission);
+    let server = NetServer::bind(net_config, router).expect("bind the bench server");
+    let addr = server.local_addr();
+    let serving = std::thread::spawn(move || server.run().expect("bench server runs"));
+
+    // Round-robin split of the pool across the concurrent connections.
+    let mut split: Vec<Vec<String>> = vec![Vec::new(); NET_CONNECTIONS];
+    for (index, benchmark) in pool.iter().enumerate() {
+        let tenant = format!("bench-{}", index % NET_CONNECTIONS);
+        split[index % NET_CONNECTIONS].push(request_line(index, &benchmark.spec, &tenant));
+    }
+
+    let cold = run_net_pass(addr, &split);
+    let warm = run_net_pass(addr, &split);
+
+    // The flood replays the whole pool as one over-limit tenant.
+    let flood_requests: Vec<String> = pool
+        .iter()
+        .enumerate()
+        .map(|(index, benchmark)| request_line(index, &benchmark.spec, "flooder"))
+        .collect();
+    let flood = drive_connection(addr, "flooder", &flood_requests);
+
+    // A clean shutdown through the wire, like any client would do it.
+    let mut closer = TcpStream::connect(addr).expect("connect for shutdown");
+    closer
+        .write_all(b"{\"op\": \"shutdown\"}\n")
+        .expect("write the shutdown verb");
+    let snapshot = serving.join().expect("bench server thread");
+
+    NetReport {
+        net_threads,
+        connections: NET_CONNECTIONS,
+        pool_size: pool.len(),
+        cold,
+        warm,
+        flood,
+        admitted: snapshot.admission.admitted,
+        rate_limited: snapshot.admission.rate_limited,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> HarnessConfig {
+        let mut config = HarnessConfig::quick();
+        config.time_budget = std::time::Duration::from_millis(500);
+        config
+    }
+
+    #[test]
+    fn tcp_passes_cover_cache_reuse_and_rate_limiting() {
+        let config = tiny_config();
+        let report = run_net(&config, 2, 2, 4);
+        assert_eq!(report.connections, NET_CONNECTIONS);
+        assert_eq!(report.cold.connections.len(), NET_CONNECTIONS);
+        assert_eq!(report.cold.submitted(), report.pool_size as u64);
+        // Nothing in the cold or warm passes is rejected.
+        for pass in [&report.cold, &report.warm] {
+            for connection in &pass.connections {
+                assert_eq!(connection.rejected_rate_limited, 0, "{connection:?}");
+                assert_eq!(connection.answered, connection.submitted);
+            }
+        }
+        // The warm replay is served from cache through the wire.
+        assert!(
+            report.warm.cache_hit_rate() >= 0.9,
+            "warm hit rate {:.2}",
+            report.warm.cache_hit_rate()
+        );
+        // The flood tenant gets its burst and explicit rejections for
+        // the rest — nothing hangs, everything is answered.
+        assert_eq!(report.flood.submitted, report.pool_size as u64);
+        assert_eq!(report.flood.answered, FLOOD_BURST);
+        assert_eq!(
+            report.flood.rejected_rate_limited,
+            report.flood.submitted - FLOOD_BURST
+        );
+        assert_eq!(report.rate_limited, report.flood.rejected_rate_limited);
+        assert!(report.admitted >= report.cold.submitted() + report.warm.submitted());
+    }
+
+    #[test]
+    fn report_json_has_the_net_shape() {
+        let connection = |tenant: &str, submitted, answered, rejected| NetConnection {
+            tenant: tenant.into(),
+            submitted,
+            answered,
+            rejected_rate_limited: rejected,
+            wall_seconds: 0.5,
+        };
+        let report = NetReport {
+            net_threads: 4,
+            connections: 2,
+            pool_size: 10,
+            cold: NetPass {
+                wall_seconds: 1.0,
+                cache_hits: 0,
+                connections: vec![
+                    connection("bench-0", 5, 5, 0),
+                    connection("bench-1", 5, 5, 0),
+                ],
+            },
+            warm: NetPass {
+                wall_seconds: 0.2,
+                cache_hits: 10,
+                connections: vec![
+                    connection("bench-0", 5, 5, 0),
+                    connection("bench-1", 5, 5, 0),
+                ],
+            },
+            flood: connection("flooder", 10, 2, 8),
+            admitted: 22,
+            rate_limited: 8,
+        };
+        let json = report.to_json_value();
+        assert_eq!(
+            json.get("schema").and_then(Json::as_str),
+            Some("rei-bench/service-net-v1")
+        );
+        assert_eq!(
+            json.get("warm")
+                .and_then(|w| w.get("cache_hit_rate"))
+                .and_then(Json::as_f64),
+            Some(1.0)
+        );
+        assert_eq!(
+            json.get("flood")
+                .and_then(|f| f.get("rejected_rate_limited"))
+                .and_then(Json::as_u64),
+            Some(8)
+        );
+        let throughput = json
+            .get("flood")
+            .and_then(|f| f.get("throughput_rps"))
+            .and_then(Json::as_f64)
+            .unwrap();
+        assert!((throughput - 20.0).abs() < 1e-9, "{throughput}");
+        assert_eq!(json.get("rate_limited").and_then(Json::as_u64), Some(8));
+        let parsed = Json::parse(&json.to_pretty()).unwrap();
+        assert_eq!(parsed, json);
+    }
+}

@@ -1,0 +1,70 @@
+//! The TCP JSONL serving front-end of the synthesis service.
+//!
+//! `rei-service` shards, caches and survives restarts, but on its own it
+//! answers only one stdin/stdout loop. This crate puts a network
+//! listener in front of a [`ShardRouter`](rei_service::ShardRouter):
+//!
+//! ```text
+//!  clients ── TCP ──► accept loop ──► bounded handler pool
+//!                                          │  one thread per live
+//!                                          ▼  connection
+//!                                  per-connection serve loop
+//!                                  (JSONL in, JSONL out; ordered
+//!                                   or streaming answers; control
+//!                                   verbs ping/metrics/mode/shutdown)
+//!                                          │
+//!                                          ▼
+//!                                  FairShare admission
+//!                                  (per-tenant token buckets,
+//!                                   in-flight caps, weighted DRR
+//!                                   lanes; over-limit → explicit
+//!                                   "rejected": rate_limited)
+//!                                          │
+//!                                          ▼
+//!                                  ShardRouter (consistent-hash
+//!                                  ring over the pools)
+//! ```
+//!
+//! Everything is threads, mutexes and condvars — no async runtime, like
+//! the rest of the workspace. The [`protocol`] module holds the wire
+//! format (shared with the CLI's stdin serve mode); [`NetServer`] is the
+//! listener; [`install_sigint`] turns Ctrl-C into the same graceful
+//! drain the `shutdown` control verb performs.
+//!
+//! # Example
+//!
+//! ```
+//! use rei_net::{NetConfig, NetServer};
+//! use rei_service::{RouterConfig, ServiceConfig, ShardRouter};
+//! use std::io::{BufRead, BufReader, Write};
+//!
+//! let router = ShardRouter::start(RouterConfig::identical(2, ServiceConfig::new(1))).unwrap();
+//! let server = NetServer::bind(NetConfig::new("127.0.0.1:0"), router).unwrap();
+//! let addr = server.local_addr();
+//! let serving = std::thread::spawn(move || server.run().unwrap());
+//!
+//! let mut client = std::net::TcpStream::connect(addr).unwrap();
+//! client
+//!     .write_all(b"{\"id\": \"a\", \"pos\": [\"0\", \"00\"], \"neg\": [\"1\"]}\n{\"op\": \"shutdown\"}\n")
+//!     .unwrap();
+//! let lines = BufReader::new(client).lines();
+//! // Control verbs are acked immediately, so the shutdown ack may
+//! // arrive ahead of the answer: skip `"op"` lines.
+//! let answer = lines
+//!     .map(|line| line.unwrap())
+//!     .find(|line| !line.contains("\"op\""))
+//!     .unwrap();
+//! assert!(answer.contains("\"status\":\"solved\""), "{answer}");
+//! let snapshot = serving.join().unwrap();
+//! assert_eq!(snapshot.admission.admitted, 1);
+//! ```
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod protocol;
+mod server;
+mod signal;
+
+pub use server::{NetConfig, NetServer};
+pub use signal::{install_sigint, sigint_tripped};

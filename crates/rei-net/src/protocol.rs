@@ -1,0 +1,371 @@
+//! The serve JSONL protocol: request parsing and response rendering.
+//!
+//! One JSON object per line in both directions. A request line:
+//!
+//! ```json
+//! {"id": "r1", "pos": ["10", "101"], "neg": ["", "0"],
+//!  "priority": 1, "timeout_ms": 500, "tenant": "acme"}
+//! ```
+//!
+//! * `pos` (required) / `neg` (optional) — example strings; `""`, `"ε"`
+//!   and `"<eps>"` all denote the empty word.
+//! * `id` (optional) — echoed back verbatim; defaults to the 1-based
+//!   line number of the connection (or input).
+//! * `priority` (optional) — higher runs earlier.
+//! * `timeout_ms` (optional) — a per-request deadline; an expired request
+//!   is answered with `"status": "cancelled"` without occupying a worker.
+//! * `tenant` (optional) — the shard-routing key, and the admission
+//!   policy key of the TCP front-end.
+//!
+//! A result line echoes the id with a `status` of `solved` (plus
+//! `regex`, `cost`, `candidates`), a failure kind (`timeout` / `oom` /
+//! `not-found` / `cancelled`), `bad-request` (with `error`), or
+//! `rejected` (with `reason`, e.g. `rate_limited`) when admission
+//! refused the request.
+//!
+//! A line carrying an `"op"` key is a *control verb* instead of a
+//! request — see [`Verb`]. Verbs answer on the same connection:
+//! `{"op": "ping"}` echoes `{"op": "ping", "status": "ok"}`, `metrics`
+//! returns the router snapshot as one line, `mode` switches the
+//! connection's answer mode, and `shutdown` asks the whole server to
+//! drain and exit.
+
+use std::time::Duration;
+
+use rei_core::SynthesisError;
+use rei_lang::Spec;
+use rei_service::json::Json;
+use rei_service::{SynthRequest, SynthResponse};
+
+/// One parsed request line: the request plus the identity to echo back.
+#[derive(Debug)]
+pub struct ParsedRequest {
+    /// The identity every answer line echoes: the client's `id` field
+    /// when present, the 1-based line number otherwise.
+    pub id: Json,
+    /// The synthesis request described by the line.
+    pub request: SynthRequest,
+}
+
+/// How a connection's answers are delivered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnswerMode {
+    /// One result line per request, in request order.
+    Ordered,
+    /// Each result line as its request completes, tagged by id.
+    Stream,
+}
+
+impl AnswerMode {
+    /// The stable wire label (`ordered` / `stream`).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            AnswerMode::Ordered => "ordered",
+            AnswerMode::Stream => "stream",
+        }
+    }
+}
+
+/// A control verb — a line with an `"op"` key instead of examples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verb {
+    /// Liveness probe; answered with `{"op": "ping", "status": "ok"}`.
+    Ping,
+    /// Asks for the router metrics snapshot as one JSON line.
+    Metrics,
+    /// Switches this connection's [`AnswerMode`].
+    Mode(AnswerMode),
+    /// Asks the server to stop accepting, drain every connection and
+    /// exit cleanly.
+    Shutdown,
+}
+
+/// The interpretation of one input line.
+#[derive(Debug)]
+pub enum Input {
+    /// A synthesis request.
+    Request(ParsedRequest),
+    /// A control verb.
+    Control(Verb),
+    /// A malformed line: echo a `bad-request` result and carry on.
+    Bad {
+        /// The identity to echo (client id or line number).
+        id: Json,
+        /// What was wrong with the line.
+        error: String,
+    },
+}
+
+fn words_of(value: &Json, key: &str) -> Result<Vec<String>, String> {
+    let Some(raw) = value.get(key) else {
+        return Ok(Vec::new());
+    };
+    let items = raw
+        .as_array()
+        .ok_or_else(|| format!("'{key}' must be an array of strings"))?;
+    items
+        .iter()
+        .map(|item| {
+            let word = item
+                .as_str()
+                .ok_or_else(|| format!("'{key}' must contain only strings"))?;
+            Ok(match word {
+                "ε" | "<eps>" => String::new(),
+                other => other.to_string(),
+            })
+        })
+        .collect()
+}
+
+/// Parses one input line. A malformed line yields the identity to echo —
+/// the client's `id` when one was readable, the line number otherwise —
+/// alongside the error message, so clients can always correlate
+/// `bad-request` results with their requests.
+///
+/// # Errors
+///
+/// The `(id, message)` pair to render as a `bad-request` line.
+pub fn parse_request(line: &str, line_number: usize) -> Result<ParsedRequest, (Json, String)> {
+    let line_id = Json::uint(line_number as u64);
+    let value = Json::parse(line).map_err(|err| (line_id.clone(), err.to_string()))?;
+    if value.as_object().is_none() {
+        return Err((line_id, "request must be a JSON object".into()));
+    }
+    let id = match value.get("id") {
+        Some(id @ (Json::Str(_) | Json::Number(_))) => id.clone(),
+        Some(_) => return Err((line_id, "'id' must be a string or a number".into())),
+        None => line_id,
+    };
+    let fail = |message: String| (id.clone(), message);
+    if value.get("pos").is_none() {
+        return Err(fail("request needs a 'pos' array".into()));
+    }
+    let positives = words_of(&value, "pos").map_err(fail)?;
+    let negatives = words_of(&value, "neg").map_err(fail)?;
+    let spec = Spec::from_strs(
+        positives.iter().map(String::as_str),
+        negatives.iter().map(String::as_str),
+    )
+    .map_err(|err| fail(err.to_string()))?;
+
+    let mut request = SynthRequest::new(spec);
+    if let Some(priority) = value.get("priority") {
+        let priority = priority
+            .as_f64()
+            .filter(|p| p.fract() == 0.0 && (i32::MIN as f64..=i32::MAX as f64).contains(p))
+            .ok_or_else(|| fail("'priority' must be an integer".into()))?;
+        request = request.with_priority(priority as i32);
+    }
+    if let Some(timeout) = value.get("timeout_ms") {
+        // try_from rejects negative, NaN, infinite and overflowing values.
+        let timeout = timeout
+            .as_f64()
+            .and_then(|ms| Duration::try_from_secs_f64(ms / 1e3).ok())
+            .ok_or_else(|| fail("'timeout_ms' must be a non-negative number".into()))?;
+        request = request.with_timeout(timeout);
+    }
+    if let Some(tenant) = value.get("tenant") {
+        let tenant = tenant
+            .as_str()
+            .ok_or_else(|| fail("'tenant' must be a string".into()))?;
+        request = request.with_tenant(tenant);
+    }
+    Ok(ParsedRequest { id, request })
+}
+
+/// Interprets one input line: a control verb when the line carries an
+/// `"op"` key, a synthesis request otherwise. Never fails — malformed
+/// lines come back as [`Input::Bad`] for the caller to echo.
+pub fn parse_line(line: &str, line_number: usize) -> Input {
+    if let Ok(value) = Json::parse(line) {
+        if let Some(op) = value.get("op") {
+            let id = match value.get("id") {
+                Some(id @ (Json::Str(_) | Json::Number(_))) => id.clone(),
+                _ => Json::uint(line_number as u64),
+            };
+            return match op.as_str() {
+                Some("ping") => Input::Control(Verb::Ping),
+                Some("metrics") => Input::Control(Verb::Metrics),
+                Some("shutdown") => Input::Control(Verb::Shutdown),
+                Some("mode") => match value.get("value").and_then(Json::as_str) {
+                    Some("ordered") => Input::Control(Verb::Mode(AnswerMode::Ordered)),
+                    Some("stream") => Input::Control(Verb::Mode(AnswerMode::Stream)),
+                    _ => Input::Bad {
+                        id,
+                        error: "'mode' needs a 'value' of 'ordered' or 'stream'".into(),
+                    },
+                },
+                Some(other) => Input::Bad {
+                    id,
+                    error: format!("unknown op '{other}'"),
+                },
+                None => Input::Bad {
+                    id,
+                    error: "'op' must be a string".into(),
+                },
+            };
+        }
+    }
+    match parse_request(line, line_number) {
+        Ok(parsed) => Input::Request(parsed),
+        Err((id, error)) => Input::Bad { id, error },
+    }
+}
+
+/// The `status` word of a failed synthesis.
+pub fn error_status(err: &SynthesisError) -> &'static str {
+    match err {
+        SynthesisError::Timeout { .. } => "timeout",
+        SynthesisError::OutOfMemory { .. } => "oom",
+        SynthesisError::NotFound { .. } => "not-found",
+        SynthesisError::Cancelled { .. } => "cancelled",
+        // The service validates its config at start; per-request failures
+        // can never be InvalidConfig.
+        SynthesisError::InvalidConfig { .. } => "invalid-config",
+    }
+}
+
+/// A `bad-request` result line.
+pub fn bad_request_line(id: Json, message: &str) -> Json {
+    Json::object([
+        ("id", id),
+        ("status", Json::str("bad-request")),
+        ("error", Json::str(message)),
+    ])
+}
+
+/// A `rejected` result line — the explicit refusal admission promises
+/// (`reason` is e.g. `rate_limited` or `shutting_down`).
+pub fn rejected_line(id: Json, reason: &str) -> Json {
+    Json::object([
+        ("id", id),
+        ("status", Json::str("rejected")),
+        ("reason", Json::str(reason)),
+    ])
+}
+
+/// The acknowledgement line of a control verb.
+pub fn verb_ok_line(op: &str) -> Json {
+    Json::object([("op", Json::str(op)), ("status", Json::str("ok"))])
+}
+
+/// The result line of one completed request.
+pub fn response_line(id: Json, response: &SynthResponse) -> Json {
+    let ms = |d: Duration| Json::fixed(d.as_secs_f64() * 1e3, 3);
+    let mut line = vec![("id".to_string(), id)];
+    match &response.outcome {
+        Ok(result) => {
+            line.push(("status".into(), Json::str("solved")));
+            line.push(("regex".into(), Json::str(result.regex.to_string())));
+            line.push(("cost".into(), Json::uint(result.cost)));
+        }
+        Err(err) => {
+            line.push(("status".into(), Json::str(error_status(err))));
+        }
+    }
+    line.push(("source".into(), Json::str(response.source.as_str())));
+    line.push(("wait_ms".into(), ms(response.waited)));
+    line.push(("run_ms".into(), ms(response.ran)));
+    if let Ok(result) = &response.outcome {
+        line.push((
+            "candidates".into(),
+            Json::uint(result.stats.candidates_generated),
+        ));
+    }
+    Json::Object(line)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_parse_with_defaults_and_hints() {
+        let parsed = parse_request(
+            r#"{"id": "r1", "pos": ["10", "ε"], "neg": ["0"], "priority": 2, "tenant": "acme"}"#,
+            3,
+        )
+        .unwrap();
+        assert_eq!(parsed.id.as_str(), Some("r1"));
+        assert_eq!(parsed.request.priority(), 2);
+        assert_eq!(parsed.request.tenant(), Some("acme"));
+        assert_eq!(parsed.request.spec().num_positive(), 2);
+
+        let unnamed = parse_request(r#"{"pos": ["0"]}"#, 7).unwrap();
+        assert_eq!(unnamed.id.as_u64(), Some(7));
+        assert_eq!(unnamed.request.tenant(), None);
+    }
+
+    #[test]
+    fn malformed_requests_keep_the_client_id_when_readable() {
+        let (id, error) = parse_request(r#"{"id": "x", "neg": ["1"]}"#, 1).unwrap_err();
+        assert_eq!(id.as_str(), Some("x"));
+        assert!(error.contains("pos"), "{error}");
+        let (id, _) = parse_request("not json", 9).unwrap_err();
+        assert_eq!(id.as_u64(), Some(9));
+        let (_, error) = parse_request(r#"{"pos": ["0"], "tenant": 7}"#, 1).unwrap_err();
+        assert!(error.contains("tenant"), "{error}");
+    }
+
+    #[test]
+    fn control_verbs_are_recognised() {
+        assert!(matches!(
+            parse_line(r#"{"op": "ping"}"#, 1),
+            Input::Control(Verb::Ping)
+        ));
+        assert!(matches!(
+            parse_line(r#"{"op": "metrics"}"#, 1),
+            Input::Control(Verb::Metrics)
+        ));
+        assert!(matches!(
+            parse_line(r#"{"op": "shutdown"}"#, 1),
+            Input::Control(Verb::Shutdown)
+        ));
+        assert!(matches!(
+            parse_line(r#"{"op": "mode", "value": "stream"}"#, 1),
+            Input::Control(Verb::Mode(AnswerMode::Stream))
+        ));
+        assert!(matches!(
+            parse_line(r#"{"op": "mode", "value": "ordered"}"#, 1),
+            Input::Control(Verb::Mode(AnswerMode::Ordered))
+        ));
+        for bad in [
+            r#"{"op": "mode"}"#,
+            r#"{"op": "mode", "value": "sideways"}"#,
+            r#"{"op": "reboot"}"#,
+            r#"{"op": 3}"#,
+        ] {
+            assert!(matches!(parse_line(bad, 1), Input::Bad { .. }), "{bad}");
+        }
+        // Plain requests and garbage still parse as before.
+        assert!(matches!(
+            parse_line(r#"{"pos": ["0"]}"#, 1),
+            Input::Request(_)
+        ));
+        assert!(matches!(parse_line("not json", 1), Input::Bad { .. }));
+    }
+
+    #[test]
+    fn rendered_lines_carry_the_expected_fields() {
+        let bad = bad_request_line(Json::str("b"), "nope");
+        assert_eq!(
+            bad.get("status").and_then(Json::as_str),
+            Some("bad-request")
+        );
+        assert_eq!(bad.get("error").and_then(Json::as_str), Some("nope"));
+        let rejected = rejected_line(Json::uint(4), "rate_limited");
+        assert_eq!(
+            rejected.get("status").and_then(Json::as_str),
+            Some("rejected")
+        );
+        assert_eq!(
+            rejected.get("reason").and_then(Json::as_str),
+            Some("rate_limited")
+        );
+        let ok = verb_ok_line("ping");
+        assert_eq!(ok.get("op").and_then(Json::as_str), Some("ping"));
+        assert_eq!(ok.get("status").and_then(Json::as_str), Some("ok"));
+        assert_eq!(AnswerMode::Stream.as_str(), "stream");
+        assert_eq!(AnswerMode::Ordered.as_str(), "ordered");
+    }
+}

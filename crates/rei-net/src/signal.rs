@@ -1,0 +1,58 @@
+//! A minimal Ctrl-C (SIGINT) hook with no external dependencies.
+//!
+//! The handler does the only async-signal-safe thing there is to do:
+//! store into a static atomic. [`NetServer`](crate::NetServer)'s accept
+//! loop polls [`tripped`] once per tick and folds it into its own stop
+//! flag, turning Ctrl-C into the same graceful drain the `shutdown`
+//! control verb triggers.
+
+#[cfg(unix)]
+#[allow(unsafe_code)]
+mod imp {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static TRIPPED: AtomicBool = AtomicBool::new(false);
+
+    const SIGINT: i32 = 2;
+
+    extern "C" fn on_sigint(_signum: i32) {
+        // Only this: anything else (locks, allocation, IO) is not
+        // async-signal-safe.
+        TRIPPED.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    pub fn install() {
+        // SAFETY: `signal` with a handler that only stores an atomic is
+        // the POSIX-sanctioned minimal use; the handler never unwinds.
+        unsafe {
+            signal(SIGINT, on_sigint);
+        }
+    }
+
+    pub fn tripped() -> bool {
+        TRIPPED.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub fn install() {}
+
+    pub fn tripped() -> bool {
+        false
+    }
+}
+
+/// Installs the SIGINT handler (a no-op on non-unix targets). Idempotent.
+pub fn install_sigint() {
+    imp::install();
+}
+
+/// Whether SIGINT has fired since [`install_sigint`].
+pub fn sigint_tripped() -> bool {
+    imp::tripped()
+}

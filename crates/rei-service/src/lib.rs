@@ -67,8 +67,18 @@
 //! `SynthService` with its own workers, queue, cache and cache file —
 //! behind one submission front-end and routes each request by its tenant
 //! key ([`SynthRequest::with_tenant`]), falling back to the
-//! specification's stable fingerprint. Per-pool metrics roll up into one
-//! cross-pool [`RouterSnapshot`].
+//! specification's stable fingerprint. The key picks a pool through a
+//! consistent-hash [`HashRing`], so pools can
+//! [join](ShardRouter::add_pool) and [leave](ShardRouter::remove_pool)
+//! at runtime while only ~1/N of keys remap. Per-pool metrics roll up
+//! into one cross-pool [`RouterSnapshot`].
+//!
+//! **Admission.** A [`FairShare`] stage in front of the router enforces
+//! per-tenant token-bucket rate limits and in-flight caps
+//! ([`TenantPolicy`]), and drains backlogged submissions through
+//! weighted deficit-round-robin lanes — one hot tenant cannot starve the
+//! rest, and over-limit requests are refused immediately
+//! ([`AdmissionError::RateLimited`]) instead of hanging.
 //!
 //! **Shutdown.** [`SynthService::close`] stops intake;
 //! [`SynthService::shutdown`] (and `Drop`) additionally drains — every
@@ -100,16 +110,22 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod admission;
 mod cache;
 pub mod json;
 mod metrics;
 mod queue;
 mod request;
+mod ring;
 mod router;
 mod service;
 
+pub use admission::{
+    AdmissionConfig, AdmissionCounters, AdmissionError, FairShare, InflightGuard, TenantPolicy,
+};
 pub use cache::CacheKey;
 pub use metrics::MetricsSnapshot;
 pub use request::{JobHandle, ResponseSource, SynthRequest, SynthResponse};
+pub use ring::{HashRing, VNODES};
 pub use router::{PoolConfig, RouterConfig, RouterSnapshot, ShardRouter};
 pub use service::{ServiceConfig, ServiceError, SynthService};

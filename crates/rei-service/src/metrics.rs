@@ -21,6 +21,8 @@ pub(crate) struct Metrics {
     pub cache_hits: AtomicU64,
     pub coalesced: AtomicU64,
     pub rejected: AtomicU64,
+    pub rejected_queue_full: AtomicU64,
+    pub rejected_shutdown: AtomicU64,
     pub enqueued: AtomicU64,
     pub completed: AtomicU64,
     pub solved: AtomicU64,
@@ -84,6 +86,11 @@ impl Metrics {
             cache_hits: load(&self.cache_hits),
             coalesced: load(&self.coalesced),
             rejected: load(&self.rejected),
+            rejected_queue_full: load(&self.rejected_queue_full),
+            rejected_shutdown: load(&self.rejected_shutdown),
+            admitted: 0,
+            rate_limited: 0,
+            lane_waits: 0,
             enqueued: load(&self.enqueued),
             completed: load(&self.completed),
             solved: load(&self.solved),
@@ -126,8 +133,26 @@ pub struct MetricsSnapshot {
     pub cache_hits: u64,
     /// Requests attached to an identical in-flight job.
     pub coalesced: u64,
-    /// Requests rejected (queue full on `try_submit`, or shutting down).
+    /// Requests rejected, for any reason (the sum of the two splits
+    /// below). Kept as a total so dashboards reading older snapshots
+    /// keep working.
     pub rejected: u64,
+    /// Rejections caused by a full queue on `try_submit` — backpressure.
+    pub rejected_queue_full: u64,
+    /// Rejections because the pool was shutting down.
+    pub rejected_shutdown: u64,
+    /// Admission-stage decisions (zero for a bare pool — only a
+    /// [`FairShare`](crate::FairShare) front-end counts these; the shard
+    /// router's rollup carries them via
+    /// [`RouterSnapshot::admission`](crate::RouterSnapshot)).
+    pub admitted: u64,
+    /// Requests refused by admission policy (token bucket or in-flight
+    /// cap) — these never reach a pool, so they are *not* part of
+    /// [`rejected`](MetricsSnapshot::rejected).
+    pub rate_limited: u64,
+    /// Admitted requests that parked in a fair-share lane because their
+    /// shard queue was full on arrival.
+    pub lane_waits: u64,
     /// Fresh jobs placed on the queue.
     pub enqueued: u64,
     /// Fresh jobs finished by a worker.
@@ -195,6 +220,11 @@ impl MetricsSnapshot {
         self.cache_hits += other.cache_hits;
         self.coalesced += other.coalesced;
         self.rejected += other.rejected;
+        self.rejected_queue_full += other.rejected_queue_full;
+        self.rejected_shutdown += other.rejected_shutdown;
+        self.admitted += other.admitted;
+        self.rate_limited += other.rate_limited;
+        self.lane_waits += other.lane_waits;
         self.enqueued += other.enqueued;
         self.completed += other.completed;
         self.solved += other.solved;
@@ -236,6 +266,11 @@ impl MetricsSnapshot {
                     ("cache_hits", Json::uint(self.cache_hits)),
                     ("coalesced", Json::uint(self.coalesced)),
                     ("rejected", Json::uint(self.rejected)),
+                    ("rejected_queue_full", Json::uint(self.rejected_queue_full)),
+                    ("rejected_shutdown", Json::uint(self.rejected_shutdown)),
+                    ("admitted", Json::uint(self.admitted)),
+                    ("rate_limited", Json::uint(self.rate_limited)),
+                    ("lane_waits", Json::uint(self.lane_waits)),
                     ("reuse_rate", Json::fixed(self.reuse_rate(), 4)),
                 ]),
             ),

@@ -17,22 +17,31 @@
 //!   specifications still land on the same pool, which keeps the result
 //!   cache and in-flight coalescing effective across anonymous traffic.
 //!
+//! The key picks a pool through a consistent-hash [`HashRing`] rather
+//! than `key % N`: [`add_pool`](ShardRouter::add_pool) and
+//! [`remove_pool`](ShardRouter::remove_pool) change the topology at
+//! runtime while remapping only ~1/N of the keys, so the other pools'
+//! warm (and persistent) caches stay valid across scaling events.
+//!
 //! Pools fail independently: a full queue rejects `try_submit`s to *that*
 //! pool only, and the other pools keep accepting. Metrics are reported
 //! per pool plus as a cross-pool rollup (see [`RouterSnapshot`]).
 
 use std::path::PathBuf;
+use std::sync::RwLock;
 
+use crate::admission::AdmissionCounters;
 use crate::json::Json;
 use crate::metrics::MetricsSnapshot;
 use crate::request::{JobHandle, SynthRequest};
+use crate::ring::HashRing;
 use crate::service::{ServiceConfig, ServiceError, SynthService};
 
 /// One named pool of a [`RouterConfig`].
 #[derive(Debug, Clone)]
 pub struct PoolConfig {
-    /// The pool's name: used in metrics and as the stem of its persistent
-    /// cache file (`<cache dir>/<name>.jsonl`).
+    /// The pool's name: the ring position source, the metrics label, and
+    /// the stem of its persistent cache file (`<cache dir>/<name>.jsonl`).
     pub name: String,
     /// The pool's full service configuration.
     pub service: ServiceConfig,
@@ -41,9 +50,10 @@ pub struct PoolConfig {
 /// Configuration of a [`ShardRouter`]: one entry per pool.
 #[derive(Debug, Clone)]
 pub struct RouterConfig {
-    /// The pools, in routing order. Routing is `key % pools.len()`, so
-    /// the order (and count) must be stable across restarts for
-    /// persistent caches to warm the right pool.
+    /// The initial pools. Routing is by consistent hash over the pool
+    /// *names*, so the same set of names yields the same assignment in
+    /// every process — persistent caches warm the right pool after a
+    /// restart regardless of the order pools are listed in.
     pub pools: Vec<PoolConfig>,
 }
 
@@ -117,7 +127,27 @@ impl RouterConfig {
 
 struct Pool {
     name: String,
+    /// Remembered from the pool's config so later `add_pool`s can refuse
+    /// cache-file collisions with live pools.
+    cache_path: Option<PathBuf>,
     service: SynthService,
+}
+
+struct RouterState {
+    pools: Vec<Pool>,
+    ring: HashRing,
+}
+
+impl RouterState {
+    /// Index of the pool the ring assigns `key` to. The ring only ever
+    /// names live pools, so the lookup cannot miss.
+    fn route_key(&self, key: u64) -> usize {
+        let name = self.ring.route(key).expect("router always has a pool");
+        self.pools
+            .iter()
+            .position(|pool| pool.name == name)
+            .expect("ring names a live pool")
+    }
 }
 
 /// A shard router over N service pools (see the module docs).
@@ -136,13 +166,13 @@ struct Pool {
 /// assert_eq!(snapshot.rollup().solved, 1);
 /// ```
 pub struct ShardRouter {
-    pools: Vec<Pool>,
+    state: RwLock<RouterState>,
 }
 
 impl std::fmt::Debug for ShardRouter {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ShardRouter")
-            .field("pools", &self.pools.len())
+            .field("pools", &self.pools())
             .finish_non_exhaustive()
     }
 }
@@ -158,30 +188,52 @@ impl ShardRouter {
     pub fn start(config: RouterConfig) -> Result<Self, ServiceError> {
         config.validate()?;
         let mut pools = Vec::with_capacity(config.pools.len());
+        let mut ring = HashRing::new();
         for pool in config.pools {
+            let cache_path = pool.service.cache_path.clone();
             let service = SynthService::start(pool.service).map_err(|err| match err {
                 ServiceError::InvalidConfig(message) => {
                     ServiceError::InvalidConfig(format!("pool '{}': {message}", pool.name))
                 }
                 other => other,
             })?;
+            ring.add(&pool.name);
             pools.push(Pool {
                 name: pool.name,
+                cache_path,
                 service,
             });
         }
-        Ok(ShardRouter { pools })
+        Ok(ShardRouter {
+            state: RwLock::new(RouterState { pools, ring }),
+        })
     }
 
-    /// The pool index `request` routes to: the FNV-1a hash of the tenant
-    /// key when one is set, the specification fingerprint otherwise,
-    /// reduced modulo the pool count. Deterministic across processes.
-    pub fn route(&self, request: &SynthRequest) -> usize {
-        let key = match request.tenant() {
+    fn read(&self) -> std::sync::RwLockReadGuard<'_, RouterState> {
+        self.state.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn write(&self) -> std::sync::RwLockWriteGuard<'_, RouterState> {
+        self.state.write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The routing key of `request`: the FNV-1a hash of the tenant key
+    /// when one is set, the specification fingerprint otherwise.
+    /// Deterministic across processes.
+    pub fn routing_key(request: &SynthRequest) -> u64 {
+        match request.tenant() {
             Some(tenant) => rei_lang::fnv1a(tenant.as_bytes()),
             None => request.spec().fingerprint(),
-        };
-        (key % self.pools.len() as u64) as usize
+        }
+    }
+
+    /// The index (under the current topology) of the pool `request`
+    /// routes to — the consistent-hash ring owner of its
+    /// [`routing_key`](ShardRouter::routing_key). Stable until the
+    /// topology changes, and even then only ~1/N of keys move per
+    /// added/removed pool.
+    pub fn route(&self, request: &SynthRequest) -> usize {
+        self.read().route_key(ShardRouter::routing_key(request))
     }
 
     /// Submits to the routed pool, blocking while that pool's queue is at
@@ -191,7 +243,9 @@ impl ShardRouter {
     ///
     /// [`ServiceError::ShuttingDown`] after [`close`](ShardRouter::close).
     pub fn submit(&self, request: SynthRequest) -> Result<JobHandle, ServiceError> {
-        self.pools[self.route(&request)].service.submit(request)
+        let state = self.read();
+        let index = state.route_key(ShardRouter::routing_key(&request));
+        state.pools[index].service.submit(request)
     }
 
     /// Like [`submit`](ShardRouter::submit), but fails with
@@ -199,47 +253,129 @@ impl ShardRouter {
     /// capacity instead of blocking. Only that pool rejects; requests
     /// routed elsewhere are unaffected.
     pub fn try_submit(&self, request: SynthRequest) -> Result<JobHandle, ServiceError> {
-        self.pools[self.route(&request)].service.try_submit(request)
+        let state = self.read();
+        let index = state.route_key(ShardRouter::routing_key(&request));
+        state.pools[index].service.try_submit(request)
+    }
+
+    /// Starts a new pool and adds it to the ring. Only the tenant keys
+    /// the new pool's virtual points capture (~1/(N+1) of them) move;
+    /// every other key keeps its pool and its warm cache.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::InvalidConfig`] when the name is already taken,
+    /// the new pool's cache file collides with a live pool's, or the
+    /// pool's own configuration does not validate.
+    pub fn add_pool(&self, config: PoolConfig) -> Result<(), ServiceError> {
+        let name = config.name;
+        let cache_path = config.service.cache_path.clone();
+        let check = |state: &RouterState| -> Result<(), ServiceError> {
+            if state.pools.iter().any(|p| p.name == name) {
+                return Err(ServiceError::InvalidConfig(format!(
+                    "duplicate pool name '{name}'"
+                )));
+            }
+            if let Some(path) = &cache_path {
+                if state
+                    .pools
+                    .iter()
+                    .any(|p| p.cache_path.as_ref() == Some(path))
+                {
+                    return Err(ServiceError::InvalidConfig(format!(
+                        "pools share the cache file '{}'",
+                        path.display()
+                    )));
+                }
+            }
+            Ok(())
+        };
+        check(&self.read())?;
+        // Start the service outside the lock — warm-up may read a cache
+        // file — then re-check the name: a concurrent add could have
+        // taken it while the lock was released.
+        let service = SynthService::start(config.service).map_err(|err| match err {
+            ServiceError::InvalidConfig(message) => {
+                ServiceError::InvalidConfig(format!("pool '{name}': {message}"))
+            }
+            other => other,
+        })?;
+        let mut state = self.write();
+        if let Err(err) = check(&state) {
+            drop(state);
+            service.shutdown();
+            return Err(err);
+        }
+        state.ring.add(&name);
+        state.pools.push(Pool {
+            name,
+            cache_path,
+            service,
+        });
+        Ok(())
+    }
+
+    /// Removes pool `name` from the ring and shuts it down gracefully
+    /// (drain, join, compact its persistent cache), returning its final
+    /// metrics. Only the keys its virtual points carried move — they fall
+    /// through to the next pool clockwise.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::InvalidConfig`] when the name is unknown or the
+    /// pool is the router's last — a router never routes into the void.
+    pub fn remove_pool(&self, name: &str) -> Result<MetricsSnapshot, ServiceError> {
+        let pool = {
+            let mut state = self.write();
+            let index = state
+                .pools
+                .iter()
+                .position(|p| p.name == name)
+                .ok_or_else(|| ServiceError::InvalidConfig(format!("no pool named '{name}'")))?;
+            if state.pools.len() == 1 {
+                return Err(ServiceError::InvalidConfig(
+                    "cannot remove the last pool".into(),
+                ));
+            }
+            state.ring.remove(name);
+            state.pools.remove(index)
+        };
+        // Drain outside the lock: jobs already queued on the leaving pool
+        // finish while new traffic routes around it.
+        Ok(pool.service.shutdown())
     }
 
     /// Number of pools.
     pub fn pools(&self) -> usize {
-        self.pools.len()
+        self.read().pools.len()
     }
 
-    /// The name of pool `index`.
+    /// The name of pool `index` (under the current topology).
     ///
     /// # Panics
     ///
     /// Panics when `index >= pools()`.
-    pub fn pool_name(&self, index: usize) -> &str {
-        &self.pools[index].name
-    }
-
-    /// The pool at `index`, for direct inspection (metrics, config).
-    ///
-    /// # Panics
-    ///
-    /// Panics when `index >= pools()`.
-    pub fn pool(&self, index: usize) -> &SynthService {
-        &self.pools[index].service
+    pub fn pool_name(&self, index: usize) -> String {
+        self.read().pools[index].name.clone()
     }
 
     /// A point-in-time snapshot of every pool's metrics.
     pub fn metrics(&self) -> RouterSnapshot {
         RouterSnapshot {
             pools: self
+                .read()
                 .pools
                 .iter()
                 .map(|pool| (pool.name.clone(), pool.service.metrics()))
                 .collect(),
+            admission: AdmissionCounters::default(),
         }
     }
 
     /// Closes every pool to new submissions (queued and in-flight jobs
     /// keep running; see [`SynthService::close`]).
     pub fn close(&self) {
-        for pool in &self.pools {
+        for pool in &self.read().pools {
             pool.service.close();
         }
     }
@@ -247,12 +383,14 @@ impl ShardRouter {
     /// Graceful shutdown of every pool (drain, join, compact persistent
     /// caches); returns the final per-pool snapshots.
     pub fn shutdown(self) -> RouterSnapshot {
+        let state = self.state.into_inner().unwrap_or_else(|e| e.into_inner());
         RouterSnapshot {
-            pools: self
+            pools: state
                 .pools
                 .into_iter()
                 .map(|pool| (pool.name, pool.service.shutdown()))
                 .collect(),
+            admission: AdmissionCounters::default(),
         }
     }
 }
@@ -260,24 +398,35 @@ impl ShardRouter {
 /// Per-pool metrics snapshots plus their cross-pool rollup.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RouterSnapshot {
-    /// `(pool name, snapshot)` in routing order.
+    /// `(pool name, snapshot)` in pool order.
     pub pools: Vec<(String, MetricsSnapshot)>,
+    /// Admission-stage decisions, when a
+    /// [`FairShare`](crate::FairShare) front-end sat in front of the
+    /// router (all zero otherwise). Pools never see rate-limited
+    /// requests, so these live beside the per-pool snapshots rather than
+    /// inside any of them.
+    pub admission: AdmissionCounters,
 }
 
 impl RouterSnapshot {
     /// The cross-pool rollup: every counter summed over the pools, the
-    /// worker rollups concatenated in pool order.
+    /// worker rollups concatenated in pool order, and the router-level
+    /// admission decisions folded into the admission fields.
     pub fn rollup(&self) -> MetricsSnapshot {
         let mut total = MetricsSnapshot::default();
         for (_, snapshot) in &self.pools {
             total.absorb(snapshot);
         }
+        total.admitted += self.admission.admitted;
+        total.rate_limited += self.admission.rate_limited;
+        total.lane_waits += self.admission.lane_waits;
         total
     }
 
     /// The snapshot as a JSON document (schema
     /// `rei-service/router-metrics-v1`): a `pools` array of per-pool
-    /// metrics documents plus the `rollup` document.
+    /// metrics documents plus the `rollup` document (which carries the
+    /// admission counters in its `requests` section).
     pub fn to_json(&self) -> Json {
         Json::object([
             ("schema", Json::str("rei-service/router-metrics-v1")),
@@ -304,6 +453,7 @@ impl RouterSnapshot {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ring::VNODES;
     use rei_lang::Spec;
 
     fn tiny_spec(positive: &str) -> Spec {
@@ -320,11 +470,17 @@ mod tests {
             .collect();
         assert!(by_tenant.windows(2).all(|w| w[0] == w[1]), "{by_tenant:?}");
         // Without a tenant, the spec fingerprint decides — identical
-        // specs agree, and the route matches the fingerprint arithmetic.
+        // specs agree, and the route matches the ring's assignment of
+        // the fingerprint key.
         let spec = tiny_spec("010");
-        let expected = (spec.fingerprint() % 3) as usize;
-        assert_eq!(router.route(&SynthRequest::new(spec.clone())), expected);
-        assert_eq!(router.route(&SynthRequest::new(spec)), expected);
+        let mut ring = HashRing::new();
+        for index in 0..3 {
+            ring.add(&format!("pool-{index}"));
+        }
+        let expected_name = ring.route(spec.fingerprint()).unwrap();
+        let routed = router.route(&SynthRequest::new(spec.clone()));
+        assert_eq!(router.pool_name(routed), expected_name);
+        assert_eq!(router.route(&SynthRequest::new(spec)), routed);
         // A reasonable spread: many tenants do not all map to one pool.
         let pools: std::collections::HashSet<usize> = (0..16)
             .map(|i| {
@@ -332,6 +488,76 @@ mod tests {
             })
             .collect();
         assert!(pools.len() > 1, "{pools:?}");
+        router.shutdown();
+    }
+
+    #[test]
+    fn pools_join_and_leave_with_minimal_remap() {
+        let router = ShardRouter::start(RouterConfig::identical(3, ServiceConfig::new(1))).unwrap();
+        let request =
+            |i: usize| SynthRequest::new(tiny_spec("0")).with_tenant(format!("tenant-{i}"));
+        let before: Vec<String> = (0..256)
+            .map(|i| router.pool_name(router.route(&request(i))))
+            .collect();
+
+        router
+            .add_pool(PoolConfig {
+                name: "joiner".into(),
+                service: ServiceConfig::new(1),
+            })
+            .unwrap();
+        assert_eq!(router.pools(), 4);
+        let mut moved = 0;
+        for (i, was) in before.iter().enumerate() {
+            let now = router.pool_name(router.route(&request(i)));
+            if now != *was {
+                assert_eq!(now, "joiner", "keys only move to the new pool");
+                moved += 1;
+            }
+        }
+        assert!(moved > 0, "the joiner takes some load");
+        assert!(moved <= 2 * 256 / 3, "~1/N of keys move, got {moved}/256");
+        // The joiner serves traffic routed to it.
+        let handle = router
+            .submit(SynthRequest::new(tiny_spec("0")).with_tenant("probe"))
+            .unwrap();
+        assert!(handle.wait().outcome.is_ok());
+
+        // Duplicate names are refused, also for racy second adds.
+        let err = router
+            .add_pool(PoolConfig {
+                name: "joiner".into(),
+                service: ServiceConfig::new(1),
+            })
+            .unwrap_err();
+        assert!(matches!(err, ServiceError::InvalidConfig(_)), "{err}");
+
+        // Removing the joiner restores the original assignment exactly.
+        let final_metrics = router.remove_pool("joiner").unwrap();
+        assert!(final_metrics.submitted <= 1 + moved as u64);
+        assert_eq!(router.pools(), 3);
+        for (i, was) in before.iter().enumerate() {
+            assert_eq!(router.pool_name(router.route(&request(i))), *was);
+        }
+        assert!(matches!(
+            router.remove_pool("joiner"),
+            Err(ServiceError::InvalidConfig(_))
+        ));
+        router.shutdown();
+    }
+
+    #[test]
+    fn the_last_pool_cannot_be_removed() {
+        let router = ShardRouter::start(RouterConfig::identical(1, ServiceConfig::new(1))).unwrap();
+        let err = router.remove_pool("pool-0").unwrap_err();
+        match err {
+            ServiceError::InvalidConfig(message) => {
+                assert!(message.contains("last pool"), "{message}")
+            }
+            other => panic!("expected InvalidConfig, got {other}"),
+        }
+        assert_eq!(router.pools(), 1);
+        let _ = VNODES; // the ring constant is part of the public contract
         router.shutdown();
     }
 
@@ -394,7 +620,12 @@ mod tests {
         for handle in &handles {
             assert!(handle.wait().outcome.is_ok());
         }
-        let snapshot = router.shutdown();
+        let mut snapshot = router.shutdown();
+        snapshot.admission = AdmissionCounters {
+            admitted: 4,
+            rate_limited: 2,
+            lane_waits: 1,
+        };
         assert_eq!(snapshot.pools.len(), 2);
         assert_eq!(snapshot.pools[0].0, "pool-0");
         let rollup = snapshot.rollup();
@@ -404,6 +635,7 @@ mod tests {
             snapshot.pools.iter().map(|(_, s)| s.solved).sum::<u64>()
         );
         assert_eq!(rollup.workers.len(), 2, "one worker per pool");
+        assert_eq!(rollup.rate_limited, 2, "admission folds into the rollup");
 
         let json = snapshot.to_json();
         assert_eq!(
@@ -426,12 +658,14 @@ mod tests {
                     .unwrap()
             })
             .sum();
+        let rollup_requests = json.get("rollup").and_then(|r| r.get("requests")).unwrap();
         assert_eq!(
-            json.get("rollup")
-                .and_then(|r| r.get("requests"))
-                .and_then(|r| r.get("submitted"))
-                .and_then(Json::as_u64),
+            rollup_requests.get("submitted").and_then(Json::as_u64),
             Some(submitted_sum)
+        );
+        assert_eq!(
+            rollup_requests.get("rate_limited").and_then(Json::as_u64),
+            Some(2)
         );
         // The document round-trips through the shared parser.
         assert_eq!(Json::parse(&json.to_pretty()).unwrap(), json);

@@ -364,6 +364,7 @@ impl SynthService {
         let shared = &self.shared;
         if shared.queue.is_closed() {
             Metrics::bump(&shared.metrics.rejected);
+            Metrics::bump(&shared.metrics.rejected_shutdown);
             return Err(ServiceError::ShuttingDown);
         }
         Metrics::bump(&shared.metrics.submitted);
@@ -409,8 +410,10 @@ impl SynthService {
                     // `submitted` was optimistic; it never became a job.
                     shared.metrics.submitted.fetch_sub(1, Ordering::Relaxed);
                     return Err(if shared.queue.is_closed() {
+                        Metrics::bump(&shared.metrics.rejected_shutdown);
                         ServiceError::ShuttingDown
                     } else {
+                        Metrics::bump(&shared.metrics.rejected_queue_full);
                         ServiceError::QueueFull
                     });
                 }
@@ -597,6 +600,8 @@ mod tests {
         assert!(accepted.wait().outcome.is_ok());
         let metrics = service.shutdown();
         assert_eq!(metrics.rejected, 1);
+        assert_eq!(metrics.rejected_shutdown, 1);
+        assert_eq!(metrics.rejected_queue_full, 0);
         assert_eq!(metrics.completed, 1);
     }
 

@@ -17,6 +17,8 @@
 //!   harness ([`rei_bench`]).
 //! * [`service`] — the multi-tenant synthesis service: worker pool, job
 //!   scheduling, result caching and request coalescing ([`rei_service`]).
+//! * [`net`] — the TCP JSONL serving front-end: bounded handler pool,
+//!   per-tenant fair-share admission, graceful drain ([`rei_net`]).
 //!
 //! # Quickstart
 //!
@@ -94,6 +96,7 @@ pub use gpu_sim as gpu;
 pub use rei_bench as bench;
 pub use rei_core as core;
 pub use rei_lang as lang;
+pub use rei_net as net;
 pub use rei_service as service;
 pub use rei_syntax as syntax;
 
@@ -108,9 +111,11 @@ pub mod prelude {
         Synthesizer, ThreadParallel,
     };
     pub use rei_lang::{Alphabet, InfixClosure, Spec, Word};
+    pub use rei_net::{install_sigint, NetConfig, NetServer};
     pub use rei_service::{
-        JobHandle, MetricsSnapshot, PoolConfig, ResponseSource, RouterConfig, RouterSnapshot,
-        ServiceConfig, ServiceError, ShardRouter, SynthRequest, SynthResponse, SynthService,
+        AdmissionConfig, AdmissionCounters, AdmissionError, FairShare, HashRing, JobHandle,
+        MetricsSnapshot, PoolConfig, ResponseSource, RouterConfig, RouterSnapshot, ServiceConfig,
+        ServiceError, ShardRouter, SynthRequest, SynthResponse, SynthService, TenantPolicy,
     };
     pub use rei_syntax::{parse, CostFn, Regex};
 }

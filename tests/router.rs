@@ -51,16 +51,21 @@ fn same_tenant_key_always_lands_on_the_same_pool() {
     );
     // Tenant-less requests route by spec fingerprint: identical specs
     // (even reordered ones) agree, and the mapping is the documented
-    // fingerprint arithmetic — stable across processes.
+    // consistent-hash ring over the pool names — stable across
+    // processes, so a restarted router shards identically.
     let spec = Spec::from_strs(["10", "1"], ["0"]).unwrap();
     let reordered = Spec::from_strs(["1", "10", "10"], ["0"]).unwrap();
     assert_eq!(
         router.route(&SynthRequest::new(spec.clone())),
         router.route(&SynthRequest::new(reordered))
     );
+    let mut ring = HashRing::new();
+    for index in 0..4 {
+        ring.add(&format!("pool-{index}"));
+    }
     assert_eq!(
-        router.route(&SynthRequest::new(spec.clone())),
-        (spec.fingerprint() % 4) as usize
+        format!("pool-{}", router.route(&SynthRequest::new(spec.clone()))),
+        ring.route(spec.fingerprint()).unwrap()
     );
     router.shutdown();
 }
