@@ -8,12 +8,15 @@ runs (and the one to run locally after regenerating the file):
     cargo run --release -p rei-bench --bin reproduce -- serve --listen --workers 4 --out BENCH_core.json
     python3 ci/check_bench.py BENCH_core.json
 
-It asserts the `rei-bench/perf-v4` schema: kernel speedup tripwires, the
+It asserts the `rei-bench/perf-v5` schema: kernel speedup tripwires, the
+SIMD kernel-tier section (`kernels.simd`: probe result recorded, scalar
+parity proven, dispatched-vs-scalar speedups floored at 1.0), the
 per-backend level-execution counters, the `service` section's
-(`rei-bench/service-v2`) cold / cache-warm / disk-warm-restart passes
-with their sharded per-pool breakdown, and the TCP front-end passes of
-`service.net` (`rei-bench/service-net-v1`): concurrent connections, a
-cache-warm replay over the wire, and the rate-limited flood tenant.
+(`rei-bench/service-v3`) cold / cache-warm / disk-warm-restart / fused
+passes with their sharded per-pool breakdown, and the TCP front-end
+passes of `service.net` (`rei-bench/service-net-v1`): concurrent
+connections, a cache-warm replay over the wire, and the rate-limited
+flood tenant.
 """
 
 import json
@@ -63,9 +66,48 @@ def check_kernels(report):
     assert kernels["geomean_star_speedup"] >= 1.5, kernels
 
 
+def check_simd(report):
+    # The SIMD kernel tier: the runtime probe result is recorded, every
+    # dispatched kernel matched its pinned-scalar reference bit for bit,
+    # and the dispatched entry points never lose to scalar. Disengaged
+    # rows (scalar-tier hosts, or closures where funnel staging found
+    # nothing profitable) are pinned to exactly 1.0 by the harness, so
+    # the floor is a real never-slower tripwire; 0.95 allows runner
+    # noise on the measured rows.
+    simd = report["kernels"]["simd"]
+    assert simd["tier"] in ("scalar", "avx2", "neon"), simd["tier"]
+    assert simd["accelerated"] == (simd["tier"] != "scalar"), simd
+    assert simd["scalar_parity"] is True, simd
+    for key in (
+        "geomean_concat_speedup",
+        "geomean_star_speedup",
+        "geomean_satisfy_speedup",
+    ):
+        assert simd[key] >= 0.95, f"{key} regressed below scalar: {simd[key]}"
+    rows = simd["per_benchmark"]
+    assert len(rows) >= 3, simd
+    for row in rows:
+        assert row["blocks"] >= 8, row
+        if not simd["accelerated"]:
+            assert row["satisfy_speedup"] == 1.0, row
+        if not row["concat_lanes"]:
+            assert row["concat_speedup"] == 1.0, row
+            assert row["star_speedup"] == 1.0, row
+    # An accelerated host must genuinely engage the lane concat kernel on
+    # at least one wide closure.
+    if simd["accelerated"]:
+        assert any(row["concat_lanes"] for row in rows), rows
+    print(
+        f"kernels.simd: tier {simd['tier']}, parity ok, geomeans "
+        f"concat {simd['geomean_concat_speedup']:.2f} / "
+        f"star {simd['geomean_star_speedup']:.2f} / "
+        f"satisfy {simd['geomean_satisfy_speedup']:.2f}"
+    )
+
+
 def check_service(report):
     service = report["service"]
-    assert service["schema"] == "rei-bench/service-v2", service["schema"]
+    assert service["schema"] == "rei-bench/service-v3", service["schema"]
     # CI (and the documented regeneration recipe) runs `reproduce serve
     # --workers 4`; fewer workers here means the flag plumbing broke.
     assert service["workers"] >= 4, service
@@ -82,6 +124,14 @@ def check_service(report):
     assert restart["cache_hit_rate"] >= 0.9, restart
     assert service["restart_disk_loaded"] >= restart["cache_hits"], service
     assert service["restart_disk_loaded"] > 0, service
+    # Fused pass: the single-worker burst drains genuinely fused batches
+    # — strictly more requests than sweeps proves cross-request fusion
+    # shared at least one level sweep.
+    fused = service["fused"]
+    assert fused["fused_batches"] > 0, fused
+    assert fused["fused_requests"] > fused["fused_batches"], fused
+    assert fused["fuse_limit"] >= 2, fused
+    assert fused["solved"] + fused["failed"] == fused["submitted"], fused
     # Sharded pools: a breakdown exists and accounts for all the cold and
     # warm traffic.
     pools = service["pools"]
@@ -97,7 +147,8 @@ def check_service(report):
         f"(hit rate {warm['cache_hit_rate']:.2f}); "
         f"restart hit rate {restart['cache_hit_rate']:.2f} from "
         f"{service['restart_disk_loaded']} disk records across "
-        f"{len(pools)} pools"
+        f"{len(pools)} pools; fused {fused['fused_requests']} requests "
+        f"in {fused['fused_batches']} sweeps"
     )
 
 
@@ -135,9 +186,10 @@ def main():
     path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_core.json"
     with open(path) as handle:
         report = json.load(handle)
-    assert report["schema"] == "rei-bench/perf-v4", report["schema"]
+    assert report["schema"] == "rei-bench/perf-v5", report["schema"]
     check_backends(report)
     check_kernels(report)
+    check_simd(report)
     check_service(report)
     check_net(report)
     print(f"{path}: baseline contract ok")

@@ -25,6 +25,9 @@ Flags:
   --max-enqueued N     rollup jobs.enqueued <= N (e.g. 0 proves a
                        disk-warm restart executed zero syntheses)
   --min-disk-loaded N  rollup cache.disk_loaded >= N
+  --min-fused N        rollup jobs.fused_requests >= N, and strictly more
+                       fused requests than fused batches (cross-request
+                       batch fusion genuinely shared a level sweep)
 """
 
 import argparse
@@ -49,6 +52,7 @@ def parse_args():
     parser.add_argument("--pools", type=int)
     parser.add_argument("--max-enqueued", type=int)
     parser.add_argument("--min-disk-loaded", type=int)
+    parser.add_argument("--min-fused", type=int)
     return parser.parse_args()
 
 
@@ -114,6 +118,18 @@ def main():
         loaded = metrics["rollup"]["cache"]["disk_loaded"]
         assert loaded >= args.min_disk_loaded, (
             f"{loaded} records disk-loaded, expected >= {args.min_disk_loaded}"
+        )
+    if args.min_fused is not None:
+        assert metrics is not None, "--min-fused needs --metrics"
+        jobs = metrics["rollup"]["jobs"]
+        fused_requests = jobs["fused_requests"]
+        fused_batches = jobs["fused_batches"]
+        assert fused_requests >= args.min_fused, (
+            f"{fused_requests} fused requests, expected >= {args.min_fused}"
+        )
+        assert fused_requests > fused_batches, (
+            f"fusion never shared a sweep: {fused_requests} requests "
+            f"in {fused_batches} batches"
         )
 
     print(f"{len(lines)} result lines ok ({', '.join(ids)})")

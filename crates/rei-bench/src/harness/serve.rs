@@ -14,7 +14,12 @@
 //!   cache directory — the first router's shutdown compacted each shard's
 //!   JSONL file, so the new router (a new process, as far as the caches
 //!   can tell) answers the replay from disk-warmed caches without
-//!   running a single synthesis.
+//!   running a single synthesis;
+//! * a **fused pass** that bursts the whole pool at a standalone
+//!   single-worker service — every request behind the first queues up, so
+//!   the worker drains them into fused level sweeps and the batch
+//!   counters prove cross-request fusion fired (`fused_requests` strictly
+//!   above `fused_batches`).
 //!
 //! The report lands in the `service` section of `BENCH_core.json` next to
 //! the kernel and backend baselines (see `reproduce serve`), including a
@@ -24,7 +29,9 @@ use std::path::Path;
 use std::time::Instant;
 
 use rei_service::json::Json;
-use rei_service::{RouterConfig, RouterSnapshot, ServiceConfig, ShardRouter, SynthRequest};
+use rei_service::{
+    RouterConfig, RouterSnapshot, ServiceConfig, ShardRouter, SynthRequest, SynthService,
+};
 
 use crate::costs::REFERENCE;
 use crate::harness::figure1::benchmark_pool;
@@ -101,6 +108,41 @@ impl PoolBreakdown {
     }
 }
 
+/// Counters of the fused-batch pass: the pool burst at a single-worker
+/// service so the queue backs up and the worker drains fused batches.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FusedPass {
+    /// Requests submitted in the burst.
+    pub submitted: u64,
+    /// Wall-clock seconds from first submission to last response.
+    pub wall_seconds: f64,
+    /// Responses carrying an expression.
+    pub solved: usize,
+    /// Responses carrying an error.
+    pub failed: usize,
+    /// The service's fuse limit (batch size cap).
+    pub fuse_limit: usize,
+    /// Fused level sweeps the worker ran (batches of ≥ 2 requests).
+    pub fused_batches: u64,
+    /// Requests served by those sweeps. Strictly above `fused_batches`
+    /// whenever fusion genuinely shared a sweep.
+    pub fused_requests: u64,
+}
+
+impl FusedPass {
+    fn to_json(self) -> Json {
+        Json::object([
+            ("submitted", Json::uint(self.submitted)),
+            ("wall_seconds", Json::fixed(self.wall_seconds, 4)),
+            ("solved", Json::uint(self.solved as u64)),
+            ("failed", Json::uint(self.failed as u64)),
+            ("fuse_limit", Json::uint(self.fuse_limit as u64)),
+            ("fused_batches", Json::uint(self.fused_batches)),
+            ("fused_requests", Json::uint(self.fused_requests)),
+        ])
+    }
+}
+
 /// The full serve-throughput report.
 #[derive(Debug, Clone)]
 pub struct ServeReport {
@@ -121,6 +163,8 @@ pub struct ServeReport {
     pub restart: ServePass,
     /// Persisted records that warmed the restarted router's caches.
     pub restart_disk_loaded: u64,
+    /// The fused-batch pass through a standalone single-worker service.
+    pub fused: FusedPass,
     /// Per-pool breakdown of the cold+warm router.
     pub pools: Vec<PoolBreakdown>,
 }
@@ -135,10 +179,12 @@ impl ServeReport {
         }
     }
 
-    /// The `service` section merged into `BENCH_core.json`.
+    /// The `service` section merged into `BENCH_core.json`. v3 adds the
+    /// `fused` pass: cross-request batch-fusion counters from a
+    /// single-worker burst.
     pub fn to_json_value(&self) -> Json {
         Json::object([
-            ("schema", Json::str("rei-bench/service-v2")),
+            ("schema", Json::str("rei-bench/service-v3")),
             ("workers", Json::uint(self.workers as u64)),
             ("backend", Json::str(&self.backend)),
             ("queue_capacity", Json::uint(self.queue_capacity as u64)),
@@ -147,6 +193,7 @@ impl ServeReport {
             ("warm", self.warm.to_json()),
             ("restart", self.restart.to_json()),
             ("restart_disk_loaded", Json::uint(self.restart_disk_loaded)),
+            ("fused", self.fused.to_json()),
             ("replay_speedup", Json::fixed(self.replay_speedup(), 2)),
             (
                 "pools",
@@ -196,10 +243,52 @@ fn pass_counters(
     }
 }
 
+/// Bursts the whole pool at a standalone single-worker service so every
+/// request behind the first backs up in the queue and the worker drains
+/// them as fused level sweeps. One worker makes the backlog — and with
+/// it `fused_requests > fused_batches` — deterministic: submission takes
+/// microseconds, the first synthesis milliseconds.
+fn run_fused_pass(config: &HarnessConfig, fuse_limit: usize) -> FusedPass {
+    let pool = benchmark_pool(config);
+    let service = ServiceConfig::new(1)
+        .with_queue_capacity(pool.len().max(1))
+        .with_fuse_limit(fuse_limit)
+        .with_synth(config.synth_config(REFERENCE.costs));
+    let service = SynthService::start(service).expect("harness service config is valid");
+    let started = Instant::now();
+    let handles: Vec<_> = pool
+        .iter()
+        .map(|b| {
+            service
+                .submit(SynthRequest::new(b.spec.clone()))
+                .expect("queue sized for the whole burst")
+        })
+        .collect();
+    let (mut solved, mut failed) = (0, 0);
+    for handle in &handles {
+        match handle.wait().outcome {
+            Ok(_) => solved += 1,
+            Err(_) => failed += 1,
+        }
+    }
+    let wall_seconds = started.elapsed().as_secs_f64();
+    let snapshot = service.shutdown();
+    FusedPass {
+        submitted: handles.len() as u64,
+        wall_seconds,
+        solved,
+        failed,
+        fuse_limit,
+        fused_batches: snapshot.fused_batches,
+        fused_requests: snapshot.fused_requests,
+    }
+}
+
 /// Runs the serve experiment: the Table 1 pool through a shard router of
 /// `pools` pools with `workers` workers each (cold with duplicates, a
 /// cache-warm replay, then a disk-warm replay through a fresh router
-/// restarted over `cache_dir`).
+/// restarted over `cache_dir`), plus the fused-batch burst through a
+/// standalone single-worker service.
 pub fn run_serve(
     config: &HarnessConfig,
     workers: usize,
@@ -267,6 +356,8 @@ pub fn run_serve(
     );
     let restart_disk_loaded = after_restart.rollup().disk_loaded;
 
+    let fused = run_fused_pass(config, rei_service::DEFAULT_FUSE_LIMIT);
+
     ServeReport {
         workers,
         backend,
@@ -276,6 +367,7 @@ pub fn run_serve(
         warm,
         restart,
         restart_disk_loaded,
+        fused,
         pools: pools_breakdown,
     }
 }
@@ -334,6 +426,17 @@ mod tests {
             report.restart.cache_hit_rate()
         );
         assert!(report.restart_disk_loaded >= report.restart.cache_hits);
+        // The single-worker burst backs up the queue, so the worker
+        // drains genuinely fused batches: strictly more requests than
+        // sweeps.
+        assert_eq!(report.fused.submitted, report.pool_size as u64);
+        assert!(report.fused.fused_batches > 0, "no fused sweeps ran");
+        assert!(
+            report.fused.fused_requests > report.fused.fused_batches,
+            "fusion never shared a sweep: {} requests in {} batches",
+            report.fused.fused_requests,
+            report.fused.fused_batches
+        );
         // The sharded traffic is accounted per pool and sums back up.
         assert_eq!(report.pools.len(), 2);
         let submitted: u64 = report.pools.iter().map(|p| p.submitted).sum();
@@ -360,6 +463,15 @@ mod tests {
             warm: pass(5, 0.1, 5, 5, 0),
             restart: pass(5, 0.1, 5, 5, 0),
             restart_disk_loaded: 5,
+            fused: FusedPass {
+                submitted: 5,
+                wall_seconds: 0.8,
+                solved: 5,
+                failed: 0,
+                fuse_limit: 4,
+                fused_batches: 2,
+                fused_requests: 4,
+            },
             pools: vec![
                 PoolBreakdown {
                     name: "pool-0".into(),
@@ -382,7 +494,19 @@ mod tests {
         let json = report.to_json_value();
         assert_eq!(
             json.get("schema").and_then(Json::as_str),
-            Some("rei-bench/service-v2")
+            Some("rei-bench/service-v3")
+        );
+        assert_eq!(
+            json.get("fused")
+                .and_then(|f| f.get("fused_requests"))
+                .and_then(Json::as_u64),
+            Some(4)
+        );
+        assert_eq!(
+            json.get("fused")
+                .and_then(|f| f.get("fuse_limit"))
+                .and_then(Json::as_u64),
+            Some(4)
         );
         assert_eq!(
             json.get("warm")

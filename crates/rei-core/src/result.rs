@@ -37,6 +37,11 @@ pub struct SynthesisStats {
     /// Scheduler chunks a thread-parallel worker claimed from another
     /// worker's range (0 on the other strategies).
     pub chunks_stolen: u64,
+    /// Rows per work-stealing claim in effect when the run ended. The
+    /// search adapts this between levels from the observed steal rate
+    /// (high contention halves it, calm levels grow it back towards the
+    /// configured value), so the final value is a contention fingerprint.
+    pub sched_chunk: u64,
     /// Candidate rows whose full satisfaction check was skipped by the
     /// single-block admission prefilter.
     pub prefilter_rejects: u64,

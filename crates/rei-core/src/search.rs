@@ -31,7 +31,7 @@ use rei_syntax::CostFn;
 
 use crate::backend::Backend;
 use crate::cache::{LanguageCache, Provenance};
-use crate::observe::{CancelToken, Observer};
+use crate::observe::{CancelToken, NoopObserver, Observer};
 use crate::result::{LevelStats, SynthesisError, SynthesisResult, SynthesisStats};
 use crate::sched::StealScheduler;
 
@@ -46,6 +46,36 @@ const MIN_LEVEL_CHUNK_ROWS: usize = 256;
 
 /// Default rows per work-stealing claim of the thread-parallel strategy.
 const DEFAULT_SCHED_CHUNK: usize = 64;
+
+/// Steal fraction above which a level counts as contended: the next level
+/// halves the work-stealing chunk so the tail spreads better.
+const STEAL_RATE_SHRINK: f64 = 0.25;
+
+/// Steal fraction below which a level counts as calm: the chunk grows
+/// back towards the configured size.
+const STEAL_RATE_GROW: f64 = 0.10;
+
+/// Floor of the adapted chunk size; below this the per-claim scheduler
+/// overhead dominates the kernels.
+const MIN_SCHED_CHUNK: usize = 8;
+
+/// The steal-rate feedback rule for the work-stealing chunk size (see
+/// [`Search::adapt_sched_chunk`]): `current` is this level's chunk, `cap`
+/// the configured (or default) size the chunk may grow back to, and
+/// `claimed`/`stolen` the scheduler counters observed over one level.
+fn adapted_sched_chunk(current: usize, cap: usize, claimed: u64, stolen: u64) -> usize {
+    if claimed == 0 {
+        return current;
+    }
+    let rate = stolen as f64 / claimed as f64;
+    if rate > STEAL_RATE_SHRINK {
+        (current / 2).max(MIN_SCHED_CHUNK.min(cap))
+    } else if rate < STEAL_RATE_GROW && current < cap {
+        (current * 2).min(cap)
+    } else {
+        current
+    }
+}
 
 /// Derives the streamed-chunk bound from the cache's memory budget: the
 /// in-flight batch buffer (`rows * stride` words) may use about 1/16 of
@@ -495,8 +525,12 @@ struct Search<'a> {
     prefilter: AdmissionPrefilter,
     width: CsWidth,
     eps_index: usize,
-    /// Resolved rows-per-claim of the work-stealing scheduler.
+    /// Rows-per-claim of the work-stealing scheduler, adapted between
+    /// levels from the observed steal rate.
     sched_chunk: usize,
+    /// The configured (or default) chunk size: the upper bound the
+    /// adaptive rule may grow `sched_chunk` back to.
+    sched_chunk_cap: usize,
     /// Resolved bound on rows per streamed level chunk.
     level_chunk_rows: usize,
     cache: LanguageCache,
@@ -853,53 +887,9 @@ pub(crate) fn run(
     stop: StopCheck,
     scratch: &mut SessionScratch,
 ) -> Result<SynthesisResult, SynthesisError> {
-    let ic = InfixClosure::of_spec(params.spec);
-    let guide_masks = GuideMasks::build(&ic);
-    let masks = SatisfyMasks::new(params.spec, &ic);
-    let prefilter = masks.prefilter();
-    let width = ic.width();
-    let eps_index = ic
-        .eps_index()
-        .expect("non-trivial spec has a non-empty closure");
-    let sched_chunk = params.sched_chunk.unwrap_or(DEFAULT_SCHED_CHUNK).max(1);
-    let level_chunk_rows = params
-        .level_chunk_rows
-        .unwrap_or_else(|| default_level_chunk_rows(params.memory_budget, width.blocks() + 1))
-        .max(1);
-    let cache = LanguageCache::new(width, params.memory_budget);
-    // The uniqueness table starts small and is grown between kernel
-    // launches as the cache fills (see `CsSet::maybe_grow`).
-    let seen = CsSet::new(width.blocks(), 4096.min(cache.capacity_rows()));
-    let stats_device = backend.device().cloned().unwrap_or_else(Device::sequential);
     let literal_cost = params.costs.literal;
     let max_cost = params.max_cost;
-
-    let stats = SynthesisStats {
-        infix_closure_size: ic.len() as u64,
-        ..Default::default()
-    };
-
-    let mut search = Search {
-        params,
-        observer,
-        stop,
-        scratch,
-        ic,
-        pair_table: OnceLock::new(),
-        guide_masks,
-        masks,
-        prefilter,
-        width,
-        eps_index,
-        sched_chunk,
-        level_chunk_rows,
-        cache,
-        seen,
-        stats_device,
-        stats,
-        on_the_fly: false,
-        last_full_cost: 0,
-    };
+    let mut search = Search::new(params, backend, observer, stop, scratch);
 
     // Seed the cache with the characteristic sequences of the alphabet
     // characters (line 6 of Algorithm 1), checking each for satisfaction.
@@ -908,12 +898,7 @@ pub(crate) fn run(
     }
 
     for cost in (literal_cost + 1)..=max_cost {
-        // The unified stop check, at the level boundary.
-        if let Some(stop) = search.stop.poll() {
-            return Err(search.stopped(stop));
-        }
-        search.stats.max_cost_reached = cost;
-        match search.build_level(cost, backend) {
+        match search.step_level(cost, backend) {
             LevelOutcome::Found(prov) => return Ok(search.finish(prov)),
             LevelOutcome::Continue => {}
             LevelOutcome::Exhausted => {
@@ -932,7 +917,178 @@ pub(crate) fn run(
     })
 }
 
+/// One member of a fused multi-request sweep: its own problem and its own
+/// stop condition, sharing the caller's backend with its batch-mates.
+pub(crate) struct FusedMember<'a> {
+    pub params: SearchParams<'a>,
+    pub stop: StopCheck,
+}
+
+/// Runs several searches as **one fused level sweep**: the members advance
+/// in lock step, one cost level at a time, so a pool worker amortises its
+/// scheduling loop, stop polling and per-level bookkeeping over every
+/// queued request it drained. Each member keeps its own closure, guide
+/// masks, cache and uniqueness set (the specs differ, so rows live in per-
+/// member buffers — the winner *slot* is per member, not per batch), and
+/// its own [`StopCheck`] is polled at the usual chunk boundaries inside
+/// its levels, so cancelling or timing out one member retires only that
+/// slot; its batch-mates keep sweeping. A member whose winner lands at an
+/// early level completes immediately (partial completion) while the rest
+/// continue to their own outcomes. Results are returned in member order.
+pub(crate) fn run_fused(
+    members: Vec<FusedMember<'_>>,
+    backend: &dyn Backend,
+) -> Vec<Result<SynthesisResult, SynthesisError>> {
+    enum Slot<'a> {
+        Active(Box<Search<'a>>),
+        Done(Result<SynthesisResult, SynthesisError>),
+    }
+
+    let mut observers: Vec<NoopObserver> = members.iter().map(|_| NoopObserver).collect();
+    let mut scratches: Vec<SessionScratch> =
+        members.iter().map(|_| SessionScratch::default()).collect();
+    let mut first_cost = u64::MAX;
+    let mut slots: Vec<Slot> = Vec::with_capacity(members.len());
+    for ((member, observer), scratch) in members
+        .into_iter()
+        .zip(observers.iter_mut())
+        .zip(scratches.iter_mut())
+    {
+        first_cost = first_cost.min(member.params.costs.literal + 1);
+        let mut search = Search::new(member.params, backend, observer, member.stop, scratch);
+        slots.push(match search.seed_alphabet() {
+            Some(found) => Slot::Done(Ok(search.finish(found))),
+            None => Slot::Active(Box::new(search)),
+        });
+    }
+
+    let mut cost = first_cost;
+    while slots.iter().any(|slot| matches!(slot, Slot::Active(_))) {
+        for slot in &mut slots {
+            let Slot::Active(search) = slot else { continue };
+            let done = if cost > search.params.max_cost {
+                Some(Err(SynthesisError::NotFound {
+                    max_cost: search.params.max_cost,
+                    stats: search.final_stats(),
+                }))
+            } else if cost <= search.params.costs.literal {
+                // This member's first composite level is still ahead
+                // (mixed cost functions); it idles until the sweep
+                // reaches it.
+                None
+            } else {
+                match search.step_level(cost, backend) {
+                    LevelOutcome::Found(prov) => Some(Ok(search.finish(prov))),
+                    LevelOutcome::Continue => None,
+                    LevelOutcome::Exhausted => Some(Err(SynthesisError::OutOfMemory {
+                        last_complete_cost: search.last_full_cost,
+                        stats: search.final_stats(),
+                    })),
+                    LevelOutcome::Stopped(stop) => Some(Err(search.stopped(stop))),
+                }
+            };
+            if let Some(result) = done {
+                *slot = Slot::Done(result);
+            }
+        }
+        cost += 1;
+    }
+
+    slots
+        .into_iter()
+        .map(|slot| match slot {
+            Slot::Done(result) => result,
+            Slot::Active(_) => unreachable!("active member after fused sweep"),
+        })
+        .collect()
+}
+
 impl<'a> Search<'a> {
+    /// Stages everything one sweep needs for one specification: infix
+    /// closure, guide masks, satisfaction masks, admission prefilter,
+    /// language cache and uniqueness set. Shared by the single-spec
+    /// [`run`] and the fused [`run_fused`] drivers.
+    fn new(
+        params: SearchParams<'a>,
+        backend: &dyn Backend,
+        observer: &'a mut dyn Observer,
+        stop: StopCheck,
+        scratch: &'a mut SessionScratch,
+    ) -> Search<'a> {
+        let ic = InfixClosure::of_spec(params.spec);
+        let guide_masks = GuideMasks::build(&ic);
+        let masks = SatisfyMasks::new(params.spec, &ic);
+        let prefilter = masks.prefilter();
+        let width = ic.width();
+        let eps_index = ic
+            .eps_index()
+            .expect("non-trivial spec has a non-empty closure");
+        let sched_chunk = params.sched_chunk.unwrap_or(DEFAULT_SCHED_CHUNK).max(1);
+        let level_chunk_rows = params
+            .level_chunk_rows
+            .unwrap_or_else(|| default_level_chunk_rows(params.memory_budget, width.blocks() + 1))
+            .max(1);
+        let cache = LanguageCache::new(width, params.memory_budget);
+        // The uniqueness table starts small and is grown between kernel
+        // launches as the cache fills (see `CsSet::maybe_grow`).
+        let seen = CsSet::new(width.blocks(), 4096.min(cache.capacity_rows()));
+        let stats_device = backend.device().cloned().unwrap_or_else(Device::sequential);
+        let stats = SynthesisStats {
+            infix_closure_size: ic.len() as u64,
+            ..Default::default()
+        };
+
+        Search {
+            params,
+            observer,
+            stop,
+            scratch,
+            ic,
+            pair_table: OnceLock::new(),
+            guide_masks,
+            masks,
+            prefilter,
+            width,
+            eps_index,
+            sched_chunk,
+            sched_chunk_cap: sched_chunk,
+            level_chunk_rows,
+            cache,
+            seen,
+            stats_device,
+            stats,
+            on_the_fly: false,
+            last_full_cost: 0,
+        }
+    }
+
+    /// Advances the search by one cost level: the unified stop check at
+    /// the level boundary, then the level build, then the steal-rate
+    /// feedback on the work-stealing chunk size.
+    fn step_level(&mut self, cost: u64, backend: &dyn Backend) -> LevelOutcome {
+        if let Some(stop) = self.stop.poll() {
+            return LevelOutcome::Stopped(stop);
+        }
+        self.stats.max_cost_reached = cost;
+        let claimed_before = self.stats.chunks_claimed;
+        let stolen_before = self.stats.chunks_stolen;
+        let outcome = self.build_level(cost, backend);
+        self.adapt_sched_chunk(
+            self.stats.chunks_claimed - claimed_before,
+            self.stats.chunks_stolen - stolen_before,
+        );
+        outcome
+    }
+
+    /// Applies [`adapted_sched_chunk`] to one level's scheduler counters:
+    /// a contended level halves the next level's chunk, a calm one grows
+    /// it back towards the configured cap. Single-worker strategies claim
+    /// without stealing, so the chunk settles at the cap and the rule
+    /// degrades to a no-op.
+    fn adapt_sched_chunk(&mut self, claimed: u64, stolen: u64) {
+        self.sched_chunk =
+            adapted_sched_chunk(self.sched_chunk, self.sched_chunk_cap, claimed, stolen);
+    }
     /// The pair-based guide table, built on first use (only the device
     /// strategy reads it).
     fn pair_table(&self) -> &GuideTable {
@@ -1159,6 +1315,7 @@ impl<'a> Search<'a> {
         stats.cache_rows = self.cache.len() as u64;
         stats.cache_bytes = self.cache.memory_bytes() as u64;
         stats.dedup_overflowed = self.seen.overflowed();
+        stats.sched_chunk = self.sched_chunk as u64;
         stats.elapsed = self.params.started.elapsed();
         stats
     }
@@ -1188,6 +1345,24 @@ mod tests {
         assert_eq!(Job::Star(4).provenance(), Provenance::Star(4));
         assert_eq!(Job::Concat(1, 2).provenance(), Provenance::Concat(1, 2));
         assert_eq!(Job::Union(5, 6).provenance(), Provenance::Union(5, 6));
+    }
+
+    #[test]
+    fn sched_chunk_adapts_to_steal_rate() {
+        // Contended level: halve.
+        assert_eq!(adapted_sched_chunk(64, 64, 100, 40), 32);
+        // Calm level: grow back ...
+        assert_eq!(adapted_sched_chunk(32, 64, 100, 2), 64);
+        // ... but never beyond the configured cap.
+        assert_eq!(adapted_sched_chunk(64, 64, 100, 2), 64);
+        // Floored so scheduler overhead cannot dominate.
+        assert_eq!(adapted_sched_chunk(8, 64, 100, 90), 8);
+        // A cap below the floor wins (explicitly tiny configuration).
+        assert_eq!(adapted_sched_chunk(4, 4, 100, 90), 4);
+        // Moderate steal rate: hold steady.
+        assert_eq!(adapted_sched_chunk(64, 64, 100, 15), 64);
+        // No claims at all (empty level): hold steady.
+        assert_eq!(adapted_sched_chunk(32, 64, 0, 0), 32);
     }
 
     #[test]

@@ -1,0 +1,566 @@
+//! The SIMD kernel tier: a runtime-probed accelerated path for the block
+//! kernels of [`crate::csops`].
+//!
+//! The characteristic-sequence kernels are `u64`-block loops. On wide
+//! closures (hundreds of words — several blocks per row) the same loops
+//! widen naturally to 4×u64 lanes: AVX2 on `x86_64`, and a 2×u64 NEON
+//! fold on `aarch64`. This module owns
+//!
+//! * the **feature probe** — [`tier`] decides once per process, via
+//!   `is_x86_feature_detected!("avx2")` (compile-time `neon` on
+//!   `aarch64`), which tier the dispatching kernels use. The
+//!   [`FORCE_SCALAR_ENV`] environment variable (`REI_KERNEL_TIER=scalar`)
+//!   pins the probe to [`KernelTier::Scalar`] for A/B runs and tests;
+//! * the **lane kernels** — the AVX2 bodies of the funnel-segment
+//!   concatenation loop (see the `guide` module for the staging) and the
+//!   satisfaction fold, crate-private and reachable only through the
+//!   safe dispatchers in [`crate::csops`].
+//!
+//! # Contract
+//!
+//! The scalar kernels remain the semantics: every accelerated path is
+//! bit-for-bit equal to its scalar counterpart on every input (property
+//! tested in `csops`), and every dispatcher falls back to scalar when the
+//! probe fails, when the row geometry is too narrow to fill a lane, or on
+//! architectures without an accelerated path. Nothing above this module
+//! can observe which tier ran except through timing.
+//!
+//! This is the only module of the crate allowed to contain `unsafe`
+//! (`std::arch` intrinsics); the crate root otherwise denies it.
+
+use crate::GuideMasks;
+use std::sync::OnceLock;
+
+/// Environment variable read once by [`tier`]: set it to `scalar` to pin
+/// the kernels to the scalar tier regardless of what the host supports.
+pub const FORCE_SCALAR_ENV: &str = "REI_KERNEL_TIER";
+
+/// Fold kernels (satisfaction / misclassification) only widen on rows of
+/// at least this many blocks; below it the setup outweighs the lanes.
+pub(crate) const MIN_FOLD_BLOCKS: usize = 8;
+
+/// The kernel tier selected by the runtime feature probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelTier {
+    /// Portable `u64`-block loops — the always-correct reference path.
+    Scalar,
+    /// 4×u64 AVX2 lanes (`x86_64` with AVX2 detected at runtime).
+    Avx2,
+    /// 2×u64 NEON lanes for the fold kernels (`aarch64`).
+    Neon,
+}
+
+impl KernelTier {
+    /// `true` when the tier uses widened lanes for any kernel.
+    pub fn is_accelerated(self) -> bool {
+        self != KernelTier::Scalar
+    }
+
+    /// Stable lower-case label (`"scalar"`, `"avx2"`, `"neon"`), used by
+    /// the bench report and the metrics.
+    pub fn label(self) -> &'static str {
+        match self {
+            KernelTier::Scalar => "scalar",
+            KernelTier::Avx2 => "avx2",
+            KernelTier::Neon => "neon",
+        }
+    }
+}
+
+impl std::fmt::Display for KernelTier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The pure probe decision, split out of [`tier`] so the env-knob logic
+/// is testable without mutating the process environment: `env` is the
+/// value of [`FORCE_SCALAR_ENV`] (if set) and `accelerated` is what the
+/// hardware probe reported.
+pub fn tier_from(env: Option<&str>, accelerated: Option<KernelTier>) -> KernelTier {
+    match env.map(str::trim) {
+        // Only the explicit opt-out is honoured; unknown values (typos)
+        // keep the probe's verdict so a bad deploy never silently loses
+        // correctness — only an A/B run changes the tier.
+        Some(v) if v.eq_ignore_ascii_case("scalar") => KernelTier::Scalar,
+        _ => accelerated.unwrap_or(KernelTier::Scalar),
+    }
+}
+
+/// What the hardware supports, ignoring the environment override.
+fn probe_hardware() -> Option<KernelTier> {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            return Some(KernelTier::Avx2);
+        }
+        None
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        Some(KernelTier::Neon)
+    }
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+    {
+        None
+    }
+}
+
+/// The process-wide kernel tier: probed once, cached for the process
+/// lifetime (the dispatchers sit on the synthesis hot path).
+pub fn tier() -> KernelTier {
+    static TIER: OnceLock<KernelTier> = OnceLock::new();
+    *TIER.get_or_init(|| {
+        let env = std::env::var(FORCE_SCALAR_ENV).ok();
+        tier_from(env.as_deref(), probe_hardware())
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Safe dispatch fronts, called by the `csops` kernels.
+// ---------------------------------------------------------------------------
+
+/// Runs the accelerated concatenation when the probe, the architecture
+/// and the staged table's bounds allow it; returns `false` (having
+/// written nothing) when the caller must run the scalar kernel instead.
+pub(crate) fn try_concat_into(dst: &mut [u64], a: &[u64], b: &[u64], masks: &GuideMasks) -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if tier() == KernelTier::Avx2
+            && masks.simd_has_segments()
+            && masks.simd_bounds_ok(dst.len(), b.len())
+        {
+            concat_into_avx2(dst, a, b, masks);
+            return true;
+        }
+    }
+    let _ = (dst, a, b, masks);
+    false
+}
+
+/// The AVX2 concatenation driver: the scalar kernel's set-bit walk with
+/// each operand word partitioned by the segment-row bitmap. Rows without
+/// segments stream the original entry table right here, in plain code —
+/// byte-for-byte the scalar kernel's loop and codegen; only the few rows
+/// with vectorizable structure cross into the `target_feature` kernel.
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)]
+fn concat_into_avx2(dst: &mut [u64], a: &[u64], b: &[u64], masks: &GuideMasks) {
+    dst.fill(0);
+    // Block-occupancy bitmap of the right operand: the vector loop's
+    // analogue of the scalar kernel's per-entry early-out. A whole
+    // segment is skipped when none of its source blocks is occupied —
+    // the common case when `b` is a sparse literal row. All-ones doubles
+    // as the "don't test" sentinel for operands wider than 64 blocks (a
+    // genuinely all-occupied bitmap passes every range test anyway).
+    // Computed on the first segment row, so calls that touch none never
+    // pay for it.
+    let mut occ = 0u64;
+    let mut occ_ready = false;
+    let num_left = masks.num_left();
+    for (block, &word) in a.iter().enumerate() {
+        if word == 0 {
+            continue;
+        }
+        // Partition this word's rows once: segment rows go through the
+        // funnel kernel, the rest run the scalar path with zero extra
+        // per-row work.
+        let seg_mask = masks.simd_seg_rows_word(block);
+        let mut bits = word & !seg_mask;
+        while bits != 0 {
+            let l = block * 64 + bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            if l >= num_left {
+                // Padding bits above the closure are always zero in rows
+                // produced by these kernels; stop defensively anyway.
+                break;
+            }
+            for entry in masks.row(l) {
+                entry.apply(b, dst);
+            }
+        }
+        let bits = word & seg_mask;
+        if bits != 0 {
+            if !occ_ready {
+                occ_ready = true;
+                occ = if b.len() <= 64 {
+                    b.iter()
+                        .enumerate()
+                        .fold(0u64, |acc, (i, &w)| acc | u64::from(w != 0) << i)
+                } else {
+                    !0
+                };
+            }
+            // SAFETY: the probe confirmed AVX2, and `simd_bounds_ok`
+            // pre-checked every block index the segments can touch. One
+            // call covers every segment row of this word, so the AVX
+            // state transition is paid per operand word, not per row.
+            unsafe { x86::concat_rows_avx2(dst, b, masks, block, bits, occ) };
+        }
+    }
+}
+
+/// Accelerated satisfaction fold: `Some(any_violation)` when a lane path
+/// ran, `None` when the caller must fold scalar (narrow row, unequal
+/// lengths, or no accelerated tier).
+pub(crate) fn try_violations(row: &[u64], pos: &[u64], neg: &[u64]) -> Option<bool> {
+    if row.len() < MIN_FOLD_BLOCKS || pos.len() != row.len() || neg.len() != row.len() {
+        return None;
+    }
+    #[cfg(target_arch = "x86_64")]
+    #[allow(unsafe_code)]
+    if tier() == KernelTier::Avx2 {
+        // SAFETY: AVX2 probed; lengths checked equal above.
+        return Some(unsafe { x86::violations_avx2(row, pos, neg) });
+    }
+    #[cfg(target_arch = "aarch64")]
+    #[allow(unsafe_code)]
+    if tier() == KernelTier::Neon {
+        // SAFETY: NEON is baseline on aarch64; lengths checked equal.
+        return Some(unsafe { arm::violations_neon(row, pos, neg) });
+    }
+    None
+}
+
+/// Accelerated misclassification count; same contract as
+/// [`try_violations`].
+pub(crate) fn try_misclassified(row: &[u64], pos: &[u64], neg: &[u64]) -> Option<usize> {
+    if row.len() < MIN_FOLD_BLOCKS || pos.len() != row.len() || neg.len() != row.len() {
+        return None;
+    }
+    #[cfg(target_arch = "x86_64")]
+    #[allow(unsafe_code)]
+    if tier() == KernelTier::Avx2 {
+        // SAFETY: AVX2 probed; lengths checked equal above.
+        return Some(unsafe { x86::misclassified_avx2(row, pos, neg) });
+    }
+    #[cfg(target_arch = "aarch64")]
+    #[allow(unsafe_code)]
+    if tier() == KernelTier::Neon {
+        // SAFETY: NEON is baseline on aarch64; lengths checked equal.
+        return Some(unsafe { arm::misclassified_neon(row, pos, neg) });
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
+// AVX2 lane kernels (x86_64)
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)]
+pub(crate) mod x86 {
+    use crate::guide::{GuideMasks, SimdRow};
+    use std::arch::x86_64::*;
+
+    /// Applies every segment row named by `bits` (the segment-row bits of
+    /// operand block `block`) through the funnel kernel. Batching the
+    /// rows into one `target_feature` call amortizes the AVX upper-state
+    /// transition over the whole word — on dense left operands dozens of
+    /// rows share it — and lets [`concat_row_avx2`] inline into the loop.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2, plus the bounds contract of [`concat_row_avx2`]
+    /// for every row named by `bits`.
+    #[target_feature(enable = "avx2")]
+    pub(crate) unsafe fn concat_rows_avx2(
+        dst: &mut [u64],
+        b: &[u64],
+        masks: &GuideMasks,
+        block: usize,
+        mut bits: u64,
+        occ: u64,
+    ) {
+        while bits != 0 {
+            let l = block * 64 + bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            concat_row_avx2(dst, b, masks.simd_row(l), occ);
+        }
+    }
+
+    /// Applies one funnel-staged concatenation row to the right operand
+    /// `b`. Aligned segments (`s = 0`, the common case on wide closures)
+    /// are masked OR-copies: four target blocks per AVX2 step with one
+    /// contiguous load, mask AND and OR-store each. Unaligned segments
+    /// funnel two contiguous loads (the low and high source windows)
+    /// through a broadcast shift pair. Both shapes finish with an SSE
+    /// pair step and a scalar tail; then the row's leftover entries run
+    /// the scalar per-entry kernel.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2. Every block index a segment can read from `b` or
+    /// write in `dst` must be in bounds — guaranteed by the staging
+    /// invariants of [`crate::GuideMasks`] (front-trimmed `rb0` for
+    /// unaligned segments, back-trimmed low reads) plus the caller's
+    /// bounds check against the table's maxima.
+    #[target_feature(enable = "avx2")]
+    unsafe fn concat_row_avx2(dst: &mut [u64], b: &[u64], row: SimdRow<'_>, occ: u64) {
+        for seg in row.segs {
+            let t0 = seg.t0 as usize;
+            let rb0 = seg.rb0 as usize;
+            let len = seg.len as usize;
+            if occ != !0 {
+                // Skip the segment when every source block it can read
+                // is zero. `first + span ≤ 64` because the reads were
+                // bounds-checked against `b.len() ≤ 64`, so the u128
+                // range mask truncates exactly.
+                let first = if seg.s == 0 { rb0 } else { rb0 - 1 };
+                let span = rb0 + len - first;
+                let range = (((1u128 << span) - 1) << first) as u64;
+                if occ & range == 0 {
+                    continue;
+                }
+            }
+            let low_masks = row.low_masks.as_ptr().add(seg.at as usize);
+            let high_masks = row.high_masks.as_ptr().add(seg.at as usize);
+            let mut i = 0;
+            if seg.s == 0 {
+                // Aligned copy: `dst[t0+i] |= b[rb0+i] & low_masks[i]`;
+                // the high lane is untouched (all its masks are zero).
+                while i + 4 <= len {
+                    let moved = _mm256_and_si256(
+                        _mm256_loadu_si256(b.as_ptr().add(rb0 + i) as *const __m256i),
+                        _mm256_loadu_si256(low_masks.add(i) as *const __m256i),
+                    );
+                    // The scalar kernel's per-entry early-out, per step.
+                    if _mm256_testz_si256(moved, moved) == 0 {
+                        let out = dst.as_mut_ptr().add(t0 + i) as *mut __m256i;
+                        _mm256_storeu_si256(
+                            out,
+                            _mm256_or_si256(_mm256_loadu_si256(out as *const __m256i), moved),
+                        );
+                    }
+                    i += 4;
+                }
+                if i + 2 <= len {
+                    let moved = _mm_and_si128(
+                        _mm_loadu_si128(b.as_ptr().add(rb0 + i) as *const __m128i),
+                        _mm_loadu_si128(low_masks.add(i) as *const __m128i),
+                    );
+                    if _mm_testz_si128(moved, moved) == 0 {
+                        let out = dst.as_mut_ptr().add(t0 + i) as *mut __m128i;
+                        _mm_storeu_si128(
+                            out,
+                            _mm_or_si128(_mm_loadu_si128(out as *const __m128i), moved),
+                        );
+                    }
+                    i += 2;
+                }
+            } else {
+                // Broadcast shift counts: every lane funnels by the same
+                // distance, and staging guarantees `rb0 ≥ 1` here.
+                let shl = _mm_cvtsi32_si128(seg.s as i32);
+                let shr = _mm_cvtsi32_si128(64 - seg.s as i32);
+                while i + 4 <= len {
+                    let low = _mm256_and_si256(
+                        _mm256_loadu_si256(b.as_ptr().add(rb0 + i) as *const __m256i),
+                        _mm256_loadu_si256(low_masks.add(i) as *const __m256i),
+                    );
+                    let high = _mm256_and_si256(
+                        _mm256_loadu_si256(b.as_ptr().add(rb0 + i - 1) as *const __m256i),
+                        _mm256_loadu_si256(high_masks.add(i) as *const __m256i),
+                    );
+                    let moved =
+                        _mm256_or_si256(_mm256_sll_epi64(low, shl), _mm256_srl_epi64(high, shr));
+                    if _mm256_testz_si256(moved, moved) == 0 {
+                        let out = dst.as_mut_ptr().add(t0 + i) as *mut __m256i;
+                        _mm256_storeu_si256(
+                            out,
+                            _mm256_or_si256(_mm256_loadu_si256(out as *const __m256i), moved),
+                        );
+                    }
+                    i += 4;
+                }
+                if i + 2 <= len {
+                    let low = _mm_and_si128(
+                        _mm_loadu_si128(b.as_ptr().add(rb0 + i) as *const __m128i),
+                        _mm_loadu_si128(low_masks.add(i) as *const __m128i),
+                    );
+                    let high = _mm_and_si128(
+                        _mm_loadu_si128(b.as_ptr().add(rb0 + i - 1) as *const __m128i),
+                        _mm_loadu_si128(high_masks.add(i) as *const __m128i),
+                    );
+                    let moved = _mm_or_si128(_mm_sll_epi64(low, shl), _mm_srl_epi64(high, shr));
+                    if _mm_testz_si128(moved, moved) == 0 {
+                        let out = dst.as_mut_ptr().add(t0 + i) as *mut __m128i;
+                        _mm_storeu_si128(
+                            out,
+                            _mm_or_si128(_mm_loadu_si128(out as *const __m128i), moved),
+                        );
+                    }
+                    i += 2;
+                }
+            }
+            while i < len {
+                let mut moved = (*b.get_unchecked(rb0 + i) & *low_masks.add(i)) << seg.s;
+                let high_mask = *high_masks.add(i);
+                if high_mask != 0 {
+                    // `high_mask` is only ever non-zero when `s > 0`, so
+                    // the shift count stays below 64 and `rb0 ≥ 1`.
+                    moved |= (*b.get_unchecked(rb0 + i - 1) & high_mask) >> (64 - seg.s);
+                }
+                *dst.get_unchecked_mut(t0 + i) |= moved;
+                i += 1;
+            }
+        }
+        for entry in row.leftovers {
+            entry.apply(b, dst);
+        }
+    }
+
+    /// The satisfaction fold, four blocks per step: computes the
+    /// violation word `(pos & !row) | (neg & row)` per lane and reports
+    /// whether any violation bit is set, short-circuiting per quad like
+    /// the scalar fold short-circuits per block.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2; the three slices must have equal length.
+    #[target_feature(enable = "avx2")]
+    pub(crate) unsafe fn violations_avx2(row: &[u64], pos: &[u64], neg: &[u64]) -> bool {
+        let quads = row.len() / 4;
+        for quad in 0..quads {
+            let at = quad * 4;
+            let r = _mm256_loadu_si256(row.as_ptr().add(at) as *const __m256i);
+            let p = _mm256_loadu_si256(pos.as_ptr().add(at) as *const __m256i);
+            let n = _mm256_loadu_si256(neg.as_ptr().add(at) as *const __m256i);
+            // `_mm256_andnot_si256(a, b)` computes `!a & b`.
+            let viol = _mm256_or_si256(_mm256_andnot_si256(r, p), _mm256_and_si256(n, r));
+            if _mm256_testz_si256(viol, viol) == 0 {
+                return true;
+            }
+        }
+        for at in quads * 4..row.len() {
+            if (pos[at] & !row[at]) | (neg[at] & row[at]) != 0 {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// The misclassification count, four blocks per step: the violation
+    /// lanes are computed vectorized, their popcounts summed scalar (AVX2
+    /// has no 64-bit lane popcount).
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2; the three slices must have equal length.
+    #[target_feature(enable = "avx2")]
+    pub(crate) unsafe fn misclassified_avx2(row: &[u64], pos: &[u64], neg: &[u64]) -> usize {
+        let mut total = 0usize;
+        let quads = row.len() / 4;
+        let mut lanes = [0u64; 4];
+        for quad in 0..quads {
+            let at = quad * 4;
+            let r = _mm256_loadu_si256(row.as_ptr().add(at) as *const __m256i);
+            let p = _mm256_loadu_si256(pos.as_ptr().add(at) as *const __m256i);
+            let n = _mm256_loadu_si256(neg.as_ptr().add(at) as *const __m256i);
+            let viol = _mm256_or_si256(_mm256_andnot_si256(r, p), _mm256_and_si256(n, r));
+            _mm256_storeu_si256(lanes.as_mut_ptr() as *mut __m256i, viol);
+            total += lanes.iter().map(|l| l.count_ones() as usize).sum::<usize>();
+        }
+        for at in quads * 4..row.len() {
+            total += (((pos[at] & !row[at]) | (neg[at] & row[at])).count_ones()) as usize;
+        }
+        total
+    }
+}
+
+// ---------------------------------------------------------------------------
+// NEON lane kernels (aarch64) — fold kernels only; the concatenation quad
+// loop needs a gather, which NEON lacks, so concat stays scalar there.
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "aarch64")]
+#[allow(unsafe_code)]
+pub(crate) mod arm {
+    use std::arch::aarch64::*;
+
+    /// NEON satisfaction fold, two blocks per step. See
+    /// [`super::x86::violations_avx2`] for the formula.
+    ///
+    /// # Safety
+    ///
+    /// Requires NEON (baseline on `aarch64`); equal-length slices.
+    #[target_feature(enable = "neon")]
+    pub(crate) unsafe fn violations_neon(row: &[u64], pos: &[u64], neg: &[u64]) -> bool {
+        let pairs = row.len() / 2;
+        for pair in 0..pairs {
+            let at = pair * 2;
+            let r = vld1q_u64(row.as_ptr().add(at));
+            let p = vld1q_u64(pos.as_ptr().add(at));
+            let n = vld1q_u64(neg.as_ptr().add(at));
+            // `vbicq_u64(a, b)` computes `a & !b`.
+            let viol = vorrq_u64(vbicq_u64(p, r), vandq_u64(n, r));
+            if (vgetq_lane_u64::<0>(viol) | vgetq_lane_u64::<1>(viol)) != 0 {
+                return true;
+            }
+        }
+        for at in pairs * 2..row.len() {
+            if (pos[at] & !row[at]) | (neg[at] & row[at]) != 0 {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// NEON misclassification count, two blocks per step.
+    ///
+    /// # Safety
+    ///
+    /// Requires NEON (baseline on `aarch64`); equal-length slices.
+    #[target_feature(enable = "neon")]
+    pub(crate) unsafe fn misclassified_neon(row: &[u64], pos: &[u64], neg: &[u64]) -> usize {
+        let mut total = 0u64;
+        let pairs = row.len() / 2;
+        for pair in 0..pairs {
+            let at = pair * 2;
+            let r = vld1q_u64(row.as_ptr().add(at));
+            let p = vld1q_u64(pos.as_ptr().add(at));
+            let n = vld1q_u64(neg.as_ptr().add(at));
+            let viol = vorrq_u64(vbicq_u64(p, r), vandq_u64(n, r));
+            total += vgetq_lane_u64::<0>(viol).count_ones() as u64
+                + vgetq_lane_u64::<1>(viol).count_ones() as u64;
+        }
+        for at in pairs * 2..row.len() {
+            total += ((pos[at] & !row[at]) | (neg[at] & row[at])).count_ones() as u64;
+        }
+        total as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_knob_pins_scalar_and_ignores_typos() {
+        let probed = Some(KernelTier::Avx2);
+        assert_eq!(tier_from(None, probed), KernelTier::Avx2);
+        assert_eq!(tier_from(Some("scalar"), probed), KernelTier::Scalar);
+        assert_eq!(tier_from(Some(" SCALAR "), probed), KernelTier::Scalar);
+        // Unknown values keep the probe's verdict.
+        assert_eq!(tier_from(Some("fast"), probed), KernelTier::Avx2);
+        assert_eq!(tier_from(Some("avx2"), None), KernelTier::Scalar);
+        assert_eq!(tier_from(None, None), KernelTier::Scalar);
+        assert_eq!(
+            tier_from(Some("scalar"), Some(KernelTier::Neon)),
+            KernelTier::Scalar
+        );
+    }
+
+    #[test]
+    fn tier_is_cached_and_labelled() {
+        let first = tier();
+        assert_eq!(tier(), first, "probe result is process-stable");
+        assert!(["scalar", "avx2", "neon"].contains(&first.label()));
+        assert_eq!(first.to_string(), first.label());
+        assert_eq!(
+            first.is_accelerated(),
+            first != KernelTier::Scalar,
+            "only the scalar tier is unaccelerated"
+        );
+    }
+}

@@ -128,4 +128,4 @@ pub use metrics::MetricsSnapshot;
 pub use request::{JobHandle, ResponseSource, SynthRequest, SynthResponse};
 pub use ring::{HashRing, VNODES};
 pub use router::{PoolConfig, RouterConfig, RouterSnapshot, ShardRouter};
-pub use service::{ServiceConfig, ServiceError, SynthService};
+pub use service::{ServiceConfig, ServiceError, SynthService, DEFAULT_FUSE_LIMIT};

@@ -29,6 +29,8 @@ pub(crate) struct Metrics {
     pub failed: AtomicU64,
     pub deadline_expired: AtomicU64,
     pub cancelled: AtomicU64,
+    pub fused_batches: AtomicU64,
+    pub fused_requests: AtomicU64,
     pub wait_ns: AtomicU64,
     pub run_ns: AtomicU64,
     pub disk_loaded: AtomicU64,
@@ -97,6 +99,8 @@ impl Metrics {
             failed: load(&self.failed),
             deadline_expired: load(&self.deadline_expired),
             cancelled: load(&self.cancelled),
+            fused_batches: load(&self.fused_batches),
+            fused_requests: load(&self.fused_requests),
             wait_total: Duration::from_nanos(load(&self.wait_ns)),
             run_total: Duration::from_nanos(load(&self.run_ns)),
             disk_loaded: load(&self.disk_loaded),
@@ -165,6 +169,13 @@ pub struct MetricsSnapshot {
     pub deadline_expired: u64,
     /// Failed jobs that ended with `Cancelled` (deadline or token).
     pub cancelled: u64,
+    /// Fused level sweeps a worker ran after draining several queued
+    /// jobs of its (single) pool configuration into one batch.
+    pub fused_batches: u64,
+    /// Jobs answered by those fused sweeps. Under load this exceeds
+    /// [`fused_batches`](MetricsSnapshot::fused_batches): N jobs complete
+    /// in fewer than N level sweeps.
+    pub fused_requests: u64,
     /// Total queue wait across fresh jobs.
     pub wait_total: Duration,
     /// Total synthesis wall-clock across fresh jobs.
@@ -231,6 +242,8 @@ impl MetricsSnapshot {
         self.failed += other.failed;
         self.deadline_expired += other.deadline_expired;
         self.cancelled += other.cancelled;
+        self.fused_batches += other.fused_batches;
+        self.fused_requests += other.fused_requests;
         self.wait_total += other.wait_total;
         self.run_total += other.run_total;
         self.disk_loaded += other.disk_loaded;
@@ -283,6 +296,8 @@ impl MetricsSnapshot {
                     ("failed", Json::uint(self.failed)),
                     ("cancelled", Json::uint(self.cancelled)),
                     ("deadline_expired", Json::uint(self.deadline_expired)),
+                    ("fused_batches", Json::uint(self.fused_batches)),
+                    ("fused_requests", Json::uint(self.fused_requests)),
                 ]),
             ),
             (
@@ -385,6 +400,8 @@ mod tests {
         Metrics::bump(&metrics.submitted);
         Metrics::bump(&metrics.submitted);
         Metrics::bump(&metrics.cache_hits);
+        Metrics::bump(&metrics.fused_batches);
+        metrics.fused_requests.fetch_add(3, Ordering::Relaxed);
         Metrics::add_duration(&metrics.wait_ns, Duration::from_millis(4));
         metrics.set_worker_stats(
             1,
@@ -418,6 +435,22 @@ mod tests {
                 .and_then(Json::as_u64),
             Some(64)
         );
+        assert_eq!(
+            json.get("jobs")
+                .and_then(|j| j.get("fused_batches"))
+                .and_then(Json::as_u64),
+            Some(1)
+        );
+        assert_eq!(
+            json.get("jobs")
+                .and_then(|j| j.get("fused_requests"))
+                .and_then(Json::as_u64),
+            Some(3)
+        );
+        let mut rollup = snapshot.clone();
+        rollup.absorb(&snapshot);
+        assert_eq!(rollup.fused_batches, 2);
+        assert_eq!(rollup.fused_requests, 6);
         let workers = json.get("workers").and_then(Json::as_array).unwrap();
         assert_eq!(workers.len(), 2);
         assert_eq!(workers[1].get("runs").and_then(Json::as_u64), Some(3));

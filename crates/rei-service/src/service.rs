@@ -12,7 +12,9 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use rei_core::{CancelToken, SynthConfig, SynthSession, SynthesisError, SynthesisStats};
+use rei_core::{
+    CancelToken, FusedRequest, SynthConfig, SynthSession, SynthesisError, SynthesisStats,
+};
 
 use crate::cache::{CacheKey, Lookup, ResultCache};
 use crate::metrics::{Gauges, Metrics, MetricsSnapshot};
@@ -39,7 +41,17 @@ pub struct ServiceConfig {
     /// compacted on graceful shutdown. `None` keeps the cache in memory
     /// only.
     pub cache_path: Option<PathBuf>,
+    /// Most queued jobs a worker may drain into one fused level sweep
+    /// (see [`SynthSession::run_fused`]); every job of a pool shares its
+    /// single [`SynthConfig`], so any drained jobs are fusion-eligible.
+    /// `1` disables fusion (each pop runs alone).
+    pub fuse_limit: usize,
 }
+
+/// Default [`ServiceConfig::fuse_limit`]: deep enough to amortise the
+/// sweep under bursts, shallow enough that one slow batch-mate cannot
+/// delay many others past their deadlines.
+pub const DEFAULT_FUSE_LIMIT: usize = 4;
 
 impl ServiceConfig {
     /// A config with `workers` workers and defaults otherwise: queue
@@ -51,6 +63,7 @@ impl ServiceConfig {
             cache_capacity: 1024,
             synth: SynthConfig::default(),
             cache_path: None,
+            fuse_limit: DEFAULT_FUSE_LIMIT,
         }
     }
 
@@ -88,6 +101,12 @@ impl ServiceConfig {
         self
     }
 
+    /// Replaces the fused-batch drain limit (`1` disables fusion).
+    pub fn with_fuse_limit(mut self, limit: usize) -> Self {
+        self.fuse_limit = limit;
+        self
+    }
+
     fn validate(&self) -> Result<(), ServiceError> {
         if self.workers == 0 {
             return Err(ServiceError::InvalidConfig(
@@ -102,6 +121,11 @@ impl ServiceConfig {
         if self.cache_capacity == 0 {
             return Err(ServiceError::InvalidConfig(
                 "cache capacity must be positive".into(),
+            ));
+        }
+        if self.fuse_limit == 0 {
+            return Err(ServiceError::InvalidConfig(
+                "fuse limit must be positive".into(),
             ));
         }
         self.synth
@@ -250,6 +274,8 @@ struct Shared {
     metrics: Metrics,
     watchdog: Watchdog,
     synth: SynthConfig,
+    /// See [`ServiceConfig::fuse_limit`].
+    fuse_limit: usize,
 }
 
 /// A multi-tenant synthesis service (see the crate docs).
@@ -315,6 +341,7 @@ impl SynthService {
             metrics,
             watchdog: Watchdog::default(),
             synth: config.synth.clone(),
+            fuse_limit: config.fuse_limit.max(1),
         });
         let watchdog = {
             let shared = Arc::clone(&shared);
@@ -491,47 +518,163 @@ fn worker_loop(shared: &Shared, index: usize) {
         SynthSession::new(shared.synth.clone()).expect("service config was validated at start");
     let token = session.cancel_token();
     while let Some(job) = shared.queue.pop() {
-        let waited = job.submitted.elapsed();
-        Metrics::add_duration(&shared.metrics.wait_ns, waited);
-
-        let expired_in_queue = job.state.deadline().is_some_and(|d| Instant::now() >= d);
-        let (outcome, ran) = if expired_in_queue {
-            // Fail fast: an overdue job must not occupy the worker.
-            (
-                Err(SynthesisError::Cancelled {
-                    stats: SynthesisStats::default(),
-                }),
-                Duration::ZERO,
-            )
-        } else {
-            // Re-sample: a coalescer may have relaxed the deadline since
-            // the expiry check above.
-            let entry = job
-                .state
-                .deadline()
-                .map(|deadline| shared.watchdog.arm(deadline, token.clone()));
-            let started = Instant::now();
-            let outcome = session.run(&job.spec);
-            let ran = started.elapsed();
-            if let Some(entry) = entry {
-                Watchdog::disarm(&entry, &token);
+        // Batch fusion: whatever accumulated behind this job is drained
+        // (up to the fuse limit) and run as one fused level sweep. Every
+        // job of the pool runs the same `SynthConfig`, so anything the
+        // drain picks up is fusion-eligible by construction.
+        let mut batch = vec![job];
+        while batch.len() < shared.fuse_limit {
+            match shared.queue.try_pop() {
+                Some(extra) => batch.push(extra),
+                None => break,
             }
-            (outcome, ran)
-        };
-        Metrics::add_duration(&shared.metrics.run_ns, ran);
-
-        match &outcome {
-            Ok(result) => shared.cache.complete(&job.key, result),
-            Err(_) => shared.cache.forget(&job.key, &job.state),
         }
-        shared.metrics.note_job(&outcome, expired_in_queue);
-        shared.metrics.set_worker_stats(index, *session.stats());
-        job.state.complete(Completion {
+        if batch.len() == 1 {
+            run_single(
+                shared,
+                index,
+                &mut session,
+                &token,
+                batch.pop().expect("one job"),
+            );
+        } else {
+            run_fused_batch(shared, index, &mut session, batch);
+        }
+    }
+}
+
+/// The classic path: one job, one level sweep, deadline mapped onto the
+/// worker session's own cancel token.
+fn run_single(
+    shared: &Shared,
+    index: usize,
+    session: &mut SynthSession,
+    token: &CancelToken,
+    job: Job,
+) {
+    let waited = job.submitted.elapsed();
+    Metrics::add_duration(&shared.metrics.wait_ns, waited);
+
+    let expired_in_queue = job.state.deadline().is_some_and(|d| Instant::now() >= d);
+    let (outcome, ran) = if expired_in_queue {
+        // Fail fast: an overdue job must not occupy the worker.
+        (
+            Err(SynthesisError::Cancelled {
+                stats: SynthesisStats::default(),
+            }),
+            Duration::ZERO,
+        )
+    } else {
+        // Re-sample: a coalescer may have relaxed the deadline since
+        // the expiry check above.
+        let entry = job
+            .state
+            .deadline()
+            .map(|deadline| shared.watchdog.arm(deadline, token.clone()));
+        let started = Instant::now();
+        let outcome = session.run(&job.spec);
+        let ran = started.elapsed();
+        if let Some(entry) = entry {
+            Watchdog::disarm(&entry, token);
+        }
+        (outcome, ran)
+    };
+    Metrics::add_duration(&shared.metrics.run_ns, ran);
+
+    match &outcome {
+        Ok(result) => shared.cache.complete(&job.key, result),
+        Err(_) => shared.cache.forget(&job.key, &job.state),
+    }
+    shared.metrics.note_job(&outcome, expired_in_queue);
+    shared.metrics.set_worker_stats(index, *session.stats());
+    job.state.complete(Completion {
+        outcome,
+        finished: Instant::now(),
+        ran,
+    });
+}
+
+/// One drained member of a fused batch: its job, the member-private
+/// cancel token the sweep polls at chunk boundaries, and the watchdog
+/// entry mapping the job's deadline onto that token.
+struct FusedJob {
+    job: Job,
+    token: CancelToken,
+    entry: Option<Arc<DeadlineEntry>>,
+}
+
+/// The fusion path: the drained jobs advance through one fused level
+/// sweep. Per-member deadlines stay honored — each member gets its own
+/// watchdog-armed token, so an expiring member retires at the next chunk
+/// boundary without poisoning its batch-mates — and a member whose
+/// winner lands early completes inside the sweep while the rest run on.
+fn run_fused_batch(shared: &Shared, index: usize, session: &mut SynthSession, batch: Vec<Job>) {
+    // Jobs whose deadline already expired while queued fail fast, exactly
+    // like on the single path: they must not hold a sweep slot.
+    let mut members: Vec<FusedJob> = Vec::with_capacity(batch.len());
+    for job in batch {
+        Metrics::add_duration(&shared.metrics.wait_ns, job.submitted.elapsed());
+        if job.state.deadline().is_some_and(|d| Instant::now() >= d) {
+            let outcome = Err(SynthesisError::Cancelled {
+                stats: SynthesisStats::default(),
+            });
+            shared.cache.forget(&job.key, &job.state);
+            shared.metrics.note_job(&outcome, true);
+            job.state.complete(Completion {
+                outcome,
+                finished: Instant::now(),
+                ran: Duration::ZERO,
+            });
+            continue;
+        }
+        let token = CancelToken::new();
+        // Re-sample: a coalescer may have relaxed the deadline since the
+        // expiry check above.
+        let entry = job
+            .state
+            .deadline()
+            .map(|deadline| shared.watchdog.arm(deadline, token.clone()));
+        members.push(FusedJob { job, token, entry });
+    }
+    if members.is_empty() {
+        return;
+    }
+
+    Metrics::bump(&shared.metrics.fused_batches);
+    shared
+        .metrics
+        .fused_requests
+        .fetch_add(members.len() as u64, Ordering::Relaxed);
+
+    let started = Instant::now();
+    let outcomes = {
+        let requests: Vec<FusedRequest<'_>> = members
+            .iter()
+            .map(|member| FusedRequest::new(&member.job.spec).with_cancel(member.token.clone()))
+            .collect();
+        session.run_fused(&requests)
+    };
+    // The sweep is shared work: one wall-clock interval serves the whole
+    // batch, so every member reports the same `ran`.
+    let ran = started.elapsed();
+    Metrics::add_duration(&shared.metrics.run_ns, ran);
+
+    for (member, outcome) in members.into_iter().zip(outcomes) {
+        if let Some(entry) = &member.entry {
+            Watchdog::disarm(entry, &member.token);
+        }
+        match &outcome {
+            Ok(result) => shared.cache.complete(&member.job.key, result),
+            Err(_) => shared.cache.forget(&member.job.key, &member.job.state),
+        }
+        shared.metrics.note_job(&outcome, false);
+        member.job.state.complete(Completion {
             outcome,
             finished: Instant::now(),
             ran,
         });
     }
+    shared.metrics.set_worker_stats(index, *session.stats());
 }
 
 #[cfg(test)]

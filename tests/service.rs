@@ -1,9 +1,22 @@
 //! Integration tests of the synthesis service: caching, coalescing,
 //! deadlines and graceful shutdown, through the public facade.
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use paresy::prelude::*;
+
+/// Spins until the service's queue is empty — i.e. a worker has picked up
+/// everything submitted so far. Tests that stage a long-running blocker
+/// call this before queueing the jobs whose scheduling they assert on;
+/// otherwise the batch-fusion drain may legitimately pick those jobs up
+/// *together with* the blocker.
+fn wait_for_empty_queue(service: &SynthService) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while service.metrics().queue_depth > 0 {
+        assert!(Instant::now() < deadline, "queue never drained");
+        std::thread::yield_now();
+    }
+}
 
 /// The paper's introductory specification (minimal cost 8).
 fn intro_spec() -> Spec {
@@ -78,6 +91,7 @@ fn coalesced_concurrent_duplicates_perform_exactly_one_synthesis() {
     let service = SynthService::start(ServiceConfig::new(1).with_synth(synth)).unwrap();
 
     let blocker = service.submit(SynthRequest::new(hard_spec())).unwrap();
+    wait_for_empty_queue(&service);
     let duplicates: Vec<JobHandle> = (0..4)
         .map(|_| service.submit(SynthRequest::new(intro_spec())).unwrap())
         .collect();
@@ -147,6 +161,7 @@ fn coalesced_request_relaxes_the_initiators_deadline() {
     let synth = SynthConfig::default().with_time_budget(Duration::from_millis(300));
     let service = SynthService::start(ServiceConfig::new(1).with_synth(synth)).unwrap();
     let _blocker = service.submit(SynthRequest::new(hard_spec())).unwrap();
+    wait_for_empty_queue(&service);
     let doomed = service
         .submit(SynthRequest::new(intro_spec()).with_timeout(Duration::ZERO))
         .unwrap();
@@ -211,6 +226,82 @@ fn graceful_shutdown_drains_the_queue() {
     }
 }
 
+/// A second reliably long-running specification — the §5.2 spec with one
+/// extra negative — distinct from [`hard_spec`] so the two neither hit
+/// the cache nor coalesce onto each other.
+fn hard_spec_variant() -> Spec {
+    Spec::from_strs(
+        [
+            "00", "1101", "0001", "0111", "001", "1", "10", "1100", "111", "1010",
+        ],
+        [
+            "", "0", "0000", "0011", "01", "010", "011", "100", "1000", "1001", "11", "1110",
+            "110011",
+        ],
+    )
+    .unwrap()
+}
+
+#[test]
+fn queued_requests_fuse_into_fewer_sweeps_with_correct_per_member_answers() {
+    // One worker on a budgeted blocker: four distinct requests pile up
+    // behind it and the drain must run them as ONE fused level sweep —
+    // 5 jobs, 2 session runs.
+    let synth = SynthConfig::default().with_time_budget(Duration::from_millis(1000));
+    let service =
+        SynthService::start(ServiceConfig::new(1).with_synth(synth).with_fuse_limit(8)).unwrap();
+
+    let blocker = service.submit(SynthRequest::new(hard_spec())).unwrap();
+    wait_for_empty_queue(&service);
+
+    // Three distinct easy members (distinct specs: no caching, no
+    // coalescing) plus one hard member whose own 1.4 s deadline falls
+    // inside the fused sweep: after the blocker's ~1 s budget ends the
+    // sweep starts, and the deadline fires mid-sweep, well before the
+    // sweep's own 1 s budget would.
+    let easy_specs = [
+        Spec::from_strs(["0", "00"], ["1", "10"]).unwrap(),
+        Spec::from_strs(["1", "11"], ["0", "01"]).unwrap(),
+        Spec::from_strs(["01", "0101"], ["", "10"]).unwrap(),
+    ];
+    let easies: Vec<JobHandle> = easy_specs
+        .iter()
+        .map(|spec| service.submit(SynthRequest::new(spec.clone())).unwrap())
+        .collect();
+    let doomed = service
+        .submit(SynthRequest::new(hard_spec_variant()).with_timeout(Duration::from_millis(1400)))
+        .unwrap();
+
+    // Every easy member gets its own correct answer out of the shared
+    // sweep (partial completion: each retired as soon as its winner
+    // landed, while the hard member kept sweeping).
+    for (handle, spec) in easies.iter().zip(&easy_specs) {
+        let result = handle.wait().outcome.expect("easy member solves");
+        assert!(spec.is_satisfied_by(&result.regex), "{}", result.regex);
+    }
+    // The hard member was cancelled mid-sweep by its per-member deadline
+    // without poisoning its batch-mates.
+    assert!(
+        matches!(doomed.wait().outcome, Err(SynthesisError::Cancelled { .. })),
+        "expected per-member cancellation"
+    );
+    assert!(
+        blocker.wait().outcome.is_err(),
+        "the blocker hit its budget"
+    );
+
+    let metrics = service.shutdown();
+    assert_eq!(metrics.completed, 5);
+    assert_eq!(metrics.fused_batches, 1, "one drain, one fused sweep");
+    assert_eq!(metrics.fused_requests, 4, "all four queued jobs fused");
+    assert!(metrics.fused_requests > metrics.fused_batches);
+    assert_eq!(
+        metrics.workers.iter().map(|w| w.runs).sum::<u64>(),
+        2,
+        "5 jobs took 2 level sweeps: the blocker's and one fused sweep"
+    );
+}
+
 #[test]
 fn priorities_jump_the_queue() {
     // One worker busy on a budgeted blocker; a low- and a high-priority
@@ -218,6 +309,7 @@ fn priorities_jump_the_queue() {
     let synth = SynthConfig::default().with_time_budget(Duration::from_millis(200));
     let service = SynthService::start(ServiceConfig::new(1).with_synth(synth)).unwrap();
     let _blocker = service.submit(SynthRequest::new(hard_spec())).unwrap();
+    wait_for_empty_queue(&service);
     let low = service
         .submit(SynthRequest::new(Spec::from_strs(["0", "00"], ["1"]).unwrap()).with_priority(-1))
         .unwrap();
