@@ -12,8 +12,9 @@ It asserts the `rei-bench/perf-v5` schema: kernel speedup tripwires, the
 SIMD kernel-tier section (`kernels.simd`: probe result recorded, scalar
 parity proven, dispatched-vs-scalar speedups floored at 1.0), the
 per-backend level-execution counters, the `service` section's
-(`rei-bench/service-v3`) cold / cache-warm / disk-warm-restart / fused
-passes with their sharded per-pool breakdown, and the TCP front-end
+(`rei-bench/service-v4`) cold / cache-warm / disk-warm-restart / fused
+passes with their sharded per-pool breakdown and client-side end-to-end
+latency percentiles (`service.latency`), and the TCP front-end
 passes of `service.net` (`rei-bench/service-net-v1`): concurrent
 connections, a cache-warm replay over the wire, and the rate-limited
 flood tenant.
@@ -107,7 +108,7 @@ def check_simd(report):
 
 def check_service(report):
     service = report["service"]
-    assert service["schema"] == "rei-bench/service-v3", service["schema"]
+    assert service["schema"] == "rei-bench/service-v4", service["schema"]
     # CI (and the documented regeneration recipe) runs `reproduce serve
     # --workers 4`; fewer workers here means the flag plumbing broke.
     assert service["workers"] >= 4, service
@@ -132,6 +133,15 @@ def check_service(report):
     assert fused["fused_requests"] > fused["fused_batches"], fused
     assert fused["fuse_limit"] >= 2, fused
     assert fused["solved"] + fused["failed"] == fused["submitted"], fused
+    # Latency percentiles (service-v4): exact client-side end-to-end
+    # p50/p95/p99 per pass, ordered within a pass, with the cache-served
+    # warm tail strictly beating the cold tail.
+    latency = service["latency"]
+    for pass_name in ("cold", "warm"):
+        quantiles = latency[pass_name]
+        assert quantiles["count"] == service[pass_name]["submitted"], latency
+        assert 0.0 <= quantiles["p50_ms"] <= quantiles["p95_ms"] <= quantiles["p99_ms"], quantiles
+    assert latency["warm"]["p99_ms"] < latency["cold"]["p99_ms"], latency
     # Sharded pools: a breakdown exists and accounts for all the cold and
     # warm traffic.
     pools = service["pools"]
@@ -148,7 +158,9 @@ def check_service(report):
         f"restart hit rate {restart['cache_hit_rate']:.2f} from "
         f"{service['restart_disk_loaded']} disk records across "
         f"{len(pools)} pools; fused {fused['fused_requests']} requests "
-        f"in {fused['fused_batches']} sweeps"
+        f"in {fused['fused_batches']} sweeps; latency cold p99 "
+        f"{latency['cold']['p99_ms']:.2f}ms vs warm p99 "
+        f"{latency['warm']['p99_ms']:.2f}ms"
     )
 
 

@@ -9,10 +9,19 @@ id, the flooding tenant is rejected explicitly with `rate_limited`
 cleanly.  The caller then asserts the server process exits 0:
 
     ./target/release/paresy serve --listen 127.0.0.1:0 \
+        --metrics-addr 127.0.0.1:0 \
         --tenant flood=1,0.000000001,1,4 > serve.log &
     addr=$(sed -n 's/^listening on //p' serve.log)
-    python3 ci/check_net.py "$addr"
+    maddr=$(sed -n 's/^metrics on //p' serve.log)
+    python3 ci/check_net.py "$addr" --metrics-addr "$maddr"
     wait %1
+
+With `--metrics-addr` the script also scrapes the Prometheus text
+endpoint and asserts the exposition contract: an HTTP 200 with the
+text-format content type, the expected metric families, histogram
+`le` buckets that are cumulative (monotone non-decreasing, ending in
+`+Inf` == `_count`), and counters that agree with the JSON `metrics`
+verb.
 
 The flood tenant's name defaults to `flood` and must be configured on
 the server with a near-zero refill rate and a burst of 1 so that exactly
@@ -113,11 +122,124 @@ def drive_flood(addr, timeout, results, tenant, count):
     results["flood_rejected"] = rejected
 
 
+EXPECTED_FAMILIES = (
+    "rei_requests_submitted_total",
+    "rei_requests_completed_total",
+    "rei_requests_solved_total",
+    "rei_cache_hits_total",
+    "rei_queue_depth",
+    "rei_cache_entries",
+    "rei_queue_wait_seconds",
+    "rei_run_seconds",
+    "rei_request_seconds",
+    "rei_admission_admitted_total",
+    "rei_admission_rate_limited_total",
+)
+
+
+def parse_prometheus(body):
+    """Parses text-format samples into {(name, labels-tuple): value}."""
+    samples = {}
+    for line in body.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        metric, value = line.rsplit(" ", 1)
+        if "{" in metric:
+            name, raw = metric.split("{", 1)
+            labels = []
+            for pair in raw.rstrip("}").split(","):
+                if not pair:
+                    continue
+                key, label_value = pair.split("=", 1)
+                labels.append((key, label_value.strip('"')))
+            labels = tuple(sorted(labels))
+        else:
+            name, labels = metric, ()
+        samples[(name, labels)] = float(value)
+    return samples
+
+
+def scrape(addr, timeout):
+    host, port = addr.rsplit(":", 1)
+    sock = socket.create_connection((host, int(port)), timeout=timeout)
+    sock.sendall(b"GET /metrics HTTP/1.0\r\n\r\n")
+    raw = b""
+    while True:
+        chunk = sock.recv(65536)
+        if not chunk:
+            break
+        raw += chunk
+    sock.close()
+    head, _, body = raw.decode("utf-8").partition("\r\n\r\n")
+    status = head.splitlines()[0]
+    assert " 200 " in status, status
+    assert "text/plain" in head and "version=0.0.4" in head, head
+    return body
+
+
+def check_scrape(metrics_addr, timeout, snapshot):
+    """Scrapes the Prometheus endpoint and checks it against the JSON
+    `metrics` verb snapshot taken over the request connection."""
+    body = scrape(metrics_addr, timeout)
+    samples = parse_prometheus(body)
+    names = {name for name, _ in samples}
+    for family in EXPECTED_FAMILIES:
+        suffix = "_bucket" if family.endswith("_seconds") else ""
+        assert family + suffix in names, f"missing family {family}: {sorted(names)}"
+
+    # Histogram buckets are cumulative per (family, pool): values are
+    # monotone non-decreasing in `le` order and the +Inf bucket equals
+    # the family's _count.
+    histograms = {}
+    for (name, labels), value in samples.items():
+        if not name.endswith("_bucket"):
+            continue
+        family = name[: -len("_bucket")]
+        labels = dict(labels)
+        le = labels.pop("le")
+        key = (family, tuple(sorted(labels.items())))
+        histograms.setdefault(key, []).append((float("inf") if le == "+Inf" else float(le), value))
+    assert histograms, body
+    for (family, labels), buckets in histograms.items():
+        buckets.sort()
+        values = [value for _, value in buckets]
+        assert values == sorted(values), f"{family}{dict(labels)}: non-monotone {buckets}"
+        assert buckets[-1][0] == float("inf"), f"{family}{dict(labels)}: no +Inf bucket"
+        count = samples[(family + "_count", labels)]
+        assert buckets[-1][1] == count, f"{family}{dict(labels)}: +Inf != _count"
+
+    # The scrape agrees with the JSON metrics verb: per-pool counters sum
+    # to at least the rollup the snapshot reported (the scrape is later,
+    # so monotone counters may only have grown).
+    requests = snapshot["rollup"]["requests"]
+    for family, key in (
+        ("rei_requests_submitted_total", "submitted"),
+        ("rei_admission_rate_limited_total", "rate_limited"),
+    ):
+        total = sum(value for (name, _), value in samples.items() if name == family)
+        assert total >= requests[key], f"{family} {total} < JSON {requests[key]}"
+    completed = sum(
+        value for (name, _), value in samples.items() if name == "rei_requests_completed_total"
+    )
+    e2e_count = sum(
+        value for (name, _), value in samples.items() if name == "rei_request_seconds_count"
+    )
+    assert e2e_count > 0, "no end-to-end latency samples recorded"
+    assert completed > 0, "no completions recorded"
+    return len(names)
+
+
 def main():
     parser = argparse.ArgumentParser(
         description="drive concurrent TCP clients against paresy serve --listen"
     )
     parser.add_argument("addr", help="HOST:PORT printed by the server's 'listening on' line")
+    parser.add_argument(
+        "--metrics-addr",
+        default=None,
+        help="HOST:PORT printed by the server's 'metrics on' line; enables the scrape checks",
+    )
     parser.add_argument("--flood-tenant", default="flood")
     parser.add_argument("--flood-requests", type=int, default=8)
     parser.add_argument("--timeout", type=float, default=120.0, help="per-socket seconds")
@@ -170,6 +292,11 @@ def main():
     # turned away at the door, not by queue churn.
     assert "rejected_queue_full" in counters, counters
 
+    # The Prometheus scrape serves the same truth in text format.
+    families = 0
+    if args.metrics_addr:
+        families = check_scrape(args.metrics_addr, args.timeout, snapshot)
+
     # Graceful drain: the verb is acked, then the server closes the
     # connection once every pending answer has been delivered.
     send(sock, {"op": "shutdown"})
@@ -178,10 +305,12 @@ def main():
     assert reader.readline() == "", "expected EOF after shutdown drain"
     sock.close()
 
+    scraped = f", {families} scraped metric families" if families else ""
     print(
         f"net contract ok: {results['ordered']} ordered + "
         f"{results['streamed']} streamed answers, "
-        f"{results['flood_rejected']} rate-limited rejections, clean shutdown"
+        f"{results['flood_rejected']} rate-limited rejections, "
+        f"clean shutdown{scraped}"
     )
 
 

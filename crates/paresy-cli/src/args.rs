@@ -106,6 +106,14 @@ pub struct ServeOptions {
     /// Fair-share admission policies (`--tenant`, `--default-tenant`);
     /// only the TCP front-end enforces them.
     pub admission: AdmissionConfig,
+    /// Address of the Prometheus scrape listener (`--metrics-addr`);
+    /// only the TCP front-end serves one.
+    pub metrics_addr: Option<String>,
+    /// Slow-request SLO threshold (`--slo-ms`): a request at or above it
+    /// has its trace timeline dumped to the structured log. TCP only.
+    pub slo: Option<Duration>,
+    /// Structured-log threshold (`--log-level`); overrides `REI_LOG`.
+    pub log_level: Option<String>,
 }
 
 impl Default for ServeOptions {
@@ -128,6 +136,9 @@ impl Default for ServeOptions {
             listen: None,
             net_threads: 4,
             admission: AdmissionConfig::new(),
+            metrics_addr: None,
+            slo: None,
+            log_level: None,
         }
     }
 }
@@ -188,6 +199,7 @@ USAGE:
   paresy serve    [--workers N] [--pools N] [--queue N] [--cache N]
                   [--cache-dir DIR] [--stream]
                   [--listen ADDR] [--net-threads N]
+                  [--metrics-addr ADDR] [--slo-ms MS] [--log-level LEVEL]
                   [--tenant NAME=WEIGHT,RATE,BURST,MAX_INFLIGHT]
                   [--default-tenant WEIGHT,RATE,BURST,MAX_INFLIGHT]
                   [--cost a,q,s,c,u] [--backend NAME] [--error FRACTION]
@@ -232,6 +244,17 @@ rate per second, bucket burst, max in-flight; rate/burst accept 'inf'),
 Over-limit requests are answered with \"status\": \"rejected\",
 \"reason\": \"rate_limited\" instead of queueing. Ctrl-C or a shutdown
 verb drains in-flight work, persists caches and exits cleanly.
+
+--metrics-addr ADDR serves a Prometheus text-format scrape of the live
+router metrics on a dedicated listener (':0' picks a free port, printed
+as 'metrics on ADDR'); the same body is available as the 'prometheus'
+verb on request connections. Every admitted request gets a trace id
+(echoed as \"trace\" in its answer); the 'trace' verb
+({\"op\": \"trace\", \"trace\": N}) returns the request's phase
+timeline. --slo-ms MS dumps the timeline of any request whose
+end-to-end latency reaches MS to the structured stderr log.
+--log-level error|warn|info|debug sets that log's threshold (default
+info; the REI_LOG environment variable is the process-wide default).
 ";
 
 fn split_words(raw: &str) -> Vec<String> {
@@ -454,7 +477,14 @@ pub fn parse_args<S: AsRef<str>>(args: &[S]) -> Result<Command, CommandError> {
             let mut options = ServeOptions::default();
             let mut net_only_flag = None;
             while let Some(flag) = iter.next() {
-                if matches!(flag, "--net-threads" | "--tenant" | "--default-tenant") {
+                if matches!(
+                    flag,
+                    "--net-threads"
+                        | "--tenant"
+                        | "--default-tenant"
+                        | "--metrics-addr"
+                        | "--slo-ms"
+                ) {
                     net_only_flag = Some(flag.to_string());
                 }
                 match flag {
@@ -527,6 +557,31 @@ pub fn parse_args<S: AsRef<str>>(args: &[S]) -> Result<Command, CommandError> {
                         let policy = parse_tenant_policy(flag, next_value(flag, &mut iter)?)?;
                         options.admission =
                             std::mem::take(&mut options.admission).with_default_policy(policy);
+                    }
+                    "--metrics-addr" => {
+                        options.metrics_addr = Some(next_value(flag, &mut iter)?.to_string())
+                    }
+                    "--slo-ms" => {
+                        let slo = next_value(flag, &mut iter)?
+                            .parse::<f64>()
+                            .ok()
+                            .filter(|ms| *ms > 0.0)
+                            .and_then(|ms| Duration::try_from_secs_f64(ms / 1e3).ok())
+                            .ok_or_else(|| {
+                                CommandError(
+                                    "--slo-ms expects a positive number of milliseconds".into(),
+                                )
+                            })?;
+                        options.slo = Some(slo);
+                    }
+                    "--log-level" => {
+                        let raw = next_value(flag, &mut iter)?;
+                        if !matches!(raw, "error" | "warn" | "warning" | "info" | "debug") {
+                            return Err(CommandError(format!(
+                                "--log-level expects error|warn|info|debug, got '{raw}'"
+                            )));
+                        }
+                        options.log_level = Some(raw.to_string());
                     }
                     other => {
                         if !parse_session_flag(
@@ -810,6 +865,12 @@ mod tests {
             "127.0.0.1:0",
             "--net-threads",
             "8",
+            "--metrics-addr",
+            "127.0.0.1:0",
+            "--slo-ms",
+            "250",
+            "--log-level",
+            "debug",
             "--tenant",
             "acme=3,2.5,10,4",
             "--tenant",
@@ -822,6 +883,9 @@ mod tests {
             Command::Serve(options) => {
                 assert_eq!(options.listen.as_deref(), Some("127.0.0.1:0"));
                 assert_eq!(options.net_threads, 8);
+                assert_eq!(options.metrics_addr.as_deref(), Some("127.0.0.1:0"));
+                assert_eq!(options.slo, Some(Duration::from_millis(250)));
+                assert_eq!(options.log_level.as_deref(), Some("debug"));
                 assert_eq!(options.admission.tenants.len(), 2);
                 let (name, acme) = &options.admission.tenants[0];
                 assert_eq!(name, "acme");
@@ -844,15 +908,26 @@ mod tests {
             vec!["serve", "--listen", "x", "--tenant", "a=1,1,1"],
             vec!["serve", "--listen", "x", "--default-tenant", "1,1,1,0"],
             vec!["serve", "--listen", "x", "--default-tenant", "1,nan,1,1"],
+            vec!["serve", "--listen", "x", "--slo-ms", "0"],
+            vec!["serve", "--listen", "x", "--slo-ms", "never"],
+            vec!["serve", "--listen", "x", "--log-level", "loud"],
         ] {
             assert!(parse_args(&bad).is_err(), "{bad:?}");
         }
         // The net-only flags demand --listen so they are never silently
         // ignored on a stdin server.
-        let err = parse_args(&["serve", "--tenant", "acme=1,1,1,1"]).unwrap_err();
-        assert!(err.to_string().contains("--listen"), "{err}");
-        let err = parse_args(&["serve", "--net-threads", "2"]).unwrap_err();
-        assert!(err.to_string().contains("--listen"), "{err}");
+        for net_only in [
+            vec!["serve", "--tenant", "acme=1,1,1,1"],
+            vec!["serve", "--net-threads", "2"],
+            vec!["serve", "--metrics-addr", "127.0.0.1:0"],
+            vec!["serve", "--slo-ms", "100"],
+        ] {
+            let err = parse_args(&net_only).unwrap_err();
+            assert!(err.to_string().contains("--listen"), "{net_only:?}: {err}");
+        }
+        // --log-level is not net-only: the structured log also carries
+        // stdin-server diagnostics.
+        assert!(parse_args(&["serve", "--log-level", "warn"]).is_ok());
     }
 
     #[test]

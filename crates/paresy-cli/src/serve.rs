@@ -62,6 +62,16 @@ use rei_service::{JobHandle, RouterConfig, ServiceConfig, ShardRouter};
 
 use crate::args::ServeOptions;
 
+/// Applies `--log-level` to the process-wide structured log threshold.
+/// The flag wins over the `REI_LOG` environment default.
+fn apply_log_level(options: &ServeOptions) {
+    if let Some(name) = &options.log_level {
+        if let Some(level) = rei_obs::log::parse_level(name) {
+            rei_obs::log::set_level(level);
+        }
+    }
+}
+
 /// Builds the pool-wide synthesis configuration the flags describe.
 fn synth_config(options: &ServeOptions) -> SynthConfig {
     let mut config = SynthConfig::new(options.costs)
@@ -105,6 +115,7 @@ fn build_router(options: &ServeOptions) -> Result<ShardRouter, String> {
 /// persistent cache file cannot be opened); malformed *requests* are
 /// reported inline as `bad-request` result lines instead.
 pub fn run_serve_on(options: &ServeOptions, input: &str) -> Result<String, String> {
+    apply_log_level(options);
     let router = build_router(options)?;
 
     // Submit everything up front (the bounded queues apply backpressure
@@ -132,7 +143,7 @@ pub fn run_serve_on(options: &ServeOptions, input: &str) -> Result<String, Strin
     let mut out = String::new();
     for line in &lines {
         let rendered = match line {
-            Line::Submitted(id, handle) => response_line(id.clone(), &handle.wait()),
+            Line::Submitted(id, handle) => response_line(id.clone(), &handle.wait(), None),
             Line::BadRequest(id, message) => bad_request_line(id.clone(), message),
         };
         out.push_str(&rendered.to_compact());
@@ -164,7 +175,7 @@ fn drain_completed(
         match pending[index].1.try_wait() {
             Some(response) => {
                 let (id, _) = pending.remove(index).expect("index < len");
-                emit(out, &response_line(id, &response))?;
+                emit(out, &response_line(id, &response, None))?;
                 emitted = true;
             }
             None => index += 1,
@@ -197,6 +208,7 @@ pub fn run_serve_stream(
     input: impl BufRead + Send + 'static,
     mut out: impl Write,
 ) -> Result<(), String> {
+    apply_log_level(options);
     let router = build_router(options)?;
     let mut pending: VecDeque<(Json, JobHandle)> = VecDeque::new();
     let (sender, lines) = std::sync::mpsc::channel::<std::io::Result<String>>();
@@ -259,18 +271,30 @@ pub fn run_serve_stream(
 /// Returns a message when the service or admission configuration is
 /// invalid, the address cannot be bound, or the listener fails fatally.
 pub fn run_serve_listen(options: &ServeOptions, mut out: impl Write) -> Result<(), String> {
+    apply_log_level(options);
     let listen = options
         .listen
         .as_deref()
         .ok_or_else(|| "run_serve_listen needs --listen".to_string())?;
     let router = build_router(options)?;
-    let config = NetConfig::new(listen)
+    let mut config = NetConfig::new(listen)
         .with_handler_threads(options.net_threads)
         .with_admission(options.admission.clone());
+    if let Some(addr) = &options.metrics_addr {
+        config = config.with_metrics_addr(addr);
+    }
+    if let Some(slo) = options.slo {
+        config = config.with_slo(slo);
+    }
     let server = NetServer::bind(config, router)?;
     writeln!(out, "listening on {}", server.local_addr())
         .and_then(|()| out.flush())
         .map_err(|err| format!("cannot write output: {err}"))?;
+    if let Some(addr) = server.metrics_addr() {
+        writeln!(out, "metrics on {addr}")
+            .and_then(|()| out.flush())
+            .map_err(|err| format!("cannot write output: {err}"))?;
+    }
     install_sigint();
     let snapshot = server.run()?;
     if options.metrics {
@@ -660,6 +684,61 @@ mod tests {
             .unwrap();
         assert_eq!(requests.get("admitted").and_then(Json::as_u64), Some(1));
         assert_eq!(requests.get("rate_limited").and_then(Json::as_u64), Some(1));
+    }
+
+    #[test]
+    fn listen_mode_announces_and_serves_the_metrics_endpoint() {
+        use std::io::{BufRead as _, Read as _};
+
+        let mut options = options();
+        options.listen = Some("127.0.0.1:0".into());
+        options.metrics_addr = Some("127.0.0.1:0".into());
+
+        let writer = TimedWriter::default();
+        let server = {
+            let writer = writer.clone();
+            std::thread::spawn(move || run_serve_listen(&options, writer).unwrap())
+        };
+        // Wait for both announcement lines: `listening on A` then
+        // `metrics on B`.
+        let (addr, scrape_addr) = loop {
+            let bytes: Vec<u8> = writer
+                .0
+                .lock()
+                .unwrap()
+                .iter()
+                .flat_map(|(_, chunk)| chunk.clone())
+                .collect();
+            let text = String::from_utf8(bytes).unwrap();
+            let lines: Vec<&str> = text.lines().collect();
+            if text.matches('\n').count() >= 2 {
+                let listen = lines[0].strip_prefix("listening on ").unwrap().to_string();
+                let scrape = lines[1].strip_prefix("metrics on ").unwrap().to_string();
+                break (listen, scrape);
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        };
+
+        let mut client = std::net::TcpStream::connect(&addr).unwrap();
+        client
+            .write_all(b"{\"id\": \"a\", \"pos\": [\"0\", \"00\"], \"neg\": [\"1\"]}\n")
+            .unwrap();
+        let mut reader = std::io::BufReader::new(client.try_clone().unwrap());
+        let mut answer = String::new();
+        reader.read_line(&mut answer).unwrap();
+        let answer = Json::parse(answer.trim()).unwrap();
+        assert_eq!(answer.get("status").and_then(Json::as_str), Some("solved"));
+
+        // The scrape endpoint reflects the completed request.
+        let mut scrape = std::net::TcpStream::connect(&scrape_addr).unwrap();
+        scrape.write_all(b"GET /metrics HTTP/1.0\r\n\r\n").unwrap();
+        let mut body = String::new();
+        scrape.read_to_string(&mut body).unwrap();
+        assert!(body.starts_with("HTTP/1.0 200 OK\r\n"), "{body:?}");
+        assert!(body.contains("rei_requests_completed_total"), "{body:?}");
+
+        client.write_all(b"{\"op\": \"shutdown\"}\n").unwrap();
+        server.join().unwrap();
     }
 
     #[test]

@@ -26,7 +26,7 @@
 //! per-pool breakdown of the sharded traffic.
 
 use std::path::Path;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use rei_service::json::Json;
 use rei_service::{
@@ -108,6 +108,51 @@ impl PoolBreakdown {
     }
 }
 
+/// Exact nearest-rank percentiles over one pass's end-to-end request
+/// latencies, measured client-side from each response's `waited`
+/// (submission to completion). These are ground truth for the ≤ 1/16
+/// relative error the service-side histograms guarantee.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LatencySummary {
+    /// Number of requests sampled.
+    pub count: usize,
+    /// Median end-to-end latency in milliseconds.
+    pub p50_ms: f64,
+    /// 95th-percentile end-to-end latency in milliseconds.
+    pub p95_ms: f64,
+    /// 99th-percentile end-to-end latency in milliseconds.
+    pub p99_ms: f64,
+}
+
+impl LatencySummary {
+    /// Sorts the samples and reads exact nearest-rank quantiles.
+    fn from_samples(samples: &[Duration]) -> Self {
+        let mut ms: Vec<f64> = samples.iter().map(|d| d.as_secs_f64() * 1e3).collect();
+        ms.sort_by(f64::total_cmp);
+        let pick = |q: f64| -> f64 {
+            match ms.len() {
+                0 => 0.0,
+                len => ms[((q * len as f64).ceil() as usize).clamp(1, len) - 1],
+            }
+        };
+        Self {
+            count: ms.len(),
+            p50_ms: pick(0.50),
+            p95_ms: pick(0.95),
+            p99_ms: pick(0.99),
+        }
+    }
+
+    fn to_json(self) -> Json {
+        Json::object([
+            ("count", Json::uint(self.count as u64)),
+            ("p50_ms", Json::fixed(self.p50_ms, 3)),
+            ("p95_ms", Json::fixed(self.p95_ms, 3)),
+            ("p99_ms", Json::fixed(self.p99_ms, 3)),
+        ])
+    }
+}
+
 /// Counters of the fused-batch pass: the pool burst at a single-worker
 /// service so the queue backs up and the worker drains fused batches.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -163,6 +208,10 @@ pub struct ServeReport {
     pub restart: ServePass,
     /// Persisted records that warmed the restarted router's caches.
     pub restart_disk_loaded: u64,
+    /// End-to-end latency percentiles of the cold pass.
+    pub cold_latency: LatencySummary,
+    /// End-to-end latency percentiles of the warm replay pass.
+    pub warm_latency: LatencySummary,
     /// The fused-batch pass through a standalone single-worker service.
     pub fused: FusedPass,
     /// Per-pool breakdown of the cold+warm router.
@@ -179,12 +228,13 @@ impl ServeReport {
         }
     }
 
-    /// The `service` section merged into `BENCH_core.json`. v3 adds the
+    /// The `service` section merged into `BENCH_core.json`. v3 added the
     /// `fused` pass: cross-request batch-fusion counters from a
-    /// single-worker burst.
+    /// single-worker burst. v4 adds the `latency` section: exact
+    /// client-side end-to-end p50/p95/p99 of the cold and warm passes.
     pub fn to_json_value(&self) -> Json {
         Json::object([
-            ("schema", Json::str("rei-bench/service-v3")),
+            ("schema", Json::str("rei-bench/service-v4")),
             ("workers", Json::uint(self.workers as u64)),
             ("backend", Json::str(&self.backend)),
             ("queue_capacity", Json::uint(self.queue_capacity as u64)),
@@ -193,6 +243,13 @@ impl ServeReport {
             ("warm", self.warm.to_json()),
             ("restart", self.restart.to_json()),
             ("restart_disk_loaded", Json::uint(self.restart_disk_loaded)),
+            (
+                "latency",
+                Json::object([
+                    ("cold", self.cold_latency.to_json()),
+                    ("warm", self.warm_latency.to_json()),
+                ]),
+            ),
             ("fused", self.fused.to_json()),
             ("replay_speedup", Json::fixed(self.replay_speedup(), 2)),
             (
@@ -206,7 +263,7 @@ impl ServeReport {
 fn run_pass(
     router: &ShardRouter,
     specs: impl Iterator<Item = rei_lang::Spec>,
-) -> (f64, usize, usize) {
+) -> (f64, usize, usize, LatencySummary) {
     let started = Instant::now();
     let handles: Vec<_> = specs
         .map(|spec| {
@@ -216,13 +273,17 @@ fn run_pass(
         })
         .collect();
     let (mut solved, mut failed) = (0, 0);
+    let mut latencies = Vec::with_capacity(handles.len());
     for handle in &handles {
-        match handle.wait().outcome {
+        let response = handle.wait();
+        latencies.push(response.waited);
+        match response.outcome {
             Ok(_) => solved += 1,
             Err(_) => failed += 1,
         }
     }
-    (started.elapsed().as_secs_f64(), solved, failed)
+    let latency = LatencySummary::from_samples(&latencies);
+    (started.elapsed().as_secs_f64(), solved, failed, latency)
 }
 
 fn pass_counters(
@@ -307,7 +368,7 @@ pub fn run_serve(
     let router = ShardRouter::start(router_config.clone()).expect("harness router config is valid");
 
     let cold_specs = pool.iter().flat_map(|b| [b.spec.clone(), b.spec.clone()]);
-    let (cold_wall, cold_solved, cold_failed) = run_pass(&router, cold_specs);
+    let (cold_wall, cold_solved, cold_failed, cold_latency) = run_pass(&router, cold_specs);
     let after_cold = router.metrics();
     let cold = pass_counters(
         &after_cold,
@@ -318,7 +379,7 @@ pub fn run_serve(
     );
 
     let warm_specs = pool.iter().map(|b| b.spec.clone());
-    let (warm_wall, warm_solved, warm_failed) = run_pass(&router, warm_specs);
+    let (warm_wall, warm_solved, warm_failed, warm_latency) = run_pass(&router, warm_specs);
     // Shutdown compacts each shard's persistent cache file.
     let after_warm = router.shutdown();
     let warm = pass_counters(
@@ -345,7 +406,7 @@ pub fn run_serve(
     // warm from the compacted files, so the replay is disk-served.
     let restarted = ShardRouter::start(router_config).expect("harness router config is valid");
     let restart_specs = pool.iter().map(|b| b.spec.clone());
-    let (restart_wall, restart_solved, restart_failed) = run_pass(&restarted, restart_specs);
+    let (restart_wall, restart_solved, restart_failed, _) = run_pass(&restarted, restart_specs);
     let after_restart = restarted.shutdown();
     let restart = pass_counters(
         &after_restart,
@@ -367,6 +428,8 @@ pub fn run_serve(
         warm,
         restart,
         restart_disk_loaded,
+        cold_latency,
+        warm_latency,
         fused,
         pools: pools_breakdown,
     }
@@ -437,6 +500,18 @@ mod tests {
             report.fused.fused_requests,
             report.fused.fused_batches
         );
+        // Client-side latency percentiles cover every request, are
+        // ordered, and the cache-served replay beats the cold tail.
+        assert_eq!(report.cold_latency.count as u64, report.cold.submitted);
+        assert_eq!(report.warm_latency.count as u64, report.warm.submitted);
+        assert!(report.cold_latency.p50_ms <= report.cold_latency.p95_ms);
+        assert!(report.cold_latency.p95_ms <= report.cold_latency.p99_ms);
+        assert!(
+            report.warm_latency.p99_ms < report.cold_latency.p99_ms,
+            "warm p99 {} vs cold p99 {}",
+            report.warm_latency.p99_ms,
+            report.cold_latency.p99_ms
+        );
         // The sharded traffic is accounted per pool and sums back up.
         assert_eq!(report.pools.len(), 2);
         let submitted: u64 = report.pools.iter().map(|p| p.submitted).sum();
@@ -463,6 +538,18 @@ mod tests {
             warm: pass(5, 0.1, 5, 5, 0),
             restart: pass(5, 0.1, 5, 5, 0),
             restart_disk_loaded: 5,
+            cold_latency: LatencySummary {
+                count: 10,
+                p50_ms: 2.0,
+                p95_ms: 9.0,
+                p99_ms: 12.0,
+            },
+            warm_latency: LatencySummary {
+                count: 5,
+                p50_ms: 0.05,
+                p95_ms: 0.2,
+                p99_ms: 0.2,
+            },
             fused: FusedPass {
                 submitted: 5,
                 wall_seconds: 0.8,
@@ -494,7 +581,22 @@ mod tests {
         let json = report.to_json_value();
         assert_eq!(
             json.get("schema").and_then(Json::as_str),
-            Some("rei-bench/service-v3")
+            Some("rei-bench/service-v4")
+        );
+        let latency = json.get("latency").unwrap();
+        assert_eq!(
+            latency
+                .get("cold")
+                .and_then(|c| c.get("p99_ms"))
+                .and_then(Json::as_f64),
+            Some(12.0)
+        );
+        assert_eq!(
+            latency
+                .get("warm")
+                .and_then(|w| w.get("count"))
+                .and_then(Json::as_u64),
+            Some(5)
         );
         assert_eq!(
             json.get("fused")

@@ -31,7 +31,7 @@ use rei_syntax::CostFn;
 
 use crate::backend::Backend;
 use crate::cache::{LanguageCache, Provenance};
-use crate::observe::{CancelToken, NoopObserver, Observer};
+use crate::observe::{CancelToken, Observer};
 use crate::result::{LevelStats, SynthesisError, SynthesisResult, SynthesisStats};
 use crate::sched::StealScheduler;
 
@@ -935,8 +935,12 @@ pub(crate) struct FusedMember<'a> {
 /// slot; its batch-mates keep sweeping. A member whose winner lands at an
 /// early level completes immediately (partial completion) while the rest
 /// continue to their own outcomes. Results are returned in member order.
-pub(crate) fn run_fused(
-    members: Vec<FusedMember<'_>>,
+///
+/// `observers` carries one [`Observer`] per member (same order); each
+/// member's observer sees that member's per-level events only.
+pub(crate) fn run_fused<'a>(
+    members: Vec<FusedMember<'a>>,
+    observers: Vec<&'a mut dyn Observer>,
     backend: &dyn Backend,
 ) -> Vec<Result<SynthesisResult, SynthesisError>> {
     enum Slot<'a> {
@@ -944,15 +948,13 @@ pub(crate) fn run_fused(
         Done(Result<SynthesisResult, SynthesisError>),
     }
 
-    let mut observers: Vec<NoopObserver> = members.iter().map(|_| NoopObserver).collect();
+    debug_assert_eq!(members.len(), observers.len());
     let mut scratches: Vec<SessionScratch> =
         members.iter().map(|_| SessionScratch::default()).collect();
     let mut first_cost = u64::MAX;
     let mut slots: Vec<Slot> = Vec::with_capacity(members.len());
-    for ((member, observer), scratch) in members
-        .into_iter()
-        .zip(observers.iter_mut())
-        .zip(scratches.iter_mut())
+    for ((member, observer), scratch) in
+        members.into_iter().zip(observers).zip(scratches.iter_mut())
     {
         first_cost = first_cost.min(member.params.costs.literal + 1);
         let mut search = Search::new(member.params, backend, observer, member.stop, scratch);

@@ -253,8 +253,34 @@ impl SynthSession {
         &mut self,
         requests: &[FusedRequest<'_>],
     ) -> Vec<Result<SynthesisResult, SynthesisError>> {
+        let mut noops: Vec<NoopObserver> = requests.iter().map(|_| NoopObserver).collect();
+        let mut observers: Vec<&mut dyn Observer> = noops
+            .iter_mut()
+            .map(|observer| observer as &mut dyn Observer)
+            .collect();
+        self.run_fused_with(requests, &mut observers)
+    }
+
+    /// Like [`run_fused`](SynthSession::run_fused), delivering progress
+    /// events to one [`Observer`] per member (same order as `requests`;
+    /// the lengths must match). Each member's observer sees only that
+    /// member's `on_start` / per-level / `on_finish` events, so a pool
+    /// worker can attach per-request trace collectors to a fused batch.
+    pub fn run_fused_with(
+        &mut self,
+        requests: &[FusedRequest<'_>],
+        observers: &mut [&mut dyn Observer],
+    ) -> Vec<Result<SynthesisResult, SynthesisError>> {
+        assert_eq!(
+            requests.len(),
+            observers.len(),
+            "one observer per fused member"
+        );
         if requests.is_empty() {
             return Vec::new();
+        }
+        for (request, observer) in requests.iter().zip(observers.iter_mut()) {
+            observer.on_start(request.spec);
         }
         let started = Instant::now();
         self.stats.runs += 1;
@@ -346,7 +372,13 @@ impl SynthSession {
                     }
                 })
                 .collect();
-            let results = search::run_fused(members, &*self.backend);
+            let live_observers: Vec<&mut dyn Observer> = observers
+                .iter_mut()
+                .enumerate()
+                .filter(|(index, _)| live.contains(index))
+                .map(|(_, observer)| &mut **observer as &mut dyn Observer)
+                .collect();
+            let results = search::run_fused(members, live_observers, &*self.backend);
             for (&index, mut outcome) in live.iter().zip(results) {
                 // Credit the two trivial candidates this member was
                 // checked against before the sweep.
@@ -368,6 +400,9 @@ impl SynthSession {
             .collect();
         for outcome in &outcomes {
             self.absorb_outcome(outcome);
+        }
+        for (outcome, observer) in outcomes.iter().zip(observers.iter_mut()) {
+            observer.on_finish(outcome.as_ref());
         }
         outcomes
     }
@@ -604,6 +639,49 @@ mod tests {
         assert_eq!(session.stats().runs, 1);
         assert_eq!(session.stats().solved, 3);
         assert_eq!(session.stats().failed, 1);
+    }
+
+    #[test]
+    fn fused_observers_see_their_own_member_only() {
+        #[derive(Default)]
+        struct Recorder {
+            started: usize,
+            levels: usize,
+            finished: usize,
+        }
+        impl Observer for Recorder {
+            fn on_start(&mut self, _spec: &Spec) {
+                self.started += 1;
+            }
+            fn on_level(&mut self, _stats: &crate::LevelStats) {
+                self.levels += 1;
+            }
+            fn on_finish(&mut self, _outcome: Result<&SynthesisResult, &SynthesisError>) {
+                self.finished += 1;
+            }
+        }
+
+        let mut session = SynthSession::new(SynthConfig::default()).unwrap();
+        let intro = intro_spec();
+        let trivial = Spec::from_strs([""], ["0"]).unwrap();
+        let requests = [FusedRequest::new(&intro), FusedRequest::new(&trivial)];
+        let mut recorders = [Recorder::default(), Recorder::default()];
+        {
+            let mut observers: Vec<&mut dyn Observer> = recorders
+                .iter_mut()
+                .map(|recorder| recorder as &mut dyn Observer)
+                .collect();
+            let outcomes = session.run_fused_with(&requests, &mut observers);
+            assert!(outcomes.iter().all(Result::is_ok));
+        }
+        // Every member saw exactly one start and one finish; only the
+        // member that actually swept levels produced level events.
+        for recorder in &recorders {
+            assert_eq!(recorder.started, 1);
+            assert_eq!(recorder.finished, 1);
+        }
+        assert!(recorders[0].levels > 0, "sweeping member saw no levels");
+        assert_eq!(recorders[1].levels, 0, "trivial member swept levels");
     }
 
     #[test]

@@ -73,6 +73,11 @@ pub enum Verb {
     Ping,
     /// Asks for the router metrics snapshot as one JSON line.
     Metrics,
+    /// Asks for the retained timeline of one trace id as one JSON line.
+    Trace(u64),
+    /// Asks for the Prometheus text rendering of the metrics snapshot,
+    /// wrapped in one JSON line (the scrape listener serves it raw).
+    Prometheus,
     /// Switches this connection's [`AnswerMode`].
     Mode(AnswerMode),
     /// Asks the server to stop accepting, drain every connection and
@@ -186,6 +191,14 @@ pub fn parse_line(line: &str, line_number: usize) -> Input {
             return match op.as_str() {
                 Some("ping") => Input::Control(Verb::Ping),
                 Some("metrics") => Input::Control(Verb::Metrics),
+                Some("prometheus") => Input::Control(Verb::Prometheus),
+                Some("trace") => match value.get("trace").and_then(Json::as_u64) {
+                    Some(trace) => Input::Control(Verb::Trace(trace)),
+                    None => Input::Bad {
+                        id,
+                        error: "'trace' needs a numeric 'trace' id".into(),
+                    },
+                },
                 Some("shutdown") => Input::Control(Verb::Shutdown),
                 Some("mode") => match value.get("value").and_then(Json::as_str) {
                     Some("ordered") => Input::Control(Verb::Mode(AnswerMode::Ordered)),
@@ -249,10 +262,35 @@ pub fn verb_ok_line(op: &str) -> Json {
     Json::object([("op", Json::str(op)), ("status", Json::str("ok"))])
 }
 
-/// The result line of one completed request.
-pub fn response_line(id: Json, response: &SynthResponse) -> Json {
+/// The timeline of one trace as a single answer line.
+pub fn trace_line(trace: u64, events: &[rei_obs::TraceEvent]) -> Json {
+    Json::object([
+        ("op", Json::str("trace")),
+        ("trace", Json::uint(trace)),
+        (
+            "events",
+            Json::array(events.iter().map(|event| {
+                Json::object([
+                    (
+                        "offset_ms",
+                        Json::fixed(event.offset.as_secs_f64() * 1e3, 3),
+                    ),
+                    ("phase", Json::str(event.phase)),
+                    ("detail", Json::str(&event.detail)),
+                ])
+            })),
+        ),
+    ])
+}
+
+/// The result line of one completed request. `trace` is the request's
+/// trace id, echoed so clients can query the timeline afterwards.
+pub fn response_line(id: Json, response: &SynthResponse, trace: Option<u64>) -> Json {
     let ms = |d: Duration| Json::fixed(d.as_secs_f64() * 1e3, 3);
     let mut line = vec![("id".to_string(), id)];
+    if let Some(trace) = trace {
+        line.push(("trace".into(), Json::uint(trace)));
+    }
     match &response.outcome {
         Ok(result) => {
             line.push(("status".into(), Json::str("solved")));
@@ -316,6 +354,18 @@ mod tests {
         assert!(matches!(
             parse_line(r#"{"op": "metrics"}"#, 1),
             Input::Control(Verb::Metrics)
+        ));
+        assert!(matches!(
+            parse_line(r#"{"op": "prometheus"}"#, 1),
+            Input::Control(Verb::Prometheus)
+        ));
+        assert!(matches!(
+            parse_line(r#"{"op": "trace", "trace": 12}"#, 1),
+            Input::Control(Verb::Trace(12))
+        ));
+        assert!(matches!(
+            parse_line(r#"{"op": "trace"}"#, 1),
+            Input::Bad { .. }
         ));
         assert!(matches!(
             parse_line(r#"{"op": "shutdown"}"#, 1),

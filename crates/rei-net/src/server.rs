@@ -2,13 +2,14 @@
 //! serve loop.
 
 use std::collections::VecDeque;
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read as _, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{RecvTimeoutError, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
+use rei_obs::{Trace, TraceRegistry};
 use rei_service::json::Json;
 use rei_service::{
     AdmissionConfig, AdmissionError, FairShare, InflightGuard, JobHandle, RouterSnapshot,
@@ -16,8 +17,8 @@ use rei_service::{
 };
 
 use crate::protocol::{
-    bad_request_line, parse_line, rejected_line, response_line, verb_ok_line, AnswerMode, Input,
-    Verb,
+    bad_request_line, parse_line, rejected_line, response_line, trace_line, verb_ok_line,
+    AnswerMode, Input, Verb,
 };
 use crate::signal::sigint_tripped;
 
@@ -42,15 +43,31 @@ pub struct NetConfig {
     pub handler_threads: usize,
     /// The fair-share admission policies.
     pub admission: AdmissionConfig,
+    /// When set, a dedicated listener on this address answers every
+    /// connection with one Prometheus text-format scrape of the router
+    /// metrics (port 0 picks a free one; read it back from
+    /// [`NetServer::metrics_addr`]).
+    pub metrics_addr: Option<String>,
+    /// The slow-request threshold: a request whose end-to-end latency
+    /// reaches it has its full trace timeline dumped to the structured
+    /// log (component `slo`, level `warn`).
+    pub slo: Option<Duration>,
+    /// Capacity of the trace event ring (events, not requests; oldest
+    /// drop first).
+    pub trace_capacity: usize,
 }
 
 impl NetConfig {
-    /// A config with 4 handler threads and all-unlimited admission.
+    /// A config with 4 handler threads, all-unlimited admission, no
+    /// scrape listener, no SLO, and a 4096-event trace ring.
     pub fn new(listen: impl Into<String>) -> Self {
         NetConfig {
             listen: listen.into(),
             handler_threads: 4,
             admission: AdmissionConfig::new(),
+            metrics_addr: None,
+            slo: None,
+            trace_capacity: 4096,
         }
     }
 
@@ -63,6 +80,24 @@ impl NetConfig {
     /// Replaces the admission configuration.
     pub fn with_admission(mut self, admission: AdmissionConfig) -> Self {
         self.admission = admission;
+        self
+    }
+
+    /// Enables the Prometheus scrape listener on `addr`.
+    pub fn with_metrics_addr(mut self, addr: impl Into<String>) -> Self {
+        self.metrics_addr = Some(addr.into());
+        self
+    }
+
+    /// Sets the slow-request SLO threshold.
+    pub fn with_slo(mut self, slo: Duration) -> Self {
+        self.slo = Some(slo);
+        self
+    }
+
+    /// Replaces the trace ring capacity (clamped to at least 1).
+    pub fn with_trace_capacity(mut self, capacity: usize) -> Self {
+        self.trace_capacity = capacity.max(1);
         self
     }
 }
@@ -80,6 +115,9 @@ pub struct NetServer {
     fair: Arc<FairShare>,
     stop: Arc<AtomicBool>,
     handler_threads: usize,
+    traces: Arc<TraceRegistry>,
+    scrape: Option<TcpListener>,
+    scrape_addr: Option<SocketAddr>,
 }
 
 impl std::fmt::Debug for NetServer {
@@ -101,8 +139,10 @@ impl NetServer {
     /// A message when the address cannot be bound or the admission
     /// config does not validate.
     pub fn bind(config: NetConfig, router: ShardRouter) -> Result<Self, String> {
+        let traces = TraceRegistry::new(config.trace_capacity, config.slo);
         let fair = FairShare::new(config.admission)
-            .map_err(|err| format!("invalid admission config: {err}"))?;
+            .map_err(|err| format!("invalid admission config: {err}"))?
+            .with_traces(Arc::clone(&traces));
         let listener = TcpListener::bind(&config.listen)
             .map_err(|err| format!("cannot bind {}: {err}", config.listen))?;
         listener
@@ -111,6 +151,20 @@ impl NetServer {
         let addr = listener
             .local_addr()
             .map_err(|err| format!("cannot read the bound address: {err}"))?;
+        let (scrape, scrape_addr) = match &config.metrics_addr {
+            Some(metrics_addr) => {
+                let scrape = TcpListener::bind(metrics_addr)
+                    .map_err(|err| format!("cannot bind metrics address {metrics_addr}: {err}"))?;
+                scrape
+                    .set_nonblocking(true)
+                    .map_err(|err| format!("cannot make the scrape listener nonblocking: {err}"))?;
+                let scrape_addr = scrape
+                    .local_addr()
+                    .map_err(|err| format!("cannot read the scrape address: {err}"))?;
+                (Some(scrape), Some(scrape_addr))
+            }
+            None => (None, None),
+        };
         Ok(NetServer {
             listener,
             addr,
@@ -118,12 +172,20 @@ impl NetServer {
             fair: Arc::new(fair),
             stop: Arc::new(AtomicBool::new(false)),
             handler_threads: config.handler_threads.max(1),
+            traces,
+            scrape,
+            scrape_addr,
         })
     }
 
     /// The bound address (resolves port 0 to the picked port).
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The bound Prometheus scrape address, when one was configured.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.scrape_addr
     }
 
     /// A flag any thread may set to start a graceful drain: stop
@@ -152,6 +214,7 @@ impl NetServer {
                 let router = Arc::clone(&self.router);
                 let fair = Arc::clone(&self.fair);
                 let stop = Arc::clone(&self.stop);
+                let traces = Arc::clone(&self.traces);
                 std::thread::Builder::new()
                     .name(format!("rei-net-handler-{index}"))
                     .spawn(move || loop {
@@ -163,13 +226,25 @@ impl NetServer {
                             inbox.recv()
                         };
                         match stream {
-                            Ok(stream) => handle_connection(stream, &router, &fair, &stop),
+                            Ok(stream) => handle_connection(stream, &router, &fair, &traces, &stop),
                             Err(_) => return, // accept loop gone: drain done
                         }
                     })
                     .expect("spawning a handler thread")
             })
             .collect();
+
+        // The scrape listener runs beside the request listener: every
+        // connection gets one Prometheus rendering of the live snapshot.
+        let scraper = self.scrape.map(|listener| {
+            let router = Arc::clone(&self.router);
+            let fair = Arc::clone(&self.fair);
+            let stop = Arc::clone(&self.stop);
+            std::thread::Builder::new()
+                .name("rei-net-scrape".into())
+                .spawn(move || serve_scrapes(&listener, &router, &fair, &stop))
+                .expect("spawning the scrape thread")
+        });
 
         while !self.stop.load(Ordering::SeqCst) {
             if sigint_tripped() {
@@ -210,12 +285,56 @@ impl NetServer {
         for handler in handlers {
             let _ = handler.join();
         }
+        if let Some(scraper) = scraper {
+            let _ = scraper.join();
+        }
         let Ok(router) = Arc::try_unwrap(self.router) else {
             unreachable!("handlers joined; no other router owners remain");
         };
         let mut snapshot = router.shutdown();
         snapshot.admission = self.fair.counters();
+        snapshot.tenants = self.fair.tenant_counters();
         Ok(snapshot)
+    }
+}
+
+/// Answers every connection on the scrape listener with one HTTP/1.0
+/// `200` carrying the Prometheus text rendering of the current router
+/// snapshot, then closes. The request head is read best-effort and
+/// ignored — any path scrapes.
+fn serve_scrapes(
+    listener: &TcpListener,
+    router: &ShardRouter,
+    fair: &FairShare,
+    stop: &AtomicBool,
+) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((mut stream, _peer)) => {
+                let _ = stream.set_nonblocking(false);
+                let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+                let mut head = [0u8; 1024];
+                let _ = stream.read(&mut head);
+                let mut snapshot = router.metrics();
+                snapshot.admission = fair.counters();
+                snapshot.tenants = fair.tenant_counters();
+                let body = snapshot.to_prometheus();
+                let response = format!(
+                    "HTTP/1.0 200 OK\r\n\
+                     Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+                     Content-Length: {}\r\n\
+                     Connection: close\r\n\r\n{body}",
+                    body.len()
+                );
+                let _ = stream.write_all(response.as_bytes());
+                let _ = stream.flush();
+                let _ = stream.shutdown(Shutdown::Both);
+            }
+            Err(err) if err.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_TICK);
+            }
+            Err(_) => std::thread::sleep(ACCEPT_TICK),
+        }
     }
 }
 
@@ -245,8 +364,17 @@ fn drain_completed(
         let completed = pending[index].1.try_wait();
         match completed {
             Some(response) => {
-                let (id, _, guard) = pending.remove(index).expect("index < len");
-                emit(out, &response_line(id, &response))?;
+                let (id, handle, guard) = pending.remove(index).expect("index < len");
+                let trace: Option<Trace> = handle.trace().cloned();
+                if let Some(trace) = &trace {
+                    // `waited` is submission-to-completion; the SLO dump
+                    // fires here when it reached the threshold.
+                    trace.finish(response.waited);
+                }
+                emit(
+                    out,
+                    &response_line(id, &response, trace.as_ref().map(Trace::id)),
+                )?;
                 drop(guard); // the answer is delivered; free the slot
                 emitted = true;
             }
@@ -261,7 +389,13 @@ fn drain_completed(
 /// thread, submits through admission, answers in the connection's
 /// current mode, and drains pending answers when the client closes its
 /// half or the server begins shutdown.
-fn handle_connection(stream: TcpStream, router: &ShardRouter, fair: &FairShare, stop: &AtomicBool) {
+fn handle_connection(
+    stream: TcpStream,
+    router: &ShardRouter,
+    fair: &FairShare,
+    traces: &Arc<TraceRegistry>,
+    stop: &AtomicBool,
+) {
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
@@ -300,7 +434,19 @@ fn handle_connection(stream: TcpStream, router: &ShardRouter, fair: &FairShare, 
                         Input::Control(Verb::Metrics) => {
                             let mut snapshot = router.metrics();
                             snapshot.admission = fair.counters();
+                            snapshot.tenants = fair.tenant_counters();
                             emit(&mut out, &snapshot.to_json())?;
+                        }
+                        Input::Control(Verb::Trace(trace)) => {
+                            emit(&mut out, &trace_line(trace, &traces.events(trace)))?;
+                        }
+                        Input::Control(Verb::Prometheus) => {
+                            let mut snapshot = router.metrics();
+                            snapshot.admission = fair.counters();
+                            snapshot.tenants = fair.tenant_counters();
+                            let mut ok = verb_ok_line("prometheus");
+                            ok.set("text", Json::str(snapshot.to_prometheus()));
+                            emit(&mut out, &ok)?;
                         }
                         Input::Control(Verb::Mode(new_mode)) => {
                             mode = new_mode;
@@ -486,6 +632,72 @@ mod tests {
         };
         drop(probe);
         assert_eq!(snapshot.admission.admitted, 3);
+    }
+
+    #[test]
+    fn trace_prometheus_verbs_and_the_scrape_endpoint_serve_observability() {
+        let router = ShardRouter::start(RouterConfig::identical(2, ServiceConfig::new(1))).unwrap();
+        let config = NetConfig::new("127.0.0.1:0").with_metrics_addr("127.0.0.1:0");
+        let server = NetServer::bind(config, router).unwrap();
+        let addr = server.local_addr();
+        let scrape_addr = server.metrics_addr().expect("scrape listener bound");
+        let serving = std::thread::spawn(move || server.run().unwrap());
+
+        let mut client = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(client.try_clone().unwrap());
+        let mut read_line = || {
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            Json::parse(line.trim()).unwrap()
+        };
+        client
+            .write_all(request_line("a", "010", "acme").as_bytes())
+            .unwrap();
+        let answer = read_line();
+        assert_eq!(answer.get("status").and_then(Json::as_str), Some("solved"));
+        let trace = answer
+            .get("trace")
+            .and_then(Json::as_u64)
+            .expect("answers carry a trace id");
+
+        // The timeline of the answered request is queryable by id.
+        client
+            .write_all(format!("{{\"op\": \"trace\", \"trace\": {trace}}}\n").as_bytes())
+            .unwrap();
+        let timeline = read_line();
+        assert_eq!(timeline.get("trace").and_then(Json::as_u64), Some(trace));
+        let events = timeline.get("events").and_then(Json::as_array).unwrap();
+        let phases: Vec<&str> = events
+            .iter()
+            .map(|e| e.get("phase").and_then(Json::as_str).unwrap())
+            .collect();
+        assert_eq!(phases.first(), Some(&"admitted"), "{phases:?}");
+        assert_eq!(phases.last(), Some(&"answered"), "{phases:?}");
+        assert!(phases.contains(&"routed"), "{phases:?}");
+        assert!(phases.contains(&"enqueued"), "{phases:?}");
+
+        // The prometheus verb wraps the scrape body in a JSON line …
+        client.write_all(b"{\"op\": \"prometheus\"}\n").unwrap();
+        let wrapped = read_line();
+        let text = wrapped.get("text").and_then(Json::as_str).unwrap();
+        assert!(text.contains("rei_requests_submitted_total{pool="));
+        assert!(text.contains("rei_tenant_submitted_total{tenant=\"acme\"} 1"));
+
+        // … and the dedicated listener serves the same body over HTTP.
+        let mut scrape = TcpStream::connect(scrape_addr).unwrap();
+        scrape.write_all(b"GET /metrics HTTP/1.0\r\n\r\n").unwrap();
+        let mut raw = String::new();
+        BufReader::new(scrape).read_to_string(&mut raw).unwrap();
+        assert!(raw.starts_with("HTTP/1.0 200 OK\r\n"), "{raw}");
+        let body = raw.split("\r\n\r\n").nth(1).expect("header/body split");
+        assert!(body.contains("# TYPE rei_request_seconds histogram"));
+        assert!(body.contains("le=\"+Inf\""));
+
+        client.write_all(b"{\"op\": \"shutdown\"}\n").unwrap();
+        let snapshot = serving.join().unwrap();
+        assert_eq!(snapshot.tenants.len(), 1);
+        assert_eq!(snapshot.tenants[0].0, "acme");
+        assert_eq!(snapshot.tenants[0].1.admitted, 1);
     }
 
     #[test]

@@ -1,0 +1,341 @@
+//! Mergeable log-linear histograms over atomic counters.
+//!
+//! Values (nanoseconds, but the math is unit-agnostic) are bucketed
+//! log-linearly: each power-of-two octave is split into 16 linear
+//! sub-buckets, and values below 16 get one exact bucket each. A
+//! bucket's width is therefore at most 1/16 of its lower bound, which
+//! bounds the relative error of any reported quantile by 6.25%.
+//!
+//! The live [`Histogram`] is a fixed array of `AtomicU64` counters —
+//! recording is one relaxed `fetch_add`, safe from any thread, and
+//! never blocks the serving path. [`HistogramSnapshot`] is the plain
+//! (`Vec<u64>`) copy that merges across pools and answers quantiles.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// log2 of the sub-buckets per octave (16 sub-buckets).
+const SUB_BITS: u32 = 4;
+/// Linear sub-buckets per power-of-two octave.
+const SUB: usize = 1 << SUB_BITS;
+/// Octaves covered above the exact range: exponents 4..=63.
+const OCTAVES: usize = 64 - SUB_BITS as usize;
+
+/// Total bucket count: 16 exact buckets for values `0..16`, then 16
+/// sub-buckets for each of the 60 octaves up to `u64::MAX`.
+pub const BUCKETS: usize = SUB + OCTAVES * SUB;
+
+/// Default `le` boundaries (seconds) for Prometheus exposition of
+/// latency histograms: 100µs to 10s plus `+Inf` added by the encoder.
+pub const LATENCY_BOUNDS_SECS: &[f64] = &[
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5,
+    5.0, 10.0,
+];
+
+/// Bucket index of a value. Exact below 16; log-linear above.
+fn bucket_index(value: u64) -> usize {
+    if value < SUB as u64 {
+        value as usize
+    } else {
+        let exp = 63 - value.leading_zeros() as usize;
+        let group = exp - SUB_BITS as usize;
+        let sub = (value >> group) as usize - SUB;
+        SUB + group * SUB + sub
+    }
+}
+
+/// Inclusive `(low, high)` value range of a bucket.
+fn bucket_range(index: usize) -> (u64, u64) {
+    if index < SUB {
+        (index as u64, index as u64)
+    } else {
+        let group = (index - SUB) / SUB;
+        let sub = ((index - SUB) % SUB) as u64;
+        let low = (SUB as u64 + sub) << group;
+        let high = low + ((1u64 << group) - 1);
+        (low, high)
+    }
+}
+
+/// A live log-linear histogram: lock-free recording into atomic
+/// buckets. Take a [`snapshot`](Histogram::snapshot) to merge or query.
+pub struct Histogram {
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count.load(Ordering::Relaxed))
+            .field("sum", &self.sum.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        let buckets = (0..BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            buckets,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one value (relaxed atomics; callable from any thread).
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Records a duration in nanoseconds (saturating at `u64::MAX`).
+    pub fn record_duration(&self, duration: Duration) {
+        self.record(u64::try_from(duration.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Copies the counters into a plain, mergeable snapshot.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A plain-integer copy of a [`Histogram`]: mergeable across pools and
+/// processes, and the thing quantiles are answered from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    buckets: Vec<u64>,
+    /// Total recorded samples.
+    pub count: u64,
+    /// Sum of all recorded values.
+    pub sum: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            buckets: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Adds every sample of `other` into `self`. Merging snapshots is
+    /// exactly equivalent to having recorded both sample sets into one
+    /// histogram.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) as an upper estimate: the
+    /// inclusive upper edge of the bucket holding the rank-`⌈q·n⌉`
+    /// sample. Never below the true sample value and at most 1/16
+    /// above it. Returns 0 on an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (index, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_range(index).1;
+            }
+        }
+        bucket_range(BUCKETS - 1).1
+    }
+
+    /// Mean of the recorded values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Cumulative counts at the given sorted inclusive upper bounds: the
+    /// number of samples whose bucket lies entirely at or below each
+    /// bound. Samples above the last bound appear only in the implicit
+    /// `+Inf` bucket ([`count`](Self::count)). The result is monotone
+    /// non-decreasing by construction.
+    pub fn cumulative(&self, bounds: &[u64]) -> Vec<u64> {
+        let mut per_bound = vec![0u64; bounds.len()];
+        for (index, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let high = bucket_range(index).1;
+            if let Some(slot) = bounds.iter().position(|&b| high <= b) {
+                per_bound[slot] += n;
+            }
+        }
+        let mut running = 0;
+        for slot in per_bound.iter_mut() {
+            running += *slot;
+            *slot = running;
+        }
+        per_bound
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic xorshift so the quantile test needs no rand shim.
+    struct Rng(u64);
+
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x
+        }
+    }
+
+    #[test]
+    fn buckets_partition_the_value_space() {
+        // Every bucket's range maps back to the bucket, and ranges abut.
+        let mut expected_low = 0u64;
+        for index in 0..BUCKETS {
+            let (low, high) = bucket_range(index);
+            assert_eq!(low, expected_low, "bucket {index} starts off-by");
+            assert_eq!(bucket_index(low), index);
+            assert_eq!(bucket_index(high), index);
+            if high == u64::MAX {
+                assert_eq!(index, BUCKETS - 1);
+                return;
+            }
+            expected_low = high + 1;
+        }
+        panic!("last bucket must end at u64::MAX");
+    }
+
+    #[test]
+    fn relative_bucket_error_is_bounded() {
+        for index in SUB..BUCKETS {
+            let (low, high) = bucket_range(index);
+            // Bucket width ≤ low/16, so high ≤ low · (1 + 1/16).
+            assert!(high - low <= low / SUB as u64, "bucket {index}");
+        }
+    }
+
+    #[test]
+    fn quantiles_match_exact_reference_within_error_bound() {
+        let mut rng = Rng(0x9E3779B97F4A7C15);
+        let hist = Histogram::new();
+        let mut samples: Vec<u64> = (0..10_000).map(|_| rng.next() % 1_000_000_000).collect();
+        for &s in &samples {
+            hist.record(s);
+        }
+        samples.sort_unstable();
+        let snapshot = hist.snapshot();
+        assert_eq!(snapshot.count, samples.len() as u64);
+        for q in [0.01, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            let rank = ((q * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
+            let exact = samples[rank - 1];
+            let approx = snapshot.quantile(q);
+            assert!(approx >= exact, "q={q}: {approx} < exact {exact}");
+            assert!(
+                approx <= exact + exact / 16 + 1,
+                "q={q}: {approx} above error bound for exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_is_equivalent_to_combined_recording() {
+        let (a, b, combined) = (Histogram::new(), Histogram::new(), Histogram::new());
+        let mut rng = Rng(42);
+        for i in 0..5_000 {
+            let value = rng.next() % 10_000_000;
+            if i % 2 == 0 { &a } else { &b }.record(value);
+            combined.record(value);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged, combined.snapshot());
+    }
+
+    #[test]
+    fn concurrent_recording_loses_no_counts() {
+        let hist = std::sync::Arc::new(Histogram::new());
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let hist = hist.clone();
+                std::thread::spawn(move || {
+                    for i in 0..10_000u64 {
+                        hist.record(t * 1_000 + i % 997);
+                    }
+                })
+            })
+            .collect();
+        for thread in threads {
+            thread.join().unwrap();
+        }
+        let snapshot = hist.snapshot();
+        assert_eq!(snapshot.count, 40_000);
+        assert_eq!(snapshot.buckets.iter().sum::<u64>(), 40_000);
+    }
+
+    #[test]
+    fn cumulative_counts_are_monotone_and_capped_by_count() {
+        let hist = Histogram::new();
+        for value in [5, 50, 500, 5_000, 50_000, 500_000, u64::MAX] {
+            hist.record(value);
+        }
+        let snapshot = hist.snapshot();
+        let bounds = [10, 1_000, 100_000, 10_000_000];
+        let cumulative = snapshot.cumulative(&bounds);
+        assert_eq!(cumulative.len(), bounds.len());
+        for pair in cumulative.windows(2) {
+            assert!(pair[0] <= pair[1], "non-monotone: {cumulative:?}");
+        }
+        assert!(cumulative[bounds.len() - 1] <= snapshot.count);
+        assert_eq!(cumulative[0], 1); // only the 5 fits under 10
+    }
+
+    #[test]
+    fn empty_histogram_answers_zero() {
+        let snapshot = Histogram::new().snapshot();
+        assert_eq!(snapshot.quantile(0.99), 0);
+        assert_eq!(snapshot.mean(), 0.0);
+    }
+
+    #[test]
+    fn mean_tracks_the_exact_sum() {
+        let hist = Histogram::new();
+        for value in [10, 20, 30] {
+            hist.record(value);
+        }
+        assert_eq!(hist.snapshot().mean(), 20.0);
+    }
+}

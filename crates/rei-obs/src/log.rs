@@ -1,0 +1,172 @@
+//! Leveled structured logging: one JSON object per line on stderr.
+//!
+//! The level is taken from the `REI_LOG` environment variable
+//! (`error` | `warn` | `info` | `debug`, default `info`) the first time
+//! anything logs, and can be overridden programmatically with
+//! [`set_level`] (the `--log-level` flag of `paresy serve`). Each line
+//! looks like
+//!
+//! ```text
+//! {"ts":1719410000.123,"level":"warn","component":"cache","msg":"cannot read cache file","path":"/x.jsonl"}
+//! ```
+//!
+//! so operators can machine-parse service diagnostics instead of
+//! scraping free-form `eprintln!` text.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Log severity, most severe first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Unrecoverable or data-losing conditions.
+    Error = 0,
+    /// Degraded but continuing (skipped cache records, slow requests).
+    Warn = 1,
+    /// Lifecycle events. The default threshold.
+    Info = 2,
+    /// Per-request chatter.
+    Debug = 3,
+}
+
+impl Level {
+    fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+}
+
+/// Parses a level name (case-insensitive). `None` on anything else.
+pub fn parse_level(name: &str) -> Option<Level> {
+    match name.to_ascii_lowercase().as_str() {
+        "error" => Some(Level::Error),
+        "warn" | "warning" => Some(Level::Warn),
+        "info" => Some(Level::Info),
+        "debug" => Some(Level::Debug),
+        _ => None,
+    }
+}
+
+const UNSET: u8 = u8::MAX;
+static THRESHOLD: AtomicU8 = AtomicU8::new(UNSET);
+
+/// Overrides the log threshold (wins over `REI_LOG`).
+pub fn set_level(level: Level) {
+    THRESHOLD.store(level as u8, Ordering::Relaxed);
+}
+
+/// The active threshold: the programmatic override if set, else
+/// `REI_LOG`, else [`Level::Info`].
+pub fn level() -> Level {
+    match THRESHOLD.load(Ordering::Relaxed) {
+        UNSET => {
+            let level = std::env::var("REI_LOG")
+                .ok()
+                .and_then(|name| parse_level(&name))
+                .unwrap_or(Level::Info);
+            THRESHOLD.store(level as u8, Ordering::Relaxed);
+            level
+        }
+        0 => Level::Error,
+        1 => Level::Warn,
+        2 => Level::Info,
+        _ => Level::Debug,
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+pub fn escape_json(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for ch in text.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Emits one structured line at `level` if it clears the threshold.
+/// `fields` are appended as extra string-valued JSON members.
+pub fn log(level: Level, component: &str, message: &str, fields: &[(&str, String)]) {
+    if level > self::level() {
+        return;
+    }
+    let ts = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs_f64())
+        .unwrap_or(0.0);
+    let mut line = format!(
+        "{{\"ts\":{ts:.3},\"level\":\"{}\",\"component\":\"{}\",\"msg\":\"{}\"",
+        level.as_str(),
+        escape_json(component),
+        escape_json(message)
+    );
+    for (key, value) in fields {
+        line.push_str(&format!(
+            ",\"{}\":\"{}\"",
+            escape_json(key),
+            escape_json(value)
+        ));
+    }
+    line.push('}');
+    eprintln!("{line}");
+}
+
+/// [`log`] at [`Level::Error`].
+pub fn error(component: &str, message: &str, fields: &[(&str, String)]) {
+    log(Level::Error, component, message, fields);
+}
+
+/// [`log`] at [`Level::Warn`].
+pub fn warn(component: &str, message: &str, fields: &[(&str, String)]) {
+    log(Level::Warn, component, message, fields);
+}
+
+/// [`log`] at [`Level::Info`].
+pub fn info(component: &str, message: &str, fields: &[(&str, String)]) {
+    log(Level::Info, component, message, fields);
+}
+
+/// [`log`] at [`Level::Debug`].
+pub fn debug(component: &str, message: &str, fields: &[(&str, String)]) {
+    log(Level::Debug, component, message, fields);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_names_round_trip() {
+        for level in [Level::Error, Level::Warn, Level::Info, Level::Debug] {
+            assert_eq!(parse_level(level.as_str()), Some(level));
+        }
+        assert_eq!(parse_level("WARNING"), Some(Level::Warn));
+        assert_eq!(parse_level("verbose"), None);
+    }
+
+    #[test]
+    fn escaping_covers_quotes_and_control_characters() {
+        assert_eq!(escape_json("plain"), "plain");
+        assert_eq!(escape_json("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape_json("line\nbreak\t"), "line\\nbreak\\t");
+        assert_eq!(escape_json("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn severity_orders_most_severe_first() {
+        assert!(Level::Error < Level::Warn);
+        assert!(Level::Warn < Level::Info);
+        assert!(Level::Info < Level::Debug);
+    }
+}

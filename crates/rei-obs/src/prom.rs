@@ -1,0 +1,159 @@
+//! A minimal Prometheus text-format (version 0.0.4) builder.
+//!
+//! The service tier exposes counters, gauges and latency histograms on
+//! a plain-text scrape endpoint. This builder owns the formatting
+//! rules — `# TYPE` headers, label escaping, cumulative `le` buckets
+//! ending in `+Inf`, `_sum`/`_count` companions — so the encoders in
+//! higher crates only decide *what* to expose.
+
+use crate::hist::HistogramSnapshot;
+
+/// Accumulates one scrape body.
+#[derive(Debug, Default)]
+pub struct PromText {
+    out: String,
+    typed: Vec<String>,
+}
+
+/// Escapes a label value (backslash, quote, newline).
+fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for ch in value.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn format_labels(labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let body: Vec<String> = labels
+        .iter()
+        .map(|(key, value)| format!("{key}=\"{}\"", escape_label(value)))
+        .collect();
+    format!("{{{}}}", body.join(","))
+}
+
+/// Formats an f64 the way Prometheus expects (no exponent surprises
+/// for the magnitudes we emit; integral values lose the ".0").
+fn format_value(value: f64) -> String {
+    if value == value.trunc() && value.abs() < 1e15 {
+        format!("{}", value as i64)
+    } else {
+        format!("{value}")
+    }
+}
+
+impl PromText {
+    /// An empty scrape body.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Emits the `# TYPE` header for a metric family once; repeated
+    /// declarations of the same family are ignored.
+    pub fn family(&mut self, name: &str, kind: &str, help: &str) {
+        if self.typed.iter().any(|seen| seen == name) {
+            return;
+        }
+        self.typed.push(name.to_string());
+        self.out.push_str(&format!("# HELP {name} {help}\n"));
+        self.out.push_str(&format!("# TYPE {name} {kind}\n"));
+    }
+
+    /// Emits one sample line.
+    pub fn sample(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.out.push_str(&format!(
+            "{name}{} {}\n",
+            format_labels(labels),
+            format_value(value)
+        ));
+    }
+
+    /// Emits a full histogram family instance from a snapshot of
+    /// nanosecond samples: cumulative `_bucket` lines at the given
+    /// `le` boundaries (seconds) plus `+Inf`, then `_sum` (seconds)
+    /// and `_count`.
+    pub fn histogram(
+        &mut self,
+        name: &str,
+        labels: &[(&str, &str)],
+        bounds_secs: &[f64],
+        snapshot: &HistogramSnapshot,
+    ) {
+        let bounds_ns: Vec<u64> = bounds_secs.iter().map(|s| (s * 1e9) as u64).collect();
+        let cumulative = snapshot.cumulative(&bounds_ns);
+        let bucket_name = format!("{name}_bucket");
+        for (bound, seen) in bounds_secs.iter().zip(&cumulative) {
+            let mut with_le: Vec<(&str, &str)> = labels.to_vec();
+            let le = format_value(*bound);
+            with_le.push(("le", &le));
+            self.sample(&bucket_name, &with_le, *seen as f64);
+        }
+        let mut with_inf: Vec<(&str, &str)> = labels.to_vec();
+        with_inf.push(("le", "+Inf"));
+        self.sample(&bucket_name, &with_inf, snapshot.count as f64);
+        self.sample(&format!("{name}_sum"), labels, snapshot.sum as f64 / 1e9);
+        self.sample(&format!("{name}_count"), labels, snapshot.count as f64);
+    }
+
+    /// The finished scrape body.
+    pub fn render(self) -> String {
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::Histogram;
+
+    #[test]
+    fn counters_and_labels_are_formatted() {
+        let mut text = PromText::new();
+        text.family("rei_requests_total", "counter", "Requests.");
+        text.family("rei_requests_total", "counter", "Requests."); // deduped
+        text.sample("rei_requests_total", &[("pool", "pool-0")], 7.0);
+        text.sample("rei_requests_total", &[("pool", "po\"ol")], 1.5);
+        let body = text.render();
+        assert_eq!(body.matches("# TYPE rei_requests_total").count(), 1);
+        assert!(body.contains("rei_requests_total{pool=\"pool-0\"} 7\n"));
+        assert!(body.contains("rei_requests_total{pool=\"po\\\"ol\"} 1.5\n"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_end_in_inf() {
+        let hist = Histogram::new();
+        // 1µs, 1ms, 1s in nanoseconds.
+        for ns in [1_000, 1_000_000, 1_000_000_000u64] {
+            hist.record(ns);
+        }
+        let mut text = PromText::new();
+        text.family("rei_wait_seconds", "histogram", "Wait.");
+        text.histogram(
+            "rei_wait_seconds",
+            &[("pool", "p")],
+            &[0.001, 0.1, 10.0],
+            &hist.snapshot(),
+        );
+        let body = text.render();
+        let counts: Vec<f64> = body
+            .lines()
+            .filter(|line| line.starts_with("rei_wait_seconds_bucket"))
+            .map(|line| line.rsplit(' ').next().unwrap().parse().unwrap())
+            .collect();
+        assert_eq!(counts.len(), 4);
+        for pair in counts.windows(2) {
+            assert!(pair[0] <= pair[1], "non-monotone buckets: {counts:?}");
+        }
+        assert_eq!(*counts.last().unwrap(), 3.0);
+        assert!(body.contains("le=\"+Inf\""));
+        assert!(body.contains("rei_wait_seconds_count{pool=\"p\"} 3\n"));
+    }
+}

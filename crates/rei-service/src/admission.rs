@@ -30,6 +30,8 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
+use rei_obs::{Histogram, HistogramSnapshot, TraceRegistry};
+
 use crate::request::{JobHandle, SynthRequest};
 use crate::router::ShardRouter;
 use crate::service::ServiceError;
@@ -188,17 +190,45 @@ pub struct AdmissionCounters {
     pub lane_waits: u64,
 }
 
-/// Decrements its tenant's in-flight count when dropped. Hold it until
-/// the request's response has been delivered.
+/// Decrements its tenant's in-flight count when dropped and records the
+/// tenant's admission-to-release latency. Hold it until the request's
+/// response has been delivered.
 #[derive(Debug)]
 pub struct InflightGuard {
     slot: Arc<AtomicUsize>,
+    stats: Arc<TenantStats>,
+    admitted: Instant,
 }
 
 impl Drop for InflightGuard {
     fn drop(&mut self) {
+        self.stats.latency.record_duration(self.admitted.elapsed());
         self.slot.fetch_sub(1, Ordering::AcqRel);
     }
+}
+
+/// Lock-free per-tenant decision counters plus the latency histogram the
+/// [`InflightGuard`] feeds on drop.
+#[derive(Debug, Default)]
+struct TenantStats {
+    submitted: AtomicU64,
+    admitted: AtomicU64,
+    rejected: AtomicU64,
+    latency: Histogram,
+}
+
+/// A point-in-time snapshot of one tenant's admission activity, from
+/// [`FairShare::tenant_counters`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantCounters {
+    /// Requests the tenant offered (admitted + rejected).
+    pub submitted: u64,
+    /// Requests that passed policy and reached a shard queue.
+    pub admitted: u64,
+    /// Requests refused by the token bucket or in-flight cap.
+    pub rejected: u64,
+    /// Admission-to-response-delivered latency (guard lifetime).
+    pub latency: HistogramSnapshot,
 }
 
 /// Live token-bucket state of one tenant.
@@ -207,6 +237,7 @@ struct TenantState {
     tokens: f64,
     refilled: Instant,
     inflight: Arc<AtomicUsize>,
+    stats: Arc<TenantStats>,
 }
 
 impl TenantState {
@@ -216,6 +247,7 @@ impl TenantState {
             tokens: policy.burst,
             refilled: now,
             inflight: Arc::new(AtomicUsize::new(0)),
+            stats: Arc::new(TenantStats::default()),
         }
     }
 
@@ -357,6 +389,7 @@ pub struct FairShare {
     admitted: AtomicU64,
     rate_limited: AtomicU64,
     lane_waits: AtomicU64,
+    traces: Option<Arc<TraceRegistry>>,
 }
 
 impl fmt::Debug for FairShare {
@@ -389,7 +422,17 @@ impl FairShare {
             admitted: AtomicU64::new(0),
             rate_limited: AtomicU64::new(0),
             lane_waits: AtomicU64::new(0),
+            traces: None,
         })
+    }
+
+    /// Attaches a trace registry: every admitted request gets a trace id
+    /// and an `admitted` timeline event, and the request's downstream
+    /// phases (routing, queueing, level sweeps, completion) land in the
+    /// registry's ring.
+    pub fn with_traces(mut self, registry: Arc<TraceRegistry>) -> Self {
+        self.traces = Some(registry);
+        self
     }
 
     /// The policy `tenant` falls under (`None` = the anonymous bucket).
@@ -406,6 +449,29 @@ impl FairShare {
             rate_limited: self.rate_limited.load(Ordering::Relaxed),
             lane_waits: self.lane_waits.load(Ordering::Relaxed),
         }
+    }
+
+    /// Per-tenant admission counters and latency, sorted by tenant name.
+    /// Requests without a tenant key appear under the empty string.
+    pub fn tenant_counters(&self) -> Vec<(String, TenantCounters)> {
+        let state = self.lock();
+        let mut tenants: Vec<(String, TenantCounters)> = state
+            .tenants
+            .iter()
+            .map(|(name, tenant)| {
+                (
+                    name.clone(),
+                    TenantCounters {
+                        submitted: tenant.stats.submitted.load(Ordering::Relaxed),
+                        admitted: tenant.stats.admitted.load(Ordering::Relaxed),
+                        rejected: tenant.stats.rejected.load(Ordering::Relaxed),
+                        latency: tenant.stats.latency.snapshot(),
+                    },
+                )
+            })
+            .collect();
+        tenants.sort_by(|a, b| a.0.cmp(&b.0));
+        tenants
     }
 
     fn lock(&self) -> MutexGuard<'_, ShareState> {
@@ -435,25 +501,44 @@ impl FairShare {
         let tenant = request.tenant().unwrap_or("").to_string();
         let policy = self.policy(request.tenant());
         let now = Instant::now();
-        let guard = {
+        let (guard, stats) = {
             let mut state = self.lock();
             let entry = state
                 .tenants
                 .entry(tenant.clone())
                 .or_insert_with(|| TenantState::new(policy, now));
             entry.refill(now);
+            entry.stats.submitted.fetch_add(1, Ordering::Relaxed);
             if entry.inflight.load(Ordering::Acquire) >= entry.policy.max_inflight
                 || entry.tokens < 1.0
             {
+                entry.stats.rejected.fetch_add(1, Ordering::Relaxed);
                 drop(state);
                 self.rate_limited.fetch_add(1, Ordering::Relaxed);
                 return Err(AdmissionError::RateLimited);
             }
             entry.tokens -= 1.0;
             entry.inflight.fetch_add(1, Ordering::AcqRel);
-            InflightGuard {
-                slot: Arc::clone(&entry.inflight),
+            let stats = Arc::clone(&entry.stats);
+            (
+                InflightGuard {
+                    slot: Arc::clone(&entry.inflight),
+                    stats: Arc::clone(&entry.stats),
+                    admitted: now,
+                },
+                stats,
+            )
+        };
+
+        // Policy passed: stamp the request with a trace id before it can
+        // reach the router, so every later phase lands in the timeline.
+        let request = match &self.traces {
+            Some(registry) => {
+                let trace = registry.begin();
+                trace.record("admitted", format!("tenant={tenant}"));
+                request.with_trace(trace)
             }
+            None => request,
         };
 
         // Fast path: the shard queue has room (or the request is a cache
@@ -463,6 +548,7 @@ impl FairShare {
         match router.try_submit(request) {
             Ok(handle) => {
                 self.admitted.fetch_add(1, Ordering::Relaxed);
+                stats.admitted.fetch_add(1, Ordering::Relaxed);
                 return Ok((handle, guard));
             }
             Err(ServiceError::QueueFull) => {}
@@ -498,6 +584,7 @@ impl FairShare {
                     drop(state);
                     self.turn.notify_all();
                     self.admitted.fetch_add(1, Ordering::Relaxed);
+                    stats.admitted.fetch_add(1, Ordering::Relaxed);
                     return Ok((handle, guard));
                 }
                 Err(ServiceError::QueueFull) => {
@@ -673,6 +760,55 @@ mod tests {
         let Ok(router) = Arc::try_unwrap(router) else {
             unreachable!("threads joined; no other owners remain");
         };
+        router.shutdown();
+    }
+
+    #[test]
+    fn tenant_counters_and_traces_follow_admission() {
+        let router = open_router();
+        let registry = TraceRegistry::new(64, None);
+        let fair = FairShare::new(
+            AdmissionConfig::new().with_tenant("throttled", TenantPolicy::limited(1e-9, 1.0)),
+        )
+        .unwrap()
+        .with_traces(Arc::clone(&registry));
+
+        let (handle, guard) = fair
+            .submit(
+                &router,
+                SynthRequest::new(tiny_spec("0")).with_tenant("throttled"),
+            )
+            .unwrap();
+        let trace_id = handle.trace().expect("admitted requests get a trace").id();
+        assert!(handle.wait().outcome.is_ok());
+        drop(guard);
+        let phases: Vec<String> = registry
+            .events(trace_id)
+            .into_iter()
+            .map(|event| event.phase.to_string())
+            .collect();
+        assert_eq!(phases.first().map(String::as_str), Some("admitted"));
+        assert!(
+            phases.iter().any(|p| p == "enqueued"),
+            "fresh request reaches a shard queue: {phases:?}"
+        );
+
+        // The empty bucket refuses the second request; the per-tenant
+        // ledger sees both decisions and exactly one completed latency.
+        let refused = fair
+            .submit(
+                &router,
+                SynthRequest::new(tiny_spec("1")).with_tenant("throttled"),
+            )
+            .unwrap_err();
+        assert_eq!(refused, AdmissionError::RateLimited);
+        let tenants = fair.tenant_counters();
+        let (name, counters) = &tenants[0];
+        assert_eq!(name, "throttled");
+        assert_eq!(counters.submitted, 2);
+        assert_eq!(counters.admitted, 1);
+        assert_eq!(counters.rejected, 1);
+        assert_eq!(counters.latency.count, 1);
         router.shutdown();
     }
 

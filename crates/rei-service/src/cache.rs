@@ -240,7 +240,14 @@ impl CacheStore {
                 // Any other read failure degrades to a cold start, but
                 // loudly: the operator should know the cache was lost.
                 stats.skipped_corrupt += 1;
-                eprintln!("warning: cannot read cache file {}: {err}", path.display());
+                rei_obs::log::warn(
+                    "cache",
+                    "cannot read cache file",
+                    &[
+                        ("path", path.display().to_string()),
+                        ("error", err.to_string()),
+                    ],
+                );
                 return (Vec::new(), stats);
             }
         };
@@ -258,10 +265,14 @@ impl CacheStore {
                 Ok(_) => stats.skipped_config += 1,
                 Err(reason) => {
                     stats.skipped_corrupt += 1;
-                    eprintln!(
-                        "warning: skipping cache record {}:{}: {reason}",
-                        path.display(),
-                        number + 1
+                    rei_obs::log::warn(
+                        "cache",
+                        "skipping cache record",
+                        &[
+                            ("path", path.display().to_string()),
+                            ("line", (number + 1).to_string()),
+                            ("reason", reason.to_string()),
+                        ],
                     );
                 }
             }
@@ -285,9 +296,13 @@ impl CacheStore {
         let mut line = record.to_line();
         line.push('\n');
         if let Err(err) = file.write_all(line.as_bytes()).and_then(|()| file.flush()) {
-            eprintln!(
-                "warning: cannot append to cache file {}: {err}",
-                self.path.display()
+            rei_obs::log::warn(
+                "cache",
+                "cannot append to cache file",
+                &[
+                    ("path", self.path.display().to_string()),
+                    ("error", err.to_string()),
+                ],
             );
         }
     }
@@ -303,9 +318,13 @@ impl CacheStore {
         let tmp = self.path.with_extension("jsonl.tmp");
         let written = fs::write(&tmp, text).and_then(|()| fs::rename(&tmp, &self.path));
         if let Err(err) = written {
-            eprintln!(
-                "warning: cannot compact cache file {}: {err}",
-                self.path.display()
+            rei_obs::log::warn(
+                "cache",
+                "cannot compact cache file",
+                &[
+                    ("path", self.path.display().to_string()),
+                    ("error", err.to_string()),
+                ],
             );
         }
     }

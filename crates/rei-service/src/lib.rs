@@ -121,7 +121,8 @@ mod router;
 mod service;
 
 pub use admission::{
-    AdmissionConfig, AdmissionCounters, AdmissionError, FairShare, InflightGuard, TenantPolicy,
+    AdmissionConfig, AdmissionCounters, AdmissionError, FairShare, InflightGuard, TenantCounters,
+    TenantPolicy,
 };
 pub use cache::CacheKey;
 pub use metrics::MetricsSnapshot;

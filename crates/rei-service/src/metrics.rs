@@ -11,6 +11,7 @@ use std::sync::Mutex;
 use std::time::Duration;
 
 use rei_core::{SessionStats, SynthesisError};
+use rei_obs::{Histogram, HistogramSnapshot};
 
 use crate::json::Json;
 
@@ -33,6 +34,9 @@ pub(crate) struct Metrics {
     pub fused_requests: AtomicU64,
     pub wait_ns: AtomicU64,
     pub run_ns: AtomicU64,
+    pub wait_hist: Histogram,
+    pub run_hist: Histogram,
+    pub e2e_hist: Histogram,
     pub disk_loaded: AtomicU64,
     pub disk_skipped_corrupt: AtomicU64,
     pub disk_skipped_config: AtomicU64,
@@ -54,6 +58,23 @@ impl Metrics {
     pub fn add_duration(counter: &AtomicU64, duration: Duration) {
         let nanos = u64::try_from(duration.as_nanos()).unwrap_or(u64::MAX);
         counter.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Accounts one job's queue wait: total plus histogram sample.
+    pub fn note_wait(&self, waited: Duration) {
+        Metrics::add_duration(&self.wait_ns, waited);
+        self.wait_hist.record_duration(waited);
+    }
+
+    /// Accounts one run's synthesis wall-clock.
+    pub fn note_run(&self, ran: Duration) {
+        Metrics::add_duration(&self.run_ns, ran);
+        self.run_hist.record_duration(ran);
+    }
+
+    /// Accounts one request's end-to-end latency (submit → completion).
+    pub fn note_e2e(&self, elapsed: Duration) {
+        self.e2e_hist.record_duration(elapsed);
     }
 
     /// Accounts one finished fresh job.
@@ -103,6 +124,9 @@ impl Metrics {
             fused_requests: load(&self.fused_requests),
             wait_total: Duration::from_nanos(load(&self.wait_ns)),
             run_total: Duration::from_nanos(load(&self.run_ns)),
+            wait: self.wait_hist.snapshot(),
+            run: self.run_hist.snapshot(),
+            e2e: self.e2e_hist.snapshot(),
             disk_loaded: load(&self.disk_loaded),
             disk_skipped_corrupt: load(&self.disk_skipped_corrupt),
             disk_skipped_config: load(&self.disk_skipped_config),
@@ -180,6 +204,15 @@ pub struct MetricsSnapshot {
     pub wait_total: Duration,
     /// Total synthesis wall-clock across fresh jobs.
     pub run_total: Duration,
+    /// Queue-wait latency distribution (nanosecond samples, one per
+    /// fresh job) — the percentile source for `latency_ms.wait_p*`.
+    pub wait: HistogramSnapshot,
+    /// Synthesis wall-clock distribution, one sample per fresh run.
+    pub run: HistogramSnapshot,
+    /// End-to-end (submit → completion) latency distribution. Cache
+    /// hits record here too, so this is the request-level view;
+    /// coalesced riders share their leader's sample.
+    pub e2e: HistogramSnapshot,
     /// Persisted results that warmed the cache at start (0 without a
     /// cache directory).
     pub disk_loaded: u64,
@@ -246,6 +279,9 @@ impl MetricsSnapshot {
         self.fused_requests += other.fused_requests;
         self.wait_total += other.wait_total;
         self.run_total += other.run_total;
+        self.wait.merge(&other.wait);
+        self.run.merge(&other.run);
+        self.e2e.merge(&other.e2e);
         self.disk_loaded += other.disk_loaded;
         self.disk_skipped_corrupt += other.disk_skipped_corrupt;
         self.disk_skipped_config += other.disk_skipped_config;
@@ -303,10 +339,25 @@ impl MetricsSnapshot {
             (
                 "latency_ms",
                 Json::object([
+                    // The bare means predate the histograms and are
+                    // deprecated (see DESIGN.md); prefer the counted
+                    // percentiles below.
                     ("wait_total", ms(self.wait_total)),
                     ("wait_mean", ms(self.mean_wait())),
                     ("run_total", ms(self.run_total)),
                     ("run_mean", ms(self.mean_run())),
+                    ("wait_count", Json::uint(self.wait.count)),
+                    ("wait_p50", quantile_ms(&self.wait, 0.50)),
+                    ("wait_p95", quantile_ms(&self.wait, 0.95)),
+                    ("wait_p99", quantile_ms(&self.wait, 0.99)),
+                    ("run_count", Json::uint(self.run.count)),
+                    ("run_p50", quantile_ms(&self.run, 0.50)),
+                    ("run_p95", quantile_ms(&self.run, 0.95)),
+                    ("run_p99", quantile_ms(&self.run, 0.99)),
+                    ("e2e_count", Json::uint(self.e2e.count)),
+                    ("e2e_p50", quantile_ms(&self.e2e, 0.50)),
+                    ("e2e_p95", quantile_ms(&self.e2e, 0.95)),
+                    ("e2e_p99", quantile_ms(&self.e2e, 0.99)),
                 ]),
             ),
             (
@@ -345,6 +396,11 @@ impl MetricsSnapshot {
             ),
         ])
     }
+}
+
+/// A histogram quantile (nanoseconds) rendered as milliseconds.
+fn quantile_ms(hist: &HistogramSnapshot, q: f64) -> Json {
+    Json::fixed(hist.quantile(q) as f64 / 1e6, 3)
 }
 
 fn checked_div(total: Duration, count: u64) -> Duration {
@@ -392,6 +448,35 @@ mod tests {
         assert_eq!(snapshot.cache_hit_rate(), 0.0);
         assert_eq!(snapshot.mean_wait(), Duration::ZERO);
         assert_eq!(snapshot.mean_run(), Duration::ZERO);
+    }
+
+    #[test]
+    fn latency_histograms_absorb_and_report_percentiles() {
+        let metrics = Metrics::new(1);
+        for ms in [1u64, 2, 10, 100] {
+            metrics.note_wait(Duration::from_millis(ms));
+            metrics.note_run(Duration::from_millis(2 * ms));
+            metrics.note_e2e(Duration::from_millis(3 * ms));
+        }
+        let snapshot = metrics.snapshot(Gauges::default());
+        assert_eq!(snapshot.wait.count, 4);
+        assert_eq!(snapshot.run.count, 4);
+        assert_eq!(snapshot.e2e.count, 4);
+        // p99 lands in the 100ms bucket (≤ 6.25% above).
+        let p99_ms = snapshot.wait.quantile(0.99) as f64 / 1e6;
+        assert!((100.0..=107.0).contains(&p99_ms), "{p99_ms}");
+        let latency = snapshot.to_json();
+        let latency = latency.get("latency_ms").unwrap();
+        assert_eq!(latency.get("wait_count").and_then(Json::as_u64), Some(4));
+        let p50 = latency.get("wait_p50").and_then(Json::as_f64).unwrap();
+        assert!((2.0..=2.2).contains(&p50), "{p50}");
+        assert!(latency.get("e2e_p95").is_some());
+        // Absorbing another pool's snapshot merges the samples; equal
+        // distributions keep their quantiles.
+        let mut rollup = snapshot.clone();
+        rollup.absorb(&snapshot);
+        assert_eq!(rollup.wait.count, 8);
+        assert_eq!(rollup.wait.quantile(0.5), snapshot.wait.quantile(0.5));
     }
 
     #[test]

@@ -6,6 +6,7 @@ use std::time::{Duration, Instant};
 
 use rei_core::{SynthesisError, SynthesisResult};
 use rei_lang::Spec;
+use rei_obs::Trace;
 
 /// A synthesis request: the specification plus scheduling hints.
 ///
@@ -19,6 +20,7 @@ pub struct SynthRequest {
     pub(crate) priority: i32,
     pub(crate) deadline: Option<Instant>,
     pub(crate) tenant: Option<String>,
+    pub(crate) trace: Option<Trace>,
 }
 
 impl SynthRequest {
@@ -30,6 +32,7 @@ impl SynthRequest {
             priority: 0,
             deadline: None,
             tenant: None,
+            trace: None,
         }
     }
 
@@ -66,6 +69,21 @@ impl SynthRequest {
     pub fn with_tenant(mut self, tenant: impl Into<String>) -> Self {
         self.tenant = Some(tenant.into());
         self
+    }
+
+    /// Attaches a per-request trace handle (normally assigned at
+    /// admission by the network front-end). Every layer the request
+    /// passes through appends its phase event to the handle; the
+    /// response's [`JobHandle`] carries it back out so the caller can
+    /// correlate wire responses with timelines.
+    pub fn with_trace(mut self, trace: Trace) -> Self {
+        self.trace = Some(trace);
+        self
+    }
+
+    /// The attached trace handle, if any.
+    pub fn trace(&self) -> Option<&Trace> {
+        self.trace.as_ref()
     }
 
     /// The specification to synthesise for.
@@ -250,12 +268,18 @@ pub struct JobHandle {
     pub(crate) state: Arc<JobState>,
     pub(crate) source: ResponseSource,
     pub(crate) submitted: Instant,
+    pub(crate) trace: Option<Trace>,
 }
 
 impl JobHandle {
     /// Blocks until the job completes and returns the response.
     pub fn wait(&self) -> SynthResponse {
         self.response(self.state.wait())
+    }
+
+    /// The request's trace handle, if one was attached at submission.
+    pub fn trace(&self) -> Option<&Trace> {
+        self.trace.as_ref()
     }
 
     /// Returns the response if the job has already completed.
@@ -315,6 +339,7 @@ mod tests {
             state,
             source: ResponseSource::Cache,
             submitted: Instant::now(),
+            trace: None,
         };
         let response = handle.try_wait().expect("already complete");
         assert!(matches!(
@@ -333,6 +358,7 @@ mod tests {
             state: Arc::clone(&state),
             source: ResponseSource::Fresh,
             submitted: Instant::now(),
+            trace: None,
         };
         assert!(handle.try_wait().is_none());
         let waiter = std::thread::spawn({

@@ -30,7 +30,9 @@
 use std::path::PathBuf;
 use std::sync::RwLock;
 
-use crate::admission::AdmissionCounters;
+use rei_obs::{PromText, LATENCY_BOUNDS_SECS};
+
+use crate::admission::{AdmissionCounters, TenantCounters};
 use crate::json::Json;
 use crate::metrics::MetricsSnapshot;
 use crate::request::{JobHandle, SynthRequest};
@@ -245,6 +247,9 @@ impl ShardRouter {
     pub fn submit(&self, request: SynthRequest) -> Result<JobHandle, ServiceError> {
         let state = self.read();
         let index = state.route_key(ShardRouter::routing_key(&request));
+        if let Some(trace) = request.trace() {
+            trace.record("routed", format!("pool={}", state.pools[index].name));
+        }
         state.pools[index].service.submit(request)
     }
 
@@ -255,6 +260,9 @@ impl ShardRouter {
     pub fn try_submit(&self, request: SynthRequest) -> Result<JobHandle, ServiceError> {
         let state = self.read();
         let index = state.route_key(ShardRouter::routing_key(&request));
+        if let Some(trace) = request.trace() {
+            trace.record("routed", format!("pool={}", state.pools[index].name));
+        }
         state.pools[index].service.try_submit(request)
     }
 
@@ -369,6 +377,7 @@ impl ShardRouter {
                 .map(|pool| (pool.name.clone(), pool.service.metrics()))
                 .collect(),
             admission: AdmissionCounters::default(),
+            tenants: Vec::new(),
         }
     }
 
@@ -391,6 +400,7 @@ impl ShardRouter {
                 .map(|pool| (pool.name, pool.service.shutdown()))
                 .collect(),
             admission: AdmissionCounters::default(),
+            tenants: Vec::new(),
         }
     }
 }
@@ -406,6 +416,11 @@ pub struct RouterSnapshot {
     /// requests, so these live beside the per-pool snapshots rather than
     /// inside any of them.
     pub admission: AdmissionCounters,
+    /// Per-tenant admission breakdowns, when a
+    /// [`FairShare`](crate::FairShare) front-end supplied them via
+    /// [`tenant_counters`](crate::FairShare::tenant_counters) (empty
+    /// otherwise). Sorted by tenant name.
+    pub tenants: Vec<(String, TenantCounters)>,
 }
 
 impl RouterSnapshot {
@@ -445,8 +460,208 @@ impl RouterSnapshot {
                     doc
                 })),
             ),
+            (
+                "tenants",
+                Json::array(self.tenants.iter().map(|(name, counters)| {
+                    Json::object([
+                        ("tenant", Json::str(name)),
+                        ("submitted", Json::uint(counters.submitted)),
+                        ("admitted", Json::uint(counters.admitted)),
+                        ("rejected", Json::uint(counters.rejected)),
+                        (
+                            "latency_p50_ms",
+                            Json::fixed(counters.latency.quantile(0.50) as f64 / 1e6, 3),
+                        ),
+                        (
+                            "latency_p99_ms",
+                            Json::fixed(counters.latency.quantile(0.99) as f64 / 1e6, 3),
+                        ),
+                    ])
+                })),
+            ),
             ("rollup", self.rollup().to_json()),
         ])
+    }
+
+    /// The snapshot in Prometheus text format (version 0.0.4): per-pool
+    /// request counters and latency histograms, router-level admission
+    /// counters, queue/cache gauges, and per-tenant admission families
+    /// when the snapshot carries tenant breakdowns.
+    pub fn to_prometheus(&self) -> String {
+        let mut text = PromText::new();
+
+        type CounterRow = (&'static str, &'static str, fn(&MetricsSnapshot) -> u64);
+        let counters: [CounterRow; 8] = [
+            ("rei_requests_submitted_total", "Requests submitted.", |s| {
+                s.submitted
+            }),
+            (
+                "rei_requests_completed_total",
+                "Requests completed by a worker.",
+                |s| s.completed,
+            ),
+            ("rei_requests_solved_total", "Requests solved.", |s| {
+                s.solved
+            }),
+            (
+                "rei_requests_rejected_total",
+                "Requests rejected at the pool queue.",
+                |s| s.rejected,
+            ),
+            ("rei_cache_hits_total", "Result-cache hits.", |s| {
+                s.cache_hits
+            }),
+            (
+                "rei_coalesced_total",
+                "Requests coalesced onto an in-flight job.",
+                |s| s.coalesced,
+            ),
+            (
+                "rei_fused_batches_total",
+                "Fused level-sweep batches executed.",
+                |s| s.fused_batches,
+            ),
+            (
+                "rei_fused_requests_total",
+                "Requests served through fused batches.",
+                |s| s.fused_requests,
+            ),
+        ];
+        for (family, help, pick) in counters {
+            text.family(family, "counter", help);
+            for (name, snapshot) in &self.pools {
+                text.sample(family, &[("pool", name)], pick(snapshot) as f64);
+            }
+        }
+
+        type GaugeRow = (&'static str, &'static str, fn(&MetricsSnapshot) -> usize);
+        let gauges: [GaugeRow; 2] = [
+            ("rei_queue_depth", "Jobs waiting in the pool queue.", |s| {
+                s.queue_depth
+            }),
+            ("rei_cache_entries", "Live result-cache entries.", |s| {
+                s.cache_entries
+            }),
+        ];
+        for (family, help, pick) in gauges {
+            text.family(family, "gauge", help);
+            for (name, snapshot) in &self.pools {
+                text.sample(family, &[("pool", name)], pick(snapshot) as f64);
+            }
+        }
+
+        text.family(
+            "rei_queue_wait_seconds",
+            "histogram",
+            "Queue wait before a worker picked the job up.",
+        );
+        text.family("rei_run_seconds", "histogram", "Worker run time per job.");
+        text.family(
+            "rei_request_seconds",
+            "histogram",
+            "End-to-end latency, submission to completion.",
+        );
+        for (name, snapshot) in &self.pools {
+            let labels = [("pool", name.as_str())];
+            text.histogram(
+                "rei_queue_wait_seconds",
+                &labels,
+                LATENCY_BOUNDS_SECS,
+                &snapshot.wait,
+            );
+            text.histogram(
+                "rei_run_seconds",
+                &labels,
+                LATENCY_BOUNDS_SECS,
+                &snapshot.run,
+            );
+            text.histogram(
+                "rei_request_seconds",
+                &labels,
+                LATENCY_BOUNDS_SECS,
+                &snapshot.e2e,
+            );
+        }
+
+        text.family(
+            "rei_admission_admitted_total",
+            "counter",
+            "Requests admitted by the fair-share stage.",
+        );
+        text.sample(
+            "rei_admission_admitted_total",
+            &[],
+            self.admission.admitted as f64,
+        );
+        text.family(
+            "rei_admission_rate_limited_total",
+            "counter",
+            "Requests refused by a token bucket or in-flight cap.",
+        );
+        text.sample(
+            "rei_admission_rate_limited_total",
+            &[],
+            self.admission.rate_limited as f64,
+        );
+        text.family(
+            "rei_admission_lane_waits_total",
+            "counter",
+            "Admitted requests that parked in a tenant lane.",
+        );
+        text.sample(
+            "rei_admission_lane_waits_total",
+            &[],
+            self.admission.lane_waits as f64,
+        );
+
+        if !self.tenants.is_empty() {
+            text.family(
+                "rei_tenant_submitted_total",
+                "counter",
+                "Requests offered per tenant.",
+            );
+            text.family(
+                "rei_tenant_admitted_total",
+                "counter",
+                "Requests admitted per tenant.",
+            );
+            text.family(
+                "rei_tenant_rejected_total",
+                "counter",
+                "Requests refused per tenant.",
+            );
+            text.family(
+                "rei_tenant_request_seconds",
+                "histogram",
+                "Admission-to-response latency per tenant.",
+            );
+            for (name, counters) in &self.tenants {
+                let labels = [("tenant", name.as_str())];
+                text.sample(
+                    "rei_tenant_submitted_total",
+                    &labels,
+                    counters.submitted as f64,
+                );
+                text.sample(
+                    "rei_tenant_admitted_total",
+                    &labels,
+                    counters.admitted as f64,
+                );
+                text.sample(
+                    "rei_tenant_rejected_total",
+                    &labels,
+                    counters.rejected as f64,
+                );
+                text.histogram(
+                    "rei_tenant_request_seconds",
+                    &labels,
+                    LATENCY_BOUNDS_SECS,
+                    &counters.latency,
+                );
+            }
+        }
+
+        text.render()
     }
 }
 
@@ -669,5 +884,53 @@ mod tests {
         );
         // The document round-trips through the shared parser.
         assert_eq!(Json::parse(&json.to_pretty()).unwrap(), json);
+    }
+
+    #[test]
+    fn prometheus_rendering_covers_pools_admission_and_tenants() {
+        let router = ShardRouter::start(RouterConfig::identical(2, ServiceConfig::new(1))).unwrap();
+        let handle = router.submit(SynthRequest::new(tiny_spec("0"))).unwrap();
+        assert!(handle.wait().outcome.is_ok());
+        let mut snapshot = router.shutdown();
+        snapshot.admission = AdmissionCounters {
+            admitted: 1,
+            rate_limited: 2,
+            lane_waits: 0,
+        };
+        snapshot.tenants = vec![(
+            "acme".to_string(),
+            TenantCounters {
+                submitted: 3,
+                admitted: 2,
+                rejected: 1,
+                latency: rei_obs::HistogramSnapshot::default(),
+            },
+        )];
+        let body = snapshot.to_prometheus();
+        assert!(body.contains("# TYPE rei_requests_submitted_total counter"));
+        assert!(body.contains("rei_requests_submitted_total{pool=\"pool-0\"}"));
+        assert!(body.contains("rei_admission_rate_limited_total 2\n"));
+        assert!(body.contains("rei_tenant_rejected_total{tenant=\"acme\"} 1\n"));
+        assert!(body.contains("# TYPE rei_request_seconds histogram"));
+        assert!(body.contains("rei_request_seconds_bucket{pool=\"pool-0\",le=\"+Inf\"}"));
+        // Every histogram family's buckets are monotone non-decreasing.
+        let mut counts: Vec<f64> = Vec::new();
+        for line in body.lines() {
+            if line.starts_with("rei_request_seconds_bucket{pool=\"pool-0\"") {
+                counts.push(line.rsplit(' ').next().unwrap().parse().unwrap());
+            }
+        }
+        assert!(!counts.is_empty());
+        assert!(counts.windows(2).all(|w| w[0] <= w[1]), "{counts:?}");
+        // Across the pools, the +Inf buckets see exactly the one request
+        // (whichever pool the fingerprint routed it to).
+        let inf_total: f64 = body
+            .lines()
+            .filter(|line| {
+                line.starts_with("rei_request_seconds_bucket") && line.contains("le=\"+Inf\"")
+            })
+            .map(|line| line.rsplit(' ').next().unwrap().parse::<f64>().unwrap())
+            .sum();
+        assert_eq!(inf_total, 1.0);
     }
 }

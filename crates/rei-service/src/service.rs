@@ -13,8 +13,10 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use rei_core::{
-    CancelToken, FusedRequest, SynthConfig, SynthSession, SynthesisError, SynthesisStats,
+    CancelToken, FusedRequest, LevelStats, Observer, SynthConfig, SynthSession, SynthesisError,
+    SynthesisStats,
 };
+use rei_obs::Trace;
 
 use crate::cache::{CacheKey, Lookup, ResultCache};
 use crate::metrics::{Gauges, Metrics, MetricsSnapshot};
@@ -171,6 +173,47 @@ struct Job {
     key: CacheKey,
     state: Arc<JobState>,
     submitted: Instant,
+    trace: Option<Trace>,
+}
+
+/// The worker-side [`Observer`] feeding per-level progress into a job's
+/// trace timeline. Wall-clock per level is tracked here — the core's
+/// [`LevelStats`] carries counters only.
+struct TraceObserver<'a> {
+    trace: Option<&'a Trace>,
+    level_started: Instant,
+}
+
+impl<'a> TraceObserver<'a> {
+    fn new(trace: Option<&'a Trace>) -> Self {
+        TraceObserver {
+            trace,
+            level_started: Instant::now(),
+        }
+    }
+}
+
+impl Observer for TraceObserver<'_> {
+    fn on_start(&mut self, _spec: &rei_lang::Spec) {
+        self.level_started = Instant::now();
+    }
+
+    fn on_level(&mut self, stats: &LevelStats) {
+        let wall = self.level_started.elapsed();
+        self.level_started = Instant::now();
+        if let Some(trace) = self.trace {
+            trace.record(
+                "level",
+                format!(
+                    "cost={} wall_us={} candidates={} unique={}",
+                    stats.cost,
+                    wall.as_micros(),
+                    stats.candidates,
+                    stats.unique
+                ),
+            );
+        }
+    }
 }
 
 /// One armed deadline: when it fires, the owning worker's cancel token
@@ -401,14 +444,22 @@ impl SynthService {
         match shared.cache.lookup_or_reserve(&key, &state) {
             Lookup::Hit(result) => {
                 Metrics::bump(&shared.metrics.cache_hits);
+                if let Some(trace) = request.trace.as_ref() {
+                    trace.record("cache-hit", String::new());
+                }
+                shared.metrics.note_e2e(submitted.elapsed());
                 Ok(JobHandle {
                     state: JobState::completed(Ok(result)),
                     source: ResponseSource::Cache,
                     submitted,
+                    trace: request.trace,
                 })
             }
             Lookup::Coalesce(in_flight) => {
                 Metrics::bump(&shared.metrics.coalesced);
+                if let Some(trace) = request.trace.as_ref() {
+                    trace.record("coalesced", String::new());
+                }
                 // The job serves this request too, so its effective
                 // deadline must be at least as lenient as this request's.
                 in_flight.relax_deadline(request.deadline);
@@ -416,6 +467,7 @@ impl SynthService {
                     state: in_flight,
                     source: ResponseSource::Coalesced,
                     submitted,
+                    trace: request.trace,
                 })
             }
             Lookup::Miss => {
@@ -424,6 +476,7 @@ impl SynthService {
                     key: key.clone(),
                     state: Arc::clone(&state),
                     submitted,
+                    trace: request.trace.clone(),
                 };
                 let pushed = if fail_fast {
                     shared.queue.try_push(request.priority, job)
@@ -445,10 +498,14 @@ impl SynthService {
                     });
                 }
                 Metrics::bump(&shared.metrics.enqueued);
+                if let Some(trace) = request.trace.as_ref() {
+                    trace.record("enqueued", String::new());
+                }
                 Ok(JobHandle {
                     state,
                     source: ResponseSource::Fresh,
                     submitted,
+                    trace: request.trace,
                 })
             }
         }
@@ -553,7 +610,7 @@ fn run_single(
     job: Job,
 ) {
     let waited = job.submitted.elapsed();
-    Metrics::add_duration(&shared.metrics.wait_ns, waited);
+    shared.metrics.note_wait(waited);
 
     let expired_in_queue = job.state.deadline().is_some_and(|d| Instant::now() >= d);
     let (outcome, ran) = if expired_in_queue {
@@ -572,20 +629,27 @@ fn run_single(
             .deadline()
             .map(|deadline| shared.watchdog.arm(deadline, token.clone()));
         let started = Instant::now();
-        let outcome = session.run(&job.spec);
+        let mut observer = TraceObserver::new(job.trace.as_ref());
+        let outcome = session.run_with(&job.spec, &mut observer);
         let ran = started.elapsed();
         if let Some(entry) = entry {
             Watchdog::disarm(&entry, token);
         }
         (outcome, ran)
     };
-    Metrics::add_duration(&shared.metrics.run_ns, ran);
+    shared.metrics.note_run(ran);
 
     match &outcome {
-        Ok(result) => shared.cache.complete(&job.key, result),
+        Ok(result) => {
+            shared.cache.complete(&job.key, result);
+            if let Some(trace) = job.trace.as_ref() {
+                trace.record("cache-append", String::new());
+            }
+        }
         Err(_) => shared.cache.forget(&job.key, &job.state),
     }
     shared.metrics.note_job(&outcome, expired_in_queue);
+    shared.metrics.note_e2e(job.submitted.elapsed());
     shared.metrics.set_worker_stats(index, *session.stats());
     job.state.complete(Completion {
         outcome,
@@ -613,13 +677,14 @@ fn run_fused_batch(shared: &Shared, index: usize, session: &mut SynthSession, ba
     // like on the single path: they must not hold a sweep slot.
     let mut members: Vec<FusedJob> = Vec::with_capacity(batch.len());
     for job in batch {
-        Metrics::add_duration(&shared.metrics.wait_ns, job.submitted.elapsed());
+        shared.metrics.note_wait(job.submitted.elapsed());
         if job.state.deadline().is_some_and(|d| Instant::now() >= d) {
             let outcome = Err(SynthesisError::Cancelled {
                 stats: SynthesisStats::default(),
             });
             shared.cache.forget(&job.key, &job.state);
             shared.metrics.note_job(&outcome, true);
+            shared.metrics.note_e2e(job.submitted.elapsed());
             job.state.complete(Completion {
                 outcome,
                 finished: Instant::now(),
@@ -646,28 +711,49 @@ fn run_fused_batch(shared: &Shared, index: usize, session: &mut SynthSession, ba
         .fused_requests
         .fetch_add(members.len() as u64, Ordering::Relaxed);
 
+    let batch_size = members.len();
+    for member in &members {
+        if let Some(trace) = member.job.trace.as_ref() {
+            trace.record("fused", format!("batch={batch_size}"));
+        }
+    }
+
     let started = Instant::now();
     let outcomes = {
         let requests: Vec<FusedRequest<'_>> = members
             .iter()
             .map(|member| FusedRequest::new(&member.job.spec).with_cancel(member.token.clone()))
             .collect();
-        session.run_fused(&requests)
+        let mut observers: Vec<TraceObserver<'_>> = members
+            .iter()
+            .map(|member| TraceObserver::new(member.job.trace.as_ref()))
+            .collect();
+        let mut dyn_observers: Vec<&mut dyn Observer> = observers
+            .iter_mut()
+            .map(|observer| observer as &mut dyn Observer)
+            .collect();
+        session.run_fused_with(&requests, &mut dyn_observers)
     };
     // The sweep is shared work: one wall-clock interval serves the whole
     // batch, so every member reports the same `ran`.
     let ran = started.elapsed();
-    Metrics::add_duration(&shared.metrics.run_ns, ran);
+    shared.metrics.note_run(ran);
 
     for (member, outcome) in members.into_iter().zip(outcomes) {
         if let Some(entry) = &member.entry {
             Watchdog::disarm(entry, &member.token);
         }
         match &outcome {
-            Ok(result) => shared.cache.complete(&member.job.key, result),
+            Ok(result) => {
+                shared.cache.complete(&member.job.key, result);
+                if let Some(trace) = member.job.trace.as_ref() {
+                    trace.record("cache-append", String::new());
+                }
+            }
             Err(_) => shared.cache.forget(&member.job.key, &member.job.state),
         }
         shared.metrics.note_job(&outcome, false);
+        shared.metrics.note_e2e(member.job.submitted.elapsed());
         member.job.state.complete(Completion {
             outcome,
             finished: Instant::now(),
