@@ -12,12 +12,13 @@ It asserts the `rei-bench/perf-v5` schema: kernel speedup tripwires, the
 SIMD kernel-tier section (`kernels.simd`: probe result recorded, scalar
 parity proven, dispatched-vs-scalar speedups floored at 1.0), the
 per-backend level-execution counters, the `service` section's
-(`rei-bench/service-v4`) cold / cache-warm / disk-warm-restart / fused
-passes with their sharded per-pool breakdown and client-side end-to-end
-latency percentiles (`service.latency`), and the TCP front-end
-passes of `service.net` (`rei-bench/service-net-v1`): concurrent
-connections, a cache-warm replay over the wire, and the rate-limited
-flood tenant.
+(`rei-bench/service-v5`) cold / cache-warm / disk-warm-restart / fused
+passes with their sharded per-pool breakdown, client-side end-to-end
+latency percentiles (`service.latency`) and the crash-recovery timings
+of `service.recovery` (serial vs parallel replay of a multi-segment
+write-ahead log), and the TCP front-end passes of `service.net`
+(`rei-bench/service-net-v1`): concurrent connections, a cache-warm
+replay over the wire, and the rate-limited flood tenant.
 """
 
 import json
@@ -106,9 +107,41 @@ def check_simd(report):
     )
 
 
+def check_recovery(service):
+    # Crash-recovery timings (service-v5): a fabricated multi-segment
+    # write-ahead log replayed with one thread versus one per core. Every
+    # record must survive the replay (the keys are unique), the workload
+    # must genuinely span segments, and on a multi-core runner the
+    # parallel replay must beat the serial one — that is the point of
+    # sharding recovery across threads.
+    recovery = service["recovery"]
+    assert recovery["records"] > 0, recovery
+    assert recovery["loaded"] == recovery["records"], recovery
+    assert recovery["segments"] >= 4, recovery
+    assert recovery["serial_seconds"] > 0.0, recovery
+    assert recovery["parallel_seconds"] > 0.0, recovery
+    assert recovery["rounds"] >= 3, recovery
+    assert 1 <= recovery["threads"] <= recovery["available_cores"], recovery
+    if recovery["available_cores"] >= 2:
+        assert recovery["threads"] >= 2, recovery
+        assert recovery["parallel_seconds"] < recovery["serial_seconds"], (
+            "parallel recovery lost to serial: "
+            f"{recovery['parallel_seconds']:.6f}s vs "
+            f"{recovery['serial_seconds']:.6f}s over "
+            f"{recovery['segments']} segments"
+        )
+    print(
+        f"service.recovery: {recovery['records']} records / "
+        f"{recovery['segments']} segments; serial "
+        f"{recovery['serial_seconds'] * 1e3:.2f}ms vs parallel "
+        f"{recovery['parallel_seconds'] * 1e3:.2f}ms on "
+        f"{recovery['threads']} threads ({recovery['speedup']:.2f}x)"
+    )
+
+
 def check_service(report):
     service = report["service"]
-    assert service["schema"] == "rei-bench/service-v4", service["schema"]
+    assert service["schema"] == "rei-bench/service-v5", service["schema"]
     # CI (and the documented regeneration recipe) runs `reproduce serve
     # --workers 4`; fewer workers here means the flag plumbing broke.
     assert service["workers"] >= 4, service
@@ -151,6 +184,7 @@ def check_service(report):
     for pool in pools:
         for key in ("pool", "submitted", "cache_hits", "coalesced", "completed", "workers"):
             assert key in pool, pool
+    check_recovery(service)
     print(
         f"service: cold {cold['wall_seconds']:.4f}s vs "
         f"warm {warm['wall_seconds']:.4f}s "

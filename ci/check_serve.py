@@ -28,6 +28,11 @@ Flags:
   --min-fused N        rollup jobs.fused_requests >= N, and strictly more
                        fused requests than fused batches (cross-request
                        batch fusion genuinely shared a level sweep)
+  --min-restart-hit-rate R
+                       at least fraction R of the result lines carry
+                       "source": "cache" (a restarted — or kill-9'd and
+                       recovered — server answers repeats from its
+                       persistent cache store)
 """
 
 import argparse
@@ -53,6 +58,7 @@ def parse_args():
     parser.add_argument("--max-enqueued", type=int)
     parser.add_argument("--min-disk-loaded", type=int)
     parser.add_argument("--min-fused", type=int)
+    parser.add_argument("--min-restart-hit-rate", type=float)
     return parser.parse_args()
 
 
@@ -130,6 +136,13 @@ def main():
         assert fused_requests > fused_batches, (
             f"fusion never shared a sweep: {fused_requests} requests "
             f"in {fused_batches} batches"
+        )
+    if args.min_restart_hit_rate is not None:
+        hits = sum(1 for l in lines if l.get("source") == "cache")
+        rate = hits / len(lines)
+        assert rate >= args.min_restart_hit_rate, (
+            f"restart hit rate {rate:.2f} ({hits}/{len(lines)} cache-served), "
+            f"expected >= {args.min_restart_hit_rate}"
         )
 
     print(f"{len(lines)} result lines ok ({', '.join(ids)})")

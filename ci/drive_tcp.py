@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Pipe a JSONL request file through a live `paresy serve --listen` server.
+
+The TCP analogue of `paresy serve < requests.jsonl`: opens one ordered
+connection, submits every request line, reads exactly one answer per
+request and prints the answers as JSONL on stdout — ready for
+`ci/check_serve.py`. CI's kill-9 crash-recovery pass uses it twice over
+one cache directory:
+
+    ./target/release/paresy serve --listen 127.0.0.1:0 \
+        --cache-dir cache --cache-roll-bytes 4096 > serve.log &
+    addr=$(sed -n 's/^listening on //p' serve.log)
+    python3 ci/drive_tcp.py "$addr" requests.jsonl > out1.jsonl
+    kill -9 %1                      # no graceful fold, tail segment only
+    # ... restart, replay, then:
+    python3 ci/drive_tcp.py "$addr" requests.jsonl --metrics --shutdown \
+        | python3 ci/check_serve.py --metrics --min-restart-hit-rate 0.9
+
+Flags:
+  --metrics    append the server's router-metrics snapshot as a final
+               line (the `metrics` verb)
+  --shutdown   send the `shutdown` verb after the answers and wait for
+               the server's graceful-drain EOF
+"""
+
+import argparse
+import json
+import socket
+import sys
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("addr", help="HOST:PORT from the server's 'listening on' line")
+    parser.add_argument("file", nargs="?", help="JSONL requests (default stdin)")
+    parser.add_argument("--metrics", action="store_true")
+    parser.add_argument("--shutdown", action="store_true")
+    parser.add_argument("--timeout", type=float, default=120.0, help="per-socket seconds")
+    args = parser.parse_args()
+
+    text = open(args.file).read() if args.file else sys.stdin.read()
+    requests = [line for line in text.splitlines() if line.strip()]
+    assert requests, "no request lines"
+
+    host, port = args.addr.rsplit(":", 1)
+    sock = socket.create_connection((host, int(port)), timeout=args.timeout)
+    reader = sock.makefile("r", encoding="utf-8")
+    for line in requests:
+        json.loads(line)  # refuse to send malformed input
+        sock.sendall((line + "\n").encode("utf-8"))
+    for _ in requests:
+        answer = reader.readline()
+        assert answer, "connection closed before every answer arrived"
+        print(answer, end="")
+
+    if args.metrics:
+        sock.sendall(b'{"op": "metrics"}\n')
+        snapshot = reader.readline()
+        assert snapshot, "connection closed before the metrics snapshot"
+        assert json.loads(snapshot).get("schema") == "rei-service/router-metrics-v1", snapshot
+        print(snapshot, end="")
+    if args.shutdown:
+        sock.sendall(b'{"op": "shutdown"}\n')
+        ack = json.loads(reader.readline())
+        assert ack.get("op") == "shutdown" and ack.get("status") == "ok", ack
+        assert reader.readline() == "", "expected EOF after shutdown drain"
+    sock.close()
+
+
+if __name__ == "__main__":
+    main()

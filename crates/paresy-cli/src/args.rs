@@ -93,6 +93,11 @@ pub struct ServeOptions {
     /// Directory the per-pool result caches persist to (`--cache-dir`);
     /// `None` keeps every cache in memory only.
     pub cache_dir: Option<String>,
+    /// Segment size at which the persistent cache's write-ahead log
+    /// rolls to a fresh file (`--cache-roll-bytes`); `None` keeps the
+    /// engine default. Small values force multi-segment stores, which
+    /// crash-recovery tests use to exercise parallel replay.
+    pub cache_roll_bytes: Option<u64>,
     /// Answer each request as it completes, tagged by id, instead of
     /// buffering until EOF and answering in request order (`--stream`).
     pub stream: bool,
@@ -131,6 +136,7 @@ impl Default for ServeOptions {
             sched_chunk: None,
             level_chunk_rows: None,
             cache_dir: None,
+            cache_roll_bytes: None,
             stream: false,
             metrics: false,
             listen: None,
@@ -197,7 +203,7 @@ USAGE:
                   [--sched-chunk ROWS] [--level-chunk-rows ROWS]
                   [--compare-baseline]
   paresy serve    [--workers N] [--pools N] [--queue N] [--cache N]
-                  [--cache-dir DIR] [--stream]
+                  [--cache-dir DIR] [--cache-roll-bytes N] [--stream]
                   [--listen ADDR] [--net-threads N]
                   [--metrics-addr ADDR] [--slo-ms MS] [--log-level LEVEL]
                   [--tenant NAME=WEIGHT,RATE,BURST,MAX_INFLIGHT]
@@ -229,8 +235,11 @@ as each completes, tagged by id, order not guaranteed). Identical
 requests are answered by the result cache or coalesced onto one
 in-flight synthesis. --pools shards requests across N pools by tenant
 key (spec fingerprint when absent); --cache-dir persists each pool's
-result cache to DIR/pool-K.jsonl and warms it on the next start, so a
-restarted server answers repeats without re-running syntheses.
+result cache to a segmented write-ahead log under DIR/pool-K/ and warms
+it on the next start — even after a crash or kill -9 — so a restarted
+server answers repeats without re-running syntheses.
+--cache-roll-bytes sets the segment size at which that log rolls to a
+fresh file (default 1 MiB; small values force multi-segment stores).
 --metrics appends a final metrics JSON line (router snapshot).
 
 --listen ADDR serves the same protocol over TCP instead of stdin
@@ -527,6 +536,19 @@ pub fn parse_args<S: AsRef<str>>(args: &[S]) -> Result<Command, CommandError> {
                     "--cache-dir" => {
                         options.cache_dir = Some(next_value(flag, &mut iter)?.to_string())
                     }
+                    "--cache-roll-bytes" => {
+                        options.cache_roll_bytes = Some(
+                            next_value(flag, &mut iter)?
+                                .parse()
+                                .ok()
+                                .filter(|n| *n >= 1)
+                                .ok_or_else(|| {
+                                    CommandError(
+                                        "--cache-roll-bytes expects a positive byte count".into(),
+                                    )
+                                })?,
+                        )
+                    }
                     "--stream" => options.stream = true,
                     "--metrics" => options.metrics = true,
                     "--listen" => options.listen = Some(next_value(flag, &mut iter)?.to_string()),
@@ -818,6 +840,8 @@ mod tests {
             "16",
             "--cache-dir",
             "/tmp/paresy-cache",
+            "--cache-roll-bytes",
+            "4096",
             "--stream",
             "--backend",
             "threads:2",
@@ -833,6 +857,7 @@ mod tests {
                 assert_eq!(options.queue_capacity, 8);
                 assert_eq!(options.cache_capacity, 16);
                 assert_eq!(options.cache_dir.as_deref(), Some("/tmp/paresy-cache"));
+                assert_eq!(options.cache_roll_bytes, Some(4096));
                 assert!(options.stream);
                 assert_eq!(
                     options.backend,
@@ -848,6 +873,8 @@ mod tests {
             vec!["serve", "--pools", "0"],
             vec!["serve", "--pools", "some"],
             vec!["serve", "--cache-dir"],
+            vec!["serve", "--cache-roll-bytes", "0"],
+            vec!["serve", "--cache-roll-bytes", "big"],
             vec!["serve", "--queue", "none"],
             vec!["serve", "--cache", "0"],
             vec!["serve", "--backend", "quantum"],

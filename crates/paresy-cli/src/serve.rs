@@ -33,10 +33,12 @@
 //! tagged by id, order no longer guaranteed — which is what long-lived
 //! clients pipelining requests want.
 //!
-//! With `--cache-dir DIR` each pool's result cache persists to
-//! `DIR/pool-K.jsonl`: completed results are appended as they happen and
-//! warm the cache of the next `paresy serve` over the same directory, so
-//! a restarted server answers repeats with `"source": "cache"` without
+//! With `--cache-dir DIR` each pool's result cache persists to a
+//! segmented write-ahead log under `DIR/pool-K/`: completed results are
+//! appended as they happen (rolling to a fresh segment every
+//! `--cache-roll-bytes`) and warm the cache of the next `paresy serve`
+//! over the same directory — even after a crash or `kill -9` — so a
+//! restarted server answers repeats with `"source": "cache"` without
 //! re-running any synthesis.
 //!
 //! Failed searches report `"status"` of `timeout` / `oom` / `not-found` /
@@ -47,8 +49,8 @@
 //! stdin (see [`rei_net`]): many concurrent connections, per-connection
 //! ordered/streaming answer modes, control verbs, per-tenant fair-share
 //! admission (`--tenant`, `--default-tenant`) and a graceful drain on
-//! Ctrl-C or the `shutdown` verb. The wire format itself lives in
-//! [`rei_net::protocol`], shared between both modes.
+//! Ctrl-C, SIGTERM or the `shutdown` verb. The wire format itself
+//! lives in [`rei_net::protocol`], shared between both modes.
 
 use std::collections::VecDeque;
 use std::io::{BufRead, Write};
@@ -56,9 +58,9 @@ use std::time::Duration;
 
 use rei_core::SynthConfig;
 use rei_net::protocol::{bad_request_line, parse_request, response_line};
-use rei_net::{install_sigint, NetConfig, NetServer};
+use rei_net::{install_shutdown_signals, NetConfig, NetServer};
 use rei_service::json::Json;
-use rei_service::{JobHandle, RouterConfig, ServiceConfig, ShardRouter};
+use rei_service::{JobHandle, RouterConfig, ServiceConfig, ShardRouter, WalOptions};
 
 use crate::args::ServeOptions;
 
@@ -95,10 +97,16 @@ fn synth_config(options: &ServeOptions) -> SynthConfig {
 /// Builds the shard router the flags describe: `--pools` identical pools
 /// of `--workers` workers each, persistent under `--cache-dir` when set.
 fn build_router(options: &ServeOptions) -> Result<ShardRouter, String> {
-    let service = ServiceConfig::new(options.workers)
+    let mut service = ServiceConfig::new(options.workers)
         .with_queue_capacity(options.queue_capacity)
         .with_cache_capacity(options.cache_capacity)
         .with_synth(synth_config(options));
+    if let Some(roll_bytes) = options.cache_roll_bytes {
+        service = service.with_wal(WalOptions {
+            roll_bytes,
+            ..WalOptions::default()
+        });
+    }
     let mut config = RouterConfig::identical(options.pools, service);
     if let Some(dir) = &options.cache_dir {
         config = config.with_cache_dir(dir);
@@ -295,7 +303,7 @@ pub fn run_serve_listen(options: &ServeOptions, mut out: impl Write) -> Result<(
             .and_then(|()| out.flush())
             .map_err(|err| format!("cannot write output: {err}"))?;
     }
-    install_sigint();
+    install_shutdown_signals();
     let snapshot = server.run()?;
     if options.metrics {
         emit(&mut out, &snapshot.to_json())?;

@@ -435,6 +435,16 @@ fn print_serve(
         report.replay_speedup(),
         report.restart_disk_loaded
     );
+    println!(
+        "recovery: {} records over {} segments — serial {:.1} ms, parallel {:.1} ms \
+         on {} threads ({:.1}x)\n",
+        report.recovery.records,
+        report.recovery.segments,
+        report.recovery.serial_seconds * 1e3,
+        report.recovery.parallel_seconds * 1e3,
+        report.recovery.threads,
+        report.recovery.speedup()
+    );
     let mut service = report.to_json_value();
     if let Some(net_threads) = listen_net_threads {
         service.set("net", print_net(config, workers, pools, net_threads));
@@ -498,19 +508,28 @@ fn print_net(config: &HarnessConfig, workers: usize, pools: usize, net_threads: 
     report.to_json_value()
 }
 
-/// Removes the serve experiment's `*.jsonl` shard files (and their
-/// compaction temporaries) from `dir`, leaving any unrelated content of
-/// a user-supplied directory alone.
+/// Removes the serve experiment's per-pool cache stores from `dir` —
+/// the `pool-K/` store directories (segmented write-ahead logs), the
+/// `recovery-bench/` scratch store, and any `*.jsonl`/`*.tmp` files a
+/// pre-WAL run left behind — leaving any unrelated content of a
+/// user-supplied directory alone.
 fn clear_cache_files(dir: &std::path::Path) {
     let Ok(entries) = std::fs::read_dir(dir) else {
         return;
     };
     for entry in entries.flatten() {
         let path = entry.path();
-        let jsonl = path
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        let pool_store = name
+            .strip_prefix("pool-")
+            .is_some_and(|tail| !tail.is_empty() && tail.bytes().all(|b| b.is_ascii_digit()));
+        if path.is_dir() && (pool_store || name == "recovery-bench") {
+            std::fs::remove_dir_all(&path).ok();
+        } else if path
             .extension()
-            .is_some_and(|ext| ext == "jsonl" || ext == "tmp");
-        if jsonl {
+            .is_some_and(|ext| ext == "jsonl" || ext == "tmp")
+        {
             std::fs::remove_file(&path).ok();
         }
     }

@@ -18,7 +18,9 @@ pub use figure1::{run_figure1, Figure1Row};
 pub use net::{run_net, NetConnection, NetPass, NetReport, FLOOD_BURST, NET_CONNECTIONS};
 pub use outliers::{outlier_distribution, OutlierRow, PAPER_THRESHOLDS};
 pub use perf::{run_perf, BackendPerfRow, KernelPerfRow, PerfReport};
-pub use serve::{run_serve, LatencySummary, PoolBreakdown, ServePass, ServeReport};
+pub use serve::{
+    run_recovery, run_serve, LatencySummary, PoolBreakdown, RecoveryBench, ServePass, ServeReport,
+};
 pub use table1::{run_table1, Table1Row};
 pub use table2::{run_table2, Table2Row};
 

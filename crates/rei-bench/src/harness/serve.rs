@@ -19,7 +19,13 @@
 //!   single-worker service — every request behind the first queues up, so
 //!   the worker drains them into fused level sweeps and the batch
 //!   counters prove cross-request fusion fired (`fused_requests` strictly
-//!   above `fused_batches`).
+//!   above `fused_batches`);
+//! * a **recovery pass** that fabricates a multi-segment write-ahead log
+//!   of synthetic records (small `roll_bytes`, as a crashed server would
+//!   leave behind) and times the read-only [`replay`] of it serially
+//!   (one thread) versus in parallel (one thread per core), minimum of
+//!   three rounds each — the number behind the claim that a restarted
+//!   server warms up faster than a serial log scan.
 //!
 //! The report lands in the `service` section of `BENCH_core.json` next to
 //! the kernel and backend baselines (see `reproduce serve`), including a
@@ -30,7 +36,8 @@ use std::time::{Duration, Instant};
 
 use rei_service::json::Json;
 use rei_service::{
-    RouterConfig, RouterSnapshot, ServiceConfig, ShardRouter, SynthRequest, SynthService,
+    replay, RouterConfig, RouterSnapshot, ServiceConfig, ShardRouter, SynthRequest, SynthService,
+    WalOptions, WalStore,
 };
 
 use crate::costs::REFERENCE;
@@ -188,6 +195,103 @@ impl FusedPass {
     }
 }
 
+/// Serial-versus-parallel recovery timings over a fabricated
+/// multi-segment write-ahead log (see [`run_recovery`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryBench {
+    /// Synthetic records written into the fabricated store.
+    pub records: u64,
+    /// Segment files the replay reads.
+    pub segments: usize,
+    /// Distinct records a recovery loads (all of them: keys are unique).
+    pub loaded: u64,
+    /// Best-of-rounds wall seconds of the one-thread replay.
+    pub serial_seconds: f64,
+    /// Best-of-rounds wall seconds of the one-thread-per-core replay.
+    pub parallel_seconds: f64,
+    /// Threads the parallel replay actually used.
+    pub threads: usize,
+    /// Cores the machine offered (`available_parallelism`).
+    pub available_cores: usize,
+    /// Timing rounds per mode (the minimum is reported).
+    pub rounds: usize,
+}
+
+impl RecoveryBench {
+    /// `serial_seconds / parallel_seconds` (0 when parallel is 0).
+    pub fn speedup(&self) -> f64 {
+        if self.parallel_seconds > 0.0 {
+            self.serial_seconds / self.parallel_seconds
+        } else {
+            0.0
+        }
+    }
+
+    fn to_json(self) -> Json {
+        Json::object([
+            ("records", Json::uint(self.records)),
+            ("segments", Json::uint(self.segments as u64)),
+            ("loaded", Json::uint(self.loaded)),
+            ("serial_seconds", Json::fixed(self.serial_seconds, 6)),
+            ("parallel_seconds", Json::fixed(self.parallel_seconds, 6)),
+            ("threads", Json::uint(self.threads as u64)),
+            ("available_cores", Json::uint(self.available_cores as u64)),
+            ("rounds", Json::uint(self.rounds as u64)),
+            ("speedup", Json::fixed(self.speedup(), 2)),
+        ])
+    }
+}
+
+/// Fabricates a store of `records` synthetic results spread over many
+/// small segments under `dir` (as a crashed server's unfolded history
+/// would look), then times the read-only [`replay`] of it with one
+/// thread versus one per core — the minimum of three rounds each, so a
+/// scheduling hiccup cannot fake a regression. The fabricated store is
+/// removed afterwards.
+pub fn run_recovery(dir: &Path, records: u64) -> RecoveryBench {
+    let root = dir.join("recovery-bench");
+    std::fs::remove_dir_all(&root).ok();
+    {
+        let (store, _) = WalStore::open(
+            &root,
+            "bench",
+            WalOptions {
+                roll_bytes: 16 * 1024,
+                ..WalOptions::default()
+            },
+        )
+        .expect("the recovery bench store opens");
+        for i in 0..records {
+            assert!(
+                store.append(&format!("bench-spec-{i:06}"), "(0+1)*", i % 17 + 1),
+                "fabricated append {i} failed"
+            );
+        }
+        store.seal();
+    }
+    let available = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let rounds = 3;
+    let time = |threads: usize| {
+        (0..rounds)
+            .map(|_| replay(&root, "bench", threads))
+            .min_by(|a, b| a.wall.cmp(&b.wall))
+            .expect("at least one round ran")
+    };
+    let serial = time(1);
+    let parallel = time(0);
+    std::fs::remove_dir_all(&root).ok();
+    RecoveryBench {
+        records,
+        segments: parallel.segments,
+        loaded: parallel.loaded,
+        serial_seconds: serial.wall.as_secs_f64(),
+        parallel_seconds: parallel.wall.as_secs_f64(),
+        threads: parallel.threads,
+        available_cores: available,
+        rounds,
+    }
+}
+
 /// The full serve-throughput report.
 #[derive(Debug, Clone)]
 pub struct ServeReport {
@@ -214,6 +318,9 @@ pub struct ServeReport {
     pub warm_latency: LatencySummary,
     /// The fused-batch pass through a standalone single-worker service.
     pub fused: FusedPass,
+    /// Serial-versus-parallel recovery timings over a fabricated
+    /// multi-segment write-ahead log.
+    pub recovery: RecoveryBench,
     /// Per-pool breakdown of the cold+warm router.
     pub pools: Vec<PoolBreakdown>,
 }
@@ -230,11 +337,13 @@ impl ServeReport {
 
     /// The `service` section merged into `BENCH_core.json`. v3 added the
     /// `fused` pass: cross-request batch-fusion counters from a
-    /// single-worker burst. v4 adds the `latency` section: exact
+    /// single-worker burst. v4 added the `latency` section: exact
     /// client-side end-to-end p50/p95/p99 of the cold and warm passes.
+    /// v5 adds the `recovery` section: serial-versus-parallel replay of
+    /// a fabricated multi-segment write-ahead log.
     pub fn to_json_value(&self) -> Json {
         Json::object([
-            ("schema", Json::str("rei-bench/service-v4")),
+            ("schema", Json::str("rei-bench/service-v5")),
             ("workers", Json::uint(self.workers as u64)),
             ("backend", Json::str(&self.backend)),
             ("queue_capacity", Json::uint(self.queue_capacity as u64)),
@@ -251,6 +360,7 @@ impl ServeReport {
                 ]),
             ),
             ("fused", self.fused.to_json()),
+            ("recovery", self.recovery.to_json()),
             ("replay_speedup", Json::fixed(self.replay_speedup(), 2)),
             (
                 "pools",
@@ -419,6 +529,14 @@ pub fn run_serve(
 
     let fused = run_fused_pass(config, rei_service::DEFAULT_FUSE_LIMIT);
 
+    // The fabricated recovery store lives (briefly) beside the pool
+    // stores; `pool-K` and `recovery-bench` never collide.
+    let recovery_records = match config.scale {
+        crate::harness::Scale::Quick => 5_000,
+        crate::harness::Scale::Full => 40_000,
+    };
+    let recovery = run_recovery(cache_dir, recovery_records);
+
     ServeReport {
         workers,
         backend,
@@ -431,6 +549,7 @@ pub fn run_serve(
         cold_latency,
         warm_latency,
         fused,
+        recovery,
         pools: pools_breakdown,
     }
 }
@@ -516,6 +635,29 @@ mod tests {
         assert_eq!(report.pools.len(), 2);
         let submitted: u64 = report.pools.iter().map(|p| p.submitted).sum();
         assert_eq!(submitted, report.cold.submitted + report.warm.submitted);
+        // The recovery pass replayed a genuinely multi-segment store and
+        // loaded every fabricated record, in both modes.
+        assert!(report.recovery.segments >= 4, "{:?}", report.recovery);
+        assert_eq!(report.recovery.loaded, report.recovery.records);
+        assert!(report.recovery.serial_seconds > 0.0);
+        assert!(report.recovery.parallel_seconds > 0.0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn the_recovery_bench_cleans_up_and_uses_every_core() {
+        let dir = temp_cache_dir("recovery");
+        std::fs::create_dir_all(&dir).unwrap();
+        let bench = run_recovery(&dir, 2_000);
+        assert_eq!(bench.records, 2_000);
+        assert_eq!(bench.loaded, 2_000, "unique keys all survive the merge");
+        assert!(bench.segments >= 4, "{bench:?}");
+        assert!(bench.threads >= 1 && bench.threads <= bench.available_cores);
+        assert!(bench.rounds == 3);
+        assert!(
+            !dir.join("recovery-bench").exists(),
+            "the fabricated store is removed"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -559,6 +701,16 @@ mod tests {
                 fused_batches: 2,
                 fused_requests: 4,
             },
+            recovery: RecoveryBench {
+                records: 5000,
+                segments: 12,
+                loaded: 5000,
+                serial_seconds: 0.040,
+                parallel_seconds: 0.010,
+                threads: 4,
+                available_cores: 8,
+                rounds: 3,
+            },
             pools: vec![
                 PoolBreakdown {
                     name: "pool-0".into(),
@@ -581,7 +733,15 @@ mod tests {
         let json = report.to_json_value();
         assert_eq!(
             json.get("schema").and_then(Json::as_str),
-            Some("rei-bench/service-v4")
+            Some("rei-bench/service-v5")
+        );
+        let recovery = json.get("recovery").unwrap();
+        assert_eq!(recovery.get("records").and_then(Json::as_u64), Some(5000));
+        assert_eq!(recovery.get("segments").and_then(Json::as_u64), Some(12));
+        assert_eq!(recovery.get("speedup").and_then(Json::as_f64), Some(4.0));
+        assert_eq!(
+            recovery.get("available_cores").and_then(Json::as_u64),
+            Some(8)
         );
         let latency = json.get("latency").unwrap();
         assert_eq!(

@@ -28,8 +28,9 @@
 //! Everything is threads, mutexes and condvars — no async runtime, like
 //! the rest of the workspace. The [`protocol`] module holds the wire
 //! format (shared with the CLI's stdin serve mode); [`NetServer`] is the
-//! listener; [`install_sigint`] turns Ctrl-C into the same graceful
-//! drain the `shutdown` control verb performs.
+//! listener; [`install_shutdown_signals`] turns Ctrl-C and an
+//! orchestrator's SIGTERM into the same graceful drain the `shutdown`
+//! control verb performs.
 //!
 //! # Example
 //!
@@ -67,4 +68,4 @@ mod server;
 mod signal;
 
 pub use server::{NetConfig, NetServer};
-pub use signal::{install_sigint, sigint_tripped};
+pub use signal::{install_shutdown_signals, install_sigint, shutdown_tripped, sigint_tripped};

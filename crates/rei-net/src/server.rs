@@ -20,7 +20,7 @@ use crate::protocol::{
     bad_request_line, parse_line, rejected_line, response_line, trace_line, verb_ok_line,
     AnswerMode, Input, Verb,
 };
-use crate::signal::sigint_tripped;
+use crate::signal::shutdown_tripped;
 
 /// How long blocked loops sleep between polls of their stop conditions:
 /// the accept loop between accept attempts, the handler dispatch between
@@ -105,9 +105,11 @@ impl NetConfig {
 /// A TCP JSONL front-end over a [`ShardRouter`] (see the crate docs).
 ///
 /// Bind with [`bind`](NetServer::bind), then [`run`](NetServer::run) the
-/// accept loop until a `shutdown` control verb, Ctrl-C (when
-/// [`install_sigint`](crate::install_sigint) was called), or a trip of
-/// the [`stop_flag`](NetServer::stop_flag) drains it.
+/// accept loop until a `shutdown` control verb, a shutdown signal —
+/// SIGINT or SIGTERM, when
+/// [`install_shutdown_signals`](crate::install_shutdown_signals) was
+/// called — or a trip of the [`stop_flag`](NetServer::stop_flag) drains
+/// it.
 pub struct NetServer {
     listener: TcpListener,
     addr: SocketAddr,
@@ -247,7 +249,7 @@ impl NetServer {
         });
 
         while !self.stop.load(Ordering::SeqCst) {
-            if sigint_tripped() {
+            if shutdown_tripped() {
                 self.stop.store(true, Ordering::SeqCst);
                 break;
             }
@@ -261,7 +263,7 @@ impl NetServer {
                         match dispatch.try_send(stream) {
                             Ok(()) => break,
                             Err(TrySendError::Full(back)) => {
-                                if self.stop.load(Ordering::SeqCst) || sigint_tripped() {
+                                if self.stop.load(Ordering::SeqCst) || shutdown_tripped() {
                                     break; // dropping the stream closes it
                                 }
                                 stream = back;

@@ -1,0 +1,345 @@
+//! Folding history into a checkpoint: the crash-safe compaction step.
+//!
+//! A *fold* snapshots the cache's live records, writes them to a fresh
+//! `checkpoint.NNNNN.jsonl` (tmp + fsync + rename + dir-fsync), starts an
+//! empty tail segment, then publishes a manifest whose live set is just
+//! `{checkpoint, tail}`. Only after that publish are the folded files
+//! deleted. Every crash window therefore leaves one of two valid states:
+//! the old manifest with the old files (plus removable orphans), or the
+//! new manifest with the new files — never a manifest naming a
+//! half-written file.
+//!
+//! The fold is also where the disk **eviction bound** is enforced: with
+//! [`WalOptions::disk_cap_bytes`](super::WalOptions) set, records are
+//! dropped least-recently-hit first until the checkpoint fits the cap.
+
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::Path;
+use std::sync::atomic::Ordering;
+
+use super::segment::{checkpoint_path, segment_path, sync_dir, Manifest, WalStore};
+use crate::failpoint;
+
+/// What one fold did; consumed by logs and gauges.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct FoldStats {
+    /// Records written into the checkpoint.
+    pub kept: u64,
+    /// Records dropped by the disk cap (least-recently-hit first).
+    pub evicted: u64,
+    /// Live disk bytes after the fold (checkpoint + empty tail).
+    pub disk_bytes: u64,
+}
+
+impl WalStore {
+    /// Folds all live history into a new checkpoint and resets the store
+    /// to `{checkpoint, empty tail}`.
+    ///
+    /// `live` produces the cache's current records — each a rendered
+    /// line plus its last-hit tick — and is called *under the store
+    /// lock*, so no append can interleave between the snapshot and the
+    /// swap. Callers must not touch the store from inside the closure.
+    ///
+    /// Returns `None` when the fold did not complete (the store is dead,
+    /// or an I/O step failed — the previous manifest remains live and
+    /// intact either way).
+    pub(crate) fn fold<F>(&self, live: F) -> Option<FoldStats>
+    where
+        F: FnOnce() -> Vec<(String, u64)>,
+    {
+        let mut inner = self.lock_inner();
+        if inner.dead {
+            return None;
+        }
+        let mut lines = live();
+        // Oldest hit first, so the eviction cut below drops the coldest.
+        lines.sort_by_key(|&(_, last_hit)| last_hit);
+        let mut total: u64 = lines.iter().map(|(line, _)| line.len() as u64 + 1).sum();
+        let mut evicted = 0u64;
+        if let Some(cap) = self.options.disk_cap_bytes {
+            let mut cut = 0;
+            while total > cap && cut < lines.len() {
+                total -= lines[cut].0.len() as u64 + 1;
+                cut += 1;
+            }
+            evicted = cut as u64;
+            lines.drain(..cut);
+        }
+        let kept = lines.len() as u64;
+
+        let ckpt_id = inner.manifest.next;
+        let ckpt = checkpoint_path(&self.root, ckpt_id);
+        let tmp = self.root.join(format!(
+            "{}.tmp",
+            ckpt.file_name()
+                .and_then(|n| n.to_str())
+                .unwrap_or("checkpoint")
+        ));
+        let checkpoint_bytes = match write_synced(&tmp, &lines) {
+            Ok(bytes) => bytes,
+            Err(err) => {
+                warn_fold("cannot write checkpoint", &err);
+                let _ = fs::remove_file(&tmp);
+                return None;
+            }
+        };
+        if failpoint::cut("cache.checkpoint.rename") {
+            inner.dead = true;
+            return None;
+        }
+        if let Err(err) = fs::rename(&tmp, &ckpt).and_then(|()| sync_dir(&self.root)) {
+            warn_fold("cannot publish checkpoint", &err);
+            let _ = fs::remove_file(&tmp);
+            return None;
+        }
+        if failpoint::cut("cache.checkpoint.manifest") {
+            inner.dead = true;
+            return None;
+        }
+
+        // Fresh tail after the checkpoint, then the manifest swap that
+        // makes both live in one atomic step.
+        let tail_id = ckpt_id + 1;
+        let tail_path = segment_path(&self.root, tail_id);
+        let tail = match fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&tail_path)
+        {
+            Ok(file) => file,
+            Err(err) => {
+                warn_fold("cannot create post-checkpoint tail", &err);
+                let _ = fs::remove_file(&ckpt);
+                return None;
+            }
+        };
+        let folded = inner.manifest.clone();
+        let manifest = Manifest {
+            checkpoint: Some(ckpt_id),
+            segments: vec![tail_id],
+            next: tail_id + 1,
+        };
+        if let Err(err) = manifest.store(&self.root) {
+            warn_fold("cannot publish post-fold manifest", &err);
+            let _ = fs::remove_file(&ckpt);
+            let _ = fs::remove_file(&tail_path);
+            return None;
+        }
+        inner.manifest = manifest;
+        inner.tail = tail;
+        inner.tail_bytes = 0;
+        self.checkpoints.fetch_add(1, Ordering::Relaxed);
+        self.evicted.fetch_add(evicted, Ordering::Relaxed);
+        self.bytes.store(checkpoint_bytes, Ordering::Relaxed);
+
+        // Retire the folded files last. A crash here only leaves
+        // orphans, which the next open deletes; their content is fully
+        // contained in the checkpoint.
+        if failpoint::cut("cache.compact.remove") {
+            inner.dead = true;
+        } else {
+            for path in folded.live_files(&self.root) {
+                let _ = fs::remove_file(&path);
+            }
+        }
+        Some(FoldStats {
+            kept,
+            evicted,
+            disk_bytes: checkpoint_bytes,
+        })
+    }
+}
+
+/// Writes `lines` to `path` and `fsync`s it — the "compacted file can't
+/// be empty after power loss" fix: `fs::write` alone never syncs.
+fn write_synced(path: &Path, lines: &[(String, u64)]) -> io::Result<u64> {
+    let mut file = fs::File::create(path)?;
+    let mut bytes = 0u64;
+    for (line, _) in lines {
+        file.write_all(line.as_bytes())?;
+        file.write_all(b"\n")?;
+        bytes += line.len() as u64 + 1;
+    }
+    file.sync_all()?;
+    Ok(bytes)
+}
+
+fn warn_fold(message: &str, err: &io::Error) {
+    rei_obs::log::warn("cache", message, &[("error", err.to_string())]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::recovery::replay;
+    use super::super::segment::{WalOptions, WalStore, MANIFEST_FILE};
+    use super::super::test_support::*;
+
+    #[test]
+    fn fold_replaces_history_with_a_checkpoint_and_empty_tail() {
+        let root = temp_root("fold");
+        let (store, _) = WalStore::open(
+            &root,
+            "cfg",
+            WalOptions {
+                roll_bytes: 128,
+                ..WalOptions::default()
+            },
+        )
+        .unwrap();
+        for i in 0..10 {
+            assert!(store.append(&format!("spec-{i}"), "0*", i));
+        }
+        let before = store.segment_count();
+        assert!(before >= 3);
+        let live: Vec<(String, u64)> = (0..10)
+            .map(|i| {
+                (
+                    super::super::segment::line_of(&format!("spec-{i}"), "cfg", "0*", i),
+                    i,
+                )
+            })
+            .collect();
+        let stats = store.fold(move || live).expect("fold completes");
+        assert_eq!(stats.kept, 10);
+        assert_eq!(stats.evicted, 0);
+        assert_eq!(store.segment_count(), 1, "only the fresh tail remains");
+        assert_eq!(store.disk_stats().checkpoints, 1);
+        // The folded segment files are gone; replay sees checkpoint+tail.
+        let report = replay(&root, "cfg", 1);
+        assert!(report.checkpoint);
+        assert_eq!(report.segments, 1);
+        assert_eq!(report.loaded, 10);
+        cleanup(&root);
+    }
+
+    #[test]
+    fn the_disk_cap_evicts_least_recently_hit_first() {
+        let root = temp_root("evict");
+        let line = |i: u64| {
+            (
+                super::super::segment::line_of(&format!("spec-{i}"), "cfg", "0*", i),
+                i, // last-hit tick: higher = hotter
+            )
+        };
+        let lines: Vec<(String, u64)> = (0..10).map(line).collect();
+        let keep_bytes: u64 = lines[5..].iter().map(|(l, _)| l.len() as u64 + 1).sum();
+        let (store, _) = WalStore::open(
+            &root,
+            "cfg",
+            WalOptions {
+                disk_cap_bytes: Some(keep_bytes),
+                ..WalOptions::default()
+            },
+        )
+        .unwrap();
+        for i in 0..10 {
+            assert!(store.append(&format!("spec-{i}"), "0*", i));
+        }
+        let stats = store.fold(move || lines).expect("fold completes");
+        assert_eq!(stats.evicted, 5, "the five coldest records are dropped");
+        assert!(stats.disk_bytes <= keep_bytes);
+        assert_eq!(store.disk_stats().evicted, 5);
+        let report = replay(&root, "cfg", 1);
+        assert_eq!(report.loaded, 5);
+        cleanup(&root);
+    }
+
+    #[test]
+    fn a_failed_fold_leaves_the_previous_manifest_live() {
+        let root = temp_root("foldfail");
+        let (store, _) = WalStore::open(&root, "cfg", WalOptions::default()).unwrap();
+        assert!(store.append("spec-a", "0*", 1));
+        // Make the root unwritable for new files by pre-creating the
+        // checkpoint tmp as a directory: File::create fails, fold aborts.
+        let manifest = super::super::segment::Manifest::load(&root)
+            .unwrap()
+            .unwrap();
+        let tmp = root.join(format!("checkpoint.{:05}.jsonl.tmp", manifest.next));
+        std::fs::create_dir(&tmp).unwrap();
+        assert!(store.fold(Vec::new).is_none(), "the fold reports failure");
+        std::fs::remove_dir(&tmp).unwrap();
+        assert!(root.join(MANIFEST_FILE).exists());
+        let report = replay(&root, "cfg", 1);
+        assert_eq!(report.loaded, 1, "the old files still carry the record");
+        // The store is not dead: appends and a later fold still work.
+        assert!(store.append("spec-b", "0*", 2));
+        cleanup(&root);
+    }
+}
+
+#[cfg(all(test, feature = "failpoints"))]
+mod failpoint_tests {
+    use super::super::recovery::replay;
+    use super::super::segment::{Manifest, WalOptions, WalStore};
+    use super::super::test_support::*;
+    use crate::failpoint;
+
+    /// Crash the fold at every cut point in turn; after each "crash" the
+    /// manifest must reference only fully-written files and recovery must
+    /// load every acknowledged record.
+    #[test]
+    fn a_crash_anywhere_inside_the_fold_loses_nothing() {
+        let root = temp_root("fp-fold");
+        for point in [
+            "cache.checkpoint.rename",
+            "cache.checkpoint.manifest",
+            "cache.compact.remove",
+        ] {
+            let sub = root.join(point.replace('.', "-"));
+            let lines: Vec<(String, u64)> = (0..6)
+                .map(|i| {
+                    (
+                        super::super::segment::line_of(&format!("spec-{i}"), "cfg", "0*", i),
+                        i,
+                    )
+                })
+                .collect();
+            {
+                let (store, _) = WalStore::open(&sub, "cfg", WalOptions::default()).unwrap();
+                for i in 0..6 {
+                    assert!(store.append(&format!("spec-{i}"), "0*", i));
+                }
+                failpoint::arm(point, 1);
+                let folded = store.fold(move || lines);
+                failpoint::clear();
+                if point == "cache.compact.remove" {
+                    assert!(folded.is_some(), "the fold published before the crash");
+                } else {
+                    assert!(folded.is_none(), "the fold crashed before publishing");
+                }
+                // The "process" is dead from here; drop without joining.
+            }
+            // The manifest on disk must only name fully-written files.
+            let manifest = Manifest::load(&sub)
+                .unwrap()
+                .expect("a manifest survives every crash window");
+            for path in manifest.live_files(&sub) {
+                assert!(
+                    path.exists(),
+                    "{point}: manifest references missing {}",
+                    path.display()
+                );
+            }
+            for entry in std::fs::read_dir(&sub).unwrap().flatten() {
+                let name = entry.file_name().to_string_lossy().into_owned();
+                assert!(
+                    !name.ends_with(".tmp") || !manifest_names(&manifest, &name),
+                    "{point}: manifest references half-written {name}"
+                );
+            }
+            // And recovery loads all six acknowledged records.
+            let report = replay(&sub, "cfg", 2);
+            assert_eq!(report.loaded, 6, "no record lost at {point}");
+            assert_eq!(report.skipped_corrupt, 0);
+        }
+        cleanup(&root);
+    }
+
+    fn manifest_names(manifest: &Manifest, name: &str) -> bool {
+        manifest
+            .live_files(std::path::Path::new(""))
+            .iter()
+            .any(|p| p.file_name().is_some_and(|n| n.to_string_lossy() == name))
+    }
+}

@@ -1,0 +1,499 @@
+//! The result cache: in-flight request coalescing plus an optional
+//! crash-safe storage engine underneath.
+//!
+//! Keyed by the canonical identity of a request: the specification's
+//! canonical encoding ([`Spec::canonicalize`]) plus the service
+//! configuration's wire string — two requests with the same key are
+//! guaranteed to produce interchangeable results (same minimal cost under
+//! the same cost function, backend and budgets). The 64-bit
+//! [`Spec::fingerprint`] rides along for logs and metrics, but lookups
+//! compare the full canonical form, so hash collisions can never serve a
+//! wrong result.
+//!
+//! Each slot is either `Done` (a completed, successful synthesis — served
+//! to later requests without a new run) or `InFlight` (a queued or running
+//! job — later identical requests attach to its [`JobState`] instead of
+//! enqueuing duplicate work: N concurrent identical requests trigger one
+//! synthesis and N responses). Failed runs are *not* cached: a timeout or
+//! deadline expiry is a property of that request's budget, not of the
+//! specification.
+//!
+//! # Persistence
+//!
+//! A cache built with [`ResultCache::persistent`] spills every completed
+//! result into a **segmented write-ahead log** rooted at a directory (see
+//! DESIGN.md "Durability"): appends go to the newest `NNNNN.jsonl`
+//! segment and roll to a fresh one — fsync on seal — at a size
+//! threshold, a `MANIFEST.json` (written tmp+rename) names the live
+//! files, sealed segments are periodically folded into a
+//! `checkpoint.NNNNN.jsonl` by a background janitor that also enforces a
+//! least-recently-hit disk byte cap, and recovery replays the checkpoint
+//! plus segments on multiple threads (last record wins). A torn tail can
+//! only ever corrupt the newest segment's final record; everything else
+//! is either sealed-and-synced or checkpointed behind an atomic rename.
+//!
+//! The submodules split the storage engine along those lines:
+//! [`segment`] (record/segment/manifest formats and the append path),
+//! [`checkpoint`] (the crash-safe fold), [`recovery`] (parallel replay)
+//! and [`compact`] (the janitor and the eviction policy).
+
+mod checkpoint;
+mod compact;
+mod recovery;
+mod segment;
+
+pub(crate) use compact::Janitor;
+pub use recovery::{replay, RecoveryReport};
+pub use segment::{WalOptions, WalStore};
+
+use std::collections::{HashMap, VecDeque};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+use rei_core::{SynthConfig, SynthesisResult};
+use rei_lang::Spec;
+
+use crate::request::JobState;
+use segment::Record;
+
+/// The canonical identity of a request (see the module docs).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    spec: String,
+    config: String,
+    fingerprint: u64,
+}
+
+impl CacheKey {
+    /// Builds the key for `spec` under a service configuration.
+    pub fn new(spec: &Spec, config: &SynthConfig) -> Self {
+        CacheKey {
+            spec: spec.canonicalize(),
+            config: config.to_string(),
+            fingerprint: spec.fingerprint(),
+        }
+    }
+
+    /// Rebuilds a key from a *stored* canonical encoding and config wire
+    /// string (a persisted cache record); the fingerprint is recomputed
+    /// with the same stable hash a live [`Spec`] would produce.
+    pub(crate) fn from_parts(spec: String, config: String) -> Self {
+        let fingerprint = rei_lang::fnv1a(spec.as_bytes());
+        CacheKey {
+            spec,
+            config,
+            fingerprint,
+        }
+    }
+
+    /// The specification's canonical encoding.
+    pub(crate) fn spec(&self) -> &str {
+        &self.spec
+    }
+
+    /// The configuration wire string the key was built under.
+    pub(crate) fn config(&self) -> &str {
+        &self.config
+    }
+
+    /// The specification's stable 64-bit fingerprint (for logs/metrics).
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+}
+
+/// What the cache knows about a key.
+#[derive(Debug)]
+pub(crate) enum Slot {
+    /// A job for this key is queued or running; identical requests attach
+    /// to its completion state.
+    InFlight(Arc<JobState>),
+    /// A successful synthesis completed; the result is served directly.
+    /// `last_hit` is the cache-local clock tick of the most recent hit
+    /// (or the completion itself) — the disk eviction order.
+    Done {
+        result: SynthesisResult,
+        last_hit: u64,
+    },
+}
+
+/// The outcome of a cache lookup performed at submission time.
+#[derive(Debug)]
+pub(crate) enum Lookup {
+    /// No entry: the caller owns the miss and must enqueue a fresh job
+    /// (an `InFlight` slot with the returned state was installed).
+    Miss,
+    /// An identical job is in flight; share its state.
+    Coalesce(Arc<JobState>),
+    /// A completed result was found.
+    Hit(SynthesisResult),
+}
+
+#[derive(Debug, Default)]
+struct CacheState {
+    map: HashMap<CacheKey, Slot>,
+    /// Completion order of `Done` keys, for FIFO eviction.
+    done_order: VecDeque<CacheKey>,
+    /// A monotone clock bumped on every completion and cache hit; `Done`
+    /// slots stamp their `last_hit` from it.
+    tick: u64,
+}
+
+/// Point-in-time disk gauges of a persistent cache, for the metrics
+/// snapshot.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct DiskStats {
+    /// Live bytes on disk (checkpoint + segments).
+    pub bytes: u64,
+    /// Live segment files (sealed plus the active tail).
+    pub segments: u64,
+    /// Records dropped after exhausting append retries.
+    pub append_errors: u64,
+    /// Records evicted from disk by the byte cap.
+    pub evicted: u64,
+    /// Checkpoint folds completed.
+    pub checkpoints: u64,
+}
+
+/// The concurrent result cache (see the module docs).
+#[derive(Debug)]
+pub(crate) struct ResultCache {
+    state: Mutex<CacheState>,
+    capacity: usize,
+    store: Option<WalStore>,
+}
+
+impl ResultCache {
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "cache capacity must be positive");
+        ResultCache {
+            state: Mutex::new(CacheState::default()),
+            capacity,
+            store: None,
+        }
+    }
+
+    /// A cache backed by the segmented store rooted at the directory
+    /// `root`: recovery warms the in-memory cache (up to `capacity`, FIFO
+    /// beyond it), completed results are appended to the tail segment,
+    /// and [`maintain`](ResultCache::maintain) /
+    /// [`compact`](ResultCache::compact) fold history into checkpoints.
+    ///
+    /// Content problems (corrupt records, foreign configs, a torn tail)
+    /// degrade to a colder start with a warning; only an uncreatable or
+    /// unwritable directory is an error.
+    pub fn persistent(
+        capacity: usize,
+        root: &Path,
+        config: &SynthConfig,
+        options: WalOptions,
+    ) -> Result<(Self, RecoveryReport), String> {
+        let (store, records, mut report) =
+            WalStore::open_with_records(root, &config.to_string(), options)?;
+        let cache = ResultCache {
+            state: Mutex::new(CacheState::default()),
+            capacity,
+            store: Some(store),
+        };
+        {
+            let mut state = cache.lock();
+            for record in records {
+                insert_done(&mut state, capacity, &record.key, &record.result);
+            }
+            // Count what is actually resident: records beyond capacity
+            // were FIFO-evicted during the warm-up and did not warm
+            // anything.
+            report.loaded = state.done_order.len() as u64;
+        }
+        Ok((cache, report))
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, CacheState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Disk gauges of the persistent store, `None` for in-memory caches.
+    pub fn disk_stats(&self) -> Option<DiskStats> {
+        self.store.as_ref().map(WalStore::disk_stats)
+    }
+
+    /// Submission-time lookup. On a miss, atomically installs an
+    /// `InFlight` slot with `state` so concurrent identical submissions
+    /// coalesce onto it. A hit refreshes the entry's recency (the disk
+    /// eviction order is least-recently-hit first).
+    pub fn lookup_or_reserve(&self, key: &CacheKey, state: &Arc<JobState>) -> Lookup {
+        let mut cache = self.lock();
+        cache.tick += 1;
+        let tick = cache.tick;
+        match cache.map.get_mut(key) {
+            Some(Slot::Done { result, last_hit }) => {
+                *last_hit = tick;
+                Lookup::Hit(result.clone())
+            }
+            Some(Slot::InFlight(in_flight)) => Lookup::Coalesce(Arc::clone(in_flight)),
+            None => {
+                cache
+                    .map
+                    .insert(key.clone(), Slot::InFlight(Arc::clone(state)));
+                Lookup::Miss
+            }
+        }
+    }
+
+    /// Records a successful synthesis for `key`, replacing its `InFlight`
+    /// slot and evicting the oldest completed entry beyond capacity. A
+    /// persistent cache also appends the result to its tail segment
+    /// (retrying transient I/O errors with bounded backoff before
+    /// dropping the record with a warning).
+    pub fn complete(&self, key: &CacheKey, result: &SynthesisResult) {
+        {
+            let mut cache = self.lock();
+            insert_done(&mut cache, self.capacity, key, result);
+        }
+        if let Some(store) = &self.store {
+            store.append_record(&Record {
+                key: key.clone(),
+                result: result.clone(),
+            });
+        }
+    }
+
+    /// Drops the reservation of a failed job so later identical requests
+    /// run fresh. Only removes the slot if it is still the in-flight
+    /// reservation of `state` (a later fresh job may have re-reserved).
+    pub fn forget(&self, key: &CacheKey, state: &Arc<JobState>) {
+        let mut cache = self.lock();
+        if let Some(Slot::InFlight(in_flight)) = cache.map.get(key) {
+            if Arc::ptr_eq(in_flight, state) {
+                cache.map.remove(key);
+            }
+        }
+    }
+
+    /// Number of completed results currently cached. `done_order` keys
+    /// are 1:1 with `Done` slots (completion pushes both, eviction pops
+    /// both, `forget` touches neither), so this is O(1).
+    pub fn entries(&self) -> usize {
+        let cache = self.lock();
+        debug_assert_eq!(
+            cache.done_order.len(),
+            cache
+                .map
+                .values()
+                .filter(|slot| matches!(slot, Slot::Done { .. }))
+                .count()
+        );
+        cache.done_order.len()
+    }
+
+    /// Maximum number of completed results kept.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The live completed entries as persisted lines paired with their
+    /// recency tick, oldest completion first — the checkpoint fold's
+    /// input. Called by [`WalStore::fold`] *under the store lock*, so no
+    /// append can slip between this snapshot and the manifest swap.
+    fn live_lines(&self) -> Vec<(String, u64)> {
+        let state = self.lock();
+        state
+            .done_order
+            .iter()
+            .filter_map(|key| match state.map.get(key) {
+                Some(Slot::Done { result, last_hit }) => Some((
+                    Record {
+                        key: key.clone(),
+                        result: result.clone(),
+                    }
+                    .to_line(),
+                    *last_hit,
+                )),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+/// Installs a `Done` slot, evicting the oldest completed entry beyond
+/// `capacity` (shared by completion and the disk warm-up).
+fn insert_done(state: &mut CacheState, capacity: usize, key: &CacheKey, result: &SynthesisResult) {
+    state.tick += 1;
+    let tick = state.tick;
+    state.map.insert(
+        key.clone(),
+        Slot::Done {
+            result: result.clone(),
+            last_hit: tick,
+        },
+    );
+    state.done_order.push_back(key.clone());
+    while state.done_order.len() > capacity {
+        let oldest = state.done_order.pop_front().expect("len checked");
+        // Only evict if the slot still belongs to that completion: a
+        // key can re-enter in-flight after an eviction of its own.
+        if matches!(state.map.get(&oldest), Some(Slot::Done { .. })) {
+            state.map.remove(&oldest);
+        }
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    //! Shared helpers for the storage-engine test modules.
+
+    use super::*;
+
+    pub fn key(positive: &str) -> CacheKey {
+        let spec = Spec::from_strs([positive], []).unwrap();
+        CacheKey::new(&spec, &SynthConfig::default())
+    }
+
+    pub fn result(cost: u64) -> SynthesisResult {
+        SynthesisResult {
+            regex: rei_syntax::Regex::Epsilon,
+            cost,
+            stats: Default::default(),
+        }
+    }
+
+    pub fn temp_root(tag: &str) -> std::path::PathBuf {
+        let root =
+            std::env::temp_dir().join(format!("rei-cache-test-{}-{tag}", std::process::id()));
+        std::fs::remove_dir_all(&root).ok();
+        root
+    }
+
+    pub fn cleanup(root: &Path) {
+        std::fs::remove_dir_all(root).ok();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_support::*;
+    use super::*;
+    use rei_syntax::CostFn;
+
+    #[test]
+    fn key_depends_on_spec_and_config() {
+        let spec = Spec::from_strs(["10", "1"], ["0"]).unwrap();
+        let reordered = Spec::from_strs(["1", "10"], ["0"]).unwrap();
+        let config = SynthConfig::default();
+        assert_eq!(
+            CacheKey::new(&spec, &config),
+            CacheKey::new(&reordered, &config)
+        );
+        assert_eq!(
+            CacheKey::new(&spec, &config).fingerprint(),
+            spec.fingerprint()
+        );
+        let other_config = SynthConfig::new(CostFn::new(1, 2, 3, 4, 5));
+        assert_ne!(
+            CacheKey::new(&spec, &config),
+            CacheKey::new(&spec, &other_config)
+        );
+        let other_spec = Spec::from_strs(["10"], ["0"]).unwrap();
+        assert_ne!(
+            CacheKey::new(&spec, &config),
+            CacheKey::new(&other_spec, &config)
+        );
+    }
+
+    #[test]
+    fn miss_reserves_then_coalesces_then_hits() {
+        let cache = ResultCache::new(8);
+        let state = JobState::new(None);
+        let k = key("0");
+        assert!(matches!(cache.lookup_or_reserve(&k, &state), Lookup::Miss));
+        // A second identical submission coalesces onto the first state.
+        let other = JobState::new(None);
+        match cache.lookup_or_reserve(&k, &other) {
+            Lookup::Coalesce(shared) => assert!(Arc::ptr_eq(&shared, &state)),
+            other => panic!("expected coalesce, got {other:?}"),
+        }
+        cache.complete(&k, &result(3));
+        match cache.lookup_or_reserve(&k, &other) {
+            Lookup::Hit(hit) => assert_eq!(hit.cost, 3),
+            other => panic!("expected hit, got {other:?}"),
+        }
+        assert_eq!(cache.entries(), 1);
+    }
+
+    #[test]
+    fn failures_are_forgotten_not_cached() {
+        let cache = ResultCache::new(8);
+        let state = JobState::new(None);
+        let k = key("0");
+        assert!(matches!(cache.lookup_or_reserve(&k, &state), Lookup::Miss));
+        cache.forget(&k, &state);
+        // The next identical request misses again (fresh run).
+        let retry = JobState::new(None);
+        assert!(matches!(cache.lookup_or_reserve(&k, &retry), Lookup::Miss));
+        // A stale forget (old state) must not drop the new reservation.
+        cache.forget(&k, &state);
+        let third = JobState::new(None);
+        assert!(matches!(
+            cache.lookup_or_reserve(&k, &third),
+            Lookup::Coalesce(_)
+        ));
+    }
+
+    #[test]
+    fn eviction_is_fifo_over_completed_entries() {
+        let cache = ResultCache::new(2);
+        assert_eq!(cache.capacity(), 2);
+        for (i, positive) in ["0", "1", "00"].iter().enumerate() {
+            let k = key(positive);
+            let state = JobState::new(None);
+            assert!(matches!(cache.lookup_or_reserve(&k, &state), Lookup::Miss));
+            cache.complete(&k, &result(i as u64));
+        }
+        assert_eq!(cache.entries(), 2);
+        // The first completion was evicted, the later two survive.
+        let state = JobState::new(None);
+        assert!(matches!(
+            cache.lookup_or_reserve(&key("0"), &state),
+            Lookup::Miss
+        ));
+        assert!(matches!(
+            cache.lookup_or_reserve(&key("1"), &JobState::new(None)),
+            Lookup::Hit(_)
+        ));
+        assert!(matches!(
+            cache.lookup_or_reserve(&key("00"), &JobState::new(None)),
+            Lookup::Hit(_)
+        ));
+    }
+
+    #[test]
+    fn hits_refresh_recency_for_the_disk_eviction_order() {
+        let cache = ResultCache::new(8);
+        for positive in ["0", "1"] {
+            let k = key(positive);
+            let state = JobState::new(None);
+            assert!(matches!(cache.lookup_or_reserve(&k, &state), Lookup::Miss));
+            cache.complete(&k, &result(1));
+        }
+        // Hit "0": it becomes the most recently used entry.
+        assert!(matches!(
+            cache.lookup_or_reserve(&key("0"), &JobState::new(None)),
+            Lookup::Hit(_)
+        ));
+        let lines = cache.live_lines();
+        assert_eq!(lines.len(), 2);
+        let hit_of = |needle: &str| {
+            lines
+                .iter()
+                .find(|(line, _)| line.contains(needle))
+                .map(|(_, hit)| *hit)
+                .unwrap()
+        };
+        let k0 = key("0");
+        let k1 = key("1");
+        assert!(
+            hit_of(k0.spec()) > hit_of(k1.spec()),
+            "the hit entry is newer than the untouched one"
+        );
+    }
+}

@@ -1,0 +1,162 @@
+//! Deterministic fault injection for the durable cache.
+//!
+//! A *failpoint* is a named site in the storage engine where a test (or a
+//! chaos run of `paresy serve`) can inject a failure. Two kinds of sites
+//! exist, distinguished by how the call site consumes them:
+//!
+//! * **cut** sites ([`cut`]) simulate a kill-9 at exactly that point: the
+//!   enclosing disk operation abandons silently, leaving whatever bytes
+//!   already reached the filesystem — a torn tail, an unrenamed tmp file,
+//!   a manifest not yet updated. The process survives, so a test can
+//!   reopen the directory and assert what recovery makes of the wreck.
+//! * **error** sites ([`io_error`]) inject a transient `io::Error` (an
+//!   ENOSPC/EINTR stand-in) to exercise retry paths.
+//!
+//! Arming is environmental — `REI_FAILPOINT=name[:count]`, comma-separated
+//! for several points, where `count` is how many times the point fires
+//! (default 1) — or programmatic and *thread-local* via `arm` (present
+//! only with the feature), which is
+//! what the test suite uses so parallel tests cannot trip each other.
+//!
+//! The whole module compiles to inert no-ops unless the crate's
+//! `failpoints` feature is enabled: a production build carries zero
+//! branches for it. The catalog of points lives in DESIGN.md ("Durability").
+
+#[cfg(feature = "failpoints")]
+mod armed {
+    use std::cell::RefCell;
+    use std::collections::HashMap;
+    use std::sync::{Mutex, OnceLock};
+
+    thread_local! {
+        static LOCAL: RefCell<HashMap<String, u32>> = RefCell::new(HashMap::new());
+    }
+
+    static GLOBAL: OnceLock<Mutex<HashMap<String, u32>>> = OnceLock::new();
+
+    fn global() -> &'static Mutex<HashMap<String, u32>> {
+        GLOBAL.get_or_init(|| {
+            let mut points = HashMap::new();
+            if let Ok(spec) = std::env::var("REI_FAILPOINT") {
+                for part in spec.split(',').filter(|p| !p.trim().is_empty()) {
+                    let (name, count) = match part.split_once(':') {
+                        Some((name, count)) => (name, count.parse().unwrap_or(1)),
+                        None => (part, 1),
+                    };
+                    points.insert(name.trim().to_string(), count);
+                }
+            }
+            Mutex::new(points)
+        })
+    }
+
+    /// Arms `name` to fire on its next `count` evaluations, on this
+    /// thread only.
+    pub fn arm(name: &str, count: u32) {
+        LOCAL.with(|local| local.borrow_mut().insert(name.to_string(), count));
+    }
+
+    /// Disarms every thread-locally armed point.
+    pub fn clear() {
+        LOCAL.with(|local| local.borrow_mut().clear());
+    }
+
+    /// True when `name` is armed (thread-local first, then the
+    /// `REI_FAILPOINT` environment); consumes one firing.
+    pub fn fires(name: &str) -> bool {
+        let local = LOCAL.with(|local| {
+            let mut local = local.borrow_mut();
+            match local.get_mut(name) {
+                Some(left) if *left > 0 => {
+                    *left -= 1;
+                    true
+                }
+                _ => false,
+            }
+        });
+        if local {
+            return true;
+        }
+        let mut points = global().lock().unwrap_or_else(|e| e.into_inner());
+        match points.get_mut(name) {
+            Some(left) if *left > 0 => {
+                *left -= 1;
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+/// Arms the failpoint `name` to fire on its next `count` evaluations on
+/// the calling thread. A no-op without the `failpoints` feature.
+#[cfg(feature = "failpoints")]
+pub fn arm(name: &str, count: u32) {
+    armed::arm(name, count);
+}
+
+/// Disarms every point armed with [`arm`] on the calling thread. A no-op
+/// without the `failpoints` feature.
+#[cfg(feature = "failpoints")]
+pub fn clear() {
+    armed::clear();
+}
+
+/// A *cut* site: returns `true` when the operation should abandon right
+/// here, as if the process had been killed at this instant. Always
+/// `false` without the `failpoints` feature.
+#[inline]
+pub fn cut(name: &str) -> bool {
+    #[cfg(feature = "failpoints")]
+    {
+        if armed::fires(name) {
+            rei_obs::log::warn("failpoint", "cut", &[("point", name.to_string())]);
+            return true;
+        }
+    }
+    let _ = name;
+    false
+}
+
+/// An *error* site: returns an injected transient I/O error when armed.
+/// Always `None` without the `failpoints` feature.
+#[inline]
+pub fn io_error(name: &str) -> Option<std::io::Error> {
+    #[cfg(feature = "failpoints")]
+    {
+        if armed::fires(name) {
+            return Some(std::io::Error::other(format!(
+                "injected I/O error (failpoint {name})"
+            )));
+        }
+    }
+    let _ = name;
+    None
+}
+
+#[cfg(all(test, feature = "failpoints"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn points_fire_count_times_then_disarm() {
+        arm("test.point", 2);
+        assert!(cut("test.point"));
+        assert!(cut("test.point"));
+        assert!(!cut("test.point"), "exhausted after `count` firings");
+        assert!(!cut("test.other"), "unarmed points never fire");
+        arm("test.err", 1);
+        assert!(io_error("test.err").is_some());
+        assert!(io_error("test.err").is_none());
+        clear();
+    }
+
+    #[test]
+    fn arming_is_thread_local() {
+        arm("test.cross-thread", 1);
+        let other = std::thread::spawn(|| cut("test.cross-thread"));
+        assert!(!other.join().unwrap(), "other threads see nothing");
+        assert!(cut("test.cross-thread"), "the arming thread still fires");
+        clear();
+    }
+}

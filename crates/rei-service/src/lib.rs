@@ -53,15 +53,22 @@
 //! the specification.
 //!
 //! **Persistence.** A pool configured with
-//! [`ServiceConfig::with_cache_dir`] spills every completed result to an
-//! append-only JSONL file — one record of `(canonical spec encoding,
-//! config wire string) → (regex, cost)` per line — warms its in-memory
-//! cache from that file on start (corrupt or truncated tail records are
+//! [`ServiceConfig::with_cache_dir`] spills every completed result into
+//! a crash-safe segmented write-ahead log — one record of `(canonical
+//! spec encoding, config wire string) → (regex, cost)` per JSONL line,
+//! appended to the newest segment, rolled and fsync-sealed at a size
+//! threshold, with a tmp+rename `MANIFEST.json` naming the live files.
+//! On start, recovery replays the checkpoint plus all segments on
+//! multiple threads (last record wins; corrupt or torn records are
 //! skipped with a warning, records written under a different
-//! configuration are misses), and compacts the file on graceful
-//! shutdown, dropping superseded duplicates. The spilled identity is the
-//! same canonical form the in-memory cache compares, so a *restarted*
-//! service answers repeats from disk without re-running a synthesis.
+//! configuration are misses) and warms the in-memory cache. A janitor
+//! thread folds sealed history into checkpoints *while serving* and
+//! enforces an optional least-recently-hit disk byte cap
+//! ([`WalOptions`]); graceful shutdown runs one final fold. A kill-9
+//! costs at most the records after the last completed append — the
+//! spilled identity is the same canonical form the in-memory cache
+//! compares, so a *restarted* service answers repeats from disk without
+//! re-running a synthesis. See DESIGN.md "Durability".
 //!
 //! **Sharding.** The [`ShardRouter`] puts N pools — each a full
 //! `SynthService` with its own workers, queue, cache and cache file —
@@ -112,6 +119,7 @@
 
 mod admission;
 mod cache;
+pub mod failpoint;
 pub mod json;
 mod metrics;
 mod queue;
@@ -124,7 +132,7 @@ pub use admission::{
     AdmissionConfig, AdmissionCounters, AdmissionError, FairShare, InflightGuard, TenantCounters,
     TenantPolicy,
 };
-pub use cache::CacheKey;
+pub use cache::{replay, CacheKey, RecoveryReport, WalOptions, WalStore};
 pub use metrics::MetricsSnapshot;
 pub use request::{JobHandle, ResponseSource, SynthRequest, SynthResponse};
 pub use ring::{HashRing, VNODES};

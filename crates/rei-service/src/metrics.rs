@@ -13,6 +13,7 @@ use std::time::Duration;
 use rei_core::{SessionStats, SynthesisError};
 use rei_obs::{Histogram, HistogramSnapshot};
 
+use crate::cache::DiskStats;
 use crate::json::Json;
 
 /// The live counters of a running service.
@@ -40,6 +41,12 @@ pub(crate) struct Metrics {
     pub disk_loaded: AtomicU64,
     pub disk_skipped_corrupt: AtomicU64,
     pub disk_skipped_config: AtomicU64,
+    /// Recovery facts, set once at start (nanoseconds / counts of the
+    /// replay that warmed the cache).
+    pub recovery_nanos: AtomicU64,
+    pub recovery_segments: AtomicU64,
+    pub recovery_records: AtomicU64,
+    pub recovery_threads: AtomicU64,
     pub worker_stats: Mutex<Vec<SessionStats>>,
 }
 
@@ -130,6 +137,15 @@ impl Metrics {
             disk_loaded: load(&self.disk_loaded),
             disk_skipped_corrupt: load(&self.disk_skipped_corrupt),
             disk_skipped_config: load(&self.disk_skipped_config),
+            disk_bytes: gauges.disk.bytes,
+            disk_segments: gauges.disk.segments,
+            disk_append_errors: gauges.disk.append_errors,
+            disk_evicted: gauges.disk.evicted,
+            disk_checkpoints: gauges.disk.checkpoints,
+            recovery_wall: Duration::from_nanos(load(&self.recovery_nanos)),
+            recovery_segments: load(&self.recovery_segments),
+            recovery_records: load(&self.recovery_records),
+            recovery_threads: load(&self.recovery_threads),
             workers: self
                 .worker_stats
                 .lock()
@@ -150,6 +166,8 @@ pub(crate) struct Gauges {
     pub queue_capacity: usize,
     pub cache_entries: usize,
     pub cache_capacity: usize,
+    /// Disk gauges of the persistent store (all zero in-memory).
+    pub disk: DiskStats,
 }
 
 /// A consistent-enough point read of every service counter.
@@ -221,6 +239,25 @@ pub struct MetricsSnapshot {
     /// Persisted records skipped because they were written under a
     /// different pool configuration.
     pub disk_skipped_config: u64,
+    /// Live bytes in the persistent store (checkpoint + segments).
+    pub disk_bytes: u64,
+    /// Live segment files of the persistent store.
+    pub disk_segments: u64,
+    /// Records dropped after exhausting the bounded append retries.
+    pub disk_append_errors: u64,
+    /// Records evicted from disk by the byte cap (least recently hit
+    /// first, at checkpoint folds).
+    pub disk_evicted: u64,
+    /// Checkpoint folds completed since start.
+    pub disk_checkpoints: u64,
+    /// Wall-clock of the recovery replay that warmed the cache at start.
+    pub recovery_wall: Duration,
+    /// Segment files that replay covered.
+    pub recovery_segments: u64,
+    /// Records parsed by the replay (before last-wins merging).
+    pub recovery_records: u64,
+    /// Threads the replay ran on.
+    pub recovery_threads: u64,
     /// Cumulative `SessionStats` per worker, in worker order.
     pub workers: Vec<SessionStats>,
     /// Jobs currently queued.
@@ -285,6 +322,17 @@ impl MetricsSnapshot {
         self.disk_loaded += other.disk_loaded;
         self.disk_skipped_corrupt += other.disk_skipped_corrupt;
         self.disk_skipped_config += other.disk_skipped_config;
+        self.disk_bytes += other.disk_bytes;
+        self.disk_segments += other.disk_segments;
+        self.disk_append_errors += other.disk_append_errors;
+        self.disk_evicted += other.disk_evicted;
+        self.disk_checkpoints += other.disk_checkpoints;
+        // Pools recover concurrently at start, so the rollup's recovery
+        // wall is the slowest pool, not the sum.
+        self.recovery_wall = self.recovery_wall.max(other.recovery_wall);
+        self.recovery_segments += other.recovery_segments;
+        self.recovery_records += other.recovery_records;
+        self.recovery_threads = self.recovery_threads.max(other.recovery_threads);
         self.workers.extend(other.workers.iter().copied());
         self.queue_depth += other.queue_depth;
         self.queue_capacity += other.queue_capacity;
@@ -378,6 +426,20 @@ impl MetricsSnapshot {
                         Json::uint(self.disk_skipped_corrupt),
                     ),
                     ("disk_skipped_config", Json::uint(self.disk_skipped_config)),
+                    ("disk_bytes", Json::uint(self.disk_bytes)),
+                    ("disk_segments", Json::uint(self.disk_segments)),
+                    ("disk_append_errors", Json::uint(self.disk_append_errors)),
+                    ("disk_evicted", Json::uint(self.disk_evicted)),
+                    ("disk_checkpoints", Json::uint(self.disk_checkpoints)),
+                ]),
+            ),
+            (
+                "recovery",
+                Json::object([
+                    ("wall_ms", ms(self.recovery_wall)),
+                    ("segments", Json::uint(self.recovery_segments)),
+                    ("records", Json::uint(self.recovery_records)),
+                    ("threads", Json::uint(self.recovery_threads)),
                 ]),
             ),
             (
@@ -501,6 +563,7 @@ mod tests {
             queue_capacity: 64,
             cache_entries: 1,
             cache_capacity: 256,
+            disk: DiskStats::default(),
         });
         assert!((snapshot.reuse_rate() - 0.5).abs() < 1e-9);
         let json = snapshot.to_json();

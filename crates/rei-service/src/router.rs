@@ -43,7 +43,7 @@ use crate::service::{ServiceConfig, ServiceError, SynthService};
 #[derive(Debug, Clone)]
 pub struct PoolConfig {
     /// The pool's name: the ring position source, the metrics label, and
-    /// the stem of its persistent cache file (`<cache dir>/<name>.jsonl`).
+    /// the name of its persistent store directory (`<cache dir>/<name>/`).
     pub name: String,
     /// The pool's full service configuration.
     pub service: ServiceConfig,
@@ -80,15 +80,15 @@ impl RouterConfig {
         }
     }
 
-    /// Gives every pool whose cache is not already persistent a file of
-    /// its own under `dir`: `<dir>/<pool name>.jsonl`. Routing is
-    /// deterministic, so a restarted router with the same pool list finds
-    /// each shard's entries in its own file.
+    /// Gives every pool whose cache is not already persistent a store
+    /// directory of its own under `dir`: `<dir>/<pool name>/`. Routing
+    /// is deterministic, so a restarted router with the same pool list
+    /// finds each shard's entries in its own store.
     pub fn with_cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
         let dir = dir.into();
         for pool in &mut self.pools {
             if pool.service.cache_path.is_none() {
-                pool.service.cache_path = Some(dir.join(format!("{}.jsonl", pool.name)));
+                pool.service.cache_path = Some(dir.join(&pool.name));
             }
         }
         self
@@ -107,16 +107,15 @@ impl RouterConfig {
                     pool.name
                 )));
             }
-            // Two pools sharing one cache file would clobber each
-            // other's records at compaction — each shutdown rewrites the
-            // file with only its own entries.
+            // Two pools sharing one store would clobber each other's
+            // manifest and records at every seal and fold.
             if let Some(path) = &pool.service.cache_path {
                 if self.pools[..index]
                     .iter()
                     .any(|p| p.service.cache_path.as_ref() == Some(path))
                 {
                     return Err(ServiceError::InvalidConfig(format!(
-                        "pools share the cache file '{}' (give each pool its own, \
+                        "pools share the cache store '{}' (give each pool its own, \
                          e.g. via RouterConfig::with_cache_dir)",
                         path.display()
                     )));
@@ -291,7 +290,7 @@ impl ShardRouter {
                     .any(|p| p.cache_path.as_ref() == Some(path))
                 {
                     return Err(ServiceError::InvalidConfig(format!(
-                        "pools share the cache file '{}'",
+                        "pools share the cache store '{}'",
                         path.display()
                     )));
                 }
@@ -491,7 +490,7 @@ impl RouterSnapshot {
         let mut text = PromText::new();
 
         type CounterRow = (&'static str, &'static str, fn(&MetricsSnapshot) -> u64);
-        let counters: [CounterRow; 8] = [
+        let counters: [CounterRow; 11] = [
             ("rei_requests_submitted_total", "Requests submitted.", |s| {
                 s.submitted
             }),
@@ -526,6 +525,21 @@ impl RouterSnapshot {
                 "Requests served through fused batches.",
                 |s| s.fused_requests,
             ),
+            (
+                "rei_cache_append_errors_total",
+                "Cache records dropped after exhausting append retries.",
+                |s| s.disk_append_errors,
+            ),
+            (
+                "rei_cache_evicted_total",
+                "Cache records evicted from disk by the byte cap.",
+                |s| s.disk_evicted,
+            ),
+            (
+                "rei_cache_checkpoints_total",
+                "Checkpoint folds completed by the cache janitor.",
+                |s| s.disk_checkpoints,
+            ),
         ];
         for (family, help, pick) in counters {
             text.family(family, "counter", help);
@@ -547,6 +561,31 @@ impl RouterSnapshot {
             text.family(family, "gauge", help);
             for (name, snapshot) in &self.pools {
                 text.sample(family, &[("pool", name)], pick(snapshot) as f64);
+            }
+        }
+
+        type WideGaugeRow = (&'static str, &'static str, fn(&MetricsSnapshot) -> f64);
+        let wide_gauges: [WideGaugeRow; 3] = [
+            (
+                "rei_cache_disk_bytes",
+                "Live bytes of the persistent cache store.",
+                |s| s.disk_bytes as f64,
+            ),
+            (
+                "rei_cache_disk_segments",
+                "Live segment files of the persistent cache store.",
+                |s| s.disk_segments as f64,
+            ),
+            (
+                "rei_recovery_seconds",
+                "Wall-clock of the cache recovery replay at start.",
+                |s| s.recovery_wall.as_secs_f64(),
+            ),
+        ];
+        for (family, help, pick) in wide_gauges {
+            text.family(family, "gauge", help);
+            for (name, snapshot) in &self.pools {
+                text.sample(family, &[("pool", name)], pick(snapshot));
             }
         }
 
@@ -809,9 +848,9 @@ mod tests {
             }
             other => panic!("expected InvalidConfig, got {other}"),
         }
-        // Pools must not share one cache file: each shutdown compaction
-        // would wipe the others' records. (`identical` over a config
-        // whose cache path is already set is the easy way to hit this.)
+        // Pools must not share one cache store: they would clobber each
+        // other's manifest. (`identical` over a config whose cache path
+        // is already set is the easy way to hit this.)
         let shared = RouterConfig::identical(
             2,
             ServiceConfig::new(1).with_cache_dir(std::env::temp_dir().join("rei-router-shared")),
@@ -819,7 +858,7 @@ mod tests {
         let err = ShardRouter::start(shared).unwrap_err();
         match err {
             ServiceError::InvalidConfig(message) => {
-                assert!(message.contains("share the cache file"), "{message}")
+                assert!(message.contains("share the cache store"), "{message}")
             }
             other => panic!("expected InvalidConfig, got {other}"),
         }

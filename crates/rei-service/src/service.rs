@@ -18,7 +18,7 @@ use rei_core::{
 };
 use rei_obs::Trace;
 
-use crate::cache::{CacheKey, Lookup, ResultCache};
+use crate::cache::{CacheKey, Janitor, Lookup, ResultCache, WalOptions};
 use crate::metrics::{Gauges, Metrics, MetricsSnapshot};
 use crate::queue::JobQueue;
 use crate::request::{Completion, JobHandle, JobState, ResponseSource, SynthRequest};
@@ -37,12 +37,18 @@ pub struct ServiceConfig {
     /// The synthesis configuration every worker session runs. One config
     /// per pool keeps results interchangeable and therefore cacheable.
     pub synth: SynthConfig,
-    /// Optional JSONL file the result cache persists to (see the
-    /// persistence notes in [`crate`] docs): existing records warm the
-    /// cache on start, completed results are appended, and the file is
-    /// compacted on graceful shutdown. `None` keeps the cache in memory
-    /// only.
+    /// Optional directory the result cache persists to as a segmented
+    /// write-ahead log (see the persistence notes in [`crate`] docs):
+    /// recovery warms the cache on start, completed results are appended
+    /// to the tail segment, a janitor folds history into checkpoints
+    /// while serving, and graceful shutdown runs one final fold. `None`
+    /// keeps the cache in memory only. (A pre-existing single-file cache
+    /// at this path is migrated into the directory layout.)
     pub cache_path: Option<PathBuf>,
+    /// Storage-engine tuning of the persistent cache (segment roll size,
+    /// checkpoint cadence, disk byte cap, recovery threads); ignored
+    /// without [`cache_path`](ServiceConfig::cache_path).
+    pub wal: WalOptions,
     /// Most queued jobs a worker may drain into one fused level sweep
     /// (see [`SynthSession::run_fused`]); every job of a pool shares its
     /// single [`SynthConfig`], so any drained jobs are fusion-eligible.
@@ -65,6 +71,7 @@ impl ServiceConfig {
             cache_capacity: 1024,
             synth: SynthConfig::default(),
             cache_path: None,
+            wal: WalOptions::default(),
             fuse_limit: DEFAULT_FUSE_LIMIT,
         }
     }
@@ -87,19 +94,25 @@ impl ServiceConfig {
         self
     }
 
-    /// Makes the result cache persistent under `dir`: the cache spills to
-    /// and warms from `<dir>/results.jsonl` (the directory is created at
-    /// start). The [`ShardRouter`](crate::ShardRouter) gives each of its
-    /// pools a distinct file in the shared directory instead.
+    /// Makes the result cache persistent under `dir`: the segmented
+    /// store lives in `<dir>/results/` (created at start). The
+    /// [`ShardRouter`](crate::ShardRouter) gives each of its pools a
+    /// distinct store directory under the shared `dir` instead.
     pub fn with_cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
-        self.cache_path = Some(dir.into().join("results.jsonl"));
+        self.cache_path = Some(dir.into().join("results"));
         self
     }
 
-    /// Makes the result cache persistent at exactly `path` (see
-    /// [`with_cache_dir`](ServiceConfig::with_cache_dir)).
+    /// Makes the result cache persistent in exactly the directory `path`
+    /// (see [`with_cache_dir`](ServiceConfig::with_cache_dir)).
     pub fn with_cache_path(mut self, path: impl Into<PathBuf>) -> Self {
         self.cache_path = Some(path.into());
+        self
+    }
+
+    /// Replaces the persistent store's tuning (see [`WalOptions`]).
+    pub fn with_wal(mut self, wal: WalOptions) -> Self {
+        self.wal = wal;
         self
     }
 
@@ -128,6 +141,16 @@ impl ServiceConfig {
         if self.fuse_limit == 0 {
             return Err(ServiceError::InvalidConfig(
                 "fuse limit must be positive".into(),
+            ));
+        }
+        if self.wal.roll_bytes == 0 {
+            return Err(ServiceError::InvalidConfig(
+                "segment roll size must be positive".into(),
+            ));
+        }
+        if self.wal.checkpoint_every == 0 {
+            return Err(ServiceError::InvalidConfig(
+                "checkpoint cadence must be positive".into(),
             ));
         }
         self.synth
@@ -345,6 +368,7 @@ pub struct SynthService {
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
     watchdog: Option<JoinHandle<()>>,
+    janitor: Option<Janitor>,
 }
 
 impl fmt::Debug for SynthService {
@@ -365,19 +389,53 @@ impl SynthService {
     /// validate (zero workers/capacities, invalid [`SynthConfig`]).
     pub fn start(config: ServiceConfig) -> Result<Self, ServiceError> {
         config.validate()?;
-        let (cache, load) = match &config.cache_path {
-            Some(path) => ResultCache::persistent(config.cache_capacity, path, &config.synth)
-                .map_err(ServiceError::InvalidConfig)?,
+        let (cache, recovery) = match &config.cache_path {
+            Some(path) => {
+                let (cache, report) = ResultCache::persistent(
+                    config.cache_capacity,
+                    path,
+                    &config.synth,
+                    config.wal.clone(),
+                )
+                .map_err(ServiceError::InvalidConfig)?;
+                rei_obs::log::info(
+                    "service",
+                    "cache recovered",
+                    &[
+                        ("path", path.display().to_string()),
+                        ("wall_ms", format!("{:.3}", report.wall.as_secs_f64() * 1e3)),
+                        ("segments", report.segments.to_string()),
+                        ("records", report.records.to_string()),
+                        ("loaded", report.loaded.to_string()),
+                        ("threads", report.threads.to_string()),
+                        ("skipped_corrupt", report.skipped_corrupt.to_string()),
+                    ],
+                );
+                (cache, report)
+            }
             None => (ResultCache::new(config.cache_capacity), Default::default()),
         };
         let metrics = Metrics::new(config.workers);
-        metrics.disk_loaded.store(load.loaded, Ordering::Relaxed);
+        metrics
+            .disk_loaded
+            .store(recovery.loaded, Ordering::Relaxed);
         metrics
             .disk_skipped_corrupt
-            .store(load.skipped_corrupt, Ordering::Relaxed);
+            .store(recovery.skipped_corrupt, Ordering::Relaxed);
         metrics
             .disk_skipped_config
-            .store(load.skipped_config, Ordering::Relaxed);
+            .store(recovery.skipped_config, Ordering::Relaxed);
+        let nanos = u64::try_from(recovery.wall.as_nanos()).unwrap_or(u64::MAX);
+        metrics.recovery_nanos.store(nanos, Ordering::Relaxed);
+        metrics
+            .recovery_segments
+            .store(recovery.segments as u64, Ordering::Relaxed);
+        metrics
+            .recovery_records
+            .store(recovery.records, Ordering::Relaxed);
+        metrics
+            .recovery_threads
+            .store(recovery.threads as u64, Ordering::Relaxed);
         let shared = Arc::new(Shared {
             queue: JobQueue::new(config.queue_capacity),
             cache,
@@ -402,10 +460,19 @@ impl SynthService {
                     .expect("spawning a worker thread")
             })
             .collect();
+        // The janitor folds sealed segments into checkpoints while the
+        // pool serves; only persistent caches need one.
+        let janitor = config.cache_path.is_some().then(|| {
+            let shared = Arc::clone(&shared);
+            Janitor::start(Duration::from_millis(250), move || {
+                shared.cache.maintain();
+            })
+        });
         Ok(SynthService {
             shared,
             workers,
             watchdog: Some(watchdog),
+            janitor,
         })
     }
 
@@ -533,6 +600,7 @@ impl SynthService {
             queue_capacity: self.shared.queue.capacity(),
             cache_entries: self.shared.cache.entries(),
             cache_capacity: self.shared.cache.capacity(),
+            disk: self.shared.cache.disk_stats().unwrap_or_default(),
         })
     }
 
@@ -556,9 +624,14 @@ impl SynthService {
         if let Some(watchdog) = self.watchdog.take() {
             let _ = watchdog.join();
         }
+        // Stop background folds before the final one: compaction must
+        // not race itself.
+        if let Some(mut janitor) = self.janitor.take() {
+            janitor.stop();
+        }
         if drained {
-            // Every completion has landed: rewrite the persistent cache
-            // file (if any) with exactly the live entries.
+            // Every completion has landed: fold the persistent store (if
+            // any) into one checkpoint holding exactly the live entries.
             self.shared.cache.compact();
         }
     }

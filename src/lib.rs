@@ -111,11 +111,12 @@ pub mod prelude {
         Synthesizer, ThreadParallel,
     };
     pub use rei_lang::{Alphabet, InfixClosure, Spec, Word};
-    pub use rei_net::{install_sigint, NetConfig, NetServer};
+    pub use rei_net::{install_shutdown_signals, NetConfig, NetServer};
     pub use rei_service::{
         AdmissionConfig, AdmissionCounters, AdmissionError, FairShare, HashRing, JobHandle,
-        MetricsSnapshot, PoolConfig, ResponseSource, RouterConfig, RouterSnapshot, ServiceConfig,
-        ServiceError, ShardRouter, SynthRequest, SynthResponse, SynthService, TenantPolicy,
+        MetricsSnapshot, PoolConfig, RecoveryReport, ResponseSource, RouterConfig, RouterSnapshot,
+        ServiceConfig, ServiceError, ShardRouter, SynthRequest, SynthResponse, SynthService,
+        TenantPolicy, WalOptions,
     };
     pub use rei_syntax::{parse, CostFn, Regex};
 }

@@ -1,6 +1,12 @@
 //! Integration tests of the persistent result cache: disk-warm restarts,
 //! corrupt-tail tolerance, configuration mismatches and compaction,
 //! through the public facade.
+//!
+//! A `--cache-dir` store is a *directory* — `MANIFEST.json`, numbered
+//! `NNNNN.jsonl` segments and at most one `checkpoint.NNNNN.jsonl` — so
+//! the damage these tests inflict targets whichever live file holds the
+//! records after a clean shutdown (the checkpoint: `shutdown` folds all
+//! history into one before exiting).
 
 use std::path::{Path, PathBuf};
 
@@ -12,8 +18,41 @@ fn temp_dir(tag: &str) -> PathBuf {
     dir
 }
 
-fn cache_file(dir: &Path) -> PathBuf {
-    dir.join("results.jsonl")
+/// Root of the single-service store inside `--cache-dir DIR`.
+fn store_root(dir: &Path) -> PathBuf {
+    dir.join("results")
+}
+
+/// The record-bearing files of a store, sorted: the checkpoint (if any)
+/// first, then segments in id order — the replay order.
+fn live_files(root: &Path) -> Vec<PathBuf> {
+    let mut checkpoints = Vec::new();
+    let mut segments = Vec::new();
+    for entry in std::fs::read_dir(root).unwrap().flatten() {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if name.starts_with("checkpoint.") && name.ends_with(".jsonl") {
+            checkpoints.push(entry.path());
+        } else if name.ends_with(".jsonl") {
+            segments.push(entry.path());
+        }
+    }
+    checkpoints.sort();
+    segments.sort();
+    checkpoints.extend(segments);
+    checkpoints
+}
+
+/// The one file holding records after a clean shutdown (the fold leaves
+/// a checkpoint plus an empty tail segment).
+fn record_file(root: &Path) -> PathBuf {
+    live_files(root)
+        .into_iter()
+        .find(|path| {
+            std::fs::metadata(path)
+                .map(|m| m.len() > 0)
+                .unwrap_or(false)
+        })
+        .expect("a clean shutdown leaves a non-empty checkpoint")
 }
 
 fn specs() -> Vec<Spec> {
@@ -47,6 +86,8 @@ fn a_restarted_service_answers_repeats_from_disk_without_synthesis() {
     let metrics = first.shutdown();
     assert_eq!(metrics.disk_loaded, 0, "the first start is cold");
     assert_eq!(metrics.solved, 3);
+    // The store is a manifest-led directory, not a single file.
+    assert!(store_root(&dir).join("MANIFEST.json").exists());
 
     // Second process: the same requests are all disk-warm cache hits.
     let second = SynthService::start(config()).unwrap();
@@ -68,7 +109,7 @@ fn a_restarted_service_answers_repeats_from_disk_without_synthesis() {
 }
 
 #[test]
-fn a_truncated_cache_file_degrades_to_a_cold_start() {
+fn a_truncated_record_file_degrades_to_a_cold_start() {
     let dir = temp_dir("truncated");
     let config = || ServiceConfig::new(1).with_cache_dir(&dir);
     {
@@ -76,9 +117,9 @@ fn a_truncated_cache_file_degrades_to_a_cold_start() {
         run_all(&service, &specs());
         service.shutdown();
     }
-    // Cut the file mid-first-record, as a crash mid-write would: nothing
-    // parses any more.
-    let path = cache_file(&dir);
+    // Cut the checkpoint mid-first-record, as a crash mid-write would:
+    // nothing parses any more.
+    let path = record_file(&store_root(&dir));
     let text = std::fs::read_to_string(&path).unwrap();
     std::fs::write(&path, &text[..20.min(text.len())]).unwrap();
 
@@ -105,7 +146,7 @@ fn a_partially_truncated_tail_keeps_the_intact_records() {
         service.shutdown();
     }
     // Keep every full line but chop the last record in half.
-    let path = cache_file(&dir);
+    let path = record_file(&store_root(&dir));
     let text = std::fs::read_to_string(&path).unwrap();
     let lines: Vec<&str> = text.lines().collect();
     assert_eq!(lines.len(), 3);
@@ -124,6 +165,28 @@ fn a_partially_truncated_tail_keeps_the_intact_records() {
         .filter(|r| r.source == ResponseSource::Cache)
         .count();
     assert_eq!(from_cache, 2);
+    service.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn a_deleted_manifest_recovers_by_directory_scan() {
+    let dir = temp_dir("scan");
+    let config = || ServiceConfig::new(1).with_cache_dir(&dir);
+    {
+        let service = SynthService::start(config()).unwrap();
+        run_all(&service, &specs());
+        service.shutdown();
+    }
+    // Losing the manifest (or corrupting it) must not lose the records:
+    // open falls back to adopting every segment the directory holds.
+    std::fs::remove_file(store_root(&dir).join("MANIFEST.json")).unwrap();
+
+    let service = SynthService::start(config()).unwrap();
+    let metrics = service.metrics();
+    assert_eq!(metrics.disk_loaded, 3, "the scan recovered every record");
+    let responses = run_all(&service, &specs());
+    assert!(responses.iter().all(|r| r.source == ResponseSource::Cache));
     service.shutdown();
     std::fs::remove_dir_all(&dir).ok();
 }
@@ -153,7 +216,7 @@ fn a_different_configuration_treats_persisted_records_as_misses() {
 }
 
 #[test]
-fn compaction_drops_superseded_duplicates_and_junk() {
+fn shutdown_folds_history_into_one_checkpoint_record_per_key() {
     let dir = temp_dir("compact");
     let config = || {
         ServiceConfig::new(1)
@@ -172,9 +235,19 @@ fn compaction_drops_superseded_duplicates_and_junk() {
         assert!(repeat.wait().outcome.is_ok());
         service.shutdown();
     }
-    // Compaction keeps exactly the live entries (capacity 2), one record
-    // per key, every line parseable.
-    let text = std::fs::read_to_string(cache_file(&dir)).unwrap();
+    // The shutdown fold keeps exactly the live entries (capacity 2) in
+    // the checkpoint — one record per key, every line parseable.
+    let root = store_root(&dir);
+    let checkpoint = record_file(&root);
+    assert!(
+        checkpoint
+            .file_name()
+            .unwrap()
+            .to_string_lossy()
+            .starts_with("checkpoint."),
+        "{checkpoint:?}"
+    );
+    let text = std::fs::read_to_string(&checkpoint).unwrap();
     assert_eq!(text.lines().count(), 2, "{text}");
     {
         let service = SynthService::start(config()).unwrap();
@@ -187,7 +260,7 @@ fn compaction_drops_superseded_duplicates_and_junk() {
 }
 
 #[test]
-fn sharded_pools_persist_into_separate_files_and_rewarm() {
+fn sharded_pools_persist_into_separate_stores_and_rewarm() {
     let dir = temp_dir("router");
     let router_config = || RouterConfig::identical(2, ServiceConfig::new(1)).with_cache_dir(&dir);
     {
@@ -201,8 +274,8 @@ fn sharded_pools_persist_into_separate_files_and_rewarm() {
         }
         router.shutdown();
     }
-    assert!(dir.join("pool-0.jsonl").exists());
-    assert!(dir.join("pool-1.jsonl").exists());
+    assert!(dir.join("pool-0").join("MANIFEST.json").exists());
+    assert!(dir.join("pool-1").join("MANIFEST.json").exists());
 
     // The restarted router routes identically, so each shard finds its
     // own entries and the whole replay is disk-served.
