@@ -12,11 +12,14 @@ It asserts the `rei-bench/perf-v5` schema: kernel speedup tripwires, the
 SIMD kernel-tier section (`kernels.simd`: probe result recorded, scalar
 parity proven, dispatched-vs-scalar speedups floored at 1.0), the
 per-backend level-execution counters, the `service` section's
-(`rei-bench/service-v5`) cold / cache-warm / disk-warm-restart / fused
+(`rei-bench/service-v6`) cold / cache-warm / disk-warm-restart / fused
 passes with their sharded per-pool breakdown, client-side end-to-end
-latency percentiles (`service.latency`) and the crash-recovery timings
+latency percentiles (`service.latency`), the crash-recovery timings
 of `service.recovery` (serial vs parallel replay of a multi-segment
-write-ahead log), and the TCP front-end passes of `service.net`
+write-ahead log), the interactive-refinement pass of `service.refine`
+(per-added-example refines through warm sessions strictly beating cold
+re-solves of the same strengthened specs), and the TCP front-end passes
+of `service.net`
 (`rei-bench/service-net-v1`): concurrent connections, a cache-warm
 replay over the wire, and the rate-limited flood tenant.
 """
@@ -139,9 +142,43 @@ def check_recovery(service):
     )
 
 
+def check_refine(service):
+    # Interactive refinement (service-v6): strengthening chains replayed
+    # one added example at a time through a warm session versus a cold
+    # re-solve of each strengthened spec. The pass must have found real
+    # chains, the session must have answered at least one step from warm
+    # state (the whole point of `refine`), every chain must account for
+    # its steps, and the warm path must beat the cold one outright.
+    refine = service["refine"]
+    assert refine["chains"] > 0, refine
+    assert refine["steps"] > 0, refine
+    assert 1 <= refine["warm"] <= refine["steps"], refine
+    chains = refine["per_chain"]
+    assert len(chains) == refine["chains"], refine
+    assert sum(chain["steps"] for chain in chains) == refine["steps"], refine
+    for chain in chains:
+        assert chain["base_examples"] > 0, chain
+        assert chain["steps"] > 0, chain
+        assert chain["refine_seconds"] > 0.0, chain
+        assert chain["cold_seconds"] > 0.0, chain
+    assert refine["refine_seconds_total"] < refine["cold_seconds_total"], (
+        "refinement lost to cold re-solves: "
+        f"{refine['refine_seconds_total']:.6f}s vs "
+        f"{refine['cold_seconds_total']:.6f}s over {refine['steps']} steps"
+    )
+    assert refine["speedup"] > 1.0, refine
+    print(
+        f"service.refine: {refine['chains']} chains / {refine['steps']} "
+        f"steps ({refine['warm']} warm); per-example refine "
+        f"{refine['refine_seconds_total'] * 1e3:.2f}ms vs cold re-solve "
+        f"{refine['cold_seconds_total'] * 1e3:.2f}ms "
+        f"({refine['speedup']:.2f}x)"
+    )
+
+
 def check_service(report):
     service = report["service"]
-    assert service["schema"] == "rei-bench/service-v5", service["schema"]
+    assert service["schema"] == "rei-bench/service-v6", service["schema"]
     # CI (and the documented regeneration recipe) runs `reproduce serve
     # --workers 4`; fewer workers here means the flag plumbing broke.
     assert service["workers"] >= 4, service
@@ -185,6 +222,7 @@ def check_service(report):
         for key in ("pool", "submitted", "cache_hits", "coalesced", "completed", "workers"):
             assert key in pool, pool
     check_recovery(service)
+    check_refine(service)
     print(
         f"service: cold {cold['wall_seconds']:.4f}s vs "
         f"warm {warm['wall_seconds']:.4f}s "

@@ -1,12 +1,18 @@
 #!/usr/bin/env python3
 """Drive a live `paresy serve --listen` server over TCP.
 
-Opens three concurrent connections — an ordered one, a streaming one and
-a deliberately over-limit tenant — and asserts the front-end contract:
-ordered answers arrive in submission order, streaming answers arrive per
-id, the flooding tenant is rejected explicitly with `rate_limited`
-(never silently stalled), and the `shutdown` verb drains the server
-cleanly.  The caller then asserts the server process exits 0:
+Opens four concurrent connections — an ordered one, a streaming one, a
+refinement session and a deliberately over-limit tenant — and asserts
+the front-end contract: every response line is stamped with the wire
+protocol version (`"proto"`), the `hello` handshake advertises the
+server's version, verbs and capabilities, ordered answers arrive in
+submission order, streaming answers arrive per id, an
+open→refine×3→close session flow answers cold, then warm, then
+unchanged (and a refine against the closed session is rejected with
+`unknown_session`), the flooding tenant is rejected explicitly with
+`rate_limited` (never silently stalled), and the `shutdown` verb drains
+the server cleanly.  The caller then asserts the server process
+exits 0:
 
     ./target/release/paresy serve --listen 127.0.0.1:0 \
         --metrics-addr 127.0.0.1:0 \
@@ -34,6 +40,9 @@ import socket
 import sys
 import threading
 
+# Every JSONL response line carries this protocol version stamp.
+PROTO_VERSION = 2
+
 
 def connect(addr, timeout):
     host, port = addr.rsplit(":", 1)
@@ -48,7 +57,9 @@ def send(sock, obj):
 def read_json(reader):
     line = reader.readline()
     assert line, "connection closed early"
-    return json.loads(line)
+    obj = json.loads(line)
+    assert obj.get("proto") == PROTO_VERSION, f"missing/wrong proto stamp: {obj}"
+    return obj
 
 
 def request(rid, pos, neg, tenant):
@@ -96,6 +107,49 @@ def drive_streaming(addr, timeout, results):
     assert seen == set(ids), seen
     sock.close()
     results["streamed"] = len(seen)
+
+
+def drive_sessions(addr, timeout, results):
+    """Refinement session: hello, open, refine cold→warm→unchanged,
+    close — then a refine against the closed session is rejected."""
+    sock, reader = connect(addr, timeout)
+    send(sock, {"op": "hello"})
+    hello = read_json(reader)
+    assert hello.get("op") == "hello" and hello.get("status") == "ok", hello
+    assert hello.get("version"), hello
+    for verb in ("hello", "refine", "session.open", "session.close"):
+        assert verb in hello.get("verbs", []), hello
+    for capability in ("sessions", "refine"):
+        assert capability in hello.get("capabilities", []), hello
+
+    send(sock, {"op": "session.open", "name": "ci-refine"})
+    ack = read_json(reader)
+    assert ack.get("op") == "session.open" and ack.get("status") == "ok", ack
+    assert ack.get("session") == "ci-refine", ack
+
+    def refine(rid, pos, neg):
+        send(sock, {"id": rid, "verb": "refine", "session": "ci-refine", "pos": pos, "neg": neg})
+        return read_json(reader)
+
+    # A strengthening chain: each step only adds examples, so the session
+    # answers the first cold, the second from warm retained state, and
+    # the resubmission without re-running anything at all.
+    first = refine("n1", ["0", "00"], ["1"])
+    assert first["status"] == "solved" and first["source"] == "session", first
+    assert first.get("reuse") == "cold" and first.get("reason") == "no_previous", first
+    second = refine("n2", ["0", "00"], ["1", "10"])
+    assert second["status"] == "solved" and second.get("reuse") == "warm", second
+    third = refine("n3", ["0", "00"], ["1", "10"])
+    assert third["status"] == "solved" and third.get("reuse") == "unchanged", third
+
+    send(sock, {"op": "session.close", "name": "ci-refine"})
+    ack = read_json(reader)
+    assert ack.get("op") == "session.close" and ack.get("status") == "ok", ack
+    ghost = refine("n4", ["0", "00"], ["1", "10"])
+    assert ghost.get("status") == "rejected", ghost
+    assert ghost.get("reason") == "unknown_session", ghost
+    sock.close()
+    results["refined"] = 3
 
 
 def drive_flood(addr, timeout, results, tenant, count):
@@ -260,6 +314,7 @@ def main():
     threads = [
         guarded(drive_ordered, args.addr, args.timeout, results),
         guarded(drive_streaming, args.addr, args.timeout, results),
+        guarded(drive_sessions, args.addr, args.timeout, results),
         guarded(
             drive_flood,
             args.addr,
@@ -286,7 +341,9 @@ def main():
     assert snapshot.get("schema") == "rei-service/router-metrics-v1", snapshot
     counters = snapshot["rollup"]["requests"]
     assert counters["rate_limited"] >= results["flood_rejected"], counters
-    admitted = results["ordered"] + results["streamed"] + results["flood_answered"]
+    admitted = (
+        results["ordered"] + results["streamed"] + results["refined"] + results["flood_answered"]
+    )
     assert counters["admitted"] >= admitted, counters
     # Admission rejections are split from queue-full ones: the flood was
     # turned away at the door, not by queue churn.
@@ -308,7 +365,8 @@ def main():
     scraped = f", {families} scraped metric families" if families else ""
     print(
         f"net contract ok: {results['ordered']} ordered + "
-        f"{results['streamed']} streamed answers, "
+        f"{results['streamed']} streamed + "
+        f"{results['refined']} refined answers (proto {PROTO_VERSION}), "
         f"{results['flood_rejected']} rate-limited rejections, "
         f"clean shutdown{scraped}"
     )

@@ -19,6 +19,13 @@ Flags:
   --all-source S[,S]   every result line's "source" is one of S
   --cost ID=N          the given id's "cost" (repeatable)
   --source ID=S[,S]    the given id's "source" is one of S (repeatable)
+  --reuse ID=L[,L]     the given id's "reuse" label is one of L — refine
+                       answers report unchanged/warm/cold (repeatable)
+  --proto N            every line (results, verb acks, metrics) carries
+                       "proto": N — the wire protocol version stamp
+  --ops a,b,c          the control-verb ack lines (hello, session.open,
+                       session.close, …) are exactly these ops in this
+                       order, every one with "status": "ok"
   --metrics            the last line is a rei-service/router-metrics-v1
                        snapshot (required by the three flags below)
   --pools N            the snapshot reports exactly N pools
@@ -33,6 +40,15 @@ Flags:
                        "source": "cache" (a restarted — or kill-9'd and
                        recovered — server answers repeats from its
                        persistent cache store)
+  --bench FILE         also validate the `service.refine` section of a
+                       BENCH_core.json: the interactive-refinement pass
+                       ran, reused warm state, and beat cold re-solves
+  --min-refine-speedup R
+                       the bench refine section's speedup (cold seconds /
+                       refine seconds) is at least R (needs --bench)
+
+With --bench the result-line checks are optional: piping /dev/null lets
+the script validate just the bench section.
 """
 
 import argparse
@@ -53,12 +69,17 @@ def parse_args():
     parser.add_argument("--all-source")
     parser.add_argument("--cost", action="append", default=[])
     parser.add_argument("--source", action="append", default=[])
+    parser.add_argument("--reuse", action="append", default=[])
+    parser.add_argument("--proto", type=int)
+    parser.add_argument("--ops")
     parser.add_argument("--metrics", action="store_true")
     parser.add_argument("--pools", type=int)
     parser.add_argument("--max-enqueued", type=int)
     parser.add_argument("--min-disk-loaded", type=int)
     parser.add_argument("--min-fused", type=int)
     parser.add_argument("--min-restart-hit-rate", type=float)
+    parser.add_argument("--bench")
+    parser.add_argument("--min-refine-speedup", type=float)
     return parser.parse_args()
 
 
@@ -68,16 +89,65 @@ def split_pair(raw, flag):
     return key, value
 
 
+def check_refine_bench(args):
+    """Validates the `service.refine` section of a BENCH_core.json: the
+    interactive-refinement pass genuinely reused warm session state and
+    answered each added example faster than a cold re-solve."""
+    with open(args.bench) as handle:
+        report = json.load(handle)
+    refine = report["service"]["refine"]
+    assert refine["chains"] > 0, refine
+    assert refine["steps"] > 0, refine
+    assert 1 <= refine["warm"] <= refine["steps"], refine
+    assert refine["refine_seconds_total"] < refine["cold_seconds_total"], (
+        f"refine lost to cold re-solve: {refine['refine_seconds_total']:.6f}s "
+        f"vs {refine['cold_seconds_total']:.6f}s"
+    )
+    if args.min_refine_speedup is not None:
+        assert refine["speedup"] >= args.min_refine_speedup, (
+            f"refine speedup {refine['speedup']:.2f} < {args.min_refine_speedup}"
+        )
+    print(
+        f"bench refine: {refine['chains']} chains / {refine['steps']} steps "
+        f"({refine['warm']} warm), {refine['refine_seconds_total'] * 1e3:.1f}ms "
+        f"vs cold {refine['cold_seconds_total'] * 1e3:.1f}ms "
+        f"({refine['speedup']:.2f}x)"
+    )
+
+
 def main():
     args = parse_args()
+    if args.min_refine_speedup is not None:
+        assert args.bench, "--min-refine-speedup needs --bench"
+    if args.bench:
+        check_refine_bench(args)
+
     text = open(args.file).read() if args.file else sys.stdin.read()
-    lines = [json.loads(line) for line in text.splitlines() if line.strip()]
-    assert lines, "no result lines"
+    all_lines = [json.loads(line) for line in text.splitlines() if line.strip()]
+    assert all_lines or args.bench, "no result lines"
+    if not all_lines:
+        return
 
     metrics = None
     if args.metrics:
-        metrics = lines.pop()
+        metrics = all_lines.pop()
         assert metrics.get("schema") == "rei-service/router-metrics-v1", metrics
+
+    if args.proto is not None:
+        stamped = all_lines + ([metrics] if metrics is not None else [])
+        bad = [l for l in stamped if l.get("proto") != args.proto]
+        assert not bad, f"lines without proto {args.proto}: {bad}"
+
+    # Control-verb acknowledgements (hello, session.open/close, …) carry
+    # an "op" instead of an "id" and interleave with the result lines.
+    ops = [line for line in all_lines if "op" in line]
+    lines = [line for line in all_lines if "op" not in line]
+    if args.ops is not None:
+        expected = args.ops.split(",")
+        actual = [op.get("op") for op in ops]
+        assert actual == expected, f"verb acks {actual} != {expected}"
+        bad = [op for op in ops if op.get("status") != "ok"]
+        assert not bad, f"failed verb acks: {bad}"
 
     by_id = {}
     ids = []
@@ -109,6 +179,11 @@ def main():
         allowed = set(value.split(","))
         actual = by_id[key].get("source")
         assert actual in allowed, f"id {key}: source {actual} not in {sorted(allowed)}"
+    for raw in args.reuse:
+        key, value = split_pair(raw, "--reuse")
+        allowed = set(value.split(","))
+        actual = by_id[key].get("reuse")
+        assert actual in allowed, f"id {key}: reuse {actual} not in {sorted(allowed)}"
 
     if args.pools is not None:
         assert metrics is not None, "--pools needs --metrics"

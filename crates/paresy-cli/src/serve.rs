@@ -45,6 +45,14 @@
 //! `cancelled`; malformed lines report `bad-request` with an `error`
 //! message (and are not submitted). Blank lines are skipped.
 //!
+//! Control verbs work on stdin too — `{"op": "hello"}` answers the
+//! protocol handshake, `{"op": "session.open", "name": "s1"}` opens a
+//! refinement session and `{"verb": "refine", "session": "s1", "pos":
+//! [...]}` re-solves a strengthened specification warm through it (see
+//! [`rei_net::protocol`]); verbs execute in input order, before any
+//! later request is submitted. Every output line carries `"proto":`
+//! [`PROTO_VERSION`](rei_net::protocol::PROTO_VERSION).
+//!
 //! With `--listen ADDR` the same protocol is served over TCP instead of
 //! stdin (see [`rei_net`]): many concurrent connections, per-connection
 //! ordered/streaming answer modes, control verbs, per-tenant fair-share
@@ -57,10 +65,13 @@ use std::io::{BufRead, Write};
 use std::time::Duration;
 
 use rei_core::SynthConfig;
-use rei_net::protocol::{bad_request_line, parse_request, response_line};
-use rei_net::{install_shutdown_signals, NetConfig, NetServer};
+use rei_net::protocol::{
+    bad_request_line, hello_line, parse_line, rejected_line, response_line, stamped, verb_ok_line,
+    Input, Verb,
+};
+use rei_net::{install_shutdown_signals, session_verb_line, NetConfig, NetServer};
 use rei_service::json::Json;
-use rei_service::{JobHandle, RouterConfig, ServiceConfig, ShardRouter, WalOptions};
+use rei_service::{JobHandle, RouterConfig, ServiceConfig, ServiceError, ShardRouter, WalOptions};
 
 use crate::args::ServeOptions;
 
@@ -114,8 +125,37 @@ fn build_router(options: &ServeOptions) -> Result<ShardRouter, String> {
     ShardRouter::start(config).map_err(|err| err.to_string())
 }
 
+/// Answers a control verb in stdin serve mode. Only the verbs that make
+/// sense without a long-lived connection are available: `ping`, `hello`,
+/// `metrics` and the session verbs. Connection-scoped verbs (`mode`,
+/// `shutdown`, `trace`, `prometheus`) belong to `--listen` mode.
+fn stdin_verb_line(router: &ShardRouter, verb: &Verb, number: usize) -> Json {
+    match verb {
+        Verb::Ping => verb_ok_line("ping"),
+        Verb::Hello => hello_line(),
+        Verb::SessionOpen { .. } | Verb::SessionClose { .. } => session_verb_line(router, verb),
+        Verb::Metrics => stamped(router.metrics().to_json()),
+        _ => bad_request_line(
+            Json::uint(number as u64),
+            "this op is not available in stdin serve mode",
+        ),
+    }
+}
+
+/// Renders a submission failure as a `rejected` result line.
+fn submit_rejected_line(id: Json, err: &ServiceError) -> Json {
+    let reason = match err {
+        ServiceError::UnknownSession(_) => "unknown_session",
+        _ => "shutting_down",
+    };
+    rejected_line(id, reason)
+}
+
 /// Runs the serve command over `input` (one JSON request per line) and
 /// returns the JSONL output, one result per request in request order.
+/// Control verbs (session opens/closes included) execute as they are
+/// read, before any later request is submitted, so an
+/// open→refine→…→close script behaves as written.
 ///
 /// # Errors
 ///
@@ -130,21 +170,24 @@ pub fn run_serve_on(options: &ServeOptions, input: &str) -> Result<String, Strin
     // by blocking the reader), then answer in request order.
     enum Line {
         Submitted(Json, JobHandle),
-        BadRequest(Json, String),
+        Rendered(Json),
     }
     let mut lines = Vec::new();
     for (index, line) in input.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
         }
-        match parse_request(line, index + 1) {
-            Ok(parsed) => {
-                let handle = router
-                    .submit(parsed.request)
-                    .expect("router is open until shutdown");
-                lines.push(Line::Submitted(parsed.id, handle));
+        match parse_line(line, index + 1) {
+            Input::Control(verb) => {
+                lines.push(Line::Rendered(stdin_verb_line(&router, &verb, index + 1)));
             }
-            Err((id, message)) => lines.push(Line::BadRequest(id, message)),
+            Input::Request(parsed) => match router.submit(parsed.request) {
+                Ok(handle) => lines.push(Line::Submitted(parsed.id, handle)),
+                Err(err) => lines.push(Line::Rendered(submit_rejected_line(parsed.id, &err))),
+            },
+            Input::Bad { id, error } => {
+                lines.push(Line::Rendered(bad_request_line(id, &error)));
+            }
         }
     }
 
@@ -152,14 +195,14 @@ pub fn run_serve_on(options: &ServeOptions, input: &str) -> Result<String, Strin
     for line in &lines {
         let rendered = match line {
             Line::Submitted(id, handle) => response_line(id.clone(), &handle.wait(), None),
-            Line::BadRequest(id, message) => bad_request_line(id.clone(), message),
+            Line::Rendered(rendered) => rendered.clone(),
         };
         out.push_str(&rendered.to_compact());
         out.push('\n');
     }
     let snapshot = router.shutdown();
     if options.metrics {
-        out.push_str(&snapshot.to_json().to_compact());
+        out.push_str(&stamped(snapshot.to_json()).to_compact());
         out.push('\n');
     }
     Ok(out)
@@ -241,14 +284,15 @@ pub fn run_serve_stream(
                 if line.trim().is_empty() {
                     continue;
                 }
-                match parse_request(&line, number) {
-                    Ok(parsed) => {
-                        let handle = router
-                            .submit(parsed.request)
-                            .expect("router is open until shutdown");
-                        pending.push_back((parsed.id, handle));
+                match parse_line(&line, number) {
+                    Input::Control(verb) => {
+                        emit(&mut out, &stdin_verb_line(&router, &verb, number))?;
                     }
-                    Err((id, message)) => emit(&mut out, &bad_request_line(id, &message))?,
+                    Input::Request(parsed) => match router.submit(parsed.request) {
+                        Ok(handle) => pending.push_back((parsed.id, handle)),
+                        Err(err) => emit(&mut out, &submit_rejected_line(parsed.id, &err))?,
+                    },
+                    Input::Bad { id, error } => emit(&mut out, &bad_request_line(id, &error))?,
                 }
             }
             Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {}
@@ -262,7 +306,7 @@ pub fn run_serve_stream(
     }
     let snapshot = router.shutdown();
     if options.metrics {
-        emit(&mut out, &snapshot.to_json())?;
+        emit(&mut out, &stamped(snapshot.to_json()))?;
     }
     Ok(())
 }
@@ -306,7 +350,7 @@ pub fn run_serve_listen(options: &ServeOptions, mut out: impl Write) -> Result<(
     install_shutdown_signals();
     let snapshot = server.run()?;
     if options.metrics {
-        emit(&mut out, &snapshot.to_json())?;
+        emit(&mut out, &stamped(snapshot.to_json()))?;
     }
     Ok(())
 }
@@ -515,6 +559,62 @@ mod tests {
                 "{result:?}"
             );
         }
+    }
+
+    #[test]
+    fn sessions_refine_warm_over_stdin() {
+        let mut options = options();
+        options.workers = 1; // deterministic refine ordering
+        let input = "{\"op\": \"hello\"}\n\
+            {\"op\": \"session.open\", \"name\": \"s1\"}\n\
+            {\"verb\": \"refine\", \"session\": \"s1\", \"id\": \"a\", \"pos\": [\"0\", \"00\"], \"neg\": [\"1\"]}\n\
+            {\"verb\": \"refine\", \"session\": \"s1\", \"id\": \"b\", \"pos\": [\"0\", \"00\"], \"neg\": [\"1\", \"10\"]}\n\
+            {\"verb\": \"refine\", \"session\": \"ghost\", \"id\": \"c\", \"pos\": [\"0\"]}\n\
+            {\"op\": \"session.close\", \"name\": \"s1\"}\n";
+        let out = run_serve_on(&options, input).unwrap();
+        let results = lines(&out);
+        assert_eq!(results.len(), 6, "{out}");
+        for line in &results {
+            assert_eq!(
+                line.get("proto").and_then(Json::as_u64),
+                Some(rei_net::protocol::PROTO_VERSION),
+                "{line:?}"
+            );
+        }
+        assert_eq!(results[0].get("op").and_then(Json::as_str), Some("hello"));
+        assert!(results[0].get("verbs").is_some());
+        assert_eq!(results[1].get("session").and_then(Json::as_str), Some("s1"));
+        let first = &results[2];
+        assert_eq!(first.get("id").and_then(Json::as_str), Some("a"));
+        assert_eq!(first.get("status").and_then(Json::as_str), Some("solved"));
+        assert_eq!(first.get("source").and_then(Json::as_str), Some("session"));
+        assert_eq!(first.get("reuse").and_then(Json::as_str), Some("cold"));
+        let second = &results[3];
+        assert_eq!(second.get("reuse").and_then(Json::as_str), Some("warm"));
+        assert!(second.get("reason").is_none());
+        let ghost = &results[4];
+        assert_eq!(ghost.get("status").and_then(Json::as_str), Some("rejected"));
+        assert_eq!(
+            ghost.get("reason").and_then(Json::as_str),
+            Some("unknown_session")
+        );
+        assert_eq!(
+            results[5].get("op").and_then(Json::as_str),
+            Some("session.close")
+        );
+        assert_eq!(results[5].get("status").and_then(Json::as_str), Some("ok"));
+    }
+
+    #[test]
+    fn connection_scoped_verbs_are_refused_on_stdin() {
+        let out = run_serve_on(&options(), "{\"op\": \"shutdown\"}\n{\"op\": \"ping\"}\n").unwrap();
+        let results = lines(&out);
+        assert_eq!(
+            results[0].get("status").and_then(Json::as_str),
+            Some("bad-request")
+        );
+        assert_eq!(results[1].get("op").and_then(Json::as_str), Some("ping"));
+        assert_eq!(results[1].get("status").and_then(Json::as_str), Some("ok"));
     }
 
     #[test]

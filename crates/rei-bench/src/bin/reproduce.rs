@@ -445,6 +445,16 @@ fn print_serve(
         report.recovery.threads,
         report.recovery.speedup()
     );
+    println!(
+        "refine: {} chains, {} steps ({} warm) — sessions {:.1} ms vs cold re-solve \
+         {:.1} ms ({:.1}x)\n",
+        report.refine.chains,
+        report.refine.steps,
+        report.refine.warm,
+        report.refine.refine_seconds_total * 1e3,
+        report.refine.cold_seconds_total * 1e3,
+        report.refine.speedup()
+    );
     let mut service = report.to_json_value();
     if let Some(net_threads) = listen_net_threads {
         service.set("net", print_net(config, workers, pools, net_threads));

@@ -19,7 +19,8 @@ pub use net::{run_net, NetConnection, NetPass, NetReport, FLOOD_BURST, NET_CONNE
 pub use outliers::{outlier_distribution, OutlierRow, PAPER_THRESHOLDS};
 pub use perf::{run_perf, BackendPerfRow, KernelPerfRow, PerfReport};
 pub use serve::{
-    run_recovery, run_serve, LatencySummary, PoolBreakdown, RecoveryBench, ServePass, ServeReport,
+    refinement_chain, run_recovery, run_refine_pass, run_serve, ChainStat, LatencySummary,
+    PoolBreakdown, RecoveryBench, RefinePass, ServePass, ServeReport,
 };
 pub use table1::{run_table1, Table1Row};
 pub use table2::{run_table2, Table2Row};

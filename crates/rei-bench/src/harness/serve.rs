@@ -25,15 +25,24 @@
 //!   leave behind) and times the read-only [`replay`] of it serially
 //!   (one thread) versus in parallel (one thread per core), minimum of
 //!   three rounds each — the number behind the claim that a restarted
-//!   server warms up faster than a serial log scan.
+//!   server warms up faster than a serial log scan;
+//! * a **refine pass** that replays each benchmark as an *interactive
+//!   refinement chain*: the maximal examples (those that are not infixes
+//!   of other examples) open a session, the remaining examples arrive
+//!   one at a time as `refine` requests against the warm session, and
+//!   every step is cold re-solved on a second, sessionless service for
+//!   comparison — the number behind the claim that refining a session
+//!   beats re-solving the strengthened specification from scratch.
 //!
 //! The report lands in the `service` section of `BENCH_core.json` next to
 //! the kernel and backend baselines (see `reproduce serve`), including a
 //! per-pool breakdown of the sharded traffic.
 
+use std::collections::BTreeSet;
 use std::path::Path;
 use std::time::{Duration, Instant};
 
+use rei_lang::{Spec, Word};
 use rei_service::json::Json;
 use rei_service::{
     replay, RouterConfig, RouterSnapshot, ServiceConfig, ShardRouter, SynthRequest, SynthService,
@@ -292,6 +301,220 @@ pub fn run_recovery(dir: &Path, records: u64) -> RecoveryBench {
     }
 }
 
+/// Per-chain counters of the interactive-refinement pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChainStat {
+    /// Examples in the chain's base (maximal-word) specification.
+    pub base_examples: usize,
+    /// Refinement steps the chain played (one example added per step).
+    pub steps: usize,
+    /// Wall seconds the warm session spent answering all steps.
+    pub refine_seconds: f64,
+    /// Wall seconds the sessionless service spent cold re-solving the
+    /// same strengthened specifications.
+    pub cold_seconds: f64,
+}
+
+impl ChainStat {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("base_examples", Json::uint(self.base_examples as u64)),
+            ("steps", Json::uint(self.steps as u64)),
+            ("refine_seconds", Json::fixed(self.refine_seconds, 6)),
+            ("cold_seconds", Json::fixed(self.cold_seconds, 6)),
+        ])
+    }
+}
+
+/// Counters of the interactive-refinement pass: warm `refine` steps
+/// against a session versus cold re-solves of the same strengthened
+/// specifications.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RefinePass {
+    /// Benchmarks that yielded a refinement chain (a solvable base with
+    /// at least one deferred example).
+    pub chains: usize,
+    /// Total refinement steps across all chains.
+    pub steps: u64,
+    /// Steps the session answered with warm reuse (retained state).
+    pub warm: u64,
+    /// Wall seconds of all warm refine steps.
+    pub refine_seconds_total: f64,
+    /// Wall seconds of all cold re-solves of the same specifications.
+    pub cold_seconds_total: f64,
+    /// Per-chain breakdown.
+    pub per_chain: Vec<ChainStat>,
+}
+
+impl RefinePass {
+    /// `cold_seconds_total / refine_seconds_total` (0 when refine is 0).
+    pub fn speedup(&self) -> f64 {
+        if self.refine_seconds_total > 0.0 {
+            self.cold_seconds_total / self.refine_seconds_total
+        } else {
+            0.0
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("chains", Json::uint(self.chains as u64)),
+            ("steps", Json::uint(self.steps)),
+            ("warm", Json::uint(self.warm)),
+            (
+                "refine_seconds_total",
+                Json::fixed(self.refine_seconds_total, 6),
+            ),
+            (
+                "cold_seconds_total",
+                Json::fixed(self.cold_seconds_total, 6),
+            ),
+            ("speedup", Json::fixed(self.speedup(), 2)),
+            (
+                "per_chain",
+                Json::array(self.per_chain.iter().map(ChainStat::to_json)),
+            ),
+        ])
+    }
+}
+
+/// Splits a specification into a refinement chain: the *base* keeps the
+/// maximal examples — words that are not proper infixes of any other
+/// example — and the remaining (infix) examples arrive one at a time as
+/// refinement steps. Because the maximal words already fix the infix
+/// closure, every step strengthens the base without growing the closure,
+/// which is exactly the case a warm session resumes instead of falling
+/// back cold. Specifications whose base would lose every positive
+/// example, or with nothing to defer, yield no chain.
+pub fn refinement_chain(spec: &Spec) -> Option<(Spec, Vec<Spec>)> {
+    let all: Vec<(&Word, bool)> = spec
+        .positive()
+        .iter()
+        .map(|word| (word, true))
+        .chain(spec.negative().iter().map(|word| (word, false)))
+        .collect();
+    // pos/neg are disjoint sets, so words are unique and "proper infix
+    // of another example" is simply "infix of a different example".
+    let deferred_word = |word: &Word| {
+        all.iter()
+            .any(|(other, _)| *other != word && other.contains_infix(word))
+    };
+    let mut pos: BTreeSet<Word> = BTreeSet::new();
+    let mut neg: BTreeSet<Word> = BTreeSet::new();
+    let mut deferred: Vec<(Word, bool)> = Vec::new();
+    for (word, positive) in &all {
+        if deferred_word(word) {
+            deferred.push(((*word).clone(), *positive));
+        } else if *positive {
+            pos.insert((*word).clone());
+        } else {
+            neg.insert((*word).clone());
+        }
+    }
+    if pos.is_empty() || deferred.is_empty() {
+        return None;
+    }
+    let base = Spec::new(pos.clone(), neg.clone()).ok()?;
+    let mut steps = Vec::with_capacity(deferred.len());
+    for (word, positive) in deferred {
+        if positive {
+            pos.insert(word);
+        } else {
+            neg.insert(word);
+        }
+        steps.push(Spec::new(pos.clone(), neg.clone()).ok()?);
+    }
+    Some((base, steps))
+}
+
+/// Replays every chain-able benchmark as an interactive refinement: one
+/// single-worker service holds the warm sessions, a second, identically
+/// configured service cold re-solves each strengthened specification.
+/// Both sides run the same backend and budgets, and every step waits for
+/// its answer before the next example is added — the interactive usage
+/// pattern the session API exists for.
+pub fn run_refine_pass(config: &HarnessConfig) -> RefinePass {
+    let pool = benchmark_pool(config);
+    let synth = config.synth_config(REFERENCE.costs);
+    let service_config = || {
+        ServiceConfig::new(1)
+            .with_queue_capacity(pool.len().max(1))
+            .with_synth(synth.clone())
+    };
+    let warm_service = SynthService::start(service_config()).expect("harness config is valid");
+    let cold_service = SynthService::start(service_config()).expect("harness config is valid");
+
+    let mut pass = RefinePass {
+        chains: 0,
+        steps: 0,
+        warm: 0,
+        refine_seconds_total: 0.0,
+        cold_seconds_total: 0.0,
+        per_chain: Vec::new(),
+    };
+    for (index, bench) in pool.iter().enumerate() {
+        let Some((base, steps)) = refinement_chain(&bench.spec) else {
+            continue;
+        };
+        let name = format!("chain-{index}");
+        warm_service
+            .open_session(Some(&name), None)
+            .expect("service accepts sessions while open");
+        // Solve the base through the session (untimed: both sides would
+        // pay it identically) and skip chains whose base fails — a
+        // failed previous run never retains state to refine from.
+        let base_request = SynthRequest::new(base).with_session(&name);
+        let solved = warm_service
+            .submit(base_request)
+            .expect("session was just opened")
+            .wait()
+            .outcome
+            .is_ok();
+        if !solved {
+            warm_service.close_session(&name).expect("session is live");
+            continue;
+        }
+        let mut chain = ChainStat {
+            base_examples: 0,
+            steps: 0,
+            refine_seconds: 0.0,
+            cold_seconds: 0.0,
+        };
+        chain.base_examples = bench.spec.len() - steps.len();
+        for step in steps {
+            let started = Instant::now();
+            let refined = warm_service
+                .submit(SynthRequest::new(step.clone()).with_session(&name))
+                .expect("session is live")
+                .wait();
+            chain.refine_seconds += started.elapsed().as_secs_f64();
+            if refined
+                .reuse
+                .as_ref()
+                .is_some_and(|reuse| reuse.label() == "warm")
+            {
+                pass.warm += 1;
+            }
+            let started = Instant::now();
+            let _ = cold_service
+                .submit(SynthRequest::new(step))
+                .expect("cold service accepts while open")
+                .wait();
+            chain.cold_seconds += started.elapsed().as_secs_f64();
+            chain.steps += 1;
+        }
+        warm_service.close_session(&name).expect("session is live");
+        pass.chains += 1;
+        pass.steps += chain.steps as u64;
+        pass.refine_seconds_total += chain.refine_seconds;
+        pass.cold_seconds_total += chain.cold_seconds;
+        pass.per_chain.push(chain);
+    }
+    warm_service.shutdown();
+    cold_service.shutdown();
+    pass
+}
+
 /// The full serve-throughput report.
 #[derive(Debug, Clone)]
 pub struct ServeReport {
@@ -321,6 +544,9 @@ pub struct ServeReport {
     /// Serial-versus-parallel recovery timings over a fabricated
     /// multi-segment write-ahead log.
     pub recovery: RecoveryBench,
+    /// The interactive-refinement pass: warm session refines versus cold
+    /// re-solves of the same strengthened specifications.
+    pub refine: RefinePass,
     /// Per-pool breakdown of the cold+warm router.
     pub pools: Vec<PoolBreakdown>,
 }
@@ -339,11 +565,13 @@ impl ServeReport {
     /// `fused` pass: cross-request batch-fusion counters from a
     /// single-worker burst. v4 added the `latency` section: exact
     /// client-side end-to-end p50/p95/p99 of the cold and warm passes.
-    /// v5 adds the `recovery` section: serial-versus-parallel replay of
-    /// a fabricated multi-segment write-ahead log.
+    /// v5 added the `recovery` section: serial-versus-parallel replay of
+    /// a fabricated multi-segment write-ahead log. v6 adds the `refine`
+    /// section: interactive refinement chains against warm sessions
+    /// versus cold re-solves.
     pub fn to_json_value(&self) -> Json {
         Json::object([
-            ("schema", Json::str("rei-bench/service-v5")),
+            ("schema", Json::str("rei-bench/service-v6")),
             ("workers", Json::uint(self.workers as u64)),
             ("backend", Json::str(&self.backend)),
             ("queue_capacity", Json::uint(self.queue_capacity as u64)),
@@ -361,6 +589,7 @@ impl ServeReport {
             ),
             ("fused", self.fused.to_json()),
             ("recovery", self.recovery.to_json()),
+            ("refine", self.refine.to_json()),
             ("replay_speedup", Json::fixed(self.replay_speedup(), 2)),
             (
                 "pools",
@@ -537,6 +766,8 @@ pub fn run_serve(
     };
     let recovery = run_recovery(cache_dir, recovery_records);
 
+    let refine = run_refine_pass(config);
+
     ServeReport {
         workers,
         backend,
@@ -550,6 +781,7 @@ pub fn run_serve(
         warm_latency,
         fused,
         recovery,
+        refine,
         pools: pools_breakdown,
     }
 }
@@ -641,7 +873,44 @@ mod tests {
         assert_eq!(report.recovery.loaded, report.recovery.records);
         assert!(report.recovery.serial_seconds > 0.0);
         assert!(report.recovery.parallel_seconds > 0.0);
+        // The refine pass played real chains, the warm session engaged,
+        // and refining beat cold re-solving the same strengthened specs.
+        assert!(report.refine.chains > 0, "no benchmark yielded a chain");
+        assert!(report.refine.steps > 0);
+        assert!(report.refine.warm > 0, "no refine step reused state");
+        assert_eq!(report.refine.per_chain.len(), report.refine.chains);
+        assert!(
+            report.refine.refine_seconds_total < report.refine.cold_seconds_total,
+            "refine {} vs cold {}",
+            report.refine.refine_seconds_total,
+            report.refine.cold_seconds_total
+        );
+        assert!(report.refine.speedup() > 1.0);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn refinement_chains_defer_only_infix_examples() {
+        // "101"/"100" keep the closure; "10", "", "0" and "1" are all
+        // infixes of them and become the refinement steps.
+        let spec = Spec::from_strs(["10", "101", "100"], ["", "0", "1"]).unwrap();
+        let (base, steps) = refinement_chain(&spec).expect("the intro spec chains");
+        assert_eq!(base.num_positive(), 2);
+        assert_eq!(base.num_negative(), 0);
+        assert_eq!(steps.len(), 4);
+        // Each step adds exactly one example; the last step is the
+        // original specification.
+        for (index, step) in steps.iter().enumerate() {
+            assert_eq!(step.len(), base.len() + index + 1);
+        }
+        assert_eq!(steps.last().unwrap().canonicalize(), spec.canonicalize());
+        // A spec of incomparable words has nothing to defer.
+        let flat = Spec::from_strs(["01"], ["10"]).unwrap();
+        assert!(refinement_chain(&flat).is_none());
+        // A spec whose positives are all infixes of a negative would
+        // leave a positive-free base: no chain.
+        let swallowed = Spec::from_strs(["0"], ["00"]).unwrap();
+        assert!(refinement_chain(&swallowed).is_none());
     }
 
     #[test]
@@ -711,6 +980,19 @@ mod tests {
                 available_cores: 8,
                 rounds: 3,
             },
+            refine: RefinePass {
+                chains: 2,
+                steps: 6,
+                warm: 5,
+                refine_seconds_total: 0.25,
+                cold_seconds_total: 1.0,
+                per_chain: vec![ChainStat {
+                    base_examples: 3,
+                    steps: 3,
+                    refine_seconds: 0.1,
+                    cold_seconds: 0.5,
+                }],
+            },
             pools: vec![
                 PoolBreakdown {
                     name: "pool-0".into(),
@@ -733,7 +1015,19 @@ mod tests {
         let json = report.to_json_value();
         assert_eq!(
             json.get("schema").and_then(Json::as_str),
-            Some("rei-bench/service-v5")
+            Some("rei-bench/service-v6")
+        );
+        let refine = json.get("refine").unwrap();
+        assert_eq!(refine.get("chains").and_then(Json::as_u64), Some(2));
+        assert_eq!(refine.get("steps").and_then(Json::as_u64), Some(6));
+        assert_eq!(refine.get("warm").and_then(Json::as_u64), Some(5));
+        assert_eq!(refine.get("speedup").and_then(Json::as_f64), Some(4.0));
+        assert_eq!(
+            refine
+                .get("per_chain")
+                .and_then(Json::as_array)
+                .map(|chains| chains.len()),
+            Some(1)
         );
         let recovery = json.get("recovery").unwrap();
         assert_eq!(recovery.get("records").and_then(Json::as_u64), Some(5000));

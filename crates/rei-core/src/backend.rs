@@ -1,8 +1,8 @@
 //! Execution backends: the open abstraction over *how* a cost level's
 //! candidate rows are computed.
 //!
-//! The seed's closed two-variant `Engine` enum is replaced by the
-//! [`Backend`] trait, so new execution strategies (chunked/rayon-style CPU,
+//! Execution strategy is the open [`Backend`] trait, so new strategies
+//! (chunked/rayon-style CPU,
 //! a real GPU runtime, remote executors) can plug into the search without
 //! touching the search core. Two implementations ship with this crate,
 //! mirroring the paper's CPU/GPU split:

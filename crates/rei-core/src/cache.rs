@@ -172,6 +172,29 @@ impl LanguageCache {
         Some(idx)
     }
 
+    /// Drops every row of cost strictly greater than `cost`, keeping the
+    /// complete prefix of levels up to and including `cost`.
+    ///
+    /// This is the retention step of an incremental refinement session:
+    /// after a run wins mid-level, the winning level is only partially
+    /// stored, so a resumed search truncates back to the last *complete*
+    /// level before re-enumerating from there. Rows are stored in
+    /// non-decreasing cost order, so the retained rows are a prefix and
+    /// every surviving provenance index stays valid.
+    pub fn truncate_to_cost(&mut self, cost: u64) {
+        let keep = self.costs.partition_point(|&c| c <= cost);
+        if keep == self.costs.len() {
+            return;
+        }
+        self.rows.truncate(keep * self.width.blocks());
+        self.provenance.truncate(keep);
+        self.costs.truncate(keep);
+        // Ranges are contiguous per cost and costs are non-decreasing, so
+        // every range keyed at most `cost` lies entirely inside the kept
+        // prefix; the rest are dropped whole.
+        self.start_points.retain(|&c, _| c <= cost);
+    }
+
     /// The row indices holding languages of exactly `cost`.
     pub fn indices_of_cost(&self, cost: u64) -> Range<usize> {
         self.start_points.get(&cost).cloned().unwrap_or(0..0)

@@ -36,8 +36,16 @@
 //! specifications advanced in lock step as one fused level sweep, with
 //! per-member [`FusedRequest`] cancellation). Long runs stop
 //! cooperatively through a [`CancelToken`].
-//! [`Synthesizer`] remains as a one-shot convenience wrapper, and the old
-//! closed [`Engine`] enum survives as a deprecated shim.
+//! [`Synthesizer`] remains as a one-shot convenience wrapper.
+//!
+//! Interactive workloads refine a session instead of re-running it:
+//! [`refine`](SynthSession::refine) detects when a new [`Spec`] is a
+//! *strengthening* of the previous one and reuses the previous outcome
+//! and retained level caches (see [`RunOutcome`], [`ReuseDecision`] and
+//! the [`refine`] module); any other spec transparently
+//! falls back to a cold run.
+//!
+//! [`Spec`]: rei_lang::Spec
 //!
 //! # Example
 //!
@@ -69,8 +77,8 @@
 pub mod backend;
 pub mod cache;
 mod config;
-mod engine;
 mod observe;
+pub mod refine;
 mod result;
 pub mod sched;
 mod search;
@@ -83,9 +91,8 @@ pub use backend::{
 };
 pub use cache::{LanguageCache, Provenance};
 pub use config::SynthConfig;
-#[allow(deprecated)]
-pub use engine::Engine;
 pub use observe::{CancelToken, LevelLog, NoopObserver, Observer};
+pub use refine::{ColdReason, RefineState, ReuseDecision, RunOutcome};
 pub use result::{LevelStats, SynthesisError, SynthesisResult, SynthesisStats};
 pub use session::{FusedRequest, SessionStats, SynthSession};
 pub use synth::Synthesizer;

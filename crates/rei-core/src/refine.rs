@@ -1,0 +1,291 @@
+//! Incremental refinement of synthesis sessions.
+//!
+//! Interactive programming-by-example traffic is iterative: a user adds
+//! an example, the specification *strengthens* (the new positive and
+//! negative example sets are supersets of the previous ones) and the
+//! previous answer is either still correct or the search must look
+//! further. [`SynthSession::refine`](crate::SynthSession::refine) exploits
+//! that structure instead of restarting from cost 1:
+//!
+//! * **Unchanged** — the spec equals the previous one: the cached outcome
+//!   is returned without re-running admission (0 `admission_folds`).
+//! * **Warm** — the spec is a strengthening over the same alphabet with
+//!   the same absolute allowed-error budget: the previous winner is
+//!   re-checked against the new examples (sound because rejection is
+//!   monotone under example supersets), and if it no longer satisfies,
+//!   enumeration resumes from the retained level caches at the previously
+//!   reached cost instead of re-enumerating from scratch.
+//! * **Cold** — anything else (example removed, alphabet changed, budget
+//!   changed, new examples outside the retained closure, no usable
+//!   previous run): a transparent cold run, identical to
+//!   [`SynthSession::run`](crate::SynthSession::run).
+//!
+//! Every tier returns results identical to a cold run of the same spec —
+//! the tiers differ only in how much work they skip. The soundness
+//! argument lives in DESIGN.md ("Interactive refinement").
+
+use std::time::Duration;
+
+use rei_lang::{Alphabet, Spec};
+use rei_syntax::Regex;
+
+use crate::result::{SynthesisError, SynthesisResult, SynthesisStats};
+use crate::search::ResumeState;
+
+/// Why a [`refine`](crate::SynthSession::refine) call fell back to a cold
+/// run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColdReason {
+    /// The session has no previous run to refine from.
+    NoPrevious,
+    /// The previous run failed non-deterministically (timeout, cancel,
+    /// out of memory), so its outcome cannot be reused.
+    PreviousFailed,
+    /// The new spec is not a strengthening: an example was removed or the
+    /// positive/negative sets are otherwise not supersets.
+    NotStrengthening,
+    /// The effective alphabet changed, so the previous minimality proof
+    /// does not cover the new candidate space.
+    AlphabetChanged,
+    /// The absolute allowed-error budget changed, breaking the
+    /// monotonicity argument that lets retained rejections stand.
+    BudgetChanged,
+    /// A new example lies outside the retained infix closure, so the
+    /// retained level caches cannot index it (and the previous winner
+    /// also failed the new spec).
+    ClosureGrew,
+    /// The previous run left no resumable search state (trivially solved,
+    /// or it ended in OnTheFly mode) and its winner failed the new spec.
+    NoRetainedSearch,
+}
+
+impl ColdReason {
+    /// Stable lower-snake identifier, reported over the wire protocol.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ColdReason::NoPrevious => "no_previous",
+            ColdReason::PreviousFailed => "previous_failed",
+            ColdReason::NotStrengthening => "not_strengthening",
+            ColdReason::AlphabetChanged => "alphabet_changed",
+            ColdReason::BudgetChanged => "budget_changed",
+            ColdReason::ClosureGrew => "closure_grew",
+            ColdReason::NoRetainedSearch => "no_retained_search",
+        }
+    }
+}
+
+/// How much previous-run state a [`refine`](crate::SynthSession::refine)
+/// call reused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReuseDecision {
+    /// The spec was unchanged; the cached outcome was returned without
+    /// re-running admission.
+    Unchanged,
+    /// The spec strengthened the previous one; retained state answered or
+    /// resumed the search.
+    Warm {
+        /// Cached rows carried over from the previous run.
+        retained_rows: u64,
+        /// The cost level enumeration resumed from (for the
+        /// previous-winner fast path, the winner's own cost).
+        resumed_cost: u64,
+    },
+    /// A transparent cold run, for the stated reason.
+    Cold(ColdReason),
+}
+
+impl ReuseDecision {
+    /// Coarse wire label: `"unchanged"`, `"warm"` or `"cold"`.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ReuseDecision::Unchanged => "unchanged",
+            ReuseDecision::Warm { .. } => "warm",
+            ReuseDecision::Cold(_) => "cold",
+        }
+    }
+
+    /// The cold-fallback reason, when this decision is cold.
+    pub fn cold_reason(&self) -> Option<ColdReason> {
+        match self {
+            ReuseDecision::Cold(reason) => Some(*reason),
+            _ => None,
+        }
+    }
+
+    /// Whether previous-run state was reused (unchanged or warm).
+    pub fn reused(&self) -> bool {
+        !matches!(self, ReuseDecision::Cold(_))
+    }
+}
+
+/// The outcome of one [`refine`](crate::SynthSession::refine) call: the
+/// synthesis outcome (identical to what a cold
+/// [`run`](crate::SynthSession::run) of the same spec would return) plus
+/// the reuse decision that produced it.
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// The synthesis outcome for the refined specification.
+    pub outcome: Result<SynthesisResult, SynthesisError>,
+    /// How much previous-run state was reused.
+    pub reuse: ReuseDecision,
+}
+
+impl RunOutcome {
+    /// The successful result, if any.
+    pub fn result(&self) -> Option<&SynthesisResult> {
+        self.outcome.as_ref().ok()
+    }
+}
+
+/// The deterministic part of a previous run's outcome, replayable for an
+/// unchanged spec and re-checkable against a strengthened one.
+#[derive(Debug, Clone)]
+pub(crate) enum PrevOutcome {
+    /// The previous run found a minimal satisfying expression.
+    Solved {
+        /// The winning expression.
+        regex: Regex,
+        /// Its cost under the session's cost homomorphism.
+        cost: u64,
+    },
+    /// The previous run exhausted its cost bound without a winner.
+    NotFound {
+        /// The exhausted bound.
+        max_cost: u64,
+    },
+}
+
+/// Everything a previous run leaves behind for the next refinement.
+#[derive(Debug)]
+pub(crate) struct PrevRun {
+    /// The previous specification.
+    pub spec: Spec,
+    /// The absolute allowed-error budget the previous run used.
+    pub allowed: usize,
+    /// The effective alphabet the previous run searched over.
+    pub alphabet: Alphabet,
+    /// The previous deterministic outcome; `None` after a timeout,
+    /// cancellation or out-of-memory failure.
+    pub outcome: Option<PrevOutcome>,
+    /// Retained search state (closure, guide masks, complete level
+    /// caches), when the run left any.
+    pub retained: Option<ResumeState>,
+}
+
+impl PrevRun {
+    /// Materialises the cached outcome for an unchanged spec. The stats
+    /// are fresh (all zero except `elapsed`): they describe the work of
+    /// *this* call, which re-ran nothing.
+    pub fn replay(&self, elapsed: Duration) -> Option<Result<SynthesisResult, SynthesisError>> {
+        match self.outcome.as_ref()? {
+            PrevOutcome::Solved { regex, cost } => Some(Ok(SynthesisResult {
+                regex: regex.clone(),
+                cost: *cost,
+                stats: SynthesisStats {
+                    elapsed,
+                    ..SynthesisStats::default()
+                },
+            })),
+            PrevOutcome::NotFound { max_cost } => Some(Err(SynthesisError::NotFound {
+                max_cost: *max_cost,
+                stats: SynthesisStats {
+                    elapsed,
+                    ..SynthesisStats::default()
+                },
+            })),
+        }
+    }
+}
+
+/// The refinement state of one logical user session: what the previous
+/// run established and what it left behind for reuse.
+///
+/// A [`SynthSession`](crate::SynthSession) owns one `RefineState` for its
+/// own [`refine`](crate::SynthSession::refine) convenience method; the
+/// service tier instead keeps one `RefineState` per *user* session (in
+/// its session table) and drives any pool worker's `SynthSession` through
+/// [`refine_with_state`](crate::SynthSession::refine_with_state), so warm
+/// state survives across worker threads.
+#[derive(Debug, Default)]
+pub struct RefineState {
+    pub(crate) prev: Option<PrevRun>,
+}
+
+impl RefineState {
+    /// A fresh state with no previous run (the first `refine` goes cold).
+    pub fn new() -> Self {
+        RefineState::default()
+    }
+
+    /// Whether a previous run's outcome is available for reuse.
+    pub fn has_previous(&self) -> bool {
+        self.prev
+            .as_ref()
+            .is_some_and(|prev| prev.outcome.is_some())
+    }
+
+    /// Drops all retained state; the next `refine` goes cold.
+    pub fn clear(&mut self) {
+        self.prev = None;
+    }
+
+    /// Records the outcome of a run just performed on `spec`.
+    pub(crate) fn record(
+        &mut self,
+        spec: &Spec,
+        allowed: usize,
+        alphabet: Alphabet,
+        outcome: &Result<SynthesisResult, SynthesisError>,
+        retained: Option<ResumeState>,
+    ) {
+        let prev_outcome = match outcome {
+            Ok(result) => Some(PrevOutcome::Solved {
+                regex: result.regex.clone(),
+                cost: result.cost,
+            }),
+            Err(SynthesisError::NotFound { max_cost, .. }) => Some(PrevOutcome::NotFound {
+                max_cost: *max_cost,
+            }),
+            Err(_) => None,
+        };
+        self.prev = Some(PrevRun {
+            spec: spec.clone(),
+            allowed,
+            alphabet,
+            outcome: prev_outcome,
+            retained,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_and_reasons_are_stable() {
+        assert_eq!(ReuseDecision::Unchanged.label(), "unchanged");
+        assert_eq!(
+            ReuseDecision::Warm {
+                retained_rows: 3,
+                resumed_cost: 5
+            }
+            .label(),
+            "warm"
+        );
+        let cold = ReuseDecision::Cold(ColdReason::ClosureGrew);
+        assert_eq!(cold.label(), "cold");
+        assert_eq!(cold.cold_reason(), Some(ColdReason::ClosureGrew));
+        assert_eq!(ColdReason::ClosureGrew.as_str(), "closure_grew");
+        assert!(ReuseDecision::Unchanged.reused());
+        assert!(!cold.reused());
+    }
+
+    #[test]
+    fn fresh_state_has_no_previous() {
+        let mut state = RefineState::new();
+        assert!(!state.has_previous());
+        state.clear();
+        assert!(!state.has_previous());
+    }
+}

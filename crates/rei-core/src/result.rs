@@ -45,6 +45,10 @@ pub struct SynthesisStats {
     /// Candidate rows whose full satisfaction check was skipped by the
     /// single-block admission prefilter.
     pub prefilter_rejects: u64,
+    /// Admission checks executed: candidate rows that ran the prefilter
+    /// and/or the full satisfaction fold. A refinement answered from the
+    /// session without re-running admission reports 0 here.
+    pub admission_folds: u64,
     /// Insertions the uniqueness filter could not record exactly (its
     /// fixed-capacity table was full) and reported as unique instead.
     pub dedup_overflowed: u64,

@@ -413,6 +413,10 @@ const FLAG_SATISFIES: u64 = 2;
 /// Flag-word bit: the single-block prefilter rejected the row, so the
 /// full satisfaction check never ran.
 const FLAG_PREFILTERED: u64 = 4;
+/// Flag-word bit: admission ran for the row (prefilter and/or full fold).
+/// Counted on the serial host pass into `admission_folds`, the counter
+/// the refinement tier uses to prove an unchanged spec re-ran nothing.
+const FLAG_CHECKED: u64 = 8;
 
 /// The kernel-side admission protocol shared by the parallel strategies:
 /// resets the per-item flag word, records uniqueness ([`FLAG_UNIQUE`])
@@ -459,6 +463,7 @@ fn flag_computed_row(
         // row's verdict cannot matter.
         return;
     }
+    flags[0] |= FLAG_CHECKED;
     if prefilter.rejects(row, allowed) {
         flags[0] |= FLAG_PREFILTERED;
         return;
@@ -845,12 +850,14 @@ impl LevelBatch<'_, '_> {
     fn flush_unique_rows(&mut self, buf: &[u64], stride: usize, winner: u64) -> BatchOutcome {
         let blocks = self.row_blocks();
         let mut prefiltered = 0u64;
+        let mut checked = 0u64;
         for (k, chunk) in buf.chunks(stride).enumerate() {
             let (row, flags) = chunk.split_at(blocks);
             // The kernels record prefilter rejections in the flag word so
             // that counting happens here, on the serial host pass, instead
             // of on a contended counter inside the kernels.
             prefiltered += u64::from(flags[0] & FLAG_PREFILTERED != 0);
+            checked += u64::from(flags[0] & FLAG_CHECKED != 0);
             if flags[0] & FLAG_UNIQUE == 0 {
                 continue;
             }
@@ -871,6 +878,7 @@ impl LevelBatch<'_, '_> {
             }
         }
         self.search.stats.prefilter_rejects += prefiltered;
+        self.search.stats.admission_folds += checked;
         if winner != u64::MAX {
             return BatchOutcome::Found(self.jobs[winner as usize].provenance());
         }
@@ -878,43 +886,105 @@ impl LevelBatch<'_, '_> {
     }
 }
 
-/// Runs the full search. Trivial specifications (`P = ∅`, `P = {ε}` and the
-/// corresponding relaxed checks) are handled by the caller.
-pub(crate) fn run(
+/// Search state a refinement session retains between runs: the infix
+/// closure, its guide masks, the complete cached levels of the previous
+/// enumeration and the highest fully stored cost. A resumed run rebuilds
+/// everything spec-dependent (satisfaction masks, admission prefilter,
+/// uniqueness set) against the *new* specification and continues
+/// enumeration at `last_full_cost + 1`.
+///
+/// Soundness of resuming rests on two facts (see DESIGN.md "Interactive
+/// refinement"): candidate *construction* is spec-independent, so the
+/// retained levels are exactly what a cold run over the same closure
+/// would rebuild; and characteristic-sequence operations over an
+/// infix-closed word set are compositional, so a retained closure that is
+/// a superset of the new spec's own closure distinguishes at least as
+/// much and can only keep more representatives, never lose a witness.
+#[derive(Debug)]
+pub(crate) struct ResumeState {
+    pub ic: InfixClosure,
+    pub guide_masks: GuideMasks,
+    pub cache: LanguageCache,
+    pub last_full_cost: u64,
+}
+
+impl ResumeState {
+    /// Whether every word of `spec` is indexed by the retained closure —
+    /// the closure-preservation gate of the warm refinement tier.
+    pub fn covers(&self, spec: &Spec) -> bool {
+        spec.positive()
+            .iter()
+            .chain(spec.negative())
+            .all(|w| self.ic.index_of(w).is_some())
+    }
+
+    /// Rows retained from the previous run.
+    pub fn retained_rows(&self) -> u64 {
+        self.cache.len() as u64
+    }
+}
+
+/// Runs the full search. Trivial specifications (`P = ∅`, `P = {ε}` and
+/// the corresponding relaxed checks) are handled by the caller. The run
+/// optionally resumes from a previous run's [`ResumeState`] and hands
+/// back the state a refinement session may retain for the next run; the
+/// returned state is `None` when the cached levels are not the complete
+/// enumeration (OnTheFly mode) or the run was stopped mid-level
+/// (timeout/cancellation), in which case the next refinement must go
+/// cold.
+pub(crate) fn run_retaining(
     params: SearchParams<'_>,
     backend: &dyn Backend,
     observer: &mut dyn Observer,
     stop: StopCheck,
     scratch: &mut SessionScratch,
-) -> Result<SynthesisResult, SynthesisError> {
-    let literal_cost = params.costs.literal;
+    resume: Option<ResumeState>,
+) -> (Result<SynthesisResult, SynthesisError>, Option<ResumeState>) {
     let max_cost = params.max_cost;
-    let mut search = Search::new(params, backend, observer, stop, scratch);
+    let start_cost = match &resume {
+        Some(state) => state.last_full_cost + 1,
+        None => params.costs.literal + 1,
+    };
+    let fresh = resume.is_none();
+    let mut search = Search::new(params, backend, observer, stop, scratch, resume);
 
-    // Seed the cache with the characteristic sequences of the alphabet
-    // characters (line 6 of Algorithm 1), checking each for satisfaction.
-    if let Some(found) = search.seed_alphabet() {
-        return Ok(search.finish(found));
-    }
-
-    for cost in (literal_cost + 1)..=max_cost {
-        match search.step_level(cost, backend) {
-            LevelOutcome::Found(prov) => return Ok(search.finish(prov)),
-            LevelOutcome::Continue => {}
-            LevelOutcome::Exhausted => {
-                return Err(SynthesisError::OutOfMemory {
-                    last_complete_cost: search.last_full_cost,
-                    stats: search.final_stats(),
-                });
-            }
-            LevelOutcome::Stopped(stop) => return Err(search.stopped(stop)),
+    if fresh {
+        // Seed the cache with the characteristic sequences of the alphabet
+        // characters (line 6 of Algorithm 1), checking each for
+        // satisfaction. A resumed run keeps the retained levels instead:
+        // every literal (and every retained composite row) was admitted
+        // and rejected under the weaker previous spec, and admission is
+        // monotone under example supersets, so re-checking them cannot
+        // produce a winner.
+        if let Some(found) = search.seed_alphabet() {
+            let result = search.finish(found);
+            return (Ok(result), search.into_retained());
         }
     }
 
-    Err(SynthesisError::NotFound {
-        max_cost,
-        stats: search.final_stats(),
-    })
+    for cost in start_cost..=max_cost {
+        match search.step_level(cost, backend) {
+            LevelOutcome::Found(prov) => {
+                let result = search.finish(prov);
+                return (Ok(result), search.into_retained());
+            }
+            LevelOutcome::Continue => {}
+            LevelOutcome::Exhausted => {
+                return (
+                    Err(SynthesisError::OutOfMemory {
+                        last_complete_cost: search.last_full_cost,
+                        stats: search.final_stats(),
+                    }),
+                    None,
+                );
+            }
+            LevelOutcome::Stopped(stop) => return (Err(search.stopped(stop)), None),
+        }
+    }
+
+    let stats = search.final_stats();
+    let retained = search.into_retained();
+    (Err(SynthesisError::NotFound { max_cost, stats }), retained)
 }
 
 /// One member of a fused multi-request sweep: its own problem and its own
@@ -957,7 +1027,7 @@ pub(crate) fn run_fused<'a>(
         members.into_iter().zip(observers).zip(scratches.iter_mut())
     {
         first_cost = first_cost.min(member.params.costs.literal + 1);
-        let mut search = Search::new(member.params, backend, observer, member.stop, scratch);
+        let mut search = Search::new(member.params, backend, observer, member.stop, scratch, None);
         slots.push(match search.seed_alphabet() {
             Some(found) => Slot::Done(Ok(search.finish(found))),
             None => Slot::Active(Box::new(search)),
@@ -1016,9 +1086,22 @@ impl<'a> Search<'a> {
         observer: &'a mut dyn Observer,
         stop: StopCheck,
         scratch: &'a mut SessionScratch,
+        resume: Option<ResumeState>,
     ) -> Search<'a> {
-        let ic = InfixClosure::of_spec(params.spec);
-        let guide_masks = GuideMasks::build(&ic);
+        let (ic, guide_masks, cache, last_full_cost) = match resume {
+            Some(state) => (
+                state.ic,
+                state.guide_masks,
+                state.cache,
+                state.last_full_cost,
+            ),
+            None => {
+                let ic = InfixClosure::of_spec(params.spec);
+                let guide_masks = GuideMasks::build(&ic);
+                let cache = LanguageCache::new(ic.width(), params.memory_budget);
+                (ic, guide_masks, cache, 0)
+            }
+        };
         let masks = SatisfyMasks::new(params.spec, &ic);
         let prefilter = masks.prefilter();
         let width = ic.width();
@@ -1030,10 +1113,19 @@ impl<'a> Search<'a> {
             .level_chunk_rows
             .unwrap_or_else(|| default_level_chunk_rows(params.memory_budget, width.blocks() + 1))
             .max(1);
-        let cache = LanguageCache::new(width, params.memory_budget);
         // The uniqueness table starts small and is grown between kernel
-        // launches as the cache fills (see `CsSet::maybe_grow`).
-        let seen = CsSet::new(width.blocks(), 4096.min(cache.capacity_rows()));
+        // launches as the cache fills (see `CsSet::maybe_grow`). On a
+        // resumed run it is re-keyed from the retained rows: the retained
+        // cache holds exactly the unique representatives of the complete
+        // levels, so re-inserting them restores the dedup state a cold
+        // run would have reached at this point.
+        let mut seen = CsSet::new(width.blocks(), 4096.min(cache.capacity_rows()));
+        if !cache.is_empty() {
+            seen.reserve(cache.len());
+            for idx in 0..cache.len() as u32 {
+                seen.insert(cache.row(idx));
+            }
+        }
         let stats_device = backend.device().cloned().unwrap_or_else(Device::sequential);
         let stats = SynthesisStats {
             infix_closure_size: ic.len() as u64,
@@ -1060,8 +1152,27 @@ impl<'a> Search<'a> {
             stats_device,
             stats,
             on_the_fly: false,
-            last_full_cost: 0,
+            last_full_cost,
         }
+    }
+
+    /// Extracts the state a refinement session may retain: `None` once
+    /// OnTheFly mode discarded rows (the cached levels then no longer
+    /// hold the complete enumeration), otherwise the closure, guide masks
+    /// and the cache truncated back to the last *complete* level (a
+    /// winning level is only partially stored).
+    fn into_retained(self) -> Option<ResumeState> {
+        if self.on_the_fly || self.last_full_cost < self.params.costs.literal {
+            return None;
+        }
+        let mut cache = self.cache;
+        cache.truncate_to_cost(self.last_full_cost);
+        Some(ResumeState {
+            ic: self.ic,
+            guide_masks: self.guide_masks,
+            cache,
+            last_full_cost: self.last_full_cost,
+        })
     }
 
     /// Advances the search by one cost level: the unified stop check at
@@ -1109,6 +1220,7 @@ impl<'a> Search<'a> {
                 continue;
             }
             self.stats.unique_languages += 1;
+            self.stats.admission_folds += 1;
             if self
                 .masks
                 .is_satisfied_with_error(row.blocks(), self.params.allowed_errors)
@@ -1280,6 +1392,7 @@ impl<'a> Search<'a> {
     /// reject the row.
     fn row_satisfies(&mut self, row: &[u64]) -> bool {
         let allowed = self.params.allowed_errors;
+        self.stats.admission_folds += 1;
         if self.prefilter.rejects(row, allowed) {
             self.stats.prefilter_rejects += 1;
             return false;

@@ -17,8 +17,9 @@ use rei_syntax::Regex;
 use crate::backend::Backend;
 use crate::config::SynthConfig;
 use crate::observe::{CancelToken, NoopObserver, Observer};
+use crate::refine::{ColdReason, PrevOutcome, RefineState, ReuseDecision, RunOutcome};
 use crate::result::{SynthesisError, SynthesisResult, SynthesisStats};
-use crate::search::{self, SearchParams, SessionScratch, StopCheck};
+use crate::search::{self, ResumeState, SearchParams, SessionScratch, StopCheck};
 
 /// Cumulative counters over every run of a session.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -43,6 +44,11 @@ pub struct SessionStats {
     /// Candidate rows rejected by the admission prefilter (their full
     /// satisfaction check was skipped) across all runs.
     pub prefilter_rejects: u64,
+    /// Admission checks executed (prefilter and/or full satisfaction
+    /// fold) across all runs. A [`refine`](SynthSession::refine) answered
+    /// from the session adds 0 here — the pin the unchanged-spec
+    /// refinement contract rests on.
+    pub admission_folds: u64,
     /// Uniqueness-filter insertions that overflowed the filter's table
     /// and were reported as unique without being recorded, across all
     /// runs (see `gpu_sim::hashset::LockFreeU64Set::overflowed`).
@@ -108,6 +114,10 @@ pub struct SynthSession {
     cancel: CancelToken,
     scratch: SessionScratch,
     stats: SessionStats,
+    /// Refinement state of the session's own [`refine`](SynthSession::refine)
+    /// chain; external chains pass their own state through
+    /// [`refine_with_state`](SynthSession::refine_with_state).
+    refine_state: RefineState,
 }
 
 impl SynthSession {
@@ -139,6 +149,7 @@ impl SynthSession {
             cancel: CancelToken::new(),
             scratch: SessionScratch::default(),
             stats: SessionStats::default(),
+            refine_state: RefineState::new(),
         })
     }
 
@@ -407,42 +418,256 @@ impl SynthSession {
         outcomes
     }
 
+    /// Refines the session's own specification chain: like
+    /// [`run`](SynthSession::run), but when `spec` *strengthens* the
+    /// previous refined spec (example supersets over the same alphabet
+    /// with the same absolute allowed-error budget), previous-run state is
+    /// reused — the cached outcome for an unchanged spec, a re-check of
+    /// the previous winner or a resumed enumeration over the retained
+    /// level caches otherwise. Any other spec falls back to a transparent
+    /// cold run. The synthesis outcome is always identical to what a cold
+    /// [`run`](SynthSession::run) of the same spec would return; only the
+    /// work differs, as reported by [`RunOutcome::reuse`].
+    pub fn refine(&mut self, spec: &Spec) -> RunOutcome {
+        self.refine_with(spec, &mut NoopObserver)
+    }
+
+    /// Like [`refine`](SynthSession::refine), with progress events.
+    pub fn refine_with(&mut self, spec: &Spec, observer: &mut dyn Observer) -> RunOutcome {
+        let mut state = std::mem::take(&mut self.refine_state);
+        let outcome = self.refine_with_state(&mut state, spec, observer);
+        self.refine_state = state;
+        outcome
+    }
+
+    /// Like [`refine`](SynthSession::refine) over a caller-owned
+    /// [`RefineState`] — the service-tier entry point, where the
+    /// refinement chain belongs to a *user* session while the
+    /// `SynthSession` belongs to whichever pool worker picked the request
+    /// up.
+    pub fn refine_with_state(
+        &mut self,
+        state: &mut RefineState,
+        spec: &Spec,
+        observer: &mut dyn Observer,
+    ) -> RunOutcome {
+        observer.on_start(spec);
+        let started = Instant::now();
+        let allowed = self.config.allowed_example_errors(spec);
+        let alphabet = self
+            .config
+            .alphabet()
+            .cloned()
+            .unwrap_or_else(|| Alphabet::of_spec(spec));
+
+        // Tier 0 — unchanged spec: answer from the session. No admission
+        // runs (`admission_folds` stays 0), no backend work at all.
+        if let Some(prev) = &state.prev {
+            if prev.outcome.is_some() && prev.spec == *spec {
+                let outcome = prev
+                    .replay(started.elapsed())
+                    .expect("unchanged tier requires a deterministic previous outcome");
+                self.note_outcome(&outcome);
+                observer.on_finish(outcome.as_ref());
+                return RunOutcome {
+                    outcome,
+                    reuse: ReuseDecision::Unchanged,
+                };
+            }
+        }
+
+        // Gate of the warm tier: a strengthening over the same alphabet
+        // with the same absolute budget, refining a deterministic outcome.
+        // Everything else goes cold (with the reason on record).
+        let gate = match &state.prev {
+            None => Err(ColdReason::NoPrevious),
+            Some(prev) if prev.outcome.is_none() => Err(ColdReason::PreviousFailed),
+            Some(prev)
+                if !(prev.spec.positive().is_subset(spec.positive())
+                    && prev.spec.negative().is_subset(spec.negative())) =>
+            {
+                Err(ColdReason::NotStrengthening)
+            }
+            Some(prev) if prev.alphabet != alphabet => Err(ColdReason::AlphabetChanged),
+            Some(prev) if prev.allowed != allowed => Err(ColdReason::BudgetChanged),
+            Some(_) => Ok(()),
+        };
+        if let Err(reason) = gate {
+            return self.refine_cold(state, spec, allowed, alphabet, started, observer, reason);
+        }
+
+        // Warm fast path: if the previous winner still satisfies the
+        // strengthened spec it is still minimal — rejection is monotone
+        // under example supersets with an unchanged absolute budget, so no
+        // candidate the previous run rejected (explicitly or as a dedup
+        // duplicate of a rejected representative) can newly satisfy, and
+        // every satisfier of the new spec also satisfied the old one, so
+        // nothing cheaper exists over the same alphabet.
+        {
+            let prev = state.prev.as_mut().expect("warm tier has a previous run");
+            if let Some(PrevOutcome::Solved { regex, cost }) = &prev.outcome {
+                if spec.misclassified_by(regex) <= allowed {
+                    let outcome = Ok(SynthesisResult {
+                        regex: regex.clone(),
+                        cost: *cost,
+                        stats: SynthesisStats {
+                            candidates_generated: 1,
+                            elapsed: started.elapsed(),
+                            ..SynthesisStats::default()
+                        },
+                    });
+                    let reuse = ReuseDecision::Warm {
+                        retained_rows: prev.retained.as_ref().map_or(0, ResumeState::retained_rows),
+                        resumed_cost: *cost,
+                    };
+                    // The retained state is still the complete enumeration
+                    // of its levels; only the spec on record advances.
+                    prev.spec = spec.clone();
+                    self.note_outcome(&outcome);
+                    observer.on_finish(outcome.as_ref());
+                    return RunOutcome { outcome, reuse };
+                }
+            }
+        }
+
+        // Warm resume: re-enumerate from the retained level caches. This
+        // additionally requires every new example to be indexed by the
+        // retained infix closure — a grown closure would split dedup
+        // classes whose discarded duplicates are unrecoverable, so it
+        // cannot be revalidated and must go cold.
+        let resume = {
+            let prev = state.prev.as_mut().expect("warm tier has a previous run");
+            match &prev.retained {
+                None => Err(ColdReason::NoRetainedSearch),
+                Some(retained) if !retained.covers(spec) => Err(ColdReason::ClosureGrew),
+                Some(_) => Ok(prev.retained.take().expect("checked above")),
+            }
+        };
+        let retained = match resume {
+            Ok(retained) => retained,
+            Err(reason) => {
+                return self.refine_cold(state, spec, allowed, alphabet, started, observer, reason)
+            }
+        };
+
+        let reuse = ReuseDecision::Warm {
+            retained_rows: retained.retained_rows(),
+            resumed_cost: retained.last_full_cost + 1,
+        };
+        let (outcome, new_retained) =
+            self.run_search_retaining(spec, started, observer, Some(retained));
+        state.record(spec, allowed, alphabet, &outcome, new_retained);
+        self.note_outcome(&outcome);
+        observer.on_finish(outcome.as_ref());
+        RunOutcome { outcome, reuse }
+    }
+
+    /// The cold fallback of [`refine_with_state`]: a full run (trivial
+    /// checks included), still recording its state so the *next* refine
+    /// can go warm.
+    ///
+    /// [`refine_with_state`]: SynthSession::refine_with_state
+    #[allow(clippy::too_many_arguments)]
+    fn refine_cold(
+        &mut self,
+        state: &mut RefineState,
+        spec: &Spec,
+        allowed: usize,
+        alphabet: Alphabet,
+        started: Instant,
+        observer: &mut dyn Observer,
+        reason: ColdReason,
+    ) -> RunOutcome {
+        let (outcome, retained) = self.run_inner_retaining(spec, started, observer);
+        state.record(spec, allowed, alphabet, &outcome, retained);
+        self.note_outcome(&outcome);
+        observer.on_finish(outcome.as_ref());
+        RunOutcome {
+            outcome,
+            reuse: ReuseDecision::Cold(reason),
+        }
+    }
+
     fn run_inner(
         &mut self,
         spec: &Spec,
         observer: &mut dyn Observer,
     ) -> Result<SynthesisResult, SynthesisError> {
         let started = Instant::now();
+        self.run_inner_retaining(spec, started, observer).0
+    }
+
+    /// The single-spec run body: cancellation fast-fail, the trivial
+    /// candidates of minimal cost (lines 4-5 of Algorithm 1, generalised
+    /// to allowed error), then the level search — handing back whatever
+    /// resumable state the search retained for the refinement tier.
+    fn run_inner_retaining(
+        &mut self,
+        spec: &Spec,
+        started: Instant,
+        observer: &mut dyn Observer,
+    ) -> (Result<SynthesisResult, SynthesisError>, Option<ResumeState>) {
         // The config was validated at session construction and is
         // immutable afterwards, so no per-run re-validation is needed.
         if self.cancel.is_cancelled() {
-            return Err(SynthesisError::Cancelled {
-                stats: SynthesisStats::default(),
-            });
+            return (
+                Err(SynthesisError::Cancelled {
+                    stats: SynthesisStats::default(),
+                }),
+                None,
+            );
         }
         self.backend.begin_run();
         let costs = *self.config.costs();
         let allowed_errors = self.config.allowed_example_errors(spec);
 
-        // Trivial candidates of minimal cost, checked before the search
-        // proper (lines 4-5 of Algorithm 1, generalised to allowed error).
         let mut candidates_checked = 0u64;
         for trivial in [Regex::Empty, Regex::Epsilon] {
             candidates_checked += 1;
             if spec.misclassified_by(&trivial) <= allowed_errors {
-                return Ok(SynthesisResult {
-                    cost: trivial.cost(&costs),
-                    regex: trivial,
-                    stats: SynthesisStats {
-                        candidates_generated: candidates_checked,
-                        unique_languages: candidates_checked,
-                        elapsed: started.elapsed(),
-                        ..SynthesisStats::default()
-                    },
-                });
+                return (
+                    Ok(SynthesisResult {
+                        cost: trivial.cost(&costs),
+                        regex: trivial,
+                        stats: SynthesisStats {
+                            candidates_generated: candidates_checked,
+                            unique_languages: candidates_checked,
+                            elapsed: started.elapsed(),
+                            ..SynthesisStats::default()
+                        },
+                    }),
+                    None,
+                );
             }
         }
 
+        let (mut outcome, retained) = self.run_search_retaining(spec, started, observer, None);
+        match &mut outcome {
+            Ok(result) => result.stats.candidates_generated += candidates_checked,
+            Err(err) => {
+                if let Some(stats) = err.stats_mut() {
+                    stats.candidates_generated += candidates_checked;
+                }
+            }
+        }
+        (outcome, retained)
+    }
+
+    /// Stages [`SearchParams`] from the config and runs the level search,
+    /// fresh or resumed. The trivial candidates are *not* checked here: a
+    /// resumed run already rejected them under the weaker previous spec
+    /// and rejection is monotone under strengthening.
+    fn run_search_retaining(
+        &mut self,
+        spec: &Spec,
+        started: Instant,
+        observer: &mut dyn Observer,
+        resume: Option<ResumeState>,
+    ) -> (Result<SynthesisResult, SynthesisError>, Option<ResumeState>) {
+        if resume.is_some() {
+            self.backend.begin_run();
+        }
+        let costs = *self.config.costs();
         let alphabet = self
             .config
             .alphabet()
@@ -458,7 +683,7 @@ impl SynthSession {
             alphabet,
             costs,
             memory_budget: self.config.memory_budget(),
-            allowed_errors,
+            allowed_errors: self.config.allowed_example_errors(spec),
             max_cost,
             started,
             sched_chunk: self.config.sched_chunk(),
@@ -469,16 +694,14 @@ impl SynthSession {
             budget: self.config.time_budget().unwrap_or_default(),
             cancel: Some(self.cancel.clone()),
         };
-        let mut outcome = search::run(params, &*self.backend, observer, stop, &mut self.scratch);
-        match &mut outcome {
-            Ok(result) => result.stats.candidates_generated += candidates_checked,
-            Err(err) => {
-                if let Some(stats) = err.stats_mut() {
-                    stats.candidates_generated += candidates_checked;
-                }
-            }
-        }
-        outcome
+        search::run_retaining(
+            params,
+            &*self.backend,
+            observer,
+            stop,
+            &mut self.scratch,
+            resume,
+        )
     }
 
     fn note_outcome(&mut self, outcome: &Result<SynthesisResult, SynthesisError>) {
@@ -506,6 +729,7 @@ impl SynthSession {
             self.stats.chunks_claimed += stats.chunks_claimed;
             self.stats.chunks_stolen += stats.chunks_stolen;
             self.stats.prefilter_rejects += stats.prefilter_rejects;
+            self.stats.admission_folds += stats.admission_folds;
             self.stats.dedup_overflowed += stats.dedup_overflowed;
             self.stats.elapsed += stats.elapsed;
         }

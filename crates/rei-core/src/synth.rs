@@ -9,8 +9,6 @@ use rei_syntax::CostFn;
 use crate::config::SynthConfig;
 use crate::result::{SynthesisError, SynthesisResult};
 use crate::session::SynthSession;
-#[allow(deprecated)]
-use crate::Engine;
 
 /// A configured Paresy synthesiser for one-shot runs.
 ///
@@ -35,34 +33,21 @@ use crate::Engine;
 #[derive(Debug, Clone)]
 pub struct Synthesizer {
     config: SynthConfig,
-    /// Kept (rather than only a `BackendChoice`) so that
-    /// `with_engine(Engine::Parallel(device))` call sites retain their
-    /// device identity — the run's backend shares that exact device.
-    #[allow(deprecated)]
-    engine: Engine,
 }
 
 impl Synthesizer {
     /// Creates a synthesiser for the given cost homomorphism with default
     /// settings (see [`SynthConfig::new`]).
     pub fn new(costs: CostFn) -> Self {
-        #[allow(deprecated)]
         Synthesizer {
             config: SynthConfig::new(costs),
-            engine: Engine::Sequential,
         }
     }
 
-    /// Selects the execution engine (sequential or data-parallel).
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `SynthConfig::with_backend` and `SynthSession`, or keep `Synthesizer` \
-                and accept the default sequential backend"
-    )]
-    #[allow(deprecated)]
-    pub fn with_engine(mut self, engine: Engine) -> Self {
-        self.config = self.config.with_backend(engine.to_choice());
-        self.engine = engine;
+    /// Selects the execution backend for one-shot runs (see
+    /// [`SynthConfig::with_backend`]).
+    pub fn with_backend(mut self, backend: crate::BackendChoice) -> Self {
+        self.config = self.config.with_backend(backend);
         self
     }
 
@@ -116,22 +101,10 @@ impl Synthesizer {
         &self.config
     }
 
-    /// The configured engine.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `config().backend()` / `SynthSession::backend`"
-    )]
-    #[allow(deprecated)]
-    pub fn engine(&self) -> &Engine {
-        &self.engine
-    }
-
     /// Runs regular expression inference on `spec` in a fresh one-shot
     /// session. See [`SynthSession::run`] for the result contract.
     pub fn run(&self, spec: &Spec) -> Result<SynthesisResult, SynthesisError> {
-        #[allow(deprecated)]
-        let backend = self.engine.to_backend();
-        let mut session = SynthSession::with_backend(self.config.clone(), backend)?;
+        let mut session = SynthSession::new(self.config.clone())?;
         session.run(spec)
     }
 
@@ -190,20 +163,20 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
     fn sequential_and_parallel_agree() {
+        use crate::BackendChoice;
         let spec =
             Spec::from_strs(["1", "011", "1011", "11011"], ["", "10", "101", "0011"]).unwrap();
         let sequential = uniform().run(&spec).unwrap();
         let parallel = uniform()
-            .with_engine(Engine::parallel_with_threads(4))
+            .with_backend(BackendChoice::DeviceParallel { threads: Some(4) })
             .run(&spec)
             .unwrap();
         assert!(spec.is_satisfied_by(&sequential.regex));
         assert!(spec.is_satisfied_by(&parallel.regex));
         assert_eq!(
             sequential.cost, parallel.cost,
-            "both engines must be minimal"
+            "both backends must be minimal"
         );
     }
 

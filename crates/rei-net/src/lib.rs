@@ -11,7 +11,9 @@
 //!                                  per-connection serve loop
 //!                                  (JSONL in, JSONL out; ordered
 //!                                   or streaming answers; control
-//!                                   verbs ping/metrics/mode/shutdown)
+//!                                   verbs ping/hello/metrics/mode/
+//!                                   session.open/session.close/
+//!                                   shutdown; refine requests)
 //!                                          │
 //!                                          ▼
 //!                                  FairShare admission
@@ -67,5 +69,5 @@ pub mod protocol;
 mod server;
 mod signal;
 
-pub use server::{NetConfig, NetServer};
+pub use server::{generate_session_name, session_verb_line, NetConfig, NetServer};
 pub use signal::{install_shutdown_signals, install_sigint, shutdown_tripped, sigint_tripped};

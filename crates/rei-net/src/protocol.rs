@@ -25,10 +25,25 @@
 //!
 //! A line carrying an `"op"` key is a *control verb* instead of a
 //! request — see [`Verb`]. Verbs answer on the same connection:
-//! `{"op": "ping"}` echoes `{"op": "ping", "status": "ok"}`, `metrics`
-//! returns the router snapshot as one line, `mode` switches the
-//! connection's answer mode, and `shutdown` asks the whole server to
-//! drain and exit.
+//! `{"op": "ping"}` echoes `{"op": "ping", "status": "ok"}`, `hello`
+//! returns the protocol version and capability list, `metrics` returns
+//! the router snapshot as one line, `mode` switches the connection's
+//! answer mode, and `shutdown` asks the whole server to drain and exit.
+//!
+//! # Refinement sessions
+//!
+//! `{"op": "session.open", "name": "s1", "tenant": "acme"}` opens (or
+//! resets) a named refinement session on the pool the name/tenant routes
+//! to; the ack echoes the session name (server-generated when `name` is
+//! omitted — interactive clients should pass their own). A line carrying
+//! `"verb": "refine"` is then a synthesis request answered *through* the
+//! session: `{"verb": "refine", "session": "s1", "pos": [...], "neg":
+//! [...]}` re-solves the strengthened specification warm, reusing the
+//! session's retained search state when sound. Refine results carry a
+//! `reuse` label (`unchanged` / `warm` / `cold`, plus `reason` when
+//! cold). `{"op": "session.close", "name": "s1"}` discards the state.
+//!
+//! Every response line is stamped with `"proto":` [`PROTO_VERSION`].
 
 use std::time::Duration;
 
@@ -36,6 +51,31 @@ use rei_core::SynthesisError;
 use rei_lang::Spec;
 use rei_service::json::Json;
 use rei_service::{SynthRequest, SynthResponse};
+
+/// The wire protocol version stamped (as `"proto"`) on every response
+/// line. Version 2 added `hello`, refinement sessions (`session.open` /
+/// `session.close` / `"verb": "refine"`) and the stamp itself; version 1
+/// lines carried no `proto` field.
+pub const PROTO_VERSION: u64 = 2;
+
+/// The control verbs this protocol version understands, as advertised by
+/// [`hello_line`].
+pub const VERBS: &[&str] = &[
+    "ping",
+    "hello",
+    "metrics",
+    "trace",
+    "prometheus",
+    "mode",
+    "shutdown",
+    "session.open",
+    "session.close",
+    "refine",
+];
+
+/// The capability tags advertised by [`hello_line`] — coarse feature
+/// groups a client can probe without knowing individual verbs.
+pub const CAPABILITIES: &[&str] = &["sessions", "refine", "stream", "trace", "prometheus"];
 
 /// One parsed request line: the request plus the identity to echo back.
 #[derive(Debug)]
@@ -67,10 +107,28 @@ impl AnswerMode {
 }
 
 /// A control verb — a line with an `"op"` key instead of examples.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Verb {
     /// Liveness probe; answered with `{"op": "ping", "status": "ok"}`.
     Ping,
+    /// Protocol handshake; answered with the server version, the verb
+    /// list and the capability tags (see [`hello_line`]).
+    Hello,
+    /// Opens (or resets) a refinement session. With no `name` the server
+    /// generates one and echoes it in the ack.
+    SessionOpen {
+        /// The client-chosen session name, when one was given.
+        name: Option<String>,
+        /// The tenant the session belongs to (and routes by).
+        tenant: Option<String>,
+    },
+    /// Closes a refinement session, discarding its retained state.
+    SessionClose {
+        /// The session name to close.
+        name: String,
+        /// The tenant the session was opened under.
+        tenant: Option<String>,
+    },
     /// Asks for the router metrics snapshot as one JSON line.
     Metrics,
     /// Asks for the retained timeline of one trace id as one JSON line.
@@ -175,7 +233,37 @@ pub fn parse_request(line: &str, line_number: usize) -> Result<ParsedRequest, (J
             .ok_or_else(|| fail("'tenant' must be a string".into()))?;
         request = request.with_tenant(tenant);
     }
+    match value.get("verb") {
+        None => {
+            if value.get("session").is_some() {
+                return Err(fail("'session' needs \"verb\": \"refine\"".into()));
+            }
+        }
+        Some(verb) => match verb.as_str() {
+            Some("refine") => {
+                let session = value
+                    .get("session")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| fail("'refine' needs a 'session' string".into()))?;
+                request = request.with_session(session);
+            }
+            Some(other) => return Err(fail(format!("unknown verb '{other}'"))),
+            None => return Err(fail("'verb' must be a string".into())),
+        },
+    }
     Ok(ParsedRequest { id, request })
+}
+
+/// Reads an optional string field, distinguishing "absent" from "present
+/// but not a string".
+fn optional_str(value: &Json, key: &str) -> Result<Option<String>, String> {
+    match value.get(key) {
+        None => Ok(None),
+        Some(field) => field
+            .as_str()
+            .map(|s| Some(s.to_string()))
+            .ok_or_else(|| format!("'{key}' must be a string")),
+    }
 }
 
 /// Interprets one input line: a control verb when the line carries an
@@ -190,6 +278,29 @@ pub fn parse_line(line: &str, line_number: usize) -> Input {
             };
             return match op.as_str() {
                 Some("ping") => Input::Control(Verb::Ping),
+                Some("hello") => Input::Control(Verb::Hello),
+                Some("session.open") => {
+                    let fields = optional_str(&value, "name")
+                        .and_then(|name| optional_str(&value, "tenant").map(|t| (name, t)));
+                    match fields {
+                        Ok((name, tenant)) => Input::Control(Verb::SessionOpen { name, tenant }),
+                        Err(error) => Input::Bad { id, error },
+                    }
+                }
+                Some("session.close") => {
+                    let fields = optional_str(&value, "name")
+                        .and_then(|name| optional_str(&value, "tenant").map(|t| (name, t)));
+                    match fields {
+                        Ok((Some(name), tenant)) => {
+                            Input::Control(Verb::SessionClose { name, tenant })
+                        }
+                        Ok((None, _)) => Input::Bad {
+                            id,
+                            error: "'session.close' needs a 'name' string".into(),
+                        },
+                        Err(error) => Input::Bad { id, error },
+                    }
+                }
                 Some("metrics") => Input::Control(Verb::Metrics),
                 Some("prometheus") => Input::Control(Verb::Prometheus),
                 Some("trace") => match value.get("trace").and_then(Json::as_u64) {
@@ -238,33 +349,73 @@ pub fn error_status(err: &SynthesisError) -> &'static str {
     }
 }
 
+/// Stamps the protocol version onto a response line built elsewhere
+/// (e.g. a metrics snapshot). The dedicated line builders below stamp
+/// their own output.
+pub fn stamped(mut line: Json) -> Json {
+    line.set("proto", Json::uint(PROTO_VERSION));
+    line
+}
+
 /// A `bad-request` result line.
 pub fn bad_request_line(id: Json, message: &str) -> Json {
-    Json::object([
+    stamped(Json::object([
         ("id", id),
         ("status", Json::str("bad-request")),
         ("error", Json::str(message)),
-    ])
+    ]))
 }
 
 /// A `rejected` result line — the explicit refusal admission promises
-/// (`reason` is e.g. `rate_limited` or `shutting_down`).
+/// (`reason` is e.g. `rate_limited`, `shutting_down` or
+/// `unknown_session`).
 pub fn rejected_line(id: Json, reason: &str) -> Json {
-    Json::object([
+    stamped(Json::object([
         ("id", id),
         ("status", Json::str("rejected")),
         ("reason", Json::str(reason)),
-    ])
+    ]))
 }
 
 /// The acknowledgement line of a control verb.
 pub fn verb_ok_line(op: &str) -> Json {
-    Json::object([("op", Json::str(op)), ("status", Json::str("ok"))])
+    stamped(Json::object([
+        ("op", Json::str(op)),
+        ("status", Json::str("ok")),
+    ]))
+}
+
+/// The error line of a control verb that was understood but could not be
+/// performed (e.g. closing a session that does not exist).
+pub fn verb_err_line(op: &str, error: &str) -> Json {
+    stamped(Json::object([
+        ("op", Json::str(op)),
+        ("status", Json::str("error")),
+        ("error", Json::str(error)),
+    ]))
+}
+
+/// The `hello` handshake answer: the server version, the protocol
+/// version, the verb list and the capability tags.
+pub fn hello_line() -> Json {
+    stamped(Json::object([
+        ("op", Json::str("hello")),
+        ("status", Json::str("ok")),
+        ("version", Json::str(env!("CARGO_PKG_VERSION"))),
+        (
+            "verbs",
+            Json::array(VERBS.iter().map(|verb| Json::str(*verb))),
+        ),
+        (
+            "capabilities",
+            Json::array(CAPABILITIES.iter().map(|cap| Json::str(*cap))),
+        ),
+    ]))
 }
 
 /// The timeline of one trace as a single answer line.
 pub fn trace_line(trace: u64, events: &[rei_obs::TraceEvent]) -> Json {
-    Json::object([
+    stamped(Json::object([
         ("op", Json::str("trace")),
         ("trace", Json::uint(trace)),
         (
@@ -280,11 +431,13 @@ pub fn trace_line(trace: u64, events: &[rei_obs::TraceEvent]) -> Json {
                 ])
             })),
         ),
-    ])
+    ]))
 }
 
 /// The result line of one completed request. `trace` is the request's
 /// trace id, echoed so clients can query the timeline afterwards.
+/// Refinement answers additionally carry `reuse` (`unchanged` / `warm` /
+/// `cold`) and, when cold, the `reason`.
 pub fn response_line(id: Json, response: &SynthResponse, trace: Option<u64>) -> Json {
     let ms = |d: Duration| Json::fixed(d.as_secs_f64() * 1e3, 3);
     let mut line = vec![("id".to_string(), id)];
@@ -310,7 +463,13 @@ pub fn response_line(id: Json, response: &SynthResponse, trace: Option<u64>) -> 
             Json::uint(result.stats.candidates_generated),
         ));
     }
-    Json::Object(line)
+    if let Some(reuse) = &response.reuse {
+        line.push(("reuse".into(), Json::str(reuse.label())));
+        if let Some(reason) = reuse.cold_reason() {
+            line.push(("reason".into(), Json::str(reason.as_str())));
+        }
+    }
+    stamped(Json::Object(line))
 }
 
 #[cfg(test)]
@@ -417,5 +576,105 @@ mod tests {
         assert_eq!(ok.get("status").and_then(Json::as_str), Some("ok"));
         assert_eq!(AnswerMode::Stream.as_str(), "stream");
         assert_eq!(AnswerMode::Ordered.as_str(), "ordered");
+    }
+
+    #[test]
+    fn every_rendered_line_is_stamped_with_the_protocol_version() {
+        for line in [
+            bad_request_line(Json::str("b"), "nope"),
+            rejected_line(Json::uint(4), "rate_limited"),
+            verb_ok_line("ping"),
+            verb_err_line("session.close", "unknown session"),
+            hello_line(),
+            trace_line(3, &[]),
+        ] {
+            assert_eq!(
+                line.get("proto").and_then(Json::as_u64),
+                Some(PROTO_VERSION),
+                "{line:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn hello_advertises_version_verbs_and_capabilities() {
+        assert!(matches!(
+            parse_line(r#"{"op": "hello"}"#, 1),
+            Input::Control(Verb::Hello)
+        ));
+        let hello = hello_line();
+        assert_eq!(
+            hello.get("version").and_then(Json::as_str),
+            Some(env!("CARGO_PKG_VERSION"))
+        );
+        let verbs = hello.get("verbs").and_then(Json::as_array).unwrap();
+        for expected in ["hello", "refine", "session.open", "session.close"] {
+            assert!(
+                verbs.iter().any(|v| v.as_str() == Some(expected)),
+                "missing verb {expected}"
+            );
+        }
+        let caps = hello.get("capabilities").and_then(Json::as_array).unwrap();
+        assert!(caps.iter().any(|c| c.as_str() == Some("sessions")));
+    }
+
+    #[test]
+    fn session_ops_parse_names_and_tenants() {
+        match parse_line(
+            r#"{"op": "session.open", "name": "s1", "tenant": "acme"}"#,
+            1,
+        ) {
+            Input::Control(Verb::SessionOpen { name, tenant }) => {
+                assert_eq!(name.as_deref(), Some("s1"));
+                assert_eq!(tenant.as_deref(), Some("acme"));
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse_line(r#"{"op": "session.open"}"#, 1) {
+            Input::Control(Verb::SessionOpen { name, tenant }) => {
+                assert_eq!(name, None);
+                assert_eq!(tenant, None);
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse_line(r#"{"op": "session.close", "name": "s1"}"#, 1) {
+            Input::Control(Verb::SessionClose { name, tenant }) => {
+                assert_eq!(name, "s1");
+                assert_eq!(tenant, None);
+            }
+            other => panic!("{other:?}"),
+        }
+        for bad in [
+            r#"{"op": "session.close"}"#,
+            r#"{"op": "session.open", "name": 7}"#,
+            r#"{"op": "session.close", "name": "s", "tenant": 9}"#,
+        ] {
+            assert!(matches!(parse_line(bad, 1), Input::Bad { .. }), "{bad}");
+        }
+    }
+
+    #[test]
+    fn refine_requests_carry_their_session() {
+        let parsed = parse_request(
+            r#"{"verb": "refine", "session": "s1", "id": "r", "pos": ["0"], "neg": ["1"]}"#,
+            1,
+        )
+        .unwrap();
+        assert_eq!(parsed.request.session(), Some("s1"));
+        assert_eq!(parsed.id.as_str(), Some("r"));
+        // A plain request has no session.
+        let plain = parse_request(r#"{"pos": ["0"]}"#, 1).unwrap();
+        assert_eq!(plain.request.session(), None);
+        // Malformed refinements are bad requests, not crashes.
+        for (bad, needle) in [
+            (r#"{"verb": "refine", "pos": ["0"]}"#, "session"),
+            (r#"{"verb": "solve", "pos": ["0"]}"#, "unknown verb"),
+            (r#"{"verb": 3, "pos": ["0"]}"#, "'verb'"),
+            (r#"{"session": "s1", "pos": ["0"]}"#, "refine"),
+            (r#"{"verb": "refine", "session": "s1"}"#, "pos"),
+        ] {
+            let (_, error) = parse_request(bad, 1).unwrap_err();
+            assert!(error.contains(needle), "{bad} -> {error}");
+        }
     }
 }

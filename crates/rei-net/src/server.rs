@@ -13,12 +13,12 @@ use rei_obs::{Trace, TraceRegistry};
 use rei_service::json::Json;
 use rei_service::{
     AdmissionConfig, AdmissionError, FairShare, InflightGuard, JobHandle, RouterSnapshot,
-    ShardRouter,
+    ServiceError, ShardRouter,
 };
 
 use crate::protocol::{
-    bad_request_line, parse_line, rejected_line, response_line, trace_line, verb_ok_line,
-    AnswerMode, Input, Verb,
+    bad_request_line, hello_line, parse_line, rejected_line, response_line, stamped, trace_line,
+    verb_err_line, verb_ok_line, AnswerMode, Input, Verb,
 };
 use crate::signal::shutdown_tripped;
 
@@ -344,6 +344,48 @@ fn serve_scrapes(
 /// in-flight slot released once the answer is on the wire.
 type Pending = VecDeque<(Json, JobHandle, InflightGuard)>;
 
+/// Generates a server-side session name for a `session.open` without
+/// one. Distinct from the pools' own `s-N` scheme so the two generators
+/// can never collide.
+pub fn generate_session_name() -> String {
+    static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+    format!("net-{}", NEXT.fetch_add(1, Ordering::Relaxed))
+}
+
+/// Performs a session verb ([`Verb::SessionOpen`] / [`Verb::SessionClose`])
+/// against the router and renders the ack (or error) line. Shared
+/// between the TCP serve loop and the CLI's stdin modes.
+///
+/// # Panics
+///
+/// When called with a non-session verb.
+pub fn session_verb_line(router: &ShardRouter, verb: &Verb) -> Json {
+    match verb {
+        Verb::SessionOpen { name, tenant } => {
+            let name = name.clone().unwrap_or_else(generate_session_name);
+            match router.open_session(&name, tenant.as_deref()) {
+                Ok(opened) => {
+                    let mut ok = verb_ok_line("session.open");
+                    ok.set("session", Json::str(opened));
+                    ok
+                }
+                Err(err) => verb_err_line("session.open", &err.to_string()),
+            }
+        }
+        Verb::SessionClose { name, tenant } => {
+            match router.close_session(name, tenant.as_deref()) {
+                Ok(()) => {
+                    let mut ok = verb_ok_line("session.close");
+                    ok.set("session", Json::str(name));
+                    ok
+                }
+                Err(err) => verb_err_line("session.close", &err.to_string()),
+            }
+        }
+        _ => unreachable!("session_verb_line only handles session verbs"),
+    }
+}
+
 fn emit(out: &mut TcpStream, line: &Json) -> std::io::Result<()> {
     let mut text = line.to_compact();
     text.push('\n');
@@ -433,11 +475,17 @@ fn handle_connection(
                     }
                     match parse_line(&line, number) {
                         Input::Control(Verb::Ping) => emit(&mut out, &verb_ok_line("ping"))?,
+                        Input::Control(Verb::Hello) => emit(&mut out, &hello_line())?,
+                        Input::Control(
+                            verb @ (Verb::SessionOpen { .. } | Verb::SessionClose { .. }),
+                        ) => {
+                            emit(&mut out, &session_verb_line(router, &verb))?;
+                        }
                         Input::Control(Verb::Metrics) => {
                             let mut snapshot = router.metrics();
                             snapshot.admission = fair.counters();
                             snapshot.tenants = fair.tenant_counters();
-                            emit(&mut out, &snapshot.to_json())?;
+                            emit(&mut out, &stamped(snapshot.to_json()))?;
                         }
                         Input::Control(Verb::Trace(trace)) => {
                             emit(&mut out, &trace_line(trace, &traces.events(trace)))?;
@@ -464,6 +512,9 @@ fn handle_connection(
                             Ok((handle, guard)) => pending.push_back((parsed.id, handle, guard)),
                             Err(AdmissionError::RateLimited) => {
                                 emit(&mut out, &rejected_line(parsed.id, "rate_limited"))?;
+                            }
+                            Err(AdmissionError::Service(ServiceError::UnknownSession(_))) => {
+                                emit(&mut out, &rejected_line(parsed.id, "unknown_session"))?;
                             }
                             Err(AdmissionError::Service(_)) => {
                                 emit(&mut out, &rejected_line(parsed.id, "shutting_down"))?;
@@ -700,6 +751,108 @@ mod tests {
         assert_eq!(snapshot.tenants.len(), 1);
         assert_eq!(snapshot.tenants[0].0, "acme");
         assert_eq!(snapshot.tenants[0].1.admitted, 1);
+    }
+
+    #[test]
+    fn hello_sessions_and_refines_serve_over_tcp() {
+        // One pool, one worker: refine ordering is deterministic.
+        let router = ShardRouter::start(RouterConfig::identical(1, ServiceConfig::new(1))).unwrap();
+        let server = NetServer::bind(NetConfig::new("127.0.0.1:0"), router).unwrap();
+        let addr = server.local_addr();
+        let serving = std::thread::spawn(move || server.run().unwrap());
+        let mut client = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(client.try_clone().unwrap());
+        let mut read_line = || {
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            Json::parse(line.trim()).unwrap()
+        };
+
+        client.write_all(b"{\"op\": \"hello\"}\n").unwrap();
+        let hello = read_line();
+        assert_eq!(hello.get("op").and_then(Json::as_str), Some("hello"));
+        assert_eq!(
+            hello.get("proto").and_then(Json::as_u64),
+            Some(crate::protocol::PROTO_VERSION)
+        );
+
+        // Open a named session, then one without a name.
+        client
+            .write_all(b"{\"op\": \"session.open\", \"name\": \"s1\"}\n")
+            .unwrap();
+        let opened = read_line();
+        assert_eq!(opened.get("status").and_then(Json::as_str), Some("ok"));
+        assert_eq!(opened.get("session").and_then(Json::as_str), Some("s1"));
+        client.write_all(b"{\"op\": \"session.open\"}\n").unwrap();
+        let generated = read_line();
+        let generated_name = generated.get("session").and_then(Json::as_str).unwrap();
+        assert!(generated_name.starts_with("net-"), "{generated_name}");
+
+        // First refine runs cold, the strengthened one warm.
+        client
+            .write_all(
+                b"{\"verb\": \"refine\", \"session\": \"s1\", \"id\": \"r1\", \
+                  \"pos\": [\"0\", \"00\"], \"neg\": [\"1\"]}\n",
+            )
+            .unwrap();
+        let first = read_line();
+        assert_eq!(first.get("status").and_then(Json::as_str), Some("solved"));
+        assert_eq!(first.get("source").and_then(Json::as_str), Some("session"));
+        assert_eq!(first.get("reuse").and_then(Json::as_str), Some("cold"));
+        assert_eq!(
+            first.get("reason").and_then(Json::as_str),
+            Some("no_previous")
+        );
+        client
+            .write_all(
+                b"{\"verb\": \"refine\", \"session\": \"s1\", \"id\": \"r2\", \
+                  \"pos\": [\"0\", \"00\"], \"neg\": [\"1\", \"10\"]}\n",
+            )
+            .unwrap();
+        let second = read_line();
+        assert_eq!(second.get("status").and_then(Json::as_str), Some("solved"));
+        assert_eq!(second.get("reuse").and_then(Json::as_str), Some("warm"));
+        assert!(second.get("reason").is_none());
+        assert_eq!(
+            second.get("proto").and_then(Json::as_u64),
+            Some(crate::protocol::PROTO_VERSION)
+        );
+
+        // A refine against a session nobody opened is rejected.
+        client
+            .write_all(
+                b"{\"verb\": \"refine\", \"session\": \"ghost\", \"id\": \"r3\", \
+                  \"pos\": [\"0\"]}\n",
+            )
+            .unwrap();
+        let ghost = read_line();
+        assert_eq!(ghost.get("status").and_then(Json::as_str), Some("rejected"));
+        assert_eq!(
+            ghost.get("reason").and_then(Json::as_str),
+            Some("unknown_session")
+        );
+
+        // Close: once ok, twice is an error line.
+        client
+            .write_all(b"{\"op\": \"session.close\", \"name\": \"s1\"}\n")
+            .unwrap();
+        assert_eq!(read_line().get("status").and_then(Json::as_str), Some("ok"));
+        client
+            .write_all(b"{\"op\": \"session.close\", \"name\": \"s1\"}\n")
+            .unwrap();
+        let closed_twice = read_line();
+        assert_eq!(
+            closed_twice.get("status").and_then(Json::as_str),
+            Some("error")
+        );
+        assert!(closed_twice
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("unknown session"));
+
+        client.write_all(b"{\"op\": \"shutdown\"}\n").unwrap();
+        serving.join().unwrap();
     }
 
     #[test]

@@ -127,6 +127,7 @@ mod request;
 mod ring;
 mod router;
 mod service;
+mod session;
 
 pub use admission::{
     AdmissionConfig, AdmissionCounters, AdmissionError, FairShare, InflightGuard, TenantCounters,
@@ -137,4 +138,7 @@ pub use metrics::MetricsSnapshot;
 pub use request::{JobHandle, ResponseSource, SynthRequest, SynthResponse};
 pub use ring::{HashRing, VNODES};
 pub use router::{PoolConfig, RouterConfig, RouterSnapshot, ShardRouter};
-pub use service::{ServiceConfig, ServiceError, SynthService, DEFAULT_FUSE_LIMIT};
+pub use service::{
+    ServiceConfig, ServiceError, SynthService, DEFAULT_FUSE_LIMIT, DEFAULT_SESSION_CAPACITY,
+    DEFAULT_SESSION_IDLE,
+};

@@ -33,6 +33,14 @@ pub(crate) struct Metrics {
     pub cancelled: AtomicU64,
     pub fused_batches: AtomicU64,
     pub fused_requests: AtomicU64,
+    pub sessions_opened: AtomicU64,
+    pub sessions_closed: AtomicU64,
+    pub sessions_evicted: AtomicU64,
+    pub sessions_expired: AtomicU64,
+    pub refines: AtomicU64,
+    pub refine_unchanged: AtomicU64,
+    pub refine_warm: AtomicU64,
+    pub refine_cold: AtomicU64,
     pub wait_ns: AtomicU64,
     pub run_ns: AtomicU64,
     pub wait_hist: Histogram,
@@ -101,6 +109,14 @@ impl Metrics {
         }
     }
 
+    /// Accounts what a session-table access did (evictions, expiries).
+    pub fn note_session_table(&self, effects: crate::session::TableEffects) {
+        self.sessions_evicted
+            .fetch_add(effects.evicted, Ordering::Relaxed);
+        self.sessions_expired
+            .fetch_add(effects.expired, Ordering::Relaxed);
+    }
+
     /// Publishes the cumulative session stats of worker `index`.
     pub fn set_worker_stats(&self, index: usize, stats: SessionStats) {
         let mut rollup = self.worker_stats.lock().unwrap_or_else(|e| e.into_inner());
@@ -129,6 +145,15 @@ impl Metrics {
             cancelled: load(&self.cancelled),
             fused_batches: load(&self.fused_batches),
             fused_requests: load(&self.fused_requests),
+            sessions_opened: load(&self.sessions_opened),
+            sessions_closed: load(&self.sessions_closed),
+            sessions_evicted: load(&self.sessions_evicted),
+            sessions_expired: load(&self.sessions_expired),
+            sessions_live: gauges.sessions_live,
+            refines: load(&self.refines),
+            refine_unchanged: load(&self.refine_unchanged),
+            refine_warm: load(&self.refine_warm),
+            refine_cold: load(&self.refine_cold),
             wait_total: Duration::from_nanos(load(&self.wait_ns)),
             run_total: Duration::from_nanos(load(&self.run_ns)),
             wait: self.wait_hist.snapshot(),
@@ -166,6 +191,7 @@ pub(crate) struct Gauges {
     pub queue_capacity: usize,
     pub cache_entries: usize,
     pub cache_capacity: usize,
+    pub sessions_live: usize,
     /// Disk gauges of the persistent store (all zero in-memory).
     pub disk: DiskStats,
 }
@@ -218,6 +244,29 @@ pub struct MetricsSnapshot {
     /// [`fused_batches`](MetricsSnapshot::fused_batches): N jobs complete
     /// in fewer than N level sweeps.
     pub fused_requests: u64,
+    /// Refinement sessions opened (`session.open`, including re-opens).
+    pub sessions_opened: u64,
+    /// Sessions closed explicitly (`session.close`).
+    pub sessions_closed: u64,
+    /// Sessions evicted by the LRU bound
+    /// ([`ServiceConfig::session_capacity`](crate::ServiceConfig)).
+    pub sessions_evicted: u64,
+    /// Sessions dropped by idle expiry
+    /// ([`ServiceConfig::session_idle`](crate::ServiceConfig)).
+    pub sessions_expired: u64,
+    /// Sessions open right now (a gauge, not a counter).
+    pub sessions_live: usize,
+    /// Refine requests accepted onto the queue.
+    pub refines: u64,
+    /// Refines whose spec was unchanged: answered by replaying the
+    /// session's previous outcome, no admission re-run.
+    pub refine_unchanged: u64,
+    /// Refines that reused the session's retained search state (fast-path
+    /// winner re-check or a resumed enumeration).
+    pub refine_warm: u64,
+    /// Refines that fell back to a cold run (spec not a strengthening,
+    /// alphabet/budget change, closure growth, no retained state).
+    pub refine_cold: u64,
     /// Total queue wait across fresh jobs.
     pub wait_total: Duration,
     /// Total synthesis wall-clock across fresh jobs.
@@ -314,6 +363,15 @@ impl MetricsSnapshot {
         self.cancelled += other.cancelled;
         self.fused_batches += other.fused_batches;
         self.fused_requests += other.fused_requests;
+        self.sessions_opened += other.sessions_opened;
+        self.sessions_closed += other.sessions_closed;
+        self.sessions_evicted += other.sessions_evicted;
+        self.sessions_expired += other.sessions_expired;
+        self.sessions_live += other.sessions_live;
+        self.refines += other.refines;
+        self.refine_unchanged += other.refine_unchanged;
+        self.refine_warm += other.refine_warm;
+        self.refine_cold += other.refine_cold;
         self.wait_total += other.wait_total;
         self.run_total += other.run_total;
         self.wait.merge(&other.wait);
@@ -406,6 +464,20 @@ impl MetricsSnapshot {
                     ("e2e_p50", quantile_ms(&self.e2e, 0.50)),
                     ("e2e_p95", quantile_ms(&self.e2e, 0.95)),
                     ("e2e_p99", quantile_ms(&self.e2e, 0.99)),
+                ]),
+            ),
+            (
+                "sessions",
+                Json::object([
+                    ("opened", Json::uint(self.sessions_opened)),
+                    ("closed", Json::uint(self.sessions_closed)),
+                    ("evicted", Json::uint(self.sessions_evicted)),
+                    ("expired", Json::uint(self.sessions_expired)),
+                    ("live", Json::uint(self.sessions_live as u64)),
+                    ("refines", Json::uint(self.refines)),
+                    ("refine_unchanged", Json::uint(self.refine_unchanged)),
+                    ("refine_warm", Json::uint(self.refine_warm)),
+                    ("refine_cold", Json::uint(self.refine_cold)),
                 ]),
             ),
             (
@@ -563,6 +635,7 @@ mod tests {
             queue_capacity: 64,
             cache_entries: 1,
             cache_capacity: 256,
+            sessions_live: 0,
             disk: DiskStats::default(),
         });
         assert!((snapshot.reuse_rate() - 0.5).abs() < 1e-9);

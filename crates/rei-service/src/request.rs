@@ -4,7 +4,7 @@ use std::fmt;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use rei_core::{SynthesisError, SynthesisResult};
+use rei_core::{ReuseDecision, SynthesisError, SynthesisResult};
 use rei_lang::Spec;
 use rei_obs::Trace;
 
@@ -20,6 +20,7 @@ pub struct SynthRequest {
     pub(crate) priority: i32,
     pub(crate) deadline: Option<Instant>,
     pub(crate) tenant: Option<String>,
+    pub(crate) session: Option<String>,
     pub(crate) trace: Option<Trace>,
 }
 
@@ -32,6 +33,7 @@ impl SynthRequest {
             priority: 0,
             deadline: None,
             tenant: None,
+            session: None,
             trace: None,
         }
     }
@@ -71,6 +73,21 @@ impl SynthRequest {
         self
     }
 
+    /// Makes this a *refinement* of the named open session (see
+    /// [`SynthService::open_session`](crate::SynthService::open_session)):
+    /// instead of the cache/coalesce/enqueue path, the request runs
+    /// through the session's retained [`RefineState`](rei_core::RefineState),
+    /// reusing the previous run's level caches when the new specification
+    /// strengthens the old one. The response's
+    /// [`reuse`](SynthResponse::reuse) reports what was reused. When
+    /// submitting through a [`ShardRouter`](crate::ShardRouter), carry the
+    /// same tenant key the session was opened under (or none, both times)
+    /// so the refine routes to the pool holding the session.
+    pub fn with_session(mut self, session: impl Into<String>) -> Self {
+        self.session = Some(session.into());
+        self
+    }
+
     /// Attaches a per-request trace handle (normally assigned at
     /// admission by the network front-end). Every layer the request
     /// passes through appends its phase event to the handle; the
@@ -96,6 +113,11 @@ impl SynthRequest {
         self.tenant.as_deref()
     }
 
+    /// The session this request refines, if any.
+    pub fn session(&self) -> Option<&str> {
+        self.session.as_deref()
+    }
+
     /// The scheduling priority.
     pub fn priority(&self) -> i32 {
         self.priority
@@ -117,15 +139,21 @@ pub enum ResponseSource {
     /// The request was coalesced onto an identical in-flight job; one
     /// synthesis served all coalesced requests.
     Coalesced,
+    /// The request refined an open session; the response's
+    /// [`reuse`](SynthResponse::reuse) says how much of the session's
+    /// retained state answered it.
+    Session,
 }
 
 impl ResponseSource {
-    /// A stable lowercase label (`fresh` / `cache` / `coalesced`).
+    /// A stable lowercase label (`fresh` / `cache` / `coalesced` /
+    /// `session`).
     pub fn as_str(&self) -> &'static str {
         match self {
             ResponseSource::Fresh => "fresh",
             ResponseSource::Cache => "cache",
             ResponseSource::Coalesced => "coalesced",
+            ResponseSource::Session => "session",
         }
     }
 }
@@ -151,6 +179,11 @@ pub struct SynthResponse {
     /// Wall-clock time of the synthesis run itself (zero when no run
     /// happened: cache hits and jobs whose deadline had already expired).
     pub ran: Duration,
+    /// For session refinements ([`ResponseSource::Session`]): how much of
+    /// the session's retained state answered the request — unchanged-spec
+    /// replay, warm reuse, or a cold fallback with its reason. `None` on
+    /// every other path.
+    pub reuse: Option<ReuseDecision>,
 }
 
 /// The shared completion slot of one job. The worker fills it exactly
@@ -182,6 +215,7 @@ pub(crate) struct Completion {
     pub outcome: Result<SynthesisResult, SynthesisError>,
     pub finished: Instant,
     pub ran: Duration,
+    pub reuse: Option<ReuseDecision>,
 }
 
 impl JobState {
@@ -205,6 +239,7 @@ impl JobState {
             outcome,
             finished: Instant::now(),
             ran: Duration::ZERO,
+            reuse: None,
         });
         state
     }
@@ -302,6 +337,7 @@ impl JobHandle {
                 .finished
                 .saturating_duration_since(self.submitted),
             ran: completion.ran,
+            reuse: completion.reuse,
         }
     }
 }
@@ -371,6 +407,7 @@ mod tests {
             }),
             finished: Instant::now(),
             ran: Duration::from_millis(3),
+            reuse: None,
         });
         let response = waiter.join().unwrap();
         assert_eq!(response.ran, Duration::from_millis(3));
@@ -399,5 +436,6 @@ mod tests {
         assert_eq!(ResponseSource::Fresh.to_string(), "fresh");
         assert_eq!(ResponseSource::Cache.as_str(), "cache");
         assert_eq!(ResponseSource::Coalesced.as_str(), "coalesced");
+        assert_eq!(ResponseSource::Session.as_str(), "session");
     }
 }

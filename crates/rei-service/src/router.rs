@@ -219,13 +219,49 @@ impl ShardRouter {
     }
 
     /// The routing key of `request`: the FNV-1a hash of the tenant key
-    /// when one is set, the specification fingerprint otherwise.
+    /// when one is set; otherwise, for a session refinement, the FNV-1a
+    /// hash of the session name — so refines land on the pool that
+    /// [opened](ShardRouter::open_session) the session under the same key
+    /// — and the specification fingerprint for everything else.
     /// Deterministic across processes.
     pub fn routing_key(request: &SynthRequest) -> u64 {
-        match request.tenant() {
-            Some(tenant) => rei_lang::fnv1a(tenant.as_bytes()),
-            None => request.spec().fingerprint(),
+        match (request.tenant(), request.session()) {
+            (Some(tenant), _) => rei_lang::fnv1a(tenant.as_bytes()),
+            (None, Some(session)) => rei_lang::fnv1a(session.as_bytes()),
+            (None, None) => request.spec().fingerprint(),
         }
+    }
+
+    /// The routing key of session verbs (`open_session`/`close_session`):
+    /// tenant when given, session name otherwise — the same key
+    /// [`routing_key`](ShardRouter::routing_key) derives for the
+    /// session's refines.
+    fn session_key(name: &str, tenant: Option<&str>) -> u64 {
+        match tenant {
+            Some(tenant) => rei_lang::fnv1a(tenant.as_bytes()),
+            None => rei_lang::fnv1a(name.as_bytes()),
+        }
+    }
+
+    /// Opens the refinement session `name` on the pool its key routes to
+    /// (see [`SynthService::open_session`]). Unlike the single-pool API
+    /// the name is required: the router must know the key before it can
+    /// pick a pool, so callers (e.g. the network front-end) generate a
+    /// name first when the client did not choose one. Pass the same
+    /// `tenant` on open, refine and close — the tenant key dominates
+    /// routing when present.
+    pub fn open_session(&self, name: &str, tenant: Option<&str>) -> Result<String, ServiceError> {
+        let state = self.read();
+        let index = state.route_key(ShardRouter::session_key(name, tenant));
+        state.pools[index].service.open_session(Some(name), tenant)
+    }
+
+    /// Closes the refinement session `name` on the pool its key routes to
+    /// (see [`SynthService::close_session`]).
+    pub fn close_session(&self, name: &str, tenant: Option<&str>) -> Result<(), ServiceError> {
+        let state = self.read();
+        let index = state.route_key(ShardRouter::session_key(name, tenant));
+        state.pools[index].service.close_session(name)
     }
 
     /// The index (under the current topology) of the pool `request`

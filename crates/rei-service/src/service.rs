@@ -13,8 +13,8 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use rei_core::{
-    CancelToken, FusedRequest, LevelStats, Observer, SynthConfig, SynthSession, SynthesisError,
-    SynthesisStats,
+    CancelToken, FusedRequest, LevelStats, Observer, ReuseDecision, SynthConfig, SynthSession,
+    SynthesisError, SynthesisStats,
 };
 use rei_obs::Trace;
 
@@ -22,6 +22,7 @@ use crate::cache::{CacheKey, Janitor, Lookup, ResultCache, WalOptions};
 use crate::metrics::{Gauges, Metrics, MetricsSnapshot};
 use crate::queue::JobQueue;
 use crate::request::{Completion, JobHandle, JobState, ResponseSource, SynthRequest};
+use crate::session::{SessionEntry, SessionTable};
 
 /// Configuration of a [`SynthService`].
 #[derive(Debug, Clone)]
@@ -54,12 +55,26 @@ pub struct ServiceConfig {
     /// single [`SynthConfig`], so any drained jobs are fusion-eligible.
     /// `1` disables fusion (each pop runs alone).
     pub fuse_limit: usize,
+    /// Most refinement sessions held open at once; opening one beyond
+    /// the bound evicts the least recently used
+    /// ([`ServiceError::UnknownSession`] on its next refine).
+    pub session_capacity: usize,
+    /// Idle time after which an open session expires: a session neither
+    /// refined nor re-opened for this long is dropped lazily on the next
+    /// session-table access.
+    pub session_idle: Duration,
 }
 
 /// Default [`ServiceConfig::fuse_limit`]: deep enough to amortise the
 /// sweep under bursts, shallow enough that one slow batch-mate cannot
 /// delay many others past their deadlines.
 pub const DEFAULT_FUSE_LIMIT: usize = 4;
+
+/// Default [`ServiceConfig::session_capacity`].
+pub const DEFAULT_SESSION_CAPACITY: usize = 64;
+
+/// Default [`ServiceConfig::session_idle`].
+pub const DEFAULT_SESSION_IDLE: Duration = Duration::from_secs(600);
 
 impl ServiceConfig {
     /// A config with `workers` workers and defaults otherwise: queue
@@ -73,6 +88,8 @@ impl ServiceConfig {
             cache_path: None,
             wal: WalOptions::default(),
             fuse_limit: DEFAULT_FUSE_LIMIT,
+            session_capacity: DEFAULT_SESSION_CAPACITY,
+            session_idle: DEFAULT_SESSION_IDLE,
         }
     }
 
@@ -122,6 +139,18 @@ impl ServiceConfig {
         self
     }
 
+    /// Replaces the open-session bound (LRU eviction beyond it).
+    pub fn with_session_capacity(mut self, capacity: usize) -> Self {
+        self.session_capacity = capacity;
+        self
+    }
+
+    /// Replaces the session idle-expiry duration.
+    pub fn with_session_idle(mut self, idle: Duration) -> Self {
+        self.session_idle = idle;
+        self
+    }
+
     fn validate(&self) -> Result<(), ServiceError> {
         if self.workers == 0 {
             return Err(ServiceError::InvalidConfig(
@@ -141,6 +170,11 @@ impl ServiceConfig {
         if self.fuse_limit == 0 {
             return Err(ServiceError::InvalidConfig(
                 "fuse limit must be positive".into(),
+            ));
+        }
+        if self.session_capacity == 0 {
+            return Err(ServiceError::InvalidConfig(
+                "session capacity must be positive".into(),
             ));
         }
         if self.wal.roll_bytes == 0 {
@@ -174,6 +208,10 @@ pub enum ServiceError {
     QueueFull,
     /// The [`ServiceConfig`] is invalid.
     InvalidConfig(String),
+    /// A refine or `close_session` named a session that is not open on
+    /// this pool: never opened, closed, evicted by the LRU bound, or
+    /// expired idle.
+    UnknownSession(String),
 }
 
 impl fmt::Display for ServiceError {
@@ -184,6 +222,7 @@ impl fmt::Display for ServiceError {
             ServiceError::InvalidConfig(message) => {
                 write!(f, "invalid service configuration: {message}")
             }
+            ServiceError::UnknownSession(name) => write!(f, "unknown session '{name}'"),
         }
     }
 }
@@ -193,10 +232,30 @@ impl std::error::Error for ServiceError {}
 /// A queued unit of work.
 struct Job {
     spec: rei_lang::Spec,
-    key: CacheKey,
+    kind: JobKind,
     state: Arc<JobState>,
     submitted: Instant,
     trace: Option<Trace>,
+}
+
+/// What a queued job does when a worker picks it up.
+enum JobKind {
+    /// The classic path: run the spec, publish under its cache key.
+    Fresh { key: CacheKey },
+    /// Refine an open session: run through the session's retained
+    /// [`RefineState`](rei_core::RefineState), bypassing the result cache
+    /// (a refinement's answer belongs to the session's history, not to
+    /// the bare specification) and never fusing with other jobs.
+    Refine { session: Arc<SessionEntry> },
+}
+
+impl Job {
+    fn cache_key(&self) -> Option<&CacheKey> {
+        match &self.kind {
+            JobKind::Fresh { key } => Some(key),
+            JobKind::Refine { .. } => None,
+        }
+    }
 }
 
 /// The worker-side [`Observer`] feeding per-level progress into a job's
@@ -342,6 +401,7 @@ struct Shared {
     synth: SynthConfig,
     /// See [`ServiceConfig::fuse_limit`].
     fuse_limit: usize,
+    sessions: SessionTable,
 }
 
 /// A multi-tenant synthesis service (see the crate docs).
@@ -443,6 +503,7 @@ impl SynthService {
             watchdog: Watchdog::default(),
             synth: config.synth.clone(),
             fuse_limit: config.fuse_limit.max(1),
+            sessions: SessionTable::new(config.session_capacity, config.session_idle),
         });
         let watchdog = {
             let shared = Arc::clone(&shared);
@@ -506,6 +567,9 @@ impl SynthService {
         }
         Metrics::bump(&shared.metrics.submitted);
         let submitted = Instant::now();
+        if request.session.is_some() {
+            return self.submit_refine(request, fail_fast, submitted);
+        }
         let key = CacheKey::new(&request.spec, &shared.synth);
         let state = JobState::new(request.deadline);
         match shared.cache.lookup_or_reserve(&key, &state) {
@@ -540,7 +604,7 @@ impl SynthService {
             Lookup::Miss => {
                 let job = Job {
                     spec: request.spec,
-                    key: key.clone(),
+                    kind: JobKind::Fresh { key: key.clone() },
                     state: Arc::clone(&state),
                     submitted,
                     trace: request.trace.clone(),
@@ -578,6 +642,114 @@ impl SynthService {
         }
     }
 
+    /// The refine path of [`submit_inner`](SynthService::submit_inner):
+    /// looks the named session up and enqueues a [`JobKind::Refine`] job.
+    /// Refinements bypass the result cache and coalescing — their answer
+    /// depends on the session's history, not just the specification — so
+    /// every refine consumes a queue slot.
+    fn submit_refine(
+        &self,
+        request: SynthRequest,
+        fail_fast: bool,
+        submitted: Instant,
+    ) -> Result<JobHandle, ServiceError> {
+        let shared = &self.shared;
+        let name = request.session.clone().expect("checked by the caller");
+        let (entry, effects) = shared.sessions.get(&name);
+        shared.metrics.note_session_table(effects);
+        // A session belongs to the tenant that opened it: a lookup under
+        // any other tenant key reads as "no such session" rather than
+        // leaking another tenant's retained state.
+        let entry = entry.filter(|entry| entry.tenant.as_deref() == request.tenant.as_deref());
+        let Some(entry) = entry else {
+            // The submission never became a job; undo the optimistic bump.
+            shared.metrics.submitted.fetch_sub(1, Ordering::Relaxed);
+            return Err(ServiceError::UnknownSession(name));
+        };
+        Metrics::bump(&shared.metrics.refines);
+        let state = JobState::new(request.deadline);
+        let job = Job {
+            spec: request.spec,
+            kind: JobKind::Refine { session: entry },
+            state: Arc::clone(&state),
+            submitted,
+            trace: request.trace.clone(),
+        };
+        let pushed = if fail_fast {
+            shared.queue.try_push(request.priority, job)
+        } else {
+            shared.queue.push(request.priority, job)
+        };
+        if pushed.is_err() {
+            Metrics::bump(&shared.metrics.rejected);
+            shared.metrics.submitted.fetch_sub(1, Ordering::Relaxed);
+            shared.metrics.refines.fetch_sub(1, Ordering::Relaxed);
+            return Err(if shared.queue.is_closed() {
+                Metrics::bump(&shared.metrics.rejected_shutdown);
+                ServiceError::ShuttingDown
+            } else {
+                Metrics::bump(&shared.metrics.rejected_queue_full);
+                ServiceError::QueueFull
+            });
+        }
+        Metrics::bump(&shared.metrics.enqueued);
+        if let Some(trace) = request.trace.as_ref() {
+            trace.record("refine-enqueued", format!("session={name}"));
+        }
+        Ok(JobHandle {
+            state,
+            source: ResponseSource::Session,
+            submitted,
+            trace: request.trace,
+        })
+    }
+
+    /// Opens a refinement session and returns its name: the client's
+    /// chosen `name` when given (re-opening a live name resets it to a
+    /// blank session), a generated `s-N` name otherwise. Subsequent
+    /// [`SynthRequest::with_session`] submissions refine it; sessions
+    /// close explicitly ([`close_session`](SynthService::close_session)),
+    /// by LRU eviction past [`ServiceConfig::session_capacity`], or by
+    /// idle expiry after [`ServiceConfig::session_idle`].
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::ShuttingDown`] after [`close`](SynthService::close).
+    pub fn open_session(
+        &self,
+        name: Option<&str>,
+        tenant: Option<&str>,
+    ) -> Result<String, ServiceError> {
+        if self.shared.queue.is_closed() {
+            return Err(ServiceError::ShuttingDown);
+        }
+        let (entry, effects) = self.shared.sessions.open(name, tenant);
+        self.shared.metrics.note_session_table(effects);
+        Metrics::bump(&self.shared.metrics.sessions_opened);
+        Ok(entry.name.clone())
+    }
+
+    /// Closes a refinement session, dropping its retained state.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownSession`] when no such session is open.
+    pub fn close_session(&self, name: &str) -> Result<(), ServiceError> {
+        let (closed, effects) = self.shared.sessions.close(name);
+        self.shared.metrics.note_session_table(effects);
+        if closed {
+            Metrics::bump(&self.shared.metrics.sessions_closed);
+            Ok(())
+        } else {
+            Err(ServiceError::UnknownSession(name.to_string()))
+        }
+    }
+
+    /// Number of currently open refinement sessions.
+    pub fn open_sessions(&self) -> usize {
+        self.shared.sessions.live()
+    }
+
     /// Closes the service to new submissions. Queued and in-flight jobs
     /// keep running; call [`shutdown`](SynthService::shutdown) (or drop the
     /// service) to drain and join.
@@ -600,6 +772,7 @@ impl SynthService {
             queue_capacity: self.shared.queue.capacity(),
             cache_entries: self.shared.cache.entries(),
             cache_capacity: self.shared.cache.capacity(),
+            sessions_live: self.shared.sessions.live(),
             disk: self.shared.cache.disk_stats().unwrap_or_default(),
         })
     }
@@ -648,29 +821,111 @@ fn worker_loop(shared: &Shared, index: usize) {
         SynthSession::new(shared.synth.clone()).expect("service config was validated at start");
     let token = session.cancel_token();
     while let Some(job) = shared.queue.pop() {
-        // Batch fusion: whatever accumulated behind this job is drained
-        // (up to the fuse limit) and run as one fused level sweep. Every
-        // job of the pool runs the same `SynthConfig`, so anything the
-        // drain picks up is fusion-eligible by construction.
-        let mut batch = vec![job];
-        while batch.len() < shared.fuse_limit {
-            match shared.queue.try_pop() {
-                Some(extra) => batch.push(extra),
-                None => break,
+        let mut carried = Some(job);
+        while let Some(job) = carried.take() {
+            if matches!(job.kind, JobKind::Refine { .. }) {
+                // Refinements run alone: their outcome depends on the
+                // session's retained state, so they cannot share a fused
+                // sweep with stateless batch-mates.
+                run_refine(shared, index, &mut session, &token, job);
+                continue;
+            }
+            // Batch fusion: whatever accumulated behind this job is
+            // drained (up to the fuse limit) and run as one fused level
+            // sweep. Every job of the pool runs the same `SynthConfig`,
+            // so any fresh job the drain picks up is fusion-eligible by
+            // construction; a drained refine job is carried over and runs
+            // alone right after the batch.
+            let mut batch = vec![job];
+            while batch.len() < shared.fuse_limit && carried.is_none() {
+                match shared.queue.try_pop() {
+                    Some(extra) if matches!(extra.kind, JobKind::Fresh { .. }) => batch.push(extra),
+                    Some(extra) => carried = Some(extra),
+                    None => break,
+                }
+            }
+            if batch.len() == 1 {
+                run_single(
+                    shared,
+                    index,
+                    &mut session,
+                    &token,
+                    batch.pop().expect("one job"),
+                );
+            } else {
+                run_fused_batch(shared, index, &mut session, batch);
             }
         }
-        if batch.len() == 1 {
-            run_single(
-                shared,
-                index,
-                &mut session,
-                &token,
-                batch.pop().expect("one job"),
+    }
+}
+
+/// The refine path: one job, run through the session entry's shared
+/// [`RefineState`](rei_core::RefineState) on this worker's warm
+/// `SynthSession`. Deadlines map onto the worker token exactly like the
+/// single path; the result cache is bypassed in both directions.
+fn run_refine(
+    shared: &Shared,
+    index: usize,
+    session: &mut SynthSession,
+    token: &CancelToken,
+    job: Job,
+) {
+    let JobKind::Refine { session: entry } = &job.kind else {
+        unreachable!("run_refine only receives refine jobs");
+    };
+    let waited = job.submitted.elapsed();
+    shared.metrics.note_wait(waited);
+
+    let expired_in_queue = job.state.deadline().is_some_and(|d| Instant::now() >= d);
+    let (outcome, reuse, ran) = if expired_in_queue {
+        (
+            Err(SynthesisError::Cancelled {
+                stats: SynthesisStats::default(),
+            }),
+            None,
+            Duration::ZERO,
+        )
+    } else {
+        let watchdog_entry = job
+            .state
+            .deadline()
+            .map(|deadline| shared.watchdog.arm(deadline, token.clone()));
+        let started = Instant::now();
+        let mut observer = TraceObserver::new(job.trace.as_ref());
+        let mut state = entry.state.lock().unwrap_or_else(|e| e.into_inner());
+        let result = session.refine_with_state(&mut state, &job.spec, &mut observer);
+        drop(state);
+        let ran = started.elapsed();
+        if let Some(watchdog_entry) = watchdog_entry {
+            Watchdog::disarm(&watchdog_entry, token);
+        }
+        (result.outcome, Some(result.reuse), ran)
+    };
+    shared.metrics.note_run(ran);
+
+    match reuse {
+        Some(ReuseDecision::Unchanged) => Metrics::bump(&shared.metrics.refine_unchanged),
+        Some(ReuseDecision::Warm { .. }) => Metrics::bump(&shared.metrics.refine_warm),
+        Some(ReuseDecision::Cold(_)) => Metrics::bump(&shared.metrics.refine_cold),
+        None => {}
+    }
+    if let Some(trace) = job.trace.as_ref() {
+        if let Some(reuse) = reuse {
+            trace.record(
+                "refine",
+                format!("session={} reuse={}", entry.name, reuse.label()),
             );
-        } else {
-            run_fused_batch(shared, index, &mut session, batch);
         }
     }
+    shared.metrics.note_job(&outcome, expired_in_queue);
+    shared.metrics.note_e2e(job.submitted.elapsed());
+    shared.metrics.set_worker_stats(index, *session.stats());
+    job.state.complete(Completion {
+        outcome,
+        finished: Instant::now(),
+        ran,
+        reuse,
+    });
 }
 
 /// The classic path: one job, one level sweep, deadline mapped onto the
@@ -712,14 +967,15 @@ fn run_single(
     };
     shared.metrics.note_run(ran);
 
+    let key = job.cache_key().expect("single jobs are fresh");
     match &outcome {
         Ok(result) => {
-            shared.cache.complete(&job.key, result);
+            shared.cache.complete(key, result);
             if let Some(trace) = job.trace.as_ref() {
                 trace.record("cache-append", String::new());
             }
         }
-        Err(_) => shared.cache.forget(&job.key, &job.state),
+        Err(_) => shared.cache.forget(key, &job.state),
     }
     shared.metrics.note_job(&outcome, expired_in_queue);
     shared.metrics.note_e2e(job.submitted.elapsed());
@@ -728,6 +984,7 @@ fn run_single(
         outcome,
         finished: Instant::now(),
         ran,
+        reuse: None,
     });
 }
 
@@ -755,13 +1012,16 @@ fn run_fused_batch(shared: &Shared, index: usize, session: &mut SynthSession, ba
             let outcome = Err(SynthesisError::Cancelled {
                 stats: SynthesisStats::default(),
             });
-            shared.cache.forget(&job.key, &job.state);
+            if let Some(key) = job.cache_key() {
+                shared.cache.forget(key, &job.state);
+            }
             shared.metrics.note_job(&outcome, true);
             shared.metrics.note_e2e(job.submitted.elapsed());
             job.state.complete(Completion {
                 outcome,
                 finished: Instant::now(),
                 ran: Duration::ZERO,
+                reuse: None,
             });
             continue;
         }
@@ -816,14 +1076,15 @@ fn run_fused_batch(shared: &Shared, index: usize, session: &mut SynthSession, ba
         if let Some(entry) = &member.entry {
             Watchdog::disarm(entry, &member.token);
         }
+        let key = member.job.cache_key().expect("fused jobs are fresh");
         match &outcome {
             Ok(result) => {
-                shared.cache.complete(&member.job.key, result);
+                shared.cache.complete(key, result);
                 if let Some(trace) = member.job.trace.as_ref() {
                     trace.record("cache-append", String::new());
                 }
             }
-            Err(_) => shared.cache.forget(&member.job.key, &member.job.state),
+            Err(_) => shared.cache.forget(key, &member.job.state),
         }
         shared.metrics.note_job(&outcome, false);
         shared.metrics.note_e2e(member.job.submitted.elapsed());
@@ -831,6 +1092,7 @@ fn run_fused_batch(shared: &Shared, index: usize, session: &mut SynthSession, ba
             outcome,
             finished: Instant::now(),
             ran,
+            reuse: None,
         });
     }
     shared.metrics.set_worker_stats(index, *session.stats());
@@ -922,6 +1184,112 @@ mod tests {
         let metrics = service.shutdown();
         assert_eq!(metrics.deadline_expired, 1);
         assert_eq!(metrics.workers.iter().map(|w| w.runs).sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn sessions_open_refine_and_close() {
+        let service = SynthService::start(ServiceConfig::new(1)).unwrap();
+        let named = service.open_session(Some("s"), None).unwrap();
+        assert_eq!(named, "s");
+        let generated = service.open_session(None, None).unwrap();
+        assert!(generated.starts_with("s-"), "{generated}");
+        assert_eq!(service.open_sessions(), 2);
+
+        // First refine of a blank session: a cold run that seeds it.
+        let base = Spec::from_strs(["0", "00"], ["1"]).unwrap();
+        let first = service
+            .submit(SynthRequest::new(base.clone()).with_session("s"))
+            .unwrap();
+        assert_eq!(first.source(), ResponseSource::Session);
+        let first = first.wait();
+        assert!(first.outcome.is_ok());
+        assert!(
+            matches!(first.reuse, Some(ReuseDecision::Cold(_))),
+            "{first:?}"
+        );
+
+        // Strengthening the spec reuses the session's retained state.
+        let stronger = Spec::from_strs(["0", "00"], ["1", "10"]).unwrap();
+        let second = service
+            .submit(SynthRequest::new(stronger).with_session("s"))
+            .unwrap()
+            .wait();
+        assert!(second.outcome.is_ok());
+        assert!(second.reuse.expect("a refine reports reuse").reused());
+        assert_eq!(
+            first.outcome.unwrap().cost,
+            second.outcome.unwrap().cost,
+            "0* answers both specs minimally"
+        );
+
+        // Unknown names and other tenants' names are refused alike.
+        let unknown = service
+            .submit(SynthRequest::new(base.clone()).with_session("nope"))
+            .unwrap_err();
+        assert!(
+            matches!(unknown, ServiceError::UnknownSession(_)),
+            "{unknown}"
+        );
+        let foreign = service
+            .submit(
+                SynthRequest::new(base)
+                    .with_session("s")
+                    .with_tenant("acme"),
+            )
+            .unwrap_err();
+        assert!(
+            matches!(foreign, ServiceError::UnknownSession(_)),
+            "{foreign}"
+        );
+
+        service.close_session("s").unwrap();
+        assert!(matches!(
+            service.close_session("s"),
+            Err(ServiceError::UnknownSession(_))
+        ));
+
+        let metrics = service.shutdown();
+        assert_eq!(metrics.sessions_opened, 2);
+        assert_eq!(metrics.sessions_closed, 1);
+        assert_eq!(metrics.refines, 2);
+        assert_eq!(metrics.refine_cold, 1);
+        assert_eq!(metrics.refine_warm, 1);
+        assert_eq!(
+            metrics.sessions_live, 1,
+            "the generated session stayed open"
+        );
+    }
+
+    #[test]
+    fn session_capacity_evicts_least_recently_used() {
+        let service = SynthService::start(ServiceConfig::new(1).with_session_capacity(1)).unwrap();
+        service.open_session(Some("old"), None).unwrap();
+        service.open_session(Some("new"), None).unwrap();
+        assert_eq!(service.open_sessions(), 1);
+        let err = service
+            .submit(SynthRequest::new(tiny_spec()).with_session("old"))
+            .unwrap_err();
+        assert!(matches!(err, ServiceError::UnknownSession(_)), "{err}");
+        let ok = service
+            .submit(SynthRequest::new(tiny_spec()).with_session("new"))
+            .unwrap();
+        assert!(ok.wait().outcome.is_ok());
+        let metrics = service.shutdown();
+        assert_eq!(metrics.sessions_evicted, 1);
+    }
+
+    #[test]
+    fn idle_sessions_expire_and_are_counted() {
+        let service =
+            SynthService::start(ServiceConfig::new(1).with_session_idle(Duration::ZERO)).unwrap();
+        service.open_session(Some("brief"), None).unwrap();
+        let err = service
+            .submit(SynthRequest::new(tiny_spec()).with_session("brief"))
+            .unwrap_err();
+        assert!(matches!(err, ServiceError::UnknownSession(_)), "{err}");
+        let metrics = service.shutdown();
+        assert_eq!(metrics.sessions_expired, 1);
+        assert_eq!(metrics.sessions_live, 0);
     }
 
     #[test]

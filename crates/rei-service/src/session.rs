@@ -1,0 +1,213 @@
+//! Named refinement sessions of one pool.
+//!
+//! A session is the service-side home of a [`RefineState`]: the retained
+//! search state of a client's previous run, which
+//! [`SynthSession::refine_with_state`](rei_core::SynthSession::refine_with_state)
+//! reuses when the client strengthens its specification. The table is a
+//! bounded LRU — opening a session beyond capacity evicts the least
+//! recently *used* one — with lazy idle expiry: every table access first
+//! drops sessions that have not been touched for the configured idle
+//! duration, so an abandoned client cannot pin retained caches forever.
+//!
+//! Entries are handed to workers as `Arc`s: eviction or expiry while a
+//! refine is running merely unlinks the entry from the table (the running
+//! job keeps its clone alive); the *next* refine on that name reports
+//! [`ServiceError::UnknownSession`](crate::ServiceError::UnknownSession).
+
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use rei_core::RefineState;
+
+/// One live session: its refine state behind a mutex (successive refines
+/// of one session may land on different workers) and the tenant key it
+/// was opened under, which the shard router also routes its refines by.
+pub(crate) struct SessionEntry {
+    pub name: String,
+    pub tenant: Option<String>,
+    pub state: Mutex<RefineState>,
+}
+
+/// What an [`open`](SessionTable::open) or lookup did to the table, so the
+/// caller can bump the pool metrics without the table knowing about them.
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct TableEffects {
+    /// Sessions dropped because their idle time exceeded the limit.
+    pub expired: u64,
+    /// Sessions evicted to make room for a newly opened one.
+    pub evicted: u64,
+}
+
+struct Slot {
+    entry: Arc<SessionEntry>,
+    last_used: Instant,
+}
+
+/// The bounded LRU session table of one pool (see the module docs).
+pub(crate) struct SessionTable {
+    capacity: usize,
+    idle: Duration,
+    /// LRU order: index 0 is the least recently used slot.
+    slots: Mutex<Vec<Slot>>,
+    next_id: Mutex<u64>,
+}
+
+impl SessionTable {
+    pub fn new(capacity: usize, idle: Duration) -> Self {
+        SessionTable {
+            capacity: capacity.max(1),
+            idle,
+            slots: Mutex::new(Vec::new()),
+            next_id: Mutex::new(0),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Vec<Slot>> {
+        self.slots.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn purge_expired(&self, slots: &mut Vec<Slot>, effects: &mut TableEffects) {
+        let now = Instant::now();
+        let before = slots.len();
+        slots.retain(|slot| now.saturating_duration_since(slot.last_used) < self.idle);
+        effects.expired += (before - slots.len()) as u64;
+    }
+
+    /// Opens a session under `name` (a fresh generated `s-N` name when
+    /// `None`). Re-opening a live name resets its refine state — an open
+    /// always starts from a blank session.
+    pub fn open(
+        &self,
+        name: Option<&str>,
+        tenant: Option<&str>,
+    ) -> (Arc<SessionEntry>, TableEffects) {
+        let name = match name {
+            Some(name) => name.to_string(),
+            None => {
+                let mut next = self.next_id.lock().unwrap_or_else(|e| e.into_inner());
+                let id = *next;
+                *next += 1;
+                format!("s-{id}")
+            }
+        };
+        let entry = Arc::new(SessionEntry {
+            name: name.clone(),
+            tenant: tenant.map(str::to_string),
+            state: Mutex::new(RefineState::new()),
+        });
+        let mut effects = TableEffects::default();
+        let mut slots = self.lock();
+        self.purge_expired(&mut slots, &mut effects);
+        slots.retain(|slot| slot.entry.name != name);
+        while slots.len() >= self.capacity {
+            slots.remove(0);
+            effects.evicted += 1;
+        }
+        slots.push(Slot {
+            entry: Arc::clone(&entry),
+            last_used: Instant::now(),
+        });
+        (entry, effects)
+    }
+
+    /// Looks `name` up, marking it most recently used.
+    pub fn get(&self, name: &str) -> (Option<Arc<SessionEntry>>, TableEffects) {
+        let mut effects = TableEffects::default();
+        let mut slots = self.lock();
+        self.purge_expired(&mut slots, &mut effects);
+        let found = slots
+            .iter()
+            .position(|slot| slot.entry.name == name)
+            .map(|index| {
+                let mut slot = slots.remove(index);
+                slot.last_used = Instant::now();
+                let entry = Arc::clone(&slot.entry);
+                slots.push(slot);
+                entry
+            });
+        (found, effects)
+    }
+
+    /// Closes `name`; `false` when no such session is live.
+    pub fn close(&self, name: &str) -> (bool, TableEffects) {
+        let mut effects = TableEffects::default();
+        let mut slots = self.lock();
+        self.purge_expired(&mut slots, &mut effects);
+        let before = slots.len();
+        slots.retain(|slot| slot.entry.name != name);
+        (slots.len() < before, effects)
+    }
+
+    /// Number of live sessions (after purging expired ones).
+    pub fn live(&self) -> usize {
+        let mut effects = TableEffects::default();
+        let mut slots = self.lock();
+        self.purge_expired(&mut slots, &mut effects);
+        slots.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(capacity: usize) -> SessionTable {
+        SessionTable::new(capacity, Duration::from_secs(600))
+    }
+
+    #[test]
+    fn generated_names_are_unique_and_client_names_stick() {
+        let table = table(8);
+        let (a, _) = table.open(None, None);
+        let (b, _) = table.open(None, Some("acme"));
+        assert_ne!(a.name, b.name);
+        assert_eq!(b.tenant.as_deref(), Some("acme"));
+        let (named, _) = table.open(Some("mine"), None);
+        assert_eq!(named.name, "mine");
+        assert!(table.get("mine").0.is_some());
+        assert!(table.get("missing").0.is_none());
+        assert_eq!(table.live(), 3);
+    }
+
+    #[test]
+    fn reopening_a_name_resets_to_a_fresh_entry() {
+        let table = table(8);
+        let (first, _) = table.open(Some("s"), None);
+        let (second, effects) = table.open(Some("s"), None);
+        assert_eq!(effects.evicted, 0, "replacement is not an eviction");
+        assert!(!Arc::ptr_eq(&first, &second));
+        assert_eq!(table.live(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_drops_the_least_recently_used() {
+        let table = table(2);
+        table.open(Some("a"), None);
+        table.open(Some("b"), None);
+        // Touch "a" so "b" becomes the LRU victim.
+        assert!(table.get("a").0.is_some());
+        let (_, effects) = table.open(Some("c"), None);
+        assert_eq!(effects.evicted, 1);
+        assert!(table.get("b").0.is_none(), "b was evicted");
+        assert!(table.get("a").0.is_some());
+        assert!(table.get("c").0.is_some());
+    }
+
+    #[test]
+    fn idle_sessions_expire_lazily() {
+        let table = SessionTable::new(4, Duration::ZERO);
+        table.open(Some("gone"), None);
+        let (found, effects) = table.get("gone");
+        assert!(found.is_none());
+        assert_eq!(effects.expired, 1);
+        assert_eq!(table.live(), 0);
+    }
+
+    #[test]
+    fn close_reports_whether_the_session_existed() {
+        let table = table(4);
+        table.open(Some("s"), None);
+        assert!(table.close("s").0);
+        assert!(!table.close("s").0);
+    }
+}

@@ -85,9 +85,13 @@
 //! assert_eq!(metrics.solved, 1);
 //! ```
 //!
-//! The one-shot [`Synthesizer`](crate::core::Synthesizer) builder remains
-//! for quick experiments, and the pre-0.2 `Engine` enum still compiles as
-//! a deprecated shim.
+//! Interactive clients *refine* a session instead of re-running it:
+//! [`SynthSession::refine`](crate::core::SynthSession::refine) reuses the
+//! previous run's retained level caches when the new spec strengthens the
+//! old one, and the service layer keeps per-tenant warm sessions behind
+//! `session.open` / `refine` / `session.close` requests. The one-shot
+//! [`Synthesizer`](crate::core::Synthesizer) builder remains for quick
+//! experiments.
 
 #![forbid(unsafe_code)]
 
@@ -103,12 +107,10 @@ pub use rei_syntax as syntax;
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
     pub use alpharegex::AlphaRegex;
-    #[allow(deprecated)]
-    pub use rei_core::Engine;
     pub use rei_core::{
-        Backend, BackendChoice, CancelToken, DeviceParallel, LevelLog, LevelStats, Observer,
-        Sequential, SessionStats, SynthConfig, SynthSession, SynthesisError, SynthesisResult,
-        Synthesizer, ThreadParallel,
+        Backend, BackendChoice, CancelToken, ColdReason, DeviceParallel, LevelLog, LevelStats,
+        Observer, RefineState, ReuseDecision, RunOutcome, Sequential, SessionStats, SynthConfig,
+        SynthSession, SynthesisError, SynthesisResult, Synthesizer, ThreadParallel,
     };
     pub use rei_lang::{Alphabet, InfixClosure, Spec, Word};
     pub use rei_net::{install_shutdown_signals, NetConfig, NetServer};

@@ -1,0 +1,218 @@
+//! Refinement-session correctness: `refine` must answer every
+//! strengthened specification with exactly what a cold run of the same
+//! spec would return — same minimal cost, same failure kinds — no matter
+//! which reuse tier (unchanged / warm / cold fallback) produced the
+//! answer, on all three backends. The non-strengthening edge cases
+//! (alphabet change, removed example, budget change) must fall back
+//! cold transparently, never serving a stale previous answer.
+
+use proptest::prelude::*;
+
+use paresy::bench::generator::{generate_type2, Type2Params};
+use paresy::bench::harness::refinement_chain;
+use paresy::lang::Alphabet;
+use paresy::prelude::*;
+
+fn small_spec(seed: u64, max_len: usize, examples: usize) -> Option<Spec> {
+    let params = Type2Params {
+        alphabet: Alphabet::binary(),
+        max_len,
+        positives: examples,
+        negatives: examples,
+    };
+    generate_type2(&params, seed)
+}
+
+fn session(backend: BackendChoice) -> SynthSession {
+    SynthSession::new(SynthConfig::new(CostFn::UNIFORM).with_backend(backend)).unwrap()
+}
+
+fn backends() -> [BackendChoice; 3] {
+    [
+        BackendChoice::Sequential,
+        BackendChoice::ThreadParallel { threads: Some(3) },
+        BackendChoice::DeviceParallel { threads: Some(3) },
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// On a random strengthening chain (maximal examples first, the
+    /// infix examples added one at a time), every `refine` answer equals
+    /// a cold run of the same strengthened spec — regardless of whether
+    /// the session answered warm or fell back cold, and on every
+    /// backend.
+    #[test]
+    fn refine_equals_cold_runs_on_strengthening_chains(
+        seed in 0u64..10_000,
+        max_len in 2usize..4,
+        examples in 2usize..5,
+    ) {
+        let Some(spec) = small_spec(seed, max_len, examples) else { return Ok(()) };
+        let Some((base, steps)) = refinement_chain(&spec) else { return Ok(()) };
+        for backend in backends() {
+            let mut warm = session(backend);
+            let _ = warm.refine(&base);
+            for step in &steps {
+                let refined = warm.refine(step);
+                let cold = session(backend).run(step);
+                match (&refined.outcome, &cold) {
+                    (Ok(via_refine), Ok(via_cold)) => {
+                        prop_assert_eq!(
+                            via_refine.cost, via_cold.cost,
+                            "refine ({}) disagrees with cold on {:?} ({:?})",
+                            refined.reuse.label(), step, backend
+                        );
+                        prop_assert!(
+                            step.is_satisfied_by(&via_refine.regex),
+                            "refine ({}) returned a non-satisfying {} for {:?}",
+                            refined.reuse.label(), via_refine.regex, step
+                        );
+                    }
+                    (Err(via_refine), Err(via_cold)) => {
+                        prop_assert_eq!(
+                            std::mem::discriminant(via_refine),
+                            std::mem::discriminant(via_cold),
+                            "error kinds differ: {via_refine:?} vs {via_cold:?}"
+                        );
+                    }
+                    (refined, cold) => prop_assert!(
+                        false,
+                        "refine and cold disagree on success: {refined:?} vs {cold:?} ({backend:?})"
+                    ),
+                }
+            }
+        }
+    }
+}
+
+/// An unchanged spec is answered from the session without re-running
+/// admission: the session's fold counter does not move and the replayed
+/// result reports zero admission folds of its own.
+#[test]
+fn unchanged_refine_reruns_no_admission() {
+    let spec = Spec::from_strs(["10", "101", "100"], ["", "0", "1"]).unwrap();
+    let mut warm = session(BackendChoice::Sequential);
+    let first = warm.refine(&spec);
+    let first_cost = first.outcome.as_ref().unwrap().cost;
+    let folds_after_first = warm.stats().admission_folds;
+    assert!(folds_after_first > 0, "the cold run admitted candidates");
+
+    let replayed = warm.refine(&spec);
+    assert_eq!(replayed.reuse, ReuseDecision::Unchanged);
+    assert_eq!(
+        warm.stats().admission_folds,
+        folds_after_first,
+        "an unchanged refine re-ran admission"
+    );
+    let result = replayed.outcome.unwrap();
+    assert_eq!(result.cost, first_cost);
+    assert_eq!(result.stats.admission_folds, 0);
+    assert!(spec.is_satisfied_by(&result.regex));
+
+    // Example order and duplication do not change the spec (example
+    // sets), so a shuffled, duplicated resubmission is also unchanged —
+    // and correct, not stale.
+    let shuffled = Spec::from_strs(["100", "10", "101", "10"], ["1", "", "0", "0"]).unwrap();
+    let replayed = warm.refine(&shuffled);
+    assert_eq!(replayed.reuse, ReuseDecision::Unchanged);
+    let result = replayed.outcome.unwrap();
+    assert_eq!(result.cost, first_cost);
+    assert!(shuffled.is_satisfied_by(&result.regex));
+}
+
+/// Each non-strengthening edge case falls back cold with the specific
+/// reason — and still answers the *new* spec correctly (equal to a cold
+/// run), never a stale previous answer.
+#[test]
+fn non_strengthening_refines_fall_back_cold_with_reasons() {
+    let check_cold = |previous: &Spec, next: &Spec, reason: ColdReason| {
+        let mut warm = session(BackendChoice::Sequential);
+        let first = warm.refine(previous);
+        assert!(first.outcome.is_ok(), "base spec must solve");
+        let refined = warm.refine(next);
+        assert_eq!(
+            refined.reuse,
+            ReuseDecision::Cold(reason),
+            "{previous:?} -> {next:?}"
+        );
+        let result = refined.outcome.unwrap();
+        let cold = session(BackendChoice::Sequential).run(next).unwrap();
+        assert_eq!(result.cost, cold.cost, "{next:?}");
+        assert!(
+            next.is_satisfied_by(&result.regex),
+            "stale answer {} for {next:?}",
+            result.regex
+        );
+    };
+
+    // A new letter: examples are supersets but the alphabet grew.
+    check_cold(
+        &Spec::from_strs(["0", "00"], ["1"]).unwrap(),
+        &Spec::from_strs(["0", "00", "22"], ["1"]).unwrap(),
+        ColdReason::AlphabetChanged,
+    );
+    // A removed example: the example sets are no longer supersets.
+    check_cold(
+        &Spec::from_strs(["0", "00"], ["1", "10"]).unwrap(),
+        &Spec::from_strs(["0", "00"], ["10"]).unwrap(),
+        ColdReason::NotStrengthening,
+    );
+
+    // A grown error budget: same fraction, more examples, different
+    // absolute budget (floor(0.25 * 4) = 1 vs floor(0.25 * 3) = 0).
+    let mut lenient = SynthSession::new(
+        SynthConfig::new(CostFn::UNIFORM)
+            .with_backend(BackendChoice::Sequential)
+            .with_allowed_error(0.25),
+    )
+    .unwrap();
+    let three = Spec::from_strs(["0", "00"], ["1"]).unwrap();
+    let four = Spec::from_strs(["0", "00", "000"], ["1"]).unwrap();
+    assert!(lenient.refine(&three).outcome.is_ok());
+    let refined = lenient.refine(&four);
+    assert_eq!(
+        refined.reuse,
+        ReuseDecision::Cold(ColdReason::BudgetChanged)
+    );
+    assert!(refined.outcome.is_ok());
+}
+
+/// The refine tiers surface end to end through the service: a session
+/// routed through the shard router answers cold, then warm, and a
+/// strengthened spec never routes away from its pinned pool.
+#[test]
+fn sessions_route_stably_through_the_shard_router() {
+    use paresy::service::{RouterConfig, ServiceConfig, ShardRouter, SynthRequest};
+
+    let router = ShardRouter::start(RouterConfig::identical(
+        3,
+        ServiceConfig::new(1).with_queue_capacity(8),
+    ))
+    .unwrap();
+    let opened = router.open_session("pinned", None).unwrap();
+    assert_eq!(opened, "pinned");
+
+    let base = Spec::from_strs(["0", "00"], ["1"]).unwrap();
+    let first = router
+        .submit(SynthRequest::new(base).with_session("pinned"))
+        .unwrap()
+        .wait();
+    assert_eq!(first.source.as_str(), "session");
+    assert_eq!(first.reuse.map(|reuse| reuse.label()), Some("cold"));
+
+    // The strengthened spec has a different fingerprint, but the session
+    // name routes it to the same pool — where the warm state lives.
+    let stronger = Spec::from_strs(["0", "00"], ["1", "10"]).unwrap();
+    let second = router
+        .submit(SynthRequest::new(stronger.clone()).with_session("pinned"))
+        .unwrap()
+        .wait();
+    assert_eq!(second.reuse.map(|reuse| reuse.label()), Some("warm"));
+    assert!(stronger.is_satisfied_by(&second.outcome.unwrap().regex));
+
+    router.close_session("pinned", None).unwrap();
+    assert!(router.close_session("pinned", None).is_err());
+    router.shutdown();
+}

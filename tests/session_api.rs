@@ -1,8 +1,7 @@
 //! End-to-end tests of the session-based synthesis API: observers,
 //! cooperative cancellation, batching over one warm device, config
-//! serialization, the streamed level execution engine (chunk-boundary
-//! cancellation, scheduler counters, early-winner correctness), and the
-//! deprecated `Engine` compatibility shim.
+//! serialization, and the streamed level execution engine (chunk-boundary
+//! cancellation, scheduler counters, early-winner correctness).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -284,27 +283,24 @@ fn sequential_and_device_count_streamed_chunks() {
     }
 }
 
-/// The pre-0.2 `Engine`-based call sites must keep compiling (with
-/// deprecation warnings) and produce the same results as the new API.
+/// The session API is the only entry point: the one-shot `Synthesizer`
+/// wrapper and a session agree on results, and choice/backend naming is
+/// unified.
 #[test]
-#[allow(deprecated)]
-fn deprecated_engine_shim_still_works() {
+fn synthesizer_wrapper_matches_session() {
     let spec = intro_spec();
-    let old_style = Synthesizer::new(CostFn::UNIFORM)
-        .with_engine(Engine::parallel_with_threads(2))
+    let one_shot = Synthesizer::new(CostFn::UNIFORM)
+        .with_backend(BackendChoice::DeviceParallel { threads: Some(2) })
         .run(&spec)
         .unwrap();
-    let new_style = SynthSession::new(
+    let via_session = SynthSession::new(
         SynthConfig::new(CostFn::UNIFORM)
             .with_backend(BackendChoice::DeviceParallel { threads: Some(2) }),
     )
     .unwrap()
     .run(&spec)
     .unwrap();
-    assert_eq!(old_style.cost, new_style.cost);
-    // Naming is unified: the shim reports the canonical backend names.
-    assert_eq!(Engine::Sequential.name(), Sequential::NAME);
-    assert_eq!(Engine::parallel().name(), DeviceParallel::NAME);
+    assert_eq!(one_shot.cost, via_session.cost);
     assert_eq!(
         BackendChoice::parallel().name(),
         DeviceParallel::NAME,
